@@ -1,0 +1,103 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+1. **Isolation**: fresh-machine-per-case removes the paper's ``*``
+   inter-test-interference crashes (why they "could not be reproduced
+   outside of the test harness").
+2. **Sampling cap**: failure rates are stable across caps, validating
+   the paper's claim that 5000-case random sampling tracks exhaustive
+   testing.
+3. **Thrown-exception policy**: the paper's "more than fair" rule
+   (thrown exceptions are recoverable error reports) vs counting every
+   thrown exception as an Abort.
+"""
+
+import pytest
+
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.crash_scale import CaseCode
+from repro.win32.variants import WIN98, WINNT
+
+#: MuTs with interference (starred) crashes on Windows 98.
+STARRED = ["DuplicateHandle", "strncpy", "fwrite"]
+#: A stable sample of non-crashing MuTs for rate-stability checks.
+SAMPLE = ["strcpy", "fopen", "ReadFile", "CreateFileA", "malloc", "isalpha"]
+
+
+class TestIsolationAblation:
+    def test_shared_machine_reproduces_starred_crashes(self, benchmark, bench_cap):
+        def run():
+            return Campaign(
+                [WIN98],
+                config=CampaignConfig(cap=min(bench_cap, 150)),
+                muts=STARRED,
+            ).run()
+
+        results = benchmark.pedantic(run, rounds=2, iterations=1)
+        crashed = {r.mut_name for r in results.catastrophic_muts("win98")}
+        assert crashed == set(STARRED)
+        assert all(
+            r.interference_crash for r in results.catastrophic_muts("win98")
+        )
+
+    def test_full_isolation_hides_starred_crashes(self, benchmark, bench_cap):
+        def run():
+            return Campaign(
+                [WIN98],
+                config=CampaignConfig(
+                    cap=min(bench_cap, 150), machine_per_case=True
+                ),
+                muts=STARRED,
+            ).run()
+
+        results = benchmark.pedantic(run, rounds=2, iterations=1)
+        assert results.catastrophic_muts("win98") == []
+
+
+class TestSamplingAblation:
+    @pytest.mark.parametrize("cap", [50, 100, 200])
+    def test_rates_stable_across_caps(self, benchmark, cap):
+        def run():
+            results = Campaign(
+                [WINNT], config=CampaignConfig(cap=cap), muts=SAMPLE
+            ).run()
+            return {
+                r.mut_name: r.abort_rate for r in results.for_variant("winnt")
+            }
+
+        rates = benchmark.pedantic(run, rounds=1, iterations=1)
+        # Reference: the rates at the largest cap in this matrix.
+        reference = {
+            r.mut_name: r.abort_rate
+            for r in Campaign(
+                [WINNT], config=CampaignConfig(cap=200), muts=SAMPLE
+            )
+            .run()
+            .for_variant("winnt")
+        }
+        for name, rate in rates.items():
+            assert rate == pytest.approx(reference[name], abs=0.12), name
+
+
+class TestThrownExceptionAblation:
+    def test_fair_policy_vs_harsh_policy(self, benchmark, bench_cap):
+        muts = ["HeapAlloc"]  # throws STATUS_NO_MEMORY with the flag set
+
+        def run_both():
+            fair = Campaign(
+                [WINNT], config=CampaignConfig(cap=min(bench_cap, 150)), muts=muts
+            ).run()
+            harsh = Campaign(
+                [WINNT],
+                config=CampaignConfig(
+                    cap=min(bench_cap, 150),
+                    count_thrown_exceptions_as_abort=True,
+                ),
+                muts=muts,
+            ).run()
+            return (
+                fair.uniform_rate("winnt", CaseCode.ABORT),
+                harsh.uniform_rate("winnt", CaseCode.ABORT),
+            )
+
+        fair_rate, harsh_rate = benchmark.pedantic(run_both, rounds=1, iterations=1)
+        assert harsh_rate >= fair_rate

@@ -1,0 +1,42 @@
+"""Regenerates paper Figure 2 (Abort + Restart + estimated Silent
+failure rates for the desktop Windows variants) and benchmarks the
+cross-variant voting estimator."""
+
+from repro.analysis.groups import SYSCALL_GROUPS
+from repro.analysis.silent import estimate_silent_rates
+from repro.analysis.tables import render_figure2
+
+
+def test_render_figure2(benchmark, paper_results, artifact_dir):
+    text = benchmark(render_figure2, paper_results)
+    (artifact_dir / "figure2.txt").write_text(text + "\n", encoding="utf-8")
+    assert "Windows 95" in text and "Windows 2000" in text
+
+
+def test_voting_estimator(benchmark, paper_results):
+    estimates = benchmark(estimate_silent_rates, paper_results)
+    assert set(estimates) == {"win95", "win98", "win98se", "winnt", "win2000"}
+
+
+def test_figure2_shape_9x_more_silent_on_syscalls(benchmark, paper_results):
+    """'the Win32 calls for Windows 95/98/98 SE have a significantly
+    higher Silent failure rate than Windows NT/2000'."""
+
+    def syscall_silent_by_family():
+        estimates = estimate_silent_rates(paper_results)
+
+        def mean_for(variant):
+            est = estimates[variant]
+            rates = [
+                r
+                for key, r in est.per_mut.items()
+                if est.mut_groups[key] in SYSCALL_GROUPS
+            ]
+            return sum(rates) / len(rates)
+
+        return {v: mean_for(v) for v in estimates}
+
+    rates = benchmark(syscall_silent_by_family)
+    for old in ("win95", "win98", "win98se"):
+        for new in ("winnt", "win2000"):
+            assert rates[old] > 2 * rates[new]

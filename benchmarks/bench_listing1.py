@@ -1,0 +1,41 @@
+"""Benchmarks paper Listing 1 -- the single-test-case replay path --
+across all six Windows variants."""
+
+import pytest
+
+from repro.core.campaign import run_single_case
+from repro.core.crash_scale import CaseCode
+from repro.win32.variants import WINDOWS_VARIANTS
+
+LISTING1 = ("GetThreadContext", ["TH_CURRENT", "PTR_NULL"])
+
+EXPECTED = {
+    "win95": CaseCode.CATASTROPHIC,
+    "win98": CaseCode.CATASTROPHIC,
+    "win98se": CaseCode.CATASTROPHIC,
+    "winnt": CaseCode.PASS_ERROR,
+    "win2000": CaseCode.PASS_ERROR,
+    "wince": CaseCode.CATASTROPHIC,
+}
+
+
+@pytest.mark.parametrize(
+    "personality", WINDOWS_VARIANTS, ids=[p.key for p in WINDOWS_VARIANTS]
+)
+def test_listing1_single_case(benchmark, personality):
+    outcome = benchmark(run_single_case, personality, *LISTING1)
+    assert outcome.code is EXPECTED[personality.key]
+
+
+def test_listing1_matrix(benchmark, artifact_dir):
+    def matrix():
+        return {
+            p.key: run_single_case(p, *LISTING1).code.name
+            for p in WINDOWS_VARIANTS
+        }
+
+    results = benchmark(matrix)
+    lines = ["Listing 1: GetThreadContext(GetCurrentThread(), NULL)", ""]
+    lines += [f"  {key:10s} {code}" for key, code in results.items()]
+    (artifact_dir / "listing1.txt").write_text("\n".join(lines) + "\n")
+    assert results == {k: v.name for k, v in EXPECTED.items()}

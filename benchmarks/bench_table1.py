@@ -1,0 +1,45 @@
+"""Regenerates paper Table 1 (robustness failure rates by MuT) and
+benchmarks the pipeline that produces it."""
+
+from repro.analysis.rates import summarize
+from repro.analysis.tables import render_table1
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.win32.variants import WIN98, WINNT
+
+
+def test_render_table1(benchmark, paper_results, artifact_dir):
+    text = benchmark(render_table1, paper_results)
+    (artifact_dir / "table1.txt").write_text(text + "\n", encoding="utf-8")
+    # Shape assertions (paper Table 1 structure).
+    assert "Windows CE" in text and "82 (108)" in text
+    nt = summarize(paper_results, "winnt")
+    linux = summarize(paper_results, "linux")
+    assert nt.muts_catastrophic == 0
+    assert linux.muts_catastrophic == 0
+    w98 = summarize(paper_results, "win98")
+    assert w98.syscalls_catastrophic == 5
+    assert w98.c_functions_catastrophic == 2
+
+
+def test_summarize_one_variant(benchmark, paper_results):
+    summary = benchmark(summarize, paper_results, "win98")
+    assert summary.syscalls_tested == 143
+
+
+def test_campaign_throughput_small_slice(benchmark, bench_cap):
+    """End-to-end campaign throughput on a representative MuT subset."""
+    subset = [
+        "GetThreadContext", "CreateFileA", "ReadFile", "CloseHandle",
+        "strcpy", "fopen", "malloc", "isalpha",
+    ]
+
+    def run_slice():
+        campaign = Campaign(
+            [WIN98, WINNT],
+            config=CampaignConfig(cap=min(bench_cap, 100)),
+            muts=subset,
+        )
+        return campaign.run()
+
+    results = benchmark.pedantic(run_slice, rounds=3, iterations=1)
+    assert results.total_cases() > 0

@@ -1,0 +1,46 @@
+"""Regenerates paper Table 2 and Figure 1 (failure rates by functional
+category) and benchmarks the grouping pipeline."""
+
+from repro.analysis.groups import C_GROUPS, SYSCALL_GROUPS
+from repro.analysis.rates import group_rates
+from repro.analysis.tables import render_figure1, render_table2
+
+
+def test_render_table2(benchmark, paper_results, artifact_dir):
+    text = benchmark(render_table2, paper_results)
+    (artifact_dir / "table2.txt").write_text(text + "\n", encoding="utf-8")
+    assert "C char" in text
+    assert "N/A" in text  # Windows CE has no C time group
+    assert "*" in text  # catastrophic markers
+
+
+def test_render_figure1(benchmark, paper_results, artifact_dir):
+    text = benchmark(render_figure1, paper_results)
+    (artifact_dir / "figure1.txt").write_text(text + "\n", encoding="utf-8")
+    assert text.count("|") >= 12 * 7
+
+
+def test_group_rates_pipeline(benchmark, paper_results):
+    rates = benchmark(group_rates, paper_results, "winnt")
+    assert set(rates) == set(SYSCALL_GROUPS + C_GROUPS)
+
+
+def test_figure1_shape_linux_vs_nt(paper_results, benchmark):
+    """The paper's 8-lower/4-higher Linux-vs-NT group split."""
+
+    def split():
+        linux = group_rates(paper_results, "linux")
+        nt = group_rates(paper_results, "winnt")
+        return {
+            g
+            for g in SYSCALL_GROUPS + C_GROUPS
+            if linux[g].abort_rate > nt[g].abort_rate
+        }
+
+    higher = benchmark(split)
+    assert higher == {
+        "C char",
+        "C file I/O management",
+        "C memory management",
+        "C stream I/O",
+    }

@@ -1,0 +1,48 @@
+"""Regenerates paper Table 3 (functions exhibiting Catastrophic
+failures) and validates the per-variant crash lists exactly."""
+
+from repro.analysis.tables import render_table3
+
+
+def crashed(results, variant, api=None):
+    return {
+        r.mut_name
+        for r in results.catastrophic_muts(variant)
+        if api is None or r.api == api
+    }
+
+
+def test_render_table3(benchmark, paper_results, artifact_dir):
+    text = benchmark(render_table3, paper_results)
+    (artifact_dir / "table3.txt").write_text(text + "\n", encoding="utf-8")
+    assert "*DuplicateHandle" in text
+    assert "GetThreadContext" in text
+
+
+def test_table3_win98_exact_crash_list(benchmark, paper_results):
+    names = benchmark(crashed, paper_results, "win98")
+    assert names == {
+        "DuplicateHandle",
+        "GetFileInformationByHandle",
+        "GetThreadContext",
+        "MsgWaitForMultipleObjects",
+        "MsgWaitForMultipleObjectsEx",
+        "fwrite",
+        "strncpy",
+    }
+
+
+def test_table3_wince_syscall_crash_list(benchmark, paper_results):
+    names = benchmark(crashed, paper_results, "wince", "win32")
+    assert len(names) == 10  # the paper's ten CE system calls
+    assert {"GetThreadContext", "SetThreadContext", "VirtualAlloc"} <= names
+
+
+def test_table3_nt_2000_linux_clean(benchmark, paper_results):
+    def clean():
+        return {
+            v: crashed(paper_results, v) for v in ("winnt", "win2000", "linux")
+        }
+
+    lists = benchmark(clean)
+    assert all(not names for names in lists.values())

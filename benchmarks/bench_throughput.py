@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the harness building blocks: machine boot,
+per-case execution, case generation, and the RPC service loop."""
+
+from repro.core.executor import Executor
+from repro.core.generator import CaseGenerator, TestCase
+from repro.core.mut import default_registry
+from repro.core.types import default_types
+from repro.sim.machine import Machine
+from repro.win32.variants import WINNT
+
+
+def test_machine_boot(benchmark):
+    machine = benchmark(Machine, WINNT)
+    assert not machine.crashed
+
+
+def test_process_spawn(benchmark):
+    machine = Machine(WINNT)
+    process = benchmark(machine.spawn_process)
+    assert process.pid >= 100
+
+
+def test_single_case_execution(benchmark):
+    registry = default_registry()
+    generator = CaseGenerator(default_types())
+    machine = Machine(WINNT)
+    executor = Executor(machine, generator)
+    mut = registry.get("libc", "strcpy")
+    case = TestCase("strcpy", 0, ("PTR_PAGE", "STR_SHORT"))
+    outcome = benchmark(executor.run_case, mut, case)
+    assert outcome.code.name == "PASS_NO_ERROR"
+
+
+def test_case_generation_capped(benchmark):
+    registry = default_registry()
+    generator = CaseGenerator(default_types(), cap=500)
+    mut = registry.get("win32", "CreateFileA")
+
+    def generate():
+        return sum(1 for _ in generator.cases(mut))
+
+    assert benchmark(generate) == 500
+
+
+def test_rpc_roundtrip(benchmark):
+    import threading
+
+    from repro.service import protocol as P
+    from repro.service.rpc import LoopbackTransport, RpcClient, serve_connection
+
+    def echo(dec):
+        return P.encode_hello(P.decode_hello(dec))
+
+    a, b = LoopbackTransport.pair()
+    threading.Thread(
+        target=serve_connection, args=(a, {P.PROC_HELLO: echo}), daemon=True
+    ).start()
+    client = RpcClient(b)
+
+    def call():
+        return client.call(P.PROC_HELLO, P.encode_hello("winnt")).string()
+
+    assert benchmark(call) == "winnt"

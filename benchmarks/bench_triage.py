@@ -1,0 +1,66 @@
+"""Benchmarks for the triage tooling (the paper's future-work items):
+ddmin crash minimisation, sequence replay, the leak audit, and the
+heavy-load comparison."""
+
+from repro.triage import (
+    audit_leaks,
+    capture_crash_prefix,
+    minimize_crash_sequence,
+    render_repro_program,
+    replay_sequence,
+    run_load_comparison,
+)
+from repro.triage.sequence import SequenceStep
+from repro.win32.variants import WIN98
+
+
+def test_capture_crash_prefix(benchmark):
+    prefix = benchmark.pedantic(
+        capture_crash_prefix, args=(WIN98, "strncpy"), kwargs={"cap": 300},
+        rounds=3, iterations=1,
+    )
+    assert prefix is not None
+
+
+def test_minimize_interference_crash(benchmark, artifact_dir):
+    prefix = capture_crash_prefix(WIN98, "strncpy", cap=300)
+
+    def minimise():
+        return minimize_crash_sequence(WIN98, prefix)
+
+    minimal = benchmark.pedantic(minimise, rounds=3, iterations=1)
+    assert len(minimal) == WIN98.corruption_tolerance + 1
+    program = render_repro_program(WIN98, minimal)
+    (artifact_dir / "minimal_repro.c").write_text(program + "\n")
+
+
+def test_sequence_replay_throughput(benchmark):
+    step = SequenceStep("libc", "strcpy", ("PTR_PAGE", "STR_SHORT"))
+
+    def replay():
+        return replay_sequence(WIN98, [step] * 50)
+
+    outcome = benchmark(replay)
+    assert outcome.executed == 50
+
+
+def test_leak_audit(benchmark):
+    report = benchmark.pedantic(
+        audit_leaks,
+        args=(WIN98, ["GetTempFileNameA", "CreateFileA", "strcpy"]),
+        kwargs={"cap": 60},
+        rounds=2,
+        iterations=1,
+    )
+    assert report.leaking_muts()
+
+
+def test_load_comparison(benchmark, artifact_dir):
+    def compare():
+        return run_load_comparison(
+            WIN98, ["strncpy", "CreateFileA", "GetThreadContext"], cap=100
+        )
+
+    report = benchmark.pedantic(compare, rounds=2, iterations=1)
+    assert report.accelerated_crashes()
+    (artifact_dir / "load_comparison.txt").write_text(report.render() + "\n")

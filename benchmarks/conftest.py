@@ -1,0 +1,43 @@
+"""Benchmark fixtures.
+
+The paper-scale campaign is expensive, so it runs once per benchmark
+session (cap = ``BALLISTA_BENCH_CAP``, default 200; set it to 5000 for
+the paper's full scale) and every per-table benchmark consumes the same
+result set.  Rendered tables are also written to ``benchmarks/out/`` so
+a benchmark run leaves the regenerated paper artefacts on disk.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro import ALL_VARIANTS, Campaign, CampaignConfig
+
+BENCH_CAP = int(os.environ.get("BALLISTA_BENCH_CAP", "200"))
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def bench_cap() -> int:
+    return BENCH_CAP
+
+
+@pytest.fixture(scope="session")
+def paper_results():
+    """The full seven-variant campaign, shared by every benchmark."""
+    campaign = Campaign(list(ALL_VARIANTS), config=CampaignConfig(cap=BENCH_CAP))
+    return campaign.run()
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def write_artifact(directory: pathlib.Path, name: str, text: str) -> None:
+    (directory / name).write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The Ballista testing service over real TCP sockets.
+
+Reproduces the paper's architecture: a central test server (the CMU
+side) hands deterministic test plans to portable clients over an
+ONC-RPC-style protocol; each client runs one OS variant and streams
+results back.  Here three clients (Windows 98, Windows NT, Linux) run
+concurrently against one server on localhost, and the server-side
+result set feeds the same report generators a local campaign would.
+
+Run:  python examples/distributed_service.py [cap]
+"""
+
+import sys
+import threading
+
+from repro import LINUX, WIN98, WINNT
+from repro.analysis import render_table1
+from repro.service import BallistaClient, BallistaServer
+
+
+def run_client(personality, host: str, port: int) -> None:
+    client = BallistaClient.connect(personality, host, port)
+    try:
+        tested = client.run()
+        print(f"  [{personality.key}] client done: {tested} MuTs tested")
+    finally:
+        client.close()
+
+
+def main() -> None:
+    cap = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+    variants = [WIN98, WINNT, LINUX]
+    server = BallistaServer(variants, cap=cap)
+    host, port = server.listen()
+    print(f"Ballista server listening on {host}:{port} (cap={cap})")
+
+    threads = [
+        threading.Thread(target=run_client, args=(p, host, port))
+        for p in variants
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    server.join({p.key for p in variants})
+    server.shutdown()
+
+    print()
+    print(render_table1(server.results))
+    print()
+    crashes = {
+        p.key: [r.mut_name for r in server.results.catastrophic_muts(p.key)]
+        for p in variants
+    }
+    for key, names in crashes.items():
+        print(f"{key:8s} catastrophic: {', '.join(sorted(names)) or '(none)'}")
+
+
+if __name__ == "__main__":
+    main()

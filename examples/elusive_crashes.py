@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Reproducing the 'elusive' crashes outside the test harness.
+
+"For several of the functions with Catastrophic failures we could not
+isolate the system crash to a single test case.  We could repeatedly
+crash the system by running the entire test harness for these functions,
+but could not reproduce it when running the test cases independently."
+(paper, section 4)  The authors listed finding such reproductions as
+future work (section 5).  This example automates it:
+
+1. replay shows the ``*`` crash needs the harness (a single test case
+   does not reproduce it);
+2. the campaign prefix that does crash is captured;
+3. delta debugging (ddmin) shrinks it to a 1-minimal call sequence;
+4. the sequence is rendered as a standalone repro program -- the
+   artefact you could hand to Microsoft with the bug report.
+
+Run:  python examples/elusive_crashes.py [function] [variant]
+      (defaults: strncpy on Windows 98)
+"""
+
+import sys
+
+from repro import WINDOWS_VARIANTS, run_single_case
+from repro.triage import (
+    capture_crash_prefix,
+    minimize_crash_sequence,
+    render_repro_program,
+    replay_sequence,
+)
+
+
+def main() -> None:
+    target = sys.argv[1] if len(sys.argv) > 1 else "strncpy"
+    variant_key = sys.argv[2] if len(sys.argv) > 2 else "win98"
+    personalities = {p.key: p for p in WINDOWS_VARIANTS}
+    if variant_key not in personalities:
+        raise SystemExit(
+            f"unknown variant {variant_key!r}; choose from {sorted(personalities)}"
+        )
+    personality = personalities[variant_key]
+
+    print(f"Target: {target} on {personality.name}")
+    print("=" * 60)
+
+    print("\n[1] Capture the crashing campaign prefix...")
+    try:
+        prefix = capture_crash_prefix(personality, target, cap=500)
+    except KeyError:
+        raise SystemExit(
+            f"unknown function {target!r} -- pass a MuT name like "
+            "'strncpy', 'fwrite', or 'DuplicateHandle'"
+        )
+    if prefix is None:
+        print(f"    {target} does not crash {personality.name} within 500 cases.")
+        return
+    print(f"    campaign crashes at case #{len(prefix)} of the sequence")
+
+    print("\n[2] The paper's observation: the final case alone is harmless...")
+    final = prefix[-1]
+    outcome = run_single_case(personality, final.mut_name, list(final.value_names))
+    print(f"    {final.describe()}")
+    print(f"    run as a single test program -> {outcome.code.name}")
+
+    print("\n[3] Delta-debug the prefix down to a 1-minimal sequence...")
+    replays = [0]
+
+    def progress(count, size):
+        replays[0] = count
+
+    minimal = minimize_crash_sequence(personality, prefix, progress=progress)
+    print(
+        f"    {len(prefix)} cases -> {len(minimal)} cases "
+        f"({replays[0]} deterministic replays)"
+    )
+    check = replay_sequence(personality, minimal)
+    assert check.crashed, "minimal sequence must still crash"
+    print(f"    verified: replaying the minimal sequence crashes at step "
+          f"{check.crash_step}")
+
+    print("\n[4] Standalone reproduction program:")
+    print()
+    print(render_repro_program(personality, minimal))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Paper Listing 1: the one-line program that crashes Windows 95/98/CE.
+
+    GetThreadContext(GetCurrentThread(), NULL);
+
+"Listing 1 shows a representative test case that has crashed Windows 98
+every time it has been run" -- this example replays that single test
+case on every variant and prints the CRASH-scale outcome, then shows a
+couple of sibling cases (valid context buffer; bad thread handle) to
+demonstrate that the crash needs exactly this parameter combination.
+
+Run:  python examples/listing1_crash.py
+"""
+
+from repro import ALL_VARIANTS, run_single_case
+
+
+def replay(title: str, mut: str, values: list[str]) -> None:
+    print(title)
+    for personality in ALL_VARIANTS:
+        if personality.api != "win32":
+            continue
+        outcome = run_single_case(personality, mut, values)
+        marker = " <-- SYSTEM CRASH" if outcome.code.name == "CATASTROPHIC" else ""
+        detail = f" ({outcome.detail})" if outcome.detail else ""
+        print(f"  {personality.name:14s} -> {outcome.code.name}{detail}{marker}")
+    print()
+
+
+def main() -> None:
+    replay(
+        "GetThreadContext(GetCurrentThread(), NULL)   [paper Listing 1]",
+        "GetThreadContext",
+        ["TH_CURRENT", "PTR_NULL"],
+    )
+    replay(
+        "GetThreadContext(GetCurrentThread(), &ctx)   [valid buffer]",
+        "GetThreadContext",
+        ["TH_CURRENT", "CTX_VALID"],
+    )
+    replay(
+        "GetThreadContext(0x0BADF00D, NULL)           [bad handle first]",
+        "GetThreadContext",
+        ["H_GARBAGE", "PTR_NULL"],
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""OS selection study for a mission-critical deployment.
+
+The paper's motivation: "the United States Navy has adopted Windows NT
+as the official OS to be incorporated into onboard computer systems" --
+should it have?  This example runs the full seven-variant comparison and
+prints the dependability evidence a systems engineer would want:
+
+* the group-level failure-rate comparison (Figure 1),
+* which functions can crash each OS outright (Table 3),
+* estimated Silent failure rates (Figure 2),
+* a summary verdict per OS.
+
+Run:  python examples/os_selection_study.py [cap]
+"""
+
+import sys
+
+from repro import ALL_VARIANTS, Campaign, CampaignConfig
+from repro.analysis import render_figure1, render_figure2, render_table3
+from repro.analysis.rates import summarize
+
+DISPLAY = {
+    "linux": "Linux",
+    "win95": "Windows 95",
+    "win98": "Windows 98",
+    "win98se": "Windows 98 SE",
+    "winnt": "Windows NT",
+    "win2000": "Windows 2000",
+    "wince": "Windows CE",
+}
+
+
+def verdict(results, variant: str) -> str:
+    summary = summarize(results, variant)
+    crashes = summary.muts_catastrophic
+    if crashes:
+        return (
+            f"UNSUITABLE for unattended operation: {crashes} API functions "
+            "can take the whole system down from an unprivileged task."
+        )
+    if summary.syscall_abort_rate < 0.05:
+        return (
+            "Strong candidate: no system crashes observed and system calls "
+            "report exceptional inputs gracefully."
+        )
+    return (
+        "Usable with task-restart supervision: no system crashes, but "
+        f"{summary.syscall_abort_rate:.0%} of exceptional system-call "
+        "inputs abort the calling task."
+    )
+
+
+def main() -> None:
+    cap = int(sys.argv[1]) if len(sys.argv) > 1 else 120
+    print(f"Comparative robustness study across 7 OS variants (cap={cap})")
+    print("=" * 70)
+    results = Campaign(
+        list(ALL_VARIANTS), config=CampaignConfig(cap=cap)
+    ).run()
+
+    print()
+    print(render_figure1(results))
+    print(render_table3(results))
+    print(render_figure2(results))
+    print()
+    print("Engineering verdicts")
+    print("-" * 70)
+    for variant in ("linux", "winnt", "win2000", "win98", "win98se", "win95", "wince"):
+        print(f"{DISPLAY[variant]:14s} {verdict(results, variant)}")
+    print()
+    print(
+        "Note the paper's own caveat: 'While the choice of operating\n"
+        "systems cannot be made solely on the basis of one set of tests,\n"
+        "it is hoped that such results will form a starting point for\n"
+        "comparing dependability across heterogeneous platforms.'"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Verifying an OS patch with regression diffing.
+
+Suppose Microsoft ships a hypothetical "Windows 98 Second Edition SP2"
+that adds kernel pointer probing to the five crash-prone system calls
+and fixes the C runtime's shared-arena misdirection.  Before rolling it
+onto a mission-critical fleet, QA reruns the identical Ballista campaign
+on both builds and diffs the results:
+
+* every Catastrophic failure must be FIXED;
+* no new crashes, and no Abort-rate regressions;
+* behaviour on valid inputs must be unchanged.
+
+Because the case generator is deterministic, the two campaigns are
+comparable case-by-case -- the diff below is exact, not statistical.
+
+Run:  python examples/patch_verification.py [cap]
+"""
+
+import dataclasses
+import sys
+
+from repro import Campaign, CampaignConfig, WIN98SE
+from repro.analysis.compare import compare_results
+
+#: The patch: the Table 3 functions get probed kernel access, and the
+#: corrupting paths are fixed outright.
+WIN98SE_SP2 = dataclasses.replace(
+    WIN98SE,
+    name="Windows 98 SE SP2 (hypothetical)",
+    raw_kernel_access=frozenset(),
+    corrupting_access=frozenset(),
+)
+
+
+def main() -> None:
+    cap = int(sys.argv[1]) if len(sys.argv) > 1 else 150
+    config = CampaignConfig(cap=cap)
+
+    print(f"Baseline campaign: {WIN98SE.name} (cap={cap})")
+    baseline = Campaign([WIN98SE], config=config).run()
+    crashes = [r.mut_name for r in baseline.catastrophic_muts("win98se")]
+    print(f"  catastrophic failures: {', '.join(sorted(crashes))}")
+
+    print(f"Candidate campaign: {WIN98SE_SP2.name}")
+    candidate = Campaign([WIN98SE_SP2], config=config).run()
+    print(
+        "  catastrophic failures: "
+        f"{len(candidate.catastrophic_muts('win98se'))}"
+    )
+
+    print()
+    report = compare_results(baseline, candidate)
+    print(report.render())
+
+    print()
+    fixed = {d.mut_name for d in report.fixed_crashes()}
+    introduced = report.introduced_crashes()
+    louder = [d for d in report.changed() if d.abort_delta > 1e-9]
+    if fixed >= set(crashes) and not introduced:
+        print("VERDICT: ship it -- every crash fixed, none introduced.")
+    else:
+        missing = set(crashes) - fixed
+        print(
+            f"VERDICT: hold the release -- unfixed: {sorted(missing)}; "
+            f"introduced: {[d.mut_name for d in introduced]}"
+        )
+    if louder:
+        print()
+        print(
+            "Reviewer notes on the abort-rate increases "
+            f"({len(louder)} MuTs):"
+        )
+        print(
+            "  * the patched kernel converts misdirected shared-arena\n"
+            "    writes into ordinary user-mode faults -- Silent failures\n"
+            "    become (recoverable) Aborts, which is the point of the\n"
+            "    fix (see strncpy);\n"
+            "  * the baseline rebooted after every crash, wiping leaked\n"
+            "    files; the patched build runs uninterrupted, so later\n"
+            "    file-enumeration MuTs see a dirtier filesystem -- state\n"
+            "    drift, not a code regression (see FindFirstFileA).\n"
+            "  The per-case diff (MuTDiff.changed_cases) pinpoints both."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Quickstart: run a small Ballista campaign and print Table 1.
+
+Tests two OS variants (Windows 98 and Windows NT) against the full MuT
+registry at a small per-MuT cap, then prints the paper-style summary
+table.  Expect Windows 98 to show Catastrophic failures (including the
+famous ``GetThreadContext``) and Windows NT to show none.
+
+Run:  python examples/quickstart.py [cap]
+"""
+
+import sys
+
+from repro import Campaign, CampaignConfig, WIN98, WINNT
+from repro.analysis import render_table1, render_table3
+
+
+def main() -> None:
+    cap = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+    print(f"Running Ballista campaign (cap={cap} test cases per MuT)...")
+    campaign = Campaign([WIN98, WINNT], config=CampaignConfig(cap=cap))
+    results = campaign.run()
+
+    print()
+    print(render_table1(results))
+    print()
+    print(render_table3(results))
+    print()
+    total = results.total_cases()
+    crashes = len(results.catastrophic_muts("win98"))
+    print(
+        f"Executed {total} test cases; Windows 98 crashed on {crashes} "
+        f"functions, Windows NT on "
+        f"{len(results.catastrophic_muts('winnt'))}."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""repro -- a reproduction of "Robustness Testing of the Microsoft Win32
+API" (Shelton, Koopman & DeVale, DSN 2000).
+
+The package contains a full Ballista-style robustness testing harness
+(:mod:`repro.core`), simulated operating systems for the seven OS
+variants the paper measured (:mod:`repro.sim`, :mod:`repro.win32`,
+:mod:`repro.posix`, :mod:`repro.libc`), the comparison methodology and
+report generators (:mod:`repro.analysis`), and the client/server
+testing service including the Windows CE split client
+(:mod:`repro.service`).
+
+Quickstart::
+
+    from repro import Campaign, CampaignConfig, WINDOWS_VARIANTS, LINUX
+    from repro.analysis import render_table1
+
+    campaign = Campaign(
+        list(WINDOWS_VARIANTS) + [LINUX], config=CampaignConfig(cap=200)
+    )
+    results = campaign.run()
+    print(render_table1(results))
+"""
+
+from repro.core import (
+    Campaign,
+    CampaignConfig,
+    CaseCode,
+    CaseGenerator,
+    MuT,
+    MuTRegistry,
+    ResultSet,
+    Severity,
+    TestCase,
+    default_registry,
+    default_types,
+    run_single_case,
+)
+from repro.posix import LINUX
+from repro.sim import Machine, Personality
+from repro.win32 import (
+    WIN2000,
+    WIN95,
+    WIN98,
+    WIN98SE,
+    WINCE,
+    WINDOWS_VARIANTS,
+    WINNT,
+)
+
+__version__ = "1.0.0"
+
+#: Every OS variant the paper tested, in its reporting order.
+ALL_VARIANTS = (LINUX,) + WINDOWS_VARIANTS
+
+__all__ = [
+    "ALL_VARIANTS",
+    "Campaign",
+    "CampaignConfig",
+    "CaseCode",
+    "CaseGenerator",
+    "LINUX",
+    "Machine",
+    "MuT",
+    "MuTRegistry",
+    "Personality",
+    "ResultSet",
+    "Severity",
+    "TestCase",
+    "WIN2000",
+    "WIN95",
+    "WIN98",
+    "WIN98SE",
+    "WINCE",
+    "WINDOWS_VARIANTS",
+    "WINNT",
+    "default_registry",
+    "default_types",
+    "run_single_case",
+]

@@ -1,0 +1,63 @@
+"""Comparison methodology and report generation.
+
+* :mod:`repro.analysis.groups` -- the twelve functional groupings that
+  make the Windows-vs-Linux comparison possible.
+* :mod:`repro.analysis.rates` -- normalised failure-rate computation
+  (per-MuT rates, uniformly weighted group means).
+* :mod:`repro.analysis.silent` -- the Silent-failure voting estimator
+  across identical test cases on the desktop Windows variants.
+* :mod:`repro.analysis.hindering` -- the same voting idea extended to
+  wrong-error-code (Hindering) failures, which the paper could only
+  analyse manually.
+* :mod:`repro.analysis.tables` -- renderers that regenerate the paper's
+  Table 1, Table 2/Figure 1, Table 3 and Figure 2.
+* :mod:`repro.analysis.compare` -- case-exact diffing of two campaigns
+  (patch/regression verification).
+* :mod:`repro.analysis.export` -- CSV / plain-data exports for plotting.
+"""
+
+from repro.analysis.compare import ComparisonReport, MuTDiff, compare_results
+from repro.analysis.export import (
+    figure2_series,
+    table1_rows,
+    table2_matrix,
+    write_csv,
+)
+from repro.analysis.groups import ALL_GROUPS, C_GROUPS, SYSCALL_GROUPS
+from repro.analysis.hindering import (
+    estimate_hindering_rates,
+    render_hindering,
+)
+from repro.analysis.rates import GroupRates, VariantSummary, summarize
+from repro.analysis.silent import estimate_silent_rates
+from repro.analysis.tables import (
+    render_figure1,
+    render_figure2,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+
+__all__ = [
+    "ALL_GROUPS",
+    "C_GROUPS",
+    "ComparisonReport",
+    "MuTDiff",
+    "compare_results",
+    "GroupRates",
+    "SYSCALL_GROUPS",
+    "VariantSummary",
+    "estimate_hindering_rates",
+    "estimate_silent_rates",
+    "figure2_series",
+    "render_figure1",
+    "render_hindering",
+    "render_figure2",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "summarize",
+    "table1_rows",
+    "table2_matrix",
+    "write_csv",
+]

@@ -1,0 +1,156 @@
+"""Campaign-to-campaign comparison (regression analysis).
+
+The deterministic generator makes two campaigns directly comparable
+case-by-case — across *runs* as well as across variants.  This module
+diffs two result sets for the same variant(s): which MuTs stopped (or
+started) crashing, and where the per-class rates moved.  It is the tool
+a vendor QA team would run against a candidate service pack, and it is
+what `examples/patch_verification.py` demonstrates on a hypothetical
+"Windows 98 SP2" personality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.results import MuTResult, ResultSet
+
+
+@dataclass
+class MuTDiff:
+    """Per-MuT change between a baseline and a candidate run."""
+
+    variant: str
+    api: str
+    mut_name: str
+    group: str
+    crash_fixed: bool = False
+    crash_introduced: bool = False
+    abort_delta: float = 0.0
+    restart_delta: float = 0.0
+    silent_truth_delta: float = 0.0
+    #: Case indices whose code changed (bounded sample).
+    changed_cases: list[int] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return (
+            self.crash_fixed
+            or self.crash_introduced
+            or abs(self.abort_delta) > 1e-9
+            or abs(self.restart_delta) > 1e-9
+            or bool(self.changed_cases)
+        )
+
+
+@dataclass
+class ComparisonReport:
+    """Diff of two campaigns."""
+
+    diffs: list[MuTDiff] = field(default_factory=list)
+    #: MuTs present only in one of the two runs.
+    only_in_baseline: list[tuple[str, str, str]] = field(default_factory=list)
+    only_in_candidate: list[tuple[str, str, str]] = field(default_factory=list)
+
+    def changed(self) -> list[MuTDiff]:
+        return [d for d in self.diffs if d.changed]
+
+    def fixed_crashes(self) -> list[MuTDiff]:
+        return [d for d in self.diffs if d.crash_fixed]
+
+    def introduced_crashes(self) -> list[MuTDiff]:
+        return [d for d in self.diffs if d.crash_introduced]
+
+    def regressions(self) -> list[MuTDiff]:
+        """Changes a release manager must block on: new crashes or
+        abort-rate increases."""
+        return [
+            d
+            for d in self.diffs
+            if d.crash_introduced or d.abort_delta > 1e-9
+        ]
+
+    def render(self, max_rows: int = 30) -> str:
+        lines = [
+            "Campaign comparison (baseline -> candidate)",
+            "",
+            f"  MuTs compared: {len(self.diffs)}; changed: "
+            f"{len(self.changed())}; crashes fixed: "
+            f"{len(self.fixed_crashes())}; crashes introduced: "
+            f"{len(self.introduced_crashes())}",
+        ]
+        if self.only_in_baseline or self.only_in_candidate:
+            lines.append(
+                f"  coverage drift: -{len(self.only_in_baseline)} "
+                f"+{len(self.only_in_candidate)} MuTs"
+            )
+        lines.append("")
+        shown = 0
+        for diff in sorted(
+            self.changed(),
+            key=lambda d: (not d.crash_introduced, not d.crash_fixed, d.mut_name),
+        ):
+            if shown >= max_rows:
+                lines.append(f"  ... {len(self.changed()) - shown} more")
+                break
+            notes = []
+            if diff.crash_fixed:
+                notes.append("CRASH FIXED")
+            if diff.crash_introduced:
+                notes.append("CRASH INTRODUCED")
+            if abs(diff.abort_delta) > 1e-9:
+                notes.append(f"abort {100 * diff.abort_delta:+.1f}pp")
+            if abs(diff.restart_delta) > 1e-9:
+                notes.append(f"restart {100 * diff.restart_delta:+.1f}pp")
+            lines.append(
+                f"  {diff.variant:9s} {diff.mut_name:28s} {'; '.join(notes)}"
+            )
+            shown += 1
+        if not self.changed():
+            lines.append("  (no behavioural changes)")
+        return "\n".join(lines)
+
+
+def _diff_one(baseline: MuTResult, candidate: MuTResult) -> MuTDiff:
+    diff = MuTDiff(
+        baseline.variant, baseline.api, baseline.mut_name, baseline.group
+    )
+    diff.crash_fixed = baseline.catastrophic and not candidate.catastrophic
+    diff.crash_introduced = candidate.catastrophic and not baseline.catastrophic
+    diff.abort_delta = candidate.abort_rate - baseline.abort_rate
+    diff.restart_delta = candidate.restart_rate - baseline.restart_rate
+    diff.silent_truth_delta = (
+        candidate.silent_ground_truth_rate()
+        - baseline.silent_ground_truth_rate()
+    )
+    comparable = min(len(baseline.codes), len(candidate.codes))
+    for index in range(comparable):
+        if baseline.codes[index] != candidate.codes[index]:
+            diff.changed_cases.append(index)
+            if len(diff.changed_cases) >= 20:
+                break
+    return diff
+
+
+def compare_results(
+    baseline: ResultSet, candidate: ResultSet
+) -> ComparisonReport:
+    """Diff two result sets (same cap/registry assumed; MuTs missing on
+    either side are reported as coverage drift, not failures)."""
+    report = ComparisonReport()
+    baseline_keys = {
+        (r.variant, r.api, r.mut_name): r for r in baseline
+    }
+    candidate_keys = {
+        (r.variant, r.api, r.mut_name): r for r in candidate
+    }
+    for key in sorted(baseline_keys.keys() | candidate_keys.keys()):
+        before = baseline_keys.get(key)
+        after = candidate_keys.get(key)
+        if before is None:
+            report.only_in_candidate.append(key)
+        elif after is None:
+            report.only_in_baseline.append(key)
+        else:
+            report.diffs.append(_diff_one(before, after))
+    return report

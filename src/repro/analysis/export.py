@@ -1,0 +1,139 @@
+"""Machine-readable exports of the paper's data series.
+
+The text renderers in :mod:`repro.analysis.tables` mirror the paper's
+layout; this module exposes the same numbers as plain data for plotting
+or spreadsheet work:
+
+* :func:`table1_rows` / :func:`table2_matrix` / :func:`figure2_series`
+  return dictionaries and matrices;
+* :func:`write_csv` dumps any of them as CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+
+from repro.analysis.groups import ALL_GROUPS, GROUP_DISPLAY
+from repro.analysis.rates import summarize
+from repro.analysis.silent import DESKTOP_KEYS, estimate_silent_rates
+from repro.analysis.tables import VARIANT_ORDER
+from repro.core.results import ResultSet
+
+
+def _present(results: ResultSet) -> list[tuple[str, str]]:
+    available = set(results.variants())
+    return [(key, name) for key, name in VARIANT_ORDER if key in available]
+
+
+def table1_rows(results: ResultSet) -> list[dict]:
+    """Table 1 as one dict per OS variant."""
+    rows = []
+    for key, name in _present(results):
+        summary = summarize(results, key, display_name=name)
+        rows.append(
+            {
+                "variant": key,
+                "name": name,
+                "syscalls_tested": summary.syscalls_tested,
+                "syscalls_catastrophic": summary.syscalls_catastrophic,
+                "syscall_abort_rate": round(summary.syscall_abort_rate, 6),
+                "syscall_restart_rate": round(summary.syscall_restart_rate, 6),
+                "c_functions_tested": summary.c_functions_tested,
+                "c_functions_catastrophic": summary.c_functions_catastrophic,
+                "c_abort_rate": round(summary.c_abort_rate, 6),
+                "c_restart_rate": round(summary.c_restart_rate, 6),
+                "muts_tested": summary.muts_tested,
+                "muts_catastrophic": summary.muts_catastrophic,
+                "overall_abort_rate": round(summary.overall_abort_rate, 6),
+                "overall_restart_rate": round(summary.overall_restart_rate, 6),
+                "total_cases": summary.total_cases,
+            }
+        )
+    return rows
+
+
+def table2_matrix(results: ResultSet) -> tuple[list[str], list[str], list[list]]:
+    """Table 2 / Figure 1 as (group labels, variant names, rate matrix).
+
+    ``matrix[i][j]`` is group *i*'s abort+restart rate on variant *j*,
+    or ``None`` where the variant has no functions in the group.
+    """
+    present = _present(results)
+    summaries = {
+        key: summarize(results, key, display_name=name) for key, name in present
+    }
+    groups = [GROUP_DISPLAY[g] for g in ALL_GROUPS]
+    names = [name for _, name in present]
+    matrix: list[list] = []
+    for group in ALL_GROUPS:
+        row = []
+        for key, _ in present:
+            rates = summaries[key].groups[group]
+            if rates.muts == 0:
+                row.append(None)
+            else:
+                row.append(round(rates.abort_rate + rates.restart_rate, 6))
+        matrix.append(row)
+    return groups, names, matrix
+
+
+def figure2_series(results: ResultSet) -> dict[str, dict[str, dict[str, float]]]:
+    """Figure 2 as ``{variant: {group: {abort, restart, silent}}}`` for
+    the desktop Windows variants."""
+    present = [k for k in DESKTOP_KEYS if k in results.variants()]
+    estimates = estimate_silent_rates(results, tuple(present))
+    series: dict[str, dict[str, dict[str, float]]] = {}
+    for key in present:
+        summary = summarize(results, key)
+        series[key] = {}
+        for group in ALL_GROUPS:
+            rates = summary.groups[group]
+            if rates.muts == 0:
+                continue
+            series[key][GROUP_DISPLAY[group]] = {
+                "abort": round(rates.abort_rate, 6),
+                "restart": round(rates.restart_rate, 6),
+                "silent": round(estimates[key].group_rate(group), 6),
+            }
+    return series
+
+
+def table2_csv(results: ResultSet) -> str:
+    """Table 2 as CSV text (groups x variants)."""
+    groups, names, matrix = table2_matrix(results)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["group", *names])
+    for label, row in zip(groups, matrix):
+        writer.writerow(
+            [label, *("" if cell is None else cell for cell in row)]
+        )
+    return buffer.getvalue()
+
+
+def table1_csv(results: ResultSet) -> str:
+    """Table 1 as CSV text."""
+    rows = table1_rows(results)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0]))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def write_csv(results: ResultSet, directory: str | pathlib.Path) -> list[pathlib.Path]:
+    """Write table1.csv and table2.csv into ``directory``; returns the
+    written paths."""
+    target = pathlib.Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, text in (
+        ("table1.csv", table1_csv(results)),
+        ("table2.csv", table2_csv(results)),
+    ):
+        path = target / name
+        path.write_text(text, encoding="utf-8")
+        written.append(path)
+    return written

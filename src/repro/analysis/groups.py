@@ -1,0 +1,69 @@
+"""The twelve functional groupings (paper section 3.3, Table 2, Figure 1).
+
+"Normalization is performed by computing the robustness failure rate on
+a per-MuT basis ... Then, the MuTs are grouped into comparable classes
+by functionality ... The individual failure rates within each such group
+are averaged with uniform weights to provide a group failure rate,
+permitting relative comparisons among groups for all OS
+implementations."
+"""
+
+from __future__ import annotations
+
+#: System-call groups (shared names across the Win32 and POSIX APIs, so
+#: e.g. POSIX {close dup ...} and Win32 {CloseHandle DuplicateHandle ...}
+#: land in the same "I/O Primitives" bucket).
+SYSCALL_GROUPS: tuple[str, ...] = (
+    "Memory Management",
+    "File/Directory Access",
+    "I/O Primitives",
+    "Process Primitives",
+    "Process Environment",
+)
+
+#: C library groups (identical functions on every OS).
+C_GROUPS: tuple[str, ...] = (
+    "C char",
+    "C file I/O management",
+    "C memory management",
+    "C stream I/O",
+    "C string",
+    "C math",
+    "C time",
+)
+
+#: All twelve groups, system calls first then C library (the reporting
+#: order of Table 2 / Figure 1).
+ALL_GROUPS: tuple[str, ...] = SYSCALL_GROUPS + C_GROUPS
+
+#: Canonical group key -> short display label used in figures.
+GROUP_DISPLAY: dict[str, str] = {
+    "Memory Management": "Memory Mgmt",
+    "File/Directory Access": "File/Dir Access",
+    "I/O Primitives": "I/O Primitives",
+    "Process Primitives": "Process Prims",
+    "Process Environment": "Process Env",
+    "C char": "C char",
+    "C file I/O management": "C file I/O",
+    "C memory management": "C memory",
+    "C stream I/O": "C stream I/O",
+    "C string": "C string",
+    "C math": "C math",
+    "C time": "C time",
+}
+
+#: Reporting order for Table 2 (system calls first, then C library).
+TABLE2_ORDER: tuple[str, ...] = (
+    "Memory Management",
+    "File/Directory Access",
+    "I/O Primitives",
+    "Process Primitives",
+    "Process Environment",
+    "C char",
+    "C file I/O management",
+    "C memory management",
+    "C stream I/O",
+    "C string",
+    "C math",
+    "C time",
+)

@@ -1,0 +1,165 @@
+"""Hindering-failure estimation (the CRASH scale's fifth class).
+
+"Hindering failures report an incorrect error indication such as the
+wrong error reporting code. ... Silent failures and Hindering failures
+currently can be detected in only some situations, and require manual
+analysis." (paper, section 2)
+
+This reproduction extends the paper's cross-variant comparison idea from
+Silent to Hindering failures, with one important twist.  A naive
+majority vote fails here: the three 9x variants share a code base, so
+their *shared* wrong error code outvotes NT/2000's correct one and the
+estimator blames the healthy family.  (We keep that observation as a
+documented pitfall -- it is exactly the "common-mode" blind spot the
+paper notes for its Silent estimator.)  Instead, error codes are
+compared against a **reference implementation** -- by default Windows
+2000, the newest of the paper's variants: when both the subject and the
+reference report an error for the identical test case but with different
+codes, the subject is charged a Hindering-failure candidate.
+
+The canonical catch: the 9x family reports ``ERROR_PATH_NOT_FOUND`` (3)
+for a plain missing file where NT-family kernels report
+``ERROR_FILE_NOT_FOUND`` (2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.groups import ALL_GROUPS
+from repro.analysis.rates import _mean, select_results
+from repro.analysis.silent import DESKTOP_KEYS
+from repro.core.crash_scale import CaseCode
+from repro.core.results import ResultSet
+
+_PASS_ERROR = int(CaseCode.PASS_ERROR)
+
+
+@dataclass
+class HinderingEstimate:
+    """Reference-relative Hindering failure rates for one variant."""
+
+    variant: str
+    reference: str
+    #: per (api, mut_name) -> estimated hindering rate
+    per_mut: dict[tuple[str, str], float] = field(default_factory=dict)
+    mut_groups: dict[tuple[str, str], str] = field(default_factory=dict)
+    #: (mut key, case index, subject code, reference code) examples.
+    examples: list[tuple[tuple[str, str], int, int, int]] = field(
+        default_factory=list
+    )
+
+    def group_rate(self, group: str) -> float:
+        return _mean(
+            [
+                rate
+                for key, rate in self.per_mut.items()
+                if self.mut_groups.get(key) == group
+            ]
+        )
+
+    def group_rates(self) -> dict[str, float]:
+        return {group: self.group_rate(group) for group in ALL_GROUPS}
+
+    def overall_rate(self) -> float:
+        return _mean(list(self.per_mut.values()))
+
+
+def estimate_hindering_rates(
+    results: ResultSet,
+    variants: tuple[str, ...] = DESKTOP_KEYS,
+    reference: str = "win2000",
+    max_examples: int = 50,
+) -> dict[str, HinderingEstimate]:
+    """Compare each variant's per-case error codes against ``reference``.
+
+    A case participates for a (variant, MuT) when *both* the variant and
+    the reference executed it and reported ``PASS_ERROR``; a differing
+    code is a Hindering-failure candidate.  Cases where either side
+    aborted, crashed, or silently passed are already covered by the
+    other CRASH classes and are excluded here.
+    """
+    present = [v for v in variants if v in results.variants()]
+    if reference not in present:
+        raise ValueError(
+            f"reference variant {reference!r} has no results; present: {present}"
+        )
+    subjects = [v for v in present if v != reference]
+    if not subjects:
+        raise ValueError("need at least one non-reference variant")
+
+    reference_rows = {
+        (r.api, r.mut_name): r
+        for r in select_results(results, reference, "both")
+    }
+    estimates = {
+        v: HinderingEstimate(v, reference) for v in present
+    }
+    estimates[reference].per_mut = {}  # reference is 0 by construction
+
+    for variant in subjects:
+        estimate = estimates[variant]
+        for row in select_results(results, variant, "both"):
+            key = (row.api, row.mut_name)
+            ref = reference_rows.get(key)
+            if ref is None:
+                continue
+            comparable = min(len(row.codes), len(ref.codes))
+            disagreements = 0
+            voted = 0
+            for index in range(comparable):
+                if (
+                    row.codes[index] != _PASS_ERROR
+                    or ref.codes[index] != _PASS_ERROR
+                ):
+                    continue
+                voted += 1
+                if row.error_codes[index] != ref.error_codes[index]:
+                    disagreements += 1
+                    if len(estimate.examples) < max_examples:
+                        estimate.examples.append(
+                            (
+                                key,
+                                index,
+                                row.error_codes[index],
+                                ref.error_codes[index],
+                            )
+                        )
+            estimate.per_mut[key] = disagreements / voted if voted else 0.0
+            estimate.mut_groups[key] = row.group
+    return estimates
+
+
+def render_hindering(results: ResultSet, reference: str = "win2000") -> str:
+    """A compact Hindering-failure report (the paper's 'requires manual
+    analysis' class, automated by reference comparison)."""
+    estimates = estimate_hindering_rates(results, reference=reference)
+    lines = [
+        "Hindering failures (wrong error code), estimated against the "
+        f"{reference} error codes",
+        "",
+        f"  {'variant':10s} {'overall':>9s}   worst offenders",
+    ]
+    for variant, estimate in estimates.items():
+        if variant == reference:
+            continue
+        worst = sorted(
+            (
+                (rate, key)
+                for key, rate in estimate.per_mut.items()
+                if rate > 0
+            ),
+            reverse=True,
+        )[:4]
+        detail = ", ".join(f"{key[1]} ({100 * rate:.0f}%)" for rate, key in worst)
+        lines.append(
+            f"  {variant:10s} {100 * estimate.overall_rate():8.2f}%   {detail or '-'}"
+        )
+    lines.append("")
+    lines.append(
+        "  note: a same-code-base family can share a wrong code; like the"
+    )
+    lines.append(
+        "  paper's Silent estimator, common-mode mistakes are invisible."
+    )
+    return "\n".join(lines)

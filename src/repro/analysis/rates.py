@@ -1,0 +1,170 @@
+"""Normalised failure-rate computation (the paper's comparison method).
+
+Per-MuT rates are averaged with uniform weights; MuTs that suffered a
+Catastrophic failure are excluded from the averages (the crash leaves
+their case set incomplete) but counted separately -- exactly the
+discipline of the paper's Table 1 and Table 2.
+
+Windows CE counting: for the 26 C functions with ASCII and UNICODE
+implementations, headline numbers use the UNICODE twin and drop the
+ASCII result (the paper's choice); ``ce_counting="both"`` keeps both,
+yielding the parenthesised counts of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.groups import ALL_GROUPS
+from repro.core.results import MuTResult, ResultSet
+from repro.libc.registration import UNICODE_TWIN_OF
+
+_SYSCALL_APIS = {"win32", "posix"}
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def select_results(
+    results: ResultSet, variant: str, ce_counting: str = "unicode"
+) -> list[MuTResult]:
+    """The variant's results under the chosen CE counting convention.
+
+    :param ce_counting: ``"unicode"`` (headline: UNICODE twins replace
+        their ASCII originals on CE) or ``"both"`` (count ASCII and
+        UNICODE separately, Table 1's parenthesised numbers).
+    """
+    rows = results.for_variant(variant)
+    if variant != "wince" or ce_counting == "both":
+        return rows
+    shadowed = set(UNICODE_TWIN_OF.values())
+    return [
+        r for r in rows if not (r.api == "libc" and r.mut_name in shadowed)
+    ]
+
+
+@dataclass
+class GroupRates:
+    """Failure rates for one functional group on one variant."""
+
+    group: str
+    variant: str
+    muts: int
+    catastrophic_muts: int
+    abort_rate: float
+    restart_rate: float
+    silent_ground_truth_rate: float
+
+    @property
+    def has_catastrophic(self) -> bool:
+        return self.catastrophic_muts > 0
+
+
+@dataclass
+class VariantSummary:
+    """One OS variant's Table 1 row."""
+
+    variant: str
+    name: str
+    syscalls_tested: int
+    syscalls_catastrophic: int
+    syscall_abort_rate: float
+    syscall_restart_rate: float
+    c_functions_tested: int
+    c_functions_catastrophic: int
+    c_abort_rate: float
+    c_restart_rate: float
+    total_cases: int
+    groups: dict[str, GroupRates] = field(default_factory=dict)
+
+    @property
+    def muts_tested(self) -> int:
+        return self.syscalls_tested + self.c_functions_tested
+
+    @property
+    def muts_catastrophic(self) -> int:
+        return self.syscalls_catastrophic + self.c_functions_catastrophic
+
+    @property
+    def overall_abort_rate(self) -> float:
+        """Uniform mean of the twelve group abort rates ("the total
+        failure rates give each group's failure rate an even
+        weighting")."""
+        rates = [g.abort_rate for g in self.groups.values() if g.muts]
+        return _mean(rates)
+
+    @property
+    def overall_restart_rate(self) -> float:
+        rates = [g.restart_rate for g in self.groups.values() if g.muts]
+        return _mean(rates)
+
+
+def _rates_for(rows: list[MuTResult]) -> tuple[float, float, float, int]:
+    """(abort, restart, silent-ground-truth, catastrophic count) with the
+    paper's exclusion of catastrophic MuTs from rate averages."""
+    catastrophic = sum(1 for r in rows if r.catastrophic)
+    clean = [r for r in rows if not r.catastrophic]
+    return (
+        _mean([r.abort_rate for r in clean]),
+        _mean([r.restart_rate for r in clean]),
+        _mean([r.silent_ground_truth_rate() for r in clean]),
+        catastrophic,
+    )
+
+
+def group_rates(
+    results: ResultSet, variant: str, ce_counting: str = "unicode"
+) -> dict[str, GroupRates]:
+    """Per-group normalised rates for one variant."""
+    rows = select_results(results, variant, ce_counting)
+    out: dict[str, GroupRates] = {}
+    for group in ALL_GROUPS:
+        members = [r for r in rows if r.group == group]
+        abort, restart, silent, catastrophic = _rates_for(members)
+        out[group] = GroupRates(
+            group=group,
+            variant=variant,
+            muts=len(members),
+            catastrophic_muts=catastrophic,
+            abort_rate=abort,
+            restart_rate=restart,
+            silent_ground_truth_rate=silent,
+        )
+    return out
+
+
+def summarize(
+    results: ResultSet,
+    variant: str,
+    display_name: str | None = None,
+    ce_counting: str = "unicode",
+) -> VariantSummary:
+    """Build the Table 1 row for one variant."""
+    rows = select_results(results, variant, ce_counting)
+    syscalls = [r for r in rows if r.api in _SYSCALL_APIS]
+    c_functions = [r for r in rows if r.api == "libc"]
+    sys_abort, sys_restart, _, sys_cat = _rates_for(syscalls)
+    c_abort, c_restart, _, c_cat = _rates_for(c_functions)
+    return VariantSummary(
+        variant=variant,
+        name=display_name or variant,
+        syscalls_tested=len(syscalls),
+        syscalls_catastrophic=sys_cat,
+        syscall_abort_rate=sys_abort,
+        syscall_restart_rate=sys_restart,
+        c_functions_tested=len(c_functions),
+        c_functions_catastrophic=c_cat,
+        c_abort_rate=c_abort,
+        c_restart_rate=c_restart,
+        total_cases=results.total_cases(variant),
+        groups=group_rates(results, variant, ce_counting),
+    )
+
+
+def catastrophic_function_count(
+    results: ResultSet, variant: str, api_set: set[str], ce_counting: str
+) -> int:
+    """Count MuTs with Catastrophic failures under a CE counting mode."""
+    rows = select_results(results, variant, ce_counting)
+    return sum(1 for r in rows if r.api in api_set and r.catastrophic)

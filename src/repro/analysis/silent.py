@@ -1,0 +1,123 @@
+"""Silent-failure estimation by voting across Win32 implementations.
+
+"If one presumes that the Win32 API is supposed to be identical in
+exception handling as well as functionality across implementations, if
+one system reports a pass with no error reported for one particular
+test case and another system reports a pass with an error or a failure
+for that identical test case, then we can declare the system that
+reported no error as having a Silent failure." (paper, section 4)
+
+The voting relies on the generator's determinism: every desktop variant
+executes the *same* case sequence for a MuT, so per-case code arrays
+line up index-by-index.  Windows CE is excluded (its API is similar but
+not identical), as is Linux (different API entirely) -- both exactly as
+in the paper.
+
+Because this reproduction also knows the ground truth (each test value
+is annotated ``exceptional``), :func:`estimate_silent_rates` can return
+the ground-truth Silent rate alongside the voting estimate; the
+validation suite checks that the estimator is a sane lower bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.groups import ALL_GROUPS
+from repro.analysis.rates import _mean, select_results
+from repro.core.crash_scale import CaseCode
+from repro.core.results import ResultSet
+
+#: The variants the paper votes across.
+DESKTOP_KEYS: tuple[str, ...] = ("win95", "win98", "win98se", "winnt", "win2000")
+
+_PASS_NO_ERROR = int(CaseCode.PASS_NO_ERROR)
+_DISAGREEING = {
+    int(CaseCode.PASS_ERROR),
+    int(CaseCode.ABORT),
+    int(CaseCode.RESTART),
+    int(CaseCode.CATASTROPHIC),
+}
+
+
+@dataclass
+class SilentEstimate:
+    """Voting-estimated Silent failure rates for one variant."""
+
+    variant: str
+    #: per (api, mut_name) -> estimated silent rate
+    per_mut: dict[tuple[str, str], float] = field(default_factory=dict)
+    #: per (api, mut_name) -> ground-truth silent rate (same MuT set)
+    per_mut_truth: dict[tuple[str, str], float] = field(default_factory=dict)
+    #: groups of the voted MuTs, for aggregation
+    mut_groups: dict[tuple[str, str], str] = field(default_factory=dict)
+
+    def group_rate(self, group: str) -> float:
+        return _mean(
+            [
+                rate
+                for key, rate in self.per_mut.items()
+                if self.mut_groups.get(key) == group
+            ]
+        )
+
+    def group_rates(self) -> dict[str, float]:
+        return {group: self.group_rate(group) for group in ALL_GROUPS}
+
+    def overall_rate(self) -> float:
+        return _mean(list(self.per_mut.values()))
+
+    def overall_truth_rate(self) -> float:
+        return _mean(list(self.per_mut_truth.values()))
+
+
+def estimate_silent_rates(
+    results: ResultSet, variants: tuple[str, ...] = DESKTOP_KEYS
+) -> dict[str, SilentEstimate]:
+    """Run the cross-variant voting estimator.
+
+    Only MuTs present on *all* voted variants participate, and only case
+    indices executed by all of them (a Catastrophic failure truncates a
+    variant's case array, as in the paper).
+    """
+    present = [v for v in variants if v in results.variants()]
+    if len(present) < 2:
+        raise ValueError(
+            f"voting needs at least two variants with results, got {present}"
+        )
+    estimates = {v: SilentEstimate(v) for v in present}
+
+    # MuT keys common to every voted variant.
+    keys_per_variant = [
+        {(r.api, r.mut_name): r for r in select_results(results, v, "both")}
+        for v in present
+    ]
+    common = set(keys_per_variant[0])
+    for keyed in keys_per_variant[1:]:
+        common &= set(keyed)
+
+    for key in sorted(common):
+        rows = [keyed[key] for keyed in keys_per_variant]
+        comparable = min(len(r.codes) for r in rows)
+        silent_counts = [0] * len(rows)
+        executed_counts = [0] * len(rows)
+        for index in range(comparable):
+            codes = [r.codes[index] for r in rows]
+            for position, code in enumerate(codes):
+                if CaseCode(code).counts_as_executed:
+                    executed_counts[position] += 1
+            disagreement = any(code in _DISAGREEING for code in codes)
+            if not disagreement:
+                continue
+            for position, code in enumerate(codes):
+                if code == _PASS_NO_ERROR:
+                    silent_counts[position] += 1
+        for position, variant in enumerate(present):
+            estimate = estimates[variant]
+            executed = executed_counts[position]
+            estimate.per_mut[key] = (
+                silent_counts[position] / executed if executed else 0.0
+            )
+            estimate.per_mut_truth[key] = rows[position].silent_ground_truth_rate()
+            estimate.mut_groups[key] = rows[position].group
+    return estimates

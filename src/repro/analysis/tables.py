@@ -1,0 +1,302 @@
+"""Renderers that regenerate the paper's tables and figures as text.
+
+Each renderer takes a :class:`~repro.core.results.ResultSet` produced by
+a campaign over (a subset of) the seven OS variants and prints the same
+rows/series the paper reports:
+
+* :func:`render_table1` -- robustness failure rates by MuT.
+* :func:`render_table2` -- failure rates by functional category.
+* :func:`render_figure1` -- the same data as comparative bars.
+* :func:`render_table3` -- functions with Catastrophic failures
+  (``*`` = reproducible only inside the harness).
+* :func:`render_figure2` -- Abort + Restart + estimated Silent rates for
+  the desktop Windows variants.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.groups import GROUP_DISPLAY, TABLE2_ORDER
+from repro.analysis.rates import (
+    VariantSummary,
+    catastrophic_function_count,
+    select_results,
+    summarize,
+)
+from repro.analysis.silent import DESKTOP_KEYS, estimate_silent_rates
+from repro.core.results import ResultSet
+
+#: Display names in the paper's reporting order.
+VARIANT_ORDER: tuple[tuple[str, str], ...] = (
+    ("linux", "Linux"),
+    ("win95", "Windows 95"),
+    ("win98", "Windows 98"),
+    ("win98se", "Windows 98 SE"),
+    ("winnt", "Windows NT"),
+    ("win2000", "Windows 2000"),
+    ("wince", "Windows CE"),
+)
+
+
+def _present(results: ResultSet) -> list[tuple[str, str]]:
+    available = set(results.variants())
+    return [(key, name) for key, name in VARIANT_ORDER if key in available]
+
+
+def _pct(rate: float) -> str:
+    return f"{100 * rate:5.2f}%"
+
+
+# ----------------------------------------------------------------------
+# Table 1
+# ----------------------------------------------------------------------
+
+
+def _table1_row(summary: VariantSummary, results: ResultSet) -> list[str]:
+    variant = summary.variant
+    cells = [
+        summary.name,
+        str(summary.syscalls_tested),
+        str(summary.syscalls_catastrophic),
+        _pct(summary.syscall_restart_rate),
+        _pct(summary.syscall_abort_rate),
+        str(summary.c_functions_tested),
+        str(summary.c_functions_catastrophic),
+        _pct(summary.c_restart_rate),
+        _pct(summary.c_abort_rate),
+        str(summary.muts_tested),
+        str(summary.muts_catastrophic),
+        _pct(summary.overall_restart_rate),
+        _pct(summary.overall_abort_rate),
+    ]
+    if variant == "wince":
+        # Parenthesised counts: ASCII and UNICODE counted separately
+        # (the paper's "82 (108)" and "18 (27)").
+        both_rows = select_results(results, variant, "both")
+        c_both = sum(1 for r in both_rows if r.api == "libc")
+        c_cat_both = catastrophic_function_count(
+            results, variant, {"libc"}, "both"
+        )
+        # ASCII-merged function count: a pair counts once if either
+        # implementation crashed.
+        merged = _ce_merged_catastrophic_count(both_rows)
+        cells[5] = f"{summary.c_functions_tested} ({c_both})"
+        cells[6] = f"{merged} ({merged + _ce_unicode_catastrophic_count(both_rows)})"
+        cells[9] = f"{summary.muts_tested} ({summary.syscalls_tested + c_both})"
+    return cells
+
+
+def _ce_merged_catastrophic_count(both_rows) -> int:
+    """C functions with Catastrophic failures, ASCII and UNICODE merged."""
+    from repro.libc.registration import UNICODE_TWIN_OF
+
+    names = set()
+    for row in both_rows:
+        if row.api != "libc" or not row.catastrophic:
+            continue
+        names.add(UNICODE_TWIN_OF.get(row.mut_name, row.mut_name))
+    return len(names)
+
+
+def _ce_unicode_catastrophic_count(both_rows) -> int:
+    """Crashing UNICODE twins (the extra units in the "(27)" count)."""
+    from repro.libc.registration import UNICODE_TWIN_OF
+
+    return sum(
+        1
+        for row in both_rows
+        if row.api == "libc"
+        and row.catastrophic
+        and row.mut_name in UNICODE_TWIN_OF
+    )
+
+
+def render_table1(results: ResultSet) -> str:
+    """Table 1: Robustness failure rates by Module under Test."""
+    headers = [
+        "OS",
+        "SysCalls",
+        "SysCat",
+        "SysRestart",
+        "SysAbort",
+        "CFuncs",
+        "CCat",
+        "CRestart",
+        "CAbort",
+        "MuTs",
+        "MuTsCat",
+        "Restart",
+        "Abort",
+    ]
+    rows = [headers]
+    for key, name in _present(results):
+        summary = summarize(results, key, display_name=name)
+        rows.append(_table1_row(summary, results))
+    return _format_table(
+        rows, title="Table 1. Robustness failure rates by Module under Test"
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 2 / Figure 1
+# ----------------------------------------------------------------------
+
+
+def render_table2(results: ResultSet) -> str:
+    """Table 2: overall failure rates by functional category.
+
+    Catastrophic-failure MuTs are excluded from the rates; groups
+    containing any are marked with ``*``, as in the paper.
+    """
+    present = _present(results)
+    summaries = {
+        key: summarize(results, key, display_name=name) for key, name in present
+    }
+    rows = [["Group"] + [name for _, name in present]]
+    for group in TABLE2_ORDER:
+        row = [GROUP_DISPLAY[group]]
+        for key, _ in present:
+            rates = summaries[key].groups[group]
+            if rates.muts == 0:
+                row.append("N/A")
+                continue
+            marker = "*" if rates.has_catastrophic else ""
+            row.append(f"{marker}{100 * (rates.abort_rate + rates.restart_rate):.1f}%")
+        rows.append(row)
+    return _format_table(
+        rows,
+        title=(
+            "Table 2. Overall robustness failure rates by functional "
+            "category (* = group contains Catastrophic failures)"
+        ),
+    )
+
+
+def render_figure1(results: ResultSet, width: int = 40) -> str:
+    """Figure 1: comparative failure rates by category, as text bars."""
+    present = _present(results)
+    summaries = {
+        key: summarize(results, key, display_name=name) for key, name in present
+    }
+    lines = [
+        "Figure 1. Comparative Windows and Linux robustness failure "
+        "rates by functional category",
+        "",
+    ]
+    for group in TABLE2_ORDER:
+        lines.append(GROUP_DISPLAY[group])
+        for key, name in present:
+            rates = summaries[key].groups[group]
+            if rates.muts == 0:
+                lines.append(f"  {name:14s} | (no data)")
+                continue
+            rate = rates.abort_rate + rates.restart_rate
+            bar = "#" * round(rate * width)
+            lines.append(f"  {name:14s} |{bar:<{width}s}| {100 * rate:5.1f}%")
+        lines.append("")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Table 3
+# ----------------------------------------------------------------------
+
+
+def render_table3(results: ResultSet) -> str:
+    """Table 3: functions that exhibited Catastrophic failures by OS and
+    function group (``*`` = needed accumulated state / not reproducible
+    as a single test)."""
+    present = [
+        (key, name)
+        for key, name in _present(results)
+        if key not in ("linux", "winnt", "win2000")
+    ]
+    lines = [
+        "Table 3. Functions exhibiting Catastrophic failures "
+        "(* = only inside the test harness)",
+        "",
+    ]
+    by_group: dict[str, dict[str, list[str]]] = {}
+    starred: set[str] = set()
+    for key, _ in present:
+        for row in select_results(results, key, "both"):
+            if not row.catastrophic:
+                continue
+            by_group.setdefault(row.group, {}).setdefault(
+                row.mut_name, []
+            ).append(key)
+            if row.interference_crash:
+                starred.add(row.mut_name)
+    if not by_group:
+        lines.append("(no Catastrophic failures observed)")
+        return "\n".join(lines)
+    key_order = [key for key, _ in present]
+    header = f"  {'function':32s}" + "".join(f"{key:>9s}" for key in key_order)
+    for group in TABLE2_ORDER:
+        if group not in by_group:
+            continue
+        lines.append(group)
+        lines.append(header)
+        for name in sorted(by_group[group]):
+            label = ("*" if name in starred else "") + name
+            marks = [
+                "X" if key in by_group[group][name] else ""
+                for key in key_order
+            ]
+            lines.append(
+                f"  {label:32s}" + "".join(f"{mark:>9s}" for mark in marks)
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Figure 2
+# ----------------------------------------------------------------------
+
+
+def render_figure2(results: ResultSet) -> str:
+    """Figure 2: Abort + Restart + estimated Silent failure rates for the
+    desktop Windows variants (voting estimator)."""
+    present = [key for key in DESKTOP_KEYS if key in results.variants()]
+    estimates = estimate_silent_rates(results, tuple(present))
+    names = dict(VARIANT_ORDER)
+    summaries = {key: summarize(results, key) for key in present}
+    lines = [
+        "Figure 2. Abort, Restart, and estimated Silent failure rates "
+        "for Windows desktop operating systems",
+        "",
+        f"  {'group':18s}" + "".join(f"{names[k]:>15s}" for k in present),
+    ]
+    for group in TABLE2_ORDER:
+        cells = []
+        for key in present:
+            rates = summaries[key].groups[group]
+            silent = estimates[key].group_rate(group)
+            total = rates.abort_rate + rates.restart_rate + silent
+            cells.append(f"{100 * total:6.1f}%({100 * silent:4.1f})")
+        lines.append(f"  {GROUP_DISPLAY[group]:18s}" + "".join(f"{c:>15s}" for c in cells))
+    lines.append("")
+    lines.append("  cell = abort+restart+estimated-silent% (silent component)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Formatting
+# ----------------------------------------------------------------------
+
+
+def _format_table(rows: list[list[str]], title: str = "") -> str:
+    widths = [
+        max(len(row[column]) for row in rows) for column in range(len(rows[0]))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    for index, row in enumerate(rows):
+        lines.append(
+            " | ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append(separator)
+    return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro [--cap N] [--variants win98,winnt,...]
+                    [--tables table1,table2,figure1,table3,figure2]
+
+With no arguments this runs the full seven-variant campaign at the
+``BALLISTA_CAP`` cap (default 300) and prints every table and figure the
+paper reports.  ``--cap 5000`` reproduces the paper's full scale (slow).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import ALL_VARIANTS, Campaign, CampaignConfig
+from repro.analysis.hindering import render_hindering
+from repro.analysis.tables import (
+    render_figure1,
+    render_figure2,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.core.campaign import default_cap
+
+RENDERERS = {
+    "table1": render_table1,
+    "table2": render_table2,
+    "figure1": render_figure1,
+    "table3": render_table3,
+    "figure2": render_figure2,
+    "hindering": render_hindering,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce 'Robustness Testing of the Microsoft Win32 API' "
+            "(DSN 2000): run the Ballista campaign over the simulated OS "
+            "variants and print the paper's tables and figures."
+        ),
+    )
+    parser.add_argument(
+        "--cap",
+        type=int,
+        default=default_cap(),
+        help="test cases per MuT (paper: 5000; default: BALLISTA_CAP or 300)",
+    )
+    parser.add_argument(
+        "--variants",
+        default=",".join(p.key for p in ALL_VARIANTS),
+        help="comma-separated variant keys (default: all seven)",
+    )
+    parser.add_argument(
+        "--tables",
+        default="table1,table2,figure1,table3,figure2,hindering",
+        help="comma-separated outputs to print",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="PATH",
+        help="save the campaign result set to a JSON file",
+    )
+    parser.add_argument(
+        "--load",
+        metavar="PATH",
+        help="load a previously saved result set instead of running",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        help="also write table1.csv / table2.csv into DIR",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress output"
+    )
+    args = parser.parse_args(argv)
+
+    wanted = [name.strip() for name in args.tables.split(",") if name.strip()]
+    unknown = [name for name in wanted if name not in RENDERERS]
+    if unknown:
+        parser.error(f"unknown tables: {unknown}; choose from {sorted(RENDERERS)}")
+
+    by_key = {p.key: p for p in ALL_VARIANTS}
+    keys = [key.strip() for key in args.variants.split(",") if key.strip()]
+    missing = [key for key in keys if key not in by_key]
+    if missing:
+        parser.error(f"unknown variants: {missing}; choose from {sorted(by_key)}")
+    variants = [by_key[key] for key in keys]
+
+    if "figure2" in wanted or "hindering" in wanted:
+        desktop = {"win95", "win98", "win98se", "winnt", "win2000"}
+        if len(desktop & set(keys)) < 2:
+            parser.error(
+                "figure2 (Silent voting) needs at least two desktop "
+                "Windows variants"
+            )
+
+    def progress(variant: str, mut: str, position: int, total: int) -> None:
+        if args.quiet:
+            return
+        sys.stderr.write(f"\r[{variant:8s}] {position + 1:3d}/{total} {mut:36s}")
+        sys.stderr.flush()
+
+    if args.load:
+        from repro.core.results_io import load_results
+
+        results = load_results(args.load)
+    else:
+        started = time.monotonic()
+        campaign = Campaign(variants, config=CampaignConfig(cap=args.cap))
+        results = campaign.run(progress=progress)
+        if not args.quiet:
+            sys.stderr.write("\r" + " " * 72 + "\r")
+            elapsed = time.monotonic() - started
+            sys.stderr.write(
+                f"campaign: {results.total_cases()} test cases across "
+                f"{len(variants)} variants in {elapsed:.1f}s\n\n"
+            )
+    if args.save:
+        from repro.core.results_io import save_results
+
+        save_results(results, args.save)
+    if args.csv:
+        from repro.analysis.export import write_csv
+
+        for path in write_csv(results, args.csv):
+            if not args.quiet:
+                sys.stderr.write(f"wrote {path}\n")
+
+    for name in wanted:
+        print(RENDERERS[name](results))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,191 @@
+"""Campaign orchestration: run every MuT on every requested OS variant.
+
+A campaign reproduces the paper's measurement procedure:
+
+* per variant, one simulated machine is booted and persists across test
+  cases (so shared-state corruption can accumulate);
+* each MuT's test-case sequence is generated deterministically (identical
+  across variants) and each case runs in a fresh process;
+* a Catastrophic failure interrupts testing of that MuT -- the machine is
+  rebooted and the campaign moves to the next MuT, and the MuT is
+  excluded from rate averages, exactly as in the paper;
+* results land in a :class:`~repro.core.results.ResultSet`.
+
+The per-MuT cap defaults to the ``BALLISTA_CAP`` environment variable
+(300 when unset) so test/bench runs stay fast; set ``BALLISTA_CAP=5000``
+for the paper-scale campaign.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.core.crash_scale import CaseCode
+from repro.core.executor import CaseOutcome, Executor
+from repro.core.generator import CaseGenerator, TestCase
+from repro.core.mut import MuT, MuTRegistry, default_registry
+from repro.core.results import ResultSet
+from repro.core.types import TypeRegistry, default_types
+from repro.sim.machine import Machine
+from repro.sim.personality import Personality
+
+#: Detail-string marker for crashes caused by accumulated corruption.
+_INTERFERENCE_MARKER = "accumulated corruption"
+
+
+def default_cap() -> int:
+    """Per-MuT case cap: ``BALLISTA_CAP`` env var, default 300."""
+    return int(os.environ.get("BALLISTA_CAP", "300"))
+
+
+@dataclass
+class CampaignConfig:
+    """Tunable knobs for a campaign.
+
+    :param cap: per-MuT test-case cap (paper: 5000).
+    :param watchdog_ticks: per-call hang budget in virtual ms.
+    :param machine_per_case: ablation switch -- boot a fresh machine for
+        *every* case (full isolation).  Interference crashes disappear in
+        this mode, demonstrating why the paper could not reproduce the
+        ``*`` crashes outside the harness.
+    :param count_thrown_exceptions_as_abort: ablation switch for the
+        paper's "more than fair" policy of assuming all thrown Win32
+        exceptions are recoverable error reports.  When True, *every*
+        thrown exception counts as an Abort.
+    """
+
+    cap: int = field(default_factory=default_cap)
+    watchdog_ticks: int = 30_000
+    machine_per_case: bool = False
+    count_thrown_exceptions_as_abort: bool = False
+
+
+ProgressFn = Callable[[str, str, int, int], None]
+
+
+class Campaign:
+    """Runs MuTs across OS variants and collects results."""
+
+    def __init__(
+        self,
+        variants: Sequence[Personality],
+        registry: MuTRegistry | None = None,
+        types: TypeRegistry | None = None,
+        config: CampaignConfig | None = None,
+        muts: Iterable[str] | None = None,
+    ) -> None:
+        """
+        :param variants: OS personalities to test.
+        :param muts: optional subset of bare MuT names to run.
+        """
+        self.variants = list(variants)
+        self.registry = registry or default_registry()
+        self.types = types or default_types()
+        self.config = config or CampaignConfig()
+        self.generator = CaseGenerator(self.types, cap=self.config.cap)
+        self._mut_filter = set(muts) if muts is not None else None
+
+    # ------------------------------------------------------------------
+
+    def muts_for(self, personality: Personality) -> list[MuT]:
+        muts = self.registry.for_variant(personality)
+        if self._mut_filter is not None:
+            muts = [m for m in muts if m.name in self._mut_filter]
+        return muts
+
+    def run(self, progress: ProgressFn | None = None) -> ResultSet:
+        """Execute the full campaign and return the result set."""
+        results = ResultSet()
+        for personality in self.variants:
+            self._run_variant(personality, results, progress)
+        return results
+
+    # ------------------------------------------------------------------
+
+    def _run_variant(
+        self,
+        personality: Personality,
+        results: ResultSet,
+        progress: ProgressFn | None,
+    ) -> None:
+        machine = Machine(personality, watchdog_ticks=self.config.watchdog_ticks)
+        executor = Executor(machine, self.generator)
+        muts = self.muts_for(personality)
+        for position, mut in enumerate(muts):
+            if progress is not None:
+                progress(personality.key, mut.name, position, len(muts))
+            result = results.new_result(
+                personality.key, mut.name, mut.api, mut.group
+            )
+            result.planned_cases = self.generator.case_count(mut)
+            result.capped = self.generator.is_capped(mut)
+            for case in self.generator.cases(mut):
+                if self.config.machine_per_case:
+                    machine = Machine(
+                        personality, watchdog_ticks=self.config.watchdog_ticks
+                    )
+                    executor = Executor(machine, self.generator)
+                outcome = executor.run_case(mut, case)
+                outcome = self._apply_policies(outcome)
+                result.record(
+                    case.index,
+                    outcome.code,
+                    outcome.exceptional_input,
+                    outcome.detail,
+                    outcome.value_names,
+                    error_code=outcome.error_code,
+                )
+                if outcome.code is CaseCode.CATASTROPHIC:
+                    # The crash interrupts testing of this function: the
+                    # case set is incomplete and the machine reboots.
+                    if _INTERFERENCE_MARKER in outcome.detail:
+                        result.interference_crash = True
+                    machine.reboot()
+                    break
+
+    def _apply_policies(self, outcome: CaseOutcome) -> CaseOutcome:
+        if (
+            self.config.count_thrown_exceptions_as_abort
+            and outcome.code is CaseCode.PASS_ERROR
+            and outcome.detail.startswith("thrown ")
+        ):
+            return CaseOutcome(
+                CaseCode.ABORT,
+                outcome.detail,
+                outcome.exceptional_input,
+                outcome.value_names,
+                error_code=outcome.error_code,
+            )
+        return outcome
+
+
+# ----------------------------------------------------------------------
+# Single-case replay
+# ----------------------------------------------------------------------
+
+
+def run_single_case(
+    personality: Personality,
+    mut_name: str,
+    value_names: Sequence[str],
+    registry: MuTRegistry | None = None,
+    types: TypeRegistry | None = None,
+) -> CaseOutcome:
+    """Replay one test case on a freshly booted machine -- the analogue
+    of the paper's "brief single-test program representing a single test
+    case" (e.g. Listing 1).  Interference (``*``) crashes do not
+    reproduce here; immediate Catastrophic crashes do.
+    """
+    registry = registry or default_registry()
+    types = types or default_types()
+    mut = registry.find(mut_name) if ":" not in mut_name else registry.get(
+        *mut_name.split(":", 1)
+    )
+    if not mut.available_on(personality):
+        raise ValueError(f"{mut_name} is not available on {personality.name}")
+    machine = Machine(personality)
+    generator = CaseGenerator(types)
+    case = TestCase(mut.name, 0, tuple(value_names))
+    return Executor(machine, generator).run_case(mut, case)

@@ -1,0 +1,52 @@
+"""Classification of a single call's behaviour onto the CRASH scale.
+
+The executor invokes the MuT inside a catch-everything boundary that
+mirrors the paper's instrumentation:
+
+* POSIX personalities: signals (SIGSEGV, SIGBUS, SIGFPE, SIGABRT)
+  indicate Abort failures.
+* Win32 personalities: the harness replaces the top-level exception
+  filter, recording unrecoverable structured exceptions as Abort
+  failures, while *thrown* integer/string exceptions are -- "to be more
+  than fair" -- assumed to be valid, recoverable error reports.
+* A watchdog turns never-returning calls into Restart failures.
+* A kernel-mode fault or shared-state corruption limit takes down the
+  simulated machine: Catastrophic.
+"""
+
+from __future__ import annotations
+
+from repro.core.crash_scale import CaseCode
+from repro.sim.errors import (
+    HardwareFault,
+    SimFault,
+    SoftwareAbort,
+    SystemCrash,
+    TaskHang,
+    ThrownException,
+)
+
+
+def classify_exception(exc: SimFault, api_family: str) -> tuple[CaseCode, str]:
+    """Map a fault raised during the call under test to a case code and
+    a human-readable detail (signal or exception name).
+
+    :param api_family: ``"win32"`` or ``"posix"`` -- which naming scheme
+        the detail string should use.
+    """
+    if isinstance(exc, SystemCrash):
+        return CaseCode.CATASTROPHIC, f"system crash: {exc.reason}"
+    if isinstance(exc, TaskHang):
+        return CaseCode.RESTART, "task hang (watchdog)"
+    if isinstance(exc, ThrownException):
+        if exc.recoverable:
+            # Treated as a legitimate error report, not a failure.
+            return CaseCode.PASS_ERROR, f"thrown {exc.value!r}"
+        return CaseCode.ABORT, f"unrecoverable exception {exc.value!r}"
+    if isinstance(exc, (HardwareFault, SoftwareAbort)):
+        detail = (
+            exc.win32_exception if api_family == "win32" else exc.posix_signal
+        )
+        return CaseCode.ABORT, detail
+    # Unknown SimFault subclasses are still abnormal terminations.
+    return CaseCode.ABORT, type(exc).__name__

@@ -1,0 +1,121 @@
+"""Execution of individual test cases in isolated simulated processes.
+
+"A single Ballista test case involves selecting a set of test values,
+executing constructors associated with those test values to initialize
+essential system state, executing a call to the MuT with the selected
+test values in its parameter list, measuring whether the MuT behaves in
+a robust manner in that situation, and cleaning up any lingering system
+state in preparation for the next test." (paper, section 2)
+
+Isolation granularity matters: every test case gets a **fresh process**,
+but the **machine persists** across the cases of a campaign (just as the
+paper's physical test machines did).  That is what lets shared-state
+corruption accumulate and reproduce the paper's ``*`` crashes that
+"could not be reproduced outside of the test harness".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.classify import classify_exception
+from repro.core.context import TestContext
+from repro.core.crash_scale import CaseCode
+from repro.core.generator import CaseGenerator, TestCase
+from repro.core.mut import MuT
+from repro.sim.errors import MachineCrashed, SimFault, SystemCrash
+from repro.sim.machine import Machine
+
+
+@dataclass(frozen=True)
+class CaseOutcome:
+    """The classified result of one executed test case."""
+
+    code: CaseCode
+    detail: str
+    exceptional_input: bool
+    value_names: tuple[str, ...]
+    #: errno / GetLastError value reported by the call (0 when none) --
+    #: the raw material for Hindering-failure estimation.
+    error_code: int = 0
+
+
+class Executor:
+    """Runs test cases for one OS variant on one simulated machine."""
+
+    def __init__(self, machine: Machine, generator: CaseGenerator) -> None:
+        self.machine = machine
+        self.generator = generator
+
+    def run_case(self, mut: MuT, case: TestCase) -> CaseOutcome:
+        """Execute one test case in a fresh process and classify it.
+
+        Raises :class:`MachineCrashed` if called while the machine is
+        down (the campaign must reboot first).
+        """
+        self.machine.check_alive()
+        process = self.machine.spawn_process()
+        ctx = TestContext(self.machine, process)
+        values = self.generator.resolve(mut, case)
+        exceptional = any(v.exceptional for v in values)
+
+        # -- constructors ------------------------------------------------
+        from repro.sim.filesystem import FileSystemError
+
+        args: list = []
+        try:
+            for value in values:
+                args.append(value.construct(ctx))
+        except SystemCrash as exc:
+            return CaseOutcome(
+                CaseCode.CATASTROPHIC, str(exc), exceptional, case.value_names
+            )
+        except (SimFault, FileSystemError) as exc:
+            self._teardown(ctx, values, args)
+            return CaseOutcome(
+                CaseCode.SETUP_SKIP,
+                f"constructor failed: {exc}",
+                exceptional,
+                case.value_names,
+            )
+
+        # -- the call under test ------------------------------------------
+        ctx.reset_error_state()
+        self.machine.clock.begin_call(mut.name)
+        api_family = self.machine.personality.api
+        try:
+            mut.call(ctx, tuple(args))
+        except SimFault as exc:
+            code, detail = classify_exception(exc, api_family)
+            outcome = CaseOutcome(code, detail, exceptional, case.value_names)
+        else:
+            code = (
+                CaseCode.PASS_ERROR
+                if ctx.error_reported()
+                else CaseCode.PASS_NO_ERROR
+            )
+            reported = process.errno or process.last_error
+            outcome = CaseOutcome(
+                code, "", exceptional, case.value_names, error_code=reported
+            )
+
+        # -- destructors ---------------------------------------------------
+        if not self.machine.crashed:
+            self._teardown(ctx, values, args)
+        return outcome
+
+    def _teardown(self, ctx: TestContext, values: list, args: list) -> None:
+        """Run per-value cleanups and release the process, swallowing
+        faults (a broken destructor must not poison classification --
+        but lingering state is exactly what the shared machine keeps)."""
+        for value, arg in zip(values, args):
+            if value.cleanup is not None:
+                try:
+                    value.cleanup(ctx, arg)
+                except (SimFault, MachineCrashed):
+                    pass
+        ctx.run_cleanups()
+        try:
+            ctx.process.terminate()
+        except (SimFault, MachineCrashed):
+            pass

@@ -1,0 +1,160 @@
+"""Modules under Test (MuTs) and their registry.
+
+A :class:`MuT` names one function or system call, the functional group it
+reports under, and its typed parameter signature.  The registry is
+populated by the API packages at import time
+(:func:`default_registry` imports them), mirroring how the paper selected
+237 Win32 calls and 183..185 POSIX/Linux calls.
+
+Availability rules reproduce the paper's platform matrix:
+
+* ``api="win32"`` MuTs run on Win32 personalities only, ``api="posix"``
+  on POSIX personalities only.
+* ``api="libc"`` MuTs (the 94 shared C functions) run everywhere, under
+  the variant's C-runtime flavour, with *identical* test cases.
+* per-variant gaps come from ``Personality.missing_functions`` (the 10
+  calls absent from Windows 95) and the explicit ``platforms`` set
+  (the Windows CE subset, and CE's UNICODE twins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.context import TestContext
+    from repro.sim.personality import Personality
+
+CallImpl = Callable[["TestContext", tuple], Any]
+
+
+@dataclass(frozen=True)
+class MuT:
+    """One Module under Test.
+
+    :param name: API-level function name (``"GetThreadContext"``).
+    :param api: ``"win32"``, ``"posix"`` or ``"libc"``.
+    :param group: functional group used for normalised comparison
+        (one of the twelve groups in :mod:`repro.analysis.groups`).
+    :param param_types: parameter type names, in call order.
+    :param call: invokes the implementation: ``call(ctx, args)``.
+    :param platforms: restrict to these variant keys (``None`` = every
+        variant whose API matches).
+    :param exclude_platforms: drop these variant keys (used for the
+        Windows CE subset).
+    :param charset: ``"unicode"`` for CE wide-character twins, else
+        ``"ascii"``.
+    """
+
+    name: str
+    api: str
+    group: str
+    param_types: tuple[str, ...]
+    call: CallImpl
+    platforms: frozenset[str] | None = None
+    exclude_platforms: frozenset[str] = field(default_factory=frozenset)
+    charset: str = "ascii"
+
+    def available_on(self, personality: "Personality") -> bool:
+        if self.api != "libc" and self.api != personality.api:
+            return False
+        if self.platforms is not None and personality.key not in self.platforms:
+            return False
+        if personality.key in self.exclude_platforms:
+            return False
+        return personality.supports(self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        sig = ", ".join(self.param_types)
+        return f"<MuT {self.api}:{self.name}({sig}) [{self.group}]>"
+
+
+def facade_call(api: str, method: str) -> CallImpl:
+    """Standard implementation adapter: look the method up on the
+    api's facade and apply the constructed arguments."""
+
+    def call(ctx: "TestContext", args: tuple) -> Any:
+        return getattr(ctx.facade(api), method)(*args)
+
+    return call
+
+
+class MuTRegistry:
+    """All Modules under Test known to the harness."""
+
+    def __init__(self) -> None:
+        self._muts: dict[tuple[str, str], MuT] = {}
+
+    def register(self, mut: MuT) -> MuT:
+        key = (mut.api, mut.name)
+        if key in self._muts:
+            raise ValueError(f"MuT {mut.api}:{mut.name} already registered")
+        self._muts[key] = mut
+        return mut
+
+    def add(
+        self,
+        name: str,
+        api: str,
+        group: str,
+        param_types: list[str] | tuple[str, ...],
+        method: str | None = None,
+        call: CallImpl | None = None,
+        **kwargs: Any,
+    ) -> MuT:
+        """Convenience registration; by default the implementation is the
+        facade method with the same name."""
+        if call is None:
+            call = facade_call(api, method or name)
+        return self.register(
+            MuT(name, api, group, tuple(param_types), call, **kwargs)
+        )
+
+    def get(self, api: str, name: str) -> MuT:
+        try:
+            return self._muts[(api, name)]
+        except KeyError:
+            raise KeyError(f"unknown MuT {api}:{name}") from None
+
+    def find(self, name: str) -> MuT:
+        """Look a MuT up by bare name across APIs (unique names only)."""
+        hits = [m for m in self._muts.values() if m.name == name]
+        if not hits:
+            raise KeyError(f"unknown MuT {name!r}")
+        if len(hits) > 1:
+            apis = ", ".join(m.api for m in hits)
+            raise KeyError(f"MuT name {name!r} is ambiguous across APIs: {apis}")
+        return hits[0]
+
+    def all(self) -> list[MuT]:
+        return [self._muts[k] for k in sorted(self._muts)]
+
+    def for_variant(self, personality: "Personality") -> list[MuT]:
+        """Every MuT tested on the given OS variant, in stable order."""
+        return [m for m in self.all() if m.available_on(personality)]
+
+    def by_api(self, api: str) -> list[MuT]:
+        return [m for m in self.all() if m.api == api]
+
+    def __len__(self) -> int:
+        return len(self._muts)
+
+
+_default_registry: MuTRegistry | None = None
+
+
+def default_registry() -> MuTRegistry:
+    """The process-wide registry with every API package's MuTs loaded."""
+    global _default_registry
+    if _default_registry is None:
+        registry = MuTRegistry()
+        from repro.libc import register as register_libc
+        from repro.posix import register as register_posix
+        from repro.win32 import register as register_win32
+
+        register_libc(registry)
+        register_win32(registry)
+        register_posix(registry)
+        _default_registry = registry
+    return _default_registry

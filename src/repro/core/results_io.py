@@ -1,0 +1,111 @@
+"""Result-set persistence.
+
+Campaigns are cheap at CI caps but expensive at the paper's 5000-case
+scale, so result sets can be saved to a compact JSON document and
+reloaded for analysis without re-running anything:
+
+    save_results(results, "campaign.json")
+    results = load_results("campaign.json")
+
+The format is versioned and self-describing; per-case code/exceptional
+arrays are hex-encoded to keep files small (one byte per test case).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.core.crash_scale import CaseCode
+from repro.core.results import ResultSet
+
+FORMAT_VERSION = 1
+
+
+class ResultFormatError(ValueError):
+    """The document is not a recognisable result-set dump."""
+
+
+def results_to_dict(results: ResultSet) -> dict:
+    """Serialise a ResultSet to plain JSON-compatible data."""
+    rows = []
+    for row in results:
+        rows.append(
+            {
+                "variant": row.variant,
+                "mut": row.mut_name,
+                "api": row.api,
+                "group": row.group,
+                "codes": bytes(row.codes).hex(),
+                "exceptional": bytes(row.exceptional).hex(),
+                "error_codes": list(row.error_codes),
+                "details": {str(k): v for k, v in row.details.items()},
+                "failing_cases": {
+                    str(k): list(v) for k, v in row.failing_cases.items()
+                },
+                "interference": row.interference_crash,
+                "planned": row.planned_cases,
+                "capped": row.capped,
+            }
+        )
+    return {
+        "format": "ballista-results",
+        "version": FORMAT_VERSION,
+        "results": rows,
+    }
+
+
+def results_from_dict(document: dict) -> ResultSet:
+    """Rebuild a ResultSet from :func:`results_to_dict` output."""
+    if document.get("format") != "ballista-results":
+        raise ResultFormatError("not a ballista-results document")
+    if document.get("version") != FORMAT_VERSION:
+        raise ResultFormatError(
+            f"unsupported version {document.get('version')!r}"
+        )
+    results = ResultSet()
+    for row in document.get("results", []):
+        try:
+            result = results.new_result(
+                row["variant"], row["mut"], row["api"], row["group"]
+            )
+            codes = bytes.fromhex(row["codes"])
+            exceptional = bytes.fromhex(row["exceptional"])
+            error_codes = row.get("error_codes") or [0] * len(codes)
+            details = {int(k): v for k, v in row.get("details", {}).items()}
+            failing = {
+                int(k): tuple(v)
+                for k, v in row.get("failing_cases", {}).items()
+            }
+            for index, (code, exc) in enumerate(zip(codes, exceptional)):
+                result.record(
+                    index,
+                    CaseCode(code),
+                    bool(exc),
+                    detail=details.get(index, ""),
+                    value_names=failing.get(index),
+                    error_code=error_codes[index],
+                )
+            result.interference_crash = bool(row.get("interference"))
+            result.planned_cases = int(row.get("planned", len(codes)))
+            result.capped = bool(row.get("capped"))
+        except (KeyError, ValueError, TypeError) as exc:
+            raise ResultFormatError(f"malformed result row: {exc}") from exc
+    return results
+
+
+def save_results(results: ResultSet, path: str | pathlib.Path) -> None:
+    """Write a ResultSet to ``path`` as JSON."""
+    document = results_to_dict(results)
+    pathlib.Path(path).write_text(
+        json.dumps(document, separators=(",", ":")), encoding="utf-8"
+    )
+
+
+def load_results(path: str | pathlib.Path) -> ResultSet:
+    """Read a ResultSet saved by :func:`save_results`."""
+    try:
+        document = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ResultFormatError(f"not valid JSON: {exc}") from exc
+    return results_from_dict(document)

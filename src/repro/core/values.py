@@ -1,0 +1,581 @@
+"""Builtin parameter types and test-value pools.
+
+These pools are the reproduction of Ballista's data-type test dictionary
+("3,430 distinct test values incorporated into 37 data types ... for
+POSIX, and 1,073 distinct test values incorporated into 43 data types
+... for Windows" at the paper's scale; this library ships a smaller pool
+per type, which the sampling-cap ablation shows is sufficient to
+preserve the rate *shape*).
+
+Pools deliberately mix exceptional and valid cases "to avoid successful
+exception handling on one parameter from masking the potential effects
+of unsuccessful exception handling on some other parameter value".
+
+Naming convention: every value has a stable ALL_CAPS name, so any test
+case can be replayed from its name tuple (see
+:func:`repro.core.campaign.run_single_case`).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.context import TestContext
+from repro.core.types import TypeRegistry
+from repro.sim.memory import SHARED_BASE
+
+#: Size of the simulated CONTEXT structure (GetThreadContext output).
+CONTEXT_SIZE = 64
+#: Size of the simulated struct stat / BY_HANDLE_FILE_INFORMATION.
+STAT_SIZE = 64
+
+INFINITE = 0xFFFF_FFFF
+
+
+def install(types: TypeRegistry) -> None:
+    """Register every builtin type and pool into ``types``."""
+    _install_memory_types(types)
+    _install_scalar_types(types)
+    _install_string_types(types)
+    _install_stdio_types(types)
+    _install_time_types(types)
+    _install_posix_types(types)
+    _install_win32_types(types)
+
+
+# ----------------------------------------------------------------------
+# Raw memory
+# ----------------------------------------------------------------------
+
+
+def _install_memory_types(types: TypeRegistry) -> None:
+    buffer = types.new_type("buffer")
+    buffer.add("PTR_NULL", lambda ctx: 0, exceptional=True)
+    buffer.add("PTR_ONE", lambda ctx: 1, exceptional=True)
+    buffer.add("PTR_NEG_ONE", lambda ctx: 0xFFFF_FFFF, exceptional=True)
+    buffer.add("PTR_FREED", lambda ctx: ctx.freed_buffer(64), exceptional=True)
+    buffer.add(
+        "PTR_READONLY",
+        lambda ctx: ctx.readonly_buffer(b"readonly-page" + b"\x00" * 51),
+        exceptional=True,
+    )
+    buffer.add("PTR_ODD", lambda ctx: ctx.buffer(64) + 1)
+    buffer.add("PTR_SMALL16", lambda ctx: ctx.buffer(16))
+    buffer.add("PTR_PAGE", lambda ctx: ctx.buffer(4096))
+    buffer.add(
+        "PTR_SHARED_ARENA",
+        # Inside the 9x/CE shared arena; unmapped wilderness elsewhere.
+        lambda ctx: SHARED_BASE + 0x800,
+        exceptional=True,
+    )
+    buffer.add(
+        "PTR_CODE",
+        lambda ctx: ctx.process.code_region.start + 16,
+        exceptional=True,
+    )
+
+    sizes = types.new_type("size")
+    sizes.add("SIZE_ZERO", lambda ctx: 0)
+    sizes.add("SIZE_ONE", lambda ctx: 1)
+    sizes.add("SIZE_16", lambda ctx: 16)
+    sizes.add("SIZE_PAGE", lambda ctx: 4096)
+    sizes.add("SIZE_64K", lambda ctx: 0x1_0000)
+    sizes.add("SIZE_INT_MAX", lambda ctx: 0x7FFF_FFFF, exceptional=True)
+    sizes.add("SIZE_MAX", lambda ctx: 0xFFFF_FFFF, exceptional=True)
+
+
+# ----------------------------------------------------------------------
+# Scalars
+# ----------------------------------------------------------------------
+
+
+def _install_scalar_types(types: TypeRegistry) -> None:
+    ints = types.new_type("int_val")
+    ints.add("INT_ZERO", lambda ctx: 0)
+    ints.add("INT_ONE", lambda ctx: 1)
+    ints.add("INT_NEG_ONE", lambda ctx: -1)
+    ints.add("INT_64", lambda ctx: 64)
+    ints.add("INT_MAX", lambda ctx: 0x7FFF_FFFF, exceptional=True)
+    ints.add("INT_MIN", lambda ctx: -0x8000_0000, exceptional=True)
+
+    chars = types.new_type("char_int")
+    chars.add("CHR_A", lambda ctx: ord("A"))
+    chars.add("CHR_ZERO", lambda ctx: 0)
+    chars.add("CHR_EOF", lambda ctx: -1)
+    chars.add("CHR_255", lambda ctx: 255)
+    chars.add("CHR_256", lambda ctx: 256, exceptional=True)
+    chars.add("CHR_HUGE", lambda ctx: 1_000_000, exceptional=True)
+    chars.add("CHR_NEG", lambda ctx: -100, exceptional=True)
+    chars.add("CHR_INT_MIN", lambda ctx: -0x8000_0000, exceptional=True)
+
+    doubles = types.new_type("double_val")
+    doubles.add("DBL_ZERO", lambda ctx: 0.0)
+    doubles.add("DBL_ONE", lambda ctx: 1.0)
+    doubles.add("DBL_NEG_ONE", lambda ctx: -1.0)
+    doubles.add("DBL_PI", lambda ctx: math.pi)
+    doubles.add("DBL_HUGE", lambda ctx: 1e308)
+    doubles.add("DBL_NEG_HUGE", lambda ctx: -1e308)
+    doubles.add("DBL_TINY", lambda ctx: 1e-308)
+    doubles.add("DBL_INF", lambda ctx: math.inf, exceptional=True)
+    doubles.add("DBL_NEG_INF", lambda ctx: -math.inf, exceptional=True)
+    doubles.add("DBL_NAN", lambda ctx: math.nan, exceptional=True)
+
+    offsets = types.new_type("long_offset")
+    offsets.add("OFF_ZERO", lambda ctx: 0)
+    offsets.add("OFF_ONE", lambda ctx: 1)
+    offsets.add("OFF_SMALL", lambda ctx: 100)
+    offsets.add("OFF_NEG", lambda ctx: -1)
+    offsets.add("OFF_NEG_BIG", lambda ctx: -100_000)
+    offsets.add("OFF_LONG_MAX", lambda ctx: 0x7FFF_FFFF)
+    offsets.add("OFF_LONG_MIN", lambda ctx: -0x8000_0000, exceptional=True)
+
+    whence = types.new_type("seek_whence")
+    whence.add("WH_SET", lambda ctx: 0)
+    whence.add("WH_CUR", lambda ctx: 1)
+    whence.add("WH_END", lambda ctx: 2)
+    whence.add("WH_BAD3", lambda ctx: 3, exceptional=True)
+    whence.add("WH_NEG", lambda ctx: -1, exceptional=True)
+
+    booleans = types.new_type("bool_val")
+    booleans.add("B_FALSE", lambda ctx: 0)
+    booleans.add("B_TRUE", lambda ctx: 1)
+    booleans.add("B_TWO", lambda ctx: 2)
+
+
+# ----------------------------------------------------------------------
+# Strings
+# ----------------------------------------------------------------------
+
+
+def _install_string_types(types: TypeRegistry) -> None:
+    cstring = types.new_type("cstring", parent="buffer")
+    cstring.add("STR_EMPTY", lambda ctx: ctx.cstring(b""))
+    cstring.add("STR_SHORT", lambda ctx: ctx.cstring(b"ballista"))
+    cstring.add("STR_LONG", lambda ctx: ctx.cstring(b"x" * 2048))
+    # A perfectly valid string whose terminator is the final byte of a
+    # 15-byte mapping: byte-wise scanners are fine, aligned word-at-a-
+    # time scanners read the word at offset 12..15 and fault on byte 15.
+    cstring.add(
+        "STR_EDGE", lambda ctx: ctx.cstring(b"edge-string-xx", round_to=1)
+    )
+    cstring.add(
+        "STR_UNTERMINATED",
+        lambda ctx: ctx.cstring(b"Z" * 64, terminated=False),
+        exceptional=True,
+    )
+    cstring.add("STR_SPECIAL", lambda ctx: ctx.cstring(b"%s\t\n\x7f"))
+
+    fmt = types.new_type("format_string", parent="cstring")
+    fmt.add("FMT_PLAIN", lambda ctx: ctx.cstring(b"plain text"))
+    fmt.add("FMT_D", lambda ctx: ctx.cstring(b"value=%d"))
+    fmt.add("FMT_S", lambda ctx: ctx.cstring(b"%s"), exceptional=True)
+    fmt.add("FMT_N", lambda ctx: ctx.cstring(b"%n"), exceptional=True)
+    fmt.add("FMT_WIDTH", lambda ctx: ctx.cstring(b"%999999d"), exceptional=True)
+
+    filename = types.new_type("filename", parent="cstring")
+    filename.add(
+        "FN_EXISTING", lambda ctx: ctx.cstring(ctx.existing_file().encode())
+    )
+    filename.add("FN_MISSING", lambda ctx: ctx.cstring(ctx.missing_path().encode()))
+    filename.add("FN_DIR", lambda ctx: ctx.cstring(b"/tmp"), exceptional=True)
+    filename.add(
+        "FN_DEEP_MISSING",
+        lambda ctx: ctx.cstring(b"/no/such/dir/at/all/file.dat"),
+        exceptional=True,
+    )
+    filename.add(
+        "FN_LONG", lambda ctx: ctx.cstring(b"/tmp/" + b"a" * 300), exceptional=True
+    )
+
+    wstring = types.new_type("wstring", parent="buffer")
+    wstring.add("WSTR_EMPTY", lambda ctx: _wstr(ctx, ""))
+    wstring.add("WSTR_SHORT", lambda ctx: _wstr(ctx, "ballista"))
+    wstring.add("WSTR_LONG", lambda ctx: _wstr(ctx, "x" * 1024))
+    wstring.add(
+        "WSTR_UNTERMINATED",
+        lambda ctx: ctx.mem.alloc(("Z" * 32).encode("utf-16-le"), tag="wstr"),
+        exceptional=True,
+    )
+
+
+def _wstr(ctx: TestContext, text: str) -> int:
+    data = text.encode("utf-16-le") + b"\x00\x00"
+    pad = (4 - len(data) % 4) % 4  # allocator word granularity
+    return ctx.mem.alloc(data, tag="wstr", pad=pad)
+
+
+# ----------------------------------------------------------------------
+# C stdio
+# ----------------------------------------------------------------------
+
+
+def _install_stdio_types(types: TypeRegistry) -> None:
+    mode = types.new_type("fopen_mode", parent="cstring")
+    mode.add("MODE_R", lambda ctx: ctx.cstring(b"r"))
+    mode.add("MODE_W", lambda ctx: ctx.cstring(b"w"))
+    mode.add("MODE_A", lambda ctx: ctx.cstring(b"a"))
+    mode.add("MODE_RB", lambda ctx: ctx.cstring(b"rb"))
+    mode.add("MODE_RPLUS", lambda ctx: ctx.cstring(b"r+"))
+    mode.add("MODE_BAD", lambda ctx: ctx.cstring(b"z"), exceptional=True)
+
+    fileptr = types.new_type("fileptr")
+    fileptr.add("FILE_NULL", lambda ctx: 0, exceptional=True)
+    fileptr.add("FILE_NEG_ONE", lambda ctx: 0xFFFF_FFFF, exceptional=True)
+    fileptr.add(
+        # "a string buffer typecast to a file pointer" -- the single bad
+        # parameter behind seventeen Windows CE catastrophic failures.
+        "FILE_WILD_BUFFER",
+        lambda ctx: ctx.cstring(b"this is not a FILE structure at all....."),
+        exceptional=True,
+    )
+    fileptr.add(
+        "FILE_UNMAPPED", lambda ctx: ctx.freed_buffer(64), exceptional=True
+    )
+    fileptr.add(
+        "FILE_CLOSED",
+        lambda ctx: ctx.crt.make_closed_stream(),
+        exceptional=True,
+    )
+    fileptr.add(
+        "FILE_OPEN_READ",
+        lambda ctx: ctx.crt.open_stream_for_test(ctx.existing_file(), "r"),
+    )
+    fileptr.add(
+        "FILE_OPEN_WRITE",
+        lambda ctx: ctx.crt.open_stream_for_test(
+            f"/tmp/bt_w_{ctx.process.pid}.dat", "w"
+        ),
+    )
+    fileptr.add("FILE_STDIN", lambda ctx: ctx.crt.stdin)
+    fileptr.add("FILE_STDOUT", lambda ctx: ctx.crt.stdout)
+
+
+# ----------------------------------------------------------------------
+# C time
+# ----------------------------------------------------------------------
+
+
+def _install_time_types(types: TypeRegistry) -> None:
+    tval = types.new_type("time_t_val")
+    tval.add("TIME_ZERO", lambda ctx: 0)
+    tval.add("TIME_NOW", lambda ctx: ctx.machine.clock.unix_seconds())
+    tval.add("TIME_NEG_ONE", lambda ctx: -1, exceptional=True)
+    tval.add("TIME_MAX", lambda ctx: 0x7FFF_FFFF)
+
+    tptr = types.new_type("time_t_ptr", parent="buffer")
+    tptr.add("TIMEP_VALID", lambda ctx: _time_buffer(ctx))
+
+    tm = types.new_type("tm_ptr", parent="buffer")
+    tm.add("TM_VALID", lambda ctx: _tm_buffer(ctx))
+    tm.add("TM_GARBAGE", lambda ctx: ctx.buffer(44, b"\x7f" * 44), exceptional=True)
+
+
+def _time_buffer(ctx: TestContext) -> int:
+    address = ctx.buffer(8)
+    ctx.mem.write_u32(address, ctx.machine.clock.unix_seconds())
+    return address
+
+
+def _tm_buffer(ctx: TestContext) -> int:
+    """A struct tm for 2000-06-25 12:00:00 (nine i32 fields)."""
+    address = ctx.buffer(44)
+    fields = [0, 0, 12, 25, 5, 100, 0, 176, 0]  # sec..tm_isdst
+    for index, value in enumerate(fields):
+        ctx.mem.write_i32(address + 4 * index, value)
+    return address
+
+
+# ----------------------------------------------------------------------
+# POSIX
+# ----------------------------------------------------------------------
+
+
+def _install_posix_types(types: TypeRegistry) -> None:
+    fd = types.new_type("fd")
+    fd.add("FD_OPEN_READ", lambda ctx: _open_fd(ctx, readable=True))
+    fd.add("FD_OPEN_WRITE", lambda ctx: _open_fd(ctx, readable=False))
+    fd.add("FD_STDIN", lambda ctx: 0)
+    fd.add("FD_STDOUT", lambda ctx: 1)
+    fd.add("FD_STDERR", lambda ctx: 2)
+    fd.add("FD_CLOSED", lambda ctx: _closed_fd(ctx), exceptional=True)
+    fd.add("FD_NEG_ONE", lambda ctx: -1, exceptional=True)
+    fd.add("FD_HUGE", lambda ctx: 9999, exceptional=True)
+    fd.add("FD_PIPE_READ", lambda ctx: _pipe_fd(ctx))
+
+    flags = types.new_type("open_flags")
+    flags.add("OF_RDONLY", lambda ctx: 0)
+    flags.add("OF_WRONLY", lambda ctx: 1)
+    flags.add("OF_RDWR", lambda ctx: 2)
+    flags.add("OF_CREAT_RDWR", lambda ctx: 0o100 | 2)
+    flags.add("OF_CREAT_EXCL", lambda ctx: 0o100 | 0o200 | 2)
+    flags.add("OF_TRUNC", lambda ctx: 0o1000 | 2)
+    flags.add("OF_BOGUS", lambda ctx: 0x7F00_0000, exceptional=True)
+
+    mode = types.new_type("mode_t")
+    mode.add("MODE_644", lambda ctx: 0o644)
+    mode.add("MODE_777", lambda ctx: 0o777)
+    mode.add("MODE_000", lambda ctx: 0)
+    mode.add("MODE_7777", lambda ctx: 0o7777)
+    mode.add("MODE_BAD", lambda ctx: 0xFFFF, exceptional=True)
+
+    signal = types.new_type("signal_num")
+    signal.add("SIG_ZERO", lambda ctx: 0)
+    signal.add("SIG_TERM", lambda ctx: 15)
+    signal.add("SIG_USR1", lambda ctx: 10)
+    signal.add("SIG_NEG", lambda ctx: -1, exceptional=True)
+    signal.add("SIG_HUGE", lambda ctx: 999, exceptional=True)
+
+    pid = types.new_type("pid_val")
+    pid.add("PID_SELF", lambda ctx: ctx.process.pid)
+    pid.add("PID_ONE", lambda ctx: 1)
+    pid.add("PID_ZERO", lambda ctx: 0)
+    pid.add("PID_NEG", lambda ctx: -1)
+    pid.add("PID_BOGUS", lambda ctx: 999_999, exceptional=True)
+
+    stat_buf = types.new_type("stat_buf", parent="buffer")
+    stat_buf.add("STATBUF_VALID", lambda ctx: ctx.buffer(STAT_SIZE))
+
+
+def _open_fd(ctx: TestContext, readable: bool) -> int:
+    path = ctx.existing_file()
+    open_file = ctx.machine.fs.open(path, readable=readable, writable=not readable)
+    fd = ctx.process.alloc_fd(open_file, lowest=3)
+    return fd
+
+
+def _closed_fd(ctx: TestContext) -> int:
+    fd = _open_fd(ctx, readable=True)
+    ctx.process.close_fd(fd)
+    return fd
+
+
+def _pipe_fd(ctx: TestContext) -> int:
+    from repro.sim.filesystem import Pipe
+    from repro.sim.process import PipeEnd
+
+    pipe = Pipe()
+    pipe.write(b"pipe data")
+    return ctx.process.alloc_fd(PipeEnd(pipe, readable=True), lowest=3)
+
+
+# ----------------------------------------------------------------------
+# Win32
+# ----------------------------------------------------------------------
+
+
+def _install_win32_types(types: TypeRegistry) -> None:
+    from repro.sim.objects import (
+        CURRENT_PROCESS_HANDLE,
+        CURRENT_THREAD_HANDLE,
+        EventObject,
+    )
+
+    handle = types.new_type("handle")
+    handle.add("H_NULL", lambda ctx: 0, exceptional=True)
+    handle.add("H_INVALID", lambda ctx: 0xFFFF_FFFF, exceptional=True)
+    handle.add("H_SMALL_ODD", lambda ctx: 3, exceptional=True)
+    handle.add("H_GARBAGE", lambda ctx: 0x0BAD_F00D, exceptional=True)
+    handle.add("H_CLOSED", lambda ctx: _closed_handle(ctx), exceptional=True)
+    handle.add("H_EVENT", lambda ctx: _event_handle(ctx, signaled=True))
+
+    file_handle = types.new_type("file_handle", parent="handle")
+    file_handle.add("FH_READ", lambda ctx: _file_handle(ctx, readable=True))
+    file_handle.add("FH_WRITE", lambda ctx: _file_handle(ctx, readable=False))
+
+    thread_handle = types.new_type("thread_handle", parent="handle")
+    thread_handle.add("TH_CURRENT", lambda ctx: CURRENT_THREAD_HANDLE)
+    thread_handle.add("TH_REAL", lambda ctx: _thread_handle(ctx))
+
+    process_handle = types.new_type("process_handle", parent="handle")
+    process_handle.add("PH_CURRENT", lambda ctx: CURRENT_PROCESS_HANDLE)
+    process_handle.add("PH_REAL", lambda ctx: _process_handle(ctx))
+
+    waitable = types.new_type("waitable_handle", parent="handle")
+    waitable.add("WH_EVENT_SET", lambda ctx: _event_handle(ctx, signaled=True))
+    waitable.add("WH_EVENT_UNSET", lambda ctx: _event_handle(ctx, signaled=False))
+    waitable.add("WH_MUTEX", lambda ctx: _mutex_handle(ctx))
+
+    heap = types.new_type("heap_handle", parent="handle")
+    heap.add("HH_VALID", lambda ctx: _heap_handle(ctx))
+
+    dword = types.new_type("dword")
+    dword.add("DW_ZERO", lambda ctx: 0)
+    dword.add("DW_ONE", lambda ctx: 1)
+    dword.add("DW_16", lambda ctx: 16)
+    dword.add("DW_PAGE", lambda ctx: 4096)
+    dword.add("DW_64K", lambda ctx: 0x1_0000)
+    dword.add("DW_HALF", lambda ctx: 0x7FFF_FFFF, exceptional=True)
+    dword.add("DW_MAX", lambda ctx: 0xFFFF_FFFF, exceptional=True)
+
+    timeout = types.new_type("timeout_ms")
+    timeout.add("TO_ZERO", lambda ctx: 0)
+    timeout.add("TO_SHORT", lambda ctx: 50)
+    timeout.add("TO_LONG", lambda ctx: 10_000)
+    timeout.add("TO_INFINITE", lambda ctx: INFINITE)
+
+    sa = types.new_type("security_attributes")
+    sa.add("SA_NULL", lambda ctx: 0)
+    sa.add("SA_VALID", lambda ctx: _security_attributes(ctx))
+    sa.add("SA_WILD", lambda ctx: ctx.freed_buffer(12), exceptional=True)
+    sa.add("SA_NEG", lambda ctx: 0xFFFF_FFFF, exceptional=True)
+
+    context_ptr = types.new_type("context_ptr", parent="buffer")
+    context_ptr.add("CTX_VALID", lambda ctx: ctx.buffer(CONTEXT_SIZE))
+
+    alloc_type = types.new_type("alloc_type")
+    alloc_type.add("AT_COMMIT", lambda ctx: 0x1000)
+    alloc_type.add("AT_RESERVE", lambda ctx: 0x2000)
+    alloc_type.add("AT_BOTH", lambda ctx: 0x3000)
+    alloc_type.add("AT_ZERO", lambda ctx: 0, exceptional=True)
+    alloc_type.add("AT_BOGUS", lambda ctx: 0xFF, exceptional=True)
+
+    protect = types.new_type("page_protect")
+    protect.add("PP_RW", lambda ctx: 0x04)
+    protect.add("PP_RO", lambda ctx: 0x02)
+    protect.add("PP_RWX", lambda ctx: 0x40)
+    protect.add("PP_NOACCESS", lambda ctx: 0x01)
+    protect.add("PP_ZERO", lambda ctx: 0, exceptional=True)
+    protect.add("PP_BOGUS", lambda ctx: 0x12345, exceptional=True)
+
+    handle_array = types.new_type("handle_array", parent="buffer")
+    handle_array.add("HA_VALID_2", lambda ctx: _handle_array(ctx, bad=False))
+    handle_array.add(
+        "HA_WITH_BAD", lambda ctx: _handle_array(ctx, bad=True), exceptional=True
+    )
+
+    wait_count = types.new_type("wait_count")
+    wait_count.add("WC_ZERO", lambda ctx: 0, exceptional=True)
+    wait_count.add("WC_ONE", lambda ctx: 1)
+    wait_count.add("WC_TWO", lambda ctx: 2)
+    wait_count.add("WC_HUGE", lambda ctx: 1000, exceptional=True)
+
+    file_attrs = types.new_type("file_attrs")
+    file_attrs.add("FA_NORMAL", lambda ctx: 0x80)
+    file_attrs.add("FA_READONLY", lambda ctx: 0x01)
+    file_attrs.add("FA_HIDDEN", lambda ctx: 0x02)
+    file_attrs.add("FA_ZERO", lambda ctx: 0)
+    file_attrs.add("FA_BOGUS", lambda ctx: 0xFFFF_FFFF, exceptional=True)
+
+    access = types.new_type("access_mode")
+    access.add("AM_READ", lambda ctx: 0x8000_0000)
+    access.add("AM_WRITE", lambda ctx: 0x4000_0000)
+    access.add("AM_RW", lambda ctx: 0xC000_0000)
+    access.add("AM_ZERO", lambda ctx: 0)
+    access.add("AM_BOGUS", lambda ctx: 0x1234, exceptional=True)
+
+    share = types.new_type("share_mode")
+    share.add("SM_ZERO", lambda ctx: 0)
+    share.add("SM_READ", lambda ctx: 1)
+    share.add("SM_RW", lambda ctx: 3)
+    share.add("SM_BOGUS", lambda ctx: 0xFF, exceptional=True)
+
+    disposition = types.new_type("creation_disp")
+    disposition.add("CD_CREATE_NEW", lambda ctx: 1)
+    disposition.add("CD_CREATE_ALWAYS", lambda ctx: 2)
+    disposition.add("CD_OPEN_EXISTING", lambda ctx: 3)
+    disposition.add("CD_OPEN_ALWAYS", lambda ctx: 4)
+    disposition.add("CD_ZERO", lambda ctx: 0, exceptional=True)
+    disposition.add("CD_BOGUS", lambda ctx: 99, exceptional=True)
+
+    filetime = types.new_type("filetime_ptr", parent="buffer")
+    filetime.add("FT_VALID", lambda ctx: _filetime_buffer(ctx))
+    filetime.add("FT_GARBAGE", lambda ctx: _garbage_filetime(ctx), exceptional=True)
+
+    systemtime = types.new_type("systemtime_ptr", parent="buffer")
+    systemtime.add("ST_VALID", lambda ctx: ctx.buffer(16))
+
+    env_name = types.new_type("env_name", parent="cstring")
+    env_name.add("EN_EXISTING", lambda ctx: ctx.cstring(b"PATH"))
+    env_name.add("EN_MISSING", lambda ctx: ctx.cstring(b"BALLISTA_NOPE"))
+    env_name.add("EN_EQUALS", lambda ctx: ctx.cstring(b"A=B"), exceptional=True)
+
+    interlocked_ptr = types.new_type("interlocked_ptr", parent="buffer")
+    interlocked_ptr.add("IL_VALID", lambda ctx: _aligned_long(ctx))
+
+    std_id = types.new_type("std_handle_id")
+    std_id.add("STD_INPUT", lambda ctx: 0xFFFF_FFF6)  # (DWORD)-10
+    std_id.add("STD_OUTPUT", lambda ctx: 0xFFFF_FFF5)
+    std_id.add("STD_ERROR", lambda ctx: 0xFFFF_FFF4)
+    std_id.add("STD_ZERO", lambda ctx: 0, exceptional=True)
+    std_id.add("STD_BOGUS", lambda ctx: 77, exceptional=True)
+
+
+# -- Win32 constructors -------------------------------------------------
+
+
+def _event_handle(ctx: TestContext, signaled: bool) -> int:
+    from repro.sim.objects import EventObject
+
+    return ctx.process.handles.insert(
+        EventObject(manual_reset=True, initial_state=signaled)
+    )
+
+
+def _mutex_handle(ctx: TestContext) -> int:
+    from repro.sim.objects import MutexObject
+
+    return ctx.process.handles.insert(MutexObject(initially_owned=False))
+
+
+def _closed_handle(ctx: TestContext) -> int:
+    handle = _event_handle(ctx, signaled=False)
+    ctx.process.handles.close(handle)
+    return handle
+
+
+def _file_handle(ctx: TestContext, readable: bool) -> int:
+    from repro.sim.objects import FileObject
+
+    path = ctx.existing_file()
+    open_file = ctx.machine.fs.open(path, readable=readable, writable=not readable)
+    return ctx.process.handles.insert(FileObject(open_file, name=path))
+
+
+def _thread_handle(ctx: TestContext) -> int:
+    thread = ctx.process.spawn_thread(suspended=True)
+    return ctx.process.handles.insert(thread)
+
+
+def _process_handle(ctx: TestContext) -> int:
+    return ctx.process.handles.insert(ctx.process.kernel_object)
+
+
+def _heap_handle(ctx: TestContext) -> int:
+    from repro.sim.objects import HeapObject
+
+    return ctx.process.handles.insert(HeapObject(0x1000, 0x10000))
+
+
+def _security_attributes(ctx: TestContext) -> int:
+    address = ctx.buffer(12)
+    ctx.mem.write_u32(address, 12)  # nLength
+    return address
+
+
+def _handle_array(ctx: TestContext, bad: bool) -> int:
+    first = _event_handle(ctx, signaled=True)
+    second = 0xDEAD if bad else _event_handle(ctx, signaled=True)
+    address = ctx.buffer(8)
+    ctx.mem.write_u32(address, first)
+    ctx.mem.write_u32(address + 4, second)
+    return address
+
+
+def _filetime_buffer(ctx: TestContext) -> int:
+    address = ctx.buffer(8)
+    # FILETIME: 100ns intervals since 1601-01-01.
+    unix = ctx.machine.clock.unix_seconds()
+    ctx.mem.write_u64(address, (unix + 11_644_473_600) * 10_000_000)
+    return address
+
+
+def _garbage_filetime(ctx: TestContext) -> int:
+    address = ctx.buffer(8)
+    ctx.mem.write_u64(address, 0xFFFF_FFFF_FFFF_FFFF)
+    return address
+
+
+def _aligned_long(ctx: TestContext) -> int:
+    address = ctx.buffer(8)
+    ctx.mem.write_i32(address, 41)
+    return address

@@ -1,0 +1,17 @@
+"""Simulated C libraries (the 94 shared C-library MuTs).
+
+"Of these calls, 94 were C library functions that were tested with
+identical test cases in both APIs" (paper, section 1).  The same
+implementations run on every OS variant; the variant's
+:class:`~repro.libc.flavors.FlavorTraits` (glibc for Linux, MSVCRT for
+desktop Windows, the CE runtime for Windows CE) decide the
+robustness-relevant behaviour: parameter validation, ctype table bounds
+checking, word-at-a-time string scanning, heap header validation, and
+whether a wild ``FILE*`` dereference lands in shared system memory.
+"""
+
+from repro.libc.flavors import FLAVORS, FlavorTraits
+from repro.libc.registration import register
+from repro.libc.runtime import CRuntime
+
+__all__ = ["CRuntime", "FLAVORS", "FlavorTraits", "register"]

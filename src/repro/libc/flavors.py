@@ -1,0 +1,117 @@
+"""C-runtime flavour traits.
+
+Each trait names a concrete, mechanistic behaviour difference between
+the C runtimes the paper exercised.  The traits were chosen to encode
+*documented or architecturally grounded* differences -- never failure
+rates -- and the benchmark suite shows that the paper's group-level rate
+orderings emerge from them:
+
+* glibc (RedHat 6.0 / gcc 2.91.66) indexes its ``__ctype_b`` tables
+  without bounds checks, scans strings byte-wise, trusts ``FILE*``
+  arguments and heap block headers, and reports math domain errors via
+  ``errno`` rather than floating point traps.
+* MSVCRT (VC++ 6.0) bounds-checks ctype lookups, rejects ``NULL`` and
+  unregistered ``FILE*`` streams, validates heap headers, uses
+  word-at-a-time string scanning, and raises structured exceptions for
+  NaN operands.
+* The Windows CE runtime behaves like a leaner MSVCRT but runs in a
+  single shared address space, so a wild ``FILE*``'s buffer pointer is a
+  write into system state (the paper's seventeen-function catastrophic
+  finding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FlavorTraits:
+    """Robustness-relevant behaviours of one C runtime."""
+
+    name: str
+    #: ``NULL`` FILE* arguments are detected and reported (EINVAL).
+    null_file_checked: bool
+    #: FILE* arguments must be registered streams; unregistered (but
+    #: readable) pointers are rejected instead of dereferenced.
+    stream_table_validated: bool
+    #: ctype table lookups are bounds-checked (out-of-range ``c`` is
+    #: classified "not in class" instead of indexing off the table).
+    ctype_bounds_checked: bool
+    #: String scanning reads 4 bytes at a time (can fault past a
+    #: terminator that ends flush against an unmapped page).
+    string_word_reads: bool
+    #: ``free``/``realloc`` validate the heap block header and report
+    #: EINVAL on mismatch instead of trusting it.
+    heap_headers_validated: bool
+    #: glibc's consistency check: an *invalid but readable* heap pointer
+    #: triggers a deliberate abort() rather than silent corruption.
+    heap_abort_on_corruption: bool
+    #: NaN operands raise a floating-point structured exception instead
+    #: of propagating quietly.
+    math_traps_nan: bool
+    #: asctime/strftime-style field validation: out-of-range struct tm
+    #: fields produce an error return instead of indexing name tables.
+    tm_fields_validated: bool
+    #: ``time()`` is backed by a probing kernel path (EFAULT on a bad
+    #: out-pointer) rather than a user-mode store.
+    time_via_syscall: bool
+    #: ``fgets`` with a non-positive size returns an error instead of
+    #: treating the size as unbounded.
+    fgets_size_checked: bool
+    #: A wild FILE*'s garbage buffer pointer is a write into *shared
+    #: system memory* (single-address-space CE) rather than a private
+    #: fault.
+    wild_file_hits_system: bool
+
+
+GLIBC = FlavorTraits(
+    name="glibc",
+    null_file_checked=False,
+    stream_table_validated=False,
+    ctype_bounds_checked=False,
+    string_word_reads=False,
+    heap_headers_validated=False,
+    heap_abort_on_corruption=True,
+    math_traps_nan=False,
+    tm_fields_validated=True,
+    time_via_syscall=True,
+    fgets_size_checked=False,
+    wild_file_hits_system=False,
+)
+
+MSVCRT = FlavorTraits(
+    name="msvcrt",
+    null_file_checked=True,
+    stream_table_validated=True,
+    ctype_bounds_checked=True,
+    string_word_reads=True,
+    heap_headers_validated=True,
+    heap_abort_on_corruption=False,
+    math_traps_nan=True,
+    tm_fields_validated=False,
+    time_via_syscall=False,
+    fgets_size_checked=True,
+    wild_file_hits_system=False,
+)
+
+CE_CRT = FlavorTraits(
+    name="ce-crt",
+    null_file_checked=False,
+    stream_table_validated=False,
+    ctype_bounds_checked=True,
+    string_word_reads=True,
+    heap_headers_validated=True,
+    heap_abort_on_corruption=False,
+    math_traps_nan=False,
+    tm_fields_validated=False,
+    time_via_syscall=False,
+    fgets_size_checked=False,
+    wild_file_hits_system=True,
+)
+
+FLAVORS: dict[str, FlavorTraits] = {
+    "glibc": GLIBC,
+    "msvcrt": MSVCRT,
+    "ce-crt": CE_CRT,
+}

@@ -1,0 +1,168 @@
+"""The "C math" group.
+
+Flavour mechanics: 1999-era MSVCRT ran with the x87 invalid-operation
+exception unmasked for NaN operands, raising
+``EXCEPTION_FLT_INVALID_OPERATION`` (an Abort in Ballista terms), while
+glibc masks FP exceptions and reports domain/range errors through
+``errno`` -- which is why the paper measured near-zero Linux Abort rates
+in this group but non-trivial Windows ones.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.libc import errno_codes as E
+from repro.sim.errors import ArithmeticFault
+
+_HUGE_VAL = 1.79769313486231571e308
+
+
+class MathMixin:
+    """math.h implementations (22 functions)."""
+
+    def _math_enter(self, func: str, *operands: float) -> None:
+        """Flavour-dependent NaN handling on function entry."""
+        if self.traits.math_traps_nan and any(
+            isinstance(x, float) and math.isnan(x) for x in operands
+        ):
+            raise ArithmeticFault(
+                func, win32_exception="EXCEPTION_FLT_INVALID_OPERATION"
+            )
+
+    def _domain_error(self) -> float:
+        self._set_errno(E.EDOM)
+        return math.nan
+
+    def _range_error(self, sign: float = 1.0) -> float:
+        self._set_errno(E.ERANGE)
+        return math.copysign(_HUGE_VAL, sign)
+
+    def _unary(self, func: str, x: float, compute) -> float:
+        x = float(x)
+        self._math_enter(func, x)
+        if math.isnan(x):
+            return math.nan
+        try:
+            return compute(x)
+        except ValueError:
+            return self._domain_error()
+        except OverflowError:
+            return self._range_error(x)
+
+    # -- trigonometric ----------------------------------------------------
+
+    def sin(self, x: float) -> float:
+        return self._unary("sin", x, lambda v: math.sin(v) if math.isfinite(v) else self._domain_error())
+
+    def cos(self, x: float) -> float:
+        return self._unary("cos", x, lambda v: math.cos(v) if math.isfinite(v) else self._domain_error())
+
+    def tan(self, x: float) -> float:
+        return self._unary("tan", x, lambda v: math.tan(v) if math.isfinite(v) else self._domain_error())
+
+    def asin(self, x: float) -> float:
+        return self._unary("asin", x, math.asin)
+
+    def acos(self, x: float) -> float:
+        return self._unary("acos", x, math.acos)
+
+    def atan(self, x: float) -> float:
+        return self._unary("atan", x, math.atan)
+
+    def atan2(self, y: float, x: float) -> float:
+        y, x = float(y), float(x)
+        self._math_enter("atan2", y, x)
+        if math.isnan(y) or math.isnan(x):
+            return math.nan
+        return math.atan2(y, x)
+
+    # -- hyperbolic ---------------------------------------------------------
+
+    def sinh(self, x: float) -> float:
+        return self._unary("sinh", x, math.sinh)
+
+    def cosh(self, x: float) -> float:
+        return self._unary("cosh", x, math.cosh)
+
+    def tanh(self, x: float) -> float:
+        return self._unary("tanh", x, math.tanh)
+
+    # -- exponential / logarithmic -------------------------------------------
+
+    def exp(self, x: float) -> float:
+        return self._unary("exp", x, math.exp)
+
+    def log(self, x: float) -> float:
+        return self._unary(
+            "log", x, lambda v: math.log(v) if v > 0 else self._domain_error()
+        )
+
+    def log10(self, x: float) -> float:
+        return self._unary(
+            "log10", x, lambda v: math.log10(v) if v > 0 else self._domain_error()
+        )
+
+    def pow(self, x: float, y: float) -> float:
+        x, y = float(x), float(y)
+        self._math_enter("pow", x, y)
+        if math.isnan(x) or math.isnan(y):
+            return math.nan
+        try:
+            result = math.pow(x, y)
+        except ValueError:
+            return self._domain_error()
+        except OverflowError:
+            return self._range_error(x)
+        if math.isinf(result) and math.isfinite(x) and math.isfinite(y):
+            return self._range_error(result)
+        return result
+
+    def sqrt(self, x: float) -> float:
+        return self._unary("sqrt", x, math.sqrt)
+
+    def ldexp(self, x: float, exp: int) -> float:
+        x = float(x)
+        self._math_enter("ldexp", x)
+        if math.isnan(x):
+            return math.nan
+        try:
+            return math.ldexp(x, max(min(int(exp), 1 << 16), -(1 << 16)))
+        except OverflowError:
+            return self._range_error(x)
+
+    # -- rounding / remainder --------------------------------------------------
+
+    def ceil(self, x: float) -> float:
+        return self._unary(
+            "ceil", x, lambda v: float(math.ceil(v)) if math.isfinite(v) else v
+        )
+
+    def floor(self, x: float) -> float:
+        return self._unary(
+            "floor", x, lambda v: float(math.floor(v)) if math.isfinite(v) else v
+        )
+
+    def fabs(self, x: float) -> float:
+        return self._unary("fabs", x, math.fabs)
+
+    def fmod(self, x: float, y: float) -> float:
+        x, y = float(x), float(y)
+        self._math_enter("fmod", x, y)
+        if math.isnan(x) or math.isnan(y):
+            return math.nan
+        if y == 0 or math.isinf(x):
+            return self._domain_error()
+        return math.fmod(x, y)
+
+    # -- integer -------------------------------------------------------------
+
+    def abs(self, value: int) -> int:
+        # abs(INT_MIN) is undefined behaviour: every real CRT returns
+        # INT_MIN unchanged (two's complement negation overflows).
+        if value == -0x8000_0000:
+            return value
+        return -value if value < 0 else value
+
+    def labs(self, value: int) -> int:
+        return self.abs(value)

@@ -1,0 +1,148 @@
+"""The "C memory management" group: malloc family and mem* operations.
+
+Heap blocks carry an 8-byte header (magic + size) directly before the
+user pointer, so ``free``/``realloc`` genuinely *read memory* to decide
+whether a pointer is a live block:
+
+* glibc flavour: trusts the header; an invalid-but-readable pointer
+  trips its consistency check and calls ``abort()`` (SIGABRT -> Abort
+  failure), an unmapped pointer faults (SIGSEGV).  This is why the paper
+  measured Linux *higher* in this group.
+* MSVCRT/CE flavours: validate the header and report the error
+  (``EINVAL``) instead.
+"""
+
+from __future__ import annotations
+
+from repro.libc import errno_codes as E
+from repro.sim.errors import SoftwareAbort
+from repro.sim.memory import Protection
+
+HEAP_MAGIC = 0xBA11_A57A
+#: Largest single allocation the simulated heap will grant.
+MAX_ALLOC = 0x40_0000
+
+_U32 = 0xFFFF_FFFF
+
+
+class MemoryMixin:
+    """malloc/free/realloc/calloc and the mem* block operations."""
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        size &= _U32
+        if size > MAX_ALLOC:
+            self._set_errno(E.ENOMEM)
+            return 0
+        region = self.mem.map(max(size, 1) + 8, Protection.RW, tag="heap-block")
+        self.mem.write_u32(region.start, HEAP_MAGIC)
+        self.mem.write_u32(region.start + 4, size)
+        user_ptr = region.start + 8
+        self._heap[user_ptr] = region
+        return user_ptr
+
+    def calloc(self, count: int, size: int) -> int:
+        count &= _U32
+        size &= _U32
+        total = count * size
+        if total > MAX_ALLOC:
+            self._set_errno(E.ENOMEM)
+            return 0
+        return self.malloc(total)
+
+    def free(self, ptr: int) -> int:
+        ptr &= _U32
+        if ptr == 0:
+            return 0  # free(NULL) is a no-op by specification
+        region = self._heap.get(ptr)
+        if region is not None:
+            self.mem.unmap(region)
+            del self._heap[ptr]
+            return 0
+        # Not one of ours: the CRT inspects the header anyway.
+        magic = self.mem.read_u32(ptr - 8)  # faults on unmapped pointers
+        if self.traits.heap_headers_validated:
+            self._set_errno(E.EINVAL)
+            return 0
+        if self.traits.heap_abort_on_corruption:
+            raise SoftwareAbort("free(): invalid pointer")
+        return 0
+
+    def realloc(self, ptr: int, size: int) -> int:
+        ptr &= _U32
+        size &= _U32
+        if ptr == 0:
+            return self.malloc(size)
+        if size == 0:
+            self.free(ptr)
+            return 0
+        region = self._heap.get(ptr)
+        if region is None:
+            magic = self.mem.read_u32(ptr - 8)
+            if self.traits.heap_headers_validated:
+                self._set_errno(E.EINVAL)
+                return 0
+            if self.traits.heap_abort_on_corruption:
+                raise SoftwareAbort("realloc(): invalid pointer")
+            self._set_errno(E.ENOMEM)
+            return 0
+        new_ptr = self.malloc(size)
+        if new_ptr == 0:
+            return 0
+        old_size = self.mem.read_u32(region.start + 4)
+        data = self.mem.read(ptr, min(old_size, size))
+        self.mem.write(new_ptr, data)
+        self.mem.unmap(region)
+        del self._heap[ptr]
+        return new_ptr
+
+    # ------------------------------------------------------------------
+    # Block operations
+    # ------------------------------------------------------------------
+
+    def memcpy(self, dest: int, src: int, n: int) -> int:
+        n &= _U32
+        data = self._read_span("memcpy", src, n)
+        self._write_span("memcpy", dest, data)
+        return dest
+
+    def memmove(self, dest: int, src: int, n: int) -> int:
+        n &= _U32
+        data = self._read_span("memmove", src, n)
+        self._write_span("memmove", dest, data)
+        return dest
+
+    def memset(self, dest: int, c: int, n: int) -> int:
+        n &= _U32
+        fill = bytes([c & 0xFF])
+        written = 0
+        while written < n:
+            step = min(4096, n - written)
+            if not self._user_write("memset", dest + written, fill * step):
+                break
+            written += step
+        return dest
+
+    def memcmp(self, a: int, b: int, n: int) -> int:
+        n &= _U32
+        left = self._read_span("memcmp", a, n)
+        right = self._read_span("memcmp", b, n)
+        return (left > right) - (left < right)
+
+    def memchr(self, s: int, c: int, n: int) -> int:
+        n &= _U32
+        target = bytes([c & 0xFF])
+        scanned = 0
+        while scanned < n:
+            step = min(4096, n - scanned)
+            chunk = self._user_read("memchr", s + scanned, step)
+            if chunk is None:
+                break
+            index = chunk.find(target)
+            if index >= 0:
+                return s + scanned + index
+            scanned += step
+        return 0

@@ -1,0 +1,229 @@
+"""MuT registration for the 94 shared C library functions.
+
+"Of these calls, 94 were C library functions that were tested with
+identical test cases in both APIs."  Group sizes follow the paper where
+it pins them down (10 "C file I/O management" functions and 14 "C stream
+I/O" functions -- the groups whose Windows CE catastrophic counts the
+paper reports as 6/10 and 11/14).
+
+Windows CE runs a subset: the whole "C time" group plus remove/rename
+and gets/puts are absent (82 of 94 tested), and 26 functions gain
+UNICODE twins (the paper's "(108)" parenthetical), of which nine crash
+-- giving the paper's "18 functions (27 counting ASCII and UNICODE
+separately)".
+"""
+
+from __future__ import annotations
+
+from repro.core.mut import MuTRegistry
+
+#: Functions Windows CE's C runtime does not provide.
+CE_MISSING_C_FUNCTIONS = frozenset(
+    {
+        "time", "localtime", "gmtime", "mktime",
+        "asctime", "ctime", "strftime", "difftime",
+        "remove", "rename", "gets", "puts",
+    }
+)
+
+GROUP_CHAR = "C char"
+GROUP_STRING = "C string"
+GROUP_MEMORY = "C memory management"
+GROUP_FILE_IO = "C file I/O management"
+GROUP_STREAM_IO = "C stream I/O"
+GROUP_MATH = "C math"
+GROUP_TIME = "C time"
+
+#: (name, group, parameter types) for the 94 ASCII C functions.
+C_FUNCTIONS: list[tuple[str, str, list[str]]] = [
+    # -- C char (13) ---------------------------------------------------
+    ("isalnum", GROUP_CHAR, ["char_int"]),
+    ("isalpha", GROUP_CHAR, ["char_int"]),
+    ("iscntrl", GROUP_CHAR, ["char_int"]),
+    ("isdigit", GROUP_CHAR, ["char_int"]),
+    ("isgraph", GROUP_CHAR, ["char_int"]),
+    ("islower", GROUP_CHAR, ["char_int"]),
+    ("isprint", GROUP_CHAR, ["char_int"]),
+    ("ispunct", GROUP_CHAR, ["char_int"]),
+    ("isspace", GROUP_CHAR, ["char_int"]),
+    ("isupper", GROUP_CHAR, ["char_int"]),
+    ("isxdigit", GROUP_CHAR, ["char_int"]),
+    ("tolower", GROUP_CHAR, ["char_int"]),
+    ("toupper", GROUP_CHAR, ["char_int"]),
+    # -- C string (18) ---------------------------------------------------
+    ("strcpy", GROUP_STRING, ["buffer", "cstring"]),
+    ("strncpy", GROUP_STRING, ["buffer", "cstring", "size"]),
+    ("strcat", GROUP_STRING, ["buffer", "cstring"]),
+    ("strncat", GROUP_STRING, ["buffer", "cstring", "size"]),
+    ("strcmp", GROUP_STRING, ["cstring", "cstring"]),
+    ("strncmp", GROUP_STRING, ["cstring", "cstring", "size"]),
+    ("strchr", GROUP_STRING, ["cstring", "char_int"]),
+    ("strrchr", GROUP_STRING, ["cstring", "char_int"]),
+    ("strstr", GROUP_STRING, ["cstring", "cstring"]),
+    ("strlen", GROUP_STRING, ["cstring"]),
+    ("strspn", GROUP_STRING, ["cstring", "cstring"]),
+    ("strcspn", GROUP_STRING, ["cstring", "cstring"]),
+    ("strpbrk", GROUP_STRING, ["cstring", "cstring"]),
+    ("strtok", GROUP_STRING, ["cstring", "cstring"]),
+    ("atoi", GROUP_STRING, ["cstring"]),
+    ("atof", GROUP_STRING, ["cstring"]),
+    ("strtol", GROUP_STRING, ["cstring", "buffer", "int_val"]),
+    ("strtod", GROUP_STRING, ["cstring", "buffer"]),
+    # -- C memory management (9) -----------------------------------------
+    ("malloc", GROUP_MEMORY, ["size"]),
+    ("calloc", GROUP_MEMORY, ["size", "size"]),
+    ("realloc", GROUP_MEMORY, ["buffer", "size"]),
+    ("free", GROUP_MEMORY, ["buffer"]),
+    ("memcpy", GROUP_MEMORY, ["buffer", "buffer", "size"]),
+    ("memmove", GROUP_MEMORY, ["buffer", "buffer", "size"]),
+    ("memset", GROUP_MEMORY, ["buffer", "char_int", "size"]),
+    ("memcmp", GROUP_MEMORY, ["buffer", "buffer", "size"]),
+    ("memchr", GROUP_MEMORY, ["buffer", "char_int", "size"]),
+    # -- C file I/O management (10) ----------------------------------------
+    ("fopen", GROUP_FILE_IO, ["filename", "fopen_mode"]),
+    ("freopen", GROUP_FILE_IO, ["filename", "fopen_mode", "fileptr"]),
+    ("fclose", GROUP_FILE_IO, ["fileptr"]),
+    ("fflush", GROUP_FILE_IO, ["fileptr"]),
+    ("fseek", GROUP_FILE_IO, ["fileptr", "long_offset", "seek_whence"]),
+    ("ftell", GROUP_FILE_IO, ["fileptr"]),
+    ("rewind", GROUP_FILE_IO, ["fileptr"]),
+    ("clearerr", GROUP_FILE_IO, ["fileptr"]),
+    ("remove", GROUP_FILE_IO, ["filename"]),
+    ("rename", GROUP_FILE_IO, ["filename", "filename"]),
+    # -- C stream I/O (14) --------------------------------------------------
+    ("fread", GROUP_STREAM_IO, ["buffer", "size", "size", "fileptr"]),
+    ("fwrite", GROUP_STREAM_IO, ["buffer", "size", "size", "fileptr"]),
+    ("fprintf", GROUP_STREAM_IO, ["fileptr", "format_string", "int_val"]),
+    ("fscanf", GROUP_STREAM_IO, ["fileptr", "format_string", "buffer"]),
+    ("fgets", GROUP_STREAM_IO, ["buffer", "int_val", "fileptr"]),
+    ("fputs", GROUP_STREAM_IO, ["cstring", "fileptr"]),
+    ("fgetc", GROUP_STREAM_IO, ["fileptr"]),
+    ("fputc", GROUP_STREAM_IO, ["char_int", "fileptr"]),
+    ("getc", GROUP_STREAM_IO, ["fileptr"]),
+    ("putc", GROUP_STREAM_IO, ["char_int", "fileptr"]),
+    ("ungetc", GROUP_STREAM_IO, ["char_int", "fileptr"]),
+    ("gets", GROUP_STREAM_IO, ["buffer"]),
+    ("puts", GROUP_STREAM_IO, ["cstring"]),
+    ("sprintf", GROUP_STREAM_IO, ["buffer", "format_string", "int_val"]),
+    # -- C math (22) -----------------------------------------------------------
+    ("acos", GROUP_MATH, ["double_val"]),
+    ("asin", GROUP_MATH, ["double_val"]),
+    ("atan", GROUP_MATH, ["double_val"]),
+    ("atan2", GROUP_MATH, ["double_val", "double_val"]),
+    ("ceil", GROUP_MATH, ["double_val"]),
+    ("cos", GROUP_MATH, ["double_val"]),
+    ("cosh", GROUP_MATH, ["double_val"]),
+    ("exp", GROUP_MATH, ["double_val"]),
+    ("fabs", GROUP_MATH, ["double_val"]),
+    ("floor", GROUP_MATH, ["double_val"]),
+    ("fmod", GROUP_MATH, ["double_val", "double_val"]),
+    ("log", GROUP_MATH, ["double_val"]),
+    ("log10", GROUP_MATH, ["double_val"]),
+    ("pow", GROUP_MATH, ["double_val", "double_val"]),
+    ("sin", GROUP_MATH, ["double_val"]),
+    ("sinh", GROUP_MATH, ["double_val"]),
+    ("sqrt", GROUP_MATH, ["double_val"]),
+    ("tan", GROUP_MATH, ["double_val"]),
+    ("tanh", GROUP_MATH, ["double_val"]),
+    ("ldexp", GROUP_MATH, ["double_val", "int_val"]),
+    ("abs", GROUP_MATH, ["int_val"]),
+    ("labs", GROUP_MATH, ["int_val"]),
+    # -- C time (8) ---------------------------------------------------------------
+    ("time", GROUP_TIME, ["time_t_ptr"]),
+    ("localtime", GROUP_TIME, ["time_t_ptr"]),
+    ("gmtime", GROUP_TIME, ["time_t_ptr"]),
+    ("mktime", GROUP_TIME, ["tm_ptr"]),
+    ("asctime", GROUP_TIME, ["tm_ptr"]),
+    ("ctime", GROUP_TIME, ["time_t_ptr"]),
+    ("strftime", GROUP_TIME, ["buffer", "size", "format_string", "tm_ptr"]),
+    ("difftime", GROUP_TIME, ["time_t_val", "time_t_val"]),
+]
+
+#: (name, group, parameter types) for the 26 Windows CE UNICODE twins.
+CE_UNICODE_TWINS: list[tuple[str, str, list[str]]] = [
+    # 14 wide string functions
+    ("wcscpy", GROUP_STRING, ["buffer", "wstring"]),
+    ("_tcsncpy", GROUP_STRING, ["buffer", "wstring", "size"]),
+    ("wcscat", GROUP_STRING, ["buffer", "wstring"]),
+    ("wcsncat", GROUP_STRING, ["buffer", "wstring", "size"]),
+    ("wcscmp", GROUP_STRING, ["wstring", "wstring"]),
+    ("wcsncmp", GROUP_STRING, ["wstring", "wstring", "size"]),
+    ("wcschr", GROUP_STRING, ["wstring", "char_int"]),
+    ("wcsrchr", GROUP_STRING, ["wstring", "char_int"]),
+    ("wcsstr", GROUP_STRING, ["wstring", "wstring"]),
+    ("wcslen", GROUP_STRING, ["wstring"]),
+    ("wcsspn", GROUP_STRING, ["wstring", "wstring"]),
+    ("wcscspn", GROUP_STRING, ["wstring", "wstring"]),
+    ("wcspbrk", GROUP_STRING, ["wstring", "wstring"]),
+    ("wcstok", GROUP_STRING, ["wstring", "wstring"]),
+    # 2 wide stdio-management functions
+    ("_wfopen", GROUP_FILE_IO, ["wstring", "wstring"]),
+    ("_wfreopen", GROUP_FILE_IO, ["wstring", "wstring", "fileptr"]),
+    # 7 wide stream functions
+    ("wfread", GROUP_STREAM_IO, ["buffer", "size", "size", "fileptr"]),
+    ("fgetwc", GROUP_STREAM_IO, ["fileptr"]),
+    ("fgetws", GROUP_STREAM_IO, ["buffer", "int_val", "fileptr"]),
+    ("fwprintf", GROUP_STREAM_IO, ["fileptr", "wstring", "int_val"]),
+    ("fputwc", GROUP_STREAM_IO, ["char_int", "fileptr"]),
+    ("fputws", GROUP_STREAM_IO, ["wstring", "fileptr"]),
+    ("fwscanf", GROUP_STREAM_IO, ["fileptr", "wstring", "buffer"]),
+    # 3 wide character-class functions
+    ("towlower", GROUP_CHAR, ["char_int"]),
+    ("towupper", GROUP_CHAR, ["char_int"]),
+    ("iswalpha", GROUP_CHAR, ["char_int"]),
+]
+
+
+#: UNICODE twin -> the ASCII function it shadows on Windows CE.  "Since
+#: Windows CE uses the UNICODE character set as a default, we only
+#: report the failure rates for the UNICODE versions of these C
+#: functions" (paper section 4); reporting therefore prefers the twin
+#: and drops the ASCII result for these pairs.
+UNICODE_TWIN_OF: dict[str, str] = {
+    "wcscpy": "strcpy",
+    "_tcsncpy": "strncpy",
+    "wcscat": "strcat",
+    "wcsncat": "strncat",
+    "wcscmp": "strcmp",
+    "wcsncmp": "strncmp",
+    "wcschr": "strchr",
+    "wcsrchr": "strrchr",
+    "wcsstr": "strstr",
+    "wcslen": "strlen",
+    "wcsspn": "strspn",
+    "wcscspn": "strcspn",
+    "wcspbrk": "strpbrk",
+    "wcstok": "strtok",
+    "_wfopen": "fopen",
+    "_wfreopen": "freopen",
+    "wfread": "fread",
+    "fgetwc": "fgetc",
+    "fgetws": "fgets",
+    "fwprintf": "fprintf",
+    "fputwc": "fputc",
+    "fputws": "fputs",
+    "fwscanf": "fscanf",
+    "towlower": "tolower",
+    "towupper": "toupper",
+    "iswalpha": "isalpha",
+}
+
+
+def register(registry: MuTRegistry) -> None:
+    """Register all C library MuTs (94 ASCII + 26 CE UNICODE twins)."""
+    for name, group, params in C_FUNCTIONS:
+        exclude = (
+            frozenset({"wince"}) if name in CE_MISSING_C_FUNCTIONS else frozenset()
+        )
+        registry.add(
+            name, "libc", group, params, exclude_platforms=exclude
+        )
+    for name, group, params in CE_UNICODE_TWINS:
+        registry.add(
+            name,
+            "libc",
+            group,
+            params,
+            platforms=frozenset({"wince"}),
+            charset="unicode",
+        )

@@ -1,0 +1,193 @@
+"""The simulated C runtime: per-process state and shared access helpers.
+
+One :class:`CRuntime` is created per simulated process (lazily, by
+:class:`~repro.core.context.TestContext`).  It owns the process's stdio
+stream table, its malloc heap, the ctype classification table, and the
+static buffers that ``localtime``/``asctime`` return.  The actual C
+function families live in mixins:
+
+* :class:`~repro.libc.ctype_funcs.CtypeMixin` -- the "C char" group
+* :class:`~repro.libc.string_funcs.StringMixin` -- "C string"
+* :class:`~repro.libc.memory_funcs.MemoryMixin` -- "C memory management"
+* :class:`~repro.libc.stdio_funcs.StdioMixin` -- "C file I/O management"
+  and "C stream I/O"
+* :class:`~repro.libc.math_funcs.MathMixin` -- "C math"
+* :class:`~repro.libc.time_funcs.TimeMixin` -- "C time"
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.libc import errno_codes as E
+from repro.libc.ctype_funcs import CtypeMixin
+from repro.libc.flavors import FLAVORS, FlavorTraits
+from repro.libc.math_funcs import MathMixin
+from repro.libc.memory_funcs import MemoryMixin
+from repro.libc.stdio_funcs import StdioMixin, StreamState
+from repro.libc.string_funcs import StringMixin
+from repro.libc.time_funcs import TimeMixin
+from repro.sim.guarded import crt_read, crt_write
+from repro.sim.memory import Protection
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.process import Process
+
+#: Text preloaded on the console so stdin-reading functions (gets,
+#: fscanf on stdin, ...) have something to consume.
+CONSOLE_INPUT = b"console input for ballista tests\n42 17 tokens\n"
+
+
+class CRuntime(
+    CtypeMixin, StringMixin, MemoryMixin, StdioMixin, MathMixin, TimeMixin
+):
+    """Per-process C runtime in the personality's flavour."""
+
+    #: Size of the in-memory FILE structure.
+    FILE_SIZE = 16
+    #: Size of a stream's internal buffer.
+    STREAM_BUF_SIZE = 64
+
+    def __init__(self, process: "Process") -> None:
+        self.process = process
+        self.machine = process.machine
+        self.mem = process.memory
+        self.personality = process.personality
+        self.traits: FlavorTraits = FLAVORS[self.personality.crt_flavor]
+        self.error_reported = False
+
+        self._streams: dict[int, StreamState] = {}
+        self._heap: dict[int, object] = {}
+        self._strtok_state = 0
+        self._static_tm = 0  # lazily created static buffers
+        self._static_str = 0
+
+        # glibc-style ctype table: 384 readable bytes covering indices
+        # -128..255 (the table pointer aims at offset 128).
+        self._ctype_region = self.mem.map(
+            384, Protection.READ, tag="ctype-table"
+        )
+
+        # Standard streams over the console fds.
+        stdin_file = process.fds.get(0)
+        if stdin_file is not None and not stdin_file.node.data:
+            stdin_file.node.data.extend(CONSOLE_INPUT)
+        self.stdin = self._register_stream(stdin_file, readable=True, writable=False)
+        self.stdout = self._register_stream(
+            process.fds.get(1), readable=False, writable=True
+        )
+        self.stderr = self._register_stream(
+            process.fds.get(2), readable=False, writable=True
+        )
+
+    # ------------------------------------------------------------------
+    # errno / error reporting
+    # ------------------------------------------------------------------
+
+    def _set_errno(self, code: int) -> None:
+        self.process.errno = code
+        self.error_reported = True
+
+    def _fs_error(self, exc) -> None:
+        """Translate a FileSystemError into errno."""
+        self._set_errno(E.FS_CODE_TO_ERRNO.get(exc.code, E.EINVAL))
+
+    # ------------------------------------------------------------------
+    # Guarded user-memory access (see repro.sim.guarded)
+    # ------------------------------------------------------------------
+
+    def _user_write(self, func: str, address: int, data: bytes) -> bool:
+        """Write through a caller pointer; False = fault absorbed as
+        shared-state corruption (stop streaming)."""
+        return crt_write(self.machine, self.mem, func, address, data)
+
+    def _user_read(self, func: str, address: int, size: int) -> bytes | None:
+        return crt_read(self.machine, self.mem, func, address, size)
+
+    def _write_span(
+        self, func: str, address: int, data: bytes, pad_to: int = 0
+    ) -> None:
+        """Write ``data`` then zero-fill up to ``pad_to`` total bytes,
+        chunked so that enormous sizes fault at the region edge instead
+        of materialising gigabytes."""
+        if not self._user_write(func, address, data):
+            return
+        written = len(data)
+        chunk = 4096
+        while written < pad_to:
+            step = min(chunk, pad_to - written)
+            if not self._user_write(func, address + written, b"\x00" * step):
+                return
+            written += step
+
+    def _read_span(self, func: str, address: int, size: int) -> bytes:
+        """Chunked guarded read of up to ``size`` bytes; stops early when
+        a fault is absorbed in CORRUPT mode."""
+        out = bytearray()
+        chunk = 4096
+        while len(out) < size:
+            step = min(chunk, size - len(out))
+            piece = self._user_read(func, address + len(out), step)
+            if piece is None:
+                break
+            out += piece
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    # Bounded string scanning
+    # ------------------------------------------------------------------
+
+    def _scan_str(self, func: str, address: int, limit: int = 1 << 20) -> bytes:
+        """Read a NUL-terminated string the way this flavour's scanner
+        does (byte-wise vs word-at-a-time)."""
+        return self.mem.read_cstring(
+            address, limit=limit, word_at_a_time=self.traits.string_word_reads
+        )
+
+    def _scan_str_n(self, func: str, address: int, n: int) -> bytes:
+        """Read at most ``n`` bytes, stopping at NUL.  A word-at-a-time
+        scanner may touch up to 3 bytes past ``n``, as real ones do."""
+        out = bytearray()
+        step = 4 if self.traits.string_word_reads else 1
+        cursor = address
+        while len(out) < n:
+            chunk = self.mem.read(cursor, step)
+            terminator = chunk.find(0)
+            if terminator >= 0:
+                out += chunk[:terminator]
+                break
+            out += chunk
+            cursor += step
+        return bytes(out[:n])
+
+    def _scan_wstr(self, func: str, address: int, limit: int = 1 << 20) -> bytes:
+        """Read a UTF-16LE string (returns raw bytes, no terminator)."""
+        if self.traits.string_word_reads:
+            out = bytearray()
+            cursor = address
+            while len(out) < limit:
+                chunk = self.mem.read(cursor, 4)
+                for i in (0, 2):
+                    unit = chunk[i : i + 2]
+                    if unit == b"\x00\x00":
+                        return bytes(out)
+                    out += unit
+                cursor += 4
+            return bytes(out)
+        return self.mem.read_wstring(address, limit=limit)
+
+    # ------------------------------------------------------------------
+    # Static result buffers (localtime / asctime return pointers)
+    # ------------------------------------------------------------------
+
+    def _static_tm_buffer(self) -> int:
+        if not self._static_tm:
+            self._static_tm = self.mem.map(44, Protection.RW, tag="static-tm").start
+        return self._static_tm
+
+    def _static_str_buffer(self) -> int:
+        if not self._static_str:
+            self._static_str = self.mem.map(
+                64, Protection.RW, tag="static-str"
+            ).start
+        return self._static_str

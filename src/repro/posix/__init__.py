@@ -1,0 +1,16 @@
+"""The simulated POSIX API (91 system-call MuTs) and the Linux
+personality.
+
+The defining robustness property (paper section 4): Linux system calls
+copy user data with ``copy_from_user``/``copy_to_user``, so a bad
+pointer comes back as a graceful ``EFAULT`` instead of a fault -- the
+mechanistic reason Linux "was significantly more graceful at handling
+exceptions from system calls in a program-recoverable manner than
+Windows NT and Windows 2000".
+"""
+
+from repro.posix.linux import LINUX
+from repro.posix.registration import register
+from repro.posix.system import PosixSystem
+
+__all__ = ["LINUX", "PosixSystem", "register"]

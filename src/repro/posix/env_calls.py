@@ -1,0 +1,121 @@
+"""POSIX Process Environment system calls (15 MuTs)."""
+
+from __future__ import annotations
+
+from repro.libc import errno_codes as E
+
+_U32 = 0xFFFF_FFFF
+
+UTSNAME_FIELD = 65
+#: sysconf names the simulation answers.
+_SYSCONF = {
+    0: 100,  # _SC_ARG_MAX (in KiB here)
+    1: 256,  # _SC_CHILD_MAX
+    2: 100,  # _SC_CLK_TCK
+    3: 64,  # _SC_NGROUPS_MAX
+    4: 1024,  # _SC_OPEN_MAX
+    8: 4096,  # _SC_PAGESIZE
+}
+
+
+class EnvCallsMixin:
+    """Identity, limits, and machine information."""
+
+    # ------------------------------------------------------------------
+    # User / group identity
+    # ------------------------------------------------------------------
+
+    def getuid(self) -> int:
+        return self.process.uid
+
+    def geteuid(self) -> int:
+        return self.process.uid
+
+    def getgid(self) -> int:
+        return self.process.gid
+
+    def getegid(self) -> int:
+        return self.process.gid
+
+    def setuid(self, uid: int) -> int:
+        if uid == self.process.uid:
+            return 0
+        return self._err(E.EPERM)
+
+    def setgid(self, gid: int) -> int:
+        if gid == self.process.gid:
+            return 0
+        return self._err(E.EPERM)
+
+    def getgroups(self, size: int, list_ptr: int) -> int:
+        groups = [self.process.gid]
+        if size == 0:
+            return len(groups)
+        if size < len(groups):
+            return self._err(E.EINVAL)
+        data = b"".join(g.to_bytes(4, "little") for g in groups)
+        if not self.copy_out("getgroups", list_ptr, data):
+            return self._err(E.EFAULT)
+        return len(groups)
+
+    def setgroups(self, size: int, list_ptr: int) -> int:
+        return self._err(E.EPERM)  # privileged operation
+
+    # ------------------------------------------------------------------
+    # Machine identity
+    # ------------------------------------------------------------------
+
+    def uname(self, buf: int) -> int:
+        fields = [b"Linux", b"ballista", b"2.2.5", b"#1 SMP", b"i686"]
+        blob = b"".join(f.ljust(UTSNAME_FIELD, b"\x00") for f in fields)
+        if not self.copy_out("uname", buf, blob):
+            return self._err(E.EFAULT)
+        return 0
+
+    def gethostname(self, name: int, length: int) -> int:
+        hostname = b"ballista\x00"
+        length &= _U32
+        if length < len(hostname):
+            return self._err(E.ENAMETOOLONG)
+        if not self.copy_out("gethostname", name, hostname):
+            return self._err(E.EFAULT)
+        return 0
+
+    def sethostname(self, name: int, length: int) -> int:
+        return self._err(E.EPERM)  # privileged operation
+
+    # ------------------------------------------------------------------
+    # Limits and accounting
+    # ------------------------------------------------------------------
+
+    def getrlimit(self, resource: int, rlim: int) -> int:
+        if not 0 <= resource <= 10:
+            return self._err(E.EINVAL)
+        data = (0x40_0000).to_bytes(4, "little") + (0x80_0000).to_bytes(4, "little")
+        if not self.copy_out("getrlimit", rlim, data):
+            return self._err(E.EFAULT)
+        return 0
+
+    def setrlimit(self, resource: int, rlim: int) -> int:
+        if not 0 <= resource <= 10:
+            return self._err(E.EINVAL)
+        raw = self.copy_in("setrlimit", rlim, 8)
+        if raw is None:
+            return self._err(E.EFAULT)
+        soft = int.from_bytes(raw[0:4], "little")
+        hard = int.from_bytes(raw[4:8], "little")
+        if soft > hard:
+            return self._err(E.EINVAL)
+        return 0
+
+    def times(self, buf: int) -> int:
+        ticks = (self.machine.clock.tick_count() // 10) & _U32
+        data = ticks.to_bytes(4, "little") * 4
+        if buf != 0 and not self.copy_out("times", buf, data):
+            return self._err(E.EFAULT)
+        return ticks
+
+    def sysconf(self, name: int) -> int:
+        if name not in _SYSCONF:
+            return self._err(E.EINVAL)
+        return _SYSCONF[name]

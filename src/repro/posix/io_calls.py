@@ -1,0 +1,116 @@
+"""POSIX I/O Primitives (the paper's 10-call group):
+
+``{close dup dup2 fcntl fdatasync fsync lseek pipe read write}``
+"""
+
+from __future__ import annotations
+
+from repro.libc import errno_codes as E
+from repro.sim.filesystem import FileSystemError, Pipe
+from repro.sim.process import PipeEnd
+
+_U32 = 0xFFFF_FFFF
+
+F_DUPFD = 0
+F_GETFD = 1
+F_SETFD = 2
+F_GETFL = 3
+F_SETFL = 4
+
+
+class IoCallsMixin:
+    """read/write/seek and descriptor plumbing."""
+
+    def close(self, fd: int) -> int:
+        if isinstance(fd, int) and 0 <= fd <= 0xFFFF and self.process.close_fd(fd):
+            return 0
+        return self._err(E.EBADF)
+
+    def dup(self, fd: int) -> int:
+        obj = self._fd_object(fd)
+        if obj is None:
+            return self._err(E.EBADF)
+        return self.process.alloc_fd(obj)
+
+    def dup2(self, oldfd: int, newfd: int) -> int:
+        obj = self._fd_object(oldfd)
+        if obj is None:
+            return self._err(E.EBADF)
+        if not isinstance(newfd, int) or newfd < 0 or newfd > 0xFFFF:
+            return self._err(E.EBADF)
+        if newfd == oldfd:
+            return newfd
+        self.process.close_fd(newfd)
+        self.process.fds[newfd] = obj
+        return newfd
+
+    def fcntl(self, fd: int, cmd: int, arg: int) -> int:
+        obj = self._fd_object(fd)
+        if obj is None:
+            return self._err(E.EBADF)
+        if cmd == F_DUPFD:
+            if arg < 0 or arg > 0xFFFF:
+                return self._err(E.EINVAL)
+            return self.process.alloc_fd(obj, lowest=arg)
+        if cmd in (F_GETFD, F_GETFL):
+            return 0
+        if cmd in (F_SETFD, F_SETFL):
+            return 0
+        return self._err(E.EINVAL)
+
+    def fdatasync(self, fd: int) -> int:
+        obj = self._fd_object(fd)
+        if obj is None:
+            return self._err(E.EBADF)
+        if isinstance(obj, PipeEnd):
+            return self._err(E.EINVAL)
+        return 0
+
+    def fsync(self, fd: int) -> int:
+        return self.fdatasync(fd)
+
+    def lseek(self, fd: int, offset: int, whence: int) -> int:
+        obj = self._fd_object(fd)
+        if obj is None:
+            return self._err(E.EBADF)
+        if whence not in (0, 1, 2):
+            return self._err(E.EINVAL)
+        try:
+            return obj.seek(offset, whence)
+        except FileSystemError as exc:
+            return self._fs_err(exc)
+
+    def pipe(self, fildes: int) -> int:
+        pipe = Pipe()
+        read_fd = self.process.alloc_fd(PipeEnd(pipe, readable=True), lowest=3)
+        write_fd = self.process.alloc_fd(PipeEnd(pipe, readable=False), lowest=3)
+        data = read_fd.to_bytes(4, "little") + write_fd.to_bytes(4, "little")
+        if not self.copy_out("pipe", fildes, data):
+            self.process.close_fd(read_fd)
+            self.process.close_fd(write_fd)
+            return self._err(E.EFAULT)
+        return 0
+
+    def read(self, fd: int, buf: int, count: int) -> int:
+        obj = self._fd_object(fd)
+        if obj is None:
+            return self._err(E.EBADF)
+        try:
+            data = obj.read(min(count & _U32, 1 << 20))
+        except FileSystemError as exc:
+            return self._fs_err(exc)
+        if data and not self.copy_out("read", buf, data):
+            return self._err(E.EFAULT)
+        return len(data)
+
+    def write(self, fd: int, buf: int, count: int) -> int:
+        obj = self._fd_object(fd)
+        if obj is None:
+            return self._err(E.EBADF)
+        data = self.copy_in("write", buf, min(count & _U32, 1 << 20))
+        if data is None:
+            return self._err(E.EFAULT)
+        try:
+            return obj.write(data)
+        except FileSystemError as exc:
+            return self._fs_err(exc)

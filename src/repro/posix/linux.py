@@ -1,0 +1,15 @@
+"""The Linux (RedHat 6.0, kernel 2.2.5, glibc 2.1) personality."""
+
+from __future__ import annotations
+
+from repro.sim.personality import Personality
+
+LINUX = Personality(
+    key="linux",
+    name="Linux",
+    api="posix",
+    family="linux",
+    crt_flavor="glibc",
+    kernel_probes_pointers=True,
+    case_insensitive_fs=False,
+)

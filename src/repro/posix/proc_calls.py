@@ -1,0 +1,222 @@
+"""POSIX Process Primitives system calls (24 MuTs).
+
+``kill(getpid(), <fatal signal>)`` genuinely terminates the calling
+task, which Ballista observes as an Abort -- a measurement artefact the
+real harness shares.
+"""
+
+from __future__ import annotations
+
+from repro.libc import errno_codes as E
+from repro.sim.errors import FatalSignal
+
+_U32 = 0xFFFF_FFFF
+
+SIGKILL = 9
+SIGSTOP = 19
+NSIG = 64
+
+_SIGNAL_NAMES = {
+    1: "SIGHUP", 2: "SIGINT", 3: "SIGQUIT", 6: "SIGABRT", 9: "SIGKILL",
+    10: "SIGUSR1", 12: "SIGUSR2", 14: "SIGALRM", 15: "SIGTERM",
+}
+#: Signals whose default disposition terminates the process.
+_FATAL_DEFAULTS = frozenset(_SIGNAL_NAMES)
+
+
+class ProcCallsMixin:
+    """fork/exec/wait/signal family."""
+
+    # ------------------------------------------------------------------
+    # Process creation
+    # ------------------------------------------------------------------
+
+    def fork(self) -> int:
+        child = self.machine.spawn_process()
+        child.terminate(0)  # the simulated child exits immediately
+        self._last_child = child.pid
+        return child.pid
+
+    def _exec_common(self, func: str, pathname: int, argv: int) -> int:
+        path = self.copy_path(func, pathname)
+        if path is None:
+            return self._err(E.EFAULT)
+        node = self.machine.fs.lookup(path)
+        if node is None:
+            return self._err(E.ENOENT)
+        if node.is_directory:
+            return self._err(E.EACCES)
+        if not node.mode & 0o111:
+            return self._err(E.EACCES)
+        if argv != 0:
+            # The kernel copies the argv pointer array.
+            if self.copy_in(func, argv, 4) is None:
+                return self._err(E.EFAULT)
+        # A successful exec never returns; the simulation reports
+        # success by returning 0 to the harness.
+        return 0
+
+    def execve(self, pathname: int, argv: int, envp: int) -> int:
+        if envp != 0 and self.copy_in("execve", envp, 4) is None:
+            return self._err(E.EFAULT)
+        return self._exec_common("execve", pathname, argv)
+
+    def execv(self, pathname: int, argv: int) -> int:
+        return self._exec_common("execv", pathname, argv)
+
+    # ------------------------------------------------------------------
+    # Waiting
+    # ------------------------------------------------------------------
+
+    def wait(self, wstatus: int) -> int:
+        child = getattr(self, "_last_child", None)
+        if child is None:
+            return self._err(E.ECHILD)
+        if wstatus != 0 and not self.copy_out(
+            "wait", wstatus, (0).to_bytes(4, "little")
+        ):
+            return self._err(E.EFAULT)
+        self._last_child = None
+        return child
+
+    def waitpid(self, pid: int, wstatus: int, options: int) -> int:
+        if options & ~0x3 & _U32:
+            return self._err(E.EINVAL)
+        child = getattr(self, "_last_child", None)
+        if child is None or (pid > 0 and pid != child):
+            if options & 0x1:  # WNOHANG
+                return 0 if child is not None else self._err(E.ECHILD)
+            return self._err(E.ECHILD)
+        if wstatus != 0 and not self.copy_out(
+            "waitpid", wstatus, (0).to_bytes(4, "little")
+        ):
+            return self._err(E.EFAULT)
+        self._last_child = None
+        return child
+
+    # ------------------------------------------------------------------
+    # Signals
+    # ------------------------------------------------------------------
+
+    def kill(self, pid: int, sig: int) -> int:
+        if sig < 0 or sig >= NSIG:
+            return self._err(E.EINVAL)
+        if pid in (self.process.pid, 0) and sig in _FATAL_DEFAULTS:
+            # Default disposition: the calling task is terminated.
+            raise FatalSignal(_SIGNAL_NAMES[sig])
+        if pid in (self.process.pid, 0) or pid == -1:
+            return 0  # sig 0 or non-fatal: permission/existence check
+        if pid == 1:
+            return self._err(E.EPERM)
+        return self._err(E.ESRCH)
+
+    def signal(self, signum: int, handler: int) -> int:
+        if signum <= 0 or signum >= NSIG or signum in (SIGKILL, SIGSTOP):
+            return self._err(E.EINVAL)
+        return 0  # previous handler: SIG_DFL
+
+    def sigaction(self, signum: int, act: int, oldact: int) -> int:
+        if signum <= 0 or signum >= NSIG or signum in (SIGKILL, SIGSTOP):
+            return self._err(E.EINVAL)
+        if act != 0 and self.copy_in("sigaction", act, 16) is None:
+            return self._err(E.EFAULT)
+        if oldact != 0 and not self.copy_out("sigaction", oldact, b"\x00" * 16):
+            return self._err(E.EFAULT)
+        return 0
+
+    def sigprocmask(self, how: int, newset: int, oldset: int) -> int:
+        if how not in (0, 1, 2) and newset != 0:
+            return self._err(E.EINVAL)
+        if newset != 0 and self.copy_in("sigprocmask", newset, 8) is None:
+            return self._err(E.EFAULT)
+        if oldset != 0 and not self.copy_out("sigprocmask", oldset, b"\x00" * 8):
+            return self._err(E.EFAULT)
+        return 0
+
+    def sigpending(self, set_ptr: int) -> int:
+        if not self.copy_out("sigpending", set_ptr, b"\x00" * 8):
+            return self._err(E.EFAULT)
+        return 0
+
+    # ------------------------------------------------------------------
+    # Identity / scheduling
+    # ------------------------------------------------------------------
+
+    def getpid(self) -> int:
+        return self.process.pid
+
+    def getppid(self) -> int:
+        return 1
+
+    def getpgrp(self) -> int:
+        return self.process.pid
+
+    def setpgid(self, pid: int, pgid: int) -> int:
+        if pgid < 0:
+            return self._err(E.EINVAL)
+        if pid not in (0, self.process.pid):
+            return self._err(E.ESRCH)
+        return 0
+
+    def setsid(self) -> int:
+        return self._err(E.EPERM)  # already a process-group leader
+
+    def nice(self, inc: int) -> int:
+        if inc < -20:
+            return self._err(E.EPERM)  # raising priority needs privilege
+        return min(19, max(-20, inc))
+
+    def getpriority(self, which: int, who: int) -> int:
+        if which not in (0, 1, 2):
+            return self._err(E.EINVAL)
+        if who not in (0, self.process.pid, self.process.uid):
+            return self._err(E.ESRCH)
+        return 0
+
+    def setpriority(self, which: int, who: int, prio: int) -> int:
+        if which not in (0, 1, 2):
+            return self._err(E.EINVAL)
+        if who not in (0, self.process.pid, self.process.uid):
+            return self._err(E.ESRCH)
+        if prio < 0:
+            return self._err(E.EACCES)
+        return 0
+
+    def sched_yield(self) -> int:
+        self.machine.clock.advance(1)
+        return 0
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+
+    def alarm(self, seconds: int) -> int:
+        return 0  # no previous alarm
+
+    def sleep(self, seconds: int) -> int:
+        self.machine.clock.advance(min(seconds & _U32, 1 << 40) * 1000)
+        return 0
+
+    def usleep(self, usec: int) -> int:
+        if (usec & _U32) >= 1_000_000:
+            return self._err(E.EINVAL)
+        self.machine.clock.advance((usec & _U32) // 1000)
+        return 0
+
+    def getitimer(self, which: int, curr_value: int) -> int:
+        if which not in (0, 1, 2):
+            return self._err(E.EINVAL)
+        if not self.copy_out("getitimer", curr_value, b"\x00" * 16):
+            return self._err(E.EFAULT)
+        return 0
+
+    def setitimer(self, which: int, new_value: int, old_value: int) -> int:
+        if which not in (0, 1, 2):
+            return self._err(E.EINVAL)
+        if self.copy_in("setitimer", new_value, 16) is None:
+            return self._err(E.EFAULT)
+        if old_value != 0 and not self.copy_out(
+            "setitimer", old_value, b"\x00" * 16
+        ):
+            return self._err(E.EFAULT)
+        return 0

@@ -1,0 +1,127 @@
+"""MuT registration for the 91 POSIX system calls.
+
+Group sizes: I/O Primitives is exactly the paper's 10-call list; the
+other four groups mirror common POSIX.1 coverage (30 file/directory, 24
+process-primitive, 12 memory-management, 15 process-environment calls),
+totalling the 91 system calls the paper tested on Linux.
+"""
+
+from __future__ import annotations
+
+from repro.core.mut import MuTRegistry
+
+GROUP_MEMORY = "Memory Management"
+GROUP_FILEDIR = "File/Directory Access"
+GROUP_IO = "I/O Primitives"
+GROUP_PROCESS = "Process Primitives"
+GROUP_ENV = "Process Environment"
+
+#: (name, group, parameter types) for all 91 POSIX system calls.
+POSIX_CALLS: list[tuple[str, str, list[str]]] = [
+    # -- I/O Primitives (10, the paper's exact list) ----------------------
+    ("close", GROUP_IO, ["fd"]),
+    ("dup", GROUP_IO, ["fd"]),
+    ("dup2", GROUP_IO, ["fd", "fd"]),
+    ("fcntl", GROUP_IO, ["fd", "int_val", "int_val"]),
+    ("fdatasync", GROUP_IO, ["fd"]),
+    ("fsync", GROUP_IO, ["fd"]),
+    ("lseek", GROUP_IO, ["fd", "long_offset", "seek_whence"]),
+    ("pipe", GROUP_IO, ["buffer"]),
+    ("read", GROUP_IO, ["fd", "buffer", "size"]),
+    ("write", GROUP_IO, ["fd", "buffer", "size"]),
+    # -- Memory Management (12) --------------------------------------------
+    (
+        "mmap",
+        GROUP_MEMORY,
+        ["buffer", "size", "int_val", "int_val", "fd", "long_offset"],
+    ),
+    ("munmap", GROUP_MEMORY, ["buffer", "size"]),
+    ("mprotect", GROUP_MEMORY, ["buffer", "size", "int_val"]),
+    ("msync", GROUP_MEMORY, ["buffer", "size", "int_val"]),
+    ("mlock", GROUP_MEMORY, ["buffer", "size"]),
+    ("munlock", GROUP_MEMORY, ["buffer", "size"]),
+    ("mlockall", GROUP_MEMORY, ["int_val"]),
+    ("munlockall", GROUP_MEMORY, []),
+    ("brk", GROUP_MEMORY, ["buffer"]),
+    ("sbrk", GROUP_MEMORY, ["long_offset"]),
+    ("shmget", GROUP_MEMORY, ["int_val", "size", "int_val"]),
+    ("shmat", GROUP_MEMORY, ["int_val", "buffer", "int_val"]),
+    # -- File/Directory Access (30) ------------------------------------------
+    ("open", GROUP_FILEDIR, ["filename", "open_flags", "mode_t"]),
+    ("creat", GROUP_FILEDIR, ["filename", "mode_t"]),
+    ("unlink", GROUP_FILEDIR, ["filename"]),
+    ("link", GROUP_FILEDIR, ["filename", "filename"]),
+    ("symlink", GROUP_FILEDIR, ["filename", "filename"]),
+    ("readlink", GROUP_FILEDIR, ["filename", "buffer", "size"]),
+    ("rename", GROUP_FILEDIR, ["filename", "filename"]),
+    ("mkdir", GROUP_FILEDIR, ["filename", "mode_t"]),
+    ("rmdir", GROUP_FILEDIR, ["filename"]),
+    ("stat", GROUP_FILEDIR, ["filename", "stat_buf"]),
+    ("lstat", GROUP_FILEDIR, ["filename", "stat_buf"]),
+    ("fstat", GROUP_FILEDIR, ["fd", "stat_buf"]),
+    ("access", GROUP_FILEDIR, ["filename", "int_val"]),
+    ("chmod", GROUP_FILEDIR, ["filename", "mode_t"]),
+    ("fchmod", GROUP_FILEDIR, ["fd", "mode_t"]),
+    ("chown", GROUP_FILEDIR, ["filename", "int_val", "int_val"]),
+    ("fchown", GROUP_FILEDIR, ["fd", "int_val", "int_val"]),
+    ("lchown", GROUP_FILEDIR, ["filename", "int_val", "int_val"]),
+    ("utime", GROUP_FILEDIR, ["filename", "buffer"]),
+    ("truncate", GROUP_FILEDIR, ["filename", "long_offset"]),
+    ("ftruncate", GROUP_FILEDIR, ["fd", "long_offset"]),
+    ("chdir", GROUP_FILEDIR, ["filename"]),
+    ("fchdir", GROUP_FILEDIR, ["fd"]),
+    ("getcwd", GROUP_FILEDIR, ["buffer", "size"]),
+    ("umask", GROUP_FILEDIR, ["mode_t"]),
+    ("mknod", GROUP_FILEDIR, ["filename", "mode_t", "int_val"]),
+    ("mkfifo", GROUP_FILEDIR, ["filename", "mode_t"]),
+    ("statfs", GROUP_FILEDIR, ["filename", "stat_buf"]),
+    ("fstatfs", GROUP_FILEDIR, ["fd", "stat_buf"]),
+    ("pathconf", GROUP_FILEDIR, ["filename", "int_val"]),
+    # -- Process Primitives (24) ------------------------------------------------
+    ("fork", GROUP_PROCESS, []),
+    ("execve", GROUP_PROCESS, ["filename", "buffer", "buffer"]),
+    ("execv", GROUP_PROCESS, ["filename", "buffer"]),
+    ("wait", GROUP_PROCESS, ["buffer"]),
+    ("waitpid", GROUP_PROCESS, ["pid_val", "buffer", "int_val"]),
+    ("kill", GROUP_PROCESS, ["pid_val", "signal_num"]),
+    ("signal", GROUP_PROCESS, ["signal_num", "buffer"]),
+    ("sigaction", GROUP_PROCESS, ["signal_num", "buffer", "buffer"]),
+    ("sigprocmask", GROUP_PROCESS, ["int_val", "buffer", "buffer"]),
+    ("sigpending", GROUP_PROCESS, ["buffer"]),
+    ("getpid", GROUP_PROCESS, []),
+    ("getppid", GROUP_PROCESS, []),
+    ("getpgrp", GROUP_PROCESS, []),
+    ("setpgid", GROUP_PROCESS, ["pid_val", "pid_val"]),
+    ("setsid", GROUP_PROCESS, []),
+    ("nice", GROUP_PROCESS, ["int_val"]),
+    ("getpriority", GROUP_PROCESS, ["int_val", "int_val"]),
+    ("setpriority", GROUP_PROCESS, ["int_val", "int_val", "int_val"]),
+    ("sched_yield", GROUP_PROCESS, []),
+    ("alarm", GROUP_PROCESS, ["int_val"]),
+    ("sleep", GROUP_PROCESS, ["int_val"]),
+    ("usleep", GROUP_PROCESS, ["int_val"]),
+    ("getitimer", GROUP_PROCESS, ["int_val", "buffer"]),
+    ("setitimer", GROUP_PROCESS, ["int_val", "buffer", "buffer"]),
+    # -- Process Environment (15) ----------------------------------------------
+    ("getuid", GROUP_ENV, []),
+    ("geteuid", GROUP_ENV, []),
+    ("getgid", GROUP_ENV, []),
+    ("getegid", GROUP_ENV, []),
+    ("setuid", GROUP_ENV, ["int_val"]),
+    ("setgid", GROUP_ENV, ["int_val"]),
+    ("getgroups", GROUP_ENV, ["int_val", "buffer"]),
+    ("setgroups", GROUP_ENV, ["size", "buffer"]),
+    ("uname", GROUP_ENV, ["buffer"]),
+    ("gethostname", GROUP_ENV, ["buffer", "size"]),
+    ("sethostname", GROUP_ENV, ["cstring", "size"]),
+    ("getrlimit", GROUP_ENV, ["int_val", "buffer"]),
+    ("setrlimit", GROUP_ENV, ["int_val", "buffer"]),
+    ("times", GROUP_ENV, ["buffer"]),
+    ("sysconf", GROUP_ENV, ["int_val"]),
+]
+
+
+def register(registry: MuTRegistry) -> None:
+    """Register the 91 POSIX system-call MuTs."""
+    for name, group, params in POSIX_CALLS:
+        registry.add(name, "posix", group, params)

@@ -1,0 +1,38 @@
+"""The Ballista testing service (paper sections 2 and 3).
+
+Ballista was "publicly available as an Internet-based testing service
+involving a central testing server and a portable testing client that
+was ported to Windows NT and Windows CE for this research".  This
+package reproduces that architecture:
+
+* :mod:`repro.service.xdr` -- ONC-RPC-style XDR encoding (the paper had
+  to use a third-party ONC RPC client on Windows, which only ships DCE
+  RPC natively).
+* :mod:`repro.service.rpc` -- record-marked RPC messages over a socket
+  or an in-process loopback transport.
+* :mod:`repro.service.server` -- the central test server: hands out
+  deterministic test plans, collects per-case results, builds the
+  campaign :class:`~repro.core.results.ResultSet`.
+* :mod:`repro.service.client` -- the portable testing client: runs one
+  OS variant's tests against its simulated machine and reports back.
+* :mod:`repro.service.serial` + :mod:`repro.service.ce_client` -- the
+  Windows CE split client: test generation on the "NT host", execution
+  on the "CE target" over a serial link with file-polling handshakes.
+"""
+
+from repro.service.ce_client import CEHostClient, CETargetAgent
+from repro.service.client import BallistaClient
+from repro.service.rpc import LoopbackTransport, RpcClient, RpcError
+from repro.service.serial import SerialLink
+from repro.service.server import BallistaServer
+
+__all__ = [
+    "BallistaClient",
+    "BallistaServer",
+    "CEHostClient",
+    "CETargetAgent",
+    "LoopbackTransport",
+    "RpcClient",
+    "RpcError",
+    "SerialLink",
+]

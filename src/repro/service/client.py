@@ -1,0 +1,101 @@
+"""The portable Ballista testing client.
+
+One client instance tests one OS variant: it boots the simulated
+machine, announces itself to the server, pulls the deterministic test
+plan for each MuT, executes every case in a fresh process, and streams
+one result batch per MuT back.  A Catastrophic failure interrupts the
+MuT (the machine reboots) exactly as in the local campaign.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.core.crash_scale import CaseCode
+from repro.core.executor import Executor
+from repro.core.generator import CaseGenerator, TestCase
+from repro.core.mut import MuTRegistry, default_registry
+from repro.core.types import TypeRegistry, default_types
+from repro.service import protocol as P
+from repro.service.rpc import RpcClient, SocketTransport, Transport
+from repro.sim.machine import Machine
+from repro.sim.personality import Personality
+
+_INTERFERENCE_MARKER = "accumulated corruption"
+
+
+class BallistaClient:
+    """Runs one variant's tests against the central server."""
+
+    def __init__(
+        self,
+        personality: Personality,
+        transport: Transport,
+        registry: MuTRegistry | None = None,
+        types: TypeRegistry | None = None,
+    ) -> None:
+        self.personality = personality
+        self.rpc = RpcClient(transport)
+        self.registry = registry or default_registry()
+        self.types = types or default_types()
+
+    @classmethod
+    def connect(
+        cls, personality: Personality, host: str, port: int
+    ) -> "BallistaClient":
+        sock = socket.create_connection((host, port), timeout=30)
+        return cls(personality, SocketTransport(sock))
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> int:
+        """Execute the full plan; returns the number of MuTs tested."""
+        reply = self.rpc.call(
+            P.PROC_HELLO, P.encode_hello(self.personality.key)
+        )
+        entries, cap = P.decode_hello_reply(reply)
+        generator = CaseGenerator(self.types, cap=cap)
+        machine = Machine(self.personality)
+        executor = Executor(machine, generator)
+
+        for entry in entries:
+            mut = self.registry.get(entry.api, entry.name)
+            plan = P.decode_plan_reply(
+                self.rpc.call(
+                    P.PROC_GET_PLAN, P.encode_get_plan(entry.api, entry.name)
+                )
+            )
+            codes = bytearray()
+            exceptional = bytearray()
+            error_codes: list[int] = []
+            interference = False
+            for index, value_names in enumerate(plan):
+                case = TestCase(mut.name, index, value_names)
+                outcome = executor.run_case(mut, case)
+                codes.append(int(outcome.code))
+                exceptional.append(1 if outcome.exceptional_input else 0)
+                error_codes.append(outcome.error_code)
+                if outcome.code is CaseCode.CATASTROPHIC:
+                    if _INTERFERENCE_MARKER in outcome.detail:
+                        interference = True
+                    machine.reboot()
+                    break
+            self.rpc.call(
+                P.PROC_REPORT,
+                P.encode_report(
+                    self.personality.key,
+                    entry.api,
+                    entry.name,
+                    bytes(codes),
+                    bytes(exceptional),
+                    interference,
+                    capped=generator.is_capped(mut),
+                    planned=len(plan),
+                    error_codes=error_codes,
+                ),
+            )
+        self.rpc.call(P.PROC_COMPLETE, P.encode_hello(self.personality.key))
+        return len(entries)
+
+    def close(self) -> None:
+        self.rpc.close()

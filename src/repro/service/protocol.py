@@ -1,0 +1,122 @@
+"""Ballista service protocol: procedure numbers and body codecs.
+
+The protocol is deliberately chatty in the way the 1999 service was: the
+client announces its OS variant, the server hands out a per-MuT test
+plan (the deterministic case list), and the client streams back one
+result batch per MuT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.service.xdr import XdrDecoder, XdrEncoder
+
+PROC_HELLO = 1
+PROC_GET_PLAN = 2
+PROC_REPORT = 3
+PROC_COMPLETE = 4
+PROC_SUMMARY = 5
+
+
+@dataclass(frozen=True)
+class PlanEntry:
+    """One MuT the server wants tested."""
+
+    api: str
+    name: str
+    group: str
+    param_types: tuple[str, ...]
+
+
+def encode_hello(variant_key: str) -> bytes:
+    return XdrEncoder().string(variant_key).bytes()
+
+
+def decode_hello(dec: XdrDecoder) -> str:
+    return dec.string()
+
+
+def encode_hello_reply(entries: list[PlanEntry], cap: int) -> bytes:
+    enc = XdrEncoder()
+    enc.u32(cap)
+    enc.u32(len(entries))
+    for entry in entries:
+        enc.string(entry.api).string(entry.name).string(entry.group)
+        enc.string_array(list(entry.param_types))
+    return enc.bytes()
+
+
+def decode_hello_reply(dec: XdrDecoder) -> tuple[list[PlanEntry], int]:
+    cap = dec.u32()
+    count = dec.u32()
+    entries = []
+    for _ in range(count):
+        api = dec.string()
+        name = dec.string()
+        group = dec.string()
+        params = tuple(dec.string_array())
+        entries.append(PlanEntry(api, name, group, params))
+    return entries, cap
+
+
+def encode_get_plan(api: str, name: str) -> bytes:
+    return XdrEncoder().string(api).string(name).bytes()
+
+
+def decode_get_plan(dec: XdrDecoder) -> tuple[str, str]:
+    return dec.string(), dec.string()
+
+
+def encode_plan_reply(cases: list[tuple[str, ...]]) -> bytes:
+    enc = XdrEncoder()
+    enc.u32(len(cases))
+    for value_names in cases:
+        enc.string_array(list(value_names))
+    return enc.bytes()
+
+
+def decode_plan_reply(dec: XdrDecoder) -> list[tuple[str, ...]]:
+    count = dec.u32()
+    return [tuple(dec.string_array()) for _ in range(count)]
+
+
+def encode_report(
+    variant: str,
+    api: str,
+    name: str,
+    codes: bytes,
+    exceptional: bytes,
+    interference: bool,
+    capped: bool,
+    planned: int,
+    error_codes: list[int] | None = None,
+) -> bytes:
+    enc = XdrEncoder()
+    enc.string(variant).string(api).string(name)
+    enc.opaque(codes).opaque(exceptional)
+    enc.boolean(interference).boolean(capped)
+    enc.u32(planned)
+    blob = b"".join(
+        (code & 0xFFFF_FFFF).to_bytes(4, "big") for code in (error_codes or [])
+    )
+    enc.opaque(blob)
+    return enc.bytes()
+
+
+def decode_report(dec: XdrDecoder) -> dict:
+    report = {
+        "variant": dec.string(),
+        "api": dec.string(),
+        "name": dec.string(),
+        "codes": dec.opaque(),
+        "exceptional": dec.opaque(),
+        "interference": dec.boolean(),
+        "capped": dec.boolean(),
+        "planned": dec.u32(),
+    }
+    blob = dec.opaque()
+    report["error_codes"] = [
+        int.from_bytes(blob[i : i + 4], "big") for i in range(0, len(blob), 4)
+    ]
+    return report

@@ -1,0 +1,227 @@
+"""ONC-RPC-style transport: record marking, call/reply framing.
+
+Messages follow the shape of RFC 5531 (xid, CALL/REPLY, program,
+version, procedure) with XDR bodies.  Two transports are provided:
+
+* :class:`SocketTransport` -- TCP with RFC 5531 record marking (a
+  4-byte header whose top bit flags the last fragment).
+* :class:`LoopbackTransport` -- an in-process queue pair with the same
+  interface, for deterministic tests and single-process examples.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import socket
+import struct
+from typing import Callable
+
+from repro.service.xdr import XdrDecoder, XdrEncoder
+
+MSG_CALL = 0
+MSG_REPLY = 1
+
+REPLY_ACCEPTED = 0
+ACCEPT_SUCCESS = 0
+ACCEPT_PROC_UNAVAIL = 3
+ACCEPT_GARBAGE_ARGS = 4
+ACCEPT_SYSTEM_ERR = 5
+
+#: The Ballista test program identity.
+BALLISTA_PROGRAM = 0x2F5F_0001
+BALLISTA_VERSION = 2
+
+LAST_FRAGMENT = 0x8000_0000
+
+
+class RpcError(RuntimeError):
+    """Transport- or protocol-level RPC failure."""
+
+
+class Transport:
+    """Reliable, message-oriented duplex channel."""
+
+    def send_record(self, payload: bytes) -> None:
+        raise NotImplementedError
+
+    def recv_record(self) -> bytes:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial
+        pass
+
+
+class SocketTransport(Transport):
+    """TCP with ONC RPC record marking."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+
+    def send_record(self, payload: bytes) -> None:
+        header = struct.pack(">I", LAST_FRAGMENT | len(payload))
+        try:
+            self._sock.sendall(header + payload)
+        except OSError as exc:
+            raise RpcError(f"send failed: {exc}") from exc
+
+    def _recv_exact(self, count: int) -> bytes:
+        chunks = bytearray()
+        while len(chunks) < count:
+            try:
+                piece = self._sock.recv(count - len(chunks))
+            except OSError as exc:
+                raise RpcError(f"recv failed: {exc}") from exc
+            if not piece:
+                raise RpcError("connection closed mid-record")
+            chunks += piece
+        return bytes(chunks)
+
+    def recv_record(self) -> bytes:
+        payload = bytearray()
+        while True:
+            (header,) = struct.unpack(">I", self._recv_exact(4))
+            length = header & ~LAST_FRAGMENT
+            if length > 1 << 24:
+                raise RpcError(f"implausible fragment length {length}")
+            payload += self._recv_exact(length)
+            if header & LAST_FRAGMENT:
+                return bytes(payload)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+
+class LoopbackTransport(Transport):
+    """One end of an in-process duplex queue pair."""
+
+    def __init__(
+        self, inbox: "queue.Queue[bytes]", outbox: "queue.Queue[bytes]"
+    ) -> None:
+        self._inbox = inbox
+        self._outbox = outbox
+
+    @classmethod
+    def pair(cls) -> tuple["LoopbackTransport", "LoopbackTransport"]:
+        a_to_b: "queue.Queue[bytes]" = queue.Queue()
+        b_to_a: "queue.Queue[bytes]" = queue.Queue()
+        return cls(b_to_a, a_to_b), cls(a_to_b, b_to_a)
+
+    def send_record(self, payload: bytes) -> None:
+        self._outbox.put(payload)
+
+    def recv_record(self) -> bytes:
+        try:
+            return self._inbox.get(timeout=30)
+        except queue.Empty as exc:
+            raise RpcError("loopback recv timed out") from exc
+
+
+# ----------------------------------------------------------------------
+# Call / reply framing
+# ----------------------------------------------------------------------
+
+
+def encode_call(xid: int, procedure: int, body: bytes) -> bytes:
+    enc = XdrEncoder()
+    enc.u32(xid).u32(MSG_CALL)
+    enc.u32(2)  # RPC version
+    enc.u32(BALLISTA_PROGRAM).u32(BALLISTA_VERSION).u32(procedure)
+    enc.u32(0).u32(0)  # AUTH_NONE credential
+    enc.u32(0).u32(0)  # AUTH_NONE verifier
+    return enc.bytes() + body
+
+
+def decode_call(record: bytes) -> tuple[int, int, XdrDecoder]:
+    dec = XdrDecoder(record)
+    xid = dec.u32()
+    if dec.u32() != MSG_CALL:
+        raise RpcError("expected CALL message")
+    if dec.u32() != 2:
+        raise RpcError("unsupported RPC version")
+    program = dec.u32()
+    version = dec.u32()
+    procedure = dec.u32()
+    if program != BALLISTA_PROGRAM or version != BALLISTA_VERSION:
+        raise RpcError(f"unknown program {program:#x} v{version}")
+    dec.u32(), dec.opaque()  # credential
+    dec.u32(), dec.opaque()  # verifier
+    return xid, procedure, dec
+
+
+def encode_reply(xid: int, accept_state: int, body: bytes = b"") -> bytes:
+    enc = XdrEncoder()
+    enc.u32(xid).u32(MSG_REPLY).u32(REPLY_ACCEPTED)
+    enc.u32(0).u32(0)  # AUTH_NONE verifier
+    enc.u32(accept_state)
+    return enc.bytes() + body
+
+
+def decode_reply(record: bytes, expected_xid: int) -> XdrDecoder:
+    dec = XdrDecoder(record)
+    xid = dec.u32()
+    if xid != expected_xid:
+        raise RpcError(f"xid mismatch: sent {expected_xid}, got {xid}")
+    if dec.u32() != MSG_REPLY:
+        raise RpcError("expected REPLY message")
+    if dec.u32() != REPLY_ACCEPTED:
+        raise RpcError("RPC call was denied")
+    dec.u32(), dec.opaque()  # verifier
+    state = dec.u32()
+    if state != ACCEPT_SUCCESS:
+        raise RpcError(f"RPC call failed with accept state {state}")
+    return dec
+
+
+class RpcClient:
+    """Synchronous call interface over a transport."""
+
+    def __init__(self, transport: Transport) -> None:
+        self._transport = transport
+        self._xids = itertools.count(1)
+
+    def call(self, procedure: int, body: bytes = b"") -> XdrDecoder:
+        xid = next(self._xids)
+        self._transport.send_record(encode_call(xid, procedure, body))
+        return decode_reply(self._transport.recv_record(), xid)
+
+    def close(self) -> None:
+        self._transport.close()
+
+
+Handler = Callable[[XdrDecoder], bytes]
+
+
+def serve_connection(transport: Transport, handlers: dict[int, Handler]) -> None:
+    """Dispatch calls on one connection until it closes.
+
+    Unknown procedures get ``PROC_UNAVAIL``; handler decode errors get
+    ``GARBAGE_ARGS``; other handler errors get ``SYSTEM_ERR`` -- the
+    connection stays up in every case.
+    """
+    from repro.service.xdr import XdrError
+
+    while True:
+        try:
+            record = transport.recv_record()
+        except RpcError:
+            return
+        try:
+            xid, procedure, dec = decode_call(record)
+        except (RpcError, XdrError):
+            continue  # unparseable call: nothing to reply to
+        handler = handlers.get(procedure)
+        if handler is None:
+            transport.send_record(encode_reply(xid, ACCEPT_PROC_UNAVAIL))
+            continue
+        try:
+            body = handler(dec)
+        except XdrError:
+            transport.send_record(encode_reply(xid, ACCEPT_GARBAGE_ARGS))
+        except Exception:  # noqa: BLE001 - isolate the server loop
+            transport.send_record(encode_reply(xid, ACCEPT_SYSTEM_ERR))
+        else:
+            transport.send_record(encode_reply(xid, ACCEPT_SUCCESS, body))

@@ -1,0 +1,164 @@
+"""The central Ballista test server.
+
+The server owns the MuT registry and the deterministic case generator,
+hands out test plans to clients, and accumulates their reports into a
+:class:`~repro.core.results.ResultSet` that the analysis layer consumes
+exactly as if a local :class:`~repro.core.campaign.Campaign` had
+produced it.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.core.crash_scale import CaseCode
+from repro.core.generator import CaseGenerator
+from repro.core.mut import MuTRegistry, default_registry
+from repro.core.results import ResultSet
+from repro.core.types import TypeRegistry, default_types
+from repro.service import protocol as P
+from repro.service.rpc import SocketTransport, Transport, serve_connection
+from repro.service.xdr import XdrDecoder
+from repro.sim.personality import Personality
+
+
+class BallistaServer:
+    """Hands out test plans, collects results.
+
+    :param variants: personalities the server knows (clients announce a
+        variant key at HELLO time).
+    :param cap: per-MuT case cap sent to clients.
+    """
+
+    def __init__(
+        self,
+        variants: list[Personality],
+        registry: MuTRegistry | None = None,
+        types: TypeRegistry | None = None,
+        cap: int = 300,
+    ) -> None:
+        self.registry = registry or default_registry()
+        self.types = types or default_types()
+        self.generator = CaseGenerator(self.types, cap=cap)
+        self.cap = cap
+        self._variants = {p.key: p for p in variants}
+        self.results = ResultSet()
+        self._lock = threading.Lock()
+        self._threads: list[threading.Thread] = []
+        self._listener: socket.socket | None = None
+        self._completed: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+
+    def handlers(self):
+        return {
+            P.PROC_HELLO: self._on_hello,
+            P.PROC_GET_PLAN: self._on_get_plan,
+            P.PROC_REPORT: self._on_report,
+            P.PROC_COMPLETE: self._on_complete,
+        }
+
+    def _on_hello(self, dec: XdrDecoder) -> bytes:
+        variant_key = P.decode_hello(dec)
+        personality = self._variants[variant_key]
+        entries = [
+            P.PlanEntry(m.api, m.name, m.group, m.param_types)
+            for m in self.registry.for_variant(personality)
+        ]
+        return P.encode_hello_reply(entries, self.cap)
+
+    def _on_get_plan(self, dec: XdrDecoder) -> bytes:
+        api, name = P.decode_get_plan(dec)
+        mut = self.registry.get(api, name)
+        cases = [case.value_names for case in self.generator.cases(mut)]
+        return P.encode_plan_reply(cases)
+
+    def _on_report(self, dec: XdrDecoder) -> bytes:
+        report = P.decode_report(dec)
+        mut = self.registry.get(report["api"], report["name"])
+        with self._lock:
+            result = self.results.new_result(
+                report["variant"], mut.name, mut.api, mut.group
+            )
+            error_codes = report["error_codes"] or [0] * len(report["codes"])
+            for index, (code, exceptional, error_code) in enumerate(
+                zip(report["codes"], report["exceptional"], error_codes)
+            ):
+                result.record(
+                    index,
+                    CaseCode(code),
+                    bool(exceptional),
+                    error_code=error_code,
+                )
+            result.interference_crash = report["interference"]
+            result.capped = report["capped"]
+            result.planned_cases = report["planned"]
+        return b""
+
+    def _on_complete(self, dec: XdrDecoder) -> bytes:
+        variant_key = P.decode_hello(dec)
+        with self._lock:
+            self._completed.add(variant_key)
+        return b""
+
+    def completed_variants(self) -> set[str]:
+        with self._lock:
+            return set(self._completed)
+
+    # ------------------------------------------------------------------
+    # Transports
+    # ------------------------------------------------------------------
+
+    def attach(self, transport: Transport) -> threading.Thread:
+        """Serve one client connection on a background thread."""
+        thread = threading.Thread(
+            target=serve_connection,
+            args=(transport, self.handlers()),
+            daemon=True,
+        )
+        thread.start()
+        self._threads.append(thread)
+        return thread
+
+    def listen(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Accept TCP clients; returns the bound (host, port)."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen()
+        self._listener = listener
+
+        def accept_loop() -> None:
+            while True:
+                try:
+                    conn, _addr = listener.accept()
+                except OSError:
+                    return
+                self.attach(SocketTransport(conn))
+
+        thread = threading.Thread(target=accept_loop, daemon=True)
+        thread.start()
+        self._threads.append(thread)
+        return listener.getsockname()
+
+    def shutdown(self) -> None:
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+
+    def join(self, variant_keys: set[str], timeout: float = 60.0) -> None:
+        """Block until the given variants have reported completion."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if variant_keys <= self.completed_variants():
+                return
+            time.sleep(0.01)
+        missing = variant_keys - self.completed_variants()
+        raise TimeoutError(f"clients never completed: {sorted(missing)}")

@@ -1,0 +1,98 @@
+"""Minimal XDR (RFC 4506) encoding, as used by ONC RPC.
+
+Only the subset the Ballista protocol needs: unsigned/signed 32-bit
+integers, opaque byte strings and UTF-8 strings (length-prefixed, padded
+to 4-byte boundaries), and counted arrays.
+"""
+
+from __future__ import annotations
+
+
+class XdrError(ValueError):
+    """Malformed XDR data."""
+
+
+class XdrEncoder:
+    """Appends XDR-encoded values to a growing buffer."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def u32(self, value: int) -> "XdrEncoder":
+        self._buffer += (value & 0xFFFF_FFFF).to_bytes(4, "big")
+        return self
+
+    def i32(self, value: int) -> "XdrEncoder":
+        return self.u32(value & 0xFFFF_FFFF)
+
+    def boolean(self, value: bool) -> "XdrEncoder":
+        return self.u32(1 if value else 0)
+
+    def opaque(self, data: bytes) -> "XdrEncoder":
+        self.u32(len(data))
+        self._buffer += data
+        padding = (4 - len(data) % 4) % 4
+        self._buffer += b"\x00" * padding
+        return self
+
+    def string(self, text: str) -> "XdrEncoder":
+        return self.opaque(text.encode("utf-8"))
+
+    def string_array(self, items: list[str]) -> "XdrEncoder":
+        self.u32(len(items))
+        for item in items:
+            self.string(item)
+        return self
+
+    def bytes(self) -> bytes:
+        return bytes(self._buffer)
+
+
+class XdrDecoder:
+    """Reads XDR-encoded values from a buffer."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._offset = 0
+
+    def _take(self, count: int) -> bytes:
+        if self._offset + count > len(self._data):
+            raise XdrError(
+                f"truncated XDR data: wanted {count} bytes at {self._offset}"
+            )
+        piece = self._data[self._offset : self._offset + count]
+        self._offset += count
+        return piece
+
+    def u32(self) -> int:
+        return int.from_bytes(self._take(4), "big")
+
+    def i32(self) -> int:
+        value = self.u32()
+        return value - 0x1_0000_0000 if value >= 0x8000_0000 else value
+
+    def boolean(self) -> bool:
+        return self.u32() != 0
+
+    def opaque(self) -> bytes:
+        length = self.u32()
+        if length > len(self._data):
+            raise XdrError(f"implausible opaque length {length}")
+        data = self._take(length)
+        self._take((4 - length % 4) % 4)
+        return data
+
+    def string(self) -> str:
+        return self.opaque().decode("utf-8")
+
+    def string_array(self) -> list[str]:
+        count = self.u32()
+        if count > 1 << 20:
+            raise XdrError(f"implausible array length {count}")
+        return [self.string() for _ in range(count)]
+
+    def done(self) -> None:
+        if self._offset != len(self._data):
+            raise XdrError(
+                f"{len(self._data) - self._offset} trailing bytes in XDR data"
+            )

@@ -1,0 +1,56 @@
+"""Simulated machine substrate.
+
+This package implements the execution substrate on which the simulated
+operating systems (:mod:`repro.win32`, :mod:`repro.posix`) and C libraries
+(:mod:`repro.libc`) run:
+
+* :mod:`repro.sim.errors` -- the fault taxonomy (access violations, system
+  crashes, hangs, ...) that the Ballista harness classifies on the CRASH
+  scale.
+* :mod:`repro.sim.memory` -- a 32-bit virtual address space with regions,
+  page protections, and fault semantics.
+* :mod:`repro.sim.objects` -- the kernel object manager and per-process
+  handle tables.
+* :mod:`repro.sim.filesystem` -- an in-memory filesystem shared by the
+  POSIX fd layer, the Win32 file API, and the C stdio layer.
+* :mod:`repro.sim.process` -- simulated processes/threads with per-process
+  address spaces, fd/handle tables, errno, and ``GetLastError`` state.
+* :mod:`repro.sim.machine` -- a whole machine: one OS personality, one
+  filesystem, shared system state, and crash/reboot semantics.
+* :mod:`repro.sim.personality` -- declarative descriptions of how each OS
+  variant validates (or fails to validate) exceptional parameters.
+"""
+
+from repro.sim.errors import (
+    AccessViolation,
+    HardwareFault,
+    MachineCrashed,
+    MemoryFault,
+    MisalignedAccess,
+    SimFault,
+    StackOverflowFault,
+    SystemCrash,
+    TaskHang,
+)
+from repro.sim.machine import Machine
+from repro.sim.memory import AddressSpace, Protection, Region
+from repro.sim.personality import Personality
+from repro.sim.process import Process
+
+__all__ = [
+    "AccessViolation",
+    "AddressSpace",
+    "HardwareFault",
+    "Machine",
+    "MachineCrashed",
+    "MemoryFault",
+    "MisalignedAccess",
+    "Personality",
+    "Process",
+    "Protection",
+    "Region",
+    "SimFault",
+    "StackOverflowFault",
+    "SystemCrash",
+    "TaskHang",
+]

@@ -1,0 +1,66 @@
+"""Virtual time for the simulated machine.
+
+All timestamps and timeouts in the simulation are expressed in *ticks*
+(one tick ~ one millisecond of virtual time).  Blocking operations
+advance the clock; a watchdog budget per call is how the executor turns
+"would block forever" into a detectable
+:class:`~repro.sim.errors.TaskHang` instead of actually hanging the test
+harness (the simulation analogue of Ballista's task timeout).
+"""
+
+from __future__ import annotations
+
+from repro.sim.errors import TaskHang
+
+#: Seconds corresponding to tick 0; an arbitrary fixed epoch so that
+#: simulated wall-clock conversions are deterministic (2000-06-25, the
+#: first day of DSN 2000).
+EPOCH_UNIX_SECONDS = 961_891_200
+
+
+class SimClock:
+    """Monotonic virtual clock with a per-call watchdog.
+
+    :param watchdog_ticks: how long a single call may wait before the
+        harness declares it hung.
+    """
+
+    def __init__(self, watchdog_ticks: int = 30_000) -> None:
+        self.ticks = 0
+        self.watchdog_ticks = watchdog_ticks
+        self._call_started_at = 0
+        self._current_function = "<none>"
+
+    # ------------------------------------------------------------------
+
+    def begin_call(self, function: str) -> None:
+        """Arm the watchdog for a new API call."""
+        self._call_started_at = self.ticks
+        self._current_function = function
+
+    def advance(self, ticks: int) -> None:
+        """Advance virtual time (e.g. while blocked on a wait)."""
+        self.ticks += max(0, int(ticks))
+        self._check_watchdog()
+
+    def block_forever(self) -> None:
+        """Model a wait that can never be satisfied: burn the rest of the
+        watchdog budget and raise :class:`TaskHang`."""
+        waited = self.ticks - self._call_started_at
+        self.ticks = self._call_started_at + self.watchdog_ticks + 1
+        raise TaskHang(self._current_function, max(waited, self.watchdog_ticks))
+
+    def _check_watchdog(self) -> None:
+        waited = self.ticks - self._call_started_at
+        if waited > self.watchdog_ticks:
+            raise TaskHang(self._current_function, waited)
+
+    # ------------------------------------------------------------------
+
+    def unix_seconds(self) -> int:
+        """Simulated wall-clock time as Unix seconds."""
+        return EPOCH_UNIX_SECONDS + self.ticks // 1000
+
+    def tick_count(self) -> int:
+        """Milliseconds since simulated boot (Win32 ``GetTickCount``)."""
+        return self.ticks

@@ -1,0 +1,173 @@
+"""Fault taxonomy for the simulated machine.
+
+Every abnormal event that can happen while a Module under Test executes is
+modelled as an exception rooted at :class:`SimFault`.  The Ballista executor
+(:mod:`repro.core.executor`) catches these and maps them onto the CRASH
+severity scale:
+
+* :class:`SystemCrash` (a fault taken in kernel mode, or corruption of
+  shared system state) -> **Catastrophic**.
+* :class:`TaskHang` (a call that would block forever) -> **Restart**.
+* :class:`HardwareFault` subclasses raised in user mode (access violation,
+  misalignment, stack overflow) and unhandled thrown exceptions ->
+  **Abort**.
+
+The exception classes carry enough structure (address, access kind, signal
+name) for the reports to mirror the paper's terminology: a user-mode
+:class:`AccessViolation` is reported as ``SIGSEGV`` on POSIX personalities
+and ``EXCEPTION_ACCESS_VIOLATION`` on Win32 personalities.
+"""
+
+from __future__ import annotations
+
+
+class SimFault(Exception):
+    """Base class for all abnormal events in the simulated machine."""
+
+
+class HardwareFault(SimFault):
+    """A CPU-level fault taken while executing in *user* mode.
+
+    User-mode hardware faults terminate the offending task only; the
+    Ballista executor classifies them as Abort failures.
+    """
+
+    #: POSIX signal name delivered for this fault.
+    posix_signal = "SIGSEGV"
+    #: Win32 structured-exception code name raised for this fault.
+    win32_exception = "EXCEPTION_ACCESS_VIOLATION"
+
+
+class MemoryFault(HardwareFault):
+    """An invalid memory access.
+
+    :param address: faulting virtual address.
+    :param access: ``"read"``, ``"write"`` or ``"execute"``.
+    :param reason: short human-readable cause (``"unmapped"``,
+        ``"protection"``, ``"freed"``).
+    """
+
+    def __init__(self, address: int, access: str, reason: str = "unmapped") -> None:
+        self.address = address
+        self.access = access
+        self.reason = reason
+        super().__init__(
+            f"invalid {access} at 0x{address & 0xFFFFFFFF:08X} ({reason})"
+        )
+
+
+class AccessViolation(MemoryFault):
+    """Access to unmapped memory or violation of page protections."""
+
+    posix_signal = "SIGSEGV"
+    win32_exception = "EXCEPTION_ACCESS_VIOLATION"
+
+
+class MisalignedAccess(MemoryFault):
+    """A misaligned wide access on a strict-alignment CPU (e.g. the ARM
+    and SH3 cores Windows CE devices used)."""
+
+    posix_signal = "SIGBUS"
+    win32_exception = "EXCEPTION_DATATYPE_MISALIGNMENT"
+
+    def __init__(self, address: int, access: str) -> None:
+        super().__init__(address, access, reason="misaligned")
+
+
+class StackOverflowFault(HardwareFault):
+    """Stack exhaustion (e.g. runaway recursion in a C library routine)."""
+
+    posix_signal = "SIGSEGV"
+    win32_exception = "EXCEPTION_STACK_OVERFLOW"
+
+    def __init__(self, depth: int) -> None:
+        self.depth = depth
+        super().__init__(f"stack overflow at recursion depth {depth}")
+
+
+class ArithmeticFault(HardwareFault):
+    """Integer divide-by-zero or trapped floating point operation."""
+
+    posix_signal = "SIGFPE"
+    win32_exception = "EXCEPTION_INT_DIVIDE_BY_ZERO"
+
+    def __init__(self, operation: str, win32_exception: str | None = None) -> None:
+        self.operation = operation
+        if win32_exception is not None:
+            self.win32_exception = win32_exception
+        super().__init__(f"arithmetic fault in {operation}")
+
+
+class SoftwareAbort(SimFault):
+    """A deliberate runtime abort (``abort()``/``SIGABRT``), e.g. glibc's
+    consistency checks in ``free()``."""
+
+    posix_signal = "SIGABRT"
+    win32_exception = "EXCEPTION_NONCONTINUABLE_EXCEPTION"
+
+    def __init__(self, origin: str) -> None:
+        self.origin = origin
+        super().__init__(f"runtime abort raised by {origin}")
+
+
+class FatalSignal(SoftwareAbort):
+    """A fatal signal delivered to the task itself (e.g. the test
+    process calling ``kill(getpid(), SIGTERM)``) -- abnormal task
+    termination, classified Abort."""
+
+    def __init__(self, signal_name: str) -> None:
+        self.posix_signal = signal_name
+        super().__init__(f"delivery of {signal_name}")
+
+
+class ThrownException(SimFault):
+    """An exception *thrown* by a Win32 API implementation as an error
+    report (the Win32 thrown-exception error reporting model, paper
+    section 3.1).
+
+    The paper's harness "intercepted all integer and string exception
+    values, and to be more than fair in evaluation, assumed that all such
+    exceptions were valid and recoverable"; only unrecoverable exceptions
+    count as Abort failures.  :attr:`recoverable` carries that distinction.
+    """
+
+    def __init__(self, value: object, recoverable: bool = True) -> None:
+        self.value = value
+        self.recoverable = recoverable
+        super().__init__(f"thrown exception {value!r} (recoverable={recoverable})")
+
+
+class SystemCrash(SimFault):
+    """A complete operating system crash requiring a reboot.
+
+    Raised when a fault is taken in *kernel* mode (unprobed user pointer
+    dereferenced by kernel code), or when corruption of shared system
+    state crosses the machine's tolerance.  Classified Catastrophic.
+    """
+
+    def __init__(self, reason: str, function: str | None = None) -> None:
+        self.reason = reason
+        self.function = function
+        where = f" in {function}" if function else ""
+        super().__init__(f"system crash{where}: {reason}")
+
+
+class MachineCrashed(SimFault):
+    """An operation was attempted on a machine that has already crashed
+    and has not been rebooted."""
+
+    def __init__(self) -> None:
+        super().__init__("machine has crashed; reboot() required")
+
+
+class TaskHang(SimFault):
+    """The current call would block forever (watchdog expired).
+
+    Classified as a Restart failure: the task must be killed and
+    restarted for the application to make progress.
+    """
+
+    def __init__(self, function: str, waited_ticks: int) -> None:
+        self.function = function
+        self.waited_ticks = waited_ticks
+        super().__init__(f"{function} hung (no progress after {waited_ticks} ticks)")

@@ -1,0 +1,388 @@
+"""In-memory filesystem shared by the POSIX, Win32, and C stdio layers.
+
+One :class:`FileSystem` belongs to one :class:`~repro.sim.machine.Machine`
+and survives across simulated processes (so a file created by a Ballista
+test-value constructor in one test case exists for the call under test,
+and lingering files are visible as cleanup bugs).  Windows personalities
+resolve paths case-insensitively and accept both separators; POSIX
+resolves case-sensitively.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+
+class FileSystemError(Exception):
+    """Filesystem-level error with a POSIX-style symbolic code.
+
+    The OS layers translate ``code`` into ``errno`` values or Win32
+    ``GetLastError`` codes.
+    """
+
+    def __init__(self, code: str, path: str = "") -> None:
+        self.code = code  # e.g. "ENOENT", "EEXIST", "EISDIR", "EACCES"
+        self.path = path
+        super().__init__(f"{code}: {path!r}")
+
+
+class Node:
+    """Base class for filesystem nodes."""
+
+    is_directory = False
+
+    def __init__(self, name: str, now: int) -> None:
+        self.name = name
+        self.created_at = now
+        self.modified_at = now
+        self.accessed_at = now
+        self.read_only = False
+        self.hidden = False
+        #: System nodes created at boot cannot be renamed or removed by
+        #: an unprivileged process (EACCES), like /tmp on a real system.
+        self.protected = False
+        self.mode = 0o644
+
+
+class FileNode(Node):
+    """A regular file: a named bytearray plus attributes."""
+
+    def __init__(self, name: str, now: int, data: bytes = b"") -> None:
+        super().__init__(name, now)
+        self.data = bytearray(data)
+        self.nlink = 1
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+class DirectoryNode(Node):
+    is_directory = True
+
+    def __init__(self, name: str, now: int) -> None:
+        super().__init__(name, now)
+        self.mode = 0o755
+        self.entries: dict[str, Node] = {}
+
+    def lookup(self, name: str, case_insensitive: bool) -> Node | None:
+        if name in self.entries:
+            return self.entries[name]
+        if case_insensitive:
+            lowered = name.lower()
+            for key, node in self.entries.items():
+                if key.lower() == lowered:
+                    return node
+        return None
+
+    def remove(self, name: str, case_insensitive: bool) -> None:
+        if name in self.entries:
+            del self.entries[name]
+            return
+        if case_insensitive:
+            lowered = name.lower()
+            for key in list(self.entries):
+                if key.lower() == lowered:
+                    del self.entries[key]
+                    return
+        raise KeyError(name)
+
+
+class OpenFile:
+    """An open file description: node + offset + access mode.
+
+    Shared by POSIX fds (``dup`` makes two fds share one description),
+    Win32 ``FileObject`` handles, and C ``FILE*`` streams.
+    """
+
+    def __init__(
+        self,
+        node: FileNode,
+        readable: bool,
+        writable: bool,
+        append: bool = False,
+        now: Callable[[], int] = lambda: 0,
+    ) -> None:
+        self.node = node
+        self.readable = readable
+        self.writable = writable
+        self.append = append
+        self.offset = 0
+        self.closed = False
+        self._now = now
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise FileSystemError("EBADF", self.node.name)
+
+    def read(self, count: int) -> bytes:
+        self._require_open()
+        if not self.readable:
+            raise FileSystemError("EBADF", self.node.name)
+        data = bytes(self.node.data[self.offset : self.offset + max(count, 0)])
+        self.offset += len(data)
+        self.node.accessed_at = self._now()
+        return data
+
+    def write(self, data: bytes) -> int:
+        self._require_open()
+        if not self.writable:
+            raise FileSystemError("EBADF", self.node.name)
+        if self.append:
+            self.offset = len(self.node.data)
+        end = self.offset + len(data)
+        if end > len(self.node.data):
+            self.node.data.extend(b"\x00" * (end - len(self.node.data)))
+        self.node.data[self.offset : end] = data
+        self.offset = end
+        self.node.modified_at = self._now()
+        return len(data)
+
+    def seek(self, offset: int, whence: int = 0) -> int:
+        """``whence``: 0=SET, 1=CUR, 2=END.  Negative results are errors."""
+        self._require_open()
+        base = {0: 0, 1: self.offset, 2: len(self.node.data)}.get(whence)
+        if base is None:
+            raise FileSystemError("EINVAL", self.node.name)
+        position = base + offset
+        if position < 0:
+            raise FileSystemError("EINVAL", self.node.name)
+        self.offset = position
+        return position
+
+    def truncate(self, length: int) -> None:
+        self._require_open()
+        if length < 0:
+            raise FileSystemError("EINVAL", self.node.name)
+        if length <= len(self.node.data):
+            del self.node.data[length:]
+        else:
+            self.node.data.extend(b"\x00" * (length - len(self.node.data)))
+        self.node.modified_at = self._now()
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class Pipe:
+    """An anonymous pipe: bounded FIFO with a read and a write end."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        self.capacity = capacity
+        self.buffer = bytearray()
+        self.read_open = True
+        self.write_open = True
+
+    def write(self, data: bytes) -> int:
+        if not self.read_open:
+            raise FileSystemError("EPIPE", "<pipe>")
+        room = self.capacity - len(self.buffer)
+        accepted = data[: max(room, 0)]
+        self.buffer.extend(accepted)
+        return len(accepted)
+
+    def read(self, count: int) -> bytes:
+        taken = bytes(self.buffer[: max(count, 0)])
+        del self.buffer[: len(taken)]
+        return taken
+
+
+class FileSystem:
+    """Machine-wide in-memory filesystem.
+
+    ``max_files`` models disk capacity for heavy-load experiments: once
+    that many regular files exist, creating another fails with
+    ``ENOSPC`` (``None`` = unlimited, the default).
+    """
+
+    def __init__(
+        self,
+        case_insensitive: bool = False,
+        now: Callable[[], int] = lambda: 0,
+        max_files: int | None = None,
+    ) -> None:
+        self.case_insensitive = case_insensitive
+        self._now = now
+        self.max_files = max_files
+        self._file_count = 0
+        self.root = DirectoryNode("", now())
+
+    # ------------------------------------------------------------------
+    # Path handling
+    # ------------------------------------------------------------------
+
+    def split(self, path: str) -> list[str]:
+        """Normalise a path into components.  Accepts ``/`` always and
+        ``\\`` plus drive letters on case-insensitive (Windows)
+        filesystems."""
+        if self.case_insensitive:
+            path = path.replace("\\", "/")
+            if len(path) >= 2 and path[1] == ":":
+                path = path[2:]
+        parts: list[str] = []
+        for piece in path.split("/"):
+            if piece in ("", "."):
+                continue
+            if piece == "..":
+                if parts:
+                    parts.pop()
+                continue
+            parts.append(piece)
+        return parts
+
+    def _walk(self, parts: list[str]) -> Node | None:
+        node: Node = self.root
+        for part in parts:
+            if not isinstance(node, DirectoryNode):
+                return None
+            found = node.lookup(part, self.case_insensitive)
+            if found is None:
+                return None
+            node = found
+        return node
+
+    def lookup(self, path: str) -> Node | None:
+        return self._walk(self.split(path))
+
+    def _parent_of(self, path: str) -> tuple[DirectoryNode, str]:
+        parts = self.split(path)
+        if not parts:
+            raise FileSystemError("EINVAL", path)
+        parent = self._walk(parts[:-1])
+        if parent is None:
+            raise FileSystemError("ENOENT", path)
+        if not isinstance(parent, DirectoryNode):
+            raise FileSystemError("ENOTDIR", path)
+        return parent, parts[-1]
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def create_file(
+        self, path: str, data: bytes = b"", exclusive: bool = False
+    ) -> FileNode:
+        parent, name = self._parent_of(path)
+        existing = parent.lookup(name, self.case_insensitive)
+        if existing is not None:
+            if exclusive:
+                raise FileSystemError("EEXIST", path)
+            if existing.is_directory:
+                raise FileSystemError("EISDIR", path)
+            assert isinstance(existing, FileNode)
+            existing.data[:] = data
+            existing.modified_at = self._now()
+            return existing
+        if self.max_files is not None and self._file_count >= self.max_files:
+            raise FileSystemError("ENOSPC", path)
+        node = FileNode(name, self._now(), data)
+        parent.entries[name] = node
+        self._file_count += 1
+        return node
+
+    def open(
+        self,
+        path: str,
+        readable: bool = True,
+        writable: bool = False,
+        create: bool = False,
+        truncate: bool = False,
+        exclusive: bool = False,
+        append: bool = False,
+    ) -> OpenFile:
+        node = self.lookup(path)
+        if node is None:
+            if not create:
+                raise FileSystemError("ENOENT", path)
+            node = self.create_file(path, exclusive=exclusive)
+        elif exclusive and create:
+            raise FileSystemError("EEXIST", path)
+        if node.is_directory:
+            if writable:
+                raise FileSystemError("EISDIR", path)
+            raise FileSystemError("EISDIR", path)
+        assert isinstance(node, FileNode)
+        if writable and node.read_only:
+            raise FileSystemError("EACCES", path)
+        if truncate and writable:
+            del node.data[:]
+        return OpenFile(node, readable, writable, append, now=self._now)
+
+    def unlink(self, path: str) -> None:
+        parent, name = self._parent_of(path)
+        node = parent.lookup(name, self.case_insensitive)
+        if node is None:
+            raise FileSystemError("ENOENT", path)
+        if node.is_directory:
+            raise FileSystemError("EISDIR", path)
+        if node.read_only or node.protected:
+            raise FileSystemError("EACCES", path)
+        parent.remove(name, self.case_insensitive)
+        self._file_count = max(0, self._file_count - 1)
+
+    def mkdir(self, path: str) -> DirectoryNode:
+        parent, name = self._parent_of(path)
+        if parent.lookup(name, self.case_insensitive) is not None:
+            raise FileSystemError("EEXIST", path)
+        node = DirectoryNode(name, self._now())
+        parent.entries[name] = node
+        return node
+
+    def rmdir(self, path: str) -> None:
+        parent, name = self._parent_of(path)
+        node = parent.lookup(name, self.case_insensitive)
+        if node is None:
+            raise FileSystemError("ENOENT", path)
+        if not node.is_directory:
+            raise FileSystemError("ENOTDIR", path)
+        assert isinstance(node, DirectoryNode)
+        if node.protected:
+            raise FileSystemError("EACCES", path)
+        if node.entries:
+            raise FileSystemError("ENOTEMPTY", path)
+        parent.remove(name, self.case_insensitive)
+
+    def rename(self, old: str, new: str) -> None:
+        node = self.lookup(old)
+        if node is None:
+            raise FileSystemError("ENOENT", old)
+        old_parts = self.split(old)
+        new_parts = self.split(new)
+        if not old_parts:
+            raise FileSystemError("EBUSY", old)  # renaming the root
+        if node.protected:
+            raise FileSystemError("EACCES", old)
+        if node.is_directory and new_parts[: len(old_parts)] == old_parts:
+            # rename(2) refuses to move a directory into itself.
+            raise FileSystemError("EINVAL", new)
+        new_parent, new_name = self._parent_of(new)
+        existing = new_parent.lookup(new_name, self.case_insensitive)
+        if existing is not None and existing.is_directory:
+            raise FileSystemError("EISDIR", new)
+        old_parent, old_name = self._parent_of(old)
+        old_parent.remove(old_name, self.case_insensitive)
+        node.name = new_name
+        new_parent.entries[new_name] = node
+
+    def listdir(self, path: str) -> list[str]:
+        node = self.lookup(path)
+        if node is None:
+            raise FileSystemError("ENOENT", path)
+        if not isinstance(node, DirectoryNode):
+            raise FileSystemError("ENOTDIR", path)
+        return sorted(node.entries)
+
+    def iter_files(self) -> Iterator[tuple[str, FileNode]]:
+        """Yield ``(path, node)`` for every regular file (test cleanup
+        audits use this)."""
+
+        def recurse(prefix: str, directory: DirectoryNode):
+            for name, node in sorted(directory.entries.items()):
+                full = f"{prefix}/{name}"
+                if isinstance(node, DirectoryNode):
+                    yield from recurse(full, node)
+                else:
+                    assert isinstance(node, FileNode)
+                    yield full, node
+
+        yield from recurse("", self.root)

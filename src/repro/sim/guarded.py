@@ -1,0 +1,150 @@
+"""Guarded memory access: the heart of the per-variant crash semantics.
+
+Three places dereference caller-supplied pointers, with different
+robustness consequences:
+
+* **user-mode library code** (kernel32.dll stubs, the C runtime): a bad
+  pointer faults in user mode -> the task aborts (Abort failure).  This
+  is a plain :meth:`AddressSpace.read`/``write``.
+* **probing kernels** (NT, 2000, Linux): the kernel validates the
+  pointer first (``ProbeForWrite`` / ``copy_to_user``) and returns a
+  graceful error -- :func:`kernel_copy_to_user` returns ``False``.
+* **non-probing kernel paths** (the Windows 9x / CE functions in the
+  paper's Table 3): the fault is taken in kernel mode.  Depending on the
+  personality's per-function mode this either panics the machine
+  immediately (:data:`~repro.sim.personality.RAW`) or misdirects the
+  write into shared system state, silently corrupting it
+  (:data:`~repro.sim.personality.CORRUPT`) until the accumulated damage
+  crashes the machine -- the "could not reproduce outside the harness"
+  crashes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.errors import MemoryFault
+from repro.sim.personality import CORRUPT, PROBE, RAW
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.machine import Machine
+    from repro.sim.memory import AddressSpace
+
+
+def kernel_copy_to_user(
+    machine: "Machine",
+    mem: "AddressSpace",
+    function: str,
+    address: int,
+    data: bytes,
+) -> bool:
+    """Kernel-side write through a caller pointer.
+
+    Returns ``True`` when the caller will observe success, ``False``
+    when a probing kernel detected the bad pointer (caller returns an
+    error code).  May panic the machine on non-probing personalities.
+    """
+    mode = machine.personality.kernel_access_mode(function)
+    try:
+        mem.write(address, data)
+        return True
+    except MemoryFault as fault:
+        if mode == RAW:
+            machine.panic(
+                f"kernel-mode fault writing 0x{fault.address:08X}", function
+            )
+        if mode == CORRUPT:
+            # The write was misdirected into the shared arena: the call
+            # appears to succeed while system state decays.
+            machine.note_corruption(function)
+            return True
+        return False
+
+
+def kernel_copy_from_user(
+    machine: "Machine",
+    mem: "AddressSpace",
+    function: str,
+    address: int,
+    size: int,
+) -> bytes | None:
+    """Kernel-side read through a caller pointer; ``None`` when a probing
+    kernel rejected it.  Non-probing reads of garbage do not crash by
+    themselves, but RAW-mode functions fault in kernel mode on unmapped
+    addresses just as writes do."""
+    mode = machine.personality.kernel_access_mode(function)
+    try:
+        return mem.read(address, size)
+    except MemoryFault as fault:
+        if mode == RAW:
+            machine.panic(
+                f"kernel-mode fault reading 0x{fault.address:08X}", function
+            )
+        if mode == CORRUPT:
+            machine.note_corruption(function)
+            return b"\x00" * size  # kernel read stale arena bytes instead
+        return None
+
+
+def crt_write(
+    machine: "Machine",
+    mem: "AddressSpace",
+    function: str,
+    address: int,
+    data: bytes,
+) -> bool:
+    """C-runtime write through a caller pointer.
+
+    In the default (PROBE) mode this is ordinary user-mode access: a bad
+    pointer raises and the task aborts.  For functions the personality
+    lists as RAW/CORRUPT the fault instead lands in shared system memory
+    (single shared address space on CE; the writable shared arena on
+    9x), crashing or corrupting the machine.
+
+    Returns ``True`` when the bytes actually landed, ``False`` when the
+    fault was absorbed as corruption (callers must stop streaming more
+    data at that point).
+    """
+    mode = machine.personality.kernel_access_mode(function)
+    if mode == PROBE:
+        mem.write(address, data)
+        return True
+    try:
+        mem.write(address, data)
+        return True
+    except MemoryFault as fault:
+        if mode == RAW:
+            machine.panic(
+                f"fault in shared system memory writing 0x{fault.address:08X}",
+                function,
+            )
+        machine.note_corruption(function)
+        return False
+
+
+def crt_read(
+    machine: "Machine",
+    mem: "AddressSpace",
+    function: str,
+    address: int,
+    size: int,
+) -> bytes | None:
+    """C-runtime read through a caller pointer.
+
+    PROBE mode is an ordinary user-mode load (faults propagate).  For
+    RAW functions a fault panics the machine; for CORRUPT functions it
+    is absorbed (``None`` is returned and the caller stops reading).
+    """
+    mode = machine.personality.kernel_access_mode(function)
+    if mode == PROBE:
+        return mem.read(address, size)
+    try:
+        return mem.read(address, size)
+    except MemoryFault as fault:
+        if mode == RAW:
+            machine.panic(
+                f"fault in shared system memory reading 0x{fault.address:08X}",
+                function,
+            )
+        machine.note_corruption(function)
+        return None

@@ -1,0 +1,138 @@
+"""A whole simulated machine: one OS personality, one filesystem, shared
+system state, and crash/reboot semantics.
+
+The machine is the unit of *catastrophe*: a fault taken in kernel mode
+(:meth:`Machine.panic`) or accumulated corruption of the shared system
+arena (:meth:`Machine.note_corruption`) crashes the whole machine, and
+every subsequent operation fails with
+:class:`~repro.sim.errors.MachineCrashed` until :meth:`Machine.reboot`.
+That is exactly the observable the Ballista harness classifies as a
+Catastrophic failure.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.sim.clock import SimClock
+from repro.sim.errors import MachineCrashed, SystemCrash
+from repro.sim.filesystem import FileSystem
+from repro.sim.memory import Protection, Region, SHARED_BASE
+from repro.sim.personality import Personality
+from repro.sim.process import Process
+
+#: Size of the Windows 9x / CE shared system arena we model.
+SHARED_ARENA_SIZE = 0x10000
+
+
+class Machine:
+    """One bootable machine running one OS personality.
+
+    :param personality: the OS variant to boot.
+    :param watchdog_ticks: per-call hang budget (virtual milliseconds).
+    """
+
+    def __init__(
+        self,
+        personality: Personality,
+        watchdog_ticks: int = 30_000,
+        fs_max_files: int | None = None,
+    ) -> None:
+        """
+        :param fs_max_files: disk capacity (regular files) for heavy-load
+            experiments; ``None`` = unlimited.
+        """
+        self.personality = personality
+        self.watchdog_ticks = watchdog_ticks
+        self.fs_max_files = fs_max_files
+        self.reboot_count = 0
+        self.initial_environ = {
+            "PATH": "/bin:/usr/bin" if personality.api == "posix" else r"C:\WINDOWS",
+            "HOME": "/home/ballista",
+            "TEMP": "/tmp",
+            "BALLISTA": "1",
+        }
+        self._pids = itertools.count(100)
+        self._boot()
+
+    def _boot(self) -> None:
+        self.clock = SimClock(self.watchdog_ticks)
+        self.fs = FileSystem(
+            case_insensitive=self.personality.case_insensitive_fs,
+            now=self.clock.tick_count,
+            max_files=self.fs_max_files,
+        )
+        for directory in ("/tmp", "/home", "/home/ballista"):
+            self.fs.mkdir(directory).protected = True
+        passwd = self.fs.create_file(
+            "/etc_passwd", b"root:x:0:0:root:/root:/bin/sh\n"
+        )
+        passwd.protected = True
+
+        self.crashed = False
+        self.crash_reason: str | None = None
+        self.crash_function: str | None = None
+        self._corruption = 0
+        #: Log of (function, amount) corruption events, for diagnosis and
+        #: for the inter-test-interference ablation benchmark.
+        self.corruption_log: list[tuple[str, int]] = []
+
+        self.shared_region: Region | None = None
+        if self.personality.shared_system_memory:
+            self.shared_region = Region(
+                SHARED_BASE, SHARED_ARENA_SIZE, Protection.RW, tag="shared-arena"
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def spawn_process(self) -> Process:
+        """Start a fresh process (one Ballista test case runs in one)."""
+        self.check_alive()
+        return Process(self, next(self._pids))
+
+    def reboot(self) -> None:
+        """Power-cycle after a crash: fresh filesystem, shared arena and
+        corruption state.  (Ballista restarts testing after a reboot.)"""
+        self.reboot_count += 1
+        self._boot()
+
+    # ------------------------------------------------------------------
+    # Crash semantics
+    # ------------------------------------------------------------------
+
+    def check_alive(self) -> None:
+        """Raise :class:`MachineCrashed` when the machine is down."""
+        if self.crashed:
+            raise MachineCrashed()
+
+    def panic(self, reason: str, function: str | None = None) -> None:
+        """Take the machine down (kernel-mode fault); raises
+        :class:`SystemCrash`."""
+        self.crashed = True
+        self.crash_reason = reason
+        self.crash_function = function
+        raise SystemCrash(reason, function)
+
+    def note_corruption(self, function: str, amount: int = 1) -> None:
+        """Record corruption of shared system state.
+
+        A single event is absorbed (the call even appears to succeed --
+        the misdirected write landed somewhere in the shared arena), but
+        once more than ``personality.corruption_tolerance`` events have
+        accumulated since boot the machine goes down.  This reproduces
+        the paper's ``*`` functions, whose crashes "could not be
+        reproduced outside of the test harness" because they need the
+        residue of earlier test cases.
+        """
+        self._corruption += amount
+        self.corruption_log.append((function, amount))
+        if self._corruption > self.personality.corruption_tolerance:
+            self.panic(
+                "accumulated corruption of shared system state", function
+            )
+
+    @property
+    def corruption_level(self) -> int:
+        return self._corruption

@@ -1,0 +1,189 @@
+"""Kernel object manager and per-process handle tables.
+
+Win32 HANDLEs index a per-process :class:`HandleTable` whose slots point
+at machine-wide :class:`KernelObject` instances (events, mutexes, threads,
+open files, file mappings, heaps...).  POSIX file descriptors are a
+separate, simpler table kept on the process (see
+:mod:`repro.sim.process`); both ultimately share the same open-file
+objects from :mod:`repro.sim.filesystem`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.filesystem import OpenFile
+    from repro.sim.memory import Region
+
+#: Win32 pseudo-handles (negative DWORDs in real headers).
+CURRENT_PROCESS_HANDLE = 0xFFFF_FFFF  # GetCurrentProcess()
+CURRENT_THREAD_HANDLE = 0xFFFF_FFFE  # GetCurrentThread()
+INVALID_HANDLE_VALUE = 0xFFFF_FFFF
+
+
+class KernelObject:
+    """Base class for every object the kernel hands out handles to."""
+
+    kind = "object"
+    _ids = itertools.count(1)
+
+    def __init__(self, name: str | None = None) -> None:
+        self.object_id = next(KernelObject._ids)
+        self.name = name
+        self.refcount = 0
+        #: Signalled state for waitable objects.
+        self.signaled = False
+        #: Set once every handle to the object has been closed.
+        self.destroyed = False
+
+    def on_last_close(self) -> None:
+        """Hook run when the final handle is closed."""
+        self.destroyed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} #{self.object_id} name={self.name!r}>"
+
+
+class ProcessObject(KernelObject):
+    kind = "process"
+
+    def __init__(self, pid: int, name: str | None = None) -> None:
+        super().__init__(name)
+        self.pid = pid
+        self.exit_code: int | None = None
+
+
+class ThreadObject(KernelObject):
+    kind = "thread"
+
+    def __init__(
+        self, tid: int, suspended: bool = False, name: str | None = None
+    ) -> None:
+        super().__init__(name)
+        self.tid = tid
+        self.suspend_count = 1 if suspended else 0
+        self.exit_code: int | None = None
+        #: Simulated CPU context (register name -> value) captured by
+        #: GetThreadContext / installed by SetThreadContext.
+        self.context: dict[str, int] = {
+            "eax": 0, "ebx": 0, "ecx": 0, "edx": 0,
+            "esi": 0, "edi": 0, "ebp": 0, "esp": 0x7FFD_0000,
+            "eip": 0x0040_1000, "eflags": 0x202,
+        }
+
+
+class EventObject(KernelObject):
+    kind = "event"
+
+    def __init__(self, manual_reset: bool, initial_state: bool, name=None) -> None:
+        super().__init__(name)
+        self.manual_reset = manual_reset
+        self.signaled = initial_state
+
+
+class MutexObject(KernelObject):
+    kind = "mutex"
+
+    def __init__(self, initially_owned: bool, name: str | None = None) -> None:
+        super().__init__(name)
+        self.owner_tid: int | None = None
+        self.recursion = 1 if initially_owned else 0
+        self.signaled = not initially_owned
+
+
+class SemaphoreObject(KernelObject):
+    kind = "semaphore"
+
+    def __init__(self, initial: int, maximum: int, name: str | None = None) -> None:
+        super().__init__(name)
+        self.count = initial
+        self.maximum = maximum
+        self.signaled = initial > 0
+
+
+class FileObject(KernelObject):
+    """A handle-level wrapper around an open file description."""
+
+    kind = "file"
+
+    def __init__(self, open_file: "OpenFile", name: str | None = None) -> None:
+        super().__init__(name)
+        self.open_file = open_file
+        self.signaled = True  # file handles are always signalled
+        #: LockFile ranges: list of (start, length, exclusive).
+        self.locks: list[tuple[int, int, bool]] = []
+
+    def on_last_close(self) -> None:
+        super().on_last_close()
+        self.open_file.close()
+
+
+class FileMappingObject(KernelObject):
+    kind = "file-mapping"
+
+    def __init__(self, size: int, backing: "OpenFile | None", name=None) -> None:
+        super().__init__(name)
+        self.size = size
+        self.backing = backing
+        self.views: list[Region] = []
+
+
+class HeapObject(KernelObject):
+    """A Win32 growable heap (HeapCreate / HeapAlloc)."""
+
+    kind = "heap"
+
+    def __init__(self, initial_size: int, maximum_size: int, name=None) -> None:
+        super().__init__(name)
+        self.initial_size = initial_size
+        self.maximum_size = maximum_size
+        #: address -> Region for blocks carved from this heap.
+        self.blocks: dict[int, "Region"] = {}
+
+
+class HandleTable:
+    """Per-process table mapping HANDLE values to kernel objects.
+
+    Real Win32 handles are small multiples of 4; reusing the same
+    low-numbered values across processes is what makes "stale handle"
+    test values interesting, so the allocator is deliberately dense.
+    """
+
+    def __init__(self) -> None:
+        self._slots: dict[int, KernelObject] = {}
+        self._next = 0x4
+
+    def insert(self, obj: KernelObject) -> int:
+        """Add ``obj`` and return its new handle value."""
+        handle = self._next
+        self._next += 4
+        self._slots[handle] = obj
+        obj.refcount += 1
+        return handle
+
+    def get(self, handle: int) -> KernelObject | None:
+        """Resolve a handle, or ``None`` when the value is not a live
+        handle in this table (pseudo-handles are resolved by the kernel
+        layer, not here)."""
+        return self._slots.get(handle & 0xFFFFFFFF)
+
+    def close(self, handle: int) -> bool:
+        obj = self._slots.pop(handle & 0xFFFFFFFF, None)
+        if obj is None:
+            return False
+        obj.refcount -= 1
+        if obj.refcount <= 0:
+            obj.on_last_close()
+        return True
+
+    def close_all(self) -> None:
+        for handle in list(self._slots):
+            self.close(handle)
+
+    def handles(self) -> list[int]:
+        return sorted(self._slots)
+
+    def __len__(self) -> int:
+        return len(self._slots)

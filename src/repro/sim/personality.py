@@ -1,0 +1,108 @@
+"""OS personalities: how each variant validates exceptional parameters.
+
+A :class:`Personality` is a declarative description of one operating
+system implementation's *robustness-relevant* behaviour.  The API
+implementations in :mod:`repro.win32`, :mod:`repro.posix` and
+:mod:`repro.libc` are shared across variants; the personality decides,
+per function, whether a kernel-side access through a caller-supplied
+pointer is probed (NT/2000/Linux), taken raw in kernel mode (the
+Windows 9x / CE catastrophic-crash functions from the paper's Table 3),
+or silently corrupts shared system state (the ``*`` functions that only
+crash under sustained testing -- inter-test interference).
+
+Failure *rates* are never encoded here.  Only mechanisms are: the rates
+reported by the benchmarks emerge from executing the shared
+implementations against the Ballista value pools under each personality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Kernel handling of a caller pointer during a system call.
+PROBE = "probe"  #: validate first; invalid pointer -> graceful error return
+RAW = "raw"  #: dereference in kernel mode; invalid pointer -> system crash
+CORRUPT = "corrupt"  #: misdirect into shared arena; crash only after repeats
+
+
+@dataclass(frozen=True)
+class Personality:
+    """Robustness-relevant behaviour of one OS implementation.
+
+    :param key: short identifier (``"win98se"``, ``"linux"``...).
+    :param name: display name as the paper prints it.
+    :param api: ``"win32"`` or ``"posix"`` -- which system-call API this
+        variant exposes.
+    :param family: ``"9x"``, ``"nt"``, ``"ce"`` or ``"linux"``; used for
+        reporting and for family-level behaviours.
+    :param crt_flavor: which C runtime personality the 94 shared C
+        library functions run under (``"msvcrt"``, ``"ce-crt"``,
+        ``"glibc"``).
+    :param kernel_probes_pointers: default kernel-side pointer handling
+        when a function is in neither exception set: ``True`` -> PROBE,
+        ``False`` -> the 9x default of an unprotected copy that happens
+        to fault safely (modelled as PROBE for result purposes but with
+        laxer validation elsewhere).
+    :param raw_kernel_access: functions whose kernel-side pointer access
+        is unprotected on this variant (immediate Catastrophic on an
+        invalid pointer).
+    :param corrupting_access: functions whose kernel-side pointer access
+        is misdirected into shared system state (the paper's ``*``
+        inter-test-interference crashes: no crash in a single isolated
+        test, crash after enough corruption accumulates).
+    :param corruption_tolerance: number of shared-state corruptions the
+        machine absorbs before the delayed crash.
+    :param lax_handle_validation: invalid kernel handles are not
+        detected; the call "succeeds" (Silent failure) instead of
+        returning ``ERROR_INVALID_HANDLE``.
+    :param lax_flag_validation: undefined flag bits and enum values are
+        accepted silently instead of rejected.
+    :param shared_system_memory: user-writable shared arena holding
+        system structures (Windows 9x shared arena; on CE the single
+        shared address space).  Required for CORRUPT semantics.
+    :param crt_wild_file_crashes: a wild ``FILE*`` dereference by the C
+        runtime lands in shared system state and takes the machine down
+        (the Windows CE "seventeen functions, one bad file pointer"
+        finding) instead of raising a user-mode access violation.
+    :param strict_alignment: CPU faults misaligned wide accesses
+        (Windows CE on ARM/SH3).
+    :param case_insensitive_fs: filesystem path matching.
+    :param missing_functions: API functions this variant does not
+        implement (e.g. the 10 Win32 calls absent from Windows 95); the
+        registry additionally restricts Windows CE to its subset.
+    """
+
+    key: str
+    name: str
+    api: str
+    family: str
+    crt_flavor: str
+    kernel_probes_pointers: bool = True
+    raw_kernel_access: frozenset[str] = field(default_factory=frozenset)
+    corrupting_access: frozenset[str] = field(default_factory=frozenset)
+    corruption_tolerance: int = 3
+    lax_handle_validation: bool = False
+    lax_flag_validation: bool = False
+    #: The classic 9x error-reporting sloppiness: a missing file is
+    #: reported as ``ERROR_PATH_NOT_FOUND`` instead of
+    #: ``ERROR_FILE_NOT_FOUND`` -- a Hindering failure (the error
+    #: indication is wrong, not absent).
+    confuses_path_errors: bool = False
+    shared_system_memory: bool = False
+    crt_wild_file_crashes: bool = False
+    strict_alignment: bool = False
+    case_insensitive_fs: bool = True
+    missing_functions: frozenset[str] = field(default_factory=frozenset)
+
+    def kernel_access_mode(self, function: str) -> str:
+        """How the kernel treats caller pointers inside ``function``:
+        one of :data:`PROBE`, :data:`RAW`, :data:`CORRUPT`."""
+        if function in self.raw_kernel_access:
+            return RAW
+        if function in self.corrupting_access:
+            return CORRUPT
+        return PROBE
+
+    def supports(self, function: str) -> bool:
+        """False when the variant does not implement ``function`` at all."""
+        return function not in self.missing_functions

@@ -1,0 +1,149 @@
+"""Simulated processes and threads.
+
+A :class:`Process` owns the per-process state an OS API call can touch:
+a private address space (plus the machine's shared arena where the
+personality has one), a Win32 handle table, a POSIX fd table, ``errno``
+and ``GetLastError`` values, an environment block, and its threads.
+
+One Ballista test case runs inside one fresh process; the machine --
+filesystem, shared arena, accumulated corruption -- persists across
+test cases exactly as the physical test machine did in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.filesystem import FileNode, FileSystemError, OpenFile, Pipe
+from repro.sim.memory import AddressSpace, Protection
+from repro.sim.objects import HandleTable, ProcessObject, ThreadObject
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.machine import Machine
+
+
+class PipeEnd:
+    """One end of an anonymous pipe, usable where an open file is."""
+
+    def __init__(self, pipe: Pipe, readable: bool) -> None:
+        self.pipe = pipe
+        self.readable = readable
+        self.writable = not readable
+        self.closed = False
+
+    def read(self, count: int) -> bytes:
+        if self.closed or not self.readable:
+            raise FileSystemError("EBADF", "<pipe>")
+        return self.pipe.read(count)
+
+    def write(self, data: bytes) -> int:
+        if self.closed or not self.writable:
+            raise FileSystemError("EBADF", "<pipe>")
+        return self.pipe.write(data)
+
+    def seek(self, offset: int, whence: int = 0) -> int:
+        raise FileSystemError("ESPIPE", "<pipe>")
+
+    def close(self) -> None:
+        self.closed = True
+        if self.readable:
+            self.pipe.read_open = False
+        else:
+            self.pipe.write_open = False
+
+
+class Process:
+    """A simulated process (one task running one test case)."""
+
+    def __init__(self, machine: "Machine", pid: int) -> None:
+        self.machine = machine
+        self.personality = machine.personality
+        self.pid = pid
+        self.memory = AddressSpace(
+            strict_alignment=self.personality.strict_alignment
+        )
+        if machine.shared_region is not None:
+            self.memory.attach(machine.shared_region)
+        #: Code and stack mappings so "pointer into code" / "stack
+        #: pointer" test values have somewhere real to point.
+        self.code_region = self.memory.map(
+            0x1000, Protection.RX, tag="code", at=0x0040_1000 - 0x1000
+        )
+        self.stack_region = self.memory.map(0x4000, Protection.RW, tag="stack")
+
+        self.handles = HandleTable()
+        self.fds: dict[int, OpenFile | PipeEnd] = {}
+        self.errno = 0
+        self.last_error = 0
+        self.environ: dict[str, str] = dict(machine.initial_environ)
+        self.cwd = "/"
+        self.umask = 0o022
+        self.uid = 1000
+        self.gid = 1000
+
+        self.exited = False
+        self.exit_code: int | None = None
+
+        self._next_tid = pid * 0x100 + 1
+        self.kernel_object = ProcessObject(pid, name=f"pid{pid}")
+        self.main_thread = self.spawn_thread()
+        #: Per-process C runtime state, created lazily by repro.libc.
+        self.crt: object | None = None
+
+        self._open_console_fds()
+
+    # ------------------------------------------------------------------
+    # Threads
+    # ------------------------------------------------------------------
+
+    def spawn_thread(self, suspended: bool = False) -> ThreadObject:
+        thread = ThreadObject(self._next_tid, suspended=suspended)
+        self._next_tid += 1
+        return thread
+
+    # ------------------------------------------------------------------
+    # POSIX fd table
+    # ------------------------------------------------------------------
+
+    def _open_console_fds(self) -> None:
+        """Pre-open fds 0/1/2 on a console device node (not linked into
+        the filesystem tree, like a character device)."""
+        now = self.machine.clock.tick_count
+        console = FileNode("<console>", now())
+        for fd in (0, 1, 2):
+            self.fds[fd] = OpenFile(
+                console, readable=(fd == 0), writable=(fd != 0), now=now
+            )
+
+    def alloc_fd(self, obj: OpenFile | PipeEnd, lowest: int = 0) -> int:
+        fd = lowest
+        while fd in self.fds:
+            fd += 1
+        self.fds[fd] = obj
+        return fd
+
+    def get_fd(self, fd: int) -> OpenFile | PipeEnd | None:
+        return self.fds.get(fd)
+
+    def close_fd(self, fd: int) -> bool:
+        obj = self.fds.pop(fd, None)
+        if obj is None:
+            return False
+        obj.close()
+        return True
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+
+    def terminate(self, exit_code: int = 0) -> None:
+        """Close everything the process holds (the OS-level cleanup a
+        real process death performs)."""
+        if self.exited:
+            return
+        self.exited = True
+        self.exit_code = exit_code
+        self.kernel_object.exit_code = exit_code
+        for fd in list(self.fds):
+            self.close_fd(fd)
+        self.handles.close_all()

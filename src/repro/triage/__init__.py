@@ -1,0 +1,46 @@
+"""Crash triage: the paper's stated future work, implemented.
+
+"Future work on Windows testing will include looking for dependability
+problems caused by heavy load conditions, as well as state- and
+sequence-dependent failures.  In particular, we will attempt to find
+ways to reproduce the elusive crashes that we have observed to occur in
+both Windows and Linux outside of the current robustness testing
+framework." (paper, section 5)
+
+* :mod:`repro.triage.sequence` -- deterministic replay of explicit test
+  case *sequences* on one persistent machine (state-dependent testing).
+* :mod:`repro.triage.minimize` -- delta debugging (ddmin) over a
+  crashing campaign prefix, reducing thousands of test cases to the
+  minimal sequence that still reproduces a ``*`` crash, and rendering
+  it as a standalone repro program -- the "way to reproduce the elusive
+  crashes outside of the testing framework".
+* :mod:`repro.triage.leaks` -- the resource-leakage audit the paper
+  explicitly did not target ("we did not specifically target that type
+  of failure mode for testing").
+* :mod:`repro.triage.load_test` -- heavy-load comparison runs: the same
+  deterministic cases on an idle machine and on one whose disk is full
+  and whose shared arena carries long-uptime residue.
+"""
+
+from repro.triage.leaks import LeakReport, audit_leaks
+from repro.triage.load_test import LoadDelta, LoadReport, run_load_comparison
+from repro.triage.minimize import (
+    capture_crash_prefix,
+    minimize_crash_sequence,
+    render_repro_program,
+)
+from repro.triage.sequence import SequenceOutcome, SequenceStep, replay_sequence
+
+__all__ = [
+    "LeakReport",
+    "LoadDelta",
+    "LoadReport",
+    "SequenceOutcome",
+    "SequenceStep",
+    "audit_leaks",
+    "capture_crash_prefix",
+    "minimize_crash_sequence",
+    "render_repro_program",
+    "replay_sequence",
+    "run_load_comparison",
+]

@@ -1,0 +1,130 @@
+"""Resource-leakage auditing.
+
+"Although we did not detect any obvious resource 'leakage' during
+testing, we did not specifically target that type of failure mode for
+testing." (paper, section 4)
+
+This module targets it: it runs each MuT's deterministic case sequence
+on one machine, snapshots machine-global resources (filesystem entries,
+shared-arena corruption) around every case, and charges any residue that
+survives the per-case teardown to the MuT -- separating *harness*
+hygiene problems (test values that create files without cleanup) from
+*API* hygiene problems (calls that create state their error paths never
+release).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.crash_scale import CaseCode
+from repro.core.executor import Executor
+from repro.core.generator import CaseGenerator
+from repro.core.mut import MuTRegistry, default_registry
+from repro.core.types import TypeRegistry, default_types
+from repro.sim.machine import Machine
+from repro.sim.personality import Personality
+
+
+@dataclass
+class MuTLeak:
+    """Residue one MuT left behind after all its cases were torn down."""
+
+    mut_name: str
+    api: str
+    cases: int
+    leaked_files: list[str] = field(default_factory=list)
+    corruption_added: int = 0
+
+    @property
+    def leaks(self) -> bool:
+        return bool(self.leaked_files) or self.corruption_added > 0
+
+
+@dataclass
+class LeakReport:
+    """All leaks found for one variant."""
+
+    variant: str
+    per_mut: list[MuTLeak] = field(default_factory=list)
+
+    def leaking_muts(self) -> list[MuTLeak]:
+        return [entry for entry in self.per_mut if entry.leaks]
+
+    def total_leaked_files(self) -> int:
+        return sum(len(entry.leaked_files) for entry in self.per_mut)
+
+    def render(self) -> str:
+        lines = [
+            f"Resource-leak audit for {self.variant}: "
+            f"{len(self.leaking_muts())} of {len(self.per_mut)} MuTs leave "
+            "residue",
+            "",
+        ]
+        for entry in self.leaking_muts():
+            what = []
+            if entry.leaked_files:
+                sample = ", ".join(entry.leaked_files[:3])
+                more = (
+                    f" (+{len(entry.leaked_files) - 3} more)"
+                    if len(entry.leaked_files) > 3
+                    else ""
+                )
+                what.append(f"files: {sample}{more}")
+            if entry.corruption_added:
+                what.append(f"arena corruption: +{entry.corruption_added}")
+            lines.append(f"  {entry.mut_name:28s} {'; '.join(what)}")
+        return "\n".join(lines)
+
+
+def _file_snapshot(machine: Machine) -> set[str]:
+    return {path for path, _ in machine.fs.iter_files()}
+
+
+def audit_leaks(
+    personality: Personality,
+    mut_names: list[str] | None = None,
+    cap: int = 60,
+    registry: MuTRegistry | None = None,
+    types: TypeRegistry | None = None,
+) -> LeakReport:
+    """Run each MuT's cases and report machine-global residue.
+
+    A fresh machine is booted per MuT so leaks cannot be blamed on a
+    neighbour; a crash ends that MuT's audit (the machine's state is
+    lost to the reboot anyway).
+    """
+    registry = registry or default_registry()
+    types = types or default_types()
+    generator = CaseGenerator(types, cap=cap)
+    muts = registry.for_variant(personality)
+    if mut_names is not None:
+        wanted = set(mut_names)
+        muts = [m for m in muts if m.name in wanted]
+    report = LeakReport(personality.key)
+
+    for mut in muts:
+        machine = Machine(personality)
+        executor = Executor(machine, generator)
+        baseline = _file_snapshot(machine)
+        corruption_before = machine.corruption_level
+        cases = 0
+        for case in generator.cases(mut):
+            outcome = executor.run_case(mut, case)
+            cases += 1
+            if outcome.code is CaseCode.CATASTROPHIC:
+                break
+        if machine.crashed:
+            report.per_mut.append(MuTLeak(mut.name, mut.api, cases))
+            continue
+        leaked = sorted(_file_snapshot(machine) - baseline)
+        report.per_mut.append(
+            MuTLeak(
+                mut.name,
+                mut.api,
+                cases,
+                leaked_files=leaked,
+                corruption_added=machine.corruption_level - corruption_before,
+            )
+        )
+    return report

@@ -1,0 +1,183 @@
+"""Heavy-load robustness testing (the paper's other future-work item).
+
+"Future work on Windows testing will include looking for dependability
+problems caused by heavy load conditions..." (paper, section 5).  Also:
+"nor did we test the systems under heavy loading conditions" (section 4).
+
+The load model is mechanistic: before the campaign runs, *load
+processes* fill machine-global resources -- they populate the filesystem
+up to a small headroom below its capacity and pre-stress the shared
+system arena on 9x/CE personalities.  The same deterministic MuT case
+sequences then run twice, unloaded and loaded, and the report compares
+per-class outcome rates:
+
+* error-return rates rise under load (calls now hit ``ENOSPC`` /
+  ``ERROR_DISK_FULL`` paths -- robust handling of these paths is itself
+  being measured);
+* on shared-arena personalities, corrupting (``*``) functions cross the
+  machine's corruption tolerance **earlier**, so crashes that need
+  thousands of unloaded cases appear within a handful -- the mechanism
+  behind "load makes flaky machines flakier".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.crash_scale import CaseCode
+from repro.core.executor import Executor
+from repro.core.generator import CaseGenerator
+from repro.core.mut import MuTRegistry, default_registry
+from repro.core.types import TypeRegistry, default_types
+from repro.sim.machine import Machine
+from repro.sim.personality import Personality
+
+#: Filesystem capacity used for loaded runs.
+DEFAULT_DISK_CAPACITY = 64
+#: Files left free below capacity when pre-filling.
+DISK_HEADROOM = 4
+
+
+@dataclass
+class LoadDelta:
+    """Outcome-rate comparison for one MuT, unloaded vs loaded."""
+
+    mut_name: str
+    api: str
+    unloaded: dict[str, float] = field(default_factory=dict)
+    loaded: dict[str, float] = field(default_factory=dict)
+    crashed_unloaded: bool = False
+    crashed_loaded: bool = False
+    crash_case_unloaded: int | None = None
+    crash_case_loaded: int | None = None
+
+    @property
+    def crash_appeared_under_load(self) -> bool:
+        return self.crashed_loaded and not self.crashed_unloaded
+
+    @property
+    def crash_accelerated(self) -> bool:
+        return (
+            self.crashed_loaded
+            and self.crashed_unloaded
+            and (self.crash_case_loaded or 0) < (self.crash_case_unloaded or 0)
+        )
+
+
+@dataclass
+class LoadReport:
+    """Full loaded-vs-unloaded comparison for one variant."""
+
+    variant: str
+    capacity: int
+    deltas: list[LoadDelta] = field(default_factory=list)
+
+    def new_crashes(self) -> list[LoadDelta]:
+        return [d for d in self.deltas if d.crash_appeared_under_load]
+
+    def accelerated_crashes(self) -> list[LoadDelta]:
+        return [d for d in self.deltas if d.crash_accelerated]
+
+    def render(self) -> str:
+        lines = [
+            f"Heavy-load comparison on {self.variant} "
+            f"(disk capacity {self.capacity} files)",
+            "",
+            f"  {'MuT':28s} {'err% idle':>10s} {'err% load':>10s}  crash",
+        ]
+        for delta in self.deltas:
+            idle_err = 100 * delta.unloaded.get("pass_error", 0.0)
+            load_err = 100 * delta.loaded.get("pass_error", 0.0)
+            crash = ""
+            if delta.crash_appeared_under_load:
+                crash = "NEW under load"
+            elif delta.crash_accelerated:
+                crash = (
+                    f"case {delta.crash_case_unloaded} -> "
+                    f"{delta.crash_case_loaded}"
+                )
+            elif delta.crashed_loaded:
+                crash = "crashes both"
+            lines.append(
+                f"  {delta.mut_name:28s} {idle_err:9.1f}% {load_err:9.1f}%  {crash}"
+            )
+        return "\n".join(lines)
+
+
+def _apply_load(machine: Machine) -> None:
+    """The load processes: fill the disk to near capacity and stress the
+    shared arena the way long-running 9x desktops did."""
+    capacity = machine.fs.max_files or DEFAULT_DISK_CAPACITY
+    target = max(capacity - DISK_HEADROOM, 0)
+    index = 0
+    while machine.fs._file_count < target:
+        machine.fs.create_file(f"/tmp/load_{index:05d}.dat", b"x" * 32)
+        index += 1
+    if machine.shared_region is not None:
+        # Long-uptime residue: the arena has already absorbed most of
+        # the corruption the machine can take.
+        for _ in range(max(machine.personality.corruption_tolerance - 1, 0)):
+            machine.note_corruption("<background load>")
+
+
+def _rates(codes: list[int]) -> dict[str, float]:
+    executed = [c for c in codes if CaseCode(c).counts_as_executed]
+    if not executed:
+        return {}
+    total = len(executed)
+    return {
+        "pass_no_error": executed.count(int(CaseCode.PASS_NO_ERROR)) / total,
+        "pass_error": executed.count(int(CaseCode.PASS_ERROR)) / total,
+        "abort": executed.count(int(CaseCode.ABORT)) / total,
+        "restart": executed.count(int(CaseCode.RESTART)) / total,
+    }
+
+
+def run_load_comparison(
+    personality: Personality,
+    mut_names: list[str],
+    cap: int = 80,
+    capacity: int = DEFAULT_DISK_CAPACITY,
+    registry: MuTRegistry | None = None,
+    types: TypeRegistry | None = None,
+) -> LoadReport:
+    """Run the same deterministic cases unloaded and loaded, per MuT.
+
+    Each MuT gets a fresh machine in both modes so results are
+    attributable; the loaded machine is pre-filled by :func:`_apply_load`
+    before its first case.
+    """
+    registry = registry or default_registry()
+    types = types or default_types()
+    generator = CaseGenerator(types, cap=cap)
+    wanted = set(mut_names)
+    muts = [m for m in registry.for_variant(personality) if m.name in wanted]
+    report = LoadReport(personality.key, capacity)
+
+    for mut in muts:
+        delta = LoadDelta(mut.name, mut.api)
+        for loaded in (False, True):
+            machine = Machine(
+                personality, fs_max_files=capacity if loaded else None
+            )
+            if loaded:
+                _apply_load(machine)
+            executor = Executor(machine, generator)
+            codes: list[int] = []
+            crash_case = None
+            for case in generator.cases(mut):
+                outcome = executor.run_case(mut, case)
+                codes.append(int(outcome.code))
+                if outcome.code is CaseCode.CATASTROPHIC:
+                    crash_case = case.index
+                    break
+            if loaded:
+                delta.loaded = _rates(codes)
+                delta.crashed_loaded = crash_case is not None
+                delta.crash_case_loaded = crash_case
+            else:
+                delta.unloaded = _rates(codes)
+                delta.crashed_unloaded = crash_case is not None
+                delta.crash_case_unloaded = crash_case
+        report.deltas.append(delta)
+    return report

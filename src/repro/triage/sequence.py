@@ -1,0 +1,81 @@
+"""Sequence-dependent testing: replay explicit test-case sequences.
+
+Where a campaign generates cases per MuT, a *sequence* interleaves cases
+from any MuTs on one persistent machine -- the setting in which the
+paper's ``*`` crashes live.  The replay is completely deterministic, so
+a sequence is a portable crash reproducer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.crash_scale import CaseCode
+from repro.core.executor import CaseOutcome, Executor
+from repro.core.generator import CaseGenerator, TestCase
+from repro.core.mut import MuTRegistry, default_registry
+from repro.core.types import TypeRegistry, default_types
+from repro.sim.machine import Machine
+from repro.sim.personality import Personality
+
+
+@dataclass(frozen=True)
+class SequenceStep:
+    """One call in a sequence: a MuT plus concrete test-value names."""
+
+    api: str
+    mut_name: str
+    value_names: tuple[str, ...]
+
+    def describe(self) -> str:
+        return f"{self.mut_name}({', '.join(self.value_names)})"
+
+
+@dataclass
+class SequenceOutcome:
+    """Result of replaying a sequence on one fresh machine."""
+
+    steps: list[SequenceStep]
+    outcomes: list[CaseOutcome] = field(default_factory=list)
+    crashed: bool = False
+    #: Index of the step whose execution took the machine down.
+    crash_step: int | None = None
+    #: Machine corruption level when the replay ended.
+    corruption_level: int = 0
+
+    @property
+    def executed(self) -> int:
+        return len(self.outcomes)
+
+
+def replay_sequence(
+    personality: Personality,
+    steps: list[SequenceStep],
+    registry: MuTRegistry | None = None,
+    types: TypeRegistry | None = None,
+) -> SequenceOutcome:
+    """Replay ``steps`` in order on one freshly booted machine.
+
+    Each step runs in a fresh process (exactly the campaign's isolation
+    level); machine state -- filesystem, shared arena, corruption --
+    persists between steps.  The replay stops at the first Catastrophic
+    outcome.
+    """
+    registry = registry or default_registry()
+    types = types or default_types()
+    machine = Machine(personality)
+    executor = Executor(machine, CaseGenerator(types))
+    result = SequenceOutcome(steps=list(steps))
+    for index, step in enumerate(steps):
+        mut = registry.get(step.api, step.mut_name)
+        case = TestCase(mut.name, index, step.value_names)
+        outcome = executor.run_case(mut, case)
+        result.outcomes.append(outcome)
+        if outcome.code is CaseCode.CATASTROPHIC:
+            result.crashed = True
+            result.crash_step = index
+            break
+    result.corruption_level = machine.corruption_level if not machine.crashed else (
+        personality.corruption_tolerance + 1
+    )
+    return result

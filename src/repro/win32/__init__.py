@@ -1,0 +1,34 @@
+"""The simulated Win32 API (143 system-call MuTs) and the six Windows
+variant personalities.
+
+The API implementations are shared; per-variant behaviour comes from the
+:class:`~repro.sim.personality.Personality` (see
+:mod:`repro.win32.variants`): NT/2000 probe user pointers at the kernel
+boundary, the 9x family leaves specific calls unprotected (the paper's
+Table 3 crash functions), and Windows CE shares one address space with
+the OS.
+"""
+
+from repro.win32.registration import register
+from repro.win32.system import Win32System
+from repro.win32.variants import (
+    WIN2000,
+    WIN95,
+    WIN98,
+    WIN98SE,
+    WINCE,
+    WINDOWS_VARIANTS,
+    WINNT,
+)
+
+__all__ = [
+    "WIN2000",
+    "WIN95",
+    "WIN98",
+    "WIN98SE",
+    "WINCE",
+    "WINDOWS_VARIANTS",
+    "WINNT",
+    "Win32System",
+    "register",
+]

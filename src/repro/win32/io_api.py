@@ -1,0 +1,366 @@
+"""Win32 I/O Primitives (the paper's 15-call group).
+
+"{AttachThreadInput CloseHandle DuplicateHandle FlushFileBuffers
+GetStdHandle LockFile LockFileEx ReadFile ReadFileEx SetFilePointer
+SetStdHandle UnlockFile UnlockFileEx WriteFile WriteFileEx}"
+
+Crash mechanics reproduced here: ``DuplicateHandle`` writes the new
+handle value through ``lpTargetHandle`` in kernel mode; on Windows
+95/98/98 SE that write is misdirected into the shared arena (CORRUPT),
+crashing only after repeated tests -- the paper's ``*DuplicateHandle``.
+"""
+
+from __future__ import annotations
+
+from repro.sim.filesystem import FileSystemError
+from repro.win32 import errors as W
+
+_U32 = 0xFFFF_FFFF
+
+STD_INPUT_HANDLE = 0xFFFF_FFF6  # (DWORD)-10
+STD_OUTPUT_HANDLE = 0xFFFF_FFF5  # (DWORD)-11
+STD_ERROR_HANDLE = 0xFFFF_FFF4  # (DWORD)-12
+
+
+class IoApiMixin:
+    """Handle-level I/O primitives."""
+
+    # ------------------------------------------------------------------
+    # Handles
+    # ------------------------------------------------------------------
+
+    def CloseHandle(self, hObject: int) -> int:
+        if self.process.handles.close(hObject & _U32):
+            return 1
+        if self.lax_handles:
+            return 1  # 9x: closing garbage "succeeds" (Silent failure)
+        return self.fail(W.ERROR_INVALID_HANDLE)
+
+    def DuplicateHandle(
+        self,
+        hSourceProcessHandle: int,
+        hSourceHandle: int,
+        hTargetProcessHandle: int,
+        lpTargetHandle: int,
+        dwDesiredAccess: int,
+        bInheritHandle: int,
+        dwOptions: int,
+    ) -> int:
+        from repro.sim.objects import ProcessObject
+
+        source_process = self.object_or_fail(hSourceProcessHandle, ProcessObject)
+        if source_process is None and not self.lax_handles:
+            return 0
+        target_process = self.object_or_fail(hTargetProcessHandle, ProcessObject)
+        if target_process is None and not self.lax_handles:
+            return 0
+        if not self._flags_valid(dwOptions, 0x3):
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        source = self.resolve_handle(hSourceHandle)
+        if source is None:
+            if self.lax_handles:
+                source = self.process.kernel_object
+            else:
+                return self.fail(W.ERROR_INVALID_HANDLE)
+        new_handle = self.process.handles.insert(source)
+        # Kernel writes the duplicated handle value back through the
+        # caller pointer: misdirected into the shared arena on 9x.
+        if not self.copy_out(
+            "DuplicateHandle", lpTargetHandle, new_handle.to_bytes(4, "little")
+        ):
+            self.process.handles.close(new_handle)
+            return self.fail(W.ERROR_NOACCESS)
+        if dwOptions & 0x1:  # DUPLICATE_CLOSE_SOURCE
+            self.process.handles.close(hSourceHandle & _U32)
+        return 1
+
+    def AttachThreadInput(self, idAttach: int, idAttachTo: int, fAttach: int) -> int:
+        known = {t.tid for t in (self.process.main_thread,)}
+        if (idAttach & _U32) in known or (idAttachTo & _U32) in known:
+            return 1
+        if self.lax_handles:
+            return 1
+        return self.fail(W.ERROR_INVALID_PARAMETER)
+
+    # ------------------------------------------------------------------
+    # Std handles
+    # ------------------------------------------------------------------
+
+    def _ensure_std_handle(self, slot: int) -> int:
+        from repro.sim.objects import FileObject
+
+        if slot not in self._std_handles:
+            fd = {STD_INPUT_HANDLE: 0, STD_OUTPUT_HANDLE: 1, STD_ERROR_HANDLE: 2}[slot]
+            open_file = self.process.fds.get(fd)
+            obj = FileObject(open_file, name=f"<std:{fd}>")
+            self._std_handles[slot] = self.process.handles.insert(obj)
+        return self._std_handles[slot]
+
+    def GetStdHandle(self, nStdHandle: int) -> int:
+        slot = nStdHandle & _U32
+        if slot not in (STD_INPUT_HANDLE, STD_OUTPUT_HANDLE, STD_ERROR_HANDLE):
+            return self.fail(W.ERROR_INVALID_PARAMETER, ret=_U32)
+        return self._ensure_std_handle(slot)
+
+    def SetStdHandle(self, nStdHandle: int, hHandle: int) -> int:
+        slot = nStdHandle & _U32
+        if slot not in (STD_INPUT_HANDLE, STD_OUTPUT_HANDLE, STD_ERROR_HANDLE):
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        if self.resolve_handle(hHandle) is None and not self.lax_handles:
+            return self.fail(W.ERROR_INVALID_HANDLE)
+        self._std_handles[slot] = hHandle & _U32
+        return 1
+
+    # ------------------------------------------------------------------
+    # Read / write / seek
+    # ------------------------------------------------------------------
+
+    def _open_file_or_fail(self, func: str, hFile: int):
+        from repro.sim.objects import FileObject
+
+        obj = self.object_or_fail(hFile, FileObject)
+        return obj
+
+    def ReadFile(
+        self,
+        hFile: int,
+        lpBuffer: int,
+        nNumberOfBytesToRead: int,
+        lpNumberOfBytesRead: int,
+        lpOverlapped: int,
+    ) -> int:
+        obj = self._open_file_or_fail("ReadFile", hFile)
+        if obj is None:
+            return 1 if self.lax_handles else 0
+        if lpNumberOfBytesRead == 0 and lpOverlapped == 0:
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        if lpOverlapped:
+            self.mem.read_u32(lpOverlapped)  # user-mode OVERLAPPED pickup
+        count = nNumberOfBytesToRead & _U32
+        try:
+            data = obj.open_file.read(min(count, 1 << 20))
+        except FileSystemError as exc:
+            return self._fs_fail(exc)
+        if data and not self.copy_out("ReadFile", lpBuffer, data):
+            return self.fail(W.ERROR_NOACCESS)
+        if lpNumberOfBytesRead and not self.copy_out(
+            "ReadFile", lpNumberOfBytesRead, len(data).to_bytes(4, "little")
+        ):
+            return self.fail(W.ERROR_NOACCESS)
+        return 1
+
+    def ReadFileEx(
+        self,
+        hFile: int,
+        lpBuffer: int,
+        nNumberOfBytesToRead: int,
+        lpOverlapped: int,
+        lpCompletionRoutine: int,
+    ) -> int:
+        obj = self._open_file_or_fail("ReadFileEx", hFile)
+        if obj is None:
+            return 1 if self.lax_handles else 0
+        if lpOverlapped == 0:
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        self.mem.read_u32(lpOverlapped)  # user-mode OVERLAPPED pickup
+        count = nNumberOfBytesToRead & _U32
+        try:
+            data = obj.open_file.read(min(count, 1 << 20))
+        except FileSystemError as exc:
+            return self._fs_fail(exc)
+        if data and not self.copy_out("ReadFileEx", lpBuffer, data):
+            return self.fail(W.ERROR_NOACCESS)
+        return 1
+
+    def WriteFile(
+        self,
+        hFile: int,
+        lpBuffer: int,
+        nNumberOfBytesToWrite: int,
+        lpNumberOfBytesWritten: int,
+        lpOverlapped: int,
+    ) -> int:
+        obj = self._open_file_or_fail("WriteFile", hFile)
+        if obj is None:
+            return 1 if self.lax_handles else 0
+        if lpNumberOfBytesWritten == 0 and lpOverlapped == 0:
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        if lpOverlapped:
+            self.mem.read_u32(lpOverlapped)
+        count = min(nNumberOfBytesToWrite & _U32, 1 << 20)
+        data = self.copy_in("WriteFile", lpBuffer, count)
+        if data is None:
+            return self.fail(W.ERROR_NOACCESS)
+        try:
+            written = obj.open_file.write(data)
+        except FileSystemError as exc:
+            return self._fs_fail(exc)
+        if lpNumberOfBytesWritten and not self.copy_out(
+            "WriteFile", lpNumberOfBytesWritten, written.to_bytes(4, "little")
+        ):
+            return self.fail(W.ERROR_NOACCESS)
+        return 1
+
+    def WriteFileEx(
+        self,
+        hFile: int,
+        lpBuffer: int,
+        nNumberOfBytesToWrite: int,
+        lpOverlapped: int,
+        lpCompletionRoutine: int,
+    ) -> int:
+        obj = self._open_file_or_fail("WriteFileEx", hFile)
+        if obj is None:
+            return 1 if self.lax_handles else 0
+        if lpOverlapped == 0:
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        self.mem.read_u32(lpOverlapped)
+        count = min(nNumberOfBytesToWrite & _U32, 1 << 20)
+        data = self.copy_in("WriteFileEx", lpBuffer, count)
+        if data is None:
+            return self.fail(W.ERROR_NOACCESS)
+        try:
+            obj.open_file.write(data)
+        except FileSystemError as exc:
+            return self._fs_fail(exc)
+        return 1
+
+    def SetFilePointer(
+        self,
+        hFile: int,
+        lDistanceToMove: int,
+        lpDistanceToMoveHigh: int,
+        dwMoveMethod: int,
+    ) -> int:
+        obj = self._open_file_or_fail("SetFilePointer", hFile)
+        if obj is None:
+            return 0 if self.lax_handles else W.INVALID_SET_FILE_POINTER
+        if dwMoveMethod not in (0, 1, 2):
+            if not self.personality.lax_flag_validation:
+                return self.fail(
+                    W.ERROR_INVALID_PARAMETER, ret=W.INVALID_SET_FILE_POINTER
+                )
+            dwMoveMethod = 0
+        distance = lDistanceToMove
+        if lpDistanceToMoveHigh:
+            # 64-bit seek: kernel32 reads and writes the high part in
+            # user mode.
+            high = self.mem.read_i32(lpDistanceToMoveHigh)
+            distance += high << 32
+        try:
+            position = obj.open_file.seek(distance, dwMoveMethod)
+        except FileSystemError:
+            return self.fail(
+                W.ERROR_NEGATIVE_SEEK, ret=W.INVALID_SET_FILE_POINTER
+            )
+        if lpDistanceToMoveHigh:
+            self.mem.write_u32(lpDistanceToMoveHigh, (position >> 32) & _U32)
+        return position & _U32
+
+    def FlushFileBuffers(self, hFile: int) -> int:
+        obj = self._open_file_or_fail("FlushFileBuffers", hFile)
+        if obj is None:
+            return 1 if self.lax_handles else 0
+        return 1
+
+    # ------------------------------------------------------------------
+    # Locks
+    # ------------------------------------------------------------------
+
+    def LockFile(
+        self,
+        hFile: int,
+        dwFileOffsetLow: int,
+        dwFileOffsetHigh: int,
+        nNumberOfBytesToLockLow: int,
+        nNumberOfBytesToLockHigh: int,
+    ) -> int:
+        obj = self._open_file_or_fail("LockFile", hFile)
+        if obj is None:
+            return 1 if self.lax_handles else 0
+        start = (dwFileOffsetHigh << 32) | (dwFileOffsetLow & _U32)
+        length = (nNumberOfBytesToLockHigh << 32) | (nNumberOfBytesToLockLow & _U32)
+        if length == 0:
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        for lock_start, lock_length, _exclusive in obj.locks:
+            if start < lock_start + lock_length and lock_start < start + length:
+                return self.fail(W.ERROR_LOCK_VIOLATION)
+        obj.locks.append((start, length, True))
+        return 1
+
+    def LockFileEx(
+        self,
+        hFile: int,
+        dwFlags: int,
+        dwReserved: int,
+        nNumberOfBytesToLockLow: int,
+        nNumberOfBytesToLockHigh: int,
+        lpOverlapped: int,
+    ) -> int:
+        obj = self._open_file_or_fail("LockFileEx", hFile)
+        if obj is None:
+            return 1 if self.lax_handles else 0
+        if dwReserved != 0 or not self._flags_valid(dwFlags, 0x3):
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        if lpOverlapped == 0:
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        offset = self.mem.read_u32(lpOverlapped + 8)  # user-mode OVERLAPPED read
+        length = (nNumberOfBytesToLockHigh << 32) | (nNumberOfBytesToLockLow & _U32)
+        if length == 0:
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        obj.locks.append((offset, length, bool(dwFlags & 0x2)))
+        return 1
+
+    def UnlockFile(
+        self,
+        hFile: int,
+        dwFileOffsetLow: int,
+        dwFileOffsetHigh: int,
+        nNumberOfBytesToUnlockLow: int,
+        nNumberOfBytesToUnlockHigh: int,
+    ) -> int:
+        obj = self._open_file_or_fail("UnlockFile", hFile)
+        if obj is None:
+            return 1 if self.lax_handles else 0
+        start = (dwFileOffsetHigh << 32) | (dwFileOffsetLow & _U32)
+        length = (nNumberOfBytesToUnlockHigh << 32) | (
+            nNumberOfBytesToUnlockLow & _U32
+        )
+        entry = (start, length, True)
+        if entry in obj.locks:
+            obj.locks.remove(entry)
+            return 1
+        loose = [(s, n, x) for (s, n, x) in obj.locks if s == start and n == length]
+        if loose:
+            obj.locks.remove(loose[0])
+            return 1
+        if self.lax_handles:
+            return 1
+        return self.fail(W.ERROR_NOT_LOCKED)
+
+    def UnlockFileEx(
+        self,
+        hFile: int,
+        dwReserved: int,
+        nNumberOfBytesToUnlockLow: int,
+        nNumberOfBytesToUnlockHigh: int,
+        lpOverlapped: int,
+    ) -> int:
+        obj = self._open_file_or_fail("UnlockFileEx", hFile)
+        if obj is None:
+            return 1 if self.lax_handles else 0
+        if dwReserved != 0:
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        if lpOverlapped == 0:
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        offset = self.mem.read_u32(lpOverlapped + 8)
+        length = (nNumberOfBytesToUnlockHigh << 32) | (
+            nNumberOfBytesToUnlockLow & _U32
+        )
+        loose = [(s, n, x) for (s, n, x) in obj.locks if s == offset and n == length]
+        if loose:
+            obj.locks.remove(loose[0])
+            return 1
+        if self.lax_handles:
+            return 1
+        return self.fail(W.ERROR_NOT_LOCKED)

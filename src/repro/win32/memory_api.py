@@ -1,0 +1,326 @@
+"""Win32 Memory Management API (20 MuTs).
+
+Crash mechanics reproduced here:
+
+* ``HeapCreate`` on Windows 95 (Table 3): 9x heap arenas are carved out
+  of the shared system arena; an exceptional initial size places the
+  arena header outside the shared mapping, and the 95 kernel writes it
+  unprotected (RAW) -- immediate crash.  Windows 98 probes that
+  particular path (the paper found the bug fixed), NT keeps heaps in
+  private memory.
+* ``VirtualAlloc`` on Windows CE (Table 3): with a single shared address
+  space, an explicit ``lpAddress`` indexes the system page tables that
+  live in shared memory; exceptional addresses index off their end.
+"""
+
+from __future__ import annotations
+
+from repro.win32 import errors as W
+
+_U32 = 0xFFFF_FFFF
+
+MEM_COMMIT = 0x1000
+MEM_RESERVE = 0x2000
+MEM_RELEASE = 0x8000
+MEM_DECOMMIT = 0x4000
+
+PAGE_FLAG_TO_PROTECTION = {
+    0x01: 0,  # PAGE_NOACCESS
+    0x02: 1,  # PAGE_READONLY
+    0x04: 3,  # PAGE_READWRITE
+    0x10: 5,  # PAGE_EXECUTE... (mapped to READ|EXECUTE)
+    0x20: 5,
+    0x40: 7,  # PAGE_EXECUTE_READWRITE
+}
+
+#: Largest single allocation the simulated kernel will grant.
+MAX_VIRTUAL_ALLOC = 0x40_0000
+
+
+class MemoryApiMixin:
+    """VirtualAlloc/Heap*/Global*/Local* families."""
+
+    # ------------------------------------------------------------------
+    # Virtual memory
+    # ------------------------------------------------------------------
+
+    def VirtualAlloc(
+        self, lpAddress: int, dwSize: int, flAllocationType: int, flProtect: int
+    ) -> int:
+        from repro.sim.memory import Protection
+
+        dwSize &= _U32
+        if not self._flags_valid(flAllocationType, 0xFFF000) or (
+            flAllocationType & (MEM_COMMIT | MEM_RESERVE)
+        ) == 0:
+            if not self.personality.lax_flag_validation:
+                return self.fail(W.ERROR_INVALID_PARAMETER)
+        if flProtect not in PAGE_FLAG_TO_PROTECTION:
+            if not self.personality.lax_flag_validation:
+                return self.fail(W.ERROR_INVALID_PARAMETER)
+            flProtect = 0x04
+        if dwSize == 0 or dwSize > MAX_VIRTUAL_ALLOC:
+            return self.fail(
+                W.ERROR_INVALID_PARAMETER if dwSize == 0 else W.ERROR_NOT_ENOUGH_MEMORY
+            )
+        if lpAddress and self.machine.shared_region is not None:
+            # Windows CE: page tables live in the shared address space;
+            # an explicit placement address indexes them directly.
+            table_offset = ((lpAddress & _U32) >> 12) * 4
+            if not self.copy_out(
+                "VirtualAlloc",
+                self.machine.shared_region.start + table_offset,
+                (1).to_bytes(4, "little"),
+            ):
+                return self.fail(W.ERROR_INVALID_ADDRESS)
+        protection = Protection(PAGE_FLAG_TO_PROTECTION[flProtect] or 1)
+        region = self.mem.map(dwSize, protection, tag="virtual")
+        return region.start
+
+    def VirtualFree(self, lpAddress: int, dwSize: int, dwFreeType: int) -> int:
+        if dwFreeType not in (MEM_RELEASE, MEM_DECOMMIT):
+            if not self.personality.lax_flag_validation:
+                return self.fail(W.ERROR_INVALID_PARAMETER)
+        if dwFreeType == MEM_RELEASE and dwSize != 0:
+            if not self.personality.lax_flag_validation:
+                return self.fail(W.ERROR_INVALID_PARAMETER)
+        region = self.mem.find(lpAddress)
+        if region is None or region.start != (lpAddress & _U32) or region.tag != "virtual":
+            if self.lax_handles:
+                return 1
+            return self.fail(W.ERROR_INVALID_ADDRESS)
+        self.mem.unmap(region)
+        return 1
+
+    def VirtualProtect(
+        self, lpAddress: int, dwSize: int, flNewProtect: int, lpflOldProtect: int
+    ) -> int:
+        from repro.sim.memory import Protection
+
+        if flNewProtect not in PAGE_FLAG_TO_PROTECTION:
+            if not self.personality.lax_flag_validation:
+                return self.fail(W.ERROR_INVALID_PARAMETER)
+            flNewProtect = 0x04
+        region = self.mem.find(lpAddress)
+        if region is None:
+            return self.fail(W.ERROR_INVALID_ADDRESS)
+        old = region.protection
+        if not self.copy_out(
+            "VirtualProtect", lpflOldProtect, int(old).to_bytes(4, "little")
+        ):
+            return self.fail(W.ERROR_NOACCESS)
+        region.protection = Protection(PAGE_FLAG_TO_PROTECTION[flNewProtect] or 1)
+        return 1
+
+    def VirtualQuery(self, lpAddress: int, lpBuffer: int, dwLength: int) -> int:
+        dwLength &= _U32
+        if dwLength < 28:
+            return self.fail(W.ERROR_INSUFFICIENT_BUFFER)
+        region = self.mem.find(lpAddress)
+        base = region.start if region else (lpAddress & _U32) & ~0xFFF
+        size = region.size if region else 0x1000
+        state = 0x1000 if region else 0x10000  # MEM_COMMIT / MEM_FREE
+        info = (
+            base.to_bytes(4, "little")
+            + base.to_bytes(4, "little")
+            + (0x04).to_bytes(4, "little")
+            + size.to_bytes(4, "little")
+            + state.to_bytes(4, "little")
+            + (0x04).to_bytes(4, "little")
+            + (0x20000).to_bytes(4, "little")
+        )
+        if not self.copy_out("VirtualQuery", lpBuffer, info):
+            return self.fail(W.ERROR_NOACCESS)
+        return 28
+
+    def VirtualLock(self, lpAddress: int, dwSize: int) -> int:
+        region = self.mem.find(lpAddress)
+        if region is None or (lpAddress & _U32) + (dwSize & _U32) > region.end:
+            return self.fail(W.ERROR_INVALID_ADDRESS)
+        return 1
+
+    def VirtualUnlock(self, lpAddress: int, dwSize: int) -> int:
+        region = self.mem.find(lpAddress)
+        if region is None:
+            return self.fail(W.ERROR_NOT_LOCKED)
+        return 1
+
+    # ------------------------------------------------------------------
+    # Heaps
+    # ------------------------------------------------------------------
+
+    def HeapCreate(self, flOptions: int, dwInitialSize: int, dwMaximumSize: int) -> int:
+        from repro.sim.objects import HeapObject
+
+        dwInitialSize &= _U32
+        dwMaximumSize &= _U32
+        if not self._flags_valid(flOptions, 0x0004_0005):
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        if self.machine.shared_region is not None:
+            # 9x: the heap arena header is written into the shared
+            # system arena at an offset derived from the initial size.
+            header_at = self.machine.shared_region.start + (dwInitialSize >> 4)
+            if not self.copy_out(
+                "HeapCreate", header_at, b"HEAP" + dwMaximumSize.to_bytes(4, "little")
+            ):
+                return self.fail(W.ERROR_NOT_ENOUGH_MEMORY)
+        if dwMaximumSize and dwInitialSize > dwMaximumSize:
+            if not self.personality.lax_flag_validation:
+                return self.fail(W.ERROR_INVALID_PARAMETER)
+        if dwInitialSize > MAX_VIRTUAL_ALLOC * 4:
+            return self.fail(W.ERROR_NOT_ENOUGH_MEMORY)
+        heap = HeapObject(dwInitialSize, dwMaximumSize)
+        return self.process.handles.insert(heap)
+
+    def _heap_or_fail(self, hHeap: int):
+        from repro.sim.objects import HeapObject
+
+        return self.object_or_fail(hHeap, HeapObject)
+
+    def HeapDestroy(self, hHeap: int) -> int:
+        heap = self._heap_or_fail(hHeap)
+        if heap is None:
+            return 1 if self.lax_handles else 0
+        for region in heap.blocks.values():
+            self.mem.unmap(region)
+        heap.blocks.clear()
+        self.process.handles.close(hHeap & _U32)
+        return 1
+
+    def HeapAlloc(self, hHeap: int, dwFlags: int, dwBytes: int) -> int:
+        heap = self._heap_or_fail(hHeap)
+        if heap is None:
+            return 0
+        dwBytes &= _U32
+        if dwBytes > MAX_VIRTUAL_ALLOC or (
+            heap.maximum_size and dwBytes > heap.maximum_size
+        ):
+            if dwFlags & 0x4:  # HEAP_GENERATE_EXCEPTIONS
+                self.throw(0xC0000017, recoverable=True)  # STATUS_NO_MEMORY
+            return self.fail(W.ERROR_NOT_ENOUGH_MEMORY)
+        region = self.mem.map(max(dwBytes, 1), tag="heap32")
+        heap.blocks[region.start] = region
+        return region.start
+
+    def HeapFree(self, hHeap: int, dwFlags: int, lpMem: int) -> int:
+        heap = self._heap_or_fail(hHeap)
+        if heap is None:
+            return 1 if self.lax_handles else 0
+        region = heap.blocks.pop(lpMem & _U32, None)
+        if region is None:
+            if self.lax_handles:
+                return 1  # 9x: claims success for foreign pointers
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        self.mem.unmap(region)
+        return 1
+
+    def HeapReAlloc(self, hHeap: int, dwFlags: int, lpMem: int, dwBytes: int) -> int:
+        heap = self._heap_or_fail(hHeap)
+        if heap is None:
+            return 0
+        region = heap.blocks.get(lpMem & _U32)
+        if region is None:
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        dwBytes &= _U32
+        if dwBytes > MAX_VIRTUAL_ALLOC:
+            return self.fail(W.ERROR_NOT_ENOUGH_MEMORY)
+        new_region = self.mem.map(max(dwBytes, 1), tag="heap32")
+        data = self.mem.read(region.start, min(region.size, dwBytes))
+        self.mem.write(new_region.start, data)
+        del heap.blocks[region.start]
+        heap.blocks[new_region.start] = new_region
+        self.mem.unmap(region)
+        return new_region.start
+
+    def HeapSize(self, hHeap: int, dwFlags: int, lpMem: int) -> int:
+        heap = self._heap_or_fail(hHeap)
+        if heap is None:
+            return _U32
+        region = heap.blocks.get(lpMem & _U32)
+        if region is None:
+            return self.fail(W.ERROR_INVALID_PARAMETER, ret=_U32)
+        return region.size
+
+    def HeapValidate(self, hHeap: int, dwFlags: int, lpMem: int) -> int:
+        heap = self._heap_or_fail(hHeap)
+        if heap is None:
+            return 0
+        if lpMem == 0:
+            return 1
+        return 1 if (lpMem & _U32) in heap.blocks else 0
+
+    def HeapCompact(self, hHeap: int, dwFlags: int) -> int:
+        heap = self._heap_or_fail(hHeap)
+        if heap is None:
+            return 0
+        return max((r.size for r in heap.blocks.values()), default=0x1000)
+
+    # ------------------------------------------------------------------
+    # Global / Local allocators (legacy, user-mode header walks)
+    # ------------------------------------------------------------------
+
+    def _legacy_alloc(self, tag: str, size: int) -> int:
+        size &= _U32
+        if size > MAX_VIRTUAL_ALLOC:
+            return self.fail(W.ERROR_NOT_ENOUGH_MEMORY)
+        return self.mem.map(max(size, 1), tag=tag).start
+
+    def _legacy_lookup(self, func: str, hMem: int, tag: str):
+        # The legacy allocators read the block header in user mode
+        # before validating -- the mechanistic source of their Abort
+        # failures on every desktop Windows variant.
+        self.mem.read(hMem, 4)
+        region = self.mem.find(hMem)
+        if region is None or region.start != (hMem & _U32) or region.tag != tag:
+            return None
+        return region
+
+    def GlobalAlloc(self, uFlags: int, dwBytes: int) -> int:
+        if not self._flags_valid(uFlags, 0x2042):
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        return self._legacy_alloc("global", dwBytes)
+
+    def GlobalFree(self, hMem: int) -> int:
+        region = self._legacy_lookup("GlobalFree", hMem, "global")
+        if region is None:
+            if self.lax_handles:
+                return 0  # success (returns NULL)
+            return self.fail(W.ERROR_INVALID_HANDLE, ret=hMem & _U32)
+        self.mem.unmap(region)
+        return 0
+
+    def GlobalReAlloc(self, hMem: int, dwBytes: int, uFlags: int) -> int:
+        region = self._legacy_lookup("GlobalReAlloc", hMem, "global")
+        if region is None:
+            return self.fail(W.ERROR_INVALID_HANDLE)
+        dwBytes &= _U32
+        if dwBytes > MAX_VIRTUAL_ALLOC:
+            return self.fail(W.ERROR_NOT_ENOUGH_MEMORY)
+        new_region = self.mem.map(max(dwBytes, 1), tag="global")
+        self.mem.write(
+            new_region.start, self.mem.read(region.start, min(region.size, dwBytes))
+        )
+        self.mem.unmap(region)
+        return new_region.start
+
+    def GlobalSize(self, hMem: int) -> int:
+        region = self._legacy_lookup("GlobalSize", hMem, "global")
+        if region is None:
+            return self.fail(W.ERROR_INVALID_HANDLE)
+        return region.size
+
+    def LocalAlloc(self, uFlags: int, uBytes: int) -> int:
+        if not self._flags_valid(uFlags, 0x1042):
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        return self._legacy_alloc("local", uBytes)
+
+    def LocalFree(self, hMem: int) -> int:
+        if hMem == 0:
+            return 0
+        region = self._legacy_lookup("LocalFree", hMem, "local")
+        if region is None:
+            if self.lax_handles:
+                return 0
+            return self.fail(W.ERROR_INVALID_HANDLE, ret=hMem & _U32)
+        self.mem.unmap(region)
+        return 0

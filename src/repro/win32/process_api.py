@@ -1,0 +1,624 @@
+"""Win32 Process Primitives (38 MuTs).
+
+Crash mechanics reproduced here (paper Table 3 / Listing 1):
+
+* ``GetThreadContext`` writes the CONTEXT through the caller pointer in
+  kernel mode, unprotected on Windows 95/98/98 SE/CE -- so the paper's
+  Listing 1, ``GetThreadContext(GetCurrentThread(), NULL)``, crashes
+  those variants on the very first call.
+* ``MsgWaitForMultipleObjects`` reads the handle array in kernel mode,
+  unprotected on 9x/CE; the ``Ex`` variant corrupts on 98/98 SE.
+* ``CreateThread`` writes the thread id back through ``lpThreadId``,
+  misdirected into the shared arena on 98 SE and CE (``*CreateThread``).
+* ``ReadProcessMemory`` misdirects its destination-buffer write on 95
+  and CE.
+* The ``Interlocked*`` family is kernel-assisted on Windows CE (no
+  atomic CPU instructions on its cores), so a bad pointer there is a
+  kernel-mode access -- corrupting shared state (Table 3's CE entries).
+"""
+
+from __future__ import annotations
+
+from repro.sim.guarded import crt_read, crt_write
+from repro.win32 import errors as W
+
+_U32 = 0xFFFF_FFFF
+INFINITE = 0xFFFF_FFFF
+STILL_ACTIVE = 259
+CONTEXT_SIZE = 64
+ERROR_NOT_OWNER = 288
+
+
+class ProcessApiMixin:
+    """Processes, threads, synchronisation, and atomic primitives."""
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+
+    def CreateProcessA(
+        self,
+        lpApplicationName: int,
+        lpCommandLine: int,
+        lpProcessAttributes: int,
+        lpThreadAttributes: int,
+        bInheritHandles: int,
+        dwCreationFlags: int,
+        lpEnvironment: int,
+        lpCurrentDirectory: int,
+        lpStartupInfo: int,
+        lpProcessInformation: int,
+    ) -> int:
+        from repro.sim.objects import ProcessObject
+
+        application = self._scan_string(lpApplicationName) if lpApplicationName else ""
+        command = self._scan_string(lpCommandLine) if lpCommandLine else ""
+        if not application and not command:
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        if not self._read_security_attributes(lpProcessAttributes):
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        if not self._read_security_attributes(lpThreadAttributes):
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        if lpCurrentDirectory:
+            directory = self._scan_string(lpCurrentDirectory)
+            node = self.machine.fs.lookup(directory)
+            if node is None or not node.is_directory:
+                return self.fail(W.ERROR_PATH_NOT_FOUND)
+        if lpStartupInfo == 0:
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        self.mem.read_u32(lpStartupInfo)  # user-mode STARTUPINFO pickup (cb)
+        image = application or command.split(" ", 1)[0]
+        if self.machine.fs.lookup(image) is None:
+            return self.fail(W.ERROR_FILE_NOT_FOUND)
+        child = ProcessObject(self.process.pid + 1, name=image)
+        thread = self.process.spawn_thread()
+        process_handle = self.process.handles.insert(child)
+        thread_handle = self.process.handles.insert(thread)
+        info = (
+            process_handle.to_bytes(4, "little")
+            + thread_handle.to_bytes(4, "little")
+            + child.pid.to_bytes(4, "little")
+            + thread.tid.to_bytes(4, "little")
+        )
+        if not self.copy_out("CreateProcessA", lpProcessInformation, info):
+            return self.fail(W.ERROR_NOACCESS)
+        return 1
+
+    def OpenProcess(self, dwDesiredAccess: int, bInheritHandle: int, dwProcessId: int) -> int:
+        if (dwProcessId & _U32) == self.process.pid:
+            return self.process.handles.insert(self.process.kernel_object)
+        return self.fail(W.ERROR_INVALID_PARAMETER)
+
+    def TerminateProcess(self, hProcess: int, uExitCode: int) -> int:
+        target = self._process_or_fail(hProcess)
+        if target is None:
+            return 1 if self.lax_handles else 0
+        target.exit_code = uExitCode & _U32
+        target.signaled = True
+        return 1
+
+    def GetExitCodeProcess(self, hProcess: int, lpExitCode: int) -> int:
+        target = self._process_or_fail(hProcess)
+        if target is None:
+            return 1 if self.lax_handles else 0
+        code = STILL_ACTIVE if target.exit_code is None else target.exit_code
+        if not self.copy_out(
+            "GetExitCodeProcess", lpExitCode, code.to_bytes(4, "little")
+        ):
+            return self.fail(W.ERROR_NOACCESS)
+        return 1
+
+    def GetPriorityClass(self, hProcess: int) -> int:
+        target = self._process_or_fail(hProcess)
+        if target is None:
+            return 0x20 if self.lax_handles else 0
+        return 0x20  # NORMAL_PRIORITY_CLASS
+
+    # ------------------------------------------------------------------
+    # Threads
+    # ------------------------------------------------------------------
+
+    def CreateThread(
+        self,
+        lpThreadAttributes: int,
+        dwStackSize: int,
+        lpStartAddress: int,
+        lpParameter: int,
+        dwCreationFlags: int,
+        lpThreadId: int,
+    ) -> int:
+        if not self._read_security_attributes(lpThreadAttributes):
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        if not self._flags_valid(dwCreationFlags, 0x0001_0004):
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        if (dwStackSize & _U32) > 0x0400_0000:
+            return self.fail(W.ERROR_NOT_ENOUGH_MEMORY)
+        # A bogus start address is accepted -- the thread would crash
+        # later, which is precisely a Silent robustness failure here.
+        thread = self.process.spawn_thread(
+            suspended=bool(dwCreationFlags & 0x4)
+        )
+        thread.context["eip"] = lpStartAddress & _U32
+        handle = self.process.handles.insert(thread)
+        if lpThreadId:
+            # Kernel writes the new thread id back: misdirected into the
+            # shared arena on Windows 98 SE and CE (*CreateThread).
+            if not self.copy_out(
+                "CreateThread", lpThreadId, thread.tid.to_bytes(4, "little")
+            ):
+                self.process.handles.close(handle)
+                return self.fail(W.ERROR_NOACCESS)
+        return handle
+
+    def TerminateThread(self, hThread: int, dwExitCode: int) -> int:
+        thread = self._thread_or_fail(hThread)
+        if thread is None:
+            return 1 if self.lax_handles else 0
+        thread.exit_code = dwExitCode & _U32
+        thread.signaled = True
+        return 1
+
+    def SuspendThread(self, hThread: int) -> int:
+        thread = self._thread_or_fail(hThread)
+        if thread is None:
+            return 0 if self.lax_handles else _U32
+        previous = thread.suspend_count
+        thread.suspend_count += 1
+        return previous
+
+    def ResumeThread(self, hThread: int) -> int:
+        thread = self._thread_or_fail(hThread)
+        if thread is None:
+            return 0 if self.lax_handles else _U32
+        previous = thread.suspend_count
+        if thread.suspend_count > 0:
+            thread.suspend_count -= 1
+        return previous
+
+    def GetExitCodeThread(self, hThread: int, lpExitCode: int) -> int:
+        thread = self._thread_or_fail(hThread)
+        if thread is None:
+            return 1 if self.lax_handles else 0
+        code = STILL_ACTIVE if thread.exit_code is None else thread.exit_code
+        if not self.copy_out(
+            "GetExitCodeThread", lpExitCode, code.to_bytes(4, "little")
+        ):
+            return self.fail(W.ERROR_NOACCESS)
+        return 1
+
+    def GetThreadPriority(self, hThread: int) -> int:
+        thread = self._thread_or_fail(hThread)
+        if thread is None:
+            return 0 if self.lax_handles else 0x7FFF_FFFF  # THREAD_PRIORITY_ERROR_RETURN
+        return 0  # THREAD_PRIORITY_NORMAL
+
+    def SetThreadPriority(self, hThread: int, nPriority: int) -> int:
+        thread = self._thread_or_fail(hThread)
+        if thread is None:
+            return 1 if self.lax_handles else 0
+        if nPriority not in (-15, -2, -1, 0, 1, 2, 15):
+            if not self.personality.lax_flag_validation:
+                return self.fail(W.ERROR_INVALID_PARAMETER)
+        return 1
+
+    def SetThreadAffinityMask(self, hThread: int, dwThreadAffinityMask: int) -> int:
+        thread = self._thread_or_fail(hThread)
+        if thread is None:
+            return 1 if self.lax_handles else 0
+        if (dwThreadAffinityMask & _U32) == 0:
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        return 1
+
+    # ------------------------------------------------------------------
+    # Thread contexts (Listing 1)
+    # ------------------------------------------------------------------
+
+    _CONTEXT_REGS = (
+        "eax", "ebx", "ecx", "edx", "esi", "edi",
+        "ebp", "esp", "eip", "eflags",
+    )
+
+    def GetThreadContext(self, hThread: int, lpContext: int) -> int:
+        thread = self._thread_or_fail(hThread)
+        if thread is None:
+            return 1 if self.lax_handles else 0
+        blob = bytearray(CONTEXT_SIZE)
+        blob[0:4] = (0x1003F).to_bytes(4, "little")  # ContextFlags FULL
+        for index, reg in enumerate(self._CONTEXT_REGS):
+            offset = 4 + index * 4
+            blob[offset : offset + 4] = (thread.context[reg] & _U32).to_bytes(
+                4, "little"
+            )
+        # The kernel writes the CONTEXT through the caller pointer:
+        # unprotected on Windows 95/98/98 SE/CE (paper Listing 1).
+        if not self.copy_out("GetThreadContext", lpContext, bytes(blob)):
+            return self.fail(W.ERROR_NOACCESS)
+        return 1
+
+    def SetThreadContext(self, hThread: int, lpContext: int) -> int:
+        thread = self._thread_or_fail(hThread)
+        if thread is None:
+            return 1 if self.lax_handles else 0
+        raw = self.copy_in("SetThreadContext", lpContext, CONTEXT_SIZE)
+        if raw is None:
+            return self.fail(W.ERROR_NOACCESS)
+        for index, reg in enumerate(self._CONTEXT_REGS):
+            offset = 4 + index * 4
+            thread.context[reg] = int.from_bytes(raw[offset : offset + 4], "little")
+        return 1
+
+    # ------------------------------------------------------------------
+    # Waiting
+    # ------------------------------------------------------------------
+
+    def _consume_wait(self, obj) -> None:
+        """Take ownership/decrement for auto-reset waitables."""
+        from repro.sim.objects import EventObject, MutexObject, SemaphoreObject
+
+        if isinstance(obj, EventObject) and not obj.manual_reset:
+            obj.signaled = False
+        elif isinstance(obj, MutexObject):
+            obj.owner_tid = self.process.main_thread.tid
+            obj.recursion += 1
+            obj.signaled = False
+        elif isinstance(obj, SemaphoreObject):
+            obj.count -= 1
+            obj.signaled = obj.count > 0
+
+    def _wait_single(self, obj, dwMilliseconds: int) -> int:
+        if obj.signaled:
+            self._consume_wait(obj)
+            return W.WAIT_OBJECT_0
+        timeout = dwMilliseconds & _U32
+        if timeout == INFINITE:
+            self.machine.clock.block_forever()
+        self.machine.clock.advance(timeout)
+        return W.WAIT_TIMEOUT
+
+    def WaitForSingleObject(self, hHandle: int, dwMilliseconds: int) -> int:
+        obj = self.object_or_fail(hHandle)
+        if obj is None:
+            return W.WAIT_OBJECT_0 if self.lax_handles else W.WAIT_FAILED
+        return self._wait_single(obj, dwMilliseconds)
+
+    def _read_handle_array(self, func: str, nCount: int, lpHandles: int):
+        """Kernel-mode pickup of the handle array (unprotected on 9x/CE
+        for the MsgWait* entry points)."""
+        raw = self.copy_in(func, lpHandles, 4 * nCount)
+        if raw is None:
+            return None
+        return [
+            int.from_bytes(raw[i : i + 4], "little") for i in range(0, len(raw), 4)
+        ]
+
+    def _wait_multiple(
+        self, func: str, nCount: int, lpHandles: int, bWaitAll: int, timeout: int
+    ) -> int:
+        nCount &= _U32
+        if nCount == 0 or nCount > 64:
+            return self.fail(W.ERROR_INVALID_PARAMETER, ret=W.WAIT_FAILED)
+        handles = self._read_handle_array(func, nCount, lpHandles)
+        if handles is None:
+            return self.fail(W.ERROR_NOACCESS, ret=W.WAIT_FAILED)
+        objects = []
+        for handle in handles:
+            obj = self.object_or_fail(handle)
+            if obj is None:
+                if self.lax_handles:
+                    return W.WAIT_OBJECT_0
+                return self.fail(W.ERROR_INVALID_HANDLE, ret=W.WAIT_FAILED)
+            objects.append(obj)
+        signaled = [i for i, obj in enumerate(objects) if obj.signaled]
+        satisfied = len(signaled) == len(objects) if bWaitAll else bool(signaled)
+        if satisfied:
+            for index in signaled:
+                self._consume_wait(objects[index])
+            return W.WAIT_OBJECT_0 + (0 if bWaitAll else signaled[0])
+        timeout &= _U32
+        if timeout == INFINITE:
+            self.machine.clock.block_forever()
+        self.machine.clock.advance(timeout)
+        return W.WAIT_TIMEOUT
+
+    def WaitForMultipleObjects(
+        self, nCount: int, lpHandles: int, bWaitAll: int, dwMilliseconds: int
+    ) -> int:
+        return self._wait_multiple(
+            "WaitForMultipleObjects", nCount, lpHandles, bWaitAll, dwMilliseconds
+        )
+
+    def MsgWaitForMultipleObjects(
+        self,
+        nCount: int,
+        pHandles: int,
+        fWaitAll: int,
+        dwMilliseconds: int,
+        dwWakeMask: int,
+    ) -> int:
+        if not self._flags_valid(dwWakeMask, 0x04FF):
+            return self.fail(W.ERROR_INVALID_PARAMETER, ret=W.WAIT_FAILED)
+        return self._wait_multiple(
+            "MsgWaitForMultipleObjects", nCount, pHandles, fWaitAll, dwMilliseconds
+        )
+
+    def MsgWaitForMultipleObjectsEx(
+        self,
+        nCount: int,
+        pHandles: int,
+        dwMilliseconds: int,
+        dwWakeMask: int,
+        dwFlags: int,
+    ) -> int:
+        # The Ex entry point marshals the handle array before validating
+        # the wake mask and flags -- which is exactly why its misdirected
+        # array pickup could corrupt 98/98 SE even with bogus flags.
+        nCount &= _U32
+        if nCount == 0 or nCount > 64:
+            return self.fail(W.ERROR_INVALID_PARAMETER, ret=W.WAIT_FAILED)
+        handles = self._read_handle_array(
+            "MsgWaitForMultipleObjectsEx", nCount, pHandles
+        )
+        if handles is None:
+            return self.fail(W.ERROR_NOACCESS, ret=W.WAIT_FAILED)
+        if not self._flags_valid(dwWakeMask, 0x04FF) or not self._flags_valid(
+            dwFlags, 0x6
+        ):
+            return self.fail(W.ERROR_INVALID_PARAMETER, ret=W.WAIT_FAILED)
+        return self._wait_multiple(
+            "MsgWaitForMultipleObjectsEx", nCount, pHandles, 0, dwMilliseconds
+        )
+
+    def SignalObjectAndWait(
+        self, hObjectToSignal: int, hObjectToWaitOn: int, dwMilliseconds: int, bAlertable: int
+    ) -> int:
+        from repro.sim.objects import EventObject, MutexObject, SemaphoreObject
+
+        to_signal = self.object_or_fail(hObjectToSignal)
+        if to_signal is None:
+            return W.WAIT_OBJECT_0 if self.lax_handles else W.WAIT_FAILED
+        if not isinstance(to_signal, (EventObject, MutexObject, SemaphoreObject)):
+            return self.fail(W.ERROR_INVALID_HANDLE, ret=W.WAIT_FAILED)
+        to_wait = self.object_or_fail(hObjectToWaitOn)
+        if to_wait is None:
+            return W.WAIT_OBJECT_0 if self.lax_handles else W.WAIT_FAILED
+        to_signal.signaled = True
+        return self._wait_single(to_wait, dwMilliseconds)
+
+    # ------------------------------------------------------------------
+    # Events / mutexes / semaphores / timers
+    # ------------------------------------------------------------------
+
+    def CreateEventA(
+        self, lpEventAttributes: int, bManualReset: int, bInitialState: int, lpName: int
+    ) -> int:
+        from repro.sim.objects import EventObject
+
+        if not self._read_security_attributes(lpEventAttributes):
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        name = self._scan_string(lpName) if lpName else None
+        event = EventObject(bool(bManualReset), bool(bInitialState), name=name)
+        return self.process.handles.insert(event)
+
+    def _event_or_fail(self, hEvent: int):
+        from repro.sim.objects import EventObject
+
+        return self.object_or_fail(hEvent, EventObject)
+
+    def SetEvent(self, hEvent: int) -> int:
+        event = self._event_or_fail(hEvent)
+        if event is None:
+            return 1 if self.lax_handles else 0
+        event.signaled = True
+        return 1
+
+    def ResetEvent(self, hEvent: int) -> int:
+        event = self._event_or_fail(hEvent)
+        if event is None:
+            return 1 if self.lax_handles else 0
+        event.signaled = False
+        return 1
+
+    def PulseEvent(self, hEvent: int) -> int:
+        event = self._event_or_fail(hEvent)
+        if event is None:
+            return 1 if self.lax_handles else 0
+        event.signaled = False
+        return 1
+
+    def OpenEventA(self, dwDesiredAccess: int, bInheritHandle: int, lpName: int) -> int:
+        if lpName == 0:
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        self._scan_string(lpName)
+        return self.fail(W.ERROR_FILE_NOT_FOUND)  # no named objects exist
+
+    def CreateMutexA(
+        self, lpMutexAttributes: int, bInitialOwner: int, lpName: int
+    ) -> int:
+        from repro.sim.objects import MutexObject
+
+        if not self._read_security_attributes(lpMutexAttributes):
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        if lpName:
+            self._scan_string(lpName)
+        mutex = MutexObject(bool(bInitialOwner))
+        if bInitialOwner:
+            mutex.owner_tid = self.process.main_thread.tid
+        return self.process.handles.insert(mutex)
+
+    def ReleaseMutex(self, hMutex: int) -> int:
+        from repro.sim.objects import MutexObject
+
+        mutex = self.object_or_fail(hMutex, MutexObject)
+        if mutex is None:
+            return 1 if self.lax_handles else 0
+        if mutex.owner_tid != self.process.main_thread.tid:
+            return self.fail(ERROR_NOT_OWNER)
+        mutex.recursion -= 1
+        if mutex.recursion <= 0:
+            mutex.owner_tid = None
+            mutex.signaled = True
+        return 1
+
+    def CreateSemaphoreA(
+        self, lpSemaphoreAttributes: int, lInitialCount: int, lMaximumCount: int, lpName: int
+    ) -> int:
+        from repro.sim.objects import SemaphoreObject
+
+        if not self._read_security_attributes(lpSemaphoreAttributes):
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        if lMaximumCount <= 0 or lInitialCount < 0 or lInitialCount > lMaximumCount:
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        if lpName:
+            self._scan_string(lpName)
+        return self.process.handles.insert(
+            SemaphoreObject(lInitialCount, lMaximumCount)
+        )
+
+    def ReleaseSemaphore(
+        self, hSemaphore: int, lReleaseCount: int, lpPreviousCount: int
+    ) -> int:
+        from repro.sim.objects import SemaphoreObject
+
+        semaphore = self.object_or_fail(hSemaphore, SemaphoreObject)
+        if semaphore is None:
+            return 1 if self.lax_handles else 0
+        if lReleaseCount <= 0:
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        if semaphore.count + lReleaseCount > semaphore.maximum:
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        if lpPreviousCount and not self.copy_out(
+            "ReleaseSemaphore", lpPreviousCount, semaphore.count.to_bytes(4, "little")
+        ):
+            return self.fail(W.ERROR_NOACCESS)
+        semaphore.count += lReleaseCount
+        semaphore.signaled = True
+        return 1
+
+    def CreateWaitableTimerA(
+        self, lpTimerAttributes: int, bManualReset: int, lpTimerName: int
+    ) -> int:
+        from repro.sim.objects import EventObject
+
+        if not self._read_security_attributes(lpTimerAttributes):
+            return self.fail(W.ERROR_INVALID_PARAMETER)
+        if lpTimerName:
+            self._scan_string(lpTimerName)
+        timer = EventObject(bool(bManualReset), initial_state=False)
+        timer.kind = "timer"
+        return self.process.handles.insert(timer)
+
+    # ------------------------------------------------------------------
+    # Sleeping
+    # ------------------------------------------------------------------
+
+    def Sleep(self, dwMilliseconds: int) -> int:
+        timeout = dwMilliseconds & _U32
+        if timeout == INFINITE:
+            self.machine.clock.block_forever()
+        self.machine.clock.advance(timeout)
+        return 0
+
+    def SleepEx(self, dwMilliseconds: int, bAlertable: int) -> int:
+        return self.Sleep(dwMilliseconds)
+
+    # ------------------------------------------------------------------
+    # Interlocked operations (kernel-assisted on Windows CE)
+    # ------------------------------------------------------------------
+
+    def _interlocked_read(self, func: str, address: int) -> int | None:
+        raw = crt_read(self.machine, self.mem, func, address, 4)
+        return None if raw is None else int.from_bytes(raw, "little")
+
+    def _interlocked_write(self, func: str, address: int, value: int) -> bool:
+        return crt_write(
+            self.machine, self.mem, func, address, (value & _U32).to_bytes(4, "little")
+        )
+
+    def InterlockedIncrement(self, lpAddend: int) -> int:
+        value = self._interlocked_read("InterlockedIncrement", lpAddend)
+        if value is None:
+            return 0
+        value = (value + 1) & _U32
+        self._interlocked_write("InterlockedIncrement", lpAddend, value)
+        return value
+
+    def InterlockedDecrement(self, lpAddend: int) -> int:
+        value = self._interlocked_read("InterlockedDecrement", lpAddend)
+        if value is None:
+            return 0
+        value = (value - 1) & _U32
+        self._interlocked_write("InterlockedDecrement", lpAddend, value)
+        return value
+
+    def InterlockedExchange(self, lpTarget: int, lValue: int) -> int:
+        value = self._interlocked_read("InterlockedExchange", lpTarget)
+        if value is None:
+            return 0
+        self._interlocked_write("InterlockedExchange", lpTarget, lValue)
+        return value
+
+    def InterlockedCompareExchange(
+        self, lpDestination: int, lExchange: int, lComparand: int
+    ) -> int:
+        value = self._interlocked_read("InterlockedCompareExchange", lpDestination)
+        if value is None:
+            return 0
+        if value == (lComparand & _U32):
+            self._interlocked_write(
+                "InterlockedCompareExchange", lpDestination, lExchange
+            )
+        return value
+
+    # ------------------------------------------------------------------
+    # Cross-process memory
+    # ------------------------------------------------------------------
+
+    def ReadProcessMemory(
+        self,
+        hProcess: int,
+        lpBaseAddress: int,
+        lpBuffer: int,
+        nSize: int,
+        lpNumberOfBytesRead: int,
+    ) -> int:
+        target = self._process_or_fail(hProcess)
+        if target is None:
+            return 1 if self.lax_handles else 0
+        count = min(nSize & _U32, 1 << 16)
+        data = self.copy_in("ReadProcessMemory", lpBaseAddress, count)
+        if data is None:
+            return self.fail(W.ERROR_NOACCESS)
+        # Destination write: misdirected into the shared arena on
+        # Windows 95 and CE (*ReadProcessMemory).
+        if not self.copy_out("ReadProcessMemory", lpBuffer, data):
+            return self.fail(W.ERROR_NOACCESS)
+        if lpNumberOfBytesRead and not self.copy_out(
+            "ReadProcessMemory", lpNumberOfBytesRead, len(data).to_bytes(4, "little")
+        ):
+            return self.fail(W.ERROR_NOACCESS)
+        return 1
+
+    def WriteProcessMemory(
+        self,
+        hProcess: int,
+        lpBaseAddress: int,
+        lpBuffer: int,
+        nSize: int,
+        lpNumberOfBytesWritten: int,
+    ) -> int:
+        target = self._process_or_fail(hProcess)
+        if target is None:
+            return 1 if self.lax_handles else 0
+        count = min(nSize & _U32, 1 << 16)
+        data = self.copy_in("WriteProcessMemory", lpBuffer, count)
+        if data is None:
+            return self.fail(W.ERROR_NOACCESS)
+        if not self.copy_out("WriteProcessMemory", lpBaseAddress, data):
+            return self.fail(W.ERROR_NOACCESS)
+        if lpNumberOfBytesWritten and not self.copy_out(
+            "WriteProcessMemory",
+            lpNumberOfBytesWritten,
+            len(data).to_bytes(4, "little"),
+        ):
+            return self.fail(W.ERROR_NOACCESS)
+        return 1

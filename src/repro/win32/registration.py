@@ -1,0 +1,312 @@
+"""MuT registration for the 143 Win32 system calls.
+
+Group sizes follow the paper where it pins them down: the I/O Primitives
+group is exactly the 15 calls the paper lists.  Windows 95 lacks 10
+calls (``Personality.missing_functions``); Windows CE implements a
+71-call subset (:data:`CE_SYSCALLS`).
+"""
+
+from __future__ import annotations
+
+from repro.core.mut import MuTRegistry
+from repro.win32.variants import WINDOWS_VARIANTS
+
+GROUP_MEMORY = "Memory Management"
+GROUP_FILEDIR = "File/Directory Access"
+GROUP_IO = "I/O Primitives"
+GROUP_PROCESS = "Process Primitives"
+GROUP_ENV = "Process Environment"
+
+#: (name, group, parameter types) for all 143 Win32 system calls.
+WIN32_CALLS: list[tuple[str, str, list[str]]] = [
+    # -- Memory Management (20) -----------------------------------------
+    ("VirtualAlloc", GROUP_MEMORY, ["buffer", "size", "alloc_type", "page_protect"]),
+    ("VirtualFree", GROUP_MEMORY, ["buffer", "size", "alloc_type"]),
+    ("VirtualProtect", GROUP_MEMORY, ["buffer", "size", "page_protect", "buffer"]),
+    ("VirtualQuery", GROUP_MEMORY, ["buffer", "buffer", "size"]),
+    ("VirtualLock", GROUP_MEMORY, ["buffer", "size"]),
+    ("VirtualUnlock", GROUP_MEMORY, ["buffer", "size"]),
+    ("HeapCreate", GROUP_MEMORY, ["dword", "size", "size"]),
+    ("HeapDestroy", GROUP_MEMORY, ["heap_handle"]),
+    ("HeapAlloc", GROUP_MEMORY, ["heap_handle", "dword", "size"]),
+    ("HeapFree", GROUP_MEMORY, ["heap_handle", "dword", "buffer"]),
+    ("HeapReAlloc", GROUP_MEMORY, ["heap_handle", "dword", "buffer", "size"]),
+    ("HeapSize", GROUP_MEMORY, ["heap_handle", "dword", "buffer"]),
+    ("HeapValidate", GROUP_MEMORY, ["heap_handle", "dword", "buffer"]),
+    ("HeapCompact", GROUP_MEMORY, ["heap_handle", "dword"]),
+    ("GlobalAlloc", GROUP_MEMORY, ["dword", "size"]),
+    ("GlobalFree", GROUP_MEMORY, ["buffer"]),
+    ("GlobalReAlloc", GROUP_MEMORY, ["buffer", "size", "dword"]),
+    ("GlobalSize", GROUP_MEMORY, ["buffer"]),
+    ("LocalAlloc", GROUP_MEMORY, ["dword", "size"]),
+    ("LocalFree", GROUP_MEMORY, ["buffer"]),
+    # -- File/Directory Access (35) ----------------------------------------
+    (
+        "CreateFileA",
+        GROUP_FILEDIR,
+        [
+            "filename", "access_mode", "share_mode", "security_attributes",
+            "creation_disp", "file_attrs", "handle",
+        ],
+    ),
+    ("DeleteFileA", GROUP_FILEDIR, ["filename"]),
+    ("CopyFileA", GROUP_FILEDIR, ["filename", "filename", "bool_val"]),
+    ("MoveFileA", GROUP_FILEDIR, ["filename", "filename"]),
+    ("MoveFileExA", GROUP_FILEDIR, ["filename", "filename", "dword"]),
+    ("CreateDirectoryA", GROUP_FILEDIR, ["filename", "security_attributes"]),
+    ("RemoveDirectoryA", GROUP_FILEDIR, ["filename"]),
+    ("GetCurrentDirectoryA", GROUP_FILEDIR, ["dword", "buffer"]),
+    ("SetCurrentDirectoryA", GROUP_FILEDIR, ["filename"]),
+    ("GetFileAttributesA", GROUP_FILEDIR, ["filename"]),
+    ("SetFileAttributesA", GROUP_FILEDIR, ["filename", "file_attrs"]),
+    ("GetFileAttributesExA", GROUP_FILEDIR, ["filename", "dword", "buffer"]),
+    ("GetFileSize", GROUP_FILEDIR, ["file_handle", "buffer"]),
+    ("GetFileType", GROUP_FILEDIR, ["file_handle"]),
+    ("GetFileInformationByHandle", GROUP_FILEDIR, ["file_handle", "buffer"]),
+    ("SetEndOfFile", GROUP_FILEDIR, ["file_handle"]),
+    (
+        "GetFileTime",
+        GROUP_FILEDIR,
+        ["file_handle", "filetime_ptr", "filetime_ptr", "filetime_ptr"],
+    ),
+    (
+        "SetFileTime",
+        GROUP_FILEDIR,
+        ["file_handle", "filetime_ptr", "filetime_ptr", "filetime_ptr"],
+    ),
+    ("FileTimeToSystemTime", GROUP_FILEDIR, ["filetime_ptr", "systemtime_ptr"]),
+    ("SystemTimeToFileTime", GROUP_FILEDIR, ["systemtime_ptr", "filetime_ptr"]),
+    ("FileTimeToLocalFileTime", GROUP_FILEDIR, ["filetime_ptr", "filetime_ptr"]),
+    ("CompareFileTime", GROUP_FILEDIR, ["filetime_ptr", "filetime_ptr"]),
+    ("FindFirstFileA", GROUP_FILEDIR, ["filename", "buffer"]),
+    ("FindNextFileA", GROUP_FILEDIR, ["handle", "buffer"]),
+    ("FindClose", GROUP_FILEDIR, ["handle"]),
+    ("GetFullPathNameA", GROUP_FILEDIR, ["filename", "dword", "buffer", "buffer"]),
+    ("GetTempPathA", GROUP_FILEDIR, ["dword", "buffer"]),
+    ("GetTempFileNameA", GROUP_FILEDIR, ["filename", "cstring", "dword", "buffer"]),
+    (
+        "SearchPathA",
+        GROUP_FILEDIR,
+        ["filename", "filename", "cstring", "dword", "buffer", "buffer"],
+    ),
+    ("GetShortPathNameA", GROUP_FILEDIR, ["filename", "buffer", "dword"]),
+    ("GetDriveTypeA", GROUP_FILEDIR, ["filename"]),
+    (
+        "GetDiskFreeSpaceA",
+        GROUP_FILEDIR,
+        ["filename", "buffer", "buffer", "buffer", "buffer"],
+    ),
+    ("GetLogicalDrives", GROUP_FILEDIR, []),
+    ("AreFileApisANSI", GROUP_FILEDIR, []),
+    ("SetHandleCount", GROUP_FILEDIR, ["dword"]),
+    # -- I/O Primitives (15, the paper's exact list) -------------------------
+    ("AttachThreadInput", GROUP_IO, ["dword", "dword", "bool_val"]),
+    ("CloseHandle", GROUP_IO, ["handle"]),
+    (
+        "DuplicateHandle",
+        GROUP_IO,
+        [
+            "process_handle", "handle", "process_handle", "buffer",
+            "dword", "bool_val", "dword",
+        ],
+    ),
+    ("FlushFileBuffers", GROUP_IO, ["file_handle"]),
+    ("GetStdHandle", GROUP_IO, ["std_handle_id"]),
+    ("SetStdHandle", GROUP_IO, ["std_handle_id", "handle"]),
+    ("LockFile", GROUP_IO, ["file_handle", "dword", "dword", "dword", "dword"]),
+    (
+        "LockFileEx",
+        GROUP_IO,
+        ["file_handle", "dword", "dword", "dword", "dword", "buffer"],
+    ),
+    ("ReadFile", GROUP_IO, ["file_handle", "buffer", "dword", "buffer", "buffer"]),
+    ("ReadFileEx", GROUP_IO, ["file_handle", "buffer", "dword", "buffer", "buffer"]),
+    ("SetFilePointer", GROUP_IO, ["file_handle", "long_offset", "buffer", "seek_whence"]),
+    ("UnlockFile", GROUP_IO, ["file_handle", "dword", "dword", "dword", "dword"]),
+    (
+        "UnlockFileEx",
+        GROUP_IO,
+        ["file_handle", "dword", "dword", "dword", "buffer"],
+    ),
+    ("WriteFile", GROUP_IO, ["file_handle", "buffer", "dword", "buffer", "buffer"]),
+    ("WriteFileEx", GROUP_IO, ["file_handle", "buffer", "dword", "buffer", "buffer"]),
+    # -- Process Primitives (38) ------------------------------------------------
+    (
+        "CreateProcessA",
+        GROUP_PROCESS,
+        [
+            "filename", "cstring", "security_attributes", "security_attributes",
+            "bool_val", "dword", "buffer", "filename", "buffer", "buffer",
+        ],
+    ),
+    ("OpenProcess", GROUP_PROCESS, ["access_mode", "bool_val", "pid_val"]),
+    ("TerminateProcess", GROUP_PROCESS, ["process_handle", "dword"]),
+    ("GetExitCodeProcess", GROUP_PROCESS, ["process_handle", "buffer"]),
+    ("GetPriorityClass", GROUP_PROCESS, ["process_handle"]),
+    (
+        "CreateThread",
+        GROUP_PROCESS,
+        [
+            "security_attributes", "size", "buffer", "buffer", "dword", "buffer",
+        ],
+    ),
+    ("TerminateThread", GROUP_PROCESS, ["thread_handle", "dword"]),
+    ("SuspendThread", GROUP_PROCESS, ["thread_handle"]),
+    ("ResumeThread", GROUP_PROCESS, ["thread_handle"]),
+    ("GetExitCodeThread", GROUP_PROCESS, ["thread_handle", "buffer"]),
+    ("GetThreadPriority", GROUP_PROCESS, ["thread_handle"]),
+    ("SetThreadPriority", GROUP_PROCESS, ["thread_handle", "int_val"]),
+    ("SetThreadAffinityMask", GROUP_PROCESS, ["thread_handle", "dword"]),
+    ("GetThreadContext", GROUP_PROCESS, ["thread_handle", "context_ptr"]),
+    ("SetThreadContext", GROUP_PROCESS, ["thread_handle", "context_ptr"]),
+    ("WaitForSingleObject", GROUP_PROCESS, ["waitable_handle", "timeout_ms"]),
+    (
+        "WaitForMultipleObjects",
+        GROUP_PROCESS,
+        ["wait_count", "handle_array", "bool_val", "timeout_ms"],
+    ),
+    (
+        "MsgWaitForMultipleObjects",
+        GROUP_PROCESS,
+        ["wait_count", "handle_array", "bool_val", "timeout_ms", "dword"],
+    ),
+    (
+        "MsgWaitForMultipleObjectsEx",
+        GROUP_PROCESS,
+        ["wait_count", "handle_array", "timeout_ms", "dword", "dword"],
+    ),
+    (
+        "SignalObjectAndWait",
+        GROUP_PROCESS,
+        ["waitable_handle", "waitable_handle", "timeout_ms", "bool_val"],
+    ),
+    (
+        "CreateEventA",
+        GROUP_PROCESS,
+        ["security_attributes", "bool_val", "bool_val", "cstring"],
+    ),
+    ("SetEvent", GROUP_PROCESS, ["waitable_handle"]),
+    ("ResetEvent", GROUP_PROCESS, ["waitable_handle"]),
+    ("PulseEvent", GROUP_PROCESS, ["waitable_handle"]),
+    ("OpenEventA", GROUP_PROCESS, ["access_mode", "bool_val", "cstring"]),
+    ("CreateMutexA", GROUP_PROCESS, ["security_attributes", "bool_val", "cstring"]),
+    ("ReleaseMutex", GROUP_PROCESS, ["waitable_handle"]),
+    (
+        "CreateSemaphoreA",
+        GROUP_PROCESS,
+        ["security_attributes", "int_val", "int_val", "cstring"],
+    ),
+    ("ReleaseSemaphore", GROUP_PROCESS, ["waitable_handle", "int_val", "buffer"]),
+    (
+        "CreateWaitableTimerA",
+        GROUP_PROCESS,
+        ["security_attributes", "bool_val", "cstring"],
+    ),
+    ("InterlockedIncrement", GROUP_PROCESS, ["interlocked_ptr"]),
+    ("InterlockedDecrement", GROUP_PROCESS, ["interlocked_ptr"]),
+    ("InterlockedExchange", GROUP_PROCESS, ["interlocked_ptr", "int_val"]),
+    (
+        "InterlockedCompareExchange",
+        GROUP_PROCESS,
+        ["interlocked_ptr", "int_val", "int_val"],
+    ),
+    (
+        "ReadProcessMemory",
+        GROUP_PROCESS,
+        ["process_handle", "buffer", "buffer", "size", "buffer"],
+    ),
+    (
+        "WriteProcessMemory",
+        GROUP_PROCESS,
+        ["process_handle", "buffer", "buffer", "size", "buffer"],
+    ),
+    ("Sleep", GROUP_PROCESS, ["timeout_ms"]),
+    ("SleepEx", GROUP_PROCESS, ["timeout_ms", "bool_val"]),
+    # -- Process Environment (35) --------------------------------------------------
+    ("GetEnvironmentVariableA", GROUP_ENV, ["env_name", "buffer", "dword"]),
+    ("SetEnvironmentVariableA", GROUP_ENV, ["env_name", "cstring"]),
+    ("GetEnvironmentStrings", GROUP_ENV, []),
+    ("FreeEnvironmentStringsA", GROUP_ENV, ["buffer"]),
+    ("ExpandEnvironmentStringsA", GROUP_ENV, ["cstring", "buffer", "dword"]),
+    ("GetCommandLineA", GROUP_ENV, []),
+    ("GetModuleFileNameA", GROUP_ENV, ["handle", "buffer", "dword"]),
+    ("GetModuleHandleA", GROUP_ENV, ["cstring"]),
+    ("GetStartupInfoA", GROUP_ENV, ["buffer"]),
+    ("GetSystemInfo", GROUP_ENV, ["buffer"]),
+    ("GetVersion", GROUP_ENV, []),
+    ("GetVersionExA", GROUP_ENV, ["buffer"]),
+    ("GetComputerNameA", GROUP_ENV, ["buffer", "buffer"]),
+    ("SetComputerNameA", GROUP_ENV, ["cstring"]),
+    ("GetSystemDirectoryA", GROUP_ENV, ["buffer", "dword"]),
+    ("GetWindowsDirectoryA", GROUP_ENV, ["buffer", "dword"]),
+    ("GetSystemTime", GROUP_ENV, ["systemtime_ptr"]),
+    ("SetSystemTime", GROUP_ENV, ["systemtime_ptr"]),
+    ("GetLocalTime", GROUP_ENV, ["systemtime_ptr"]),
+    ("SetLocalTime", GROUP_ENV, ["systemtime_ptr"]),
+    ("GetTickCount", GROUP_ENV, []),
+    ("GetLastError", GROUP_ENV, []),
+    ("SetLastError", GROUP_ENV, ["dword"]),
+    ("GetCurrentProcessId", GROUP_ENV, []),
+    ("GetCurrentThreadId", GROUP_ENV, []),
+    (
+        "GetProcessTimes",
+        GROUP_ENV,
+        ["process_handle", "filetime_ptr", "filetime_ptr", "filetime_ptr", "filetime_ptr"],
+    ),
+    (
+        "GetThreadTimes",
+        GROUP_ENV,
+        ["thread_handle", "filetime_ptr", "filetime_ptr", "filetime_ptr", "filetime_ptr"],
+    ),
+    ("GetSystemTimeAsFileTime", GROUP_ENV, ["filetime_ptr"]),
+    ("QueryPerformanceCounter", GROUP_ENV, ["buffer"]),
+    ("QueryPerformanceFrequency", GROUP_ENV, ["buffer"]),
+    ("IsBadReadPtr", GROUP_ENV, ["buffer", "size"]),
+    ("IsBadWritePtr", GROUP_ENV, ["buffer", "size"]),
+    ("IsBadStringPtrA", GROUP_ENV, ["cstring", "size"]),
+    ("GetProcessHeap", GROUP_ENV, []),
+    ("GetProcessVersion", GROUP_ENV, ["dword"]),
+]
+
+#: The 71-call subset Windows CE 2.11 implements.
+CE_SYSCALLS = frozenset(
+    {
+        # Memory Management (14)
+        "VirtualAlloc", "VirtualFree", "VirtualProtect", "VirtualQuery",
+        "HeapCreate", "HeapDestroy", "HeapAlloc", "HeapFree", "HeapReAlloc",
+        "HeapSize", "HeapValidate", "HeapCompact", "LocalAlloc", "LocalFree",
+        # File/Directory Access (18)
+        "CreateFileA", "DeleteFileA", "CopyFileA", "MoveFileA",
+        "CreateDirectoryA", "RemoveDirectoryA", "GetFileAttributesA",
+        "SetFileAttributesA", "GetFileSize", "GetFileTime", "SetFileTime",
+        "GetFileInformationByHandle", "FileTimeToSystemTime",
+        "SystemTimeToFileTime", "FindFirstFileA", "FindNextFileA",
+        "FindClose", "SetEndOfFile",
+        # I/O Primitives (8)
+        "CloseHandle", "DuplicateHandle", "FlushFileBuffers", "GetStdHandle",
+        "SetStdHandle", "ReadFile", "WriteFile", "SetFilePointer",
+        # Process Primitives (25)
+        "CreateProcessA", "TerminateProcess", "GetExitCodeProcess",
+        "CreateThread", "SuspendThread", "ResumeThread", "GetExitCodeThread",
+        "GetThreadContext", "SetThreadContext", "WaitForSingleObject",
+        "WaitForMultipleObjects", "MsgWaitForMultipleObjects",
+        "MsgWaitForMultipleObjectsEx", "CreateEventA", "SetEvent",
+        "ResetEvent", "OpenEventA", "CreateMutexA", "ReleaseMutex",
+        "CreateSemaphoreA", "ReleaseSemaphore", "InterlockedIncrement",
+        "InterlockedDecrement", "InterlockedExchange", "ReadProcessMemory",
+        # Process Environment (6)
+        "GetTickCount", "GetLastError", "SetLastError", "GetVersion",
+        "GetSystemTime", "GetLocalTime",
+    }
+)
+
+assert "Sleep" not in CE_SYSCALLS  # CE uses its own scheduling services
+
+
+def register(registry: MuTRegistry) -> None:
+    """Register the 143 Win32 system-call MuTs."""
+    all_windows = frozenset(p.key for p in WINDOWS_VARIANTS)
+    desktop_only = all_windows - {"wince"}
+    for name, group, params in WIN32_CALLS:
+        platforms = all_windows if name in CE_SYSCALLS else desktop_only
+        registry.add(name, "win32", group, params, platforms=platforms)

@@ -1,0 +1,152 @@
+"""The Win32 system facade: per-process API entry points.
+
+Access discipline (this is where the per-variant robustness differences
+come from):
+
+* :meth:`Win32System._scan_string` / direct ``self.mem`` access model
+  the **user-mode kernel32.dll side** of a call (ANSI string conversion,
+  struct marshalling).  A bad pointer faults in user mode -> the task
+  aborts -- on every Windows variant, NT included.  This is the
+  mechanistic source of NT/2000's non-trivial system-call Abort rates.
+* :meth:`Win32System.copy_out` / :meth:`Win32System.copy_in` model the
+  **kernel transition**.  NT/2000 probe (graceful
+  ``ERROR_NOACCESS``); the 9x/CE personalities leave the functions in
+  their Table-3 sets unprotected (immediate crash) or misdirected into
+  the shared arena (creeping corruption).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.errors import ThrownException
+from repro.sim.guarded import kernel_copy_from_user, kernel_copy_to_user
+from repro.sim.objects import (
+    CURRENT_PROCESS_HANDLE,
+    CURRENT_THREAD_HANDLE,
+    KernelObject,
+    ProcessObject,
+    ThreadObject,
+)
+from repro.win32 import errors as W
+from repro.win32.env_api import EnvApiMixin
+from repro.win32.file_api import FileApiMixin
+from repro.win32.io_api import IoApiMixin
+from repro.win32.memory_api import MemoryApiMixin
+from repro.win32.process_api import ProcessApiMixin
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.process import Process
+
+_U32 = 0xFFFF_FFFF
+
+
+class Win32System(
+    MemoryApiMixin, FileApiMixin, IoApiMixin, ProcessApiMixin, EnvApiMixin
+):
+    """All Win32 API entry points for one simulated process."""
+
+    def __init__(self, process: "Process") -> None:
+        self.process = process
+        self.machine = process.machine
+        self.mem = process.memory
+        self.personality = process.personality
+        self.error_reported = False
+        #: Std handle slots (STD_INPUT_HANDLE.. as keys), lazily filled.
+        self._std_handles: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Error reporting
+    # ------------------------------------------------------------------
+
+    def set_last_error(self, code: int) -> None:
+        self.process.last_error = code
+        if code != W.ERROR_SUCCESS:
+            self.error_reported = True
+
+    def fail(self, code: int, ret: int = 0) -> int:
+        """Report ``code`` through GetLastError and return ``ret``."""
+        self.set_last_error(code)
+        return ret
+
+    def throw(self, value: object, recoverable: bool = True) -> None:
+        """Raise a Win32 thrown-exception error report."""
+        raise ThrownException(value, recoverable)
+
+    def _fs_fail(self, exc, ret: int = 0) -> int:
+        code = W.FS_CODE_TO_WIN32.get(exc.code, W.ERROR_INVALID_PARAMETER)
+        if code == W.ERROR_FILE_NOT_FOUND and self.personality.confuses_path_errors:
+            # 9x reports the wrong (but non-empty) error indication: a
+            # Hindering failure in CRASH terms.
+            code = W.ERROR_PATH_NOT_FOUND
+        return self.fail(code, ret)
+
+    # ------------------------------------------------------------------
+    # Handle resolution
+    # ------------------------------------------------------------------
+
+    def resolve_handle(self, handle: int) -> KernelObject | None:
+        """Resolve a HANDLE (including pseudo-handles) to its object, or
+        ``None`` -- with no error reporting, callers decide."""
+        handle &= _U32
+        if handle == CURRENT_PROCESS_HANDLE:
+            return self.process.kernel_object
+        if handle == CURRENT_THREAD_HANDLE:
+            return self.process.main_thread
+        obj = self.process.handles.get(handle)
+        if obj is None or obj.destroyed:
+            return None
+        return obj
+
+    def object_or_fail(
+        self, handle: int, kind: type[KernelObject] | None = None
+    ) -> KernelObject | None:
+        """Resolve a handle; on failure report ``ERROR_INVALID_HANDLE``
+        (strict kernels) or nothing at all (lax 9x validation -- the
+        caller will then fabricate success, a Silent failure)."""
+        obj = self.resolve_handle(handle)
+        if obj is not None and (kind is None or isinstance(obj, kind)):
+            return obj
+        if not self.personality.lax_handle_validation:
+            self.set_last_error(W.ERROR_INVALID_HANDLE)
+        return None
+
+    @property
+    def lax_handles(self) -> bool:
+        return self.personality.lax_handle_validation
+
+    # ------------------------------------------------------------------
+    # Kernel-boundary pointer access (probed / raw / corrupting)
+    # ------------------------------------------------------------------
+
+    def copy_out(self, func: str, address: int, data: bytes) -> bool:
+        """Kernel writes ``data`` through a caller pointer."""
+        return kernel_copy_to_user(self.machine, self.mem, func, address, data)
+
+    def copy_in(self, func: str, address: int, size: int) -> bytes | None:
+        """Kernel reads ``size`` bytes through a caller pointer."""
+        return kernel_copy_from_user(self.machine, self.mem, func, address, size)
+
+    # ------------------------------------------------------------------
+    # User-mode (kernel32.dll) access helpers
+    # ------------------------------------------------------------------
+
+    def _scan_string(self, address: int) -> str:
+        """ANSI string pickup in user mode (kernel32's ANSI->Unicode
+        conversion layer).  Faults on bad pointers on every variant."""
+        return self.mem.read_cstring(address, limit=1 << 16).decode("latin-1")
+
+    def _flags_valid(self, value: int, known_mask: int) -> bool:
+        """Flag validation: strict kernels reject undefined bits, lax
+        (9x) kernels ignore them."""
+        if self.personality.lax_flag_validation:
+            return True
+        return (value & ~known_mask & _U32) == 0
+
+    def _thread_or_fail(self, handle: int) -> ThreadObject | None:
+        obj = self.object_or_fail(handle, ThreadObject)
+        return obj  # type: ignore[return-value]
+
+    def _process_or_fail(self, handle: int) -> ProcessObject | None:
+        obj = self.object_or_fail(handle, ProcessObject)
+        return obj  # type: ignore[return-value]

@@ -1,0 +1,193 @@
+"""The six Windows variant personalities (paper section 4).
+
+Each personality encodes only *mechanisms*: which functions' kernel-side
+pointer accesses are unprotected (RAW -> immediate crash on a bad
+pointer) or misdirected into shared system memory (CORRUPT -> the
+paper's ``*`` inter-test-interference crashes), plus family-level
+validation style.  The per-variant crash-function sets are transcribed
+from the paper's Table 3.
+"""
+
+from __future__ import annotations
+
+from repro.sim.personality import Personality
+
+#: The ten Win32 calls Windows 95 does not implement ("10 Win32 system
+#: calls were not supported by Windows 95, but were tested on the other
+#: desktop Windows platforms").
+WIN95_MISSING = frozenset(
+    {
+        "MsgWaitForMultipleObjectsEx",
+        "SignalObjectAndWait",
+        "CreateWaitableTimerA",
+        "InterlockedCompareExchange",
+        "GetFileAttributesExA",
+        "MoveFileExA",
+        "GetProcessTimes",
+        "GetThreadTimes",
+        "GetSystemTimeAsFileTime",
+        "SleepEx",
+    }
+)
+
+WIN95 = Personality(
+    key="win95",
+    name="Windows 95",
+    api="win32",
+    family="9x",
+    crt_flavor="msvcrt",
+    kernel_probes_pointers=False,
+    raw_kernel_access=frozenset(
+        {
+            "GetThreadContext",
+            "GetFileInformationByHandle",
+            "FileTimeToSystemTime",
+            "HeapCreate",
+            "MsgWaitForMultipleObjects",
+        }
+    ),
+    corrupting_access=frozenset({"DuplicateHandle", "ReadProcessMemory"}),
+    lax_handle_validation=True,
+    lax_flag_validation=True,
+    confuses_path_errors=True,
+    shared_system_memory=True,
+    missing_functions=WIN95_MISSING,
+)
+
+WIN98 = Personality(
+    key="win98",
+    name="Windows 98",
+    api="win32",
+    family="9x",
+    crt_flavor="msvcrt",
+    kernel_probes_pointers=False,
+    raw_kernel_access=frozenset(
+        {
+            "GetThreadContext",
+            "GetFileInformationByHandle",
+            "MsgWaitForMultipleObjects",
+        }
+    ),
+    corrupting_access=frozenset(
+        {
+            "DuplicateHandle",
+            "MsgWaitForMultipleObjectsEx",
+            "fwrite",
+            "strncpy",
+        }
+    ),
+    lax_handle_validation=True,
+    lax_flag_validation=True,
+    confuses_path_errors=True,
+    shared_system_memory=True,
+)
+
+WIN98SE = Personality(
+    key="win98se",
+    name="Windows 98 SE",
+    api="win32",
+    family="9x",
+    crt_flavor="msvcrt",
+    kernel_probes_pointers=False,
+    raw_kernel_access=frozenset(
+        {
+            "GetThreadContext",
+            "GetFileInformationByHandle",
+            "MsgWaitForMultipleObjects",
+        }
+    ),
+    corrupting_access=frozenset(
+        {
+            "DuplicateHandle",
+            "MsgWaitForMultipleObjectsEx",
+            "CreateThread",
+            "strncpy",
+        }
+    ),
+    lax_handle_validation=True,
+    lax_flag_validation=True,
+    confuses_path_errors=True,
+    shared_system_memory=True,
+)
+
+WINNT = Personality(
+    key="winnt",
+    name="Windows NT",
+    api="win32",
+    family="nt",
+    crt_flavor="msvcrt",
+    kernel_probes_pointers=True,
+)
+
+WIN2000 = Personality(
+    key="win2000",
+    name="Windows 2000",
+    api="win32",
+    family="nt",
+    crt_flavor="msvcrt",
+    kernel_probes_pointers=True,
+)
+
+#: Windows CE stdio functions whose wild-FILE* flush is an *immediate*
+#: kernel-space fault (non-starred Table 3 entries).
+_CE_RAW_STDIO = frozenset(
+    {
+        "clearerr", "fclose", "fflush", "_wfreopen", "fseek", "ftell",
+        "fgetc", "fprintf", "fputc", "fputs", "fscanf", "getc", "putc",
+        "ungetc",
+        # wide twins of the immediate-crash stream functions
+        "fgetwc", "fwprintf", "fputwc", "fputws", "fwscanf",
+    }
+)
+
+WINCE = Personality(
+    key="wince",
+    name="Windows CE",
+    api="win32",
+    family="ce",
+    crt_flavor="ce-crt",
+    kernel_probes_pointers=False,
+    raw_kernel_access=frozenset(
+        {
+            "GetThreadContext",
+            "SetThreadContext",
+            "MsgWaitForMultipleObjects",
+            "MsgWaitForMultipleObjectsEx",
+            "VirtualAlloc",
+        }
+    )
+    | _CE_RAW_STDIO,
+    corrupting_access=frozenset(
+        {
+            "CreateThread",
+            "ReadProcessMemory",
+            "InterlockedIncrement",
+            "InterlockedDecrement",
+            "InterlockedExchange",
+            # starred C functions: fread/fgets (+ wide twins) and the
+            # UNICODE strncpy
+            "fread", "fwrite", "fgets", "wfread", "fgetws", "_tcsncpy",
+        }
+    ),
+    shared_system_memory=True,
+    strict_alignment=True,
+)
+
+#: All six Windows variants in the paper's reporting order.
+WINDOWS_VARIANTS: tuple[Personality, ...] = (
+    WIN95,
+    WIN98,
+    WIN98SE,
+    WINNT,
+    WIN2000,
+    WINCE,
+)
+
+#: The five desktop variants (Silent-failure voting applies to these).
+DESKTOP_VARIANTS: tuple[Personality, ...] = (
+    WIN95,
+    WIN98,
+    WIN98SE,
+    WINNT,
+    WIN2000,
+)

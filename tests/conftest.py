@@ -1,0 +1,155 @@
+"""Shared fixtures.
+
+The expensive full campaign (all seven variants) runs once per session
+at a modest cap and is shared by the analysis/shape tests; unit tests
+build their own tiny machines and never touch it.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.context import TestContext
+from repro.core.mut import default_registry
+from repro.core.types import default_types
+from repro.posix.linux import LINUX
+from repro.sim.machine import Machine
+from repro.sim.personality import Personality
+from repro.win32.variants import (
+    WIN2000,
+    WIN95,
+    WIN98,
+    WIN98SE,
+    WINCE,
+    WINNT,
+)
+
+#: Cap used by the session-scoped campaign (env-overridable).
+SESSION_CAP = int(os.environ.get("BALLISTA_TEST_CAP", "120"))
+
+
+# ----------------------------------------------------------------------
+# Personalities
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def linux() -> Personality:
+    return LINUX
+
+
+@pytest.fixture(scope="session")
+def winnt() -> Personality:
+    return WINNT
+
+
+@pytest.fixture(scope="session")
+def win95() -> Personality:
+    return WIN95
+
+
+@pytest.fixture(scope="session")
+def win98() -> Personality:
+    return WIN98
+
+
+@pytest.fixture(scope="session")
+def win98se() -> Personality:
+    return WIN98SE
+
+
+@pytest.fixture(scope="session")
+def win2000() -> Personality:
+    return WIN2000
+
+
+@pytest.fixture(scope="session")
+def wince() -> Personality:
+    return WINCE
+
+
+@pytest.fixture(scope="session")
+def all_variants(linux) -> list[Personality]:
+    return [WIN95, WIN98, WIN98SE, WINNT, WIN2000, WINCE, linux]
+
+
+# ----------------------------------------------------------------------
+# Machines / contexts
+# ----------------------------------------------------------------------
+
+
+def make_machine(personality: Personality) -> Machine:
+    return Machine(personality)
+
+
+@pytest.fixture()
+def nt_machine(winnt) -> Machine:
+    return Machine(winnt)
+
+
+@pytest.fixture()
+def linux_machine(linux) -> Machine:
+    return Machine(linux)
+
+
+@pytest.fixture()
+def win98_machine(win98) -> Machine:
+    return Machine(win98)
+
+
+@pytest.fixture()
+def ce_machine(wince) -> Machine:
+    return Machine(wince)
+
+
+def make_context(machine: Machine) -> TestContext:
+    return TestContext(machine, machine.spawn_process())
+
+
+@pytest.fixture()
+def nt_ctx(nt_machine) -> TestContext:
+    return make_context(nt_machine)
+
+
+@pytest.fixture()
+def linux_ctx(linux_machine) -> TestContext:
+    return make_context(linux_machine)
+
+
+@pytest.fixture()
+def win98_ctx(win98_machine) -> TestContext:
+    return make_context(win98_machine)
+
+
+@pytest.fixture()
+def ce_ctx(ce_machine) -> TestContext:
+    return make_context(ce_machine)
+
+
+# ----------------------------------------------------------------------
+# Registries
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def registry():
+    return default_registry()
+
+
+@pytest.fixture(scope="session")
+def types():
+    return default_types()
+
+
+# ----------------------------------------------------------------------
+# The session campaign (shared by analysis / shape / table tests)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def session_results(all_variants):
+    campaign = Campaign(all_variants, config=CampaignConfig(cap=SESSION_CAP))
+    return campaign.run()

@@ -1,0 +1,93 @@
+"""Tests for the machine-readable data exports."""
+
+import csv
+import io
+
+from repro.analysis.export import (
+    figure2_series,
+    table1_csv,
+    table1_rows,
+    table2_csv,
+    table2_matrix,
+    write_csv,
+)
+
+
+class TestTable1Rows:
+    def test_one_row_per_variant_in_paper_order(self, session_results):
+        rows = table1_rows(session_results)
+        assert [r["variant"] for r in rows] == [
+            "linux", "win95", "win98", "win98se", "winnt", "win2000", "wince",
+        ]
+
+    def test_counts_match_summaries(self, session_results):
+        rows = {r["variant"]: r for r in table1_rows(session_results)}
+        assert rows["win98"]["syscalls_catastrophic"] == 5
+        assert rows["wince"]["c_functions_tested"] == 82
+        assert rows["linux"]["muts_catastrophic"] == 0
+
+    def test_rates_are_fractions(self, session_results):
+        for row in table1_rows(session_results):
+            assert 0.0 <= row["overall_abort_rate"] <= 1.0
+
+
+class TestTable2Matrix:
+    def test_dimensions(self, session_results):
+        groups, names, matrix = table2_matrix(session_results)
+        assert len(groups) == 12
+        assert len(names) == 7
+        assert all(len(row) == 7 for row in matrix)
+
+    def test_ce_c_time_is_none(self, session_results):
+        groups, names, matrix = table2_matrix(session_results)
+        ce = names.index("Windows CE")
+        c_time = groups.index("C time")
+        assert matrix[c_time][ce] is None
+
+    def test_c_char_contrast_in_data(self, session_results):
+        groups, names, matrix = table2_matrix(session_results)
+        c_char = matrix[groups.index("C char")]
+        linux = names.index("Linux")
+        assert c_char[linux] > 0.3
+        for index, name in enumerate(names):
+            if name != "Linux":
+                assert c_char[index] == 0.0
+
+
+class TestFigure2Series:
+    def test_desktop_variants_only(self, session_results):
+        series = figure2_series(session_results)
+        assert set(series) == {"win95", "win98", "win98se", "winnt", "win2000"}
+        assert "wince" not in series
+
+    def test_components_sum_sensibly(self, session_results):
+        series = figure2_series(session_results)
+        for variant, groups in series.items():
+            for group, parts in groups.items():
+                total = parts["abort"] + parts["restart"] + parts["silent"]
+                assert 0.0 <= total <= 1.0, (variant, group)
+
+    def test_io_primitives_silent_gap(self, session_results):
+        series = figure2_series(session_results)
+        assert (
+            series["win98"]["I/O Primitives"]["silent"]
+            > 10 * max(series["winnt"]["I/O Primitives"]["silent"], 0.001)
+        )
+
+
+class TestCsv:
+    def test_table1_csv_parses(self, session_results):
+        rows = list(csv.DictReader(io.StringIO(table1_csv(session_results))))
+        assert len(rows) == 7
+        assert rows[0]["variant"] == "linux"
+
+    def test_table2_csv_parses(self, session_results):
+        rows = list(csv.reader(io.StringIO(table2_csv(session_results))))
+        assert len(rows) == 13  # header + 12 groups
+        assert rows[0][0] == "group"
+
+    def test_write_csv_creates_files(self, session_results, tmp_path):
+        written = write_csv(session_results, tmp_path / "csv")
+        assert [p.name for p in written] == ["table1.csv", "table2.csv"]
+        for path in written:
+            assert path.exists() and path.stat().st_size > 0

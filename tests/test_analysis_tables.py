@@ -1,0 +1,127 @@
+"""Tests for the analysis layer: rates, CE counting, and the table /
+figure renderers."""
+
+import pytest
+
+from repro.analysis.rates import select_results, summarize
+from repro.analysis.silent import estimate_silent_rates
+from repro.analysis.tables import (
+    render_figure1,
+    render_figure2,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+
+
+class TestSelectResults:
+    def test_default_counting_drops_shadowed_ascii_on_ce(self, session_results):
+        rows = select_results(session_results, "wince")
+        names = {r.mut_name for r in rows if r.api == "libc"}
+        assert "wcscpy" in names
+        assert "strcpy" not in names  # shadowed by its UNICODE twin
+        assert "malloc" in names  # no twin: ASCII stays
+
+    def test_both_counting_keeps_everything(self, session_results):
+        rows = select_results(session_results, "wince", "both")
+        names = {r.mut_name for r in rows if r.api == "libc"}
+        assert {"wcscpy", "strcpy"} <= names
+
+    def test_non_ce_variants_unaffected(self, session_results):
+        assert len(select_results(session_results, "winnt")) == 237
+
+
+class TestSummaries:
+    def test_overall_rate_weights_groups_evenly(self, session_results):
+        summary = summarize(session_results, "winnt")
+        groups = [g for g in summary.groups.values() if g.muts]
+        expected = sum(g.abort_rate for g in groups) / len(groups)
+        assert summary.overall_abort_rate == pytest.approx(expected)
+
+    def test_catastrophic_counts(self, session_results):
+        summary = summarize(session_results, "win98")
+        assert summary.syscalls_catastrophic == 5
+        assert summary.c_functions_catastrophic == 2
+        assert summary.muts_catastrophic == 7
+
+
+class TestRenderers:
+    def test_table1_contains_all_variants_and_counts(self, session_results):
+        text = render_table1(session_results)
+        for name in (
+            "Linux", "Windows 95", "Windows 98 SE", "Windows NT",
+            "Windows 2000", "Windows CE",
+        ):
+            assert name in text
+        assert "82 (108)" in text  # CE parenthetical counts
+        assert "18 (27)" in text
+        assert "153 (179)" in text
+
+    def test_table2_marks_catastrophic_groups(self, session_results):
+        text = render_table2(session_results)
+        assert "*" in text
+        assert "N/A" in text  # CE's C time column
+        assert "C char" in text
+
+    def test_figure1_has_bars_per_variant(self, session_results):
+        text = render_figure1(session_results)
+        assert text.count("|") >= 12 * 7  # 12 groups x 7 variants
+        assert "#" in text
+
+    def test_table3_lists_crashes_with_stars(self, session_results):
+        text = render_table3(session_results)
+        assert "*DuplicateHandle" in text
+        assert "GetThreadContext" in text
+        assert "*strncpy" in text
+        assert "_tcsncpy" in text
+        # NT/2000/Linux never appear as crash columns.
+        assert "winnt" not in text
+
+    def test_table3_empty_resultset_message(self):
+        from repro.core.results import ResultSet
+
+        results = ResultSet()
+        results.new_result("winnt", "x", "win32", "I/O Primitives")
+        assert "no Catastrophic failures" in render_table3(results)
+
+    def test_figure2_renders_desktop_variants_only(self, session_results):
+        text = render_figure2(session_results)
+        assert "Windows 95" in text and "Windows 2000" in text
+        assert "Windows CE" not in text
+        assert "Linux" not in text
+
+    def test_renderers_handle_partial_variant_sets(self, session_results):
+        # Build a results view with just two variants via a fresh run of
+        # the renderers against the same set (they must not assume all 7).
+        from repro.core.campaign import Campaign, CampaignConfig
+        from repro.win32.variants import WINNT, WIN98
+
+        small = Campaign(
+            [WINNT, WIN98], config=CampaignConfig(cap=30), muts=["CloseHandle"]
+        ).run()
+        assert "Windows NT" in render_table1(small)
+        assert "Windows NT" in render_table2(small)
+        render_figure1(small)
+        render_figure2(small)
+
+
+class TestSilentEstimator:
+    def test_requires_two_variants(self, session_results):
+        with pytest.raises(ValueError):
+            estimate_silent_rates(session_results, ("winnt",))
+
+    def test_group_rates_cover_groups(self, session_results):
+        estimates = estimate_silent_rates(session_results)
+        rates = estimates["win95"].group_rates()
+        assert set(rates) >= {"I/O Primitives", "C string"}
+
+    def test_votes_only_on_common_muts(self, session_results):
+        estimates = estimate_silent_rates(session_results)
+        # Win95 lacks MsgWaitForMultipleObjectsEx: nobody may vote on it.
+        for estimate in estimates.values():
+            assert ("win32", "MsgWaitForMultipleObjectsEx") not in estimate.per_mut
+
+    def test_lax_handle_validation_is_caught_by_voting(self, session_results):
+        estimates = estimate_silent_rates(session_results)
+        key = ("win32", "CloseHandle")
+        assert estimates["win98"].per_mut[key] > estimates["winnt"].per_mut[key]

@@ -1,0 +1,259 @@
+"""Direct tests for the API entry points the other suites only exercise
+through campaigns."""
+
+import pytest
+
+from repro.core.context import TestContext
+from repro.libc import errno_codes as E
+from repro.posix.linux import LINUX
+from repro.sim.machine import Machine
+from repro.sim.objects import EventObject, FileObject
+from repro.win32 import errors as W
+from repro.win32.variants import WIN98, WINNT
+
+
+def win32_for(personality):
+    machine = Machine(personality)
+    ctx = TestContext(machine, machine.spawn_process())
+    return ctx, ctx.win32
+
+
+def posix_ctx():
+    machine = Machine(LINUX)
+    ctx = TestContext(machine, machine.spawn_process())
+    return ctx, ctx.posix
+
+
+@pytest.fixture()
+def nt():
+    return win32_for(WINNT)
+
+
+@pytest.fixture()
+def px():
+    return posix_ctx()
+
+
+def file_handle(ctx, content=b"data", writable=False):
+    path = ctx.existing_file(content)
+    open_file = ctx.machine.fs.open(path, readable=not writable, writable=writable)
+    return ctx.process.handles.insert(FileObject(open_file, name=path))
+
+
+class TestWin32Gaps:
+    def test_attach_thread_input(self, nt):
+        ctx, api = nt
+        own = ctx.process.main_thread.tid
+        assert api.AttachThreadInput(own, 999, 1) == 1
+        assert api.AttachThreadInput(123, 999, 1) == 0
+        ctx98, api98 = win32_for(WIN98)
+        assert api98.AttachThreadInput(123, 999, 1) == 1  # lax: Silent
+
+    def test_get_file_size_and_type(self, nt):
+        ctx, api = nt
+        handle = file_handle(ctx, b"12345")
+        high = ctx.buffer(8)
+        assert api.GetFileSize(handle, high) == 5
+        assert ctx.mem.read_u32(high) == 0
+        assert api.GetFileSize(handle, 0) == 5  # high pointer optional
+        assert api.GetFileType(handle) == 1  # FILE_TYPE_DISK
+        assert api.GetFileSize(0xBAD0, 0) == W.INVALID_FILE_SIZE
+
+    def test_set_end_of_file(self, nt):
+        ctx, api = nt
+        handle = file_handle(ctx, b"0123456789", writable=True)
+        obj = ctx.process.handles.get(handle)
+        obj.open_file.seek(4, 0)
+        assert api.SetEndOfFile(handle) == 1
+        assert obj.open_file.node.size == 4
+
+    def test_set_end_of_file_readonly_handle(self, nt):
+        ctx, api = nt
+        handle = file_handle(ctx)
+        assert api.SetEndOfFile(handle) == 0
+        assert ctx.process.last_error == W.ERROR_ACCESS_DENIED
+
+    def test_set_file_time(self, nt):
+        ctx, api = nt
+        handle = file_handle(ctx)
+        ft = ctx.buffer(8)
+        ctx.mem.write_u64(ft, 0x01BF_53EB_0000_0000)
+        assert api.SetFileTime(handle, ft, 0, ft) == 1
+        assert api.SetFileTime(handle, 0xDEAD_0000, 0, 0) == 0
+        assert ctx.process.last_error == W.ERROR_NOACCESS
+
+    def test_local_and_system_time_writers(self, nt):
+        ctx, api = nt
+        st = ctx.buffer(16)
+        api.GetLocalTime(st)
+        assert ctx.mem.read_u16(st) == 2000
+        assert api.SetLocalTime(st) == 1
+        out = ctx.buffer(8)
+        api.GetSystemTimeAsFileTime(out)
+        assert ctx.mem.read_u64(out) > 11_644_473_600 * 10_000_000
+
+    def test_get_system_info(self, nt):
+        ctx, api = nt
+        info = ctx.buffer(36)
+        api.GetSystemInfo(info)
+        assert ctx.mem.read_u32(info + 4) == 0x1000  # page size
+
+    def test_global_realloc(self, nt):
+        ctx, api = nt
+        handle = api.GlobalAlloc(0, 8)
+        ctx.mem.write(handle, b"abcdefgh")
+        bigger = api.GlobalReAlloc(handle, 32, 0)
+        assert ctx.mem.read(bigger, 8) == b"abcdefgh"
+        assert api.GlobalSize(bigger) == 32
+
+    def test_heap_compact(self, nt):
+        ctx, api = nt
+        heap = api.HeapCreate(0, 0x1000, 0)
+        api.HeapAlloc(heap, 0, 64)
+        assert api.HeapCompact(heap, 0) >= 64
+        assert api.HeapCompact(0xBAD0, 0) == 0
+
+    def test_pulse_event(self, nt):
+        ctx, api = nt
+        handle = ctx.process.handles.insert(EventObject(True, True))
+        assert api.PulseEvent(handle) == 1
+        assert not ctx.process.handles.get(handle).signaled
+
+    def test_lock_file_ex_and_unlock_ex(self, nt):
+        ctx, api = nt
+        handle = file_handle(ctx)
+        overlapped = ctx.buffer(20)
+        ctx.mem.write_u32(overlapped + 8, 16)  # offset
+        assert api.LockFileEx(handle, 0x2, 0, 8, 0, overlapped) == 1
+        assert api.UnlockFileEx(handle, 0, 8, 0, overlapped) == 1
+        assert api.UnlockFileEx(handle, 0, 8, 0, overlapped) == 0
+        assert api.LockFileEx(handle, 0x2, 0, 8, 0, 0) == 0  # NULL overlapped
+
+    def test_read_write_file_ex(self, nt):
+        ctx, api = nt
+        handle = file_handle(ctx, b"", writable=True)
+        overlapped = ctx.buffer(20)
+        src = ctx.buffer(4, b"WXYZ")
+        assert api.WriteFileEx(handle, src, 4, overlapped, 0) == 1
+        read_handle = file_handle(ctx, b"ABCD")
+        dest = ctx.buffer(4)
+        assert api.ReadFileEx(read_handle, dest, 4, overlapped, 0) == 1
+        assert ctx.mem.read(dest, 4) == b"ABCD"
+        assert api.ReadFileEx(read_handle, dest, 4, 0, 0) == 0  # needs OVERLAPPED
+
+    def test_handle_resolution_helpers(self, nt):
+        ctx, api = nt
+        from repro.sim.objects import CURRENT_PROCESS_HANDLE
+
+        assert api.resolve_handle(CURRENT_PROCESS_HANDLE) is ctx.process.kernel_object
+        assert api.resolve_handle(0xBAD0) is None
+        assert api.object_or_fail(0xBAD0) is None
+        assert ctx.process.last_error == W.ERROR_INVALID_HANDLE
+        api.set_last_error(0)
+
+    def test_copy_helpers_follow_personality(self, nt):
+        ctx, api = nt
+        addr = ctx.buffer(8)
+        assert api.copy_out("AnyFunc", addr, b"ab")
+        assert api.copy_in("AnyFunc", addr, 2) == b"ab"
+        assert not api.copy_out("AnyFunc", 0, b"ab")  # probed
+        assert api.copy_in("AnyFunc", 0, 2) is None
+
+
+class TestPosixGaps:
+    def test_creat_truncates(self, px):
+        ctx, api = px
+        path = ctx.existing_file(b"old content")
+        fd = api.creat(ctx.cstring(path.encode()), 0o644)
+        assert fd >= 3
+        assert ctx.machine.fs.lookup(path).size == 0
+
+    def test_fdatasync_and_msync(self, px):
+        ctx, api = px
+        path = ctx.existing_file()
+        fd = api.open(ctx.cstring(path.encode()), 0, 0)
+        assert api.fdatasync(fd) == 0
+        addr = api.mmap(0, 4096, 0x3, 0x22, -1, 0)
+        assert api.msync(addr, 4096, 0x4) == 0
+        assert api.msync(0x1000, 4096, 0x4) == -1
+
+    def test_fch_family(self, px):
+        ctx, api = px
+        path = ctx.existing_file()
+        fd = api.open(ctx.cstring(path.encode()), 0o2, 0)
+        assert api.fchmod(fd, 0o600) == 0
+        assert api.fchown(fd, ctx.process.uid, -1) == 0
+        assert api.fchown(fd, 0, 0) == -1
+        assert api.fchdir(fd) == -1  # regular file, ENOTDIR
+        assert ctx.process.errno == E.ENOTDIR
+
+    def test_lchown_and_lstat(self, px):
+        ctx, api = px
+        api.symlink(ctx.cstring(b"/tmp/t"), ctx.cstring(b"/tmp/l"))
+        assert api.lchown(ctx.cstring(b"/tmp/l"), ctx.process.uid, -1) == 0
+        buf = ctx.buffer(64)
+        assert api.lstat(ctx.cstring(b"/tmp/l"), buf) == 0
+
+    def test_utime(self, px):
+        ctx, api = px
+        path = ctx.existing_file()
+        times = ctx.buffer(8)
+        ctx.mem.write_u32(times, 1000)
+        ctx.mem.write_u32(times + 4, 2000)
+        assert api.utime(ctx.cstring(path.encode()), times) == 0
+        node = ctx.machine.fs.lookup(path)
+        assert node.accessed_at == 1000 * 1000
+        assert api.utime(ctx.cstring(path.encode()), 0) == 0  # NULL = now
+        assert api.utime(ctx.cstring(path.encode()), 0xDEAD_0000) == -1
+        assert ctx.process.errno == E.EFAULT
+
+    def test_fstatfs(self, px):
+        ctx, api = px
+        path = ctx.existing_file()
+        fd = api.open(ctx.cstring(path.encode()), 0, 0)
+        buf = ctx.buffer(64)
+        assert api.fstatfs(fd, buf) == 0
+        assert api.fstatfs(999, buf) == -1
+
+    def test_identity_getters(self, px):
+        ctx, api = px
+        assert api.geteuid() == api.getuid() == 1000
+        assert api.getegid() == api.getgid() == 1000
+
+    def test_alarm_and_sched_yield(self, px):
+        ctx, api = px
+        assert api.alarm(30) == 0
+        ctx.machine.clock.begin_call("sched_yield")
+        assert api.sched_yield() == 0
+
+    def test_copy_path_limits(self, px):
+        ctx, api = px
+        huge = ctx.cstring(b"x" * 8192)
+        assert api.copy_path("open", huge) is None  # PATH_MAX exceeded
+
+
+class TestCRuntimeGaps:
+    def test_atol(self, px):
+        ctx, _ = px
+        assert ctx.crt.atol(ctx.cstring(b"  -77x")) == -77
+
+    def test_getc_matches_fgetc(self, px):
+        ctx, _ = px
+        path = ctx.existing_file(b"Q")
+        fp = ctx.crt.open_stream_for_test(path, "r")
+        assert ctx.crt.getc(fp) == ord("Q")
+
+    def test_gmtime_equals_localtime_in_utc_machine(self, px):
+        ctx, _ = px
+        t = ctx.buffer(8)
+        ctx.mem.write_u32(t, 961_891_200)
+        a = ctx.crt.gmtime(t)
+        sec_month = ctx.mem.read_i32(a + 16)
+        assert sec_month == 5  # June
+
+    def test_make_closed_stream_is_detectably_closed(self, px):
+        ctx, _ = px
+        fp = ctx.crt.make_closed_stream()
+        state = ctx.crt._streams[fp]
+        assert state.closed
+        assert ctx.mem.read_u32(fp) == 0  # _flag cleared

@@ -1,0 +1,83 @@
+"""Tests for campaign-to-campaign regression diffing."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.compare import compare_results
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.win32.variants import WIN98SE
+
+MUTS = ["GetThreadContext", "strncpy", "strcpy", "CloseHandle"]
+
+PATCHED = dataclasses.replace(
+    WIN98SE,
+    raw_kernel_access=frozenset(),
+    corrupting_access=frozenset(),
+)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return Campaign(
+        [WIN98SE], config=CampaignConfig(cap=80), muts=MUTS
+    ).run()
+
+
+@pytest.fixture(scope="module")
+def candidate():
+    return Campaign(
+        [PATCHED], config=CampaignConfig(cap=80), muts=MUTS
+    ).run()
+
+
+class TestCompareResults:
+    def test_identical_runs_show_no_changes(self, baseline):
+        rerun = Campaign(
+            [WIN98SE], config=CampaignConfig(cap=80), muts=MUTS
+        ).run()
+        report = compare_results(baseline, rerun)
+        assert report.changed() == []
+        assert not report.only_in_baseline and not report.only_in_candidate
+
+    def test_patch_fixes_crashes(self, baseline, candidate):
+        report = compare_results(baseline, candidate)
+        fixed = {d.mut_name for d in report.fixed_crashes()}
+        assert {"GetThreadContext", "strncpy"} <= fixed
+        assert report.introduced_crashes() == []
+
+    def test_unpatching_introduces_crashes(self, baseline, candidate):
+        report = compare_results(candidate, baseline)
+        introduced = {d.mut_name for d in report.introduced_crashes()}
+        assert "GetThreadContext" in introduced
+        assert report.regressions()
+
+    def test_changed_cases_are_indexed(self, baseline, candidate):
+        report = compare_results(baseline, candidate)
+        gtc = next(d for d in report.diffs if d.mut_name == "GetThreadContext")
+        assert gtc.changed
+        assert all(isinstance(i, int) for i in gtc.changed_cases)
+
+    def test_coverage_drift_detected(self, baseline):
+        partial = Campaign(
+            [WIN98SE], config=CampaignConfig(cap=80), muts=MUTS[:2]
+        ).run()
+        report = compare_results(baseline, partial)
+        assert len(report.only_in_baseline) == 2
+
+    def test_render(self, baseline, candidate):
+        text = compare_results(baseline, candidate).render()
+        assert "CRASH FIXED" in text
+        assert "Campaign comparison" in text
+
+    def test_render_no_changes(self, baseline):
+        report = compare_results(baseline, baseline)
+        assert "no behavioural changes" in report.render()
+
+    def test_silent_truth_delta_tracks_conversion(self, baseline, candidate):
+        # The patch converts strncpy's silent corruption into aborts:
+        # ground-truth silent rate must drop.
+        report = compare_results(baseline, candidate)
+        strncpy = next(d for d in report.diffs if d.mut_name == "strncpy")
+        assert strncpy.silent_truth_delta < 0
+        assert strncpy.abort_delta > 0

@@ -1,0 +1,313 @@
+"""Unit tests for the executor, classifier, campaign, and result store."""
+
+import pytest
+
+from repro.core.campaign import Campaign, CampaignConfig, run_single_case
+from repro.core.classify import classify_exception
+from repro.core.crash_scale import CaseCode, Severity
+from repro.core.executor import Executor
+from repro.core.generator import CaseGenerator, TestCase
+from repro.core.mut import MuT, MuTRegistry
+from repro.core.results import MuTResult, ResultSet
+from repro.core.types import TypeRegistry
+from repro.sim.errors import (
+    AccessViolation,
+    SoftwareAbort,
+    SystemCrash,
+    TaskHang,
+    ThrownException,
+)
+from repro.sim.machine import Machine
+from repro.win32.variants import WIN98, WINNT
+
+
+# ----------------------------------------------------------------------
+# A miniature registry with one MuT per behaviour
+# ----------------------------------------------------------------------
+
+
+def behaviour_registry() -> tuple[MuTRegistry, TypeRegistry]:
+    types = TypeRegistry()
+    trigger = types.new_type("trigger")
+    trigger.add("GOOD", lambda ctx: 0)
+    trigger.add("BAD", lambda ctx: 1, exceptional=True)
+
+    def behave(ctx, args, *, mode):
+        (value,) = args
+        if value == 0:
+            return 0
+        if mode == "abort":
+            raise AccessViolation(0, "read")
+        if mode == "hang":
+            ctx.machine.clock.begin_call("hang")
+            ctx.machine.clock.block_forever()
+        if mode == "crash":
+            ctx.machine.panic("boom", "crashy")
+        if mode == "corrupt":
+            ctx.machine.note_corruption("leaky")
+            return 0
+        if mode == "silent":
+            return 0
+        if mode == "error":
+            ctx.win32.fail(87)
+            return 0
+        if mode == "throw":
+            raise ThrownException(0xDEAD, recoverable=True)
+        raise AssertionError(f"unknown mode {mode}")
+
+    registry = MuTRegistry()
+    for mode in ("abort", "hang", "crash", "corrupt", "silent", "error", "throw"):
+        registry.register(
+            MuT(
+                f"{mode}y",
+                "win32",
+                "I/O Primitives",
+                ("trigger",),
+                lambda ctx, args, m=mode: behave(ctx, args, mode=m),
+            )
+        )
+    return registry, types
+
+
+@pytest.fixture()
+def mini():
+    return behaviour_registry()
+
+
+def run_one(personality, registry, types, mut_name, value_name):
+    machine = Machine(personality)
+    generator = CaseGenerator(types)
+    executor = Executor(machine, generator)
+    mut = registry.get("win32", mut_name)
+    case = TestCase(mut_name, 0, (value_name,))
+    return executor.run_case(mut, case), machine
+
+
+class TestExecutorClassification:
+    def test_pass_no_error(self, mini, winnt):
+        registry, types = mini
+        outcome, _ = run_one(winnt, registry, types, "silenty", "GOOD")
+        assert outcome.code is CaseCode.PASS_NO_ERROR
+        assert not outcome.exceptional_input
+
+    def test_silent_is_pass_no_error_with_exceptional_input(self, mini, winnt):
+        registry, types = mini
+        outcome, _ = run_one(winnt, registry, types, "silenty", "BAD")
+        assert outcome.code is CaseCode.PASS_NO_ERROR
+        assert outcome.exceptional_input
+
+    def test_error_return_is_pass_error(self, mini, winnt):
+        registry, types = mini
+        outcome, _ = run_one(winnt, registry, types, "errory", "BAD")
+        assert outcome.code is CaseCode.PASS_ERROR
+
+    def test_abort(self, mini, winnt):
+        registry, types = mini
+        outcome, machine = run_one(winnt, registry, types, "aborty", "BAD")
+        assert outcome.code is CaseCode.ABORT
+        assert outcome.detail == "EXCEPTION_ACCESS_VIOLATION"
+        assert not machine.crashed
+
+    def test_restart(self, mini, winnt):
+        registry, types = mini
+        outcome, _ = run_one(winnt, registry, types, "hangy", "BAD")
+        assert outcome.code is CaseCode.RESTART
+
+    def test_catastrophic(self, mini, winnt):
+        registry, types = mini
+        outcome, machine = run_one(winnt, registry, types, "crashy", "BAD")
+        assert outcome.code is CaseCode.CATASTROPHIC
+        assert machine.crashed
+
+    def test_recoverable_thrown_exception_is_error_report(self, mini, winnt):
+        registry, types = mini
+        outcome, _ = run_one(winnt, registry, types, "throwy", "BAD")
+        assert outcome.code is CaseCode.PASS_ERROR
+        assert outcome.detail.startswith("thrown")
+
+    def test_executor_refuses_crashed_machine(self, mini, winnt):
+        from repro.sim.errors import MachineCrashed
+
+        registry, types = mini
+        machine = Machine(winnt)
+        executor = Executor(machine, CaseGenerator(types))
+        mut = registry.get("win32", "crashy")
+        executor.run_case(mut, TestCase("crashy", 0, ("BAD",)))
+        with pytest.raises(MachineCrashed):
+            executor.run_case(mut, TestCase("crashy", 1, ("BAD",)))
+
+
+class TestClassifier:
+    def test_mapping(self):
+        assert classify_exception(SystemCrash("x"), "win32")[0] is CaseCode.CATASTROPHIC
+        assert classify_exception(TaskHang("f", 1), "win32")[0] is CaseCode.RESTART
+        assert classify_exception(AccessViolation(0, "read"), "posix") == (
+            CaseCode.ABORT,
+            "SIGSEGV",
+        )
+        assert classify_exception(AccessViolation(0, "read"), "win32") == (
+            CaseCode.ABORT,
+            "EXCEPTION_ACCESS_VIOLATION",
+        )
+        assert classify_exception(SoftwareAbort("free"), "posix")[1] == "SIGABRT"
+
+    def test_unrecoverable_thrown_exception_aborts(self):
+        code, _ = classify_exception(ThrownException(1, recoverable=False), "win32")
+        assert code is CaseCode.ABORT
+
+    def test_severity_ordering(self):
+        assert Severity.CATASTROPHIC < Severity.RESTART < Severity.ABORT
+
+
+class TestCampaign:
+    def test_catastrophic_interrupts_mut(self, mini, winnt):
+        registry, types = mini
+        campaign = Campaign(
+            [winnt], registry=registry, types=types, config=CampaignConfig(cap=10)
+        )
+        results = campaign.run()
+        crashy = results.get(winnt.key, "crashy")
+        assert crashy.catastrophic
+        # Interrupted: only cases up to and including the crash ran.
+        assert len(crashy.codes) < 2 + 1  # pool has 2 values
+        # Later MuTs still ran on the rebooted machine.
+        assert len(results.get(winnt.key, "silenty").codes) == 2
+
+    def test_interference_crash_flagged(self, mini, winnt):
+        registry, types = mini
+        config = CampaignConfig(cap=10)
+        campaign = Campaign([winnt], registry=registry, types=types, config=config)
+        # 'corrupty' only notes corruption; tolerance 3 means the fourth
+        # corrupting case crashes... but the pool only has one BAD value
+        # per pass, so no crash is expected at cap 10 (2 combinations).
+        results = campaign.run()
+        assert not results.get(winnt.key, "corrupty").catastrophic
+
+    def test_machine_per_case_ablation_removes_interference(self, winnt):
+        # Build a corrupting MuT with enough bad values to cross the
+        # tolerance within one campaign.
+        types = TypeRegistry()
+        trigger = types.new_type("trigger")
+        for index in range(8):
+            trigger.add(f"BAD{index}", lambda ctx: 1, exceptional=True)
+
+        def leak(ctx, args):
+            ctx.machine.note_corruption("leaky")
+            return 0
+
+        registry = MuTRegistry()
+        registry.register(
+            MuT("leaky", "win32", "I/O Primitives", ("trigger",), leak)
+        )
+        shared = Campaign(
+            [winnt], registry=registry, types=types, config=CampaignConfig(cap=10)
+        ).run()
+        assert shared.get(winnt.key, "leaky").catastrophic
+        isolated = Campaign(
+            [winnt],
+            registry=registry,
+            types=types,
+            config=CampaignConfig(cap=10, machine_per_case=True),
+        ).run()
+        assert not isolated.get(winnt.key, "leaky").catastrophic
+
+    def test_thrown_exception_policy_ablation(self, mini, winnt):
+        registry, types = mini
+        fair = Campaign(
+            [winnt], registry=registry, types=types, config=CampaignConfig(cap=10)
+        ).run()
+        assert fair.get(winnt.key, "throwy").abort_rate == 0.0
+        harsh = Campaign(
+            [winnt],
+            registry=registry,
+            types=types,
+            config=CampaignConfig(cap=10, count_thrown_exceptions_as_abort=True),
+        ).run()
+        assert harsh.get(winnt.key, "throwy").abort_rate == 0.5
+
+    def test_mut_filter(self, mini, winnt):
+        registry, types = mini
+        campaign = Campaign(
+            [winnt],
+            registry=registry,
+            types=types,
+            config=CampaignConfig(cap=10),
+            muts=["silenty"],
+        )
+        results = campaign.run()
+        assert len(results) == 1
+
+    def test_run_single_case_replays_listing1(self, winnt, win98):
+        outcome = run_single_case(win98, "GetThreadContext", ["TH_CURRENT", "PTR_NULL"])
+        assert outcome.code is CaseCode.CATASTROPHIC
+        outcome = run_single_case(winnt, "GetThreadContext", ["TH_CURRENT", "PTR_NULL"])
+        assert outcome.code is CaseCode.PASS_ERROR
+
+    def test_run_single_case_rejects_unavailable(self, linux):
+        with pytest.raises(ValueError):
+            run_single_case(linux, "GetThreadContext", ["TH_CURRENT", "PTR_NULL"])
+
+
+class TestResults:
+    def make_result(self, codes, exceptional=None):
+        result = MuTResult("v", "m", "libc", "C string")
+        exceptional = exceptional or [0] * len(codes)
+        for index, (code, exc) in enumerate(zip(codes, exceptional)):
+            result.record(index, code, bool(exc))
+        return result
+
+    def test_rates(self):
+        result = self.make_result(
+            [CaseCode.PASS_NO_ERROR, CaseCode.ABORT, CaseCode.ABORT, CaseCode.RESTART]
+        )
+        assert result.abort_rate == 0.5
+        assert result.restart_rate == 0.25
+        assert result.executed == 4
+
+    def test_setup_skips_not_counted_as_executed(self):
+        result = self.make_result([CaseCode.SETUP_SKIP, CaseCode.ABORT])
+        assert result.executed == 1
+        assert result.abort_rate == 1.0
+
+    def test_silent_ground_truth(self):
+        result = self.make_result(
+            [CaseCode.PASS_NO_ERROR, CaseCode.PASS_NO_ERROR, CaseCode.PASS_ERROR],
+            exceptional=[1, 0, 1],
+        )
+        assert result.silent_ground_truth_rate() == pytest.approx(1 / 3)
+
+    def test_catastrophic_flag_set_on_record(self):
+        result = self.make_result([CaseCode.CATASTROPHIC])
+        assert result.catastrophic
+
+    def test_resultset_uniform_rate_excludes_catastrophic(self):
+        results = ResultSet()
+        clean = results.new_result("v", "a", "libc", "C string")
+        clean.record(0, CaseCode.ABORT, False)
+        crashed = results.new_result("v", "b", "libc", "C string")
+        crashed.record(0, CaseCode.CATASTROPHIC, True)
+        assert results.uniform_rate("v", CaseCode.ABORT) == 1.0
+        assert (
+            results.uniform_rate("v", CaseCode.ABORT, include_catastrophic=True)
+            == 0.5
+        )
+
+    def test_resultset_lookup_disambiguation(self):
+        results = ResultSet()
+        results.new_result("v", "rename", "libc", "C file I/O management")
+        results.new_result("v", "rename", "posix", "File/Directory Access")
+        with pytest.raises(KeyError, match="ambiguous"):
+            results.get("v", "rename")
+        assert results.get("v", "rename", api="libc").api == "libc"
+
+    def test_duplicate_result_rejected(self):
+        results = ResultSet()
+        results.new_result("v", "a", "libc", "g")
+        with pytest.raises(ValueError):
+            results.new_result("v", "a", "libc", "g")
+
+    def test_records_must_arrive_in_order(self):
+        result = MuTResult("v", "m", "libc", "g")
+        result.record(0, CaseCode.PASS_ERROR, False)
+        with pytest.raises(AssertionError):
+            result.record(5, CaseCode.PASS_ERROR, False)

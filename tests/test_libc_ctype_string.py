@@ -1,0 +1,282 @@
+"""Unit tests for the C char and C string groups across CRT flavours."""
+
+import pytest
+
+from repro.core.context import TestContext
+from repro.posix.linux import LINUX
+from repro.sim.errors import AccessViolation
+from repro.sim.machine import Machine
+from repro.win32.variants import WINCE, WINNT
+
+
+def crt_for(personality):
+    machine = Machine(personality)
+    ctx = TestContext(machine, machine.spawn_process())
+    return ctx, ctx.crt
+
+
+@pytest.fixture()
+def glibc():
+    return crt_for(LINUX)
+
+
+@pytest.fixture()
+def msvcrt():
+    return crt_for(WINNT)
+
+
+@pytest.fixture()
+def cecrt():
+    return crt_for(WINCE)
+
+
+class TestCtype:
+    @pytest.mark.parametrize(
+        "func,char,expected",
+        [
+            ("isalpha", ord("A"), 1),
+            ("isalpha", ord("5"), 0),
+            ("isdigit", ord("5"), 1),
+            ("isspace", ord(" "), 1),
+            ("isupper", ord("a"), 0),
+            ("islower", ord("a"), 1),
+            ("ispunct", ord("!"), 1),
+            ("isxdigit", ord("f"), 1),
+            ("isxdigit", ord("g"), 0),
+            ("iscntrl", 0x07, 1),
+            ("isprint", ord("x"), 1),
+            ("isgraph", ord(" "), 0),
+            ("isalnum", ord("z"), 1),
+        ],
+    )
+    def test_classification_agrees_across_flavours(
+        self, glibc, msvcrt, func, char, expected
+    ):
+        for _, crt in (glibc, msvcrt):
+            assert getattr(crt, func)(char) == expected
+
+    def test_eof_is_not_in_any_class(self, glibc, msvcrt):
+        for _, crt in (glibc, msvcrt):
+            assert crt.isalpha(-1) == 0
+
+    def test_glibc_faults_on_out_of_range(self, glibc):
+        _, crt = glibc
+        with pytest.raises(AccessViolation):
+            crt.isalpha(1_000_000)
+
+    def test_glibc_faults_on_256(self, glibc):
+        _, crt = glibc
+        with pytest.raises(AccessViolation):
+            crt.isdigit(256)
+
+    def test_glibc_faults_on_int_min(self, glibc):
+        _, crt = glibc
+        with pytest.raises(AccessViolation):
+            crt.tolower(-0x8000_0000)
+
+    def test_glibc_tolerates_signed_char_range(self, glibc):
+        _, crt = glibc
+        assert crt.isalpha(-100) == 0  # within the -128..255 table
+
+    def test_msvcrt_bounds_checks_everything(self, msvcrt):
+        _, crt = msvcrt
+        assert crt.isalpha(1_000_000) == 0
+        assert crt.isdigit(256) == 0
+        assert crt.tolower(-0x8000_0000) == -0x8000_0000
+
+    def test_ce_bounds_checks_like_msvcrt(self, cecrt):
+        _, crt = cecrt
+        assert crt.isalpha(1_000_000) == 0
+
+    def test_tolower_toupper(self, msvcrt):
+        _, crt = msvcrt
+        assert crt.tolower(ord("A")) == ord("a")
+        assert crt.toupper(ord("a")) == ord("A")
+        assert crt.tolower(ord("5")) == ord("5")
+
+    def test_wide_twins_never_fault(self, cecrt):
+        _, crt = cecrt
+        assert crt.towlower(ord("A")) == ord("a")
+        assert crt.towupper(ord("z")) == ord("Z")
+        assert crt.iswalpha(0x0416) == 1  # cyrillic Zhe
+        assert crt.iswalpha(-5) == 0
+
+
+class TestStringCopy:
+    def test_strcpy_roundtrip(self, glibc):
+        ctx, crt = glibc
+        src = ctx.cstring(b"ballista")
+        dest = ctx.buffer(32)
+        assert crt.strcpy(dest, src) == dest
+        assert ctx.mem.read_cstring(dest) == b"ballista"
+
+    def test_strcpy_null_dest_faults(self, glibc):
+        ctx, crt = glibc
+        src = ctx.cstring(b"x")
+        with pytest.raises(AccessViolation):
+            crt.strcpy(0, src)
+
+    def test_strncpy_zero_pads_to_n(self, glibc):
+        ctx, crt = glibc
+        src = ctx.cstring(b"ab")
+        dest = ctx.buffer(8, b"\xff" * 8)
+        crt.strncpy(dest, src, 6)
+        assert ctx.mem.read(dest, 8) == b"ab\x00\x00\x00\x00\xff\xff"
+
+    def test_strncpy_does_not_terminate_when_full(self, glibc):
+        ctx, crt = glibc
+        src = ctx.cstring(b"abcdef")
+        dest = ctx.buffer(8)
+        crt.strncpy(dest, src, 3)
+        assert ctx.mem.read(dest, 4) == b"abc\x00"  # buffer was zeroed
+
+    def test_strncpy_huge_n_overflows_small_dest(self, glibc):
+        ctx, crt = glibc
+        src = ctx.cstring(b"a")
+        dest = ctx.buffer(16)
+        with pytest.raises(AccessViolation):
+            crt.strncpy(dest, src, 0xFFFF_FFFF)
+
+    def test_strcat_appends(self, glibc):
+        ctx, crt = glibc
+        dest = ctx.buffer(32, b"abc")
+        src = ctx.cstring(b"def")
+        crt.strcat(dest, src)
+        assert ctx.mem.read_cstring(dest) == b"abcdef"
+
+    def test_strncat_limits_source(self, glibc):
+        ctx, crt = glibc
+        dest = ctx.buffer(32, b"abc")
+        src = ctx.cstring(b"defgh")
+        crt.strncat(dest, src, 2)
+        assert ctx.mem.read_cstring(dest) == b"abcde"
+
+
+class TestStringSearch:
+    def test_strcmp_ordering(self, glibc):
+        ctx, crt = glibc
+        a = ctx.cstring(b"apple")
+        b = ctx.cstring(b"banana")
+        assert crt.strcmp(a, b) < 0
+        assert crt.strcmp(b, a) > 0
+        assert crt.strcmp(a, ctx.cstring(b"apple")) == 0
+
+    def test_strncmp_prefix(self, glibc):
+        ctx, crt = glibc
+        a = ctx.cstring(b"abcXXX")
+        b = ctx.cstring(b"abcYYY")
+        assert crt.strncmp(a, b, 3) == 0
+
+    def test_strchr_found_and_missing(self, glibc):
+        ctx, crt = glibc
+        s = ctx.cstring(b"hello")
+        assert crt.strchr(s, ord("l")) == s + 2
+        assert crt.strchr(s, ord("z")) == 0
+        assert crt.strchr(s, 0) == s + 5
+
+    def test_strrchr_last_occurrence(self, glibc):
+        ctx, crt = glibc
+        s = ctx.cstring(b"hello")
+        assert crt.strrchr(s, ord("l")) == s + 3
+
+    def test_strstr(self, glibc):
+        ctx, crt = glibc
+        hay = ctx.cstring(b"the ballista fires")
+        assert crt.strstr(hay, ctx.cstring(b"ballista")) == hay + 4
+        assert crt.strstr(hay, ctx.cstring(b"xyz")) == 0
+        assert crt.strstr(hay, ctx.cstring(b"")) == hay
+
+    def test_strlen(self, glibc):
+        ctx, crt = glibc
+        assert crt.strlen(ctx.cstring(b"12345")) == 5
+        assert crt.strlen(ctx.cstring(b"")) == 0
+
+    def test_strspn_strcspn(self, glibc):
+        ctx, crt = glibc
+        s = ctx.cstring(b"112358x")
+        digits = ctx.cstring(b"0123456789")
+        assert crt.strspn(s, digits) == 6
+        assert crt.strcspn(s, ctx.cstring(b"x")) == 6
+
+    def test_strpbrk(self, glibc):
+        ctx, crt = glibc
+        s = ctx.cstring(b"abcdef")
+        assert crt.strpbrk(s, ctx.cstring(b"xd")) == s + 3
+        assert crt.strpbrk(s, ctx.cstring(b"xyz")) == 0
+
+    def test_strtok_sequence(self, glibc):
+        ctx, crt = glibc
+        s = ctx.cstring(b"one,two,,three")
+        sep = ctx.cstring(b",")
+        first = crt.strtok(s, sep)
+        assert ctx.mem.read_cstring(first) == b"one"
+        second = crt.strtok(0, sep)
+        assert ctx.mem.read_cstring(second) == b"two"
+        third = crt.strtok(0, sep)
+        assert ctx.mem.read_cstring(third) == b"three"
+        assert crt.strtok(0, sep) == 0
+
+    def test_strtok_null_without_state(self, glibc):
+        ctx, crt = glibc
+        assert crt.strtok(0, ctx.cstring(b",")) == 0
+
+
+class TestWordAtATimeScanning:
+    """The mechanistic C-string flavour difference (paper: Windows higher)."""
+
+    def test_msvcrt_faults_on_edge_terminated_string(self, msvcrt):
+        ctx, crt = msvcrt
+        s = ctx.cstring(b"edge-string-xx", round_to=1)  # 15-byte mapping
+        with pytest.raises(AccessViolation):
+            crt.strlen(s)
+
+    def test_glibc_handles_edge_terminated_string(self, glibc):
+        ctx, crt = glibc
+        s = ctx.cstring(b"edge-string-xx", round_to=1)
+        assert crt.strlen(s) == 14
+
+    def test_msvcrt_fine_on_rounded_strings(self, msvcrt):
+        ctx, crt = msvcrt
+        assert crt.strlen(ctx.cstring(b"ordinary string")) == 15
+
+
+class TestConversions:
+    def test_atoi_parses_prefix(self, glibc):
+        ctx, crt = glibc
+        assert crt.atoi(ctx.cstring(b"  -42abc")) == -42
+        assert crt.atoi(ctx.cstring(b"ballista")) == 0
+
+    def test_atof(self, glibc):
+        ctx, crt = glibc
+        assert crt.atof(ctx.cstring(b"3.5e2xyz")) == pytest.approx(350.0)
+        assert crt.atof(ctx.cstring(b"nope")) == 0.0
+
+    def test_strtol_bases(self, glibc):
+        ctx, crt = glibc
+        assert crt.strtol(ctx.cstring(b"ff"), 0, 16) == 255
+        assert crt.strtol(ctx.cstring(b"0x10"), 0, 0) == 16
+        assert crt.strtol(ctx.cstring(b"777"), 0, 8) == 511
+
+    def test_strtol_invalid_base_reports_einval(self, glibc):
+        ctx, crt = glibc
+        assert crt.strtol(ctx.cstring(b"1"), 0, 64) == 0
+        assert ctx.process.errno == 22
+
+    def test_strtol_saturates_with_erange(self, glibc):
+        ctx, crt = glibc
+        assert crt.strtol(ctx.cstring(b"99999999999999"), 0, 10) == 0x7FFF_FFFF
+        assert ctx.process.errno == 34
+
+    def test_strtol_writes_endptr(self, glibc):
+        ctx, crt = glibc
+        s = ctx.cstring(b"123xyz")
+        endptr = ctx.buffer(8)
+        crt.strtol(s, endptr, 10)
+        assert ctx.mem.read_u32(endptr) == s + 3
+
+    def test_strtod_endptr_and_value(self, glibc):
+        ctx, crt = glibc
+        s = ctx.cstring(b"2.75rest")
+        endptr = ctx.buffer(8)
+        assert crt.strtod(s, endptr) == pytest.approx(2.75)
+        assert ctx.mem.read_u32(endptr) == s + 4

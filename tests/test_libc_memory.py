@@ -1,0 +1,161 @@
+"""Unit tests for the C memory management group across CRT flavours."""
+
+import pytest
+
+from repro.core.context import TestContext
+from repro.posix.linux import LINUX
+from repro.sim.errors import AccessViolation, SoftwareAbort
+from repro.sim.machine import Machine
+from repro.win32.variants import WINNT
+
+
+def crt_for(personality):
+    machine = Machine(personality)
+    ctx = TestContext(machine, machine.spawn_process())
+    return ctx, ctx.crt
+
+
+@pytest.fixture()
+def glibc():
+    return crt_for(LINUX)
+
+
+@pytest.fixture()
+def msvcrt():
+    return crt_for(WINNT)
+
+
+class TestMalloc:
+    def test_malloc_returns_writable_block(self, glibc):
+        ctx, crt = glibc
+        ptr = crt.malloc(64)
+        assert ptr != 0
+        ctx.mem.write(ptr, b"x" * 64)
+
+    def test_malloc_zero_still_unique(self, glibc):
+        _, crt = glibc
+        a = crt.malloc(0)
+        b = crt.malloc(0)
+        assert a and b and a != b
+
+    def test_malloc_huge_fails_with_enomem(self, glibc):
+        ctx, crt = glibc
+        assert crt.malloc(0xFFFF_FFFF) == 0
+        assert ctx.process.errno == 12
+
+    def test_calloc_zeroes(self, glibc):
+        ctx, crt = glibc
+        ptr = crt.calloc(4, 8)
+        assert ctx.mem.read(ptr, 32) == b"\x00" * 32
+
+    def test_calloc_overflowing_product_fails(self, glibc):
+        _, crt = glibc
+        assert crt.calloc(0xFFFF, 0xFFFF) == 0
+
+    def test_free_releases_mapping(self, glibc):
+        ctx, crt = glibc
+        ptr = crt.malloc(16)
+        assert crt.free(ptr) == 0
+        with pytest.raises(AccessViolation):
+            ctx.mem.read(ptr, 1)
+
+    def test_free_null_is_noop(self, glibc):
+        ctx, crt = glibc
+        assert crt.free(0) == 0
+        assert ctx.process.errno == 0
+
+    def test_glibc_free_wild_unmapped_pointer_faults(self, glibc):
+        _, crt = glibc
+        with pytest.raises(AccessViolation):
+            crt.free(0xDEAD_0000)
+
+    def test_glibc_free_readable_garbage_aborts(self, glibc):
+        ctx, crt = glibc
+        not_a_block = ctx.buffer(64) + 16  # readable, wrong header
+        with pytest.raises(SoftwareAbort):
+            crt.free(not_a_block)
+
+    def test_msvcrt_free_readable_garbage_reports_error(self, msvcrt):
+        ctx, crt = msvcrt
+        not_a_block = ctx.buffer(64) + 16
+        assert crt.free(not_a_block) == 0
+        assert ctx.process.errno == 22
+
+    def test_realloc_grows_and_preserves(self, glibc):
+        ctx, crt = glibc
+        ptr = crt.malloc(8)
+        ctx.mem.write(ptr, b"payload!")
+        bigger = crt.realloc(ptr, 32)
+        assert ctx.mem.read(bigger, 8) == b"payload!"
+
+    def test_realloc_null_acts_as_malloc(self, glibc):
+        _, crt = glibc
+        assert crt.realloc(0, 16) != 0
+
+    def test_realloc_zero_frees(self, glibc):
+        ctx, crt = glibc
+        ptr = crt.malloc(16)
+        assert crt.realloc(ptr, 0) == 0
+        with pytest.raises(AccessViolation):
+            ctx.mem.read(ptr, 1)
+
+    def test_glibc_realloc_garbage_aborts(self, glibc):
+        ctx, crt = glibc
+        with pytest.raises(SoftwareAbort):
+            crt.realloc(ctx.buffer(32) + 8, 8)
+
+
+class TestMemOps:
+    def test_memcpy_roundtrip(self, glibc):
+        ctx, crt = glibc
+        src = ctx.buffer(16, b"0123456789abcdef")
+        dest = ctx.buffer(16)
+        assert crt.memcpy(dest, src, 16) == dest
+        assert ctx.mem.read(dest, 16) == b"0123456789abcdef"
+
+    def test_memcpy_null_dest_faults(self, glibc):
+        ctx, crt = glibc
+        with pytest.raises(AccessViolation):
+            crt.memcpy(0, ctx.buffer(4), 4)
+
+    def test_memcpy_huge_n_faults_at_region_edge(self, glibc):
+        ctx, crt = glibc
+        src = ctx.buffer(4096)
+        dest = ctx.buffer(4096)
+        with pytest.raises(AccessViolation):
+            crt.memcpy(dest, src, 0x7FFF_FFFF)
+
+    def test_memmove_same_as_memcpy_for_disjoint(self, glibc):
+        ctx, crt = glibc
+        src = ctx.buffer(8, b"abcdefgh")
+        dest = ctx.buffer(8)
+        crt.memmove(dest, src, 8)
+        assert ctx.mem.read(dest, 8) == b"abcdefgh"
+
+    def test_memset_fills(self, glibc):
+        ctx, crt = glibc
+        dest = ctx.buffer(8)
+        crt.memset(dest, ord("x"), 8)
+        assert ctx.mem.read(dest, 8) == b"x" * 8
+
+    def test_memset_zero_count_touches_nothing(self, glibc):
+        _, crt = glibc
+        crt.memset(0, 0, 0)  # n == 0: even NULL is never dereferenced
+
+    def test_memcmp(self, glibc):
+        ctx, crt = glibc
+        a = ctx.buffer(4, b"abcd")
+        b = ctx.buffer(4, b"abce")
+        assert crt.memcmp(a, b, 3) == 0
+        assert crt.memcmp(a, b, 4) < 0
+
+    def test_memchr_found_and_missing(self, glibc):
+        ctx, crt = glibc
+        buf = ctx.buffer(8, b"abcdefgh")
+        assert crt.memchr(buf, ord("d"), 8) == buf + 3
+        assert crt.memchr(buf, ord("z"), 8) == 0
+
+    def test_memchr_does_not_scan_past_n(self, glibc):
+        ctx, crt = glibc
+        buf = ctx.buffer(8, b"abcdefgh")
+        assert crt.memchr(buf, ord("h"), 4) == 0

@@ -1,0 +1,336 @@
+"""Unit tests for the C stdio groups across CRT flavours -- including the
+wild-FILE* behaviours behind the paper's Windows CE finding."""
+
+import pytest
+
+from repro.core.context import TestContext
+from repro.libc import errno_codes as E
+from repro.posix.linux import LINUX
+from repro.sim.errors import AccessViolation, SystemCrash
+from repro.sim.machine import Machine
+from repro.win32.variants import WINCE, WINNT
+
+
+def crt_for(personality):
+    machine = Machine(personality)
+    ctx = TestContext(machine, machine.spawn_process())
+    return ctx, ctx.crt
+
+
+@pytest.fixture()
+def glibc():
+    return crt_for(LINUX)
+
+
+@pytest.fixture()
+def msvcrt():
+    return crt_for(WINNT)
+
+
+@pytest.fixture()
+def cecrt():
+    return crt_for(WINCE)
+
+
+def open_file(ctx, crt, content=b"file content here\n", mode="r"):
+    path = ctx.existing_file(content)
+    return crt.open_stream_for_test(path, mode)
+
+
+class TestFopen:
+    def test_fopen_read_existing(self, glibc):
+        ctx, crt = glibc
+        path = ctx.existing_file(b"hello")
+        fp = crt.fopen(ctx.cstring(path.encode()), ctx.cstring(b"r"))
+        assert fp != 0
+        assert crt.fgetc(fp) == ord("h")
+
+    def test_fopen_missing_sets_enoent(self, glibc):
+        ctx, crt = glibc
+        fp = crt.fopen(ctx.cstring(b"/tmp/nope"), ctx.cstring(b"r"))
+        assert fp == 0
+        assert ctx.process.errno == E.ENOENT
+
+    def test_fopen_write_creates(self, glibc):
+        ctx, crt = glibc
+        fp = crt.fopen(ctx.cstring(b"/tmp/new.txt"), ctx.cstring(b"w"))
+        assert fp != 0
+        assert ctx.machine.fs.lookup("/tmp/new.txt") is not None
+
+    def test_fopen_invalid_mode(self, glibc):
+        ctx, crt = glibc
+        fp = crt.fopen(ctx.cstring(b"/tmp/x"), ctx.cstring(b"z"))
+        assert fp == 0
+        assert ctx.process.errno == E.EINVAL
+
+    def test_fopen_bad_path_pointer_faults(self, glibc):
+        ctx, crt = glibc
+        with pytest.raises(AccessViolation):
+            crt.fopen(0, ctx.cstring(b"r"))
+
+    def test_freopen_switches_file(self, glibc):
+        ctx, crt = glibc
+        fp = open_file(ctx, crt, b"first")
+        other = ctx.existing_file(b"second")
+        assert crt.freopen(ctx.cstring(other.encode()), ctx.cstring(b"r"), fp) == fp
+        assert crt.fgetc(fp) == ord("s")
+
+
+class TestStreamIo:
+    def test_fread_into_buffer(self, glibc):
+        ctx, crt = glibc
+        fp = open_file(ctx, crt, b"0123456789")
+        dest = ctx.buffer(16)
+        assert crt.fread(dest, 1, 10, fp) == 10
+        assert ctx.mem.read(dest, 10) == b"0123456789"
+
+    def test_fwrite_appends_to_file(self, glibc):
+        ctx, crt = glibc
+        fp = crt.open_stream_for_test("/tmp/out.txt", "w")
+        src = ctx.buffer(8, b"payload!")
+        assert crt.fwrite(src, 1, 8, fp) == 8
+        assert bytes(ctx.machine.fs.lookup("/tmp/out.txt").data) == b"payload!"
+
+    def test_fread_zero_size_is_zero(self, glibc):
+        ctx, crt = glibc
+        fp = open_file(ctx, crt)
+        assert crt.fread(ctx.buffer(8), 0, 10, fp) == 0
+
+    def test_fgetc_sequence_and_eof(self, glibc):
+        ctx, crt = glibc
+        fp = open_file(ctx, crt, b"ab")
+        assert crt.fgetc(fp) == ord("a")
+        assert crt.fgetc(fp) == ord("b")
+        assert crt.fgetc(fp) == -1
+
+    def test_ungetc_pushback(self, glibc):
+        ctx, crt = glibc
+        fp = open_file(ctx, crt, b"xy")
+        crt.fgetc(fp)
+        assert crt.ungetc(ord("q"), fp) == ord("q")
+        assert crt.fgetc(fp) == ord("q")
+        assert crt.fgetc(fp) == ord("y")
+
+    def test_fputc_putc(self, glibc):
+        ctx, crt = glibc
+        fp = crt.open_stream_for_test("/tmp/o", "w")
+        assert crt.fputc(ord("A"), fp) == ord("A")
+        assert crt.putc(ord("B"), fp) == ord("B")
+        assert bytes(ctx.machine.fs.lookup("/tmp/o").data) == b"AB"
+
+    def test_fgets_reads_line(self, glibc):
+        ctx, crt = glibc
+        fp = open_file(ctx, crt, b"line one\nline two\n")
+        buf = ctx.buffer(64)
+        assert crt.fgets(buf, 64, fp) == buf
+        assert ctx.mem.read_cstring(buf) == b"line one\n"
+
+    def test_fgets_respects_size_limit(self, glibc):
+        ctx, crt = glibc
+        fp = open_file(ctx, crt, b"abcdefgh")
+        buf = ctx.buffer(64)
+        crt.fgets(buf, 4, fp)
+        assert ctx.mem.read_cstring(buf) == b"abc"
+
+    def test_fgets_nonpositive_size_checked_on_msvcrt(self, msvcrt):
+        ctx, crt = msvcrt
+        fp = open_file(ctx, crt)
+        assert crt.fgets(ctx.buffer(8), 0, fp) == 0
+        assert ctx.process.errno == E.EINVAL
+
+    def test_fgets_nonpositive_size_unbounded_on_glibc(self, glibc):
+        ctx, crt = glibc
+        fp = open_file(ctx, crt, b"much longer than the destination\n")
+        small = ctx.buffer(8)
+        with pytest.raises(AccessViolation):
+            crt.fgets(small, 0, fp)
+
+    def test_fputs_and_puts(self, glibc):
+        ctx, crt = glibc
+        fp = crt.open_stream_for_test("/tmp/o", "w")
+        assert crt.fputs(ctx.cstring(b"words"), fp) == 5
+        assert crt.puts(ctx.cstring(b"out")) == 4
+
+    def test_gets_overflows_small_buffer(self, glibc):
+        ctx, crt = glibc
+        small = ctx.buffer(8)
+        with pytest.raises(AccessViolation):
+            crt.gets(small)  # console line is longer than 8 bytes
+
+    def test_gets_into_large_buffer(self, glibc):
+        ctx, crt = glibc
+        big = ctx.buffer(4096)
+        assert crt.gets(big) == big
+        assert ctx.mem.read_cstring(big).startswith(b"console input")
+
+
+class TestFormatted:
+    def test_fprintf_plain_and_d(self, glibc):
+        ctx, crt = glibc
+        fp = crt.open_stream_for_test("/tmp/o", "w")
+        assert crt.fprintf(fp, ctx.cstring(b"value=%d!"), 42) == 9
+        assert bytes(ctx.machine.fs.lookup("/tmp/o").data) == b"value=42!"
+
+    def test_fprintf_percent_s_with_integer_vararg_faults(self, glibc):
+        ctx, crt = glibc
+        fp = crt.open_stream_for_test("/tmp/o", "w")
+        with pytest.raises(AccessViolation):
+            crt.fprintf(fp, ctx.cstring(b"%s"), 64)
+
+    def test_fprintf_percent_n_writes_through_vararg(self, glibc):
+        ctx, crt = glibc
+        fp = crt.open_stream_for_test("/tmp/o", "w")
+        out = ctx.buffer(8)
+        crt.fprintf(fp, ctx.cstring(b"abc%n"), out)
+        assert ctx.mem.read_u32(out) == 3
+
+    def test_sprintf_overflow_via_huge_width(self, glibc):
+        ctx, crt = glibc
+        small = ctx.buffer(64)
+        with pytest.raises(AccessViolation):
+            crt.sprintf(small, ctx.cstring(b"%999999d"), 1)
+
+    def test_sprintf_normal(self, glibc):
+        ctx, crt = glibc
+        buf = ctx.buffer(64)
+        assert crt.sprintf(buf, ctx.cstring(b"x=%x"), 255) == 4
+        assert ctx.mem.read_cstring(buf) == b"x=ff"
+
+    def test_fscanf_d_parses_number(self, glibc):
+        ctx, crt = glibc
+        fp = open_file(ctx, crt, b"  123 rest")
+        out = ctx.buffer(8)
+        assert crt.fscanf(fp, ctx.cstring(b"%d"), out) == 1
+        assert ctx.mem.read_u32(out) == 123
+
+    def test_fscanf_s_writes_token(self, glibc):
+        ctx, crt = glibc
+        fp = open_file(ctx, crt, b"token rest")
+        out = ctx.buffer(32)
+        assert crt.fscanf(fp, ctx.cstring(b"%s"), out) == 1
+        assert ctx.mem.read_cstring(out) == b"token"
+
+    def test_fscanf_no_match_returns_minus_one(self, glibc):
+        ctx, crt = glibc
+        fp = open_file(ctx, crt, b"words only")
+        assert crt.fscanf(fp, ctx.cstring(b"%d"), ctx.buffer(8)) == -1
+
+
+class TestFileManagement:
+    def test_fseek_ftell_rewind(self, glibc):
+        ctx, crt = glibc
+        fp = open_file(ctx, crt, b"0123456789")
+        assert crt.fseek(fp, 4, 0) == 0
+        assert crt.ftell(fp) == 4
+        crt.rewind(fp)
+        assert crt.ftell(fp) == 0
+
+    def test_fseek_invalid_whence(self, glibc):
+        ctx, crt = glibc
+        fp = open_file(ctx, crt)
+        assert crt.fseek(fp, 0, 7) == -1
+        assert ctx.process.errno == E.EINVAL
+
+    def test_fclose_then_stale_use_glibc_faults(self, glibc):
+        ctx, crt = glibc
+        fp = open_file(ctx, crt)
+        assert crt.fclose(fp) == 0
+        with pytest.raises(AccessViolation):
+            crt.fgetc(fp)
+
+    def test_fclose_then_stale_use_msvcrt_errors(self, msvcrt):
+        ctx, crt = msvcrt
+        fp = open_file(ctx, crt)
+        assert crt.fclose(fp) == 0
+        assert crt.fgetc(fp) == -1
+        assert ctx.process.errno == E.EINVAL
+
+    def test_fflush_null_flushes_all(self, glibc):
+        ctx, crt = glibc
+        assert crt.fflush(0) == 0
+        assert ctx.process.errno == 0
+
+    def test_clearerr_resets_flags(self, glibc):
+        ctx, crt = glibc
+        fp = open_file(ctx, crt, b"")
+        crt.fgetc(fp)  # hits EOF
+        state = crt._streams[fp]
+        assert state.eof
+        crt.clearerr(fp)
+        assert not state.eof
+
+    def test_remove_and_rename(self, glibc):
+        ctx, crt = glibc
+        path = ctx.existing_file(b"data")
+        new = "/tmp/renamed.dat"
+        assert crt.rename(ctx.cstring(path.encode()), ctx.cstring(new.encode())) == 0
+        assert crt.remove(ctx.cstring(new.encode())) == 0
+        assert ctx.machine.fs.lookup(new) is None
+
+    def test_remove_missing_is_error(self, glibc):
+        ctx, crt = glibc
+        assert crt.remove(ctx.cstring(b"/tmp/nope")) == -1
+        assert ctx.process.errno == E.ENOENT
+
+
+class TestWildFilePointer:
+    """The 'string buffer typecast to a file pointer' behaviours."""
+
+    def wild(self, ctx):
+        return ctx.cstring(b"this is not a FILE structure at all.....")
+
+    def test_glibc_chases_garbage_buffer_pointer_and_faults(self, glibc):
+        ctx, crt = glibc
+        with pytest.raises(AccessViolation):
+            crt.fgetc(self.wild(ctx))
+
+    def test_msvcrt_rejects_unregistered_stream(self, msvcrt):
+        ctx, crt = msvcrt
+        assert crt.fgetc(self.wild(ctx)) == -1
+        assert ctx.process.errno == E.EINVAL
+
+    def test_msvcrt_rejects_null(self, msvcrt):
+        ctx, crt = msvcrt
+        assert crt.fclose(0) == -1
+        assert ctx.process.errno == E.EINVAL
+
+    def test_glibc_null_faults(self, glibc):
+        ctx, crt = glibc
+        with pytest.raises(AccessViolation):
+            crt.fclose(0)
+
+    def test_ce_wild_file_crashes_machine_on_raw_function(self, cecrt):
+        ctx, crt = cecrt
+        with pytest.raises(SystemCrash):
+            crt.fclose(self.wild(ctx))
+        assert ctx.machine.crashed
+        assert ctx.machine.crash_function == "fclose"
+
+    def test_ce_wild_file_corrupts_on_starred_function(self, cecrt):
+        ctx, crt = cecrt
+        assert crt.fread(ctx.buffer(8), 1, 8, self.wild(ctx)) == 0
+        assert ctx.machine.corruption_level >= 1
+        assert not ctx.machine.crashed
+
+    def test_ce_repeated_fread_corruption_eventually_crashes(self, cecrt):
+        ctx, crt = cecrt
+        with pytest.raises(SystemCrash):
+            for _ in range(10):
+                crt.fread(ctx.buffer(8), 1, 8, self.wild(ctx))
+
+    def test_ce_valid_streams_work_normally(self, cecrt):
+        ctx, crt = cecrt
+        fp = open_file(ctx, crt, b"ce data")
+        assert crt.fgetc(fp) == ord("c")
+        assert not ctx.machine.crashed
+
+    def test_unmapped_file_pointer_aborts_everywhere(self, glibc, msvcrt, cecrt):
+        for ctx, crt in (glibc, msvcrt, cecrt):
+            with pytest.raises(Exception) as info:
+                crt.ftell(0xDDDD_0000)
+            assert not isinstance(info.value, SystemCrash)
+
+    def test_stdin_stdout_are_live_streams(self, glibc):
+        _, crt = glibc
+        assert crt.fgetc(crt.stdin) == ord("c")
+        assert crt.fputc(ord("!"), crt.stdout) == ord("!")

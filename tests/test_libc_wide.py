@@ -1,0 +1,192 @@
+"""Unit tests for the Windows CE UNICODE twin functions."""
+
+import pytest
+
+from repro.core.context import TestContext
+from repro.sim.errors import AccessViolation, SystemCrash
+from repro.sim.machine import Machine
+from repro.win32.variants import WINCE
+
+
+@pytest.fixture()
+def ce():
+    machine = Machine(WINCE)
+    ctx = TestContext(machine, machine.spawn_process())
+    return ctx, ctx.crt
+
+
+def wstr(ctx, text: str) -> int:
+    data = text.encode("utf-16-le") + b"\x00\x00"
+    pad = (4 - len(data) % 4) % 4
+    return ctx.mem.alloc(data, tag="wstr", pad=pad)
+
+
+def read_wide(ctx, addr: int) -> str:
+    return ctx.mem.read_wstring(addr).decode("utf-16-le")
+
+
+class TestWideStrings:
+    def test_wcscpy_roundtrip(self, ce):
+        ctx, crt = ce
+        dest = ctx.buffer(64)
+        crt.wcscpy(dest, wstr(ctx, "ballista"))
+        assert read_wide(ctx, dest) == "ballista"
+
+    def test_wcslen(self, ce):
+        ctx, crt = ce
+        assert crt.wcslen(wstr(ctx, "12345")) == 5
+        assert crt.wcslen(wstr(ctx, "")) == 0
+
+    def test_wcscmp_and_ncmp(self, ce):
+        ctx, crt = ce
+        a = wstr(ctx, "apple")
+        b = wstr(ctx, "apric")
+        assert crt.wcscmp(a, b) < 0
+        assert crt.wcsncmp(a, b, 2) == 0
+
+    def test_wcscat(self, ce):
+        ctx, crt = ce
+        dest = ctx.buffer(64)
+        crt.wcscpy(dest, wstr(ctx, "one"))
+        crt.wcscat(dest, wstr(ctx, "two"))
+        assert read_wide(ctx, dest) == "onetwo"
+
+    def test_wcsncat_limits_units(self, ce):
+        ctx, crt = ce
+        dest = ctx.buffer(64)
+        crt.wcscpy(dest, wstr(ctx, "x"))
+        crt.wcsncat(dest, wstr(ctx, "abcdef"), 2)
+        assert read_wide(ctx, dest) == "xab"
+
+    def test_wcschr_and_rchr(self, ce):
+        ctx, crt = ce
+        s = wstr(ctx, "hello")
+        assert crt.wcschr(s, ord("l")) == s + 2 * 2
+        assert crt.wcsrchr(s, ord("l")) == s + 3 * 2
+        assert crt.wcschr(s, ord("z")) == 0
+
+    def test_wcsstr(self, ce):
+        ctx, crt = ce
+        hay = wstr(ctx, "the ballista")
+        assert crt.wcsstr(hay, wstr(ctx, "ball")) == hay + 4 * 2
+        assert crt.wcsstr(hay, wstr(ctx, "nope")) == 0
+
+    def test_wcsspn_cspn_pbrk(self, ce):
+        ctx, crt = ce
+        s = wstr(ctx, "112358x")
+        digits = wstr(ctx, "0123456789")
+        assert crt.wcsspn(s, digits) == 6
+        assert crt.wcscspn(s, wstr(ctx, "x")) == 6
+        assert crt.wcspbrk(s, wstr(ctx, "x")) == s + 6 * 2
+
+    def test_wcstok_sequence(self, ce):
+        ctx, crt = ce
+        s = wstr(ctx, "a,b")
+        sep = wstr(ctx, ",")
+        first = crt.wcstok(s, sep)
+        assert read_wide(ctx, first) == "a"
+        second = crt.wcstok(0, sep)
+        assert read_wide(ctx, second) == "b"
+        assert crt.wcstok(0, sep) == 0
+
+    def test_tcsncpy_pads_like_strncpy(self, ce):
+        ctx, crt = ce
+        dest = ctx.buffer(32, b"\xff" * 32)
+        crt._tcsncpy(dest, wstr(ctx, "ab"), 4)
+        # 2 units copied + 2 NUL units, trailing bytes untouched.
+        assert ctx.mem.read(dest, 8) == "ab".encode("utf-16-le") + b"\x00" * 4
+        assert ctx.mem.read(dest + 8, 1) == b"\xff"
+
+    def test_tcsncpy_bad_dest_corrupts_ce(self, ce):
+        ctx, crt = ce
+        crt._tcsncpy(0xDEAD_0000, wstr(ctx, "abc"), 3)
+        assert ctx.machine.corruption_level >= 1
+
+    def test_wide_null_pointer_faults(self, ce):
+        ctx, crt = ce
+        with pytest.raises(AccessViolation):
+            crt.wcslen(0)
+
+
+class TestWideStdio:
+    def open_wide(self, ctx, crt, content=b"w1 w2\n"):
+        path = ctx.existing_file(content)
+        return crt.open_stream_for_test(path, "r")
+
+    def test_wfopen_and_read(self, ce):
+        ctx, crt = ce
+        path = ctx.existing_file(b"AB")
+        fp = crt._wfopen(wstr(ctx, path), wstr(ctx, "r"))
+        assert fp != 0
+        assert crt.fgetc(fp) == ord("A")
+
+    def test_wfopen_bad_mode(self, ce):
+        ctx, crt = ce
+        assert crt._wfopen(wstr(ctx, "/tmp/x"), wstr(ctx, "zz")) == 0
+
+    def test_wfreopen_switches(self, ce):
+        ctx, crt = ce
+        fp = self.open_wide(ctx, crt, b"first")
+        other = ctx.existing_file(b"second")
+        assert crt._wfreopen(wstr(ctx, other), wstr(ctx, "r"), fp) == fp
+        assert crt.fgetc(fp) == ord("s")
+
+    def test_wfreopen_wild_file_crashes_ce(self, ce):
+        ctx, crt = ce
+        wild = ctx.cstring(b"this is not a FILE structure at all.....")
+        with pytest.raises(SystemCrash):
+            crt._wfreopen(wstr(ctx, "/tmp/x"), wstr(ctx, "r"), wild)
+
+    def test_wfread_into_buffer(self, ce):
+        ctx, crt = ce
+        fp = self.open_wide(ctx, crt, b"0123456789")
+        dest = ctx.buffer(16)
+        assert crt.wfread(dest, 1, 10, fp) == 10
+        assert ctx.mem.read(dest, 10) == b"0123456789"
+
+    def test_wfread_wild_file_corrupts(self, ce):
+        ctx, crt = ce
+        wild = ctx.cstring(b"this is not a FILE structure at all.....")
+        crt.wfread(ctx.buffer(8), 1, 8, wild)
+        assert ctx.machine.corruption_level >= 1
+
+    def test_fgetwc_reads_units(self, ce):
+        ctx, crt = ce
+        fp = self.open_wide(ctx, crt, "hi".encode("utf-16-le"))
+        assert crt.fgetwc(fp) == ord("h")
+        assert crt.fgetwc(fp) == ord("i")
+        assert crt.fgetwc(fp) == -1
+
+    def test_fputwc_fputws(self, ce):
+        ctx, crt = ce
+        fp = crt.open_stream_for_test("/tmp/wide.out", "w")
+        assert crt.fputwc(ord("Z"), fp) == ord("Z")
+        assert crt.fputws(wstr(ctx, "ok"), fp) == 4  # bytes written
+        data = bytes(ctx.machine.fs.lookup("/tmp/wide.out").data)
+        assert data == "Z".encode("utf-16-le") + "ok".encode("utf-16-le")
+
+    def test_fgetws_line(self, ce):
+        ctx, crt = ce
+        fp = self.open_wide(ctx, crt, "ab\n".encode("utf-16-le"))
+        buf = ctx.buffer(64)
+        assert crt.fgetws(buf, 16, fp) == buf
+        assert read_wide(ctx, buf) == "ab\n"
+
+    def test_fwprintf(self, ce):
+        ctx, crt = ce
+        fp = crt.open_stream_for_test("/tmp/wp.out", "w")
+        written = crt.fwprintf(fp, wstr(ctx, "n=%d"), 7)
+        assert written == len("n=7".encode("utf-16-le"))
+
+    def test_fwscanf_parses_number(self, ce):
+        ctx, crt = ce
+        fp = self.open_wide(ctx, crt, b"42")
+        out = ctx.buffer(8)
+        assert crt.fwscanf(fp, wstr(ctx, "%d"), out) == 1
+        assert ctx.mem.read_u32(out) == 42
+
+    def test_wide_registry_is_ce_only(self, registry, winnt, wince):
+        wide = registry.get("libc", "wcscpy")
+        assert wide.available_on(wince)
+        assert not wide.available_on(winnt)
+        assert wide.charset == "unicode"

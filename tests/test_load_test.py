@@ -1,0 +1,104 @@
+"""Tests for the heavy-load comparison harness."""
+
+import pytest
+
+from repro.sim.filesystem import FileSystemError
+from repro.sim.machine import Machine
+from repro.triage.load_test import (
+    DEFAULT_DISK_CAPACITY,
+    _apply_load,
+    run_load_comparison,
+)
+
+
+class TestDiskCapacity:
+    def test_machine_accepts_capacity(self, winnt):
+        machine = Machine(winnt, fs_max_files=3)
+        machine.fs.create_file("/tmp/a")
+        machine.fs.create_file("/tmp/b")  # /etc_passwd is the third
+        with pytest.raises(FileSystemError, match="ENOSPC"):
+            machine.fs.create_file("/tmp/c")
+
+    def test_unlink_releases_capacity(self, winnt):
+        machine = Machine(winnt, fs_max_files=2)
+        machine.fs.create_file("/tmp/a")
+        with pytest.raises(FileSystemError, match="ENOSPC"):
+            machine.fs.create_file("/tmp/b")
+        machine.fs.unlink("/tmp/a")
+        machine.fs.create_file("/tmp/b")
+
+    def test_unlimited_by_default(self, winnt):
+        machine = Machine(winnt)
+        for index in range(200):
+            machine.fs.create_file(f"/tmp/f{index}")
+
+    def test_create_file_enospc_maps_to_win32_code(self, winnt):
+        from repro.core.context import TestContext
+        from repro.win32 import errors as W
+
+        machine = Machine(winnt, fs_max_files=1)
+        ctx = TestContext(machine, machine.spawn_process())
+        handle = ctx.win32.CreateFileA(
+            ctx.cstring(b"/tmp/full.txt"), 0xC000_0000, 0, 0, 2, 0x80, 0
+        )
+        assert handle == 0xFFFF_FFFF
+        assert ctx.process.last_error == W.ERROR_DISK_FULL
+
+    def test_fopen_enospc_maps_to_errno(self, linux):
+        from repro.core.context import TestContext
+        from repro.libc import errno_codes as E
+
+        machine = Machine(linux, fs_max_files=1)
+        ctx = TestContext(machine, machine.spawn_process())
+        assert ctx.crt.fopen(ctx.cstring(b"/tmp/full"), ctx.cstring(b"w")) == 0
+        assert ctx.process.errno == E.ENOSPC
+
+
+class TestApplyLoad:
+    def test_fills_disk_to_headroom(self, winnt):
+        machine = Machine(winnt, fs_max_files=32)
+        _apply_load(machine)
+        assert machine.fs._file_count == 28  # capacity - headroom
+
+    def test_prestresses_arena_on_9x(self, win98):
+        machine = Machine(win98, fs_max_files=32)
+        _apply_load(machine)
+        assert machine.corruption_level == win98.corruption_tolerance - 1
+
+    def test_no_arena_stress_on_nt(self, winnt):
+        machine = Machine(winnt, fs_max_files=32)
+        _apply_load(machine)
+        assert machine.corruption_level == 0
+
+
+class TestLoadComparison:
+    @pytest.fixture(scope="class")
+    def report98(self, win98):
+        return run_load_comparison(
+            win98, ["strncpy", "CreateFileA", "GetThreadContext"], cap=100
+        )
+
+    def test_interference_crash_accelerates(self, report98):
+        strncpy = next(d for d in report98.deltas if d.mut_name == "strncpy")
+        assert strncpy.crashed_unloaded and strncpy.crashed_loaded
+        assert strncpy.crash_case_loaded < strncpy.crash_case_unloaded
+
+    def test_immediate_crash_unchanged(self, report98):
+        gtc = next(d for d in report98.deltas if d.mut_name == "GetThreadContext")
+        assert gtc.crashed_unloaded and gtc.crashed_loaded
+        assert not gtc.crash_appeared_under_load
+
+    def test_error_rate_rises_for_file_creators(self, report98):
+        cf = next(d for d in report98.deltas if d.mut_name == "CreateFileA")
+        assert cf.loaded["pass_error"] >= cf.unloaded["pass_error"]
+
+    def test_nt_survives_load(self, winnt):
+        report = run_load_comparison(
+            winnt, ["strncpy", "CreateFileA", "GetThreadContext"], cap=100
+        )
+        assert not any(d.crashed_loaded for d in report.deltas)
+
+    def test_render(self, report98):
+        text = report98.render()
+        assert "Heavy-load comparison" in text
+        assert "strncpy" in text

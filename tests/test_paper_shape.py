@@ -1,0 +1,273 @@
+"""Integration tests: the paper's headline findings must hold on a full
+campaign (session-scoped, cap = BALLISTA_TEST_CAP, default 120).
+
+These are the acceptance criteria from DESIGN.md section 5.
+"""
+
+import pytest
+
+from repro.analysis.groups import C_GROUPS, SYSCALL_GROUPS
+from repro.analysis.rates import group_rates, summarize
+from repro.analysis.silent import estimate_silent_rates
+from repro.core.crash_scale import CaseCode
+
+
+def crashed_names(results, variant, api=None):
+    return {
+        r.mut_name
+        for r in results.catastrophic_muts(variant)
+        if api is None or r.api == api
+    }
+
+
+class TestCatastrophicFindings:
+    """Paper section 4 and Table 3."""
+
+    def test_nt_2000_linux_never_crash(self, session_results):
+        for variant in ("winnt", "win2000", "linux"):
+            assert crashed_names(session_results, variant) == set(), variant
+
+    def test_win98_catastrophic_list_exact(self, session_results):
+        # "Five of the Win32 API system calls ... plus two C library
+        # functions, fwrite() and strncpy(), caused Catastrophic
+        # failures ... in Windows 98."
+        assert crashed_names(session_results, "win98") == {
+            "DuplicateHandle",
+            "GetFileInformationByHandle",
+            "GetThreadContext",
+            "MsgWaitForMultipleObjects",
+            "MsgWaitForMultipleObjectsEx",
+            "fwrite",
+            "strncpy",
+        }
+
+    def test_win98se_adds_createthread_drops_fwrite(self, session_results):
+        names = crashed_names(session_results, "win98se")
+        assert "CreateThread" in names
+        assert "fwrite" not in names
+        assert "strncpy" in names
+
+    def test_win95_specific_crashes(self, session_results):
+        names = crashed_names(session_results, "win95")
+        # 95 lacks MsgWaitForMultipleObjectsEx and adds three of its own.
+        assert "MsgWaitForMultipleObjectsEx" not in names
+        assert {"FileTimeToSystemTime", "HeapCreate", "ReadProcessMemory"} <= names
+        assert "strncpy" not in names
+        assert "fwrite" not in names
+
+    def test_wince_ten_syscall_crashes(self, session_results):
+        names = crashed_names(session_results, "wince", api="win32")
+        assert names == {
+            "CreateThread",
+            "GetThreadContext",
+            "InterlockedDecrement",
+            "InterlockedExchange",
+            "InterlockedIncrement",
+            "MsgWaitForMultipleObjects",
+            "MsgWaitForMultipleObjectsEx",
+            "ReadProcessMemory",
+            "SetThreadContext",
+            "VirtualAlloc",
+        }
+
+    def test_wince_c_library_crashes_via_bad_file_pointer(self, session_results):
+        from repro.libc.registration import UNICODE_TWIN_OF
+
+        names = crashed_names(session_results, "wince", api="libc")
+        merged = {UNICODE_TWIN_OF.get(n, n) for n in names}
+        # "18 C library functions ... 17 of which failed due to the same
+        # invalid C file pointer"
+        assert len(merged) == 18
+        assert "strncpy" in merged  # via the UNICODE _tcsncpy
+        file_pointer_takers = merged - {"strncpy"}
+        assert len(file_pointer_takers) == 17
+
+    def test_starred_crashes_are_interference(self, session_results):
+        # Table 3's '*' entries need accumulated state.
+        for variant, name in (
+            ("win98", "DuplicateHandle"),
+            ("win98", "strncpy"),
+            ("win98se", "CreateThread"),
+            ("wince", "fread"),
+        ):
+            row = next(
+                r
+                for r in session_results.catastrophic_muts(variant)
+                if r.mut_name == name
+            )
+            assert row.interference_crash, (variant, name)
+
+    def test_unstarred_crashes_are_immediate(self, session_results):
+        for variant, name in (
+            ("win98", "GetThreadContext"),
+            ("win95", "HeapCreate"),
+            ("wince", "fclose"),
+        ):
+            row = next(
+                r
+                for r in session_results.catastrophic_muts(variant)
+                if r.mut_name == name
+            )
+            assert not row.interference_crash, (variant, name)
+
+
+class TestAbortRateShape:
+    """Paper Figure 1 / Table 2 orderings."""
+
+    def test_linux_syscalls_more_graceful_than_nt(self, session_results):
+        linux = summarize(session_results, "linux")
+        nt = summarize(session_results, "winnt")
+        assert linux.syscall_abort_rate < nt.syscall_abort_rate / 2
+
+    def test_nt_c_library_more_robust_than_glibc(self, session_results):
+        linux = summarize(session_results, "linux")
+        nt = summarize(session_results, "winnt")
+        assert nt.c_abort_rate < linux.c_abort_rate
+
+    def test_c_char_contrast(self, session_results):
+        # "Linux has more than a 30% Abort failure rate for C character
+        # operations, whereas all the Windows systems have zero percent".
+        linux = group_rates(session_results, "linux")["C char"]
+        assert linux.abort_rate > 0.30
+        for variant in ("win95", "win98", "win98se", "winnt", "win2000", "wince"):
+            assert group_rates(session_results, variant)["C char"].abort_rate == 0.0
+
+    def test_linux_lower_in_eight_groups_higher_in_four(self, session_results):
+        linux = group_rates(session_results, "linux")
+        nt = group_rates(session_results, "winnt")
+        higher = {
+            g
+            for g in SYSCALL_GROUPS + C_GROUPS
+            if linux[g].abort_rate > nt[g].abort_rate
+        }
+        # "The four groupings for which Linux Abort failures are higher
+        # are entirely within the C library."
+        assert higher == {
+            "C char",
+            "C file I/O management",
+            "C memory management",
+            "C stream I/O",
+        }
+
+    def test_ce_aborts_below_nt(self, session_results):
+        ce = summarize(session_results, "wince")
+        nt = summarize(session_results, "winnt")
+        assert ce.syscall_abort_rate < nt.syscall_abort_rate
+
+    def test_nt_and_2000_behave_alike(self, session_results):
+        nt = summarize(session_results, "winnt")
+        w2k = summarize(session_results, "win2000")
+        assert nt.syscall_abort_rate == pytest.approx(
+            w2k.syscall_abort_rate, abs=0.02
+        )
+
+    def test_9x_family_behaves_alike(self, session_results):
+        w98 = summarize(session_results, "win98")
+        w98se = summarize(session_results, "win98se")
+        assert w98.syscall_abort_rate == pytest.approx(
+            w98se.syscall_abort_rate, abs=0.02
+        )
+
+
+class TestCeExceptionTypes:
+    def test_only_the_papers_three_exceptions_appear_on_ce(self, session_results):
+        """'The only exceptions observed were
+        EXCEPTION_ACCESS_VIOLATION, EXCEPTION_DATATYPE_MISALIGNMENT, and
+        EXCEPTION_STACK_OVERFLOW.' (paper section 3.2)"""
+        observed = set()
+        for row in session_results.for_variant("wince"):
+            for index, code in enumerate(row.codes):
+                if code == int(CaseCode.ABORT):
+                    observed.add(row.details.get(index, "?"))
+        assert observed <= {
+            "EXCEPTION_ACCESS_VIOLATION",
+            "EXCEPTION_DATATYPE_MISALIGNMENT",
+            "EXCEPTION_STACK_OVERFLOW",
+        }
+        assert "EXCEPTION_ACCESS_VIOLATION" in observed
+        # The ARM/SH3 alignment fault is CE-specific: no desktop variant
+        # ever reports it.
+        for variant in ("win95", "win98", "winnt", "win2000"):
+            for row in session_results.for_variant(variant):
+                assert "EXCEPTION_DATATYPE_MISALIGNMENT" not in set(
+                    row.details.values()
+                ), (variant, row.mut_name)
+
+    def test_misalignment_observed_on_ce(self, session_results):
+        observed = set()
+        for row in session_results.for_variant("wince"):
+            observed |= set(row.details.values())
+        assert "EXCEPTION_DATATYPE_MISALIGNMENT" in observed
+
+
+class TestRestartRates:
+    def test_restarts_rare_everywhere(self, session_results):
+        # "Restart failures were relatively rare for all the OS
+        # implementations tested."
+        for variant in session_results.variants():
+            summary = summarize(session_results, variant)
+            assert summary.overall_restart_rate < 0.01, variant
+
+
+class TestTestedCounts:
+    """Paper Table 1's tested-call counts."""
+
+    def test_counts_match_table1(self, session_results):
+        expected = {
+            "linux": (91, 94),
+            "win95": (133, 94),
+            "win98": (143, 94),
+            "win98se": (143, 94),
+            "winnt": (143, 94),
+            "win2000": (143, 94),
+            "wince": (71, 82),
+        }
+        for variant, (syscalls, c_functions) in expected.items():
+            summary = summarize(session_results, variant)
+            assert summary.syscalls_tested == syscalls, variant
+            assert summary.c_functions_tested == c_functions, variant
+
+    def test_wince_parenthetical_counts(self, session_results):
+        both = summarize(session_results, "wince", ce_counting="both")
+        assert both.c_functions_tested == 108
+        assert both.muts_tested == 179
+
+    def test_ce_has_no_c_time_group(self, session_results):
+        rates = group_rates(session_results, "wince")
+        assert rates["C time"].muts == 0
+
+
+class TestSilentVoting:
+    """Paper Figure 2: estimated Silent failure rates by voting."""
+
+    @pytest.fixture(scope="class")
+    def estimates(self, session_results):
+        return estimate_silent_rates(session_results)
+
+    def test_9x_silent_rates_exceed_nt_family_on_syscalls(self, estimates):
+        def syscall_silent(variant):
+            est = estimates[variant]
+            rates = [
+                r
+                for key, r in est.per_mut.items()
+                if est.mut_groups[key] in SYSCALL_GROUPS
+            ]
+            return sum(rates) / len(rates)
+
+        for old in ("win95", "win98", "win98se"):
+            for new in ("winnt", "win2000"):
+                assert syscall_silent(old) > 2 * syscall_silent(new), (old, new)
+
+    def test_voting_estimate_close_to_ground_truth_ordering(self, estimates):
+        # The estimator must at least order the families correctly
+        # against the ground truth this simulation knows.
+        truth98 = estimates["win98"].overall_truth_rate()
+        truthnt = estimates["winnt"].overall_truth_rate()
+        assert truth98 > truthnt
+        assert estimates["win98"].overall_rate() > estimates["winnt"].overall_rate()
+
+    def test_estimator_is_bounded_by_pass_rate(self, estimates, session_results):
+        for variant in ("win95", "winnt"):
+            for key, rate in estimates[variant].per_mut.items():
+                row = session_results.get(variant, key[1], api=key[0])
+                assert rate <= row.pass_no_error_rate + 1e-9

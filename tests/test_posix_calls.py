@@ -1,0 +1,461 @@
+"""Unit tests for the POSIX system-call layer (the EFAULT discipline)."""
+
+import pytest
+
+from repro.core.context import TestContext
+from repro.libc import errno_codes as E
+from repro.posix.linux import LINUX
+from repro.sim.errors import FatalSignal, TaskHang
+from repro.sim.machine import Machine
+
+
+@pytest.fixture()
+def px():
+    machine = Machine(LINUX)
+    ctx = TestContext(machine, machine.spawn_process())
+    return ctx, ctx.posix
+
+
+def open_fd(ctx, api, content=b"posix file data", flags=0):
+    path = ctx.existing_file(content)
+    return api.open(ctx.cstring(path.encode()), flags, 0o644)
+
+
+class TestIoPrimitives:
+    def test_open_read_close(self, px):
+        ctx, api = px
+        fd = open_fd(ctx, api)
+        assert fd >= 3
+        out = ctx.buffer(32)
+        assert api.read(fd, out, 5) == 5
+        assert ctx.mem.read(out, 5) == b"posix"
+        assert api.close(fd) == 0
+        assert api.close(fd) == -1
+        assert ctx.process.errno == E.EBADF
+
+    def test_read_bad_buffer_is_efault_not_fault(self, px):
+        ctx, api = px
+        fd = open_fd(ctx, api)
+        assert api.read(fd, 0, 10) == -1
+        assert ctx.process.errno == E.EFAULT  # the Linux syscall grace
+
+    def test_write_bad_buffer_is_efault(self, px):
+        ctx, api = px
+        fd = open_fd(ctx, api, flags=0o1)
+        assert api.write(fd, 0xDEAD_0000, 10) == -1
+        assert ctx.process.errno == E.EFAULT
+
+    def test_write_appends(self, px):
+        ctx, api = px
+        path = ctx.existing_file(b"")
+        fd = api.open(ctx.cstring(path.encode()), 0o1, 0)
+        src = ctx.buffer(4, b"data")
+        assert api.write(fd, src, 4) == 4
+        assert bytes(ctx.machine.fs.lookup(path).data) == b"data"
+
+    def test_read_bad_fd(self, px):
+        ctx, api = px
+        assert api.read(-1, ctx.buffer(8), 8) == -1
+        assert ctx.process.errno == E.EBADF
+        assert api.read(9999, ctx.buffer(8), 8) == -1
+
+    def test_dup_and_dup2_share_offset(self, px):
+        ctx, api = px
+        fd = open_fd(ctx, api)
+        dup = api.dup(fd)
+        out = ctx.buffer(8)
+        api.read(fd, out, 5)
+        api.read(dup, out, 1)
+        assert ctx.mem.read(out, 1) == b" "  # continued where fd left off
+
+    def test_dup2_replaces_target(self, px):
+        ctx, api = px
+        fd = open_fd(ctx, api)
+        other = open_fd(ctx, api)
+        assert api.dup2(fd, other) == other
+        assert api.dup2(fd, fd) == fd
+        assert api.dup2(fd, -1) == -1
+
+    def test_lseek(self, px):
+        ctx, api = px
+        fd = open_fd(ctx, api, b"0123456789")
+        assert api.lseek(fd, 4, 0) == 4
+        assert api.lseek(fd, -2, 2) == 8
+        assert api.lseek(fd, 0, 9) == -1
+        assert ctx.process.errno == E.EINVAL
+
+    def test_pipe_roundtrip(self, px):
+        ctx, api = px
+        fds = ctx.buffer(8)
+        assert api.pipe(fds) == 0
+        read_fd = ctx.mem.read_u32(fds)
+        write_fd = ctx.mem.read_u32(fds + 4)
+        src = ctx.buffer(4, b"ping")
+        assert api.write(write_fd, src, 4) == 4
+        out = ctx.buffer(4)
+        assert api.read(read_fd, out, 4) == 4
+        assert ctx.mem.read(out, 4) == b"ping"
+
+    def test_pipe_bad_array_is_efault(self, px):
+        ctx, api = px
+        assert api.pipe(0) == -1
+        assert ctx.process.errno == E.EFAULT
+
+    def test_fsync_on_pipe_is_einval(self, px):
+        ctx, api = px
+        fds = ctx.buffer(8)
+        api.pipe(fds)
+        assert api.fsync(ctx.mem.read_u32(fds)) == -1
+        assert ctx.process.errno == E.EINVAL
+
+    def test_fcntl_dupfd_and_getfl(self, px):
+        ctx, api = px
+        fd = open_fd(ctx, api)
+        assert api.fcntl(fd, 0, 10) >= 10  # F_DUPFD
+        assert api.fcntl(fd, 3, 0) == 0  # F_GETFL
+        assert api.fcntl(fd, 99, 0) == -1
+
+
+class TestFileSystemCalls:
+    def test_open_create_excl(self, px):
+        ctx, api = px
+        name = ctx.cstring(b"/tmp/newfile")
+        fd = api.open(name, 0o100 | 0o200 | 0o2, 0o644)
+        assert fd >= 3
+        assert api.open(name, 0o100 | 0o200 | 0o2, 0o644) == -1
+        assert ctx.process.errno == E.EEXIST
+
+    def test_open_bogus_flags_einval(self, px):
+        ctx, api = px
+        assert api.open(ctx.cstring(b"/tmp/x"), 0x7F00_0000, 0) == -1
+        assert ctx.process.errno == E.EINVAL
+
+    def test_open_bad_path_pointer_is_efault(self, px):
+        ctx, api = px
+        assert api.open(0, 0, 0) == -1
+        assert ctx.process.errno == E.EFAULT
+
+    def test_stat_fills_buffer(self, px):
+        ctx, api = px
+        path = ctx.existing_file(b"12345")
+        buf = ctx.buffer(64)
+        assert api.stat(ctx.cstring(path.encode()), buf) == 0
+        assert ctx.mem.read_u32(buf + 12) == 5  # st_size
+
+    def test_stat_small_buffer_is_efault(self, px):
+        ctx, api = px
+        path = ctx.existing_file()
+        assert api.stat(ctx.cstring(path.encode()), ctx.buffer(16)) == -1
+        assert ctx.process.errno == E.EFAULT
+
+    def test_fstat(self, px):
+        ctx, api = px
+        fd = open_fd(ctx, api)
+        assert api.fstat(fd, ctx.buffer(64)) == 0
+        assert api.fstat(99, ctx.buffer(64)) == -1
+
+    def test_link_and_unlink(self, px):
+        ctx, api = px
+        path = ctx.existing_file(b"shared")
+        assert api.link(ctx.cstring(path.encode()), ctx.cstring(b"/tmp/hard")) == 0
+        assert api.unlink(ctx.cstring(path.encode())) == 0
+        assert bytes(ctx.machine.fs.lookup("/tmp/hard").data) == b"shared"
+
+    def test_symlink_readlink(self, px):
+        ctx, api = px
+        assert api.symlink(ctx.cstring(b"/tmp/target"), ctx.cstring(b"/tmp/lnk")) == 0
+        out = ctx.buffer(64)
+        n = api.readlink(ctx.cstring(b"/tmp/lnk"), out, 64)
+        assert ctx.mem.read(out, n) == b"/tmp/target"
+
+    def test_readlink_on_regular_file_einval(self, px):
+        ctx, api = px
+        path = ctx.existing_file()
+        assert api.readlink(ctx.cstring(path.encode()), ctx.buffer(8), 8) == -1
+        assert ctx.process.errno == E.EINVAL
+
+    def test_mkdir_rmdir_chdir_getcwd(self, px):
+        ctx, api = px
+        assert api.mkdir(ctx.cstring(b"/tmp/pd"), 0o755) == 0
+        assert api.chdir(ctx.cstring(b"/tmp/pd")) == 0
+        out = ctx.buffer(64)
+        assert api.getcwd(out, 64) == out
+        assert ctx.mem.read_cstring(out) == b"/tmp/pd"
+        api.chdir(ctx.cstring(b"/tmp"))
+        assert api.rmdir(ctx.cstring(b"/tmp/pd")) == 0
+
+    def test_getcwd_small_buffer_erange(self, px):
+        ctx, api = px
+        assert api.getcwd(ctx.buffer(1), 1) == 0
+        assert ctx.process.errno == E.ERANGE
+
+    def test_access_modes(self, px):
+        ctx, api = px
+        path = ctx.existing_file()
+        encoded = ctx.cstring(path.encode())
+        assert api.access(encoded, 0) == 0
+        node = ctx.machine.fs.lookup(path)
+        node.read_only = True
+        assert api.access(encoded, 0o2) == -1
+        assert ctx.process.errno == E.EACCES
+
+    def test_chmod_fchmod(self, px):
+        ctx, api = px
+        path = ctx.existing_file()
+        assert api.chmod(ctx.cstring(path.encode()), 0o600) == 0
+        assert ctx.machine.fs.lookup(path).mode == 0o600
+
+    def test_chown_unprivileged_eperm(self, px):
+        ctx, api = px
+        path = ctx.existing_file()
+        assert api.chown(ctx.cstring(path.encode()), 0, 0) == -1
+        assert ctx.process.errno == E.EPERM
+        assert api.chown(ctx.cstring(path.encode()), ctx.process.uid, -1) == 0
+
+    def test_truncate_ftruncate(self, px):
+        ctx, api = px
+        path = ctx.existing_file(b"0123456789")
+        assert api.truncate(ctx.cstring(path.encode()), 4) == 0
+        assert ctx.machine.fs.lookup(path).size == 4
+        fd = api.open(ctx.cstring(path.encode()), 0o2, 0)
+        assert api.ftruncate(fd, -1) == -1
+
+    def test_umask(self, px):
+        ctx, api = px
+        old = api.umask(0o027)
+        assert old == 0o022
+        assert api.umask(0o022) == 0o027
+
+    def test_mkfifo_and_mknod(self, px):
+        ctx, api = px
+        assert api.mkfifo(ctx.cstring(b"/tmp/fifo"), 0o644) == 0
+        assert ctx.machine.fs.lookup("/tmp/fifo").mode & 0o010000
+        assert api.mknod(ctx.cstring(b"/tmp/nod"), 0o100644, 0) == 0
+        assert api.mknod(ctx.cstring(b"/tmp/dev"), 0o020644, 5) == -1  # device
+
+    def test_statfs(self, px):
+        ctx, api = px
+        buf = ctx.buffer(64)
+        assert api.statfs(ctx.cstring(b"/tmp"), buf) == 0
+        assert ctx.mem.read_u32(buf) == 0xEF53
+
+    def test_pathconf(self, px):
+        ctx, api = px
+        assert api.pathconf(ctx.cstring(b"/tmp"), 0) == 255
+        assert api.pathconf(ctx.cstring(b"/tmp"), 99) == -1
+
+
+class TestProcessCalls:
+    def test_fork_then_wait(self, px):
+        ctx, api = px
+        child = api.fork()
+        assert child > 0
+        status = ctx.buffer(8)
+        assert api.wait(status) == child
+        assert api.wait(status) == -1
+        assert ctx.process.errno == E.ECHILD
+
+    def test_waitpid_wnohang(self, px):
+        ctx, api = px
+        assert api.waitpid(-1, 0, 1) == -1  # no children yet
+        child = api.fork()
+        assert api.waitpid(child, 0, 0) == child
+
+    def test_kill_sig0_is_permission_probe(self, px):
+        ctx, api = px
+        assert api.kill(ctx.process.pid, 0) == 0
+
+    def test_kill_self_with_fatal_signal_aborts(self, px):
+        ctx, api = px
+        with pytest.raises(FatalSignal) as info:
+            api.kill(ctx.process.pid, 15)
+        assert info.value.posix_signal == "SIGTERM"
+
+    def test_kill_invalid_signal(self, px):
+        ctx, api = px
+        assert api.kill(ctx.process.pid, 999) == -1
+        assert ctx.process.errno == E.EINVAL
+
+    def test_kill_init_is_eperm(self, px):
+        ctx, api = px
+        assert api.kill(1, 15) == -1
+        assert ctx.process.errno == E.EPERM
+
+    def test_execve_validates_image(self, px):
+        ctx, api = px
+        path = ctx.existing_file(b"#!/bin/sh")
+        ctx.machine.fs.lookup(path).mode = 0o755
+        argv = ctx.buffer(8)
+        assert api.execve(ctx.cstring(path.encode()), argv, 0) == 0
+
+    def test_execve_not_executable_is_eacces(self, px):
+        ctx, api = px
+        path = ctx.existing_file()
+        assert api.execv(ctx.cstring(path.encode()), 0) == -1
+        assert ctx.process.errno == E.EACCES
+
+    def test_execve_bad_argv_is_efault(self, px):
+        ctx, api = px
+        path = ctx.existing_file()
+        ctx.machine.fs.lookup(path).mode = 0o755
+        assert api.execve(ctx.cstring(path.encode()), 0xDEAD_0000, 0) == -1
+        assert ctx.process.errno == E.EFAULT
+
+    def test_signal_handlers(self, px):
+        ctx, api = px
+        assert api.signal(15, 1) == 0
+        assert api.signal(9, 1) == -1  # SIGKILL cannot be caught
+        assert api.sigaction(15, 0, ctx.buffer(16)) == 0
+        assert api.sigaction(15, 0xDEAD_0000, 0) == -1
+        assert ctx.process.errno == E.EFAULT
+
+    def test_sigprocmask_and_pending(self, px):
+        ctx, api = px
+        new = ctx.buffer(8)
+        old = ctx.buffer(8)
+        assert api.sigprocmask(0, new, old) == 0
+        assert api.sigpending(ctx.buffer(8)) == 0
+        assert api.sigpending(0) == -1
+
+    def test_identity_calls(self, px):
+        ctx, api = px
+        assert api.getpid() == ctx.process.pid
+        assert api.getppid() == 1
+        assert api.getpgrp() == ctx.process.pid
+        assert api.setpgid(0, 0) == 0
+        assert api.setsid() == -1
+
+    def test_priorities(self, px):
+        ctx, api = px
+        assert api.nice(5) == 5
+        assert api.getpriority(0, 0) == 0
+        assert api.getpriority(9, 0) == -1
+        assert api.setpriority(0, 0, 5) == 0
+        assert api.setpriority(0, 0, -5) == -1  # needs privilege
+
+    def test_sleep_and_usleep(self, px):
+        ctx, api = px
+        ctx.machine.clock.begin_call("sleep")
+        assert api.sleep(2) == 0
+        assert api.usleep(2_000_000) == -1  # >= 1e6 is EINVAL
+        with pytest.raises(TaskHang):
+            api.sleep(0x7FFF_FFFF)
+
+    def test_itimers(self, px):
+        ctx, api = px
+        assert api.getitimer(0, ctx.buffer(16)) == 0
+        assert api.getitimer(9, ctx.buffer(16)) == -1
+        assert api.setitimer(0, ctx.buffer(16), 0) == 0
+        assert api.setitimer(0, 0, 0) == -1  # EFAULT on new_value
+
+
+class TestEnvironmentCalls:
+    def test_uids_and_gids(self, px):
+        ctx, api = px
+        assert api.getuid() == 1000
+        assert api.setuid(1000) == 0
+        assert api.setuid(0) == -1
+        assert ctx.process.errno == E.EPERM
+        assert api.setgid(1000) == 0
+
+    def test_getgroups(self, px):
+        ctx, api = px
+        assert api.getgroups(0, 0) == 1
+        out = ctx.buffer(8)
+        assert api.getgroups(4, out) == 1
+        assert ctx.mem.read_u32(out) == 1000
+        assert api.setgroups(1, out) == -1  # privileged
+
+    def test_uname(self, px):
+        ctx, api = px
+        buf = ctx.buffer(512)
+        assert api.uname(buf) == 0
+        assert ctx.mem.read_cstring(buf) == b"Linux"
+        assert api.uname(0) == -1
+        assert ctx.process.errno == E.EFAULT
+
+    def test_hostname(self, px):
+        ctx, api = px
+        out = ctx.buffer(32)
+        assert api.gethostname(out, 32) == 0
+        assert ctx.mem.read_cstring(out) == b"ballista"
+        assert api.gethostname(out, 2) == -1
+        assert api.sethostname(ctx.cstring(b"new"), 3) == -1  # privileged
+
+    def test_rlimits(self, px):
+        ctx, api = px
+        buf = ctx.buffer(8)
+        assert api.getrlimit(0, buf) == 0
+        assert api.getrlimit(99, buf) == -1
+        ctx.mem.write_u32(buf, 10)
+        ctx.mem.write_u32(buf + 4, 5)
+        assert api.setrlimit(0, buf) == -1  # soft > hard
+
+    def test_times_and_sysconf(self, px):
+        ctx, api = px
+        assert api.times(ctx.buffer(16)) >= 0
+        assert api.sysconf(8) == 4096
+        assert api.sysconf(77) == -1
+
+
+class TestMemoryCalls:
+    def test_mmap_anonymous(self, px):
+        ctx, api = px
+        addr = api.mmap(0, 4096, 0x3, 0x22, -1, 0)
+        assert addr not in (0, 0xFFFF_FFFF)
+        ctx.mem.write(addr, b"mapped")
+
+    def test_mmap_file_backed(self, px):
+        ctx, api = px
+        fd = open_fd(ctx, api, b"mapped file content")
+        addr = api.mmap(0, 10, 0x1, 0x02, fd, 0)
+        assert ctx.mem.read(addr, 6) == b"mapped"
+
+    def test_mmap_invalid_args(self, px):
+        ctx, api = px
+        assert api.mmap(0, 0, 0x1, 0x02, -1, 0) == 0xFFFF_FFFF
+        assert api.mmap(0, 4096, 0x1, 0, -1, 0) == 0xFFFF_FFFF  # no MAP_* kind
+        assert api.mmap(0, 4096, 0x1, 0x22, -1, 100) == 0xFFFF_FFFF  # offset
+        assert api.mmap(0, 4096, 0x1, 0x02, 99, 0) == 0xFFFF_FFFF  # bad fd
+
+    def test_munmap(self, px):
+        ctx, api = px
+        addr = api.mmap(0, 4096, 0x3, 0x22, -1, 0)
+        assert api.munmap(addr, 4096) == 0
+        assert api.munmap(addr, 4096) == -1
+
+    def test_mprotect(self, px):
+        ctx, api = px
+        addr = api.mmap(0, 4096, 0x3, 0x22, -1, 0)
+        assert api.mprotect(addr, 4096, 0x1) == 0
+        from repro.sim.errors import AccessViolation
+
+        with pytest.raises(AccessViolation):
+            ctx.mem.write(addr, b"x")
+
+    def test_mlock_family(self, px):
+        ctx, api = px
+        addr = api.mmap(0, 4096, 0x3, 0x22, -1, 0)
+        assert api.mlock(addr, 4096) == 0
+        assert api.munlock(addr, 4096) == 0
+        assert api.mlock(0, 16) == -1
+        assert api.mlockall(0x1) == 0
+        assert api.mlockall(0x8) == -1
+        assert api.munlockall() == 0
+
+    def test_brk_and_sbrk(self, px):
+        ctx, api = px
+        base = api.brk(0)
+        assert base != 0
+        assert api.sbrk(0x1000) == base
+        assert api.brk(0) == base + 0x1000
+        assert api.brk(base - 1) == -1
+
+    def test_shm(self, px):
+        ctx, api = px
+        shmid = api.shmget(42, 4096, 0)
+        assert shmid > 0
+        addr = api.shmat(shmid, 0, 0)
+        assert addr not in (0, 0xFFFF_FFFF)
+        assert api.shmat(999, 0, 0) == 0xFFFF_FFFF
+        assert api.shmget(1, 0, 0) == -1

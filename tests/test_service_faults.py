@@ -1,0 +1,160 @@
+"""Fault-injection tests for the testing service: a dependable testing
+harness must itself handle broken peers, truncated records, and dead
+links."""
+
+import threading
+
+import pytest
+
+from repro.service import protocol as P
+from repro.service.rpc import (
+    ACCEPT_SYSTEM_ERR,
+    LoopbackTransport,
+    RpcClient,
+    RpcError,
+    SocketTransport,
+    serve_connection,
+)
+from repro.service.xdr import XdrDecoder, XdrEncoder
+
+
+def spawn_server(handlers):
+    server_end, client_end = LoopbackTransport.pair()
+    thread = threading.Thread(
+        target=serve_connection, args=(server_end, handlers), daemon=True
+    )
+    thread.start()
+    return RpcClient(client_end), client_end
+
+
+class TestServerLoopResilience:
+    def test_handler_crash_returns_system_err_and_survives(self):
+        calls = []
+
+        def fragile(dec):
+            calls.append(1)
+            if len(calls) == 1:
+                raise RuntimeError("handler bug")
+            return XdrEncoder().u32(7).bytes()
+
+        client, _ = spawn_server({1: fragile})
+        with pytest.raises(RpcError, match=f"accept state {ACCEPT_SYSTEM_ERR}"):
+            client.call(1)
+        # The connection is still serviceable after the handler crash.
+        assert client.call(1).u32() == 7
+
+    def test_garbage_record_is_ignored(self):
+        def ok(dec):
+            return b""
+
+        server_end, client_end = LoopbackTransport.pair()
+        thread = threading.Thread(
+            target=serve_connection, args=(server_end, {1: ok}), daemon=True
+        )
+        thread.start()
+        client_end.send_record(b"\x00\x01")  # unparseable: silently dropped
+        client = RpcClient(client_end)
+        client.call(1)  # loop survived
+
+    def test_reply_to_wrong_xid_detected(self):
+        server_end, client_end = LoopbackTransport.pair()
+
+        def rogue():
+            server_end.recv_record()
+            from repro.service.rpc import encode_reply
+
+            server_end.send_record(encode_reply(0xBEEF, 0))
+
+        threading.Thread(target=rogue, daemon=True).start()
+        client = RpcClient(client_end)
+        with pytest.raises(RpcError, match="xid mismatch"):
+            client.call(1)
+
+
+class TestSocketFraming:
+    def test_multi_fragment_records_reassembled(self):
+        import socket
+        import struct
+
+        from repro.service.rpc import LAST_FRAGMENT
+
+        a, b = socket.socketpair()
+        receiver = SocketTransport(a)
+        # Send "hello world" as two fragments by hand.
+        b.sendall(struct.pack(">I", 6) + b"hello ")
+        b.sendall(struct.pack(">I", LAST_FRAGMENT | 5) + b"world")
+        assert receiver.recv_record() == b"hello world"
+        a.close()
+        b.close()
+
+    def test_connection_closed_mid_record(self):
+        import socket
+        import struct
+
+        a, b = socket.socketpair()
+        receiver = SocketTransport(a)
+        b.sendall(struct.pack(">I", 0x8000_0010))  # promises 16 bytes
+        b.sendall(b"only8byt")
+        b.close()
+        with pytest.raises(RpcError, match="closed mid-record"):
+            receiver.recv_record()
+        a.close()
+
+    def test_implausible_fragment_length_rejected(self):
+        import socket
+        import struct
+
+        a, b = socket.socketpair()
+        receiver = SocketTransport(a)
+        b.sendall(struct.pack(">I", 0x8400_0000))  # 64 MiB fragment
+        with pytest.raises(RpcError, match="implausible"):
+            receiver.recv_record()
+        a.close()
+        b.close()
+
+
+class TestProtocolRobustness:
+    def test_hello_with_unknown_variant_is_system_err(self, registry, winnt):
+        from repro.service.server import BallistaServer
+
+        server = BallistaServer([winnt], registry=registry, cap=10)
+        client, _ = spawn_server(server.handlers())
+        with pytest.raises(RpcError, match=f"accept state {ACCEPT_SYSTEM_ERR}"):
+            client.call(P.PROC_HELLO, P.encode_hello("beos"))
+
+    def test_get_plan_for_unknown_mut_is_system_err(self, registry, winnt):
+        from repro.service.server import BallistaServer
+
+        server = BallistaServer([winnt], registry=registry, cap=10)
+        client, _ = spawn_server(server.handlers())
+        with pytest.raises(RpcError):
+            client.call(P.PROC_GET_PLAN, P.encode_get_plan("win32", "NopeA"))
+
+    def test_duplicate_report_is_system_err(self, registry, winnt):
+        from repro.service.server import BallistaServer
+
+        server = BallistaServer([winnt], registry=registry, cap=10)
+        client, _ = spawn_server(server.handlers())
+        body = P.encode_report(
+            "winnt", "win32", "CloseHandle", b"\x00", b"\x00", False, False, 1,
+            [0],
+        )
+        client.call(P.PROC_REPORT, body)
+        with pytest.raises(RpcError):
+            client.call(P.PROC_REPORT, body)  # duplicate result rejected
+
+    def test_report_with_garbage_body_is_garbage_args(self, registry, winnt):
+        from repro.service.rpc import ACCEPT_GARBAGE_ARGS
+        from repro.service.server import BallistaServer
+
+        server = BallistaServer([winnt], registry=registry, cap=10)
+        client, _ = spawn_server(server.handlers())
+        with pytest.raises(RpcError, match=f"accept state {ACCEPT_GARBAGE_ARGS}"):
+            client.call(P.PROC_REPORT, b"\x00\x00")
+
+    def test_decoder_rejects_truncated_plan(self):
+        data = P.encode_plan_reply([("A", "B")])
+        from repro.service.xdr import XdrError
+
+        with pytest.raises(XdrError):
+            P.decode_plan_reply(XdrDecoder(data[:-6]))

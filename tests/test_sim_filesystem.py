@@ -1,0 +1,244 @@
+"""Unit tests for the in-memory filesystem."""
+
+import pytest
+
+from repro.sim.filesystem import FileSystem, FileSystemError, Pipe
+
+
+@pytest.fixture()
+def fs() -> FileSystem:
+    filesystem = FileSystem()
+    filesystem.mkdir("/tmp")
+    return filesystem
+
+
+@pytest.fixture()
+def winfs() -> FileSystem:
+    filesystem = FileSystem(case_insensitive=True)
+    filesystem.mkdir("/tmp")
+    return filesystem
+
+
+class TestPaths:
+    def test_split_normalises_dots(self, fs):
+        assert fs.split("/a/./b/../c") == ["a", "c"]
+
+    def test_split_windows_separators(self, winfs):
+        assert winfs.split(r"C:\tmp\file.txt") == ["tmp", "file.txt"]
+
+    def test_split_posix_keeps_backslash_as_name(self, fs):
+        assert fs.split(r"/tmp/a\b") == ["tmp", "a\\b"]
+
+    def test_case_insensitive_lookup(self, winfs):
+        winfs.create_file("/tmp/File.TXT", b"x")
+        assert winfs.lookup("/TMP/file.txt") is not None
+
+    def test_case_sensitive_lookup(self, fs):
+        fs.create_file("/tmp/File.TXT", b"x")
+        assert fs.lookup("/tmp/file.txt") is None
+
+
+class TestFiles:
+    def test_create_and_read_back(self, fs):
+        fs.create_file("/tmp/a", b"payload")
+        handle = fs.open("/tmp/a")
+        assert handle.read(100) == b"payload"
+
+    def test_create_exclusive_conflict(self, fs):
+        fs.create_file("/tmp/a")
+        with pytest.raises(FileSystemError, match="EEXIST"):
+            fs.create_file("/tmp/a", exclusive=True)
+
+    def test_create_overwrites_content(self, fs):
+        fs.create_file("/tmp/a", b"one")
+        fs.create_file("/tmp/a", b"two")
+        assert fs.open("/tmp/a").read(10) == b"two"
+
+    def test_open_missing_raises_enoent(self, fs):
+        with pytest.raises(FileSystemError, match="ENOENT"):
+            fs.open("/tmp/missing")
+
+    def test_open_create_flag(self, fs):
+        handle = fs.open("/tmp/new", writable=True, create=True)
+        handle.write(b"x")
+        assert fs.lookup("/tmp/new") is not None
+
+    def test_open_directory_is_error(self, fs):
+        with pytest.raises(FileSystemError, match="EISDIR"):
+            fs.open("/tmp", writable=True)
+
+    def test_write_readonly_file_denied(self, fs):
+        node = fs.create_file("/tmp/a")
+        node.read_only = True
+        with pytest.raises(FileSystemError, match="EACCES"):
+            fs.open("/tmp/a", writable=True)
+
+    def test_truncate_on_open(self, fs):
+        fs.create_file("/tmp/a", b"longer content")
+        fs.open("/tmp/a", writable=True, truncate=True)
+        assert fs.open("/tmp/a").read(100) == b""
+
+    def test_unlink(self, fs):
+        fs.create_file("/tmp/a")
+        fs.unlink("/tmp/a")
+        assert fs.lookup("/tmp/a") is None
+
+    def test_unlink_directory_is_eisdir(self, fs):
+        fs.mkdir("/tmp/d")
+        with pytest.raises(FileSystemError, match="EISDIR"):
+            fs.unlink("/tmp/d")
+
+
+class TestOpenFile:
+    def test_seek_set_cur_end(self, fs):
+        fs.create_file("/tmp/a", b"0123456789")
+        handle = fs.open("/tmp/a")
+        assert handle.seek(4, 0) == 4
+        assert handle.seek(2, 1) == 6
+        assert handle.seek(-1, 2) == 9
+
+    def test_seek_negative_is_einval(self, fs):
+        fs.create_file("/tmp/a", b"abc")
+        handle = fs.open("/tmp/a")
+        with pytest.raises(FileSystemError, match="EINVAL"):
+            handle.seek(-1, 0)
+
+    def test_seek_bad_whence(self, fs):
+        fs.create_file("/tmp/a")
+        with pytest.raises(FileSystemError, match="EINVAL"):
+            fs.open("/tmp/a").seek(0, 9)
+
+    def test_write_extends_with_zero_fill(self, fs):
+        fs.create_file("/tmp/a", b"ab")
+        handle = fs.open("/tmp/a", writable=True)
+        handle.seek(5, 0)
+        handle.write(b"z")
+        assert bytes(fs.lookup("/tmp/a").data) == b"ab\x00\x00\x00z"
+
+    def test_append_mode_always_writes_at_end(self, fs):
+        fs.create_file("/tmp/a", b"start")
+        handle = fs.open("/tmp/a", writable=True, append=True)
+        handle.seek(0, 0)
+        handle.write(b"!")
+        assert bytes(fs.lookup("/tmp/a").data) == b"start!"
+
+    def test_read_after_close_is_ebadf(self, fs):
+        fs.create_file("/tmp/a", b"x")
+        handle = fs.open("/tmp/a")
+        handle.close()
+        with pytest.raises(FileSystemError, match="EBADF"):
+            handle.read(1)
+
+    def test_write_without_write_access(self, fs):
+        fs.create_file("/tmp/a")
+        handle = fs.open("/tmp/a")
+        with pytest.raises(FileSystemError, match="EBADF"):
+            handle.write(b"x")
+
+    def test_truncate_shrink_and_grow(self, fs):
+        fs.create_file("/tmp/a", b"0123456789")
+        handle = fs.open("/tmp/a", writable=True)
+        handle.truncate(4)
+        assert bytes(fs.lookup("/tmp/a").data) == b"0123"
+        handle.truncate(6)
+        assert bytes(fs.lookup("/tmp/a").data) == b"0123\x00\x00"
+
+
+class TestDirectories:
+    def test_mkdir_and_listdir(self, fs):
+        fs.mkdir("/tmp/sub")
+        fs.create_file("/tmp/sub/a")
+        fs.create_file("/tmp/sub/b")
+        assert fs.listdir("/tmp/sub") == ["a", "b"]
+
+    def test_mkdir_existing_is_eexist(self, fs):
+        with pytest.raises(FileSystemError, match="EEXIST"):
+            fs.mkdir("/tmp")
+
+    def test_mkdir_missing_parent_is_enoent(self, fs):
+        with pytest.raises(FileSystemError, match="ENOENT"):
+            fs.mkdir("/no/such/dir")
+
+    def test_rmdir_requires_empty(self, fs):
+        fs.mkdir("/tmp/sub")
+        fs.create_file("/tmp/sub/a")
+        with pytest.raises(FileSystemError, match="ENOTEMPTY"):
+            fs.rmdir("/tmp/sub")
+
+    def test_rmdir_on_file_is_enotdir(self, fs):
+        fs.create_file("/tmp/a")
+        with pytest.raises(FileSystemError, match="ENOTDIR"):
+            fs.rmdir("/tmp/a")
+
+    def test_listdir_on_file_is_enotdir(self, fs):
+        fs.create_file("/tmp/a")
+        with pytest.raises(FileSystemError, match="ENOTDIR"):
+            fs.listdir("/tmp/a")
+
+
+class TestRename:
+    def test_rename_file(self, fs):
+        fs.create_file("/tmp/a", b"data")
+        fs.rename("/tmp/a", "/tmp/b")
+        assert fs.lookup("/tmp/a") is None
+        assert bytes(fs.lookup("/tmp/b").data) == b"data"
+
+    def test_rename_replaces_existing_file(self, fs):
+        fs.create_file("/tmp/a", b"new")
+        fs.create_file("/tmp/b", b"old")
+        fs.rename("/tmp/a", "/tmp/b")
+        assert bytes(fs.lookup("/tmp/b").data) == b"new"
+
+    def test_rename_directory_into_itself_rejected(self, fs):
+        fs.mkdir("/tmp/d")
+        with pytest.raises(FileSystemError, match="EINVAL"):
+            fs.rename("/tmp/d", "/tmp/d/inner")
+
+    def test_rename_missing_source(self, fs):
+        with pytest.raises(FileSystemError, match="ENOENT"):
+            fs.rename("/tmp/missing", "/tmp/x")
+
+    def test_protected_node_cannot_be_renamed(self, fs):
+        fs.lookup("/tmp").protected = True
+        with pytest.raises(FileSystemError, match="EACCES"):
+            fs.rename("/tmp", "/owned")
+
+    def test_protected_node_cannot_be_unlinked(self, fs):
+        node = fs.create_file("/tmp/sys")
+        node.protected = True
+        with pytest.raises(FileSystemError, match="EACCES"):
+            fs.unlink("/tmp/sys")
+
+    def test_rename_root_rejected(self, fs):
+        with pytest.raises(FileSystemError, match="EBUSY"):
+            fs.rename("/", "/other")
+
+
+class TestPipe:
+    def test_fifo_ordering(self):
+        pipe = Pipe()
+        pipe.write(b"abc")
+        pipe.write(b"def")
+        assert pipe.read(4) == b"abcd"
+        assert pipe.read(10) == b"ef"
+
+    def test_capacity_backpressure(self):
+        pipe = Pipe(capacity=4)
+        assert pipe.write(b"abcdef") == 4
+        assert pipe.read(10) == b"abcd"
+
+    def test_write_after_reader_gone_is_epipe(self):
+        pipe = Pipe()
+        pipe.read_open = False
+        with pytest.raises(FileSystemError, match="EPIPE"):
+            pipe.write(b"x")
+
+
+class TestIterFiles:
+    def test_iterates_all_regular_files(self, fs):
+        fs.create_file("/tmp/a")
+        fs.mkdir("/tmp/sub")
+        fs.create_file("/tmp/sub/b")
+        paths = [path for path, _ in fs.iter_files()]
+        assert "/tmp/a" in paths
+        assert "/tmp/sub/b" in paths

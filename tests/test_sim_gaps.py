@@ -1,0 +1,144 @@
+"""Remaining substrate edges: pipe ends, object semantics, errors."""
+
+import pytest
+
+from repro.sim.errors import (
+    ArithmeticFault,
+    FatalSignal,
+    MemoryFault,
+    SoftwareAbort,
+    StackOverflowFault,
+    ThrownException,
+)
+from repro.sim.filesystem import FileSystemError, Pipe
+from repro.sim.machine import Machine
+from repro.sim.objects import (
+    FileMappingObject,
+    HeapObject,
+    MutexObject,
+    SemaphoreObject,
+)
+from repro.sim.process import PipeEnd
+from repro.win32.variants import WINNT
+
+
+class TestPipeEnds:
+    def test_read_end_cannot_write(self):
+        end = PipeEnd(Pipe(), readable=True)
+        with pytest.raises(FileSystemError, match="EBADF"):
+            end.write(b"x")
+
+    def test_write_end_cannot_read(self):
+        end = PipeEnd(Pipe(), readable=False)
+        with pytest.raises(FileSystemError, match="EBADF"):
+            end.read(1)
+
+    def test_seek_is_espipe(self):
+        end = PipeEnd(Pipe(), readable=True)
+        with pytest.raises(FileSystemError, match="ESPIPE"):
+            end.seek(0)
+
+    def test_closing_read_end_breaks_writer(self):
+        pipe = Pipe()
+        reader = PipeEnd(pipe, readable=True)
+        writer = PipeEnd(pipe, readable=False)
+        reader.close()
+        with pytest.raises(FileSystemError, match="EPIPE"):
+            writer.write(b"x")
+
+    def test_closed_end_rejects_io(self):
+        end = PipeEnd(Pipe(), readable=True)
+        end.close()
+        with pytest.raises(FileSystemError, match="EBADF"):
+            end.read(1)
+
+
+class TestKernelObjects:
+    def test_mutex_initial_ownership(self):
+        owned = MutexObject(initially_owned=True)
+        assert not owned.signaled
+        assert owned.recursion == 1
+        free = MutexObject(initially_owned=False)
+        assert free.signaled
+
+    def test_semaphore_signalled_when_count_positive(self):
+        assert SemaphoreObject(1, 4).signaled
+        assert not SemaphoreObject(0, 4).signaled
+
+    def test_heap_object_tracks_blocks(self):
+        heap = HeapObject(0x1000, 0x8000)
+        assert heap.blocks == {}
+        assert heap.maximum_size == 0x8000
+
+    def test_file_mapping_object(self):
+        mapping = FileMappingObject(4096, backing=None, name="map")
+        assert mapping.size == 4096
+        assert mapping.views == []
+
+    def test_object_ids_are_unique(self):
+        ids = {MutexObject(False).object_id for _ in range(10)}
+        assert len(ids) == 10
+
+
+class TestErrorTaxonomy:
+    def test_fatal_signal_carries_name(self):
+        exc = FatalSignal("SIGKILL")
+        assert exc.posix_signal == "SIGKILL"
+        assert isinstance(exc, SoftwareAbort)
+
+    def test_arithmetic_fault_custom_exception_name(self):
+        exc = ArithmeticFault("sin", win32_exception="EXCEPTION_FLT_INVALID_OPERATION")
+        assert exc.win32_exception == "EXCEPTION_FLT_INVALID_OPERATION"
+        default = ArithmeticFault("div")
+        assert default.win32_exception == "EXCEPTION_INT_DIVIDE_BY_ZERO"
+
+    def test_stack_overflow_records_depth(self):
+        exc = StackOverflowFault(4096)
+        assert exc.depth == 4096
+        assert exc.win32_exception == "EXCEPTION_STACK_OVERFLOW"
+
+    def test_memory_fault_message_is_hex(self):
+        exc = MemoryFault(0xDEADBEEF, "write", "unmapped")
+        assert "0xDEADBEEF" in str(exc)
+
+    def test_thrown_exception_flags(self):
+        assert ThrownException(5).recoverable
+        assert not ThrownException(5, recoverable=False).recoverable
+
+
+class TestMachineEdges:
+    def test_corruption_log_records_functions(self):
+        machine = Machine(WINNT)
+        # NT has no corrupting functions, but the log API is generic.
+        machine.note_corruption("synthetic", amount=2)
+        assert machine.corruption_log == [("synthetic", 2)]
+        assert machine.corruption_level == 2
+
+    def test_environ_copied_per_process(self):
+        machine = Machine(WINNT)
+        first = machine.spawn_process()
+        first.environ["NEW"] = "1"
+        second = machine.spawn_process()
+        assert "NEW" not in second.environ
+
+    def test_pids_monotonic_across_reboot(self):
+        machine = Machine(WINNT)
+        before = machine.spawn_process().pid
+        with pytest.raises(Exception):
+            machine.panic("x")
+        machine.reboot()
+        assert machine.spawn_process().pid > before
+
+    def test_watchdog_config_survives_reboot(self):
+        machine = Machine(WINNT, watchdog_ticks=123)
+        with pytest.raises(Exception):
+            machine.panic("x")
+        machine.reboot()
+        assert machine.clock.watchdog_ticks == 123
+
+    def test_fs_capacity_survives_reboot(self):
+        machine = Machine(WINNT, fs_max_files=5)
+        with pytest.raises(Exception):
+            machine.panic("x")
+        machine.reboot()
+        assert machine.fs.max_files == 5

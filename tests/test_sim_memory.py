@@ -1,0 +1,196 @@
+"""Unit tests for the virtual address space."""
+
+import pytest
+
+from repro.sim.errors import AccessViolation, MisalignedAccess
+from repro.sim.memory import (
+    AddressSpace,
+    Protection,
+    Region,
+    SHARED_BASE,
+    USER_BASE,
+)
+
+
+@pytest.fixture()
+def mem() -> AddressSpace:
+    return AddressSpace()
+
+
+class TestMapping:
+    def test_map_returns_region_in_user_range(self, mem):
+        region = mem.map(64)
+        assert region.start >= USER_BASE
+        assert region.size == 64
+
+    def test_regions_do_not_touch(self, mem):
+        first = mem.map(64)
+        second = mem.map(64)
+        assert second.start >= first.end + 1  # guard gap between regions
+
+    def test_fixed_placement(self, mem):
+        region = mem.map(32, at=0x0050_0000)
+        assert region.start == 0x0050_0000
+
+    def test_overlapping_fixed_placement_rejected(self, mem):
+        mem.map(0x1000, at=0x0050_0000)
+        with pytest.raises(ValueError, match="overlapping"):
+            mem.map(0x1000, at=0x0050_0800)
+
+    def test_fixed_placement_advances_allocator(self, mem):
+        fixed = mem.map(0x1000, at=0x0100_0000)
+        bumped = mem.map(0x1000)
+        assert bumped.start > fixed.end
+
+    def test_shared_range_allocation(self, mem):
+        region = mem.map(64, shared=True)
+        assert region.start >= SHARED_BASE
+
+    def test_zero_size_region_rejected(self):
+        with pytest.raises(ValueError):
+            Region(USER_BASE, 0, Protection.RW)
+
+    def test_unmap_then_access_faults(self, mem):
+        region = mem.map(64)
+        mem.unmap(region)
+        assert region.freed
+        with pytest.raises(AccessViolation):
+            mem.read(region.start, 1)
+
+    def test_unmap_unknown_region_raises(self, mem):
+        region = Region(0x0060_0000, 16, Protection.RW)
+        with pytest.raises(KeyError):
+            mem.unmap(region)
+
+    def test_attach_aliases_backing_storage(self, mem):
+        other = AddressSpace()
+        shared = Region(SHARED_BASE, 64, Protection.RW, tag="shared")
+        mem.attach(shared)
+        other.attach(shared)
+        mem.write(SHARED_BASE, b"xyz")
+        assert other.read(SHARED_BASE, 3) == b"xyz"
+
+
+class TestFaults:
+    def test_null_is_unmapped(self, mem):
+        with pytest.raises(AccessViolation):
+            mem.read(0, 1)
+
+    def test_read_past_end_faults(self, mem):
+        region = mem.map(16)
+        with pytest.raises(AccessViolation):
+            mem.read(region.start + 8, 16)
+
+    def test_write_to_readonly_faults(self, mem):
+        region = mem.map(16, Protection.READ)
+        with pytest.raises(AccessViolation) as info:
+            mem.write(region.start, b"x")
+        assert info.value.reason == "protection"
+
+    def test_read_from_readonly_allowed(self, mem):
+        region = mem.map(16, Protection.READ)
+        assert mem.read(region.start, 4) == b"\x00" * 4
+
+    def test_fault_reports_address_and_access(self, mem):
+        with pytest.raises(AccessViolation) as info:
+            mem.write(0xDEAD_0000, b"hi")
+        assert info.value.address == 0xDEAD_0000
+        assert info.value.access == "write"
+
+    def test_negative_address_wraps_to_32_bits(self, mem):
+        with pytest.raises(AccessViolation) as info:
+            mem.read(-1, 1)
+        assert info.value.address == 0xFFFF_FFFF
+
+
+class TestTypedAccess:
+    def test_u32_roundtrip(self, mem):
+        region = mem.map(16)
+        mem.write_u32(region.start, 0xDEADBEEF)
+        assert mem.read_u32(region.start) == 0xDEADBEEF
+
+    def test_i32_roundtrip_negative(self, mem):
+        region = mem.map(16)
+        mem.write_i32(region.start, -12345)
+        assert mem.read_i32(region.start) == -12345
+
+    def test_u64_roundtrip(self, mem):
+        region = mem.map(16)
+        mem.write_u64(region.start, 0x0123_4567_89AB_CDEF)
+        assert mem.read_u64(region.start) == 0x0123_4567_89AB_CDEF
+
+    def test_u16_roundtrip(self, mem):
+        region = mem.map(16)
+        mem.write_u16(region.start, 0xBEEF)
+        assert mem.read_u16(region.start) == 0xBEEF
+
+    def test_strict_alignment_faults_odd_u32(self):
+        strict = AddressSpace(strict_alignment=True)
+        region = strict.map(16)
+        with pytest.raises(MisalignedAccess):
+            strict.read_u32(region.start + 1)
+
+    def test_lax_alignment_allows_odd_u32(self, mem):
+        region = mem.map(16)
+        mem.write(region.start, b"\x01\x02\x03\x04\x05")
+        assert mem.read_u32(region.start + 1) == 0x0504_0302
+
+
+class TestCStrings:
+    def test_bytewise_scan_stops_at_nul(self, mem):
+        addr = mem.alloc_cstring(b"hello")
+        assert mem.read_cstring(addr) == b"hello"
+
+    def test_unterminated_string_faults(self, mem):
+        addr = mem.alloc_cstring(b"ZZZZ", terminated=False, round_to=1)
+        with pytest.raises(AccessViolation):
+            mem.read_cstring(addr)
+
+    def test_word_scan_equivalent_on_rounded_strings(self, mem):
+        addr = mem.alloc_cstring(b"hello world")
+        assert mem.read_cstring(addr, word_at_a_time=True) == b"hello world"
+
+    def test_word_scan_faults_on_edge_terminated_string(self, mem):
+        # 15-byte region, terminator at the last byte: the aligned word
+        # at offset 12 covers bytes 12..15 and byte 15 is unmapped.
+        addr = mem.alloc_cstring(b"edge-string-xx", round_to=1)
+        assert mem.read_cstring(addr) == b"edge-string-xx"
+        with pytest.raises(AccessViolation):
+            mem.read_cstring(addr, word_at_a_time=True)
+
+    def test_word_scan_handles_unaligned_start(self, mem):
+        addr = mem.alloc_cstring(b"_ballista")
+        assert mem.read_cstring(addr + 1, word_at_a_time=True) == b"ballista"
+
+    def test_wstring_roundtrip(self, mem):
+        region = mem.map(32)
+        mem.write_wstring(region.start, "hi".encode("utf-16-le"))
+        assert mem.read_wstring(region.start) == "hi".encode("utf-16-le")
+
+    def test_alloc_rounding_pads_to_word_multiple(self, mem):
+        addr = mem.alloc_cstring(b"abc")  # 4 bytes incl NUL -> stays 4
+        region = mem.find(addr)
+        assert region.size % 4 == 0
+
+    def test_alloc_cstring_empty(self, mem):
+        addr = mem.alloc_cstring(b"")
+        assert mem.read_cstring(addr) == b""
+
+
+class TestLookup:
+    def test_find_hit_and_miss(self, mem):
+        region = mem.map(64)
+        assert mem.find(region.start + 10) is region
+        assert mem.find(region.end) is None
+
+    def test_is_mapped_range_check(self, mem):
+        region = mem.map(64)
+        assert mem.is_mapped(region.start, 64)
+        assert not mem.is_mapped(region.start, 65)
+        assert not mem.is_mapped(0, 1)
+
+    def test_regions_iteration_sorted(self, mem):
+        mem.map(16, at=0x0070_0000)
+        mem.map(16, at=0x0060_0000)
+        starts = [r.start for r in mem.regions()]
+        assert starts == sorted(starts)

@@ -1,0 +1,208 @@
+"""Model-based (stateful) property tests.
+
+Each machine subsystem is driven through random operation sequences by
+hypothesis while a trivial Python model predicts the outcome -- the
+classic oracle pattern for catching state-dependent bugs, which is
+exactly the failure class the paper's ``*`` crashes live in.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.core.context import TestContext
+from repro.posix.linux import LINUX
+from repro.sim.errors import AccessViolation
+from repro.sim.filesystem import FileSystem, FileSystemError
+from repro.sim.machine import Machine
+from repro.sim.objects import EventObject, HandleTable
+
+_NAMES = st.sampled_from(["a", "b", "c", "sub", "Data.txt"])
+_PAYLOADS = st.binary(max_size=32)
+
+
+class FileSystemModel(RuleBasedStateMachine):
+    """FileSystem vs a flat dict oracle {path: bytes | DIR}."""
+
+    DIR = object()
+
+    def __init__(self):
+        super().__init__()
+        self.fs = FileSystem()
+        self.fs.mkdir("/d")
+        self.model = {"/d": self.DIR}
+
+    def _parent_exists(self, path: str) -> bool:
+        parent = path.rsplit("/", 1)[0]
+        return parent == "" or self.model.get(parent) is self.DIR
+
+    @rule(name=_NAMES, data=_PAYLOADS, under=st.sampled_from(["", "/d"]))
+    def create_file(self, name, data, under):
+        path = f"{under}/{name}"
+        expected_dir = self.model.get(path) is self.DIR
+        try:
+            self.fs.create_file(path, data)
+            assert not expected_dir
+            self.model[path] = bytes(data)
+        except FileSystemError as exc:
+            assert expected_dir or not self._parent_exists(path), exc.code
+
+    @rule(name=_NAMES, under=st.sampled_from(["", "/d"]))
+    def mkdir(self, name, under):
+        path = f"{under}/{name}"
+        try:
+            self.fs.mkdir(path)
+            assert path not in self.model
+            self.model[path] = self.DIR
+        except FileSystemError:
+            assert path in self.model or not self._parent_exists(path)
+
+    @rule(name=_NAMES, under=st.sampled_from(["", "/d"]))
+    def unlink(self, name, under):
+        path = f"{under}/{name}"
+        entry = self.model.get(path)
+        try:
+            self.fs.unlink(path)
+            assert entry is not None and entry is not self.DIR
+            del self.model[path]
+        except FileSystemError:
+            assert entry is None or entry is self.DIR
+
+    @rule(name=_NAMES, under=st.sampled_from(["", "/d"]))
+    def read_back(self, name, under):
+        path = f"{under}/{name}"
+        entry = self.model.get(path)
+        node = self.fs.lookup(path)
+        if entry is None:
+            assert node is None
+        elif entry is self.DIR:
+            assert node is not None and node.is_directory
+        else:
+            assert node is not None and bytes(node.data) == entry
+
+    @invariant()
+    def file_listing_matches(self):
+        actual = {path for path, _ in self.fs.iter_files()}
+        expected = {
+            path for path, entry in self.model.items() if entry is not self.DIR
+        }
+        assert actual == expected
+
+
+class HeapModel(RuleBasedStateMachine):
+    """CRT malloc/free vs a set of live (address, size) blocks."""
+
+    blocks = Bundle("blocks")
+
+    def __init__(self):
+        super().__init__()
+        machine = Machine(LINUX)
+        self.ctx = TestContext(machine, machine.spawn_process())
+        self.crt = self.ctx.crt
+        self.live: dict[int, int] = {}
+
+    @rule(target=blocks, size=st.integers(min_value=0, max_value=512))
+    def malloc(self, size):
+        address = self.crt.malloc(size)
+        assert address != 0
+        self.live[address] = size
+        return address
+
+    @rule(address=blocks)
+    def free(self, address):
+        if address not in self.live:
+            return  # already freed through another path
+        assert self.crt.free(address) == 0
+        del self.live[address]
+        with pytest.raises(AccessViolation):
+            self.ctx.mem.read(address, 1)
+
+    @rule(address=blocks, data=_PAYLOADS)
+    def write_into_block(self, address, data):
+        size = self.live.get(address)
+        if size is None or size == 0:
+            return
+        payload = data[:size]
+        if payload:
+            self.ctx.mem.write(address, payload)
+            assert self.ctx.mem.read(address, len(payload)) == payload
+
+    @invariant()
+    def live_blocks_do_not_overlap(self):
+        spans = sorted(
+            (address, address + max(size, 1)) for address, size in self.live.items()
+        )
+        for (_, first_end), (second_start, _) in zip(spans, spans[1:]):
+            assert first_end <= second_start
+
+    @invariant()
+    def live_blocks_are_readable(self):
+        for address, size in self.live.items():
+            self.ctx.mem.read(address, max(size, 1))
+
+
+class HandleTableModel(RuleBasedStateMachine):
+    """HandleTable vs a dict {handle: object-id}."""
+
+    handles = Bundle("handles")
+
+    def __init__(self):
+        super().__init__()
+        self.table = HandleTable()
+        self.model: dict[int, int] = {}
+        self.objects: dict[int, EventObject] = {}
+
+    @rule(target=handles)
+    def insert(self):
+        event = EventObject(True, False)
+        handle = self.table.insert(event)
+        assert handle not in self.model
+        self.model[handle] = event.object_id
+        self.objects[event.object_id] = event
+        return handle
+
+    @rule(target=handles, source=handles)
+    def duplicate(self, source):
+        obj = self.table.get(source)
+        if obj is None:
+            return source  # stale handle: nothing duplicated
+        handle = self.table.insert(obj)
+        self.model[handle] = obj.object_id
+        return handle
+
+    @rule(handle=handles)
+    def close(self, handle):
+        expected = handle in self.model
+        assert self.table.close(handle) == expected
+        if expected:
+            object_id = self.model.pop(handle)
+            still_referenced = object_id in self.model.values()
+            assert self.objects[object_id].destroyed != still_referenced
+
+    @rule(handle=handles)
+    def resolve(self, handle):
+        obj = self.table.get(handle)
+        if handle in self.model:
+            assert obj is not None and obj.object_id == self.model[handle]
+        else:
+            assert obj is None
+
+    @invariant()
+    def table_size_matches(self):
+        assert len(self.table) == len(self.model)
+
+
+FileSystemModelTest = FileSystemModel.TestCase
+HeapModelTest = HeapModel.TestCase
+HandleTableModelTest = HandleTableModel.TestCase
+
+for test_case in (FileSystemModelTest, HeapModelTest, HandleTableModelTest):
+    test_case.settings = settings(
+        max_examples=30, stateful_step_count=30, deadline=None
+    )

@@ -1,0 +1,169 @@
+"""Tests for the triage package: sequence replay, ddmin minimisation,
+and the resource-leak audit."""
+
+import pytest
+
+from repro.core.crash_scale import CaseCode
+from repro.triage import (
+    SequenceStep,
+    audit_leaks,
+    capture_crash_prefix,
+    minimize_crash_sequence,
+    render_repro_program,
+    replay_sequence,
+)
+
+CORRUPTING = SequenceStep(
+    "libc", "strncpy", ("PTR_FREED", "STR_SHORT", "SIZE_16")
+)
+BENIGN = SequenceStep("libc", "strncpy", ("PTR_PAGE", "STR_SHORT", "SIZE_16"))
+IMMEDIATE = SequenceStep("win32", "GetThreadContext", ("TH_CURRENT", "PTR_NULL"))
+
+
+class TestReplaySequence:
+    def test_benign_sequence_completes(self, win98):
+        outcome = replay_sequence(win98, [BENIGN] * 5)
+        assert not outcome.crashed
+        assert outcome.executed == 5
+        assert all(o.code is CaseCode.PASS_NO_ERROR for o in outcome.outcomes)
+
+    def test_corruption_accumulates_to_crash(self, win98):
+        # tolerance is 3: the fourth corrupting case crashes.
+        outcome = replay_sequence(win98, [CORRUPTING] * 6)
+        assert outcome.crashed
+        assert outcome.crash_step == 3
+
+    def test_below_tolerance_survives(self, win98):
+        outcome = replay_sequence(win98, [CORRUPTING] * 3)
+        assert not outcome.crashed
+        assert outcome.corruption_level == 3
+
+    def test_immediate_crash_at_step_zero(self, win98):
+        outcome = replay_sequence(win98, [IMMEDIATE, BENIGN])
+        assert outcome.crashed
+        assert outcome.crash_step == 0
+        assert outcome.executed == 1
+
+    def test_nt_never_crashes_on_same_sequence(self, winnt):
+        outcome = replay_sequence(winnt, [CORRUPTING] * 10 + [IMMEDIATE])
+        assert not outcome.crashed
+
+    def test_interleaved_muts_share_the_machine(self, win98):
+        # Corruption from strncpy and fwrite pools in the same arena.
+        fwrite_bad = SequenceStep(
+            "libc", "fwrite", ("PTR_FREED", "SIZE_ONE", "SIZE_16", "FILE_STDIN")
+        )
+        outcome = replay_sequence(
+            win98, [CORRUPTING, fwrite_bad, CORRUPTING, fwrite_bad]
+        )
+        assert outcome.crashed
+
+    def test_step_describe(self):
+        assert IMMEDIATE.describe() == "GetThreadContext(TH_CURRENT, PTR_NULL)"
+
+
+class TestCapturePrefix:
+    def test_interference_mut_yields_prefix(self, win98):
+        prefix = capture_crash_prefix(win98, "strncpy", cap=300)
+        assert prefix is not None
+        assert 4 <= len(prefix) <= 300
+        # Deterministic: capturing again gives the identical prefix.
+        assert capture_crash_prefix(win98, "strncpy", cap=300) == prefix
+
+    def test_non_crashing_mut_returns_none(self, win98):
+        assert capture_crash_prefix(win98, "strcpy", cap=60) is None
+
+    def test_immediate_mut_yields_short_prefix(self, win98):
+        prefix = capture_crash_prefix(
+            win98, "GetThreadContext", cap=300, api="win32"
+        )
+        assert prefix is not None
+        outcome = replay_sequence(win98, prefix)
+        assert outcome.crashed
+
+
+class TestMinimize:
+    def test_minimal_sequence_is_tolerance_plus_one(self, win98):
+        prefix = capture_crash_prefix(win98, "strncpy", cap=300)
+        minimal = minimize_crash_sequence(win98, prefix)
+        # Crossing a corruption tolerance of 3 needs exactly 4 events.
+        assert len(minimal) == win98.corruption_tolerance + 1
+        assert replay_sequence(win98, minimal).crashed
+
+    def test_minimal_sequence_is_one_minimal(self, win98):
+        prefix = capture_crash_prefix(win98, "strncpy", cap=300)
+        minimal = minimize_crash_sequence(win98, prefix)
+        for index in range(len(minimal)):
+            reduced = minimal[:index] + minimal[index + 1 :]
+            assert not replay_sequence(win98, reduced).crashed, index
+
+    def test_immediate_crash_minimises_to_one_step(self, win98):
+        prefix = capture_crash_prefix(
+            win98, "GetThreadContext", cap=300, api="win32"
+        )
+        minimal = minimize_crash_sequence(win98, prefix)
+        assert len(minimal) == 1
+        # ... and that single step reproduces standalone (non-starred).
+        assert replay_sequence(win98, minimal).crashed
+
+    def test_non_crashing_sequence_rejected(self, win98):
+        with pytest.raises(ValueError, match="does not crash"):
+            minimize_crash_sequence(win98, [BENIGN] * 3)
+
+    def test_progress_callback_invoked(self, win98):
+        prefix = capture_crash_prefix(win98, "strncpy", cap=300)
+        counts = []
+        minimize_crash_sequence(win98, prefix, progress=lambda n, s: counts.append(n))
+        assert counts and counts[-1] == len(counts)
+
+
+class TestRenderReproProgram:
+    def test_renders_c_like_listing(self, win98):
+        text = render_repro_program(win98, [IMMEDIATE])
+        assert "int main(void)" in text
+        assert "GetThreadContext(GetCurrentThread(), NULL);" in text
+        assert "Windows 98" in text
+
+    def test_unknown_values_fall_back_to_names(self, win98):
+        step = SequenceStep("libc", "strcpy", ("PTR_PAGE", "STR_EDGE"))
+        text = render_repro_program(win98, [step])
+        assert "strcpy(page_buffer, str_edge);" in text
+
+
+class TestLeakAudit:
+    def test_finds_file_creating_apis(self, win98):
+        report = audit_leaks(
+            win98, ["GetTempFileNameA", "strcpy", "isalpha"], cap=60
+        )
+        leaking = {entry.mut_name for entry in report.leaking_muts()}
+        assert "GetTempFileNameA" in leaking
+        assert "strcpy" not in leaking
+        assert "isalpha" not in leaking
+
+    def test_temp_file_leak_is_9x_specific(self, winnt, win98):
+        # The leaking case feeds a wild prefix pointer that lands in the
+        # 9x shared arena (readable there, faulting on NT) -- so the
+        # leak itself is a shared-arena artefact.
+        nt_report = audit_leaks(winnt, ["GetTempFileNameA"], cap=60)
+        assert not nt_report.per_mut[0].leaks
+        w98_report = audit_leaks(win98, ["GetTempFileNameA"], cap=60)
+        assert w98_report.per_mut[0].leaked_files
+
+    def test_create_file_a_leaks_created_files(self, winnt):
+        report = audit_leaks(winnt, ["CreateFileA"], cap=80)
+        (entry,) = report.per_mut
+        assert entry.leaks
+        assert entry.leaked_files
+
+    def test_corruption_counted_on_9x(self, win98):
+        report = audit_leaks(win98, ["MsgWaitForMultipleObjectsEx"], cap=8)
+        (entry,) = report.per_mut
+        # Either it corrupted without crashing, or it crashed; both are
+        # evidence the call scribbles on shared state.
+        assert entry.corruption_added > 0 or entry.cases <= 8
+
+    def test_render_contains_summary(self, win98):
+        report = audit_leaks(win98, ["GetTempFileNameA", "strcpy"], cap=40)
+        text = report.render()
+        assert "Resource-leak audit" in text
+        assert "GetTempFileNameA" in text

@@ -1,0 +1,154 @@
+"""Sweep tests over the builtin test-value pools: every value must
+construct on every variant without harness errors, and the pools must
+keep the properties the methodology depends on."""
+
+import pytest
+
+from repro.core.context import TestContext
+from repro.core.types import default_types
+from repro.sim.errors import SimFault
+from repro.sim.machine import Machine
+
+
+def all_values(types):
+    for type_name in types.names():
+        for value in types.get(type_name).own_values:
+            yield type_name, value
+
+
+class TestConstructorSweep:
+    @pytest.mark.parametrize(
+        "variant_key", ["linux", "winnt", "win98", "wince"]
+    )
+    def test_every_value_constructs_everywhere(
+        self, variant_key, types, all_variants
+    ):
+        personality = {p.key: p for p in all_variants}[variant_key]
+        machine = Machine(personality)
+        failures = []
+        for type_name, value in all_values(types):
+            ctx = TestContext(machine, machine.spawn_process())
+            try:
+                value.construct(ctx)
+            except SimFault:
+                pass  # legitimate: some constructors touch bad memory
+            except Exception as exc:  # noqa: BLE001 - harness bug detector
+                failures.append((type_name, value.name, repr(exc)))
+            finally:
+                ctx.run_cleanups()
+                ctx.process.terminate()
+        assert not failures, failures
+
+    def test_constructors_are_deterministic_in_value(self, types, winnt):
+        # Scalar values must be identical across constructions.
+        machine = Machine(winnt)
+        for type_name in ("int_val", "dword", "char_int", "seek_whence"):
+            for value in types.get(type_name).own_values:
+                ctx1 = TestContext(machine, machine.spawn_process())
+                ctx2 = TestContext(machine, machine.spawn_process())
+                assert value.construct(ctx1) == value.construct(ctx2), value.name
+
+
+class TestPoolProperties:
+    def test_every_pool_mixes_valid_and_exceptional(self, types):
+        """'These pools of values contain exceptional as well as
+        non-exceptional cases' -- every pool used by pointer-ish types
+        must contain both, so robust handling on one parameter cannot
+        mask failures on another."""
+        for type_name in (
+            "buffer", "cstring", "filename", "fileptr", "fd", "handle",
+            "dword", "double_val", "char_int",
+        ):
+            values = types.get(type_name).all_values()
+            flags = {v.exceptional for v in values}
+            assert flags == {True, False}, type_name
+
+    def test_value_names_unique_within_type(self, types):
+        for type_name in types.names():
+            names = [v.name for v in types.get(type_name).all_values()]
+            assert len(names) == len(set(names)), type_name
+
+    def test_pointer_types_inherit_buffer_pool(self, types):
+        buffer_names = {v.name for v in types.get("buffer").all_values()}
+        for child in ("cstring", "stat_buf", "context_ptr", "filetime_ptr",
+                      "time_t_ptr", "tm_ptr", "handle_array", "wstring",
+                      "interlocked_ptr"):
+            child_names = {v.name for v in types.get(child).all_values()}
+            assert buffer_names <= child_names, child
+
+    def test_handle_subtypes_inherit_bad_handles(self, types):
+        bad = {"H_NULL", "H_INVALID", "H_CLOSED", "H_GARBAGE"}
+        for child in ("file_handle", "thread_handle", "process_handle",
+                      "waitable_handle", "heap_handle"):
+            names = {v.name for v in types.get(child).all_values()}
+            assert bad <= names, child
+
+    def test_signature_types_all_registered(self, registry, types):
+        for mut in registry.all():
+            for type_name in mut.param_types:
+                assert type_name in types, (mut.name, type_name)
+
+    def test_pool_scale_is_documented_order(self, types):
+        # README/EXPERIMENTS quote ~200 values across ~46 types.
+        assert 150 <= types.total_values() <= 400
+        assert 40 <= len(types.names()) <= 60
+
+
+class TestSpecificValues:
+    def make_ctx(self, winnt):
+        machine = Machine(winnt)
+        return TestContext(machine, machine.spawn_process())
+
+    def test_freed_buffer_faults(self, types, winnt):
+        ctx = self.make_ctx(winnt)
+        addr = types.get("buffer").find("PTR_FREED").construct(ctx)
+        from repro.sim.errors import AccessViolation
+
+        with pytest.raises(AccessViolation):
+            ctx.mem.read(addr, 1)
+
+    def test_readonly_buffer_rejects_writes(self, types, winnt):
+        ctx = self.make_ctx(winnt)
+        addr = types.get("buffer").find("PTR_READONLY").construct(ctx)
+        assert ctx.mem.read(addr, 8)  # readable
+        from repro.sim.errors import AccessViolation
+
+        with pytest.raises(AccessViolation):
+            ctx.mem.write(addr, b"x")
+
+    def test_fd_closed_is_really_closed(self, types, linux):
+        machine = Machine(linux)
+        ctx = TestContext(machine, machine.spawn_process())
+        fd = types.get("fd").find("FD_CLOSED").construct(ctx)
+        assert ctx.process.get_fd(fd) is None
+
+    def test_handle_closed_is_really_closed(self, types, winnt):
+        ctx = self.make_ctx(winnt)
+        handle = types.get("handle").find("H_CLOSED").construct(ctx)
+        assert ctx.process.handles.get(handle) is None
+
+    def test_file_open_read_is_live_stream(self, types, winnt):
+        ctx = self.make_ctx(winnt)
+        fp = types.get("fileptr").find("FILE_OPEN_READ").construct(ctx)
+        assert ctx.crt.fgetc(fp) != -1
+
+    def test_existing_file_cleanup_removes_it(self, winnt):
+        ctx = self.make_ctx(winnt)
+        path = ctx.existing_file()
+        assert ctx.machine.fs.lookup(path) is not None
+        ctx.run_cleanups()
+        assert ctx.machine.fs.lookup(path) is None
+
+    def test_shared_arena_value_maps_only_on_9x(self, types, winnt, win98):
+        nt_ctx = self.make_ctx(winnt)
+        addr = types.get("buffer").find("PTR_SHARED_ARENA").construct(nt_ctx)
+        assert not nt_ctx.mem.is_mapped(addr)
+        machine98 = Machine(win98)
+        ctx98 = TestContext(machine98, machine98.spawn_process())
+        assert ctx98.mem.is_mapped(addr)
+
+    def test_tm_valid_is_consistent(self, types, winnt):
+        ctx = self.make_ctx(winnt)
+        addr = types.get("tm_ptr").find("TM_VALID").construct(ctx)
+        assert ctx.mem.read_i32(addr + 16) == 5  # tm_mon = June
+        assert ctx.mem.read_i32(addr + 20) == 100  # tm_year = 2000

@@ -1,0 +1,246 @@
+"""Additional Win32 API coverage: the calls the main suites exercise
+only through campaigns."""
+
+import pytest
+
+from repro.core.context import TestContext
+from repro.sim.errors import AccessViolation
+from repro.sim.machine import Machine
+from repro.sim.objects import CURRENT_PROCESS_HANDLE, CURRENT_THREAD_HANDLE
+from repro.win32 import errors as W
+from repro.win32.variants import WIN95, WIN98, WINNT
+
+
+def win32_for(personality):
+    machine = Machine(personality)
+    ctx = TestContext(machine, machine.spawn_process())
+    return ctx, ctx.win32
+
+
+@pytest.fixture()
+def nt():
+    return win32_for(WINNT)
+
+
+@pytest.fixture()
+def w98():
+    return win32_for(WIN98)
+
+
+class TestFileApiCoverage:
+    def test_move_file_ex_replace_flag(self, nt):
+        ctx, api = nt
+        src = ctx.existing_file(b"new")
+        dst = ctx.existing_file(b"old")
+        assert api.MoveFileA(ctx.cstring(src.encode()), ctx.cstring(dst.encode())) == 0
+        assert ctx.process.last_error == W.ERROR_ALREADY_EXISTS
+        assert (
+            api.MoveFileExA(
+                ctx.cstring(src.encode()), ctx.cstring(dst.encode()), 0x1
+            )
+            == 1
+        )
+        assert bytes(ctx.machine.fs.lookup(dst).data) == b"new"
+
+    def test_move_file_ex_bogus_flags(self, nt):
+        ctx, api = nt
+        assert api.MoveFileExA(ctx.cstring(b"/tmp/a"), ctx.cstring(b"/tmp/b"), 0xF00) == 0
+        assert ctx.process.last_error == W.ERROR_INVALID_PARAMETER
+
+    def test_get_file_attributes_ex(self, nt):
+        ctx, api = nt
+        path = ctx.existing_file(b"12345")
+        out = ctx.buffer(64)
+        assert api.GetFileAttributesExA(ctx.cstring(path.encode()), 0, out) == 1
+        assert ctx.mem.read_u32(out + 32) == 5  # size low
+        assert api.GetFileAttributesExA(ctx.cstring(path.encode()), 7, out) == 0
+
+    def test_search_path_finds_existing(self, nt):
+        ctx, api = nt
+        path = ctx.existing_file()
+        directory, _, name = path.rpartition("/")
+        out = ctx.buffer(128)
+        written = api.SearchPathA(
+            ctx.cstring(directory.encode()),
+            ctx.cstring(name.encode()),
+            0,
+            128,
+            out,
+            0,
+        )
+        assert written == len(path)
+        assert ctx.mem.read_cstring(out).decode() == path
+
+    def test_search_path_missing(self, nt):
+        ctx, api = nt
+        assert (
+            api.SearchPathA(
+                0, ctx.cstring(b"nope.exe"), 0, 64, ctx.buffer(64), 0
+            )
+            == 0
+        )
+        assert ctx.process.last_error == W.ERROR_FILE_NOT_FOUND
+
+    def test_get_short_path_name(self, nt):
+        ctx, api = nt
+        path = ctx.existing_file()
+        out = ctx.buffer(128)
+        assert api.GetShortPathNameA(ctx.cstring(path.encode()), out, 128) == len(path)
+        assert api.GetShortPathNameA(ctx.cstring(b"/tmp/none"), out, 128) == 0
+
+    def test_file_time_to_local_and_compare(self, nt):
+        ctx, api = nt
+        a = ctx.buffer(8)
+        b = ctx.buffer(8)
+        ctx.mem.write_u64(a, 100)
+        ctx.mem.write_u64(b, 200)
+        out = ctx.buffer(8)
+        assert api.FileTimeToLocalFileTime(a, out) == 1
+        assert ctx.mem.read_u64(out) == 100
+        assert api.CompareFileTime(a, b) == -1
+        assert api.CompareFileTime(b, a) == 1
+        assert api.CompareFileTime(a, a) == 0
+
+    def test_compare_file_time_bad_pointer_aborts_even_on_nt(self, nt):
+        _, api = nt
+        with pytest.raises(AccessViolation):
+            api.CompareFileTime(0, 0)
+
+    def test_misc_file_queries(self, nt):
+        ctx, api = nt
+        assert api.AreFileApisANSI() == 1
+        assert api.SetHandleCount(500) == 256
+        assert api.GetDriveTypeA(ctx.cstring(b"/nope")) == 1
+
+    def test_system_time_to_file_time(self, nt):
+        ctx, api = nt
+        st = ctx.buffer(16)
+        api.GetSystemTime(st)
+        ft = ctx.buffer(8)
+        assert api.SystemTimeToFileTime(st, ft) == 1
+        assert ctx.mem.read_u64(ft) > 0
+
+    def test_create_file_lax_disposition_on_9x(self, w98):
+        ctx, api = w98
+        # Disposition 0 is invalid; 98 accepts it silently (OPEN_ALWAYS).
+        handle = api.CreateFileA(
+            ctx.cstring(b"/tmp/lax.txt"), 0xC000_0000, 0, 0, 0, 0x80, 0
+        )
+        assert handle not in (0, 0xFFFF_FFFF)
+
+
+class TestProcessApiCoverage:
+    def test_sleep_ex_and_affinity(self, nt):
+        ctx, api = nt
+        ctx.machine.clock.begin_call("SleepEx")
+        assert api.SleepEx(10, 1) == 0
+        assert api.SetThreadAffinityMask(CURRENT_THREAD_HANDLE, 1) == 1
+        assert api.SetThreadAffinityMask(CURRENT_THREAD_HANDLE, 0) == 0
+
+    def test_priority_class(self, nt):
+        _, api = nt
+        assert api.GetPriorityClass(CURRENT_PROCESS_HANDLE) == 0x20
+        assert api.GetPriorityClass(0xBAD0) == 0
+
+    def test_waitable_timer(self, nt):
+        ctx, api = nt
+        handle = api.CreateWaitableTimerA(0, 1, 0)
+        assert handle != 0
+        ctx.machine.clock.begin_call("WaitForSingleObject")
+        assert api.WaitForSingleObject(handle, 10) == W.WAIT_TIMEOUT
+
+    def test_signal_object_and_wait_type_checked(self, nt):
+        ctx, api = nt
+        from repro.sim.objects import FileObject
+
+        path = ctx.existing_file()
+        file_handle = ctx.process.handles.insert(
+            FileObject(ctx.machine.fs.open(path))
+        )
+        assert (
+            api.SignalObjectAndWait(file_handle, file_handle, 0, 0)
+            == W.WAIT_FAILED
+        )
+
+    def test_write_process_memory(self, nt):
+        ctx, api = nt
+        dest = ctx.buffer(8)
+        src = ctx.buffer(8, b"ABCD1234")
+        written = ctx.buffer(8)
+        assert (
+            api.WriteProcessMemory(CURRENT_PROCESS_HANDLE, dest, src, 8, written)
+            == 1
+        )
+        assert ctx.mem.read(dest, 8) == b"ABCD1234"
+        assert ctx.mem.read_u32(written) == 8
+
+    def test_interference_crash_cross_mut_on_98(self, w98):
+        """Corruption left by DuplicateHandle counts against strncpy:
+        the machine-global tolerance is what makes the crash attribution
+        order-dependent (inter-test interference)."""
+        ctx, api = w98
+        for _ in range(3):
+            api.DuplicateHandle(0xFFFF_FFFF, 0xBAD0, 0xFFFF_FFFF, 1, 0, 0, 0)
+        assert ctx.machine.corruption_level == 3
+        from repro.sim.errors import SystemCrash
+
+        with pytest.raises(SystemCrash):
+            ctx.crt.strncpy(0xDEAD_0000, ctx.cstring(b"x"), 4)
+        assert ctx.machine.crash_function == "strncpy"
+
+
+class TestEnvApiCoverage:
+    def test_command_line_and_module_handles(self, nt):
+        ctx, api = nt
+        addr = api.GetCommandLineA()
+        assert ctx.mem.read_cstring(addr) == b"ballista_test.exe"
+        assert api.GetCommandLineA() == addr  # stable
+        assert api.GetModuleHandleA(0) == ctx.process.code_region.start
+        assert api.GetModuleHandleA(ctx.cstring(b"kernel32.dll")) != 0
+        assert api.GetModuleHandleA(ctx.cstring(b"nope.dll")) == 0
+
+    def test_module_file_name(self, nt):
+        ctx, api = nt
+        out = ctx.buffer(64)
+        written = api.GetModuleFileNameA(0, out, 64)
+        assert written > 0
+        assert b"ballista_test.exe" in ctx.mem.read_cstring(out)
+
+    def test_directories_and_version(self, nt):
+        ctx, api = nt
+        out = ctx.buffer(64)
+        assert api.GetSystemDirectoryA(out, 64) > 0
+        assert api.GetWindowsDirectoryA(out, 64) > 0
+        assert api.GetProcessVersion(0) == 0x0004_0000
+        assert api.GetProcessVersion(424242) == 0
+
+    def test_process_heap_is_stable(self, nt):
+        _, api = nt
+        heap = api.GetProcessHeap()
+        assert api.GetProcessHeap() == heap
+        assert api.HeapAlloc(heap, 0, 32) != 0
+
+    def test_process_and_thread_times(self, nt):
+        ctx, api = nt
+        buffers = [ctx.buffer(8) for _ in range(4)]
+        assert api.GetProcessTimes(CURRENT_PROCESS_HANDLE, *buffers) == 1
+        assert api.GetThreadTimes(CURRENT_THREAD_HANDLE, *buffers) == 1
+        assert api.GetProcessTimes(CURRENT_PROCESS_HANDLE, 0, 0, 0, 0) == 0
+        assert ctx.process.last_error == W.ERROR_NOACCESS
+
+    def test_ids(self, nt):
+        ctx, api = nt
+        assert api.GetCurrentProcessId() == ctx.process.pid
+        assert api.GetCurrentThreadId() == ctx.process.main_thread.tid
+
+
+class TestHinderingMechanism:
+    def test_9x_reports_path_not_found_for_missing_file(self):
+        for personality, expected in (
+            (WIN95, W.ERROR_PATH_NOT_FOUND),
+            (WIN98, W.ERROR_PATH_NOT_FOUND),
+            (WINNT, W.ERROR_FILE_NOT_FOUND),
+        ):
+            ctx, api = win32_for(personality)
+            assert api.DeleteFileA(ctx.cstring(b"/tmp/missing")) == 0
+            assert ctx.process.last_error == expected, personality.key

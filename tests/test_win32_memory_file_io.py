@@ -1,0 +1,470 @@
+"""Unit tests for Win32 memory, file/directory, I/O-primitive, and
+environment APIs."""
+
+import pytest
+
+from repro.core.context import TestContext
+from repro.sim.errors import AccessViolation, SystemCrash
+from repro.sim.machine import Machine
+from repro.sim.objects import FileObject
+from repro.win32 import errors as W
+from repro.win32.io_api import STD_INPUT_HANDLE, STD_OUTPUT_HANDLE
+from repro.win32.variants import WIN95, WIN98, WINNT
+
+
+def win32_for(personality):
+    machine = Machine(personality)
+    ctx = TestContext(machine, machine.spawn_process())
+    return ctx, ctx.win32
+
+
+@pytest.fixture()
+def nt():
+    return win32_for(WINNT)
+
+
+@pytest.fixture()
+def w98():
+    return win32_for(WIN98)
+
+
+def file_handle(ctx, content=b"file data", readable=True):
+    path = ctx.existing_file(content)
+    open_file = ctx.machine.fs.open(path, readable=readable, writable=not readable)
+    return ctx.process.handles.insert(FileObject(open_file, name=path))
+
+
+class TestVirtualMemory:
+    def test_alloc_commit_and_use(self, nt):
+        ctx, api = nt
+        addr = api.VirtualAlloc(0, 4096, 0x1000, 0x04)
+        assert addr != 0
+        ctx.mem.write(addr, b"hello")
+
+    def test_alloc_zero_size_invalid(self, nt):
+        ctx, api = nt
+        assert api.VirtualAlloc(0, 0, 0x1000, 0x04) == 0
+        assert ctx.process.last_error == W.ERROR_INVALID_PARAMETER
+
+    def test_alloc_bad_protect_rejected_on_nt(self, nt):
+        ctx, api = nt
+        assert api.VirtualAlloc(0, 4096, 0x1000, 0x12345) == 0
+
+    def test_alloc_bad_protect_accepted_silently_on_98(self, w98):
+        ctx, api = w98
+        assert api.VirtualAlloc(0, 4096, 0x1000, 0x12345) != 0
+        assert ctx.process.last_error == 0  # Silent failure material
+
+    def test_free_release(self, nt):
+        ctx, api = nt
+        addr = api.VirtualAlloc(0, 4096, 0x1000, 0x04)
+        assert api.VirtualFree(addr, 0, 0x8000) == 1
+        with pytest.raises(AccessViolation):
+            ctx.mem.read(addr, 1)
+
+    def test_free_unknown_address(self, nt):
+        ctx, api = nt
+        assert api.VirtualFree(0xDEAD_0000, 0, 0x8000) == 0
+        assert ctx.process.last_error == W.ERROR_INVALID_ADDRESS
+
+    def test_protect_changes_and_reports_old(self, nt):
+        ctx, api = nt
+        addr = api.VirtualAlloc(0, 4096, 0x1000, 0x04)
+        old = ctx.buffer(8)
+        assert api.VirtualProtect(addr, 4096, 0x02, old) == 1
+        with pytest.raises(AccessViolation):
+            ctx.mem.write(addr, b"x")
+
+    def test_query_reports_region(self, nt):
+        ctx, api = nt
+        addr = api.VirtualAlloc(0, 4096, 0x1000, 0x04)
+        info = ctx.buffer(32)
+        assert api.VirtualQuery(addr, info, 32) == 28
+        assert ctx.mem.read_u32(info) == addr
+
+    def test_query_short_buffer(self, nt):
+        ctx, api = nt
+        assert api.VirtualQuery(0, ctx.buffer(8), 8) == 0
+
+    def test_lock_unlock(self, nt):
+        ctx, api = nt
+        addr = api.VirtualAlloc(0, 4096, 0x1000, 0x04)
+        assert api.VirtualLock(addr, 4096) == 1
+        assert api.VirtualUnlock(addr, 4096) == 1
+        assert api.VirtualLock(0xDEAD_0000, 16) == 0
+
+
+class TestHeaps:
+    def test_heap_lifecycle(self, nt):
+        ctx, api = nt
+        heap = api.HeapCreate(0, 0x1000, 0x10000)
+        block = api.HeapAlloc(heap, 0, 64)
+        assert block != 0
+        assert api.HeapSize(heap, 0, block) == 64
+        assert api.HeapValidate(heap, 0, block) == 1
+        assert api.HeapFree(heap, 0, block) == 1
+        assert api.HeapDestroy(heap) == 1
+
+    def test_heap_realloc_preserves(self, nt):
+        ctx, api = nt
+        heap = api.HeapCreate(0, 0x1000, 0)
+        block = api.HeapAlloc(heap, 0, 8)
+        ctx.mem.write(block, b"12345678")
+        bigger = api.HeapReAlloc(heap, 0, block, 64)
+        assert ctx.mem.read(bigger, 8) == b"12345678"
+
+    def test_heap_alloc_over_max_with_exceptions_flag_throws(self, nt):
+        from repro.sim.errors import ThrownException
+
+        _, api = nt
+        heap = api.HeapCreate(0, 0, 0x1000)
+        with pytest.raises(ThrownException) as info:
+            api.HeapAlloc(heap, 0x4, 0x100000)
+        assert info.value.recoverable
+
+    def test_heap_create_huge_initial_crashes_95(self):
+        ctx, api = win32_for(WIN95)
+        with pytest.raises(SystemCrash):
+            api.HeapCreate(0, 0x7FFF_FFFF, 0)
+        assert ctx.machine.crash_function == "HeapCreate"
+
+    def test_heap_create_huge_initial_fails_cleanly_on_98(self, w98):
+        ctx, api = w98
+        assert api.HeapCreate(0, 0x7FFF_FFFF, 0) == 0
+        assert not ctx.machine.crashed
+
+    def test_heap_create_fine_on_nt(self, nt):
+        _, api = nt
+        assert api.HeapCreate(0, 0x7FFF_FFFF, 0) == 0  # ENOMEM, no crash
+
+    def test_heap_free_foreign_pointer(self, nt, w98):
+        ctx, api = nt
+        heap = api.HeapCreate(0, 0x1000, 0)
+        assert api.HeapFree(heap, 0, 0xDEAD) == 0
+        ctx98, api98 = w98
+        heap98 = api98.HeapCreate(0, 0x1000, 0)
+        assert api98.HeapFree(heap98, 0, 0xDEAD) == 1  # 9x lies
+
+
+class TestLegacyAllocators:
+    def test_global_alloc_free(self, nt):
+        ctx, api = nt
+        handle = api.GlobalAlloc(0, 64)
+        assert api.GlobalSize(handle) == 64
+        assert api.GlobalFree(handle) == 0
+
+    def test_global_free_wild_pointer_faults(self, nt):
+        _, api = nt
+        with pytest.raises(AccessViolation):
+            api.GlobalFree(0xDEAD_0000)
+
+    def test_local_alloc_free(self, nt):
+        _, api = nt
+        handle = api.LocalAlloc(0, 32)
+        assert api.LocalFree(handle) == 0
+        assert api.LocalFree(0) == 0
+
+
+class TestFileApi:
+    def test_create_file_and_read_write(self, nt):
+        ctx, api = nt
+        handle = api.CreateFileA(
+            ctx.cstring(b"/tmp/cf.txt"), 0xC000_0000, 0, 0, 2, 0x80, 0
+        )
+        assert handle not in (0, 0xFFFF_FFFF)
+        written = ctx.buffer(8)
+        src = ctx.buffer(8, b"ABCDEFGH")
+        assert api.WriteFile(handle, src, 8, written, 0) == 1
+        assert ctx.mem.read_u32(written) == 8
+        assert api.SetFilePointer(handle, 0, 0, 0) == 0
+        dest = ctx.buffer(8)
+        read_count = ctx.buffer(8)
+        assert api.ReadFile(handle, dest, 8, read_count, 0) == 1
+        assert ctx.mem.read(dest, 8) == b"ABCDEFGH"
+
+    def test_create_new_conflicts(self, nt):
+        ctx, api = nt
+        path = ctx.existing_file()
+        handle = api.CreateFileA(
+            ctx.cstring(path.encode()), 0x8000_0000, 0, 0, 1, 0x80, 0
+        )
+        assert handle == 0xFFFF_FFFF
+        assert ctx.process.last_error == W.ERROR_FILE_EXISTS
+
+    def test_open_existing_missing(self, nt):
+        ctx, api = nt
+        handle = api.CreateFileA(
+            ctx.cstring(b"/tmp/missing"), 0x8000_0000, 0, 0, 3, 0x80, 0
+        )
+        assert handle == 0xFFFF_FFFF
+        assert ctx.process.last_error == W.ERROR_FILE_NOT_FOUND
+
+    def test_delete_copy_move(self, nt):
+        ctx, api = nt
+        path = ctx.existing_file(b"xyz")
+        copy = b"/tmp/copy.dat"
+        assert api.CopyFileA(ctx.cstring(path.encode()), ctx.cstring(copy), 0) == 1
+        assert api.MoveFileA(ctx.cstring(copy), ctx.cstring(b"/tmp/moved.dat")) == 1
+        assert api.DeleteFileA(ctx.cstring(b"/tmp/moved.dat")) == 1
+
+    def test_directories(self, nt):
+        ctx, api = nt
+        assert api.CreateDirectoryA(ctx.cstring(b"/tmp/nd"), 0) == 1
+        assert api.SetCurrentDirectoryA(ctx.cstring(b"/tmp/nd")) == 1
+        out = ctx.buffer(64)
+        assert api.GetCurrentDirectoryA(64, out) > 0
+        assert api.RemoveDirectoryA(ctx.cstring(b"/tmp/nd")) == 1
+
+    def test_attributes(self, nt):
+        ctx, api = nt
+        path = ctx.existing_file()
+        encoded = ctx.cstring(path.encode())
+        assert api.GetFileAttributesA(encoded) == 0x80  # NORMAL
+        assert api.SetFileAttributesA(encoded, 0x01) == 1
+        assert api.GetFileAttributesA(encoded) & 0x01
+
+    def test_get_file_information_by_handle(self, nt):
+        ctx, api = nt
+        handle = file_handle(ctx, b"12345")
+        info = ctx.buffer(64)
+        assert api.GetFileInformationByHandle(handle, info) == 1
+        assert ctx.mem.read_u32(info + 36) == 5  # size low
+
+    def test_gfibh_bad_buffer_crashes_98(self, w98):
+        ctx, api = w98
+        handle = file_handle(ctx)
+        with pytest.raises(SystemCrash):
+            api.GetFileInformationByHandle(handle, 0)
+
+    def test_filetime_conversions(self, nt):
+        ctx, api = nt
+        ft = ctx.buffer(8)
+        st = ctx.buffer(16)
+        handle = file_handle(ctx)
+        assert api.GetFileTime(handle, ft, 0, 0) == 1
+        assert api.FileTimeToSystemTime(ft, st) == 1
+        year = ctx.mem.read_u16(st)
+        assert year == 2000  # simulated epoch is June 2000
+
+    def test_filetime_garbage_rejected_on_nt(self, nt):
+        ctx, api = nt
+        ft = ctx.buffer(8, b"\xff" * 8)
+        assert api.FileTimeToSystemTime(ft, ctx.buffer(16)) == 0
+        assert ctx.process.last_error == W.ERROR_INVALID_PARAMETER
+
+    def test_filetime_null_crashes_95(self):
+        ctx, api = win32_for(WIN95)
+        with pytest.raises(SystemCrash):
+            api.FileTimeToSystemTime(0, 0)
+
+    def test_find_files(self, nt):
+        ctx, api = nt
+        ctx.existing_file()
+        data = ctx.buffer(320)
+        handle = api.FindFirstFileA(ctx.cstring(b"/tmp/*"), data)
+        assert handle != 0xFFFF_FFFF
+        api.FindNextFileA(handle, data)
+        assert api.FindClose(handle) == 1
+
+    def test_temp_names(self, nt):
+        ctx, api = nt
+        out = ctx.buffer(64)
+        assert api.GetTempPathA(64, out) == 5
+        assert ctx.mem.read_cstring(out) == b"/tmp/"
+        name_out = ctx.buffer(260)
+        unique = api.GetTempFileNameA(
+            ctx.cstring(b"/tmp"), ctx.cstring(b"bt"), 0, name_out
+        )
+        assert unique != 0
+        created = ctx.mem.read_cstring(name_out).decode()
+        assert ctx.machine.fs.lookup(created) is not None
+
+    def test_full_path_name(self, nt):
+        ctx, api = nt
+        out = ctx.buffer(64)
+        written = api.GetFullPathNameA(ctx.cstring(b"/tmp/../tmp/a"), 64, out, 0)
+        assert written == len("/tmp/a")
+        assert ctx.mem.read_cstring(out) == b"/tmp/a"
+
+    def test_disk_and_drive_info(self, nt):
+        ctx, api = nt
+        assert api.GetDriveTypeA(0) == 3
+        sectors = ctx.buffer(8)
+        assert api.GetDiskFreeSpaceA(0, sectors, 0, 0, 0) == 1
+        assert api.GetLogicalDrives() == 0b100
+
+
+class TestIoPrimitives:
+    def test_close_handle_strict_vs_lax(self, nt, w98):
+        ctx, api = nt
+        assert api.CloseHandle(0xBAD0) == 0
+        assert ctx.process.last_error == W.ERROR_INVALID_HANDLE
+        ctx98, api98 = w98
+        assert api98.CloseHandle(0xBAD0) == 1  # Silent failure
+        assert ctx98.process.last_error == 0
+
+    def test_duplicate_handle_happy_path(self, nt):
+        ctx, api = nt
+        source = file_handle(ctx)
+        out = ctx.buffer(8)
+        assert (
+            api.DuplicateHandle(
+                0xFFFF_FFFF, source, 0xFFFF_FFFF, out, 0, 0, 0
+            )
+            == 1
+        )
+        new_handle = ctx.mem.read_u32(out)
+        assert ctx.process.handles.get(new_handle) is not None
+
+    def test_duplicate_handle_corrupts_98(self, w98):
+        ctx, api = w98
+        source = file_handle(ctx)
+        assert (
+            api.DuplicateHandle(0xFFFF_FFFF, source, 0xFFFF_FFFF, 1, 0, 0, 0) == 1
+        )
+        assert ctx.machine.corruption_level >= 1
+
+    def test_duplicate_handle_bad_target_on_nt(self, nt):
+        ctx, api = nt
+        source = file_handle(ctx)
+        assert (
+            api.DuplicateHandle(0xFFFF_FFFF, source, 0xFFFF_FFFF, 1, 0, 0, 0) == 0
+        )
+        assert ctx.process.last_error == W.ERROR_NOACCESS
+
+    def test_std_handles(self, nt):
+        ctx, api = nt
+        handle = api.GetStdHandle(STD_INPUT_HANDLE)
+        assert handle not in (0, 0xFFFF_FFFF)
+        assert api.GetStdHandle(STD_INPUT_HANDLE) == handle  # stable
+        assert api.GetStdHandle(77) == 0xFFFF_FFFF
+        assert api.SetStdHandle(STD_OUTPUT_HANDLE, handle) == 1
+
+    def test_locks(self, nt):
+        ctx, api = nt
+        handle = file_handle(ctx)
+        assert api.LockFile(handle, 0, 0, 10, 0) == 1
+        assert api.LockFile(handle, 5, 0, 10, 0) == 0  # overlap
+        assert ctx.process.last_error == W.ERROR_LOCK_VIOLATION
+        assert api.UnlockFile(handle, 0, 0, 10, 0) == 1
+        assert api.UnlockFile(handle, 0, 0, 10, 0) == 0
+
+    def test_read_file_requires_result_channel(self, nt):
+        ctx, api = nt
+        handle = file_handle(ctx)
+        assert api.ReadFile(handle, ctx.buffer(8), 8, 0, 0) == 0
+        assert ctx.process.last_error == W.ERROR_INVALID_PARAMETER
+
+    def test_write_file_bad_source_graceful_on_nt(self, nt):
+        ctx, api = nt
+        handle = file_handle(ctx, readable=False)
+        assert api.WriteFile(handle, 0xDEAD_0000, 8, ctx.buffer(8), 0) == 0
+        assert ctx.process.last_error == W.ERROR_NOACCESS
+
+    def test_set_file_pointer_negative_seek(self, nt):
+        ctx, api = nt
+        handle = file_handle(ctx)
+        assert api.SetFilePointer(handle, -5, 0, 0) == 0xFFFF_FFFF
+        assert ctx.process.last_error == W.ERROR_NEGATIVE_SEEK
+
+    def test_flush_file_buffers(self, nt):
+        ctx, api = nt
+        assert api.FlushFileBuffers(file_handle(ctx)) == 1
+
+
+class TestEnvironment:
+    def test_env_roundtrip(self, nt):
+        ctx, api = nt
+        assert api.SetEnvironmentVariableA(
+            ctx.cstring(b"BALLISTA_VAR"), ctx.cstring(b"value1")
+        ) == 1
+        out = ctx.buffer(64)
+        length = api.GetEnvironmentVariableA(ctx.cstring(b"BALLISTA_VAR"), out, 64)
+        assert length == 6
+        assert ctx.mem.read_cstring(out) == b"value1"
+
+    def test_env_missing(self, nt):
+        ctx, api = nt
+        assert api.GetEnvironmentVariableA(ctx.cstring(b"NOPE"), ctx.buffer(8), 8) == 0
+        assert ctx.process.last_error == W.ERROR_ENVVAR_NOT_FOUND
+
+    def test_env_small_buffer_reports_needed(self, nt):
+        ctx, api = nt
+        needed = api.GetEnvironmentVariableA(ctx.cstring(b"PATH"), ctx.buffer(2), 2)
+        assert needed > 2
+
+    def test_env_name_with_equals_rejected(self, nt):
+        ctx, api = nt
+        assert api.SetEnvironmentVariableA(ctx.cstring(b"A=B"), ctx.cstring(b"x")) == 0
+
+    def test_expand_environment_strings(self, nt):
+        ctx, api = nt
+        out = ctx.buffer(128)
+        api.ExpandEnvironmentStringsA(ctx.cstring(b"home=%HOME%"), out, 128)
+        assert ctx.mem.read_cstring(out) == b"home=/home/ballista"
+
+    def test_environment_strings_block(self, nt):
+        ctx, api = nt
+        block = api.GetEnvironmentStrings()
+        assert block != 0
+        assert api.FreeEnvironmentStringsA(block) == 1
+        assert api.FreeEnvironmentStringsA(block) == 0  # already freed
+
+    def test_startup_info_faults_on_bad_pointer_even_on_nt(self, nt):
+        _, api = nt
+        with pytest.raises(AccessViolation):
+            api.GetStartupInfoA(0)
+
+    def test_version_infrastructure(self, nt, w98):
+        _, api = nt
+        assert api.GetVersion() == 0x0000_0004
+        _, api98 = w98
+        assert api98.GetVersion() == 0xC000_0004
+
+    def test_version_ex_validates_size_field(self, nt):
+        ctx, api = nt
+        info = ctx.buffer(148)
+        assert api.GetVersionExA(info) == 0  # cb field is zero
+        ctx.mem.write_u32(info, 148)
+        assert api.GetVersionExA(info) == 1
+
+    def test_computer_name(self, nt):
+        ctx, api = nt
+        size_ptr = ctx.buffer(8)
+        ctx.mem.write_u32(size_ptr, 64)
+        out = ctx.buffer(64)
+        assert api.GetComputerNameA(out, size_ptr) == 1
+        assert ctx.mem.read_cstring(out) == b"BALLISTA-PC"
+        assert api.SetComputerNameA(ctx.cstring(b"bad name!")) == 0
+
+    def test_is_bad_pointers_never_fault(self, nt):
+        ctx, api = nt
+        good = ctx.buffer(16)
+        assert api.IsBadReadPtr(good, 16) == 0
+        assert api.IsBadReadPtr(0, 16) == 1
+        assert api.IsBadWritePtr(ctx.readonly_buffer(), 4) == 1
+        assert api.IsBadStringPtrA(ctx.cstring(b"ok"), 100) == 0
+        assert api.IsBadStringPtrA(0, 100) == 1
+
+    def test_tick_count_and_times(self, nt):
+        ctx, api = nt
+        ctx.machine.clock.begin_call("Sleep")
+        api.Sleep(100)
+        assert api.GetTickCount() >= 100
+        counter = ctx.buffer(8)
+        assert api.QueryPerformanceCounter(counter) == 1
+        assert api.QueryPerformanceFrequency(counter) == 1
+
+    def test_last_error_slot(self, nt):
+        ctx, api = nt
+        api.SetLastError(1234)
+        assert api.GetLastError() == 1234
+
+    def test_system_time(self, nt):
+        ctx, api = nt
+        st = ctx.buffer(16)
+        api.GetSystemTime(st)
+        assert ctx.mem.read_u16(st) == 2000  # year
+        assert api.SetSystemTime(st) == 1
+        bad = ctx.buffer(16, b"\xff" * 16)
+        assert api.SetSystemTime(bad) == 0

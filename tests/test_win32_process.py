@@ -1,0 +1,327 @@
+"""Unit tests for the Win32 process/thread/synchronisation API,
+including the paper's Listing 1 crash matrix."""
+
+import pytest
+
+from repro.core.context import TestContext
+from repro.sim.errors import SystemCrash, TaskHang
+from repro.sim.machine import Machine
+from repro.sim.objects import (
+    CURRENT_PROCESS_HANDLE,
+    CURRENT_THREAD_HANDLE,
+    EventObject,
+)
+from repro.win32 import errors as W
+from repro.win32.variants import WIN2000, WIN95, WIN98, WIN98SE, WINCE, WINNT
+
+
+def win32_for(personality):
+    machine = Machine(personality)
+    ctx = TestContext(machine, machine.spawn_process())
+    return ctx, ctx.win32
+
+
+@pytest.fixture()
+def nt():
+    return win32_for(WINNT)
+
+
+@pytest.fixture()
+def w98():
+    return win32_for(WIN98)
+
+
+@pytest.fixture()
+def ce():
+    return win32_for(WINCE)
+
+
+class TestListing1:
+    """GetThreadContext(GetCurrentThread(), NULL) -- paper Listing 1."""
+
+    @pytest.mark.parametrize("personality", [WIN95, WIN98, WIN98SE, WINCE])
+    def test_crashes_9x_and_ce(self, personality):
+        ctx, api = win32_for(personality)
+        with pytest.raises(SystemCrash):
+            api.GetThreadContext(CURRENT_THREAD_HANDLE, 0)
+        assert ctx.machine.crashed
+
+    @pytest.mark.parametrize("personality", [WINNT, WIN2000])
+    def test_graceful_on_nt_family(self, personality):
+        ctx, api = win32_for(personality)
+        assert api.GetThreadContext(CURRENT_THREAD_HANDLE, 0) == 0
+        assert ctx.process.last_error == W.ERROR_NOACCESS
+        assert not ctx.machine.crashed
+
+
+class TestThreadContext:
+    def test_get_then_set_roundtrip(self, nt):
+        ctx, api = nt
+        buf = ctx.buffer(64)
+        assert api.GetThreadContext(CURRENT_THREAD_HANDLE, buf) == 1
+        ctx.mem.write_u32(buf + 4, 0x1234)  # eax
+        assert api.SetThreadContext(CURRENT_THREAD_HANDLE, buf) == 1
+        assert ctx.process.main_thread.context["eax"] == 0x1234
+
+    def test_bad_handle_fails_before_pointer_use(self, nt):
+        ctx, api = nt
+        assert api.GetThreadContext(0xBAD0, 0) == 0
+        assert ctx.process.last_error == W.ERROR_INVALID_HANDLE
+
+    def test_9x_bad_handle_is_silent_success(self, w98):
+        ctx, api = w98
+        assert api.GetThreadContext(0xBAD0, 0) == 1  # lax validation
+        assert ctx.process.last_error == 0
+        assert not ctx.machine.crashed
+
+    def test_small_context_buffer_crashes_9x(self, w98):
+        ctx, api = w98
+        small = ctx.buffer(16)  # CONTEXT is 64 bytes
+        with pytest.raises(SystemCrash):
+            api.GetThreadContext(CURRENT_THREAD_HANDLE, small)
+
+
+class TestThreads:
+    def test_create_and_manage_thread(self, nt):
+        ctx, api = nt
+        tid_out = ctx.buffer(8)
+        handle = api.CreateThread(0, 0, ctx.process.code_region.start, 0, 4, tid_out)
+        assert handle != 0
+        tid = ctx.mem.read_u32(tid_out)
+        assert tid != 0
+        assert api.ResumeThread(handle) == 1
+        assert api.SuspendThread(handle) == 0
+        assert api.TerminateThread(handle, 9) == 1
+
+    def test_create_thread_bad_id_pointer_on_nt_fails(self, nt):
+        ctx, api = nt
+        assert api.CreateThread(0, 0, ctx.process.code_region.start, 0, 0, 1) == 0
+        assert ctx.process.last_error == W.ERROR_NOACCESS
+
+    def test_create_thread_corrupts_98se(self):
+        ctx, api = win32_for(WIN98SE)
+        handle = api.CreateThread(0, 0, ctx.process.code_region.start, 0, 0, 1)
+        assert handle != 0  # the misdirected write "succeeded"
+        assert ctx.machine.corruption_level >= 1
+
+    def test_create_thread_flags_validated(self, nt):
+        ctx, api = nt
+        assert api.CreateThread(0, 0, 0, 0, 0xFF, 0) == 0
+        assert ctx.process.last_error == W.ERROR_INVALID_PARAMETER
+
+    def test_exit_codes(self, nt):
+        ctx, api = nt
+        handle = api.CreateThread(0, 0, ctx.process.code_region.start, 0, 0, 0)
+        out = ctx.buffer(8)
+        assert api.GetExitCodeThread(handle, out) == 1
+        assert ctx.mem.read_u32(out) == 259  # STILL_ACTIVE
+        api.TerminateThread(handle, 7)
+        api.GetExitCodeThread(handle, out)
+        assert ctx.mem.read_u32(out) == 7
+
+    def test_thread_priority(self, nt):
+        ctx, api = nt
+        assert api.GetThreadPriority(CURRENT_THREAD_HANDLE) == 0
+        assert api.SetThreadPriority(CURRENT_THREAD_HANDLE, 2) == 1
+        assert api.SetThreadPriority(CURRENT_THREAD_HANDLE, 99) == 0
+
+
+class TestWaiting:
+    def test_wait_signaled_event(self, nt):
+        ctx, api = nt
+        handle = ctx.process.handles.insert(EventObject(True, True))
+        assert api.WaitForSingleObject(handle, 100) == W.WAIT_OBJECT_0
+
+    def test_wait_timeout(self, nt):
+        ctx, api = nt
+        handle = ctx.process.handles.insert(EventObject(True, False))
+        ctx.machine.clock.begin_call("WaitForSingleObject")
+        assert api.WaitForSingleObject(handle, 100) == W.WAIT_TIMEOUT
+
+    def test_wait_infinite_on_unsignaled_hangs(self, nt):
+        ctx, api = nt
+        handle = ctx.process.handles.insert(EventObject(True, False))
+        ctx.machine.clock.begin_call("WaitForSingleObject")
+        with pytest.raises(TaskHang):
+            api.WaitForSingleObject(handle, 0xFFFF_FFFF)
+
+    def test_auto_reset_event_consumed_by_wait(self, nt):
+        ctx, api = nt
+        handle = ctx.process.handles.insert(EventObject(False, True))
+        assert api.WaitForSingleObject(handle, 0) == W.WAIT_OBJECT_0
+        ctx.machine.clock.begin_call("WaitForSingleObject")
+        assert api.WaitForSingleObject(handle, 10) == W.WAIT_TIMEOUT
+
+    def test_wait_multiple_any(self, nt):
+        ctx, api = nt
+        a = ctx.process.handles.insert(EventObject(True, False))
+        b = ctx.process.handles.insert(EventObject(True, True))
+        array = ctx.buffer(8)
+        ctx.mem.write_u32(array, a)
+        ctx.mem.write_u32(array + 4, b)
+        assert api.WaitForMultipleObjects(2, array, 0, 100) == W.WAIT_OBJECT_0 + 1
+
+    def test_wait_multiple_zero_count_invalid(self, nt):
+        ctx, api = nt
+        assert api.WaitForMultipleObjects(0, ctx.buffer(8), 0, 0) == W.WAIT_FAILED
+        assert ctx.process.last_error == W.ERROR_INVALID_PARAMETER
+
+    def test_msgwait_bad_array_crashes_98(self, w98):
+        ctx, api = w98
+        with pytest.raises(SystemCrash):
+            api.MsgWaitForMultipleObjects(2, 0xDEAD_0000, 0, 0, 0)
+
+    def test_msgwait_bad_array_graceful_on_nt(self, nt):
+        ctx, api = nt
+        assert api.MsgWaitForMultipleObjects(2, 0xDEAD_0000, 0, 0, 0) == W.WAIT_FAILED
+        assert ctx.process.last_error == W.ERROR_NOACCESS
+
+    def test_msgwait_ex_corrupts_98(self, w98):
+        ctx, api = w98
+        api.MsgWaitForMultipleObjectsEx(2, 0xDEAD_0000, 0, 0, 0)
+        assert ctx.machine.corruption_level >= 1
+
+    def test_signal_object_and_wait(self, nt):
+        ctx, api = nt
+        to_signal = ctx.process.handles.insert(EventObject(True, False))
+        to_wait = ctx.process.handles.insert(EventObject(True, True))
+        assert api.SignalObjectAndWait(to_signal, to_wait, 10, 0) == W.WAIT_OBJECT_0
+        assert ctx.process.handles.get(to_signal).signaled
+
+
+class TestSyncObjects:
+    def test_event_lifecycle(self, nt):
+        ctx, api = nt
+        handle = api.CreateEventA(0, 1, 0, 0)
+        assert api.SetEvent(handle) == 1
+        assert ctx.process.handles.get(handle).signaled
+        assert api.ResetEvent(handle) == 1
+        assert not ctx.process.handles.get(handle).signaled
+
+    def test_mutex_release_requires_ownership(self, nt):
+        ctx, api = nt
+        not_owned = api.CreateMutexA(0, 0, 0)
+        assert api.ReleaseMutex(not_owned) == 0
+        owned = api.CreateMutexA(0, 1, 0)
+        assert api.ReleaseMutex(owned) == 1
+
+    def test_semaphore_counts(self, nt):
+        ctx, api = nt
+        handle = api.CreateSemaphoreA(0, 1, 2, 0)
+        prev = ctx.buffer(8)
+        assert api.ReleaseSemaphore(handle, 1, prev) == 1
+        assert ctx.mem.read_u32(prev) == 1
+        assert api.ReleaseSemaphore(handle, 5, 0) == 0  # over maximum
+
+    def test_semaphore_invalid_initial(self, nt):
+        ctx, api = nt
+        assert api.CreateSemaphoreA(0, 5, 2, 0) == 0
+        assert ctx.process.last_error == W.ERROR_INVALID_PARAMETER
+
+    def test_open_event_no_named_objects(self, nt):
+        ctx, api = nt
+        assert api.OpenEventA(0, 0, ctx.cstring(b"name")) == 0
+        assert ctx.process.last_error == W.ERROR_FILE_NOT_FOUND
+
+
+class TestInterlocked:
+    def test_increment_decrement_exchange(self, nt):
+        ctx, api = nt
+        addr = ctx.buffer(8)
+        ctx.mem.write_i32(addr, 10)
+        assert api.InterlockedIncrement(addr) == 11
+        assert api.InterlockedDecrement(addr) == 10
+        assert api.InterlockedExchange(addr, 99) == 10
+        assert ctx.mem.read_i32(addr) == 99
+
+    def test_compare_exchange(self, nt):
+        ctx, api = nt
+        addr = ctx.buffer(8)
+        ctx.mem.write_i32(addr, 5)
+        assert api.InterlockedCompareExchange(addr, 9, 5) == 5
+        assert ctx.mem.read_i32(addr) == 9
+        assert api.InterlockedCompareExchange(addr, 1, 5) == 9
+        assert ctx.mem.read_i32(addr) == 9
+
+    def test_desktop_bad_pointer_faults_in_user_mode(self, nt):
+        from repro.sim.errors import AccessViolation
+
+        _, api = nt
+        with pytest.raises(AccessViolation):
+            api.InterlockedIncrement(0)
+
+    def test_ce_bad_pointer_corrupts_kernel_state(self, ce):
+        ctx, api = ce
+        api.InterlockedIncrement(0)  # kernel-assisted on CE
+        assert ctx.machine.corruption_level >= 1
+
+
+class TestProcesses:
+    def test_create_process_happy_path(self, nt):
+        ctx, api = nt
+        ctx.machine.fs.create_file("/tmp/app.exe", b"MZ")
+        startup = ctx.buffer(68)
+        ctx.mem.write_u32(startup, 68)
+        info = ctx.buffer(16)
+        result = api.CreateProcessA(
+            ctx.cstring(b"/tmp/app.exe"), 0, 0, 0, 0, 0, 0, 0, startup, info
+        )
+        assert result == 1
+        assert ctx.mem.read_u32(info) != 0
+
+    def test_create_process_missing_image(self, nt):
+        ctx, api = nt
+        startup = ctx.buffer(68)
+        assert (
+            api.CreateProcessA(
+                ctx.cstring(b"/tmp/nope.exe"), 0, 0, 0, 0, 0, 0, 0, startup, 0
+            )
+            == 0
+        )
+        assert ctx.process.last_error == W.ERROR_FILE_NOT_FOUND
+
+    def test_open_own_process(self, nt):
+        ctx, api = nt
+        handle = api.OpenProcess(0, 0, ctx.process.pid)
+        assert handle != 0
+        out = ctx.buffer(8)
+        assert api.GetExitCodeProcess(handle, out) == 1
+
+    def test_terminate_process_sets_code(self, nt):
+        ctx, api = nt
+        assert api.TerminateProcess(CURRENT_PROCESS_HANDLE, 3) == 1
+        out = ctx.buffer(8)
+        api.GetExitCodeProcess(CURRENT_PROCESS_HANDLE, out)
+        assert ctx.mem.read_u32(out) == 3
+
+    def test_read_process_memory_roundtrip(self, nt):
+        ctx, api = nt
+        src = ctx.buffer(16, b"secret data here")
+        dest = ctx.buffer(16)
+        read_out = ctx.buffer(8)
+        assert (
+            api.ReadProcessMemory(CURRENT_PROCESS_HANDLE, src, dest, 16, read_out)
+            == 1
+        )
+        assert ctx.mem.read(dest, 16) == b"secret data here"
+
+    def test_read_process_memory_corrupts_on_95(self):
+        ctx, api = win32_for(WIN95)
+        src = ctx.buffer(16)
+        api.ReadProcessMemory(CURRENT_PROCESS_HANDLE, src, 0xDEAD_0000, 16, 0)
+        assert ctx.machine.corruption_level >= 1
+
+
+class TestSleep:
+    def test_sleep_advances_clock(self, nt):
+        ctx, api = nt
+        ctx.machine.clock.begin_call("Sleep")
+        before = ctx.machine.clock.ticks
+        api.Sleep(500)
+        assert ctx.machine.clock.ticks == before + 500
+
+    def test_sleep_infinite_hangs(self, nt):
+        ctx, api = nt
+        ctx.machine.clock.begin_call("Sleep")
+        with pytest.raises(TaskHang):
+            api.Sleep(0xFFFF_FFFF)
