@@ -1,0 +1,111 @@
+"""Benchmark the distributed campaign's fault tolerance overhead.
+
+One Ballista client runs a subset campaign against the server over a
+loopback link wrapped in a seeded :class:`ChaosTransport`, at record
+drop rates of 0%, 1%, and 5%.  Each run measures wall-clock completion
+time and reports the retry/fault counters, and every run must produce
+the same result set as the fault-free local campaign -- paying for
+dependability in time, never in data.
+
+A summary of retries and injected faults per drop rate is written to
+``benchmarks/out/service_faults.txt``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.mut import MuTRegistry, default_registry
+from repro.service import (
+    BallistaClient,
+    BallistaServer,
+    ChaosConfig,
+    ChaosTransport,
+    LoopbackTransport,
+    RetryPolicy,
+)
+from repro.win32.variants import WINNT
+
+SUBSET = ["GetThreadContext", "CloseHandle", "strcpy", "isalpha", "fclose"]
+CAP = 60
+DROP_RATES = [0.0, 0.01, 0.05]
+SEED = 1990
+
+#: Tight timeouts keep a dropped record cheap; the budget is generous
+#: enough that a 5% loss rate cannot exhaust it.
+RETRY = RetryPolicy(attempts=10, call_timeout=0.25, backoff_base=0.005)
+
+_collected: dict[float, dict[str, int]] = {}
+
+
+def subset_registry() -> MuTRegistry:
+    sub = MuTRegistry()
+    for mut in default_registry().all():
+        if mut.name in SUBSET:
+            sub.register(mut)
+    return sub
+
+
+def run_campaign_at(drop_rate: float) -> dict[str, int]:
+    registry = subset_registry()
+    server = BallistaServer([WINNT], registry=registry, cap=CAP)
+    server_end, client_end = LoopbackTransport.pair()
+    server.attach(server_end)
+    chaos = ChaosTransport(
+        client_end,
+        ChaosConfig(seed=SEED, drop_rate=drop_rate, dup_rate=drop_rate),
+    )
+    client = BallistaClient(WINNT, chaos, registry=registry, retry=RETRY)
+    client.run()
+    server.join({"winnt"})
+    local = Campaign(
+        [WINNT], registry=registry, config=CampaignConfig(cap=CAP)
+    ).run()
+    for row in local.for_variant("winnt"):
+        mirrored = server.results.get("winnt", row.mut_name, api=row.api)
+        assert bytes(mirrored.codes) == bytes(row.codes), row.mut_name
+    return {
+        "calls": client.rpc.stats.calls,
+        "retries": client.rpc.stats.retries,
+        "stale_replies": client.rpc.stats.stale_replies,
+        "faults": chaos.stats.faults,
+        "duplicate_reports": server.duplicate_reports,
+    }
+
+
+@pytest.mark.parametrize("drop_rate", DROP_RATES)
+def test_campaign_under_drop_rate(benchmark, drop_rate):
+    counters = benchmark.pedantic(
+        run_campaign_at, args=(drop_rate,), rounds=1, iterations=1
+    )
+    if drop_rate == 0.0:
+        assert counters["retries"] == 0
+        assert counters["faults"] == 0
+    else:
+        assert counters["faults"] > 0
+    _collected[drop_rate] = counters
+
+
+def test_write_fault_summary(artifact_dir):
+    lines = [
+        "Distributed campaign under chaos (drop = dup rate, "
+        f"seed {SEED}, cap {CAP}, {len(SUBSET)} MuTs)",
+        "",
+        f"{'drop':>6s} {'calls':>7s} {'retries':>8s} {'stale':>7s} "
+        f"{'faults':>7s} {'dup-reports':>12s}",
+    ]
+    for rate in DROP_RATES:
+        counters = _collected.get(rate)
+        if counters is None:
+            continue
+        lines.append(
+            f"{100 * rate:5.1f}% {counters['calls']:7d} "
+            f"{counters['retries']:8d} {counters['stale_replies']:7d} "
+            f"{counters['faults']:7d} {counters['duplicate_reports']:12d}"
+        )
+    (artifact_dir / "service_faults.txt").write_text(
+        "\n".join(lines) + "\n", encoding="utf-8"
+    )

@@ -111,7 +111,12 @@ def _ce_unicode_catastrophic_count(both_rows) -> int:
 
 
 def render_table1(results: ResultSet) -> str:
-    """Table 1: Robustness failure rates by Module under Test."""
+    """Table 1: Robustness failure rates by Module under Test.
+
+    Variants whose campaign did not run to completion (dead client,
+    expired lease, interrupted run) are marked with ``!`` -- their rates
+    are computed over the MuTs that did report, not the full plan.
+    """
     headers = [
         "OS",
         "SysCalls",
@@ -128,12 +133,23 @@ def render_table1(results: ResultSet) -> str:
         "Abort",
     ]
     rows = [headers]
+    any_partial = False
     for key, name in _present(results):
         summary = summarize(results, key, display_name=name)
-        rows.append(_table1_row(summary, results))
-    return _format_table(
+        cells = _table1_row(summary, results)
+        if results.is_partial(key):
+            any_partial = True
+            cells[0] = f"!{cells[0]}"
+        rows.append(cells)
+    table = _format_table(
         rows, title="Table 1. Robustness failure rates by Module under Test"
     )
+    if any_partial:
+        table += (
+            "\n(! = partial results: the variant's campaign did not run "
+            "to completion)"
+        )
+    return table
 
 
 # ----------------------------------------------------------------------

@@ -73,6 +73,30 @@ def main(argv: list[str] | None = None) -> int:
         help="load a previously saved result set instead of running",
     )
     parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help=(
+            "periodically write a restartable campaign checkpoint to PATH "
+            "(atomic; safe to kill the run at any point)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=25,
+        metavar="N",
+        help="checkpoint after every N completed MuTs (default: 25)",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="PATH",
+        help=(
+            "resume an interrupted campaign from the checkpoint at PATH, "
+            "skipping already-completed MuTs (keeps checkpointing to the "
+            "same file unless --checkpoint overrides it)"
+        ),
+    )
+    parser.add_argument(
         "--csv",
         metavar="DIR",
         help="also write table1.csv / table2.csv into DIR",
@@ -109,13 +133,56 @@ def main(argv: list[str] | None = None) -> int:
         sys.stderr.flush()
 
     if args.load:
-        from repro.core.results_io import load_results
+        from repro.core.results_io import ResultFormatError, load_results
 
-        results = load_results(args.load)
+        try:
+            results = load_results(args.load)
+        except (OSError, ResultFormatError) as exc:
+            parser.error(f"--load {args.load}: {exc}")
     else:
+        resume = None
+        if args.resume:
+            from repro.core.results_io import ResultFormatError, load_checkpoint
+
+            try:
+                resume = load_checkpoint(args.resume)
+            except (OSError, ResultFormatError) as exc:
+                parser.error(f"--resume {args.resume}: {exc}")
+            if resume.cap and resume.cap != args.cap:
+                # The case sequences are a function of the cap: resuming
+                # under a different cap would splice incompatible plans.
+                if not args.quiet:
+                    sys.stderr.write(
+                        f"resuming at the checkpoint's cap "
+                        f"({resume.cap}), not {args.cap}\n"
+                    )
+                args.cap = resume.cap
+            if resume.variants is not None and set(resume.variants) != {
+                p.key for p in variants
+            }:
+                # The checkpoint knows which variants its run covered;
+                # adopting them beats silently re-running all seven.
+                if not args.quiet:
+                    sys.stderr.write(
+                        "resuming the checkpoint's variants "
+                        f"({','.join(resume.variants)})\n"
+                    )
+                unknown_keys = [k for k in resume.variants if k not in by_key]
+                if unknown_keys:
+                    parser.error(
+                        f"checkpoint names unknown variants: {unknown_keys}"
+                    )
+                variants = [by_key[key] for key in resume.variants]
+                keys = [p.key for p in variants]
+        checkpoint_path = args.checkpoint or args.resume
         started = time.monotonic()
         campaign = Campaign(variants, config=CampaignConfig(cap=args.cap))
-        results = campaign.run(progress=progress)
+        results = campaign.run(
+            progress=progress,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=args.checkpoint_every,
+            resume=resume,
+        )
         if not args.quiet:
             sys.stderr.write("\r" + " " * 72 + "\r")
             elapsed = time.monotonic() - started

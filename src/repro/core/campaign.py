@@ -19,6 +19,7 @@ for the paper-scale campaign.
 from __future__ import annotations
 
 import os
+import pathlib
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -27,6 +28,11 @@ from repro.core.executor import CaseOutcome, Executor
 from repro.core.generator import CaseGenerator, TestCase
 from repro.core.mut import MuT, MuTRegistry, default_registry
 from repro.core.results import ResultSet
+from repro.core.results_io import (
+    CampaignCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.core.types import TypeRegistry, default_types
 from repro.sim.machine import Machine
 from repro.sim.personality import Personality
@@ -95,11 +101,60 @@ class Campaign:
             muts = [m for m in muts if m.name in self._mut_filter]
         return muts
 
-    def run(self, progress: ProgressFn | None = None) -> ResultSet:
-        """Execute the full campaign and return the result set."""
-        results = ResultSet()
+    def run(
+        self,
+        progress: ProgressFn | None = None,
+        checkpoint_path: str | pathlib.Path | None = None,
+        checkpoint_every: int = 25,
+        resume: CampaignCheckpoint | str | pathlib.Path | None = None,
+    ) -> ResultSet:
+        """Execute the full campaign and return the result set.
+
+        :param checkpoint_path: write a restartable checkpoint document
+            here every ``checkpoint_every`` completed MuTs (and at each
+            variant boundary).  Writes are atomic, so killing the run
+            mid-checkpoint never loses the previous one.
+        :param resume: a :class:`CampaignCheckpoint` (or path to one)
+            from an interrupted run.  Already-completed MuTs are skipped
+            and per-variant machine wear (accumulated corruption, clock)
+            is restored, so the final result set matches an
+            uninterrupted run.
+        """
+        keys = [p.key for p in self.variants]
+        if isinstance(resume, (str, pathlib.Path)):
+            resume = load_checkpoint(resume)
+        if resume is not None:
+            if resume.cap and resume.cap != self.config.cap:
+                raise ValueError(
+                    f"checkpoint was taken at cap={resume.cap}, cannot "
+                    f"resume at cap={self.config.cap}"
+                )
+            if resume.variants is not None and set(resume.variants) != set(
+                keys
+            ):
+                raise ValueError(
+                    f"checkpoint was taken for variants "
+                    f"{sorted(resume.variants)}, cannot resume with "
+                    f"{sorted(keys)}"
+                )
+            checkpoint = resume
+        else:
+            checkpoint = CampaignCheckpoint(
+                ResultSet(), cap=self.config.cap, variants=keys
+            )
+        results = checkpoint.results
         for personality in self.variants:
-            self._run_variant(personality, results, progress)
+            self._run_variant(
+                personality,
+                results,
+                progress,
+                checkpoint,
+                checkpoint_path,
+                checkpoint_every,
+            )
+        checkpoint.complete = True
+        if checkpoint_path is not None:
+            save_checkpoint(checkpoint, checkpoint_path)
         return results
 
     # ------------------------------------------------------------------
@@ -109,11 +164,20 @@ class Campaign:
         personality: Personality,
         results: ResultSet,
         progress: ProgressFn | None,
+        checkpoint: CampaignCheckpoint,
+        checkpoint_path: str | pathlib.Path | None,
+        checkpoint_every: int,
     ) -> None:
         machine = Machine(personality, watchdog_ticks=self.config.watchdog_ticks)
+        wear = checkpoint.machine_wear.get(personality.key)
+        if wear:
+            machine.restore_wear(wear)
         executor = Executor(machine, self.generator)
         muts = self.muts_for(personality)
+        since_checkpoint = 0
         for position, mut in enumerate(muts):
+            if results.has(personality.key, mut.name, api=mut.api):
+                continue  # already recorded by the interrupted run
             if progress is not None:
                 progress(personality.key, mut.name, position, len(muts))
             result = results.new_result(
@@ -144,6 +208,17 @@ class Campaign:
                         result.interference_crash = True
                     machine.reboot()
                     break
+            checkpoint.cursors[personality.key] = position + 1
+            checkpoint.machine_wear[personality.key] = machine.wear_state()
+            since_checkpoint += 1
+            if (
+                checkpoint_path is not None
+                and since_checkpoint >= checkpoint_every
+            ):
+                save_checkpoint(checkpoint, checkpoint_path)
+                since_checkpoint = 0
+        if checkpoint_path is not None:
+            save_checkpoint(checkpoint, checkpoint_path)
 
     def _apply_policies(self, outcome: CaseOutcome) -> CaseOutcome:
         if (
@@ -172,20 +247,27 @@ def run_single_case(
     value_names: Sequence[str],
     registry: MuTRegistry | None = None,
     types: TypeRegistry | None = None,
+    config: CampaignConfig | None = None,
 ) -> CaseOutcome:
     """Replay one test case on a freshly booted machine -- the analogue
     of the paper's "brief single-test program representing a single test
     case" (e.g. Listing 1).  Interference (``*``) crashes do not
     reproduce here; immediate Catastrophic crashes do.
+
+    Pass the campaign's :class:`CampaignConfig` to replay under the same
+    knobs -- in particular ``watchdog_ticks``, without which a case the
+    campaign classified as a hang could replay differently under the
+    default watchdog budget.
     """
     registry = registry or default_registry()
     types = types or default_types()
+    config = config or CampaignConfig()
     mut = registry.find(mut_name) if ":" not in mut_name else registry.get(
         *mut_name.split(":", 1)
     )
     if not mut.available_on(personality):
         raise ValueError(f"{mut_name} is not available on {personality.name}")
-    machine = Machine(personality)
-    generator = CaseGenerator(types)
+    machine = Machine(personality, watchdog_ticks=config.watchdog_ticks)
+    generator = CaseGenerator(types, cap=config.cap)
     case = TestCase(mut.name, 0, tuple(value_names))
     return Executor(machine, generator).run_case(mut, case)

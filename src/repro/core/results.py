@@ -118,6 +118,20 @@ class ResultSet:
 
     def __init__(self) -> None:
         self._results: dict[tuple[str, str, str], MuTResult] = {}
+        #: Variants whose campaign did not run to completion (dead
+        #: client, expired lease, interrupted run).  Their rows are
+        #: real measurements, but coverage is incomplete and the
+        #: analysis layer flags them.
+        self._partial: set[str] = set()
+
+    def mark_partial(self, variant: str) -> None:
+        self._partial.add(variant)
+
+    def is_partial(self, variant: str) -> bool:
+        return variant in self._partial
+
+    def partial_variants(self) -> set[str]:
+        return set(self._partial)
 
     def new_result(
         self, variant: str, mut_name: str, api: str, group: str

@@ -1,4 +1,4 @@
-"""Result-set persistence.
+"""Result-set and checkpoint persistence.
 
 Campaigns are cheap at CI caps but expensive at the paper's 5000-case
 scale, so result sets can be saved to a compact JSON document and
@@ -9,17 +9,34 @@ reloaded for analysis without re-running anything:
 
 The format is versioned and self-describing; per-case code/exceptional
 arrays are hex-encoded to keep files small (one byte per test case).
+Version 2 adds the partial-variant flags; version-1 documents (which
+predate them) still load.
+
+A second document kind, the **campaign checkpoint**, makes paper-scale
+runs restartable: it bundles the partial :class:`ResultSet` with a
+per-variant plan cursor and the per-variant machine wear (accumulated
+shared-state corruption, reboot count, clock) needed to resume without
+re-executing completed MuTs.  Checkpoints are written atomically
+(temp file + rename) so a crash mid-write never corrupts the previous
+checkpoint.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+from dataclasses import dataclass, field
 
 from repro.core.crash_scale import CaseCode
 from repro.core.results import ResultSet
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: Older document versions that still load (missing fields default).
+SUPPORTED_VERSIONS = {1, 2}
+
+CHECKPOINT_FORMAT = "ballista-checkpoint"
+CHECKPOINT_VERSION = 1
 
 
 class ResultFormatError(ValueError):
@@ -48,18 +65,22 @@ def results_to_dict(results: ResultSet) -> dict:
                 "capped": row.capped,
             }
         )
-    return {
+    document = {
         "format": "ballista-results",
         "version": FORMAT_VERSION,
         "results": rows,
     }
+    partial = sorted(results.partial_variants())
+    if partial:
+        document["partial"] = partial
+    return document
 
 
 def results_from_dict(document: dict) -> ResultSet:
     """Rebuild a ResultSet from :func:`results_to_dict` output."""
     if document.get("format") != "ballista-results":
         raise ResultFormatError("not a ballista-results document")
-    if document.get("version") != FORMAT_VERSION:
+    if document.get("version") not in SUPPORTED_VERSIONS:
         raise ResultFormatError(
             f"unsupported version {document.get('version')!r}"
         )
@@ -91,21 +112,132 @@ def results_from_dict(document: dict) -> ResultSet:
             result.capped = bool(row.get("capped"))
         except (KeyError, ValueError, TypeError) as exc:
             raise ResultFormatError(f"malformed result row: {exc}") from exc
+    for variant in document.get("partial", []):
+        results.mark_partial(variant)
     return results
+
+
+def _atomic_write(path: str | pathlib.Path, text: str) -> None:
+    """Write via a sibling temp file + rename so readers never observe
+    a half-written document (a crash mid-checkpoint keeps the old one)."""
+    path = pathlib.Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
 
 
 def save_results(results: ResultSet, path: str | pathlib.Path) -> None:
     """Write a ResultSet to ``path`` as JSON."""
     document = results_to_dict(results)
-    pathlib.Path(path).write_text(
-        json.dumps(document, separators=(",", ":")), encoding="utf-8"
-    )
+    _atomic_write(path, json.dumps(document, separators=(",", ":")))
 
 
 def load_results(path: str | pathlib.Path) -> ResultSet:
-    """Read a ResultSet saved by :func:`save_results`."""
+    """Read a ResultSet saved by :func:`save_results`.
+
+    Checkpoint documents are accepted too: the embedded (partial)
+    result set is returned, so interrupted campaigns can be analysed
+    directly.
+    """
+    document = _read_json(path)
+    if document.get("format") == CHECKPOINT_FORMAT:
+        return checkpoint_from_dict(document).results
+    return results_from_dict(document)
+
+
+def _read_json(path: str | pathlib.Path) -> dict:
     try:
         document = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
         raise ResultFormatError(f"not valid JSON: {exc}") from exc
-    return results_from_dict(document)
+    if not isinstance(document, dict):
+        raise ResultFormatError("top-level JSON value must be an object")
+    return document
+
+
+# ----------------------------------------------------------------------
+# Campaign checkpoints
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CampaignCheckpoint:
+    """A restartable snapshot of a campaign in flight.
+
+    :param results: every fully-recorded MuT result so far (checkpoints
+        are only taken at MuT boundaries, so no row is half-filled).
+    :param cursors: per-variant index of the next MuT position in the
+        deterministic plan order.
+    :param machine_wear: per-variant machine state that outcomes can
+        depend on across MuTs: accumulated shared-arena corruption,
+        reboot count, and the virtual clock.
+    :param cap: the per-MuT case cap the run was started with; resuming
+        under a different cap would splice incompatible case sequences,
+        so it is refused.
+    :param variants: the variant keys the campaign was started with
+        (``None`` on hand-built checkpoints: the check is skipped).
+        Resuming with a different variant set is refused -- it would
+        silently re-run or drop whole variants.
+    :param complete: True once the campaign finished normally.
+    """
+
+    results: ResultSet
+    cursors: dict[str, int] = field(default_factory=dict)
+    machine_wear: dict[str, dict] = field(default_factory=dict)
+    cap: int = 0
+    variants: list[str] | None = None
+    complete: bool = False
+
+
+def checkpoint_to_dict(checkpoint: CampaignCheckpoint) -> dict:
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "cap": checkpoint.cap,
+        "variants": checkpoint.variants,
+        "complete": checkpoint.complete,
+        "cursors": dict(checkpoint.cursors),
+        "machine_wear": {
+            variant: dict(wear)
+            for variant, wear in checkpoint.machine_wear.items()
+        },
+        "results": results_to_dict(checkpoint.results),
+    }
+
+
+def checkpoint_from_dict(document: dict) -> CampaignCheckpoint:
+    if document.get("format") != CHECKPOINT_FORMAT:
+        raise ResultFormatError("not a ballista-checkpoint document")
+    if document.get("version") != CHECKPOINT_VERSION:
+        raise ResultFormatError(
+            f"unsupported checkpoint version {document.get('version')!r}"
+        )
+    try:
+        variants = document.get("variants")
+        return CampaignCheckpoint(
+            results=results_from_dict(document["results"]),
+            cursors={k: int(v) for k, v in document.get("cursors", {}).items()},
+            machine_wear={
+                variant: {k: int(v) for k, v in wear.items()}
+                for variant, wear in document.get("machine_wear", {}).items()
+            },
+            cap=int(document.get("cap", 0)),
+            variants=None if variants is None else [str(v) for v in variants],
+            complete=bool(document.get("complete", False)),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise ResultFormatError(f"malformed checkpoint: {exc}") from exc
+
+
+def save_checkpoint(
+    checkpoint: CampaignCheckpoint, path: str | pathlib.Path
+) -> None:
+    """Atomically write a checkpoint document to ``path``."""
+    _atomic_write(
+        path, json.dumps(checkpoint_to_dict(checkpoint), separators=(",", ":"))
+    )
+
+
+def load_checkpoint(path: str | pathlib.Path) -> CampaignCheckpoint:
+    """Read a checkpoint saved by :func:`save_checkpoint`."""
+    return checkpoint_from_dict(_read_json(path))

@@ -21,8 +21,20 @@ package reproduces that architecture:
 """
 
 from repro.service.ce_client import CEHostClient, CETargetAgent
+from repro.service.chaos import (
+    ChaosConfig,
+    ChaosDisconnect,
+    ChaosStats,
+    ChaosTransport,
+)
 from repro.service.client import BallistaClient
-from repro.service.rpc import LoopbackTransport, RpcClient, RpcError
+from repro.service.rpc import (
+    LoopbackTransport,
+    RetryPolicy,
+    RpcClient,
+    RpcError,
+    RpcTimeout,
+)
 from repro.service.serial import SerialLink
 from repro.service.server import BallistaServer
 
@@ -31,8 +43,14 @@ __all__ = [
     "BallistaServer",
     "CEHostClient",
     "CETargetAgent",
+    "ChaosConfig",
+    "ChaosDisconnect",
+    "ChaosStats",
+    "ChaosTransport",
     "LoopbackTransport",
+    "RetryPolicy",
     "RpcClient",
     "RpcError",
+    "RpcTimeout",
     "SerialLink",
 ]

@@ -1,0 +1,178 @@
+"""Deterministic fault injection for service transports.
+
+The paper's Ballista service had to stay dependable while the systems
+under test crashed around it; this module lets us *test* that
+dependability.  :class:`ChaosTransport` wraps any
+:class:`~repro.service.rpc.Transport` and injects record drops,
+duplication, truncation, byte corruption, delivery delays, and mid-call
+disconnects, all driven by a seeded RNG so every failure schedule is
+reproducible.
+
+Faults are decided per record and per direction.  A dropped outgoing
+record is silently discarded; a dropped incoming record is consumed
+from the inner transport and thrown away (the reader keeps waiting, as
+if the reply were lost in transit).  A disconnect kills the transport:
+every later operation raises :class:`ChaosDisconnect`, modelling a
+client or link that died mid-campaign.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.service.rpc import RpcError, RpcTimeout, Transport
+
+
+class ChaosDisconnect(RpcError):
+    """The chaos schedule severed this connection."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Fault probabilities (each decided independently per record).
+
+    :param seed: RNG seed; the same seed replays the same fault
+        schedule for the same sequence of operations.
+    :param drop_rate: probability a record vanishes in transit.
+    :param dup_rate: probability a record is delivered twice.
+    :param corrupt_rate: probability some bytes are flipped.
+    :param truncate_rate: probability the record loses its tail.
+    :param delay_rate: probability delivery sleeps ``delay_s`` first.
+    :param disconnect_after: sever the link permanently after this many
+        records have crossed it (``None`` = never).
+    :param delay_s: real-time delay injected by a delay fault.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    truncate_rate: float = 0.0
+    delay_rate: float = 0.0
+    disconnect_after: int | None = None
+    delay_s: float = 0.002
+
+
+@dataclass
+class ChaosStats:
+    """What the chaos schedule actually did."""
+
+    sent: int = 0
+    received: int = 0
+    drops: int = 0
+    dups: int = 0
+    corruptions: int = 0
+    truncations: int = 0
+    delays: int = 0
+    disconnects: int = 0
+
+    @property
+    def faults(self) -> int:
+        return (
+            self.drops
+            + self.dups
+            + self.corruptions
+            + self.truncations
+            + self.delays
+            + self.disconnects
+        )
+
+
+class ChaosTransport(Transport):
+    """A :class:`Transport` decorator that misbehaves on schedule."""
+
+    def __init__(
+        self,
+        inner: Transport,
+        config: ChaosConfig | None = None,
+        sleep=time.sleep,
+    ) -> None:
+        self.inner = inner
+        self.config = config or ChaosConfig()
+        self.stats = ChaosStats()
+        self._rng = random.Random(self.config.seed)
+        self._sleep = sleep
+        self._pending: list[bytes] = []  # duplicated inbound records
+        self._records_seen = 0
+        self._dead = False
+
+    # ------------------------------------------------------------------
+
+    def _check_disconnect(self) -> None:
+        if self._dead:
+            raise ChaosDisconnect("chaos: connection is down")
+        after = self.config.disconnect_after
+        if after is not None and self._records_seen >= after:
+            self._dead = True
+            self.stats.disconnects += 1
+            raise ChaosDisconnect(
+                f"chaos: connection severed after {after} records"
+            )
+
+    def _chance(self, rate: float) -> bool:
+        return rate > 0 and self._rng.random() < rate
+
+    def _mutate(self, payload: bytes) -> bytes:
+        """Apply corruption/truncation faults to a payload copy."""
+        if self._chance(self.config.truncate_rate) and len(payload) > 1:
+            self.stats.truncations += 1
+            payload = payload[: self._rng.randrange(1, len(payload))]
+        if self._chance(self.config.corrupt_rate) and payload:
+            self.stats.corruptions += 1
+            mutated = bytearray(payload)
+            for _ in range(self._rng.randint(1, 3)):
+                index = self._rng.randrange(len(mutated))
+                mutated[index] ^= self._rng.randint(1, 255)
+            payload = bytes(mutated)
+        return payload
+
+    def _maybe_delay(self) -> None:
+        if self._chance(self.config.delay_rate):
+            self.stats.delays += 1
+            self._sleep(self.config.delay_s)
+
+    # ------------------------------------------------------------------
+
+    def send_record(self, payload: bytes) -> None:
+        self._check_disconnect()
+        self._records_seen += 1
+        if self._chance(self.config.drop_rate):
+            self.stats.drops += 1
+            return
+        self._maybe_delay()
+        payload = self._mutate(payload)
+        copies = 2 if self._chance(self.config.dup_rate) else 1
+        if copies == 2:
+            self.stats.dups += 1
+        for _ in range(copies):
+            self.inner.send_record(payload)
+        self.stats.sent += 1
+
+    def recv_record(self, timeout: float | None = None) -> bytes:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            self._check_disconnect()
+            if self._pending:
+                record = self._pending.pop(0)
+            else:
+                remaining: float | None = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise RpcTimeout("chaos recv timed out")
+                record = self.inner.recv_record(timeout=remaining)
+            self._records_seen += 1
+            if self._chance(self.config.drop_rate):
+                self.stats.drops += 1
+                continue  # lost in transit: keep waiting
+            if self._chance(self.config.dup_rate):
+                self.stats.dups += 1
+                self._pending.append(record)
+            self._maybe_delay()
+            self.stats.received += 1
+            return self._mutate(record)
+
+    def close(self) -> None:
+        self.inner.close()

@@ -5,11 +5,23 @@ machine, announces itself to the server, pulls the deterministic test
 plan for each MuT, executes every case in a fresh process, and streams
 one result batch per MuT back.  A Catastrophic failure interrupts the
 MuT (the machine reboots) exactly as in the local campaign.
+
+Dependability: calls go through a retrying
+:class:`~repro.service.rpc.RpcClient` (exponential backoff, per-call
+deadlines) so a lossy link does not kill the campaign; every REPORT
+carries a per-variant sequence number so a retransmitted batch is never
+double-counted by the server; and the client can periodically write a
+small checkpoint file from which a restarted client resumes, skipping
+MuTs whose batches the server already acknowledged.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import pathlib
 import socket
+from typing import Callable
 
 from repro.core.crash_scale import CaseCode
 from repro.core.executor import Executor
@@ -17,15 +29,24 @@ from repro.core.generator import CaseGenerator, TestCase
 from repro.core.mut import MuTRegistry, default_registry
 from repro.core.types import TypeRegistry, default_types
 from repro.service import protocol as P
-from repro.service.rpc import RpcClient, SocketTransport, Transport
+from repro.service.rpc import RetryPolicy, RpcClient, SocketTransport, Transport
 from repro.sim.machine import Machine
 from repro.sim.personality import Personality
 
 _INTERFERENCE_MARKER = "accumulated corruption"
 
+CLIENT_CHECKPOINT_FORMAT = "ballista-client-checkpoint"
+
 
 class BallistaClient:
-    """Runs one variant's tests against the central server."""
+    """Runs one variant's tests against the central server.
+
+    :param retry: RPC retransmission policy; pass ``None`` for the
+        legacy single-shot behaviour (any transport fault is fatal).
+    :param checkpoint_path: write a resume file here after every
+        ``checkpoint_every`` acknowledged MuT batches; a relaunched
+        client pointed at the same path skips the acknowledged MuTs.
+    """
 
     def __init__(
         self,
@@ -33,20 +54,82 @@ class BallistaClient:
         transport: Transport,
         registry: MuTRegistry | None = None,
         types: TypeRegistry | None = None,
+        retry: RetryPolicy | None = RetryPolicy(),
+        checkpoint_path: str | pathlib.Path | None = None,
+        checkpoint_every: int = 5,
     ) -> None:
         self.personality = personality
-        self.rpc = RpcClient(transport)
+        self.rpc = RpcClient(transport, retry=retry)
         self.registry = registry or default_registry()
         self.types = types or default_types()
+        self.checkpoint_path = (
+            pathlib.Path(checkpoint_path) if checkpoint_path else None
+        )
+        self.checkpoint_every = checkpoint_every
+        #: "api:name" keys of MuTs whose REPORT the server acknowledged.
+        self._reported: set[str] = set()
+        self._seq = 0
+        self._wear: dict[str, int] = {}
+        self._load_checkpoint()
 
     @classmethod
     def connect(
-        cls, personality: Personality, host: str, port: int
+        cls,
+        personality: Personality,
+        host: str,
+        port: int,
+        wrap: Callable[[Transport], Transport] | None = None,
+        **kwargs,
     ) -> "BallistaClient":
+        """Connect over TCP.  ``wrap`` interposes on the transport before
+        the client sees it (e.g. ``ChaosTransport`` for fault drills)."""
         sock = socket.create_connection((host, port), timeout=30)
-        return cls(personality, SocketTransport(sock))
+        transport: Transport = SocketTransport(sock)
+        if wrap is not None:
+            transport = wrap(transport)
+        return cls(personality, transport, **kwargs)
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def _load_checkpoint(self) -> None:
+        if self.checkpoint_path is None or not self.checkpoint_path.exists():
+            return
+        document = json.loads(self.checkpoint_path.read_text(encoding="utf-8"))
+        if document.get("format") != CLIENT_CHECKPOINT_FORMAT:
+            raise ValueError(f"{self.checkpoint_path} is not a client checkpoint")
+        if document.get("variant") != self.personality.key:
+            raise ValueError(
+                f"checkpoint is for variant {document.get('variant')!r}, "
+                f"this client tests {self.personality.key!r}"
+            )
+        self._reported = set(document.get("reported", []))
+        self._seq = int(document.get("next_seq", len(self._reported)))
+        self._wear = {
+            k: int(v) for k, v in document.get("machine_wear", {}).items()
+        }
+
+    def _save_checkpoint(self) -> None:
+        if self.checkpoint_path is None:
+            return
+        document = {
+            "format": CLIENT_CHECKPOINT_FORMAT,
+            "version": 1,
+            "variant": self.personality.key,
+            "reported": sorted(self._reported),
+            "next_seq": self._seq,
+            "machine_wear": self._wear,
+        }
+        tmp = self.checkpoint_path.with_name(self.checkpoint_path.name + ".tmp")
+        tmp.write_text(json.dumps(document), encoding="utf-8")
+        os.replace(tmp, self.checkpoint_path)
+
+    # ------------------------------------------------------------------
+
+    def heartbeat(self) -> None:
+        """Renew this variant's lease on the server."""
+        self.rpc.call(P.PROC_HEARTBEAT, P.encode_hello(self.personality.key))
 
     def run(self) -> int:
         """Execute the full plan; returns the number of MuTs tested."""
@@ -56,9 +139,15 @@ class BallistaClient:
         entries, cap = P.decode_hello_reply(reply)
         generator = CaseGenerator(self.types, cap=cap)
         machine = Machine(self.personality)
+        if self._wear:
+            machine.restore_wear(self._wear)
         executor = Executor(machine, generator)
 
+        since_checkpoint = 0
         for entry in entries:
+            key = f"{entry.api}:{entry.name}"
+            if key in self._reported:
+                continue  # the server already has this batch
             mut = self.registry.get(entry.api, entry.name)
             plan = P.decode_plan_reply(
                 self.rpc.call(
@@ -92,9 +181,18 @@ class BallistaClient:
                     capped=generator.is_capped(mut),
                     planned=len(plan),
                     error_codes=error_codes,
+                    seq=self._seq,
                 ),
             )
+            self._seq += 1
+            self._reported.add(key)
+            self._wear = machine.wear_state()
+            since_checkpoint += 1
+            if since_checkpoint >= self.checkpoint_every:
+                self._save_checkpoint()
+                since_checkpoint = 0
         self.rpc.call(P.PROC_COMPLETE, P.encode_hello(self.personality.key))
+        self._save_checkpoint()
         return len(entries)
 
     def close(self) -> None:

@@ -17,6 +17,7 @@ PROC_GET_PLAN = 2
 PROC_REPORT = 3
 PROC_COMPLETE = 4
 PROC_SUMMARY = 5
+PROC_HEARTBEAT = 6
 
 
 @dataclass(frozen=True)
@@ -91,7 +92,11 @@ def encode_report(
     capped: bool,
     planned: int,
     error_codes: list[int] | None = None,
+    seq: int = 0,
 ) -> bytes:
+    """``seq`` is the per-variant batch sequence number: a retransmitted
+    REPORT reuses its number, which is how the server recognises (and
+    acknowledges without double-counting) duplicates."""
     enc = XdrEncoder()
     enc.string(variant).string(api).string(name)
     enc.opaque(codes).opaque(exceptional)
@@ -101,6 +106,7 @@ def encode_report(
         (code & 0xFFFF_FFFF).to_bytes(4, "big") for code in (error_codes or [])
     )
     enc.opaque(blob)
+    enc.u32(seq)
     return enc.bytes()
 
 
@@ -119,4 +125,5 @@ def decode_report(dec: XdrDecoder) -> dict:
     report["error_codes"] = [
         int.from_bytes(blob[i : i + 4], "big") for i in range(0, len(blob), 4)
     ]
+    report["seq"] = dec.u32()
     return report

@@ -15,6 +15,8 @@ import itertools
 import queue
 import socket
 import struct
+import time
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.service.xdr import XdrDecoder, XdrEncoder
@@ -34,9 +36,17 @@ BALLISTA_VERSION = 2
 
 LAST_FRAGMENT = 0x8000_0000
 
+#: Largest record (and fragment) the transport will accept.  A length
+#: prefix beyond this is treated as a framing error, not a recv target.
+MAX_RECORD = 1 << 24
+
 
 class RpcError(RuntimeError):
     """Transport- or protocol-level RPC failure."""
+
+
+class RpcTimeout(RpcError):
+    """No record arrived within the caller's deadline."""
 
 
 class Transport:
@@ -45,7 +55,9 @@ class Transport:
     def send_record(self, payload: bytes) -> None:
         raise NotImplementedError
 
-    def recv_record(self) -> bytes:
+    def recv_record(self, timeout: float | None = None) -> bytes:
+        """Receive one record; raise :class:`RpcTimeout` if ``timeout``
+        seconds elapse first (``None`` = transport default)."""
         raise NotImplementedError
 
     def close(self) -> None:  # pragma: no cover - trivial
@@ -66,10 +78,17 @@ class SocketTransport(Transport):
             raise RpcError(f"send failed: {exc}") from exc
 
     def _recv_exact(self, count: int) -> bytes:
+        if count < 0 or count > MAX_RECORD:
+            raise RpcError(
+                f"refusing to receive {count} bytes "
+                f"(sane maximum is {MAX_RECORD})"
+            )
         chunks = bytearray()
         while len(chunks) < count:
             try:
                 piece = self._sock.recv(count - len(chunks))
+            except socket.timeout as exc:
+                raise RpcTimeout("recv timed out") from exc
             except OSError as exc:
                 raise RpcError(f"recv failed: {exc}") from exc
             if not piece:
@@ -77,16 +96,27 @@ class SocketTransport(Transport):
             chunks += piece
         return bytes(chunks)
 
-    def recv_record(self) -> bytes:
-        payload = bytearray()
-        while True:
-            (header,) = struct.unpack(">I", self._recv_exact(4))
-            length = header & ~LAST_FRAGMENT
-            if length > 1 << 24:
-                raise RpcError(f"implausible fragment length {length}")
-            payload += self._recv_exact(length)
-            if header & LAST_FRAGMENT:
-                return bytes(payload)
+    def recv_record(self, timeout: float | None = None) -> bytes:
+        previous = self._sock.gettimeout()
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        try:
+            payload = bytearray()
+            while True:
+                (header,) = struct.unpack(">I", self._recv_exact(4))
+                length = header & ~LAST_FRAGMENT
+                if length > MAX_RECORD:
+                    raise RpcError(f"implausible fragment length {length}")
+                if len(payload) + length > MAX_RECORD:
+                    raise RpcError(
+                        f"record exceeds sane maximum {MAX_RECORD}"
+                    )
+                payload += self._recv_exact(length)
+                if header & LAST_FRAGMENT:
+                    return bytes(payload)
+        finally:
+            if timeout is not None:
+                self._sock.settimeout(previous)
 
     def close(self) -> None:
         try:
@@ -99,25 +129,36 @@ class LoopbackTransport(Transport):
     """One end of an in-process duplex queue pair."""
 
     def __init__(
-        self, inbox: "queue.Queue[bytes]", outbox: "queue.Queue[bytes]"
+        self,
+        inbox: "queue.Queue[bytes]",
+        outbox: "queue.Queue[bytes]",
+        default_timeout: float = 30.0,
     ) -> None:
         self._inbox = inbox
         self._outbox = outbox
+        self._default_timeout = default_timeout
 
     @classmethod
-    def pair(cls) -> tuple["LoopbackTransport", "LoopbackTransport"]:
+    def pair(
+        cls, default_timeout: float = 30.0
+    ) -> tuple["LoopbackTransport", "LoopbackTransport"]:
         a_to_b: "queue.Queue[bytes]" = queue.Queue()
         b_to_a: "queue.Queue[bytes]" = queue.Queue()
-        return cls(b_to_a, a_to_b), cls(a_to_b, b_to_a)
+        return (
+            cls(b_to_a, a_to_b, default_timeout),
+            cls(a_to_b, b_to_a, default_timeout),
+        )
 
     def send_record(self, payload: bytes) -> None:
         self._outbox.put(payload)
 
-    def recv_record(self) -> bytes:
+    def recv_record(self, timeout: float | None = None) -> bytes:
         try:
-            return self._inbox.get(timeout=30)
+            return self._inbox.get(
+                timeout=self._default_timeout if timeout is None else timeout
+            )
         except queue.Empty as exc:
-            raise RpcError("loopback recv timed out") from exc
+            raise RpcTimeout("loopback recv timed out") from exc
 
 
 # ----------------------------------------------------------------------
@@ -176,17 +217,121 @@ def decode_reply(record: bytes, expected_xid: int) -> XdrDecoder:
     return dec
 
 
-class RpcClient:
-    """Synchronous call interface over a transport."""
+@dataclass(frozen=True)
+class RetryPolicy:
+    """At-least-once call semantics: per-attempt deadline, exponential
+    backoff between retransmissions, overall attempt cap.
 
-    def __init__(self, transport: Transport) -> None:
+    Retried calls reuse their xid (classic ONC RPC retransmission), so
+    a late reply to any earlier transmission still satisfies the call;
+    replies with a foreign xid are stale duplicates and are discarded.
+    Server procedures must therefore be idempotent (the Ballista
+    protocol is: plans are pure reads, reports carry sequence numbers).
+
+    :param attempts: total transmissions per call (1 = no retries).
+    :param call_timeout: seconds to wait for a matching reply per attempt.
+    :param backoff_base: sleep before the first retry; doubles each
+        retry, capped at ``backoff_max``.
+    :param sleep: injectable sleep function (tests/benchmarks).
+    """
+
+    attempts: int = 5
+    call_timeout: float = 1.0
+    backoff_base: float = 0.02
+    backoff_max: float = 1.0
+    sleep: Callable[[float], None] = time.sleep
+
+    def backoff(self, retry_index: int) -> float:
+        return min(self.backoff_base * (2**retry_index), self.backoff_max)
+
+
+@dataclass
+class ClientStats:
+    """Observability counters for one :class:`RpcClient`."""
+
+    calls: int = 0
+    retries: int = 0
+    stale_replies: int = 0
+    corrupt_replies: int = 0
+
+
+class RpcClient:
+    """Synchronous call interface over a transport.
+
+    Without a :class:`RetryPolicy` the client is exactly-once-or-error:
+    one transmission, and any transport hiccup surfaces as
+    :class:`RpcError`.  With a policy it is at-least-once: dropped or
+    corrupted records are retransmitted with exponential backoff until
+    the attempt budget runs out.
+    """
+
+    def __init__(
+        self, transport: Transport, retry: RetryPolicy | None = None
+    ) -> None:
         self._transport = transport
         self._xids = itertools.count(1)
+        self.retry = retry
+        self.stats = ClientStats()
 
     def call(self, procedure: int, body: bytes = b"") -> XdrDecoder:
         xid = next(self._xids)
-        self._transport.send_record(encode_call(xid, procedure, body))
-        return decode_reply(self._transport.recv_record(), xid)
+        self.stats.calls += 1
+        record = encode_call(xid, procedure, body)
+        if self.retry is None:
+            self._transport.send_record(record)
+            return decode_reply(self._transport.recv_record(), xid)
+        return self._call_with_retries(xid, record)
+
+    def _call_with_retries(self, xid: int, record: bytes) -> XdrDecoder:
+        from repro.service.xdr import XdrError
+
+        policy = self.retry
+        last_error: RpcError | None = None
+        for attempt in range(policy.attempts):
+            if attempt:
+                self.stats.retries += 1
+                policy.sleep(policy.backoff(attempt - 1))
+            try:
+                self._transport.send_record(record)
+            except RpcError as exc:
+                last_error = exc
+                continue
+            deadline = time.monotonic() + policy.call_timeout
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    last_error = RpcTimeout(
+                        f"no reply to xid {xid} within "
+                        f"{policy.call_timeout}s (attempt {attempt + 1})"
+                    )
+                    break
+                try:
+                    reply = self._transport.recv_record(timeout=remaining)
+                except RpcTimeout as exc:
+                    last_error = exc
+                    break
+                except RpcError as exc:
+                    last_error = exc
+                    break
+                try:
+                    reply_xid = XdrDecoder(reply).u32()
+                except XdrError:
+                    self.stats.corrupt_replies += 1
+                    continue
+                if reply_xid != xid:
+                    # A duplicate or late reply to some earlier call.
+                    self.stats.stale_replies += 1
+                    continue
+                try:
+                    return decode_reply(reply, xid)
+                except RpcError:
+                    raise  # accepted-but-failed: retrying will not help
+                except XdrError:
+                    self.stats.corrupt_replies += 1
+                    continue
+        raise RpcError(
+            f"call gave up after {policy.attempts} attempts: {last_error}"
+        )
 
     def close(self) -> None:
         self._transport.close()

@@ -5,12 +5,23 @@ hands out test plans to clients, and accumulates their reports into a
 :class:`~repro.core.results.ResultSet` that the analysis layer consumes
 exactly as if a local :class:`~repro.core.campaign.Campaign` had
 produced it.
+
+Dependability: every procedure is idempotent so that clients may
+retransmit freely over lossy links -- HELLO and GET_PLAN are pure reads
+of deterministic state, COMPLETE is a set insert, and REPORT carries a
+per-variant sequence number so a duplicate batch is acknowledged but
+never double-counted.  The server also tracks a lease per connected
+variant (renewed by every RPC, including explicit HEARTBEATs); when a
+lease expires, :meth:`BallistaServer.join` marks that variant's results
+partial and lets the campaign finish with the survivors instead of
+hanging forever on a dead client.
 """
 
 from __future__ import annotations
 
 import socket
 import threading
+import time
 
 from repro.core.crash_scale import CaseCode
 from repro.core.generator import CaseGenerator
@@ -29,6 +40,9 @@ class BallistaServer:
     :param variants: personalities the server knows (clients announce a
         variant key at HELLO time).
     :param cap: per-MuT case cap sent to clients.
+    :param lease_s: per-variant lease duration in seconds.  A variant
+        whose lease expires (no RPC for this long after it said HELLO)
+        is declared dead by :meth:`join` and its results marked partial.
     """
 
     def __init__(
@@ -37,17 +51,26 @@ class BallistaServer:
         registry: MuTRegistry | None = None,
         types: TypeRegistry | None = None,
         cap: int = 300,
+        lease_s: float = 30.0,
     ) -> None:
         self.registry = registry or default_registry()
         self.types = types or default_types()
         self.generator = CaseGenerator(self.types, cap=cap)
         self.cap = cap
+        self.lease_s = lease_s
         self._variants = {p.key: p for p in variants}
         self.results = ResultSet()
         self._lock = threading.Lock()
         self._threads: list[threading.Thread] = []
         self._listener: socket.socket | None = None
         self._completed: set[str] = set()
+        self._expired: set[str] = set()
+        #: variant -> monotonic timestamp of its last RPC (the lease).
+        self._last_seen: dict[str, float] = {}
+        #: variant -> REPORT sequence numbers already applied.
+        self._applied_seqs: dict[str, set[int]] = {}
+        #: duplicate REPORTs acknowledged without recording.
+        self.duplicate_reports = 0
 
     # ------------------------------------------------------------------
     # Handlers
@@ -59,11 +82,17 @@ class BallistaServer:
             P.PROC_GET_PLAN: self._on_get_plan,
             P.PROC_REPORT: self._on_report,
             P.PROC_COMPLETE: self._on_complete,
+            P.PROC_HEARTBEAT: self._on_heartbeat,
         }
+
+    def _renew_lease(self, variant_key: str) -> None:
+        with self._lock:
+            self._last_seen[variant_key] = time.monotonic()
 
     def _on_hello(self, dec: XdrDecoder) -> bytes:
         variant_key = P.decode_hello(dec)
         personality = self._variants[variant_key]
+        self._renew_lease(variant_key)
         entries = [
             P.PlanEntry(m.api, m.name, m.group, m.param_types)
             for m in self.registry.for_variant(personality)
@@ -78,10 +107,18 @@ class BallistaServer:
 
     def _on_report(self, dec: XdrDecoder) -> bytes:
         report = P.decode_report(dec)
+        variant = report["variant"]
+        self._renew_lease(variant)
         mut = self.registry.get(report["api"], report["name"])
         with self._lock:
+            applied = self._applied_seqs.setdefault(variant, set())
+            if report["seq"] in applied:
+                # A retransmission of a batch we already recorded: the
+                # original ack was lost.  Acknowledge, do not re-count.
+                self.duplicate_reports += 1
+                return b""
             result = self.results.new_result(
-                report["variant"], mut.name, mut.api, mut.group
+                variant, mut.name, mut.api, mut.group
             )
             error_codes = report["error_codes"] or [0] * len(report["codes"])
             for index, (code, exceptional, error_code) in enumerate(
@@ -96,17 +133,39 @@ class BallistaServer:
             result.interference_crash = report["interference"]
             result.capped = report["capped"]
             result.planned_cases = report["planned"]
+            applied.add(report["seq"])
         return b""
 
     def _on_complete(self, dec: XdrDecoder) -> bytes:
         variant_key = P.decode_hello(dec)
+        self._renew_lease(variant_key)
         with self._lock:
             self._completed.add(variant_key)
+        return b""
+
+    def _on_heartbeat(self, dec: XdrDecoder) -> bytes:
+        self._renew_lease(P.decode_hello(dec))
         return b""
 
     def completed_variants(self) -> set[str]:
         with self._lock:
             return set(self._completed)
+
+    def expired_variants(self) -> set[str]:
+        """Variants whose lease ran out before they completed."""
+        with self._lock:
+            return set(self._expired)
+
+    def _check_leases(self) -> None:
+        """Expire leases of connected-but-silent variants."""
+        now = time.monotonic()
+        with self._lock:
+            for variant, seen in self._last_seen.items():
+                if variant in self._completed or variant in self._expired:
+                    continue
+                if now - seen > self.lease_s:
+                    self._expired.add(variant)
+                    self.results.mark_partial(variant)
 
     # ------------------------------------------------------------------
     # Transports
@@ -152,13 +211,23 @@ class BallistaServer:
                 pass
 
     def join(self, variant_keys: set[str], timeout: float = 60.0) -> None:
-        """Block until the given variants have reported completion."""
-        import time
+        """Block until every requested variant has either reported
+        completion or lost its lease.
 
+        A variant that connected but fell silent for longer than
+        ``lease_s`` is marked expired -- its partial results stay in
+        :attr:`results`, flagged via
+        :meth:`~repro.core.results.ResultSet.mark_partial` -- and the
+        campaign proceeds with the survivors.  Variants that *never*
+        connected have no lease to expire, so those still raise
+        :class:`TimeoutError` when ``timeout`` runs out.
+        """
         deadline = time.monotonic() + timeout
         while time.monotonic() < deadline:
-            if variant_keys <= self.completed_variants():
+            self._check_leases()
+            settled = self.completed_variants() | self.expired_variants()
+            if variant_keys <= settled:
                 return
             time.sleep(0.01)
-        missing = variant_keys - self.completed_variants()
+        missing = variant_keys - self.completed_variants() - self.expired_variants()
         raise TimeoutError(f"clients never completed: {sorted(missing)}")

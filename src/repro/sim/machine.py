@@ -12,8 +12,6 @@ Catastrophic failure.
 
 from __future__ import annotations
 
-import itertools
-
 from repro.sim.clock import SimClock
 from repro.sim.errors import MachineCrashed, SystemCrash
 from repro.sim.filesystem import FileSystem
@@ -52,7 +50,7 @@ class Machine:
             "TEMP": "/tmp",
             "BALLISTA": "1",
         }
-        self._pids = itertools.count(100)
+        self._next_pid = 100
         self._boot()
 
     def _boot(self) -> None:
@@ -90,13 +88,39 @@ class Machine:
     def spawn_process(self) -> Process:
         """Start a fresh process (one Ballista test case runs in one)."""
         self.check_alive()
-        return Process(self, next(self._pids))
+        pid = self._next_pid
+        self._next_pid += 1
+        return Process(self, pid)
 
     def reboot(self) -> None:
         """Power-cycle after a crash: fresh filesystem, shared arena and
         corruption state.  (Ballista restarts testing after a reboot.)"""
         self.reboot_count += 1
         self._boot()
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+
+    def wear_state(self) -> dict[str, int]:
+        """The cross-MuT machine state a campaign checkpoint must carry
+        so a resumed run classifies like an uninterrupted one: the
+        accumulated shared-arena corruption (what turns into ``*``
+        interference crashes), plus reboot count, virtual clock, and the
+        pid counter for full determinism of the simulated environment."""
+        return {
+            "corruption": self._corruption,
+            "reboot_count": self.reboot_count,
+            "clock_ticks": self.clock.ticks,
+            "next_pid": self._next_pid,
+        }
+
+    def restore_wear(self, wear: dict[str, int]) -> None:
+        """Reapply :meth:`wear_state` to a freshly booted machine."""
+        self._corruption = int(wear.get("corruption", 0))
+        self.reboot_count = int(wear.get("reboot_count", 0))
+        self.clock.ticks = int(wear.get("clock_ticks", 0))
+        self._next_pid = int(wear.get("next_pid", self._next_pid))
 
     # ------------------------------------------------------------------
     # Crash semantics

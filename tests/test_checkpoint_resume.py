@@ -1,0 +1,510 @@
+"""Checkpoint/resume: interrupted campaigns (local or distributed) must
+restart without re-executing completed MuTs and still produce the exact
+result set of an uninterrupted run."""
+
+import json
+
+import pytest
+
+from repro.core.campaign import Campaign, CampaignConfig, run_single_case
+from repro.core.generator import CaseGenerator
+from repro.core.mut import MuTRegistry
+from repro.core.results import ResultSet
+from repro.core.results_io import (
+    CampaignCheckpoint,
+    ResultFormatError,
+    checkpoint_from_dict,
+    checkpoint_to_dict,
+    load_checkpoint,
+    load_results,
+    results_from_dict,
+    results_to_dict,
+    save_checkpoint,
+    save_results,
+)
+from repro.service import (
+    BallistaClient,
+    BallistaServer,
+    ChaosConfig,
+    ChaosTransport,
+    LoopbackTransport,
+    RetryPolicy,
+    RpcError,
+)
+
+SUBSET = ["GetThreadContext", "CloseHandle", "strcpy", "isalpha", "fclose"]
+
+
+@pytest.fixture()
+def subset_registry(registry):
+    sub = MuTRegistry()
+    for mut in registry.all():
+        if mut.name in SUBSET:
+            sub.register(mut)
+    return sub
+
+
+def assert_same_results(actual: ResultSet, expected: ResultSet) -> None:
+    assert len(actual) == len(expected)
+    for row in expected:
+        mirrored = actual.get(row.variant, row.mut_name, api=row.api)
+        context = (row.variant, row.mut_name)
+        assert bytes(mirrored.codes) == bytes(row.codes), context
+        assert bytes(mirrored.exceptional) == bytes(row.exceptional), context
+        assert mirrored.error_codes == row.error_codes, context
+        assert mirrored.details == row.details, context
+        assert mirrored.failing_cases == row.failing_cases, context
+        assert mirrored.catastrophic == row.catastrophic, context
+        assert mirrored.interference_crash == row.interference_crash, context
+        assert mirrored.planned_cases == row.planned_cases, context
+        assert mirrored.capped == row.capped, context
+
+
+def small_campaign(subset_registry, variants, cap=60):
+    return Campaign(
+        variants, registry=subset_registry, config=CampaignConfig(cap=cap)
+    )
+
+
+# ----------------------------------------------------------------------
+# results_io: format v2 + checkpoint documents
+# ----------------------------------------------------------------------
+
+
+class TestResultsFormatV2:
+    def test_partial_flag_roundtrips(self, subset_registry, winnt):
+        results = small_campaign(subset_registry, [winnt], cap=20).run()
+        results.mark_partial("winnt")
+        document = results_to_dict(results)
+        assert document["version"] == 2
+        assert document["partial"] == ["winnt"]
+        reloaded = results_from_dict(document)
+        assert reloaded.is_partial("winnt")
+        assert_same_results(reloaded, results)
+
+    def test_v1_document_without_new_fields_still_loads(
+        self, subset_registry, winnt, tmp_path
+    ):
+        """Regression: documents saved before the dependability layer
+        (version 1, no partial/checkpoint fields) must keep loading."""
+        results = small_campaign(subset_registry, [winnt], cap=20).run()
+        document = results_to_dict(results)
+        document["version"] = 1
+        document.pop("partial", None)
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(document), encoding="utf-8")
+        reloaded = load_results(path)
+        assert_same_results(reloaded, results)
+        assert reloaded.partial_variants() == set()
+
+    def test_future_version_rejected(self):
+        with pytest.raises(ResultFormatError, match="unsupported version"):
+            results_from_dict(
+                {"format": "ballista-results", "version": 99, "results": []}
+            )
+
+
+class TestCheckpointDocument:
+    def make_checkpoint(self, subset_registry, winnt):
+        results = small_campaign(subset_registry, [winnt], cap=20).run()
+        return CampaignCheckpoint(
+            results=results,
+            cursors={"winnt": 3},
+            machine_wear={
+                "winnt": {
+                    "corruption": 2,
+                    "reboot_count": 1,
+                    "clock_ticks": 90210,
+                    "next_pid": 250,
+                }
+            },
+            cap=20,
+            complete=False,
+        )
+
+    def test_checkpoint_roundtrips(self, subset_registry, winnt, tmp_path):
+        checkpoint = self.make_checkpoint(subset_registry, winnt)
+        path = tmp_path / "campaign.ckpt"
+        save_checkpoint(checkpoint, path)
+        reloaded = load_checkpoint(path)
+        assert reloaded.cursors == checkpoint.cursors
+        assert reloaded.machine_wear == checkpoint.machine_wear
+        assert reloaded.cap == 20
+        assert reloaded.complete is False
+        assert_same_results(reloaded.results, checkpoint.results)
+
+    def test_dict_roundtrip(self, subset_registry, winnt):
+        checkpoint = self.make_checkpoint(subset_registry, winnt)
+        reloaded = checkpoint_from_dict(checkpoint_to_dict(checkpoint))
+        assert reloaded.cursors == checkpoint.cursors
+
+    def test_load_results_accepts_checkpoint_documents(
+        self, subset_registry, winnt, tmp_path
+    ):
+        """``--load`` (and any analysis) can point straight at a
+        checkpoint from an interrupted run."""
+        checkpoint = self.make_checkpoint(subset_registry, winnt)
+        path = tmp_path / "campaign.ckpt"
+        save_checkpoint(checkpoint, path)
+        results = load_results(path)
+        assert_same_results(results, checkpoint.results)
+
+    def test_not_a_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"format": "something-else"}', encoding="utf-8")
+        with pytest.raises(ResultFormatError, match="not a ballista-checkpoint"):
+            load_checkpoint(path)
+
+    def test_write_is_atomic(self, subset_registry, winnt, tmp_path):
+        checkpoint = self.make_checkpoint(subset_registry, winnt)
+        path = tmp_path / "campaign.ckpt"
+        save_checkpoint(checkpoint, path)
+        save_checkpoint(checkpoint, path)  # overwrite goes via rename
+        assert not (tmp_path / "campaign.ckpt.tmp").exists()
+        assert load_checkpoint(path).cap == 20
+
+    def test_save_results_is_atomic_too(self, subset_registry, winnt, tmp_path):
+        results = small_campaign(subset_registry, [winnt], cap=10).run()
+        path = tmp_path / "results.json"
+        save_results(results, path)
+        assert not (tmp_path / "results.json.tmp").exists()
+        assert_same_results(load_results(path), results)
+
+
+# ----------------------------------------------------------------------
+# Campaign checkpoint / resume
+# ----------------------------------------------------------------------
+
+
+class _Interrupt(Exception):
+    pass
+
+
+class TestCampaignResume:
+    def test_killed_and_resumed_run_matches_uninterrupted(
+        self, subset_registry, win98, winnt, tmp_path
+    ):
+        """The acceptance bar: kill a campaign mid-run, relaunch with the
+        checkpoint, and the final ResultSet is identical -- without
+        re-executing the MuTs completed before the kill."""
+        uninterrupted = small_campaign(subset_registry, [win98, winnt]).run()
+
+        path = tmp_path / "campaign.ckpt"
+        executed_first: list[tuple[str, str]] = []
+
+        def die_mid_campaign(variant, mut, position, total):
+            # Kill the run partway through the second variant's plan.
+            if len(executed_first) == 7:
+                raise _Interrupt()
+            executed_first.append((variant, mut))
+
+        with pytest.raises(_Interrupt):
+            small_campaign(subset_registry, [win98, winnt]).run(
+                progress=die_mid_campaign,
+                checkpoint_path=path,
+                checkpoint_every=1,
+            )
+        assert path.exists()
+        completed_before_kill = {
+            (v, m) for v, m in executed_first
+        }
+
+        executed_second: list[tuple[str, str]] = []
+
+        def record(variant, mut, position, total):
+            executed_second.append((variant, mut))
+
+        resumed = small_campaign(subset_registry, [win98, winnt]).run(
+            progress=record,
+            checkpoint_path=path,
+            checkpoint_every=1,
+            resume=path,
+        )
+
+        assert_same_results(resumed, uninterrupted)
+        # Nothing that finished before the kill ran again.
+        assert not (set(executed_second) & completed_before_kill)
+        assert executed_second, "the resumed run must finish the plan"
+        # The final checkpoint is marked complete.
+        assert load_checkpoint(path).complete is True
+
+    def test_resume_restores_machine_wear(
+        self, registry, win98, tmp_path
+    ):
+        """Accumulated shared-arena corruption survives the restart, so
+        interference (*) crashes classify as in the uninterrupted run.
+
+        At cap 5 on win98, ``fwrite`` completes with corruption level 3
+        (one short of the crash tolerance) and the very next corrupting
+        access from ``strncpy`` tips the arena over: a Catastrophic
+        interference crash that only happens because of fwrite's residue.
+        A resume that forgot the wear would classify strncpy as clean.
+        """
+        wear_registry = MuTRegistry()
+        for mut in registry.all():
+            if mut.name in ("fwrite", "strncpy"):
+                wear_registry.register(mut)
+        uninterrupted = small_campaign(wear_registry, [win98], cap=5).run()
+        crashed = uninterrupted.get("win98", "strncpy")
+        assert crashed.catastrophic and crashed.interference_crash
+
+        path = tmp_path / "campaign.ckpt"
+        count = {"muts": 0}
+
+        def die_after_fwrite(variant, mut, position, total):
+            if count["muts"] == 1:
+                raise _Interrupt()
+            count["muts"] += 1
+
+        with pytest.raises(_Interrupt):
+            small_campaign(wear_registry, [win98], cap=5).run(
+                progress=die_after_fwrite,
+                checkpoint_path=path,
+                checkpoint_every=1,
+            )
+        wear = load_checkpoint(path).machine_wear["win98"]
+        assert set(wear) >= {"corruption", "reboot_count", "clock_ticks"}
+        assert wear["corruption"] == 3, "fwrite must leave residue behind"
+        resumed = small_campaign(wear_registry, [win98], cap=5).run(
+            resume=path
+        )
+        assert_same_results(resumed, uninterrupted)
+
+    def test_resume_under_different_cap_refused(
+        self, subset_registry, winnt, tmp_path
+    ):
+        path = tmp_path / "campaign.ckpt"
+        small_campaign(subset_registry, [winnt], cap=20).run(
+            checkpoint_path=path
+        )
+        with pytest.raises(ValueError, match="cap"):
+            small_campaign(subset_registry, [winnt], cap=40).run(resume=path)
+
+    def test_resume_with_different_variants_refused(
+        self, subset_registry, winnt, win98, tmp_path
+    ):
+        """A checkpoint records its variant set: resuming with another
+        would silently drop or re-run whole variants."""
+        path = tmp_path / "campaign.ckpt"
+        small_campaign(subset_registry, [winnt], cap=20).run(
+            checkpoint_path=path
+        )
+        assert load_checkpoint(path).variants == ["winnt"]
+        with pytest.raises(ValueError, match="variants"):
+            small_campaign(subset_registry, [win98, winnt], cap=20).run(
+                resume=path
+            )
+
+    def test_resume_of_complete_checkpoint_is_a_no_op(
+        self, subset_registry, winnt, tmp_path
+    ):
+        path = tmp_path / "campaign.ckpt"
+        first = small_campaign(subset_registry, [winnt], cap=20).run(
+            checkpoint_path=path
+        )
+        executed = []
+        again = small_campaign(subset_registry, [winnt], cap=20).run(
+            progress=lambda *a: executed.append(a), resume=path
+        )
+        assert executed == []
+        assert_same_results(again, first)
+
+
+# ----------------------------------------------------------------------
+# Client-side checkpoint / resume
+# ----------------------------------------------------------------------
+
+
+class TestClientResume:
+    def test_relaunched_client_resumes_and_matches_clean_run(
+        self, subset_registry, winnt, tmp_path
+    ):
+        cap = 40
+        clean_server = BallistaServer(
+            [winnt], registry=subset_registry, cap=cap
+        )
+        server_end, client_end = LoopbackTransport.pair()
+        clean_server.attach(server_end)
+        BallistaClient(winnt, client_end, registry=subset_registry).run()
+        clean_server.join({"winnt"})
+
+        server = BallistaServer([winnt], registry=subset_registry, cap=cap)
+        ckpt = tmp_path / "client.ckpt"
+
+        # First launch dies when chaos severs the link mid-campaign.
+        server_end, client_end = LoopbackTransport.pair()
+        server.attach(server_end)
+        doomed = BallistaClient(
+            winnt,
+            ChaosTransport(client_end, ChaosConfig(seed=0, disconnect_after=9)),
+            registry=subset_registry,
+            retry=RetryPolicy(attempts=2, call_timeout=0.05, backoff_base=0.001),
+            checkpoint_path=ckpt,
+            checkpoint_every=1,
+        )
+        with pytest.raises(RpcError):
+            doomed.run()
+        assert ckpt.exists()
+
+        # Relaunch against the same server with the same checkpoint.
+        server_end, client_end = LoopbackTransport.pair()
+        server.attach(server_end)
+        resumed = BallistaClient(
+            winnt,
+            client_end,
+            registry=subset_registry,
+            checkpoint_path=ckpt,
+            checkpoint_every=1,
+        )
+        assert resumed._reported, "checkpoint must preload acked MuTs"
+        resumed.run()
+        server.join({"winnt"})
+
+        assert_same_results(server.results, clean_server.results)
+
+    def test_checkpoint_for_wrong_variant_rejected(
+        self, subset_registry, winnt, win98, tmp_path
+    ):
+        ckpt = tmp_path / "client.ckpt"
+        _, client_end = LoopbackTransport.pair()
+        client = BallistaClient(
+            winnt, client_end, registry=subset_registry, checkpoint_path=ckpt
+        )
+        client._reported = {"win32:CloseHandle"}
+        client._save_checkpoint()
+        _, other_end = LoopbackTransport.pair()
+        with pytest.raises(ValueError, match="variant"):
+            BallistaClient(
+                win98, other_end, registry=subset_registry, checkpoint_path=ckpt
+            )
+
+
+# ----------------------------------------------------------------------
+# run_single_case config threading (replay fidelity)
+# ----------------------------------------------------------------------
+
+
+class TestRunSingleCaseConfig:
+    def first_case(self, registry, types, api, name):
+        mut = registry.get(api, name)
+        return mut, next(iter(CaseGenerator(types, cap=5).cases(mut)))
+
+    def test_watchdog_budget_reaches_the_machine(
+        self, registry, types, winnt, monkeypatch
+    ):
+        import repro.core.campaign as campaign_mod
+
+        captured = {}
+        real_machine = campaign_mod.Machine
+
+        def spy(personality, watchdog_ticks=30_000, **kwargs):
+            captured["watchdog_ticks"] = watchdog_ticks
+            return real_machine(
+                personality, watchdog_ticks=watchdog_ticks, **kwargs
+            )
+
+        monkeypatch.setattr(campaign_mod, "Machine", spy)
+        mut, case = self.first_case(registry, types, "win32", "CloseHandle")
+        run_single_case(
+            winnt,
+            "win32:CloseHandle",
+            case.value_names,
+            config=CampaignConfig(watchdog_ticks=1234),
+        )
+        assert captured["watchdog_ticks"] == 1234
+
+    def test_default_watchdog_budget_unchanged(
+        self, registry, types, winnt, monkeypatch
+    ):
+        import repro.core.campaign as campaign_mod
+
+        captured = {}
+        real_machine = campaign_mod.Machine
+
+        def spy(personality, watchdog_ticks=30_000, **kwargs):
+            captured["watchdog_ticks"] = watchdog_ticks
+            return real_machine(
+                personality, watchdog_ticks=watchdog_ticks, **kwargs
+            )
+
+        monkeypatch.setattr(campaign_mod, "Machine", spy)
+        mut, case = self.first_case(registry, types, "win32", "CloseHandle")
+        run_single_case(winnt, "win32:CloseHandle", case.value_names)
+        assert captured["watchdog_ticks"] == 30_000
+
+
+# ----------------------------------------------------------------------
+# CLI --checkpoint / --resume
+# ----------------------------------------------------------------------
+
+
+class TestCliResume:
+    def test_cli_resumes_interrupted_checkpoint(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.win32.variants import WINNT
+
+        path = tmp_path / "cli.ckpt"
+        seen = {"muts": 0}
+
+        def die_after_five(variant, mut, position, total):
+            if seen["muts"] == 5:
+                raise _Interrupt()
+            seen["muts"] += 1
+
+        campaign = Campaign([WINNT], config=CampaignConfig(cap=40))
+        with pytest.raises(_Interrupt):
+            campaign.run(
+                progress=die_after_five,
+                checkpoint_path=path,
+                checkpoint_every=1,
+            )
+        assert not load_checkpoint(path).complete
+
+        # Resume via the CLI; --cap is adopted from the checkpoint.
+        rc = main(
+            [
+                "--variants",
+                "winnt",
+                "--resume",
+                str(path),
+                "--tables",
+                "table1",
+                "--quiet",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        final = load_checkpoint(path)
+        assert final.complete is True
+        assert final.cap == 40
+        assert final.variants == ["winnt"]
+
+    def test_cli_resume_adopts_checkpoint_variants(self, tmp_path, capsys):
+        """Without --variants, a resumed CLI run must finish the
+        checkpoint's variants -- not silently restart all seven."""
+        from repro.cli import main
+        from repro.win32.variants import WIN98, WINNT
+
+        path = tmp_path / "cli.ckpt"
+        seen = {"muts": 0}
+
+        def die_late(variant, mut, position, total):
+            if seen["muts"] == 8:
+                raise _Interrupt()
+            seen["muts"] += 1
+
+        campaign = Campaign([WIN98, WINNT], config=CampaignConfig(cap=40))
+        with pytest.raises(_Interrupt):
+            campaign.run(
+                progress=die_late, checkpoint_path=path, checkpoint_every=1
+            )
+
+        rc = main(["--resume", str(path), "--tables", "table1", "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Windows 98" in out and "Windows NT" in out
+        assert "Linux" not in out, "resume must not re-run extra variants"
+        final = load_checkpoint(path)
+        assert final.complete is True
+        assert final.variants == ["win98", "winnt"]

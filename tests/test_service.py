@@ -1,6 +1,7 @@
 """Tests for the Ballista testing service: XDR, RPC, server/client, and
 the Windows CE split client."""
 
+import os
 import threading
 
 import pytest
@@ -12,6 +13,8 @@ from repro.service import (
     BallistaServer,
     CEHostClient,
     CETargetAgent,
+    ChaosConfig,
+    ChaosTransport,
     LoopbackTransport,
     RpcError,
     SerialLink,
@@ -33,6 +36,24 @@ from repro.sim.machine import Machine
 
 
 SUBSET = ["GetThreadContext", "CloseHandle", "strcpy", "isalpha", "fclose"]
+
+#: CI's fault-injection job re-runs this module with every client
+#: transport wrapped in a seeded ChaosTransport; the end-to-end tests
+#: must still produce identical results thanks to retries + idempotent
+#: reporting.  Locally both default to zero chaos.
+CHAOS_RATE = float(os.environ.get("BALLISTA_CHAOS_RATE", "0"))
+CHAOS_SEED = int(os.environ.get("BALLISTA_CHAOS_SEED", "0"))
+
+
+def maybe_chaos(transport):
+    if not CHAOS_RATE:
+        return transport
+    return ChaosTransport(
+        transport,
+        ChaosConfig(
+            seed=CHAOS_SEED, drop_rate=CHAOS_RATE, dup_rate=CHAOS_RATE
+        ),
+    )
 
 
 @pytest.fixture()
@@ -164,7 +185,9 @@ class TestServiceEndToEnd:
         for personality in (win98, winnt):
             a, b = LoopbackTransport.pair()
             server.attach(a)
-            BallistaClient(personality, b, registry=subset_registry).run()
+            BallistaClient(
+                personality, maybe_chaos(b), registry=subset_registry
+            ).run()
         server.join({"win98", "winnt"})
 
         local = Campaign(
@@ -182,7 +205,7 @@ class TestServiceEndToEnd:
     def test_tcp_sockets_end_to_end(self, subset_registry, winnt):
         server = BallistaServer([winnt], registry=subset_registry, cap=20)
         host, port = server.listen()
-        client = BallistaClient.connect(winnt, host, port)
+        client = BallistaClient.connect(winnt, host, port, wrap=maybe_chaos)
         try:
             tested = client.run()
         finally:

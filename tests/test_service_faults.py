@@ -130,18 +130,43 @@ class TestProtocolRobustness:
         with pytest.raises(RpcError):
             client.call(P.PROC_GET_PLAN, P.encode_get_plan("win32", "NopeA"))
 
-    def test_duplicate_report_is_system_err(self, registry, winnt):
+    def test_retransmitted_report_is_acked_not_double_counted(
+        self, registry, winnt
+    ):
         from repro.service.server import BallistaServer
 
         server = BallistaServer([winnt], registry=registry, cap=10)
         client, _ = spawn_server(server.handlers())
         body = P.encode_report(
             "winnt", "win32", "CloseHandle", b"\x00", b"\x00", False, False, 1,
-            [0],
+            [0], seq=0,
         )
         client.call(P.PROC_REPORT, body)
-        with pytest.raises(RpcError):
-            client.call(P.PROC_REPORT, body)  # duplicate result rejected
+        # A retransmission (same sequence number) is acknowledged so the
+        # client can move on, but the batch is recorded exactly once.
+        client.call(P.PROC_REPORT, body)
+        assert server.duplicate_reports == 1
+        assert len(server.results) == 1
+        row = server.results.get("winnt", "CloseHandle")
+        assert len(row.codes) == 1
+
+    def test_conflicting_report_seq_is_system_err(self, registry, winnt):
+        from repro.service.server import BallistaServer
+
+        server = BallistaServer([winnt], registry=registry, cap=10)
+        client, _ = spawn_server(server.handlers())
+
+        def body(seq):
+            return P.encode_report(
+                "winnt", "win32", "CloseHandle", b"\x00", b"\x00", False,
+                False, 1, [0], seq=seq,
+            )
+
+        client.call(P.PROC_REPORT, body(0))
+        # Same MuT under a *new* sequence number is a client bug, not a
+        # retransmission: the duplicate result is still rejected.
+        with pytest.raises(RpcError, match=f"accept state {ACCEPT_SYSTEM_ERR}"):
+            client.call(P.PROC_REPORT, body(1))
 
     def test_report_with_garbage_body_is_garbage_args(self, registry, winnt):
         from repro.service.rpc import ACCEPT_GARBAGE_ARGS
