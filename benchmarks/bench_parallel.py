@@ -1,0 +1,67 @@
+"""Benchmark the variant-parallel campaign runner against serial.
+
+A four-variant campaign (Windows 98, NT, 2000, Linux) runs once
+serially and once through :class:`ParallelCampaign` with four workers,
+at ``BALLISTA_BENCH_CAP`` (default 200; the paper's scale is 5000).
+Both runs must produce byte-identical result-set documents -- the
+speedup is free, never paid for in fidelity.
+
+On a machine with >= 4 cores the parallel run is required to finish at
+least 2x faster than serial; on smaller machines the ratio is only
+reported (there is nothing to fan out onto).  Timings land in
+``benchmarks/out/parallel.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.parallel import ParallelCampaign
+from repro.core.results_io import results_to_dict
+from repro.posix.linux import LINUX
+from repro.win32.variants import WIN2000, WIN98, WINNT
+
+VARIANTS = [WIN98, WINNT, WIN2000, LINUX]
+JOBS = 4
+
+
+def test_parallel_speedup_and_fidelity(artifact_dir, bench_cap):
+    config = CampaignConfig(cap=bench_cap)
+
+    started = time.perf_counter()
+    serial_results = Campaign(VARIANTS, config=config).run()
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel_results = ParallelCampaign(VARIANTS, config=config, jobs=JOBS).run()
+    parallel_s = time.perf_counter() - started
+
+    serial_doc = json.dumps(results_to_dict(serial_results), separators=(",", ":"))
+    parallel_doc = json.dumps(
+        results_to_dict(parallel_results), separators=(",", ":")
+    )
+    assert parallel_doc == serial_doc, "parallel output must be byte-identical"
+
+    cores = os.cpu_count() or 1
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    lines = [
+        f"Variant-parallel campaign, {len(VARIANTS)} variants, "
+        f"cap {bench_cap}, {JOBS} workers, {cores} cores",
+        "",
+        f"serial:   {serial_s:8.2f}s",
+        f"parallel: {parallel_s:8.2f}s",
+        f"speedup:  {speedup:8.2f}x",
+        f"cases:    {serial_results.total_cases():8d}",
+        "output:   byte-identical",
+    ]
+    (artifact_dir / "parallel.txt").write_text(
+        "\n".join(lines) + "\n", encoding="utf-8"
+    )
+    if cores >= 4:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup on {cores} cores, got {speedup:.2f}x "
+            f"(serial {serial_s:.2f}s vs parallel {parallel_s:.2f}s)"
+        )

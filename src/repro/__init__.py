@@ -28,6 +28,7 @@ from repro.core import (
     CaseGenerator,
     MuT,
     MuTRegistry,
+    ParallelCampaign,
     ResultSet,
     Severity,
     TestCase,
@@ -62,6 +63,7 @@ __all__ = [
     "Machine",
     "MuT",
     "MuTRegistry",
+    "ParallelCampaign",
     "Personality",
     "ResultSet",
     "Severity",

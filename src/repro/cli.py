@@ -2,12 +2,15 @@
 
 Usage::
 
-    python -m repro [--cap N] [--variants win98,winnt,...]
+    python -m repro [--cap N] [--jobs N] [--variants win98,winnt,...]
                     [--tables table1,table2,figure1,table3,figure2]
 
 With no arguments this runs the full seven-variant campaign at the
 ``BALLISTA_CAP`` cap (default 300) and prints every table and figure the
-paper reports.  ``--cap 5000`` reproduces the paper's full scale (slow).
+paper reports.  ``--cap 5000`` reproduces the paper's full scale (slow);
+variants fan out across ``--jobs`` worker processes (default: one per
+variant, capped at the core count) with output byte-identical to
+``--jobs 1``.
 """
 
 from __future__ import annotations
@@ -16,7 +19,7 @@ import argparse
 import sys
 import time
 
-from repro import ALL_VARIANTS, Campaign, CampaignConfig
+from repro import ALL_VARIANTS, Campaign, CampaignConfig, ParallelCampaign
 from repro.analysis.hindering import render_hindering
 from repro.analysis.tables import (
     render_figure1,
@@ -26,6 +29,7 @@ from repro.analysis.tables import (
     render_table3,
 )
 from repro.core.campaign import default_cap
+from repro.core.parallel import default_jobs
 
 RENDERERS = {
     "table1": render_table1,
@@ -49,8 +53,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--cap",
         type=int,
-        default=default_cap(),
+        default=None,
         help="test cases per MuT (paper: 5000; default: BALLISTA_CAP or 300)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes running variants concurrently (default: "
+            "one per variant, capped at the core count; 1 = serial)"
+        ),
     )
     parser.add_argument(
         "--variants",
@@ -105,6 +119,15 @@ def main(argv: list[str] | None = None) -> int:
         "--quiet", action="store_true", help="suppress progress output"
     )
     args = parser.parse_args(argv)
+
+    if args.cap is None:
+        try:
+            args.cap = default_cap()
+        except ValueError as exc:
+            # A malformed BALLISTA_CAP must not escape as a traceback.
+            parser.error(str(exc))
+    if args.jobs is not None and args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
     wanted = [name.strip() for name in args.tables.split(",") if name.strip()]
     unknown = [name for name in wanted if name not in RENDERERS]
@@ -176,7 +199,13 @@ def main(argv: list[str] | None = None) -> int:
                 keys = [p.key for p in variants]
         checkpoint_path = args.checkpoint or args.resume
         started = time.monotonic()
-        campaign = Campaign(variants, config=CampaignConfig(cap=args.cap))
+        jobs = args.jobs if args.jobs is not None else default_jobs(len(variants))
+        if jobs > 1:
+            campaign = ParallelCampaign(
+                variants, config=CampaignConfig(cap=args.cap), jobs=jobs
+            )
+        else:
+            campaign = Campaign(variants, config=CampaignConfig(cap=args.cap))
         results = campaign.run(
             progress=progress,
             checkpoint_path=checkpoint_path,
@@ -186,9 +215,10 @@ def main(argv: list[str] | None = None) -> int:
         if not args.quiet:
             sys.stderr.write("\r" + " " * 72 + "\r")
             elapsed = time.monotonic() - started
+            workers = f", {jobs} workers" if jobs > 1 else ""
             sys.stderr.write(
                 f"campaign: {results.total_cases()} test cases across "
-                f"{len(variants)} variants in {elapsed:.1f}s\n\n"
+                f"{len(variants)} variants in {elapsed:.1f}s{workers}\n\n"
             )
     if args.save:
         from repro.core.results_io import save_results

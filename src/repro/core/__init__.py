@@ -24,6 +24,7 @@ from repro.core.campaign import Campaign, CampaignConfig, run_single_case
 from repro.core.crash_scale import CaseCode, Severity
 from repro.core.generator import CaseGenerator, TestCase
 from repro.core.mut import MuT, MuTRegistry, default_registry
+from repro.core.parallel import ParallelCampaign, default_jobs
 from repro.core.results import MuTResult, ResultSet
 from repro.core.results_io import load_results, save_results
 from repro.core.types import ParamType, TestValue, TypeRegistry, default_types
@@ -31,6 +32,8 @@ from repro.core.types import ParamType, TestValue, TypeRegistry, default_types
 __all__ = [
     "Campaign",
     "CampaignConfig",
+    "ParallelCampaign",
+    "default_jobs",
     "CaseCode",
     "CaseGenerator",
     "MuT",

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import os
 import pathlib
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -42,8 +43,23 @@ _INTERFERENCE_MARKER = "accumulated corruption"
 
 
 def default_cap() -> int:
-    """Per-MuT case cap: ``BALLISTA_CAP`` env var, default 300."""
-    return int(os.environ.get("BALLISTA_CAP", "300"))
+    """Per-MuT case cap: ``BALLISTA_CAP`` env var, default 300.
+
+    Raises a :class:`ValueError` naming the variable when it holds
+    something other than a positive integer, so callers (notably the
+    CLI) can report it cleanly instead of leaking a traceback.
+    """
+    raw = os.environ.get("BALLISTA_CAP", "300")
+    try:
+        cap = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"BALLISTA_CAP must be an integer number of test cases "
+            f"(e.g. 300 or 5000), got {raw!r}"
+        ) from None
+    if cap < 1:
+        raise ValueError(f"BALLISTA_CAP must be a positive integer, got {cap}")
+    return cap
 
 
 @dataclass
@@ -92,6 +108,9 @@ class Campaign:
         self.config = config or CampaignConfig()
         self.generator = CaseGenerator(self.types, cap=self.config.cap)
         self._mut_filter = set(muts) if muts is not None else None
+        #: Set by :meth:`run`: the run's final checkpoint (results plus
+        #: plan cursors and machine wear), whether or not it was saved.
+        self.last_checkpoint: CampaignCheckpoint | None = None
 
     # ------------------------------------------------------------------
 
@@ -124,7 +143,17 @@ class Campaign:
         if isinstance(resume, (str, pathlib.Path)):
             resume = load_checkpoint(resume)
         if resume is not None:
-            if resume.cap and resume.cap != self.config.cap:
+            if not resume.cap:
+                # Hand-built checkpoints may omit the cap; the case
+                # sequences are a function of it, so a silent mismatch
+                # would splice incompatible plans.  Warn loudly.
+                warnings.warn(
+                    f"checkpoint does not record its cap; resuming at "
+                    f"cap={self.config.cap} without compatibility "
+                    f"checking",
+                    stacklevel=2,
+                )
+            elif resume.cap != self.config.cap:
                 raise ValueError(
                     f"checkpoint was taken at cap={resume.cap}, cannot "
                     f"resume at cap={self.config.cap}"
@@ -144,8 +173,11 @@ class Campaign:
             )
         results = checkpoint.results
         for personality in self.variants:
-            self._run_variant(
+            run_variant(
                 personality,
+                self.muts_for(personality),
+                self.generator,
+                self.config,
                 results,
                 progress,
                 checkpoint,
@@ -153,87 +185,110 @@ class Campaign:
                 checkpoint_every,
             )
         checkpoint.complete = True
+        #: The final checkpoint of the last run (cursors + machine wear
+        #: included); the parallel runner merges these across workers.
+        self.last_checkpoint = checkpoint
         if checkpoint_path is not None:
             save_checkpoint(checkpoint, checkpoint_path)
         return results
 
-    # ------------------------------------------------------------------
 
-    def _run_variant(
-        self,
-        personality: Personality,
-        results: ResultSet,
-        progress: ProgressFn | None,
-        checkpoint: CampaignCheckpoint,
-        checkpoint_path: str | pathlib.Path | None,
-        checkpoint_every: int,
-    ) -> None:
-        machine = Machine(personality, watchdog_ticks=self.config.watchdog_ticks)
-        wear = checkpoint.machine_wear.get(personality.key)
-        if wear:
-            machine.restore_wear(wear)
-        executor = Executor(machine, self.generator)
-        muts = self.muts_for(personality)
-        since_checkpoint = 0
-        for position, mut in enumerate(muts):
-            if results.has(personality.key, mut.name, api=mut.api):
-                continue  # already recorded by the interrupted run
-            if progress is not None:
-                progress(personality.key, mut.name, position, len(muts))
-            result = results.new_result(
-                personality.key, mut.name, mut.api, mut.group
-            )
-            result.planned_cases = self.generator.case_count(mut)
-            result.capped = self.generator.is_capped(mut)
-            for case in self.generator.cases(mut):
-                if self.config.machine_per_case:
-                    machine = Machine(
-                        personality, watchdog_ticks=self.config.watchdog_ticks
-                    )
-                    executor = Executor(machine, self.generator)
-                outcome = executor.run_case(mut, case)
-                outcome = self._apply_policies(outcome)
-                result.record(
-                    case.index,
-                    outcome.code,
-                    outcome.exceptional_input,
-                    outcome.detail,
-                    outcome.value_names,
-                    error_code=outcome.error_code,
+# ----------------------------------------------------------------------
+# The per-variant campaign loop
+# ----------------------------------------------------------------------
+
+
+def run_variant(
+    personality: Personality,
+    muts: Sequence[MuT],
+    generator: CaseGenerator,
+    config: CampaignConfig,
+    results: ResultSet,
+    progress: ProgressFn | None,
+    checkpoint: CampaignCheckpoint,
+    checkpoint_path: str | pathlib.Path | None,
+    checkpoint_every: int,
+) -> None:
+    """Run one variant's full MuT plan (the campaign inner loop).
+
+    A standalone module-level function so the parallel runner
+    (:mod:`repro.core.parallel`) can reference it from spawn-started
+    worker processes; :meth:`Campaign.run` drives it directly for the
+    serial path, so both paths classify identically by construction.
+
+    MuTs already present in ``results`` (from an interrupted run's
+    checkpoint) are skipped.  In ``machine_per_case`` mode there is no
+    cross-MuT machine state, so no wear is captured into (or restored
+    from) the checkpoint -- recording the throwaway per-case machine's
+    wear would restore meaningless corruption onto a resumed run.
+    """
+    machine = Machine(personality, watchdog_ticks=config.watchdog_ticks)
+    wear = checkpoint.machine_wear.get(personality.key)
+    if wear and not config.machine_per_case:
+        machine.restore_wear(wear)
+    executor = Executor(machine, generator)
+    since_checkpoint = 0
+    for position, mut in enumerate(muts):
+        if results.has(personality.key, mut.name, api=mut.api):
+            continue  # already recorded by the interrupted run
+        if progress is not None:
+            progress(personality.key, mut.name, position, len(muts))
+        result = results.new_result(
+            personality.key, mut.name, mut.api, mut.group
+        )
+        result.planned_cases = generator.case_count(mut)
+        result.capped = generator.is_capped(mut)
+        for case in generator.cases(mut):
+            if config.machine_per_case:
+                machine = Machine(
+                    personality, watchdog_ticks=config.watchdog_ticks
                 )
-                if outcome.code is CaseCode.CATASTROPHIC:
-                    # The crash interrupts testing of this function: the
-                    # case set is incomplete and the machine reboots.
-                    if _INTERFERENCE_MARKER in outcome.detail:
-                        result.interference_crash = True
-                    machine.reboot()
-                    break
-            checkpoint.cursors[personality.key] = position + 1
-            checkpoint.machine_wear[personality.key] = machine.wear_state()
-            since_checkpoint += 1
-            if (
-                checkpoint_path is not None
-                and since_checkpoint >= checkpoint_every
-            ):
-                save_checkpoint(checkpoint, checkpoint_path)
-                since_checkpoint = 0
-        if checkpoint_path is not None:
-            save_checkpoint(checkpoint, checkpoint_path)
-
-    def _apply_policies(self, outcome: CaseOutcome) -> CaseOutcome:
-        if (
-            self.config.count_thrown_exceptions_as_abort
-            and outcome.code is CaseCode.PASS_ERROR
-            and outcome.detail.startswith("thrown ")
-        ):
-            return CaseOutcome(
-                CaseCode.ABORT,
-                outcome.detail,
+                executor = Executor(machine, generator)
+            outcome = executor.run_case(mut, case)
+            outcome = _apply_policies(config, outcome)
+            result.record(
+                case.index,
+                outcome.code,
                 outcome.exceptional_input,
+                outcome.detail,
                 outcome.value_names,
                 error_code=outcome.error_code,
             )
-        return outcome
+            if outcome.code is CaseCode.CATASTROPHIC:
+                # The crash interrupts testing of this function: the
+                # case set is incomplete and the machine reboots.
+                if _INTERFERENCE_MARKER in outcome.detail:
+                    result.interference_crash = True
+                machine.reboot()
+                break
+        checkpoint.cursors[personality.key] = position + 1
+        if not config.machine_per_case:
+            checkpoint.machine_wear[personality.key] = machine.wear_state()
+        since_checkpoint += 1
+        if (
+            checkpoint_path is not None
+            and since_checkpoint >= checkpoint_every
+        ):
+            save_checkpoint(checkpoint, checkpoint_path)
+            since_checkpoint = 0
+    if checkpoint_path is not None:
+        save_checkpoint(checkpoint, checkpoint_path)
+
+
+def _apply_policies(config: CampaignConfig, outcome: CaseOutcome) -> CaseOutcome:
+    if (
+        config.count_thrown_exceptions_as_abort
+        and outcome.code is CaseCode.PASS_ERROR
+        and outcome.detail.startswith("thrown ")
+    ):
+        return CaseOutcome(
+            CaseCode.ABORT,
+            outcome.detail,
+            outcome.exceptional_input,
+            outcome.value_names,
+            error_code=outcome.error_code,
+        )
+    return outcome
 
 
 # ----------------------------------------------------------------------

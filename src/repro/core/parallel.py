@@ -1,0 +1,344 @@
+"""Parallel campaign execution: one worker process per OS variant.
+
+The paper ran its >2 million test cases over seven OS variants; each
+variant boots an independent simulated :class:`~repro.sim.machine.Machine`,
+so variants never share state and can run concurrently.  *Within* a
+variant, however, machine wear (shared-arena corruption, the virtual
+clock) accumulates across MuTs -- the source of the paper's ``*``
+interference crashes -- so the unit of parallelism is the variant, never
+the MuT.
+
+:class:`ParallelCampaign` fans each variant out to a ``spawn``-started
+``multiprocessing`` worker.  Workers rebuild the MuT/type registries
+in-process (their call implementations are closures and cannot cross a
+spawn boundary), run the exact serial per-variant loop
+(:func:`repro.core.campaign.run_variant` via a single-variant
+:class:`~repro.core.campaign.Campaign`), and stream progress events and
+their final checkpoint back over a queue.  The parent merges the
+per-variant shards into one :class:`CampaignCheckpoint` whose serialised
+form is byte-identical to the serial run's -- result rows serialise
+sorted by key, so completion order cannot leak into the output.
+
+Checkpoint/resume semantics match the serial runner: with a
+``checkpoint_path`` each worker checkpoints its own shard
+(``<path>.<variant>.shard``) and the parent writes the combined
+checkpoint (and removes the shards) once every variant finishes.  On
+restart, a variant whose shard survived a killed worker resumes from the
+shard; otherwise its slice is split out of the combined ``resume``
+checkpoint.  Completed MuTs are skipped per variant either way.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pathlib
+import queue
+import traceback
+import warnings
+from typing import Iterable, Sequence
+
+from repro.core.campaign import Campaign, CampaignConfig, ProgressFn
+from repro.core.results import ResultSet
+from repro.core.results_io import (
+    CampaignCheckpoint,
+    checkpoint_from_dict,
+    checkpoint_to_dict,
+    load_checkpoint,
+    merge_checkpoints,
+    save_checkpoint,
+    shard_path,
+    split_checkpoint,
+)
+from repro.sim.personality import Personality
+
+
+def default_jobs(variant_count: int) -> int:
+    """Worker count when the caller does not choose: one per variant,
+    but never more than the machine has cores."""
+    return max(1, min(variant_count, os.cpu_count() or 1))
+
+
+def _personality_by_key(key: str) -> Personality:
+    from repro import ALL_VARIANTS
+
+    for personality in ALL_VARIANTS:
+        if personality.key == key:
+            return personality
+    raise KeyError(f"unknown variant key {key!r}")
+
+
+def _variant_worker(spec: dict, events) -> None:
+    """Child-process entry point: run one variant's slice.
+
+    ``spec`` is a plain picklable dict (variant key, MuT-name filter,
+    config fields, shard path, resume document); everything else --
+    registries, generator, machine -- is rebuilt inside the worker.
+    Emits ``("progress", variant, mut, position, total)`` events while
+    running and finishes with either ``("done", variant,
+    checkpoint_dict)`` or ``("error", variant, traceback_text)``.
+    """
+    key = spec["variant"]
+    try:
+        personality = _personality_by_key(key)
+        config = CampaignConfig(**spec["config"])
+        campaign = Campaign([personality], config=config, muts=spec["muts"])
+        shard = spec["shard_path"]
+        resume = None
+        if shard is not None and os.path.exists(shard):
+            # A previous worker for this variant was killed mid-run:
+            # its shard is strictly fresher than any combined resume
+            # document, so the shard wins.
+            resume = load_checkpoint(shard)
+        elif spec["resume"] is not None:
+            resume = checkpoint_from_dict(spec["resume"])
+
+        def forward(variant: str, mut: str, position: int, total: int) -> None:
+            events.put(("progress", variant, mut, position, total))
+
+        campaign.run(
+            progress=forward,
+            checkpoint_path=shard,
+            checkpoint_every=spec["checkpoint_every"],
+            resume=resume,
+        )
+        events.put(
+            ("done", key, checkpoint_to_dict(campaign.last_checkpoint))
+        )
+    except BaseException:
+        events.put(("error", key, traceback.format_exc()))
+
+
+class ParallelCampaign:
+    """Drop-in campaign runner that fans variants out across processes.
+
+    Mirrors :meth:`Campaign.run`'s signature and semantics; the merged
+    result set (and the rendered tables built from it) is byte-identical
+    to the serial run at the same cap.
+
+    :param variants: OS personalities to test (must be among
+        :data:`repro.ALL_VARIANTS` -- workers rebuild them by key).
+    :param muts: optional subset of bare MuT names, as on
+        :class:`Campaign`.  Custom registry objects cannot cross the
+        spawn boundary; filter the default registry by name instead.
+    :param jobs: concurrent worker processes (default: one per variant,
+        capped at the core count).  ``jobs=1`` runs the serial
+        :class:`Campaign` in-process, skipping spawn overhead.
+    """
+
+    def __init__(
+        self,
+        variants: Sequence[Personality],
+        config: CampaignConfig | None = None,
+        muts: Iterable[str] | None = None,
+        jobs: int | None = None,
+    ) -> None:
+        self.variants = list(variants)
+        self.config = config or CampaignConfig()
+        self._muts = sorted(muts) if muts is not None else None
+        self.jobs = jobs if jobs is not None else default_jobs(len(self.variants))
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        self.last_checkpoint: CampaignCheckpoint | None = None
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        progress: ProgressFn | None = None,
+        checkpoint_path: str | pathlib.Path | None = None,
+        checkpoint_every: int = 25,
+        resume: CampaignCheckpoint | str | pathlib.Path | None = None,
+    ) -> ResultSet:
+        """Execute the campaign across worker processes and return the
+        merged result set.  See :meth:`Campaign.run` for the checkpoint
+        and resume contract -- it holds unchanged here, with shards as
+        described in the module docstring."""
+        keys = [p.key for p in self.variants]
+        if isinstance(resume, (str, pathlib.Path)):
+            resume = load_checkpoint(resume)
+        if resume is not None:
+            self._validate_resume(resume, keys)
+        if self.jobs == 1:
+            campaign = Campaign(
+                self.variants, config=self.config, muts=self._muts
+            )
+            results = campaign.run(
+                progress=progress,
+                checkpoint_path=checkpoint_path,
+                checkpoint_every=checkpoint_every,
+                resume=resume,
+            )
+            self.last_checkpoint = campaign.last_checkpoint
+            return results
+
+        if checkpoint_path is not None:
+            # Write the combined document up front (the serial runner's
+            # file exists from its first periodic save).  A run killed
+            # before any merge then still leaves a loadable checkpoint
+            # recording cap + variants; per-variant progress lives in
+            # the shards, which win over this document on resume.
+            initial = CampaignCheckpoint(
+                resume.results if resume is not None else ResultSet(),
+                cursors=dict(resume.cursors) if resume is not None else {},
+                machine_wear=(
+                    {k: dict(v) for k, v in resume.machine_wear.items()}
+                    if resume is not None
+                    else {}
+                ),
+                cap=self.config.cap,
+                variants=keys,
+            )
+            save_checkpoint(initial, checkpoint_path)
+        specs = self._build_specs(resume, checkpoint_path, checkpoint_every)
+        shards = self._run_workers(specs, progress)
+        merged = merge_checkpoints(
+            [shards[key] for key in keys], cap=self.config.cap, variants=keys
+        )
+        merged.complete = True
+        self.last_checkpoint = merged
+        if checkpoint_path is not None:
+            save_checkpoint(merged, checkpoint_path)
+            for spec in specs:
+                if spec["shard_path"] is not None:
+                    try:
+                        os.remove(spec["shard_path"])
+                    except OSError:  # pragma: no cover - already gone
+                        pass
+        return merged.results
+
+    # ------------------------------------------------------------------
+
+    def _validate_resume(
+        self, resume: CampaignCheckpoint, keys: list[str]
+    ) -> None:
+        """The serial runner's compatibility checks, applied up front so
+        an incompatible checkpoint fails before any worker spawns."""
+        if not resume.cap:
+            warnings.warn(
+                f"checkpoint does not record its cap; resuming at "
+                f"cap={self.config.cap} without compatibility checking",
+                stacklevel=3,
+            )
+        elif resume.cap != self.config.cap:
+            raise ValueError(
+                f"checkpoint was taken at cap={resume.cap}, cannot "
+                f"resume at cap={self.config.cap}"
+            )
+        if resume.variants is not None and set(resume.variants) != set(keys):
+            raise ValueError(
+                f"checkpoint was taken for variants "
+                f"{sorted(resume.variants)}, cannot resume with "
+                f"{sorted(keys)}"
+            )
+
+    def _build_specs(
+        self,
+        resume: CampaignCheckpoint | None,
+        checkpoint_path: str | pathlib.Path | None,
+        checkpoint_every: int,
+    ) -> list[dict]:
+        config_fields = {
+            "cap": self.config.cap,
+            "watchdog_ticks": self.config.watchdog_ticks,
+            "machine_per_case": self.config.machine_per_case,
+            "count_thrown_exceptions_as_abort": (
+                self.config.count_thrown_exceptions_as_abort
+            ),
+        }
+        specs = []
+        for personality in self.variants:
+            key = personality.key
+            resume_doc = None
+            if resume is not None:
+                shard = split_checkpoint(resume, key)
+                shard.complete = False
+                resume_doc = checkpoint_to_dict(shard)
+            specs.append(
+                {
+                    "variant": key,
+                    "muts": self._muts,
+                    "config": config_fields,
+                    "shard_path": (
+                        None
+                        if checkpoint_path is None
+                        else str(shard_path(checkpoint_path, key))
+                    ),
+                    "checkpoint_every": checkpoint_every,
+                    "resume": resume_doc,
+                }
+            )
+        return specs
+
+    def _run_workers(
+        self, specs: list[dict], progress: ProgressFn | None
+    ) -> dict[str, CampaignCheckpoint]:
+        """Spawn at most ``self.jobs`` concurrent workers, pump their
+        event queue, and collect one finished shard per variant."""
+        ctx = multiprocessing.get_context("spawn")
+        events = ctx.Queue()
+        pending = list(specs)
+        running: dict[str, object] = {}
+        shards: dict[str, CampaignCheckpoint] = {}
+        errors: dict[str, str] = {}
+        try:
+            while pending or running:
+                while pending and len(running) < self.jobs:
+                    spec = pending.pop(0)
+                    worker = ctx.Process(
+                        target=_variant_worker,
+                        args=(spec, events),
+                        daemon=True,
+                    )
+                    worker.start()
+                    running[spec["variant"]] = worker
+                try:
+                    message = events.get(timeout=0.2)
+                except queue.Empty:
+                    self._reap_silent_deaths(running, errors)
+                    continue
+                kind, key = message[0], message[1]
+                if kind == "progress":
+                    if progress is not None:
+                        progress(*message[1:])
+                elif kind == "done":
+                    shards[key] = checkpoint_from_dict(message[2])
+                    self._retire(running, key)
+                else:  # "error"
+                    errors[key] = message[2]
+                    self._retire(running, key)
+        finally:
+            for worker in running.values():
+                worker.terminate()
+                worker.join(timeout=5)
+        if errors:
+            detail = "\n".join(
+                f"--- worker [{key}] ---\n{text}"
+                for key, text in sorted(errors.items())
+            )
+            raise RuntimeError(
+                f"parallel campaign worker(s) failed for "
+                f"{sorted(errors)}:\n{detail}"
+            )
+        return shards
+
+    @staticmethod
+    def _retire(running: dict[str, object], key: str) -> None:
+        worker = running.pop(key, None)
+        if worker is not None:
+            worker.join(timeout=10)
+
+    @staticmethod
+    def _reap_silent_deaths(
+        running: dict[str, object], errors: dict[str, str]
+    ) -> None:
+        """A worker killed from outside (OOM, SIGKILL) never posts a
+        message; notice its nonzero exit code so the run fails loudly
+        instead of hanging.  Its shard stays on disk for the next run."""
+        for key, worker in list(running.items()):
+            if not worker.is_alive() and worker.exitcode != 0:
+                errors[key] = (
+                    f"worker exited with code {worker.exitcode} without "
+                    f"reporting a result"
+                )
+                del running[key]

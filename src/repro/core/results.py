@@ -143,6 +143,31 @@ class ResultSet:
         self._results[key] = result
         return result
 
+    def add(self, result: MuTResult) -> MuTResult:
+        """Adopt a fully-built row (e.g. from another worker's shard).
+
+        Iteration order is sorted by key, not insertion order, so adding
+        rows in any order yields the same serialised document.
+        """
+        key = (result.variant, result.api, result.mut_name)
+        if key in self._results:
+            raise ValueError(f"duplicate result for {key}")
+        self._results[key] = result
+        return result
+
+    def merge(self, other: "ResultSet") -> None:
+        """Fold another result set into this one.
+
+        Used to combine per-variant worker shards into the campaign
+        result set; overlapping (variant, api, mut) rows are a merge
+        error and raise :class:`ValueError`.  Partial-variant flags are
+        unioned.
+        """
+        for row in other:
+            self.add(row)
+        for variant in other.partial_variants():
+            self.mark_partial(variant)
+
     def get(self, variant: str, mut_name: str, api: str | None = None) -> MuTResult:
         """Look a result up; ``api`` disambiguates names tested through
         both the C library and a system-call API (e.g. ``rename``)."""

@@ -229,6 +229,74 @@ def checkpoint_from_dict(document: dict) -> CampaignCheckpoint:
         raise ResultFormatError(f"malformed checkpoint: {exc}") from exc
 
 
+# ----------------------------------------------------------------------
+# Checkpoint shards (parallel campaigns)
+# ----------------------------------------------------------------------
+
+
+def shard_path(base: str | pathlib.Path, variant: str) -> pathlib.Path:
+    """Where a parallel worker checkpoints one variant's slice of the
+    campaign whose combined checkpoint lives at ``base``."""
+    base = pathlib.Path(base)
+    return base.with_name(f"{base.name}.{variant}.shard")
+
+
+def split_checkpoint(
+    checkpoint: CampaignCheckpoint, variant: str
+) -> CampaignCheckpoint:
+    """Extract one variant's shard from a combined checkpoint, so a
+    parallel worker can resume exactly where the serial semantics would:
+    completed MuT rows, the plan cursor, and the machine wear for that
+    variant only.  Rows are shared, not copied -- shards are written or
+    shipped across a process boundary immediately."""
+    results = ResultSet()
+    for row in checkpoint.results:
+        if row.variant == variant:
+            results.add(row)
+    if checkpoint.results.is_partial(variant):
+        results.mark_partial(variant)
+    cursors = {}
+    if variant in checkpoint.cursors:
+        cursors[variant] = checkpoint.cursors[variant]
+    wear = {}
+    if variant in checkpoint.machine_wear:
+        wear[variant] = dict(checkpoint.machine_wear[variant])
+    return CampaignCheckpoint(
+        results=results,
+        cursors=cursors,
+        machine_wear=wear,
+        cap=checkpoint.cap,
+        variants=[variant],
+        complete=checkpoint.complete,
+    )
+
+
+def merge_checkpoints(
+    shards: list[CampaignCheckpoint],
+    cap: int = 0,
+    variants: list[str] | None = None,
+) -> CampaignCheckpoint:
+    """Merge per-variant shards back into one campaign checkpoint.
+
+    The merged document is independent of shard completion order:
+    result rows serialise sorted by key, and cursors/wear are keyed by
+    variant.  ``complete`` only when every shard completed."""
+    merged = CampaignCheckpoint(
+        ResultSet(),
+        cap=cap,
+        variants=None if variants is None else list(variants),
+    )
+    complete = bool(shards)
+    for shard in shards:
+        merged.results.merge(shard.results)
+        merged.cursors.update(shard.cursors)
+        for variant, wear in shard.machine_wear.items():
+            merged.machine_wear[variant] = dict(wear)
+        complete = complete and shard.complete
+    merged.complete = complete
+    return merged
+
+
 def save_checkpoint(
     checkpoint: CampaignCheckpoint, path: str | pathlib.Path
 ) -> None:

@@ -151,6 +151,49 @@ class BallistaServer:
         with self._lock:
             return set(self._completed)
 
+    # ------------------------------------------------------------------
+    # Local fallback
+    # ------------------------------------------------------------------
+
+    def run_local(self, jobs: int | None = None, progress=None) -> ResultSet:
+        """Run the campaign in-process when no remote clients will
+        connect -- the local fallback for a degraded fleet.
+
+        Variants fan out across worker processes exactly like
+        :class:`~repro.core.parallel.ParallelCampaign` (``jobs`` as
+        there), producing the same result set remote clients would have
+        reported.  A server built with a custom MuT/type registry falls
+        back to the serial :class:`~repro.core.campaign.Campaign`: the
+        registries' call implementations are closures and cannot cross
+        the spawn boundary.  Completed variants are marked so
+        :meth:`join` returns immediately for them.
+        """
+        from repro.core.campaign import Campaign, CampaignConfig
+        from repro.core.mut import default_registry
+        from repro.core.parallel import ParallelCampaign
+        from repro.core.types import default_types
+
+        variants = list(self._variants.values())
+        config = CampaignConfig(cap=self.cap)
+        stock = (
+            self.registry is default_registry()
+            and self.types is default_types()
+        )
+        if stock:
+            runner = ParallelCampaign(variants, config=config, jobs=jobs)
+        else:
+            runner = Campaign(
+                variants,
+                registry=self.registry,
+                types=self.types,
+                config=config,
+            )
+        local = runner.run(progress=progress)
+        with self._lock:
+            self.results.merge(local)
+            self._completed |= {p.key for p in variants}
+        return self.results
+
     def expired_variants(self) -> set[str]:
         """Variants whose lease ran out before they completed."""
         with self._lock:

@@ -3,7 +3,13 @@ figure renderers."""
 
 import pytest
 
-from repro.analysis.rates import select_results, summarize
+from repro.analysis.rates import (
+    catastrophic_function_count,
+    group_rates,
+    select_results,
+    summarize,
+)
+from repro.libc.registration import UNICODE_TWIN_OF
 from repro.analysis.silent import estimate_silent_rates
 from repro.analysis.tables import (
     render_figure1,
@@ -29,6 +35,58 @@ class TestSelectResults:
 
     def test_non_ce_variants_unaffected(self, session_results):
         assert len(select_results(session_results, "winnt")) == 237
+
+    def test_both_mode_is_a_no_op_off_ce(self, session_results):
+        assert select_results(session_results, "winnt", "both") == (
+            select_results(session_results, "winnt")
+        )
+
+
+class TestCECountingBoth:
+    """Direct coverage of the rate layer's ``ce_counting="both"`` path,
+    the source of Table 1's parenthesised CE counts ("82 (108)")."""
+
+    def test_both_adds_exactly_the_shadowed_ascii_rows(self, session_results):
+        unicode_rows = select_results(session_results, "wince")
+        both_rows = select_results(session_results, "wince", "both")
+        extra = {r.mut_name for r in both_rows} - {
+            r.mut_name for r in unicode_rows
+        }
+        assert extra, "CE must register shadowed ASCII originals"
+        assert extra <= set(UNICODE_TWIN_OF.values())
+        assert len(both_rows) == len(unicode_rows) + len(extra)
+
+    def test_summarize_both_matches_table1_parentheses(self, session_results):
+        headline = summarize(session_results, "wince")
+        both = summarize(session_results, "wince", ce_counting="both")
+        assert headline.c_functions_tested == 82
+        assert both.c_functions_tested == 108
+        assert both.syscalls_tested == headline.syscalls_tested
+        assert both.muts_tested == 179  # the paper's "153 (179)"
+
+    def test_catastrophic_count_never_shrinks_under_both(
+        self, session_results
+    ):
+        unicode_count = catastrophic_function_count(
+            session_results, "wince", {"libc"}, "unicode"
+        )
+        both_count = catastrophic_function_count(
+            session_results, "wince", {"libc"}, "both"
+        )
+        assert both_count >= unicode_count
+        both_rows = select_results(session_results, "wince", "both")
+        assert both_count == sum(
+            1 for r in both_rows if r.api == "libc" and r.catastrophic
+        )
+
+    def test_group_rates_both_mode_counts_more_muts(self, session_results):
+        unicode_groups = group_rates(session_results, "wince")
+        both_groups = group_rates(session_results, "wince", "both")
+        for name, group in unicode_groups.items():
+            assert both_groups[name].muts >= group.muts
+        assert sum(g.muts for g in both_groups.values()) > sum(
+            g.muts for g in unicode_groups.values()
+        )
 
 
 class TestSummaries:

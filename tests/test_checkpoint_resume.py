@@ -280,6 +280,57 @@ class TestCampaignResume:
         with pytest.raises(ValueError, match="cap"):
             small_campaign(subset_registry, [winnt], cap=40).run(resume=path)
 
+    def test_resume_without_recorded_cap_warns(self, subset_registry, winnt):
+        """Regression: a falsy checkpoint cap used to pass the ``resume.cap
+        and ...`` guard silently, resuming under *any* cap; it must warn."""
+        checkpoint = CampaignCheckpoint(
+            ResultSet(), cap=0, variants=["winnt"]
+        )
+        with pytest.warns(UserWarning, match="does not record its cap"):
+            small_campaign(subset_registry, [winnt], cap=20).run(
+                resume=checkpoint
+            )
+
+    def test_machine_per_case_checkpoint_records_no_wear(
+        self, subset_registry, winnt, tmp_path
+    ):
+        """Regression: machine_per_case mode used to capture wear from
+        the throwaway per-case machine into the checkpoint."""
+        path = tmp_path / "campaign.ckpt"
+        Campaign(
+            [winnt],
+            registry=subset_registry,
+            config=CampaignConfig(cap=20, machine_per_case=True),
+        ).run(checkpoint_path=path)
+        assert load_checkpoint(path).machine_wear == {}
+
+    def test_machine_per_case_resume_ignores_poisoned_wear(
+        self, subset_registry, win98
+    ):
+        """In machine_per_case mode every case gets a pristine machine;
+        wear smuggled in via a checkpoint must not be restored."""
+        config = CampaignConfig(cap=20, machine_per_case=True)
+        clean = Campaign(
+            [win98], registry=subset_registry, config=config
+        ).run()
+        poisoned = CampaignCheckpoint(
+            ResultSet(),
+            machine_wear={
+                "win98": {
+                    "corruption": 3,
+                    "reboot_count": 9,
+                    "clock_ticks": 1_000_000,
+                    "next_pid": 4000,
+                }
+            },
+            cap=20,
+            variants=["win98"],
+        )
+        resumed = Campaign(
+            [win98], registry=subset_registry, config=config
+        ).run(resume=poisoned)
+        assert_same_results(resumed, clean)
+
     def test_resume_with_different_variants_refused(
         self, subset_registry, winnt, win98, tmp_path
     ):

@@ -248,6 +248,47 @@ class TestCliExtras:
         monkeypatch.delenv("BALLISTA_CAP")
         assert default_cap() == 300
 
+    @pytest.mark.parametrize("value", ["5k", "", "3.5", "lots"])
+    def test_malformed_cap_env_names_the_variable(self, monkeypatch, value):
+        from repro.core.campaign import default_cap
+
+        monkeypatch.setenv("BALLISTA_CAP", value)
+        with pytest.raises(ValueError, match="BALLISTA_CAP"):
+            default_cap()
+
+    @pytest.mark.parametrize("value", ["0", "-5"])
+    def test_non_positive_cap_env_rejected(self, monkeypatch, value):
+        from repro.core.campaign import default_cap
+
+        monkeypatch.setenv("BALLISTA_CAP", value)
+        with pytest.raises(ValueError, match="positive"):
+            default_cap()
+
+    def test_cli_reports_malformed_cap_env_cleanly(self, monkeypatch, capsys):
+        """Regression: ``BALLISTA_CAP=5k`` used to escape the CLI as a
+        raw ValueError traceback; it must exit with a clean usage error
+        naming the env var."""
+        from repro.cli import main
+
+        monkeypatch.setenv("BALLISTA_CAP", "5k")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--variants", "winnt", "--tables", "table1", "--quiet"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "BALLISTA_CAP" in err
+        assert "Traceback" not in err
+
+    def test_cli_explicit_cap_bypasses_bad_env(self, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setenv("BALLISTA_CAP", "5k")
+        code = main(
+            ["--cap", "20", "--variants", "winnt", "--tables", "table1",
+             "--quiet", "--jobs", "1"]
+        )
+        assert code == 0
+        assert "Table 1" in capsys.readouterr().out
+
 
 class TestConcurrentClients:
     def test_three_clients_share_one_server(self, winnt, win98, win95):
