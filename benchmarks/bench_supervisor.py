@@ -1,0 +1,86 @@
+"""Measure the overhead of self-healing supervision on a healthy run.
+
+The same four-variant campaign runs once under the bare
+:class:`ParallelCampaign` and once under :class:`SupervisedCampaign`
+(watchdog armed at its default deadline), at ``BALLISTA_BENCH_CAP``
+(default 200).  Both runs must produce byte-identical result-set
+documents; supervision buys fault tolerance with heartbeat events and a
+watchdog sweep, and this benchmark pins what that costs when nothing
+goes wrong.
+
+On a machine with >= 4 cores and a run long enough to measure (>= 2s),
+the supervised run must stay within 5% of the bare parallel run; on
+smaller machines or shorter runs the ratio is only reported.  Timings
+land in ``benchmarks/out/supervisor.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core.campaign import CampaignConfig
+from repro.core.parallel import ParallelCampaign
+from repro.core.results_io import results_to_dict
+from repro.core.supervisor import SupervisedCampaign, SupervisorPolicy
+from repro.posix.linux import LINUX
+from repro.win32.variants import WIN2000, WIN98, WINNT
+
+VARIANTS = [WIN98, WINNT, WIN2000, LINUX]
+JOBS = 4
+MAX_OVERHEAD = 0.05
+MIN_MEASURABLE_S = 2.0
+
+
+def test_supervision_overhead_and_fidelity(artifact_dir, bench_cap):
+    config = CampaignConfig(cap=bench_cap)
+
+    started = time.perf_counter()
+    plain_results = ParallelCampaign(VARIANTS, config=config, jobs=JOBS).run()
+    plain_s = time.perf_counter() - started
+
+    supervised = SupervisedCampaign(
+        VARIANTS,
+        config=config,
+        jobs=JOBS,
+        policy=SupervisorPolicy(mut_deadline=300.0),
+    )
+    started = time.perf_counter()
+    supervised_results = supervised.run()
+    supervised_s = time.perf_counter() - started
+
+    plain_doc = json.dumps(
+        results_to_dict(plain_results), separators=(",", ":")
+    )
+    supervised_doc = json.dumps(
+        results_to_dict(supervised_results), separators=(",", ":")
+    )
+    assert supervised_doc == plain_doc, (
+        "supervised output must be byte-identical"
+    )
+    assert supervised.supervision_log == [], (
+        "a healthy run must trigger no supervision events"
+    )
+
+    cores = os.cpu_count() or 1
+    overhead = (supervised_s - plain_s) / plain_s if plain_s else 0.0
+    lines = [
+        f"Supervised campaign overhead, {len(VARIANTS)} variants, "
+        f"cap {bench_cap}, {JOBS} workers, {cores} cores",
+        "",
+        f"parallel:   {plain_s:8.2f}s",
+        f"supervised: {supervised_s:8.2f}s",
+        f"overhead:   {100 * overhead:8.2f}%",
+        f"cases:      {plain_results.total_cases():8d}",
+        "output:     byte-identical, no supervision events",
+    ]
+    (artifact_dir / "supervisor.txt").write_text(
+        "\n".join(lines) + "\n", encoding="utf-8"
+    )
+    if cores >= 4 and plain_s >= MIN_MEASURABLE_S:
+        assert overhead <= MAX_OVERHEAD, (
+            f"supervision overhead {100 * overhead:.2f}% exceeds "
+            f"{100 * MAX_OVERHEAD:.0f}% (parallel {plain_s:.2f}s vs "
+            f"supervised {supervised_s:.2f}s)"
+        )

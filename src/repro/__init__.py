@@ -31,6 +31,8 @@ from repro.core import (
     ParallelCampaign,
     ResultSet,
     Severity,
+    SupervisedCampaign,
+    SupervisorPolicy,
     TestCase,
     default_registry,
     default_types,
@@ -67,6 +69,8 @@ __all__ = [
     "Personality",
     "ResultSet",
     "Severity",
+    "SupervisedCampaign",
+    "SupervisorPolicy",
     "TestCase",
     "WIN2000",
     "WIN95",

@@ -116,6 +116,9 @@ def render_table1(results: ResultSet) -> str:
     Variants whose campaign did not run to completion (dead client,
     expired lease, interrupted run) are marked with ``!`` -- their rates
     are computed over the MuTs that did report, not the full plan.
+    Variants where the supervisor quarantined poison MuTs (repeated
+    worker kills/hangs) are marked with ``~``; the footnote lists the
+    withdrawn MuTs, which contribute to no rate.
     """
     headers = [
         "OS",
@@ -134,9 +137,14 @@ def render_table1(results: ResultSet) -> str:
     ]
     rows = [headers]
     any_partial = False
+    quarantined: list = []
     for key, name in _present(results):
         summary = summarize(results, key, display_name=name)
         cells = _table1_row(summary, results)
+        records = results.quarantined_for(key)
+        if records:
+            quarantined.extend(records)
+            cells[0] = f"~{cells[0]}"
         if results.is_partial(key):
             any_partial = True
             cells[0] = f"!{cells[0]}"
@@ -148,6 +156,13 @@ def render_table1(results: ResultSet) -> str:
         table += (
             "\n(! = partial results: the variant's campaign did not run "
             "to completion)"
+        )
+    if quarantined:
+        listing = ", ".join(
+            f"{r.api}:{r.mut_name} [{r.variant}]" for r in quarantined
+        )
+        table += (
+            f"\n(~ = quarantined MuTs excluded from rates: {listing})"
         )
     return table
 

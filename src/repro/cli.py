@@ -30,6 +30,13 @@ from repro.analysis.tables import (
 )
 from repro.core.campaign import default_cap
 from repro.core.parallel import default_jobs
+from repro.core.supervisor import (
+    SupervisedCampaign,
+    SupervisorPolicy,
+    default_max_mut_retries,
+    default_max_restarts,
+    default_mut_deadline,
+)
 
 RENDERERS = {
     "table1": render_table1,
@@ -116,6 +123,45 @@ def main(argv: list[str] | None = None) -> int:
         help="also write table1.csv / table2.csv into DIR",
     )
     parser.add_argument(
+        "--mut-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock heartbeat deadline before the supervisor kills "
+            "and restarts a hung worker (0 disables the watchdog; "
+            "default: BALLISTA_MUT_DEADLINE or 300)"
+        ),
+    )
+    parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker restarts allowed per variant before the campaign "
+            "fails (default: BALLISTA_MAX_RESTARTS or 5)"
+        ),
+    )
+    parser.add_argument(
+        "--max-mut-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker deaths one MuT may cause before it is quarantined "
+            "(default: BALLISTA_MAX_MUT_RETRIES or 1)"
+        ),
+    )
+    parser.add_argument(
+        "--no-supervise",
+        action="store_true",
+        help=(
+            "run parallel workers without the self-healing supervisor "
+            "(a dead or hung worker then fails the whole campaign)"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress progress output"
     )
     args = parser.parse_args(argv)
@@ -128,6 +174,31 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(str(exc))
     if args.jobs is not None and args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.mut_deadline is None:
+        try:
+            args.mut_deadline = default_mut_deadline()
+        except ValueError as exc:
+            parser.error(str(exc))
+    elif args.mut_deadline < 0:
+        parser.error(f"--mut-deadline must be >= 0, got {args.mut_deadline}")
+    elif args.mut_deadline == 0:
+        args.mut_deadline = None  # 0 = watchdog off, as in the env var
+    if args.max_restarts is None:
+        try:
+            args.max_restarts = default_max_restarts()
+        except ValueError as exc:
+            parser.error(str(exc))
+    elif args.max_restarts < 0:
+        parser.error(f"--max-restarts must be >= 0, got {args.max_restarts}")
+    if args.max_mut_retries is None:
+        try:
+            args.max_mut_retries = default_max_mut_retries()
+        except ValueError as exc:
+            parser.error(str(exc))
+    elif args.max_mut_retries < 0:
+        parser.error(
+            f"--max-mut-retries must be >= 0, got {args.max_mut_retries}"
+        )
 
     wanted = [name.strip() for name in args.tables.split(",") if name.strip()]
     unknown = [name for name in wanted if name not in RENDERERS]
@@ -200,7 +271,18 @@ def main(argv: list[str] | None = None) -> int:
         checkpoint_path = args.checkpoint or args.resume
         started = time.monotonic()
         jobs = args.jobs if args.jobs is not None else default_jobs(len(variants))
-        if jobs > 1:
+        if jobs > 1 and not args.no_supervise:
+            campaign = SupervisedCampaign(
+                variants,
+                config=CampaignConfig(cap=args.cap),
+                jobs=jobs,
+                policy=SupervisorPolicy(
+                    mut_deadline=args.mut_deadline,
+                    max_restarts=args.max_restarts,
+                    max_mut_retries=args.max_mut_retries,
+                ),
+            )
+        elif jobs > 1:
             campaign = ParallelCampaign(
                 variants, config=CampaignConfig(cap=args.cap), jobs=jobs
             )
@@ -220,6 +302,18 @@ def main(argv: list[str] | None = None) -> int:
                 f"campaign: {results.total_cases()} test cases across "
                 f"{len(variants)} variants in {elapsed:.1f}s{workers}\n\n"
             )
+            for entry in getattr(campaign, "supervision_log", []):
+                detail = ", ".join(
+                    f"{k}={v}"
+                    for k, v in entry.items()
+                    if k not in ("event", "variant")
+                )
+                sys.stderr.write(
+                    f"supervisor: {entry['event']} [{entry['variant']}]"
+                    f"{' ' + detail if detail else ''}\n"
+                )
+            if getattr(campaign, "supervision_log", []):
+                sys.stderr.write("\n")
     if args.save:
         from repro.core.results_io import save_results
 

@@ -25,14 +25,18 @@ from repro.core.crash_scale import CaseCode, Severity
 from repro.core.generator import CaseGenerator, TestCase
 from repro.core.mut import MuT, MuTRegistry, default_registry
 from repro.core.parallel import ParallelCampaign, default_jobs
-from repro.core.results import MuTResult, ResultSet
+from repro.core.results import MuTResult, QuarantineRecord, ResultSet
 from repro.core.results_io import load_results, save_results
+from repro.core.supervisor import SupervisedCampaign, SupervisorPolicy
 from repro.core.types import ParamType, TestValue, TypeRegistry, default_types
 
 __all__ = [
     "Campaign",
     "CampaignConfig",
     "ParallelCampaign",
+    "QuarantineRecord",
+    "SupervisedCampaign",
+    "SupervisorPolicy",
     "default_jobs",
     "CaseCode",
     "CaseGenerator",

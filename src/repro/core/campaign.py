@@ -86,6 +86,19 @@ class CampaignConfig:
 
 ProgressFn = Callable[[str, str, int, int], None]
 
+#: Per-case liveness callback: ``(variant, "api:name", case_index)``.
+#: The supervisor's wall-clock watchdog consumes these -- a worker whose
+#: heartbeats stop mid-MuT is hung in *real* time (outside the simulated
+#: clock's reach) and gets terminated and restarted from its shard.
+HeartbeatFn = Callable[[str, str, int], None]
+
+
+def mut_key(mut: MuT) -> str:
+    """The unambiguous ``api:name`` identity used in heartbeats and
+    quarantine specs (bare names can repeat across APIs, e.g. the libc
+    and syscall ``rename``)."""
+    return f"{mut.api}:{mut.name}"
+
 
 class Campaign:
     """Runs MuTs across OS variants and collects results."""
@@ -126,6 +139,8 @@ class Campaign:
         checkpoint_path: str | pathlib.Path | None = None,
         checkpoint_every: int = 25,
         resume: CampaignCheckpoint | str | pathlib.Path | None = None,
+        quarantine: dict[str, str] | None = None,
+        heartbeat: HeartbeatFn | None = None,
     ) -> ResultSet:
         """Execute the full campaign and return the result set.
 
@@ -138,6 +153,10 @@ class Campaign:
             and per-variant machine wear (accumulated corruption, clock)
             is restored, so the final result set matches an
             uninterrupted run.
+        :param quarantine: ``{"api:name": reason}`` MuTs the supervisor
+            has withdrawn; each is recorded as QUARANTINED and skipped.
+        :param heartbeat: per-case liveness callback (see
+            :data:`HeartbeatFn`); the supervisor's watchdog feeds on it.
         """
         keys = [p.key for p in self.variants]
         if isinstance(resume, (str, pathlib.Path)):
@@ -183,6 +202,8 @@ class Campaign:
                 checkpoint,
                 checkpoint_path,
                 checkpoint_every,
+                quarantine=quarantine,
+                heartbeat=heartbeat,
             )
         checkpoint.complete = True
         #: The final checkpoint of the last run (cursors + machine wear
@@ -208,6 +229,8 @@ def run_variant(
     checkpoint: CampaignCheckpoint,
     checkpoint_path: str | pathlib.Path | None,
     checkpoint_every: int,
+    quarantine: dict[str, str] | None = None,
+    heartbeat: HeartbeatFn | None = None,
 ) -> None:
     """Run one variant's full MuT plan (the campaign inner loop).
 
@@ -216,12 +239,24 @@ def run_variant(
     worker processes; :meth:`Campaign.run` drives it directly for the
     serial path, so both paths classify identically by construction.
 
-    MuTs already present in ``results`` (from an interrupted run's
-    checkpoint) are skipped.  In ``machine_per_case`` mode there is no
-    cross-MuT machine state, so no wear is captured into (or restored
-    from) the checkpoint -- recording the throwaway per-case machine's
-    wear would restore meaningless corruption onto a resumed run.
+    The entry is restart-safe at an arbitrary plan cursor: MuTs already
+    present in ``results`` (or already quarantined there) from an
+    interrupted run's checkpoint are skipped, and machine wear restored
+    from the checkpoint puts the simulated machine back exactly where
+    the dead worker left it, so a supervisor can kill and relaunch this
+    loop mid-variant without perturbing a single classification.  In
+    ``machine_per_case`` mode there is no cross-MuT machine state, so no
+    wear is captured into (or restored from) the checkpoint -- recording
+    the throwaway per-case machine's wear would restore meaningless
+    corruption onto a resumed run.
+
+    ``quarantine`` maps ``"api:name"`` keys to reason strings: the
+    supervisor's verdict that a MuT repeatedly killed or hung its
+    worker.  Each is recorded as a harness-level QUARANTINED outcome
+    (no case array, excluded from rates) and the plan moves on -- the
+    paper's reboot-and-continue loop, minus the reboot.
     """
+    quarantine = quarantine or {}
     machine = Machine(personality, watchdog_ticks=config.watchdog_ticks)
     wear = checkpoint.machine_wear.get(personality.key)
     if wear and not config.machine_per_case:
@@ -231,6 +266,22 @@ def run_variant(
     for position, mut in enumerate(muts):
         if results.has(personality.key, mut.name, api=mut.api):
             continue  # already recorded by the interrupted run
+        if results.is_quarantined(personality.key, mut.api, mut.name):
+            continue  # quarantined by the interrupted run
+        key = mut_key(mut)
+        if key in quarantine:
+            results.quarantine(
+                personality.key, mut.api, mut.name, quarantine[key]
+            )
+            checkpoint.cursors[personality.key] = position + 1
+            since_checkpoint += 1
+            if (
+                checkpoint_path is not None
+                and since_checkpoint >= checkpoint_every
+            ):
+                save_checkpoint(checkpoint, checkpoint_path)
+                since_checkpoint = 0
+            continue
         if progress is not None:
             progress(personality.key, mut.name, position, len(muts))
         result = results.new_result(
@@ -239,6 +290,8 @@ def run_variant(
         result.planned_cases = generator.case_count(mut)
         result.capped = generator.is_capped(mut)
         for case in generator.cases(mut):
+            if heartbeat is not None:
+                heartbeat(personality.key, key, case.index)
             if config.machine_per_case:
                 machine = Machine(
                     personality, watchdog_ticks=config.watchdog_ticks

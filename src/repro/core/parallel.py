@@ -34,6 +34,8 @@ import multiprocessing
 import os
 import pathlib
 import queue
+import signal
+import time
 import traceback
 import warnings
 from typing import Iterable, Sequence
@@ -42,6 +44,7 @@ from repro.core.campaign import Campaign, CampaignConfig, ProgressFn
 from repro.core.results import ResultSet
 from repro.core.results_io import (
     CampaignCheckpoint,
+    ResultFormatError,
     checkpoint_from_dict,
     checkpoint_to_dict,
     load_checkpoint,
@@ -59,6 +62,57 @@ def default_jobs(variant_count: int) -> int:
     return max(1, min(variant_count, os.cpu_count() or 1))
 
 
+def _fault_injector():
+    """Env-triggered worker faults for resilience tests and CI drills.
+
+    ``BALLISTA_FAULT_KILL="variant|api:name|case_index[|marker_path]"``
+    SIGKILLs the worker when the matching case starts -- with a marker
+    path the kill fires only once (the marker file records that it
+    already happened, so the restarted worker survives), without one it
+    fires on every attempt.  ``BALLISTA_FAULT_HANG`` with the same
+    triple makes the worker loop in *real* Python, invisible to the
+    simulated clock's watchdog -- exactly the failure mode the
+    supervisor's wall-clock deadline exists for.
+
+    Returns a callback for the worker's heartbeat path, or ``None``
+    when neither variable is set (the common case: zero overhead).
+    """
+    kill_spec = os.environ.get("BALLISTA_FAULT_KILL")
+    hang_spec = os.environ.get("BALLISTA_FAULT_HANG")
+    if not kill_spec and not hang_spec:
+        return None
+
+    def parse(raw):
+        parts = raw.split("|")
+        if len(parts) not in (3, 4):
+            raise ValueError(
+                f"fault spec must be 'variant|api:name|case[|marker]', "
+                f"got {raw!r}"
+            )
+        marker = parts[3] if len(parts) == 4 else None
+        return parts[0], parts[1], int(parts[2]), marker
+
+    kill = parse(kill_spec) if kill_spec else None
+    hang = parse(hang_spec) if hang_spec else None
+
+    def fire(variant: str, mut: str, case_index: int) -> None:
+        if kill and (variant, mut, case_index) == kill[:3]:
+            marker = kill[3]
+            if marker is None or not os.path.exists(marker):
+                if marker is not None:
+                    pathlib.Path(marker).touch()
+                os.kill(os.getpid(), signal.SIGKILL)
+        if hang and (variant, mut, case_index) == hang[:3]:
+            # A faithful hang: ignore polite SIGTERM (native code stuck
+            # in a loop would too), so only the supervisor's SIGKILL
+            # escalation ends it.
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+            while True:
+                time.sleep(0.05)
+
+    return fire
+
+
 def _personality_by_key(key: str) -> Personality:
     from repro import ALL_VARIANTS
 
@@ -72,11 +126,14 @@ def _variant_worker(spec: dict, events) -> None:
     """Child-process entry point: run one variant's slice.
 
     ``spec`` is a plain picklable dict (variant key, MuT-name filter,
-    config fields, shard path, resume document); everything else --
-    registries, generator, machine -- is rebuilt inside the worker.
-    Emits ``("progress", variant, mut, position, total)`` events while
-    running and finishes with either ``("done", variant,
-    checkpoint_dict)`` or ``("error", variant, traceback_text)``.
+    config fields, shard path, resume document, quarantine verdicts,
+    heartbeat throttle); everything else -- registries, generator,
+    machine -- is rebuilt inside the worker.  Emits ``("progress",
+    variant, mut, position, total)`` events while running, throttled
+    ``("heartbeat", variant, "api:name", case_index)`` liveness beacons
+    for the supervisor's wall-clock watchdog, and finishes with either
+    ``("done", variant, checkpoint_dict)`` or ``("error", variant,
+    traceback_text)``.
     """
     key = spec["variant"]
     try:
@@ -89,18 +146,49 @@ def _variant_worker(spec: dict, events) -> None:
             # A previous worker for this variant was killed mid-run:
             # its shard is strictly fresher than any combined resume
             # document, so the shard wins.
-            resume = load_checkpoint(shard)
-        elif spec["resume"] is not None:
+            try:
+                resume = load_checkpoint(shard)
+            except (OSError, ResultFormatError) as exc:
+                # A shard that did not survive its worker's death is
+                # set aside, not fatal: fall back to the combined
+                # resume document (or a cold start) and re-earn it.
+                try:
+                    os.replace(shard, shard + ".corrupt")
+                except OSError:  # pragma: no cover - best effort
+                    pass
+                warnings.warn(
+                    f"shard checkpoint {shard} is unreadable ({exc}); "
+                    f"worker [{key}] restarting without it"
+                )
+        if resume is None and spec["resume"] is not None:
             resume = checkpoint_from_dict(spec["resume"])
 
         def forward(variant: str, mut: str, position: int, total: int) -> None:
             events.put(("progress", variant, mut, position, total))
+
+        fault = _fault_injector()
+        hb_interval = spec.get("heartbeat_interval", 1.0)
+        last_beat = 0.0
+
+        def heartbeat(variant: str, mut: str, case_index: int) -> None:
+            nonlocal last_beat
+            if fault is not None:
+                fault(variant, mut, case_index)
+            now = time.monotonic()
+            # Every MuT announces itself (case 0) so the supervisor can
+            # attribute a death to the MuT in flight; within a MuT the
+            # beacons are throttled to keep the queue quiet.
+            if case_index == 0 or now - last_beat >= hb_interval:
+                last_beat = now
+                events.put(("heartbeat", variant, mut, case_index))
 
         campaign.run(
             progress=forward,
             checkpoint_path=shard,
             checkpoint_every=spec["checkpoint_every"],
             resume=resume,
+            quarantine=spec.get("quarantine"),
+            heartbeat=heartbeat,
         )
         events.put(
             ("done", key, checkpoint_to_dict(campaign.last_checkpoint))
@@ -190,24 +278,48 @@ class ParallelCampaign:
                 variants=keys,
             )
             save_checkpoint(initial, checkpoint_path)
-        specs = self._build_specs(resume, checkpoint_path, checkpoint_every)
-        shards = self._run_workers(specs, progress)
-        merged = merge_checkpoints(
-            [shards[key] for key in keys], cap=self.config.cap, variants=keys
-        )
-        merged.complete = True
-        self.last_checkpoint = merged
-        if checkpoint_path is not None:
-            save_checkpoint(merged, checkpoint_path)
-            for spec in specs:
-                if spec["shard_path"] is not None:
-                    try:
-                        os.remove(spec["shard_path"])
-                    except OSError:  # pragma: no cover - already gone
-                        pass
+        shard_base = self._shard_base(checkpoint_path)
+        specs = self._build_specs(resume, shard_base, checkpoint_every)
+        try:
+            shards = self._run_workers(specs, progress)
+            merged = merge_checkpoints(
+                [shards[key] for key in keys],
+                cap=self.config.cap,
+                variants=keys,
+            )
+            merged.complete = True
+            self.last_checkpoint = merged
+            if checkpoint_path is not None:
+                save_checkpoint(merged, checkpoint_path)
+            if shard_base is not None:
+                for spec in specs:
+                    if spec["shard_path"] is not None:
+                        try:
+                            os.remove(spec["shard_path"])
+                        except OSError:  # pragma: no cover - already gone
+                            pass
+        finally:
+            self._release_shard_base()
         return merged.results
 
     # ------------------------------------------------------------------
+
+    def _shard_base(
+        self, checkpoint_path: str | pathlib.Path | None
+    ) -> str | pathlib.Path | None:
+        """Where workers checkpoint their shards.  The base runner only
+        shards when the caller asked for checkpoints; the supervisor
+        overrides this (restart-from-shard needs shards even when the
+        user did not request a checkpoint file)."""
+        return checkpoint_path
+
+    def _release_shard_base(self) -> None:
+        """Hook for subclasses that fabricate a temporary shard base."""
+
+    def _heartbeat_interval(self) -> float:
+        """Worker-side throttle for heartbeat events.  The base runner
+        has no watchdog, so a slow beacon is plenty."""
+        return 1.0
 
     def _validate_resume(
         self, resume: CampaignCheckpoint, keys: list[str]
@@ -235,7 +347,7 @@ class ParallelCampaign:
     def _build_specs(
         self,
         resume: CampaignCheckpoint | None,
-        checkpoint_path: str | pathlib.Path | None,
+        shard_base: str | pathlib.Path | None,
         checkpoint_every: int,
     ) -> list[dict]:
         config_fields = {
@@ -261,11 +373,13 @@ class ParallelCampaign:
                     "config": config_fields,
                     "shard_path": (
                         None
-                        if checkpoint_path is None
-                        else str(shard_path(checkpoint_path, key))
+                        if shard_base is None
+                        else str(shard_path(shard_base, key))
                     ),
                     "checkpoint_every": checkpoint_every,
                     "resume": resume_doc,
+                    "quarantine": {},
+                    "heartbeat_interval": self._heartbeat_interval(),
                 }
             )
         return specs
@@ -285,13 +399,7 @@ class ParallelCampaign:
             while pending or running:
                 while pending and len(running) < self.jobs:
                     spec = pending.pop(0)
-                    worker = ctx.Process(
-                        target=_variant_worker,
-                        args=(spec, events),
-                        daemon=True,
-                    )
-                    worker.start()
-                    running[spec["variant"]] = worker
+                    running[spec["variant"]] = self._spawn(ctx, spec, events)
                 try:
                     message = events.get(timeout=0.2)
                 except queue.Empty:
@@ -301,6 +409,8 @@ class ParallelCampaign:
                 if kind == "progress":
                     if progress is not None:
                         progress(*message[1:])
+                elif kind == "heartbeat":
+                    pass  # liveness beacons; only the supervisor consumes them
                 elif kind == "done":
                     shards[key] = checkpoint_from_dict(message[2])
                     self._retire(running, key)
@@ -321,6 +431,15 @@ class ParallelCampaign:
                 f"{sorted(errors)}:\n{detail}"
             )
         return shards
+
+    @staticmethod
+    def _spawn(ctx, spec: dict, events):
+        """Start one variant worker process from its spec."""
+        worker = ctx.Process(
+            target=_variant_worker, args=(spec, events), daemon=True
+        )
+        worker.start()
+        return worker
 
     @staticmethod
     def _retire(running: dict[str, object], key: str) -> None:

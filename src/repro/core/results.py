@@ -21,6 +21,26 @@ from typing import Iterable, Iterator
 from repro.core.crash_scale import CaseCode
 
 
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """A MuT the supervisor withdrew from a variant's plan.
+
+    A *harness-level* outcome, not a per-case code: a quarantined MuT
+    repeatedly killed or hung its worker process, so it has no case
+    array at all -- the campaign skipped it to keep the variant alive
+    (the analogue of the paper's entries that could only be measured by
+    rebooting the physical test machine and moving on).  Quarantined
+    MuTs are excluded from rate averages exactly like Catastrophic-
+    failure MuTs, and the analysis tables flag them with a footnote
+    marker alongside the ``!`` partial-variant flag.
+    """
+
+    variant: str
+    api: str
+    mut_name: str
+    reason: str
+
+
 @dataclass
 class MuTResult:
     """All outcomes for one MuT on one OS variant."""
@@ -123,6 +143,9 @@ class ResultSet:
         #: real measurements, but coverage is incomplete and the
         #: analysis layer flags them.
         self._partial: set[str] = set()
+        #: MuTs the supervisor withdrew after they repeatedly killed or
+        #: hung their worker; keyed like results, holding the record.
+        self._quarantined: dict[tuple[str, str, str], QuarantineRecord] = {}
 
     def mark_partial(self, variant: str) -> None:
         self._partial.add(variant)
@@ -132,6 +155,38 @@ class ResultSet:
 
     def partial_variants(self) -> set[str]:
         return set(self._partial)
+
+    # ------------------------------------------------------------------
+    # Quarantine (harness-level QUARANTINED outcome)
+    # ------------------------------------------------------------------
+
+    def quarantine(
+        self, variant: str, api: str, mut_name: str, reason: str
+    ) -> QuarantineRecord:
+        """Record a poison MuT as QUARANTINED on ``variant``.
+
+        Idempotent: re-recording an already-quarantined MuT keeps the
+        first record (a resumed run replays the supervisor's decision).
+        A quarantined MuT has no :class:`MuTResult` row, so it never
+        contributes to rates -- mirroring the paper's exclusion of MuTs
+        whose case set is incomplete.
+        """
+        key = (variant, api, mut_name)
+        if key not in self._quarantined:
+            self._quarantined[key] = QuarantineRecord(
+                variant, api, mut_name, reason
+            )
+        return self._quarantined[key]
+
+    def is_quarantined(self, variant: str, api: str, mut_name: str) -> bool:
+        return (variant, api, mut_name) in self._quarantined
+
+    def quarantined_records(self) -> list[QuarantineRecord]:
+        """Every quarantine record, sorted by (variant, api, mut)."""
+        return [self._quarantined[k] for k in sorted(self._quarantined)]
+
+    def quarantined_for(self, variant: str) -> list[QuarantineRecord]:
+        return [r for r in self.quarantined_records() if r.variant == variant]
 
     def new_result(
         self, variant: str, mut_name: str, api: str, group: str
@@ -167,6 +222,10 @@ class ResultSet:
             self.add(row)
         for variant in other.partial_variants():
             self.mark_partial(variant)
+        for record in other.quarantined_records():
+            self.quarantine(
+                record.variant, record.api, record.mut_name, record.reason
+            )
 
     def get(self, variant: str, mut_name: str, api: str | None = None) -> MuTResult:
         """Look a result up; ``api`` disambiguates names tested through

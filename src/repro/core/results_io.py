@@ -26,6 +26,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import warnings
 from dataclasses import dataclass, field
 
 from repro.core.crash_scale import CaseCode
@@ -73,6 +74,21 @@ def results_to_dict(results: ResultSet) -> dict:
     partial = sorted(results.partial_variants())
     if partial:
         document["partial"] = partial
+    quarantined = results.quarantined_records()
+    if quarantined:
+        # Harness-level QUARANTINED outcomes: MuTs the supervisor
+        # withdrew after they repeatedly killed or hung their worker.
+        # Serialised only when present so undisturbed runs stay
+        # byte-identical to pre-supervision documents.
+        document["quarantined"] = [
+            {
+                "variant": record.variant,
+                "api": record.api,
+                "mut": record.mut_name,
+                "reason": record.reason,
+            }
+            for record in quarantined
+        ]
     return document
 
 
@@ -114,6 +130,18 @@ def results_from_dict(document: dict) -> ResultSet:
             raise ResultFormatError(f"malformed result row: {exc}") from exc
     for variant in document.get("partial", []):
         results.mark_partial(variant)
+    for record in document.get("quarantined", []):
+        try:
+            results.quarantine(
+                record["variant"],
+                record["api"],
+                record["mut"],
+                str(record.get("reason", "")),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ResultFormatError(
+                f"malformed quarantine record: {exc}"
+            ) from exc
     return results
 
 
@@ -170,7 +198,9 @@ class CampaignCheckpoint:
         deterministic plan order.
     :param machine_wear: per-variant machine state that outcomes can
         depend on across MuTs: accumulated shared-arena corruption,
-        reboot count, and the virtual clock.
+        reboot count, the virtual clock, and an image of the simulated
+        filesystem and shared arena (files leaked by earlier MuTs change
+        later classifications).
     :param cap: the per-MuT case cap the run was started with; resuming
         under a different cap would splice incompatible case sequences,
         so it is refused.
@@ -179,6 +209,13 @@ class CampaignCheckpoint:
         Resuming with a different variant set is refused -- it would
         silently re-run or drop whole variants.
     :param complete: True once the campaign finished normally.
+    :param supervision: the supervisor's event log (worker restarts,
+        watchdog kills, quarantines) for a run still in flight.
+        Operational state, not measurement data: it is persisted on
+        in-flight documents so a resumed run can see its fault history,
+        and cleared once the campaign completes -- a supervised run that
+        survived faults leaves a final checkpoint byte-identical to an
+        undisturbed run's.
     """
 
     results: ResultSet
@@ -187,10 +224,11 @@ class CampaignCheckpoint:
     cap: int = 0
     variants: list[str] | None = None
     complete: bool = False
+    supervision: list[dict] = field(default_factory=list)
 
 
 def checkpoint_to_dict(checkpoint: CampaignCheckpoint) -> dict:
-    return {
+    document = {
         "format": CHECKPOINT_FORMAT,
         "version": CHECKPOINT_VERSION,
         "cap": checkpoint.cap,
@@ -203,6 +241,9 @@ def checkpoint_to_dict(checkpoint: CampaignCheckpoint) -> dict:
         },
         "results": results_to_dict(checkpoint.results),
     }
+    if checkpoint.supervision:
+        document["supervision"] = [dict(e) for e in checkpoint.supervision]
+    return document
 
 
 def checkpoint_from_dict(document: dict) -> CampaignCheckpoint:
@@ -218,12 +259,18 @@ def checkpoint_from_dict(document: dict) -> CampaignCheckpoint:
             results=results_from_dict(document["results"]),
             cursors={k: int(v) for k, v in document.get("cursors", {}).items()},
             machine_wear={
-                variant: {k: int(v) for k, v in wear.items()}
+                variant: {
+                    k: int(v) if isinstance(v, (int, bool)) else v
+                    for k, v in wear.items()
+                }
                 for variant, wear in document.get("machine_wear", {}).items()
             },
             cap=int(document.get("cap", 0)),
             variants=None if variants is None else [str(v) for v in variants],
             complete=bool(document.get("complete", False)),
+            supervision=[
+                dict(entry) for entry in document.get("supervision", [])
+            ],
         )
     except (KeyError, ValueError, TypeError) as exc:
         raise ResultFormatError(f"malformed checkpoint: {exc}") from exc
@@ -272,11 +319,19 @@ def split_checkpoint(
 
 
 def merge_checkpoints(
-    shards: list[CampaignCheckpoint],
+    shards: list,
     cap: int = 0,
     variants: list[str] | None = None,
 ) -> CampaignCheckpoint:
     """Merge per-variant shards back into one campaign checkpoint.
+
+    Each entry may be a loaded :class:`CampaignCheckpoint` or a path to
+    one on disk.  A path whose document is truncated or corrupt (a
+    worker killed mid-write by something that defeated the atomic
+    rename, a filesystem fault) is *quarantined* rather than fatal: the
+    file is set aside as ``<path>.corrupt``, a warning naming the shard
+    path is emitted, and the merge proceeds without it -- the merged
+    document is marked incomplete so a resume re-runs that slice.
 
     The merged document is independent of shard completion order:
     result rows serialise sorted by key, and cursors/wear are keyed by
@@ -288,6 +343,24 @@ def merge_checkpoints(
     )
     complete = bool(shards)
     for shard in shards:
+        if isinstance(shard, (str, pathlib.Path)):
+            path = pathlib.Path(shard)
+            try:
+                shard = load_checkpoint(path)
+            except (OSError, ResultFormatError) as exc:
+                quarantined = path.with_name(path.name + ".corrupt")
+                try:
+                    os.replace(path, quarantined)
+                    where = f"; set aside as {quarantined}"
+                except OSError:
+                    where = ""
+                warnings.warn(
+                    f"shard checkpoint {path} is unreadable ({exc}); "
+                    f"merging without it{where}",
+                    stacklevel=2,
+                )
+                complete = False
+                continue
         merged.results.merge(shard.results)
         merged.cursors.update(shard.cursors)
         for variant, wear in shard.machine_wear.items():

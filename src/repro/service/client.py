@@ -69,7 +69,7 @@ class BallistaClient:
         #: "api:name" keys of MuTs whose REPORT the server acknowledged.
         self._reported: set[str] = set()
         self._seq = 0
-        self._wear: dict[str, int] = {}
+        self._wear: dict = {}
         self._load_checkpoint()
 
     @classmethod
@@ -107,7 +107,8 @@ class BallistaClient:
         self._reported = set(document.get("reported", []))
         self._seq = int(document.get("next_seq", len(self._reported)))
         self._wear = {
-            k: int(v) for k, v in document.get("machine_wear", {}).items()
+            k: int(v) if isinstance(v, (int, bool)) else v
+            for k, v in document.get("machine_wear", {}).items()
         }
 
     def _save_checkpoint(self) -> None:

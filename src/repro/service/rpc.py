@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import itertools
 import queue
+import random
 import socket
 import struct
 import time
@@ -232,6 +233,14 @@ class RetryPolicy:
     :param call_timeout: seconds to wait for a matching reply per attempt.
     :param backoff_base: sleep before the first retry; doubles each
         retry, capped at ``backoff_max``.
+    :param jitter: multiplicative spread applied to each backoff delay,
+        drawn uniformly from ``[1 - jitter, 1 + jitter]``.  Jitter keeps
+        a fleet of clients that lost the same server from retrying in
+        lock-step (the thundering herd); ``0.0`` restores the exact
+        deterministic schedule.
+    :param jitter_seed: seed for the jitter stream.  ``None`` (the
+        default) gives every client an unpredictable stream; tests pass
+        a seed to make the schedule reproducible.
     :param sleep: injectable sleep function (tests/benchmarks).
     """
 
@@ -239,10 +248,28 @@ class RetryPolicy:
     call_timeout: float = 1.0
     backoff_base: float = 0.02
     backoff_max: float = 1.0
+    jitter: float = 0.25
+    jitter_seed: int | None = None
     sleep: Callable[[float], None] = time.sleep
 
-    def backoff(self, retry_index: int) -> float:
-        return min(self.backoff_base * (2**retry_index), self.backoff_max)
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(
+                f"jitter must be in [0, 1), got {self.jitter}"
+            )
+
+    def backoff(
+        self, retry_index: int, rng: "random.Random | None" = None
+    ) -> float:
+        """Delay before retry number ``retry_index + 1``.  Without an
+        ``rng`` the schedule is the exact exponential; with one, each
+        delay is scaled by a uniform factor in ``[1-jitter, 1+jitter]``
+        (the cap applies before jitter, so delays may exceed
+        ``backoff_max`` by at most the jitter fraction)."""
+        delay = min(self.backoff_base * (2**retry_index), self.backoff_max)
+        if rng is not None and self.jitter:
+            delay *= rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+        return delay
 
 
 @dataclass
@@ -272,6 +299,9 @@ class RpcClient:
         self._xids = itertools.count(1)
         self.retry = retry
         self.stats = ClientStats()
+        self._jitter_rng = (
+            random.Random(retry.jitter_seed) if retry is not None else None
+        )
 
     def call(self, procedure: int, body: bytes = b"") -> XdrDecoder:
         xid = next(self._xids)
@@ -290,7 +320,9 @@ class RpcClient:
         for attempt in range(policy.attempts):
             if attempt:
                 self.stats.retries += 1
-                policy.sleep(policy.backoff(attempt - 1))
+                policy.sleep(
+                    policy.backoff(attempt - 1, rng=self._jitter_rng)
+                )
             try:
                 self._transport.send_record(record)
             except RpcError as exc:

@@ -12,9 +12,11 @@ Catastrophic failure.
 
 from __future__ import annotations
 
+import base64
+
 from repro.sim.clock import SimClock
 from repro.sim.errors import MachineCrashed, SystemCrash
-from repro.sim.filesystem import FileSystem
+from repro.sim.filesystem import DirectoryNode, FileNode, FileSystem, Node
 from repro.sim.memory import Protection, Region, SHARED_BASE
 from repro.sim.personality import Personality
 from repro.sim.process import Process
@@ -102,25 +104,141 @@ class Machine:
     # Checkpoint support
     # ------------------------------------------------------------------
 
-    def wear_state(self) -> dict[str, int]:
+    def wear_state(self) -> dict:
         """The cross-MuT machine state a campaign checkpoint must carry
         so a resumed run classifies like an uninterrupted one: the
         accumulated shared-arena corruption (what turns into ``*``
-        interference crashes), plus reboot count, virtual clock, and the
-        pid counter for full determinism of the simulated environment."""
-        return {
+        interference crashes), reboot count, virtual clock, and pid
+        counter, plus a full image of the filesystem and the shared
+        system arena.  Files that earlier MuTs created or deleted change
+        later classifications (``remove()`` of a lingering file succeeds
+        on a worn machine but fails after a fresh boot), so the tree
+        itself is part of the wear."""
+        wear: dict = {
             "corruption": self._corruption,
             "reboot_count": self.reboot_count,
             "clock_ticks": self.clock.ticks,
             "next_pid": self._next_pid,
+            "fs": self._fs_wear(),
         }
+        if self.shared_region is not None and any(self.shared_region.data):
+            wear["shared_arena"] = base64.b64encode(
+                bytes(self.shared_region.data)
+            ).decode("ascii")
+        return wear
 
-    def restore_wear(self, wear: dict[str, int]) -> None:
-        """Reapply :meth:`wear_state` to a freshly booted machine."""
+    def restore_wear(self, wear: dict) -> None:
+        """Reapply :meth:`wear_state` to a freshly booted machine.
+
+        Checkpoints written before filesystem wear was recorded lack the
+        ``fs``/``shared_arena`` keys; those restore the counters only,
+        as before.
+        """
         self._corruption = int(wear.get("corruption", 0))
         self.reboot_count = int(wear.get("reboot_count", 0))
         self.clock.ticks = int(wear.get("clock_ticks", 0))
         self._next_pid = int(wear.get("next_pid", self._next_pid))
+        if "fs" in wear:
+            self._restore_fs(wear["fs"])
+        if self.shared_region is not None and "shared_arena" in wear:
+            arena = base64.b64decode(wear["shared_arena"])
+            self.shared_region.data[:] = arena.ljust(
+                self.shared_region.size, b"\x00"
+            )
+
+    def _fs_wear(self) -> dict:
+        """A depth-first, insertion-ordered image of the filesystem.
+
+        Hard links are recorded as aliases of the first directory entry
+        that reached the node, so the restored tree shares one
+        :class:`FileNode` between them just like the original.
+        """
+        nodes: list[dict] = []
+        seen: dict[int, int] = {}
+
+        def record(node: Node, entry: dict) -> dict:
+            entry["created_at"] = node.created_at
+            entry["modified_at"] = node.modified_at
+            entry["accessed_at"] = node.accessed_at
+            entry["read_only"] = node.read_only
+            entry["hidden"] = node.hidden
+            entry["protected"] = node.protected
+            entry["mode"] = node.mode
+            return entry
+
+        nodes.append(record(self.fs.root, {"path": "", "type": "dir"}))
+
+        def visit(prefix: str, directory: DirectoryNode) -> None:
+            for name, node in directory.entries.items():
+                path = f"{prefix}/{name}"
+                if isinstance(node, DirectoryNode):
+                    nodes.append(record(node, {"path": path, "type": "dir"}))
+                    visit(path, node)
+                    continue
+                assert isinstance(node, FileNode)
+                if id(node) in seen:
+                    nodes.append(
+                        {"path": path, "type": "link", "node": seen[id(node)]}
+                    )
+                    continue
+                seen[id(node)] = len(nodes)
+                entry = record(node, {"path": path, "type": "file"})
+                entry["data"] = base64.b64encode(bytes(node.data)).decode(
+                    "ascii"
+                )
+                if node.nlink != 1:
+                    entry["nlink"] = node.nlink
+                target = getattr(node, "symlink_target", None)
+                if target is not None:
+                    entry["symlink_target"] = target
+                nodes.append(entry)
+
+        visit("", self.fs.root)
+        return {"nodes": nodes, "file_count": self.fs._file_count}
+
+    def _restore_fs(self, image: dict) -> None:
+        """Rebuild ``self.fs`` from a :meth:`_fs_wear` image."""
+        fs = FileSystem(
+            case_insensitive=self.personality.case_insensitive_fs,
+            now=self.clock.tick_count,
+        )
+        by_index: dict[int, FileNode] = {}
+
+        def apply(node: Node, entry: dict) -> None:
+            node.created_at = int(entry["created_at"])
+            node.modified_at = int(entry["modified_at"])
+            node.accessed_at = int(entry["accessed_at"])
+            node.read_only = bool(entry["read_only"])
+            node.hidden = bool(entry["hidden"])
+            node.protected = bool(entry["protected"])
+            node.mode = int(entry["mode"])
+
+        for index, entry in enumerate(image["nodes"]):
+            path = entry["path"]
+            if entry["type"] == "dir":
+                node: Node = fs.root if not path else fs.mkdir(path)
+            elif entry["type"] == "link":
+                parent, name = fs._parent_of(path)
+                parent.entries[name] = by_index[int(entry["node"])]
+                continue
+            else:
+                file_node = fs.create_file(
+                    path, base64.b64decode(entry["data"])
+                )
+                file_node.nlink = int(entry.get("nlink", 1))
+                if "symlink_target" in entry:
+                    file_node.symlink_target = entry[  # type: ignore[attr-defined]
+                        "symlink_target"
+                    ]
+                by_index[index] = file_node
+                node = file_node
+            apply(node, entry)
+        # The live count can sit below the number of reachable files
+        # (unlinking one name of a hard link decrements it), so restore
+        # the recorded value rather than what the replay accumulated.
+        fs.max_files = self.fs_max_files
+        fs._file_count = int(image["file_count"])
+        self.fs = fs
 
     # ------------------------------------------------------------------
     # Crash semantics

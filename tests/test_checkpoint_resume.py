@@ -270,6 +270,50 @@ class TestCampaignResume:
         )
         assert_same_results(resumed, uninterrupted)
 
+    def test_resume_restores_filesystem_wear(self, registry, winnt, tmp_path):
+        """The filesystem is machine wear too.  At cap 60 one of
+        ``fopen``'s write-mode cases creates a file at a hostile path
+        string, and ``remove`` draws the same string from the shared
+        pool: on the worn machine ``remove()`` finds and deletes the
+        residue (returns 0), on a fresh boot it returns -1.  A resume
+        that rebooted to a pristine tree misclassified those cases
+        until the wear state grew a filesystem image -- this pins the
+        fix.
+        """
+        fs_registry = MuTRegistry()
+        for mut in registry.all():
+            if mut.name in ("fopen", "remove"):
+                fs_registry.register(mut)
+        uninterrupted = small_campaign(fs_registry, [winnt], cap=60).run()
+
+        path = tmp_path / "campaign.ckpt"
+        count = {"muts": 0}
+
+        def die_after_fopen(variant, mut, position, total):
+            if count["muts"] == 1:
+                raise _Interrupt()
+            count["muts"] += 1
+
+        with pytest.raises(_Interrupt):
+            small_campaign(fs_registry, [winnt], cap=60).run(
+                progress=die_after_fopen,
+                checkpoint_path=path,
+                checkpoint_every=1,
+            )
+        checkpoint = load_checkpoint(path)
+        assert checkpoint.cursors == {"winnt": 1}, "must die before remove"
+        wear = checkpoint.machine_wear["winnt"]
+        leaked = [
+            entry["path"]
+            for entry in wear["fs"]["nodes"]
+            if entry["type"] == "file" and entry["path"] != "/etc_passwd"
+        ]
+        assert leaked, "fopen must leave residue files for remove to find"
+        resumed = small_campaign(fs_registry, [winnt], cap=60).run(
+            resume=path
+        )
+        assert_same_results(resumed, uninterrupted)
+
     def test_resume_under_different_cap_refused(
         self, subset_registry, winnt, tmp_path
     ):

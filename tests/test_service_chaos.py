@@ -195,13 +195,39 @@ class TestRetryingRpcClient:
         sleeps = []
         policy = RetryPolicy(
             attempts=3, call_timeout=0.02, backoff_base=0.01,
-            sleep=sleeps.append,
+            jitter=0.0, sleep=sleeps.append,
         )
         client = RpcClient(transport, retry=policy)
         with pytest.raises(RpcError, match="gave up after 3 attempts"):
             client.call(1, XdrEncoder().u32(1).bytes())
-        # Exponential backoff between the retries: base, then doubled.
+        # Exponential backoff between the retries: base, then doubled
+        # (jitter disabled for an exact schedule).
         assert sleeps == [0.01, 0.02]
+
+    def test_backoff_jitter_bounded_and_seeded(self):
+        policy = RetryPolicy(
+            attempts=4, backoff_base=0.01, jitter=0.25, jitter_seed=42,
+        )
+        import random
+
+        rng = random.Random(policy.jitter_seed)
+        jittered = [policy.backoff(i, rng=rng) for i in range(3)]
+        exact = [policy.backoff(i) for i in range(3)]
+        for got, base in zip(jittered, exact):
+            assert base * 0.75 <= got <= base * 1.25
+        # Same seed -> same schedule: two clients built from this policy
+        # sleep identically (the property the chaos tests rely on).
+        rng2 = random.Random(policy.jitter_seed)
+        assert jittered == [policy.backoff(i, rng=rng2) for i in range(3)]
+        # Different seeds de-synchronise the herd.
+        rng3 = random.Random(7)
+        assert jittered != [policy.backoff(i, rng=rng3) for i in range(3)]
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=-0.1)
 
     def test_legacy_client_still_fails_fast(self):
         server_end, client_end = LoopbackTransport.pair(default_timeout=0.05)

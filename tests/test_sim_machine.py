@@ -1,5 +1,7 @@
 """Unit tests for machines, processes, objects, clock, and guarded access."""
 
+import json
+
 import pytest
 
 from repro.sim.clock import SimClock
@@ -102,6 +104,84 @@ class TestMachineLifecycle:
         assert Machine(personality()).shared_region is None
         shared = Machine(personality(shared_system_memory=True))
         assert shared.shared_region is not None
+
+
+class TestWearState:
+    """Machine wear must capture *everything* a later MuT's outcome can
+    depend on -- including the filesystem tree and shared-arena bytes,
+    not just the corruption/clock/pid counters."""
+
+    P = dict(shared_system_memory=True, case_insensitive_fs=True)
+
+    def _worn_machine(self) -> Machine:
+        machine = Machine(personality(**self.P))
+        fs = machine.fs
+        fs.mkdir("/tmp/deep")
+        node = fs.create_file("/tmp/deep/a.dat", b"payload")
+        node.read_only = True
+        node.hidden = True
+        node.mode = 0o600
+        parent, name = fs._parent_of("/tmp/deep/b.dat")
+        parent.entries[name] = node  # hard link: two names, one node
+        node.nlink = 2
+        sym = fs.create_file("/tmp/sym", b"")
+        sym.symlink_target = "/tmp/deep/a.dat"
+        fs.create_file("/tmp/doomed", b"x")
+        fs.unlink("/tmp/doomed")
+        machine.shared_region.data[7] = 0xAB
+        machine.clock.ticks = 1234
+        machine._corruption = 2
+        machine._next_pid = 777
+        return machine
+
+    def test_wear_round_trips_through_json(self):
+        worn = self._worn_machine()
+        wear = json.loads(json.dumps(worn.wear_state()))
+
+        fresh = Machine(personality(**self.P))
+        fresh.restore_wear(wear)
+        assert fresh.wear_state() == wear
+
+        restored = fresh.fs.lookup("/tmp/deep/a.dat")
+        assert bytes(restored.data) == b"payload"
+        assert restored.read_only and restored.hidden
+        assert restored.mode == 0o600
+        # Hard-link aliasing survives: both names resolve to ONE node.
+        assert fresh.fs.lookup("/tmp/deep/b.dat") is restored
+        assert restored.nlink == 2
+        assert fresh.fs.lookup("/tmp/sym").symlink_target == "/tmp/deep/a.dat"
+        assert fresh.fs.lookup("/tmp/doomed") is None
+        assert fresh.fs._file_count == worn.fs._file_count
+        assert fresh.shared_region.data[7] == 0xAB
+
+    def test_wear_timestamps_and_protection_round_trip(self):
+        worn = self._worn_machine()
+        node = worn.fs.lookup("/tmp/deep/a.dat")
+        node.created_at, node.modified_at, node.accessed_at = 10, 20, 30
+
+        fresh = Machine(personality(**self.P))
+        fresh.restore_wear(worn.wear_state())
+        restored = fresh.fs.lookup("/tmp/deep/a.dat")
+        assert (restored.created_at, restored.modified_at,
+                restored.accessed_at) == (10, 20, 30)
+        # Boot-time system nodes keep their protection through restore.
+        assert fresh.fs.lookup("/tmp").protected
+        assert fresh.fs.lookup("/etc_passwd").protected
+
+    def test_counter_only_wear_restores_like_before(self):
+        """Checkpoints written before filesystem wear existed carry only
+        the four counters; restoring one must not disturb the
+        freshly-booted filesystem."""
+        fresh = Machine(personality())
+        fresh.restore_wear(
+            {"corruption": 1, "reboot_count": 2,
+             "clock_ticks": 3, "next_pid": 400}
+        )
+        assert fresh.corruption_level == 1
+        assert fresh.reboot_count == 2
+        assert fresh.clock.ticks == 3
+        assert fresh.fs.lookup("/etc_passwd") is not None
+        assert fresh.fs.lookup("/home/ballista") is not None
 
 
 class TestProcess:
