@@ -1,0 +1,20 @@
+# Convenience entry points; CI runs the same invocations.
+
+PYTHON ?= python
+
+.PHONY: test lint lint-report lint-baseline bench-lint
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint --fail-on-new
+
+lint-report:
+	PYTHONPATH=src $(PYTHON) -m repro lint --fail-on-new --report lint-report.json
+
+lint-baseline:
+	PYTHONPATH=src $(PYTHON) -m repro lint --write-baseline
+
+bench-lint:
+	PYTHONPATH=src $(PYTHON) -m pytest -q benchmarks/bench_lint.py

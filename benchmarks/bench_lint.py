@@ -1,0 +1,50 @@
+"""Benchmark the full static-analysis pass.
+
+``repro lint`` gates every CI run and the pre-commit loop, so it must
+stay interactive: the complete pass -- all five checkers over the whole
+``src/repro`` tree plus the live-registry introspection -- is pinned
+under :data:`BUDGET_S` seconds.  The budget is generous (a warm run is
+well under a second) precisely so the pin only trips on algorithmic
+regressions such as re-parsing files per checker or rebuilding the MuT
+registry per rule, not on machine noise.  Timings land in
+``benchmarks/out/lint.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.lint import Project, all_checkers, run_lint
+
+BUDGET_S = 5.0
+ROUNDS = 3
+
+
+def test_full_lint_pass_under_budget(artifact_dir):
+    checkers = all_checkers()
+
+    timings = []
+    for _ in range(ROUNDS):
+        project = Project()  # fresh: re-parse sources, rebuild registries
+        started = time.perf_counter()
+        result = run_lint(project, checkers=checkers)
+        timings.append(time.perf_counter() - started)
+
+    assert result.findings == [], "benchmark expects a clean tree"
+    best = min(timings)
+    worst = max(timings)
+    assert worst < BUDGET_S, (
+        f"full lint pass took {worst:.2f}s; budget is {BUDGET_S:.1f}s"
+    )
+
+    files = len(project.source_files())
+    lines = [
+        f"Full `repro lint` pass, {len(checkers)} checkers, "
+        f"{files} source files, {ROUNDS} rounds",
+        "",
+        f"best:   {best:8.3f}s",
+        f"worst:  {worst:8.3f}s",
+        f"budget: {BUDGET_S:8.1f}s",
+        f"findings: {len(result.findings)}",
+    ]
+    (artifact_dir / "lint.txt").write_text("\n".join(lines) + "\n", encoding="utf-8")

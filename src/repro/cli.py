@@ -4,6 +4,7 @@ Usage::
 
     python -m repro [--cap N] [--jobs N] [--variants win98,winnt,...]
                     [--tables table1,table2,figure1,table3,figure2]
+    python -m repro lint [...]        # static analysis (repro.lint.cli)
 
 With no arguments this runs the full seven-variant campaign at the
 ``BALLISTA_CAP`` cap (default 300) and prints every table and figure the
@@ -49,6 +50,13 @@ RENDERERS = {
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv[:1] == ["lint"]:
+        # `python -m repro lint ...`: the static-analysis subcommand.
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(

@@ -1,0 +1,44 @@
+"""repro.lint -- Ballista-aware static analysis for the reproduction.
+
+The ``repro lint`` subcommand enforces mechanically what earlier PRs
+enforced only by convention: the MuT registry mirrors the paper's
+platform matrix, campaign outcomes are bit-for-bit deterministic, MuT
+implementations never escape the simulated machine, serialized formats
+cannot drift without a version bump, and fault reporting stays inside
+the SimFault taxonomy.
+
+Public surface:
+
+* :func:`repro.lint.framework.run_lint` / :class:`~repro.lint.framework.Project`
+  -- run the pass programmatically.
+* :class:`~repro.lint.framework.Checker` /
+  :func:`~repro.lint.framework.register_checker` -- add rules
+  (docs/EXTENDING.md has a recipe).
+* :mod:`repro.lint.cli` -- the ``repro lint`` entry point.
+* :mod:`repro.lint.manifests` -- the checked-in platform matrix and
+  serialization pins.
+"""
+
+from repro.lint.framework import (
+    Checker,
+    Finding,
+    LintResult,
+    Project,
+    all_checkers,
+    checker_names,
+    get_checker,
+    register_checker,
+    run_lint,
+)
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintResult",
+    "Project",
+    "all_checkers",
+    "checker_names",
+    "get_checker",
+    "register_checker",
+    "run_lint",
+]

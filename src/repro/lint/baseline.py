@@ -1,0 +1,85 @@
+"""Lint baselines: the committed set of accepted findings.
+
+``repro lint --fail-on-new`` only fails on findings whose fingerprint is
+absent from the baseline, so a genuinely unavoidable violation can be
+accepted once (``repro lint --write-baseline``) instead of blocking CI
+forever -- while anything *new* still fails.  The repo's committed
+baseline (``lint-baseline.json``) is empty: real violations get fixed,
+and deliberate exceptions are annotated in source with an inline
+``# lint: allow(<rule>)`` pragma where the justification can live next
+to the code.  Baselines are the escape hatch of last resort for
+violations that cannot carry a pragma (registry-level findings).
+
+Fingerprints exclude line numbers, so editing code above a baselined
+violation does not make it look new.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable
+
+from repro.lint.framework import Finding
+
+BASELINE_FORMAT = "ballista-lint-baseline"
+BASELINE_VERSION = 1
+
+#: Default committed baseline location, relative to the working dir.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+class BaselineFormatError(ValueError):
+    """The document is not a recognisable lint baseline."""
+
+
+def load_baseline(path: str | pathlib.Path | None) -> set[str]:
+    """Accepted fingerprints; a missing file is an empty baseline."""
+    if path is None:
+        return set()
+    path = pathlib.Path(path)
+    if not path.exists():
+        return set()
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineFormatError(f"{path}: not valid JSON: {exc}") from exc
+    if (
+        not isinstance(document, dict)
+        or document.get("format") != BASELINE_FORMAT
+    ):
+        raise BaselineFormatError(f"{path}: not a lint baseline document")
+    if document.get("version") != BASELINE_VERSION:
+        raise BaselineFormatError(
+            f"{path}: unsupported baseline version "
+            f"{document.get('version')!r}"
+        )
+    fingerprints = document.get("fingerprints", [])
+    if not isinstance(fingerprints, list):
+        raise BaselineFormatError(f"{path}: fingerprints must be a list")
+    return {str(fp) for fp in fingerprints}
+
+
+def write_baseline(
+    findings: Iterable[Finding], path: str | pathlib.Path
+) -> None:
+    """Write the given findings as the new accepted baseline."""
+    document = {
+        "format": BASELINE_FORMAT,
+        "version": BASELINE_VERSION,
+        "fingerprints": sorted({f.fingerprint for f in findings}),
+    }
+    pathlib.Path(path).write_text(
+        json.dumps(document, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def split_new(
+    findings: Iterable[Finding], baseline: set[str]
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition findings into (new, baselined)."""
+    new: list[Finding] = []
+    accepted: list[Finding] = []
+    for finding in findings:
+        (accepted if finding.fingerprint in baseline else new).append(finding)
+    return new, accepted

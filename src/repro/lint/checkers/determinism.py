@@ -1,0 +1,219 @@
+"""Checker 2: no nondeterminism in the packages checkpoint byte-identity
+depends on."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import (
+    Checker,
+    Finding,
+    Project,
+    SourceFile,
+    dotted_name,
+    register_checker,
+)
+
+#: Packages whose behaviour feeds serialized results/checkpoints: runs
+#: must be bit-for-bit reproducible here (time.monotonic is allowed --
+#: the supervisor's real-time watchdog needs it -- because it never
+#: flows into recorded outcomes).
+_DETERMINISTIC_PACKAGES = ("core", "sim", "analysis")
+#: Packages additionally scanned for unseeded-randomness rules only
+#: (service timing is real wall-clock by design, but its retry jitter
+#: must still be reproducible under a seed).
+_SEEDED_PACKAGES = ("core", "sim", "analysis", "service")
+
+_WALLCLOCK_CALLS = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "datetime.now": "wall-clock read",
+    "datetime.utcnow": "wall-clock read",
+    "datetime.today": "wall-clock read",
+    "date.today": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "os.urandom": "OS entropy read",
+    "uuid.uuid4": "OS entropy read",
+}
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    def __init__(self, checker: "DeterminismChecker", source: SourceFile) -> None:
+        self.checker = checker
+        self.source = source
+        self.strict = source.package in _DETERMINISTIC_PACKAGES
+        self.findings: list[Finding] = []
+
+    def _emit(self, code: str, message: str, node: ast.AST) -> None:
+        self.findings.append(
+            self.checker.finding(
+                code, message, path=self.source.rel, line=node.lineno
+            )
+        )
+
+    # -- forbidden calls ----------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name:
+            if self.strict and name in _WALLCLOCK_CALLS:
+                self._emit(
+                    "DET-WALLCLOCK",
+                    f"{name}() is a {_WALLCLOCK_CALLS[name]}; outcomes "
+                    "here must be reproducible (use the simulated clock "
+                    "or an injected/seeded source)",
+                    node,
+                )
+            elif name.startswith("random."):
+                self._check_random(name, node)
+        self.generic_visit(node)
+
+    def _check_random(self, name: str, node: ast.Call) -> None:
+        attr = name.split(".", 1)[1]
+        if attr == "Random":
+            unseeded = not node.args or (
+                isinstance(node.args[0], ast.Constant)
+                and node.args[0].value is None
+            )
+            if unseeded:
+                self._emit(
+                    "DET-RANDOM",
+                    "random.Random() without a seed draws from OS "
+                    "entropy; pass an explicit seed",
+                    node,
+                )
+        elif attr == "SystemRandom":
+            self._emit(
+                "DET-RANDOM",
+                "random.SystemRandom is nondeterministic by construction",
+                node,
+            )
+        elif not attr.startswith("_"):
+            self._emit(
+                "DET-RANDOM",
+                f"random.{attr}() uses the shared unseeded module RNG; "
+                "use a random.Random(seed) instance",
+                node,
+            )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            imported = {alias.name for alias in node.names}
+            bad = sorted(imported - {"Random"})
+            if bad:
+                self._emit(
+                    "DET-RANDOM",
+                    f"from random import {', '.join(bad)} pulls in the "
+                    "shared unseeded module RNG; import random.Random "
+                    "and seed it",
+                    node,
+                )
+        self.generic_visit(node)
+
+    # -- seed-shaped defaults of None ---------------------------------
+
+    def _check_defaults(self, args: ast.arguments, node: ast.AST) -> None:
+        positional = args.posonlyargs + args.args
+        for arg, default in zip(
+            positional[len(positional) - len(args.defaults):], args.defaults
+        ):
+            self._check_seed_default(arg.arg, default)
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None:
+                self._check_seed_default(arg.arg, default)
+
+    def _check_seed_default(self, name: str, default: ast.expr) -> None:
+        if (
+            "seed" in name.lower()
+            and isinstance(default, ast.Constant)
+            and default.value is None
+        ):
+            self._emit(
+                "DET-SEED",
+                f"parameter {name!r} defaults to None (an unseeded RNG "
+                "stream); default to a fixed seed so runs are "
+                "reproducible",
+                default,
+            )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node.args, node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node.args, node)
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        # Dataclass fields: `jitter_seed: int | None = None`.
+        for stmt in node.body:
+            if (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.value is not None
+            ):
+                self._check_seed_default(stmt.target.id, stmt.value)
+        self.generic_visit(node)
+
+    # -- set iteration -------------------------------------------------
+
+    def _check_iterable(self, iterable: ast.expr) -> None:
+        if not self.strict:
+            return
+        is_set = isinstance(iterable, ast.Set) or (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id in ("set", "frozenset")
+        )
+        if is_set:
+            self._emit(
+                "DET-SETITER",
+                "iterating a set here depends on hash order; wrap it in "
+                "sorted() so serialized output is stable",
+                iterable,
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for gen in node.generators:
+            self._check_iterable(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+
+@register_checker
+class DeterminismChecker(Checker):
+    name = "determinism"
+    title = "campaign outcomes are bit-for-bit reproducible"
+    rationale = (
+        "The parallel and supervised runners (PRs 2 and 5) prove their\n"
+        "fidelity by byte-comparing result sets and checkpoints against\n"
+        "serial runs; CI does the same with cmp(1).  That proof only\n"
+        "means anything if nothing in core/, sim/ or analysis/ reads\n"
+        "wall clocks (time.time, datetime.now), OS entropy (os.urandom,\n"
+        "unseeded random), or iterates sets into serialized output --\n"
+        "one stray nondeterministic value and a restarted worker's shard\n"
+        "diverges from the serial baseline it must merge byte-identical\n"
+        "with.  service/ keeps real wall-clock timeouts (the network is\n"
+        "real), but its RNG streams must still be seedable, so the\n"
+        "unseeded-randomness rules apply there too.  time.monotonic is\n"
+        "allowed: the supervisor's watchdog measures real elapsed time\n"
+        "and never records it in results."
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for source in project.source_files(*_SEEDED_PACKAGES):
+            visitor = _DeterminismVisitor(self, source)
+            visitor.visit(source.tree)
+            yield from visitor.findings

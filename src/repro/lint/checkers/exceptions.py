@@ -1,0 +1,100 @@
+"""Checker 5: fault reporting stays inside the SimFault taxonomy and the
+harness never swallows exceptions blind."""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterator
+
+from repro.lint.framework import (
+    Checker,
+    Finding,
+    Project,
+    SourceFile,
+    register_checker,
+)
+
+#: Packages holding MuT implementations: abnormal events they raise are
+#: *measurements* and must come from the SimFault family so the executor
+#: can classify them on the CRASH scale.
+_MUT_PACKAGES = ("win32", "posix", "libc")
+
+#: Every builtin exception type name (ValueError, OSError, ...).
+_BUILTIN_EXCEPTIONS = frozenset(
+    name
+    for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+)
+
+
+class _RaiseVisitor(ast.NodeVisitor):
+    def __init__(
+        self, checker: "ExceptionDisciplineChecker", source: SourceFile
+    ) -> None:
+        self.checker = checker
+        self.source = source
+        self.findings: list[Finding] = []
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        exc = node.exc
+        name = None
+        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            name = exc.func.id
+        elif isinstance(exc, ast.Name):
+            name = exc.id
+        if name in _BUILTIN_EXCEPTIONS:
+            self.findings.append(
+                self.checker.finding(
+                    "EXC-FAMILY",
+                    f"MuT implementation raises builtin {name}; abnormal "
+                    "events must be SimFault subclasses so the executor "
+                    "can classify them on the CRASH scale",
+                    path=self.source.rel,
+                    line=node.lineno,
+                )
+            )
+        self.generic_visit(node)
+
+
+@register_checker
+class ExceptionDisciplineChecker(Checker):
+    name = "exception-discipline"
+    title = "SimFault-only fault reporting, no bare except"
+    rationale = (
+        "Every abnormal event inside the simulated machine is modelled\n"
+        "as an exception rooted at SimFault, and the executor maps that\n"
+        "family onto the paper's CRASH severity scale: SystemCrash ->\n"
+        "Catastrophic, TaskHang -> Restart, user-mode HardwareFault and\n"
+        "unrecoverable ThrownException -> Abort (repro.sim.errors).  A\n"
+        "MuT implementation that raises ValueError instead of a\n"
+        "SimFault is not measuring the OS under test -- it is a harness\n"
+        "bug that the classifier would misread as an Abort failure of\n"
+        "the OS, inflating the very rates the paper compares.  The\n"
+        "paper's harness was \"more than fair\", cataloguing every\n"
+        "thrown exception deliberately; a bare `except:` anywhere in\n"
+        "the harness does the opposite -- it can swallow a SystemCrash\n"
+        "(or a KeyboardInterrupt) and turn a Catastrophic outcome into\n"
+        "a silent pass.  Catch SimFault (or a concrete subclass)\n"
+        "explicitly instead."
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        # Bare `except:` is forbidden everywhere in the harness.
+        for source in project.source_files():
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.ExceptHandler) and node.type is None:
+                    yield self.finding(
+                        "EXC-BARE",
+                        "bare `except:` can swallow SystemCrash / "
+                        "KeyboardInterrupt; catch a concrete exception "
+                        "type",
+                        path=source.rel,
+                        line=node.lineno,
+                    )
+        # Builtin-exception raises are forbidden in MuT implementations.
+        for source in project.source_files(*_MUT_PACKAGES):
+            visitor = _RaiseVisitor(self, source)
+            visitor.visit(source.tree)
+            yield from visitor.findings

@@ -1,0 +1,130 @@
+"""Checker 3: MuT implementations never escape the simulated machine."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import (
+    Checker,
+    Finding,
+    Project,
+    SourceFile,
+    dotted_name,
+    register_checker,
+)
+
+#: The simulated OS and the three API packages: every effect in here
+#: must route through Machine/TestContext, never the host OS.
+_SIM_PACKAGES = ("sim", "win32", "posix", "libc")
+
+#: Modules that reach the real OS; importing them inside the simulation
+#: is the escape hatch this rule closes.
+_FORBIDDEN_MODULES = {
+    "os",
+    "os.path",
+    "subprocess",
+    "socket",
+    "shutil",
+    "tempfile",
+    "pathlib",
+    "glob",
+    "io",
+    "signal",
+    "multiprocessing",
+    "threading",
+}
+
+#: Builtins that touch real-OS state (or defeat static analysis of it).
+_FORBIDDEN_BUILTINS = {"open", "input", "__import__", "exec", "eval"}
+
+
+class _IsolationVisitor(ast.NodeVisitor):
+    def __init__(self, checker: "SimIsolationChecker", source: SourceFile) -> None:
+        self.checker = checker
+        self.source = source
+        self.findings: list[Finding] = []
+
+    def _emit(self, code: str, message: str, node: ast.AST) -> None:
+        self.findings.append(
+            self.checker.finding(
+                code, message, path=self.source.rel, line=node.lineno
+            )
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name in _FORBIDDEN_MODULES:
+                self._emit(
+                    "ISO-IMPORT",
+                    f"import {alias.name} reaches the real OS; simulated "
+                    "code must route effects through Machine/TestContext",
+                    node,
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module in _FORBIDDEN_MODULES:
+            self._emit(
+                "ISO-IMPORT",
+                f"from {node.module} import ... reaches the real OS; "
+                "simulated code must route effects through "
+                "Machine/TestContext",
+                node,
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in _FORBIDDEN_BUILTINS
+        ):
+            self._emit(
+                "ISO-BUILTIN",
+                f"builtin {node.func.id}() escapes to the real OS; use "
+                "the simulated filesystem (ctx.fs / Machine)",
+                node,
+            )
+        else:
+            name = dotted_name(node.func)
+            if name and name.split(".", 1)[0] in (
+                "os",
+                "subprocess",
+                "socket",
+                "shutil",
+                "tempfile",
+                "glob",
+            ):
+                self._emit(
+                    "ISO-CALL",
+                    f"{name}() is a real-OS call; simulated code must "
+                    "stay inside the Machine",
+                    node,
+                )
+        self.generic_visit(node)
+
+
+@register_checker
+class SimIsolationChecker(Checker):
+    name = "sim-isolation"
+    title = "no real-OS escapes inside the simulated machine"
+    rationale = (
+        "The reproduction substitutes real Windows/Linux hosts with a\n"
+        "fully simulated machine: \"every unavailable artefact is\n"
+        "replaced by a faithful executable simulation\" (PAPER.md par. 2),\n"
+        "and Ballista's methodology requires each test case to start\n"
+        "from a clean slate -- test values are built and released inside\n"
+        "a fresh simulated process so \"state that must not leak into\n"
+        "the next test case\" is torn down (the paper's state-cleanup\n"
+        "requirement; repro.core.types).  A MuT implementation that\n"
+        "calls real open()/os.*/subprocess/socket breaks both: outcomes\n"
+        "start depending on the host machine, cleanup no longer bounds\n"
+        "the test's effects, and a 'Catastrophic' verdict can leak real\n"
+        "files.  All effects must route through Machine/TestContext."
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for source in project.source_files(*_SIM_PACKAGES):
+            visitor = _IsolationVisitor(self, source)
+            visitor.visit(source.tree)
+            yield from visitor.findings

@@ -1,0 +1,155 @@
+"""Checker 1: the MuT registry faithfully mirrors the paper's platform
+matrix and every signature resolves against real value pools."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.framework import Checker, Finding, Project, register_checker
+from repro.lint.manifests import CE_UNICODE_TWIN_COUNT, PLATFORM_MATRIX
+
+#: api -> registration module, for file-anchored findings.
+_REGISTRATION_PATHS = {
+    "win32": "repro/win32/registration.py",
+    "posix": "repro/posix/registration.py",
+    "libc": "repro/libc/registration.py",
+}
+
+
+@register_checker
+class RegistryContractChecker(Checker):
+    name = "registry-contract"
+    title = "MuT registry matches the paper's platform matrix"
+    rationale = (
+        "The paper's results are failure rates over a precisely fixed\n"
+        "population: \"133 syscalls + 94 C\" functions on Windows 95,\n"
+        "\"143 + 94\" on 98/98SE/NT4/2000, \"71 + 82\" on Windows CE\n"
+        "(plus the 26 UNICODE twins of its \"(108)\" parenthetical), and\n"
+        "\"91 + 94\" on RedHat Linux 6.0, each reporting under one of the\n"
+        "twelve functional groups of Table 2/Figure 1.  Nicchi et al.\n"
+        "(PAPERS.md) show how silently-wrong API metadata corrupts whole\n"
+        "monitoring studies: one mistyped parameter or misplaced group\n"
+        "quietly shifts every downstream rate.  This rule recomputes the\n"
+        "per-variant populations from the live registry against the\n"
+        "checked-in manifest (repro/lint/manifests.py), resolves every\n"
+        "MuT signature against the TypeRegistry value pools, and checks\n"
+        "the CE wide-character twin set is complete and bijective."
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        try:
+            registry = project.registry()
+            types = project.types()
+        except Exception as exc:  # registration itself failed
+            yield self.finding(
+                "RC-REGISTER", f"registry failed to build: {exc}"
+            )
+            return
+        from repro.analysis.groups import ALL_GROUPS
+        from repro.libc.registration import UNICODE_TWIN_OF
+
+        groups = set(ALL_GROUPS)
+        seen: dict[tuple[str, str, str], str] = {}
+        for mut in registry.all():
+            path = _REGISTRATION_PATHS.get(mut.api, "")
+            for param in mut.param_types:
+                if param not in types:
+                    yield self.finding(
+                        "RC-TYPE",
+                        f"{mut.api}:{mut.name} parameter type {param!r} "
+                        "does not resolve in the TypeRegistry",
+                        path=path,
+                    )
+            if mut.group not in groups:
+                yield self.finding(
+                    "RC-GROUP",
+                    f"{mut.api}:{mut.name} group {mut.group!r} is not one "
+                    "of the twelve analysis groups",
+                    path=path,
+                )
+            key = (mut.api, mut.name, mut.charset)
+            if key in seen:
+                yield self.finding(
+                    "RC-DUP",
+                    f"duplicate registration of {mut.api}:{mut.name} "
+                    f"({mut.charset})",
+                    path=path,
+                )
+            seen[key] = path
+
+        # -- CE UNICODE twin completeness ------------------------------
+        libc_path = _REGISTRATION_PATHS["libc"]
+        registered_twins = {
+            mut.name for mut in registry.by_api("libc") if mut.charset == "unicode"
+        }
+        declared_twins = set(UNICODE_TWIN_OF)
+        for name in sorted(declared_twins - registered_twins):
+            yield self.finding(
+                "RC-TWIN",
+                f"UNICODE twin {name!r} is mapped in UNICODE_TWIN_OF but "
+                "not registered with charset='unicode'",
+                path=libc_path,
+            )
+        for name in sorted(registered_twins - declared_twins):
+            yield self.finding(
+                "RC-TWIN",
+                f"UNICODE MuT {name!r} has no ASCII partner in "
+                "UNICODE_TWIN_OF",
+                path=libc_path,
+            )
+        ascii_names = {
+            mut.name for mut in registry.by_api("libc") if mut.charset == "ascii"
+        }
+        for twin, partner in sorted(UNICODE_TWIN_OF.items()):
+            if partner not in ascii_names:
+                yield self.finding(
+                    "RC-TWIN",
+                    f"UNICODE twin {twin!r} shadows {partner!r}, which is "
+                    "not a registered ASCII C function",
+                    path=libc_path,
+                )
+        if len(registered_twins) != CE_UNICODE_TWIN_COUNT:
+            yield self.finding(
+                "RC-TWIN",
+                f"expected {CE_UNICODE_TWIN_COUNT} CE UNICODE twins, "
+                f"registry has {len(registered_twins)}",
+                path=libc_path,
+            )
+
+        # -- the Table 1 platform matrix -------------------------------
+        from repro import ALL_VARIANTS
+
+        by_key = {p.key: p for p in ALL_VARIANTS}
+        for variant, expected in sorted(PLATFORM_MATRIX.items()):
+            personality = by_key.get(variant)
+            if personality is None:
+                yield self.finding(
+                    "RC-MATRIX",
+                    f"manifest names variant {variant!r} but no such "
+                    "personality exists",
+                )
+                continue
+            muts = registry.for_variant(personality)
+            actual = {
+                "syscalls": sum(1 for m in muts if m.api != "libc"),
+                "c_functions": sum(
+                    1 for m in muts if m.api == "libc" and m.charset == "ascii"
+                ),
+                "unicode_twins": sum(
+                    1 for m in muts if m.api == "libc" and m.charset == "unicode"
+                ),
+            }
+            for kind, want in sorted(expected.items()):
+                got = actual[kind]
+                if got != want:
+                    yield self.finding(
+                        "RC-MATRIX",
+                        f"{variant}: {got} {kind} available, but the "
+                        f"paper's platform matrix requires {want}",
+                    )
+        for variant in sorted(set(by_key) - set(PLATFORM_MATRIX)):
+            yield self.finding(
+                "RC-MATRIX",
+                f"variant {variant!r} has no entry in the platform-matrix "
+                "manifest",
+            )

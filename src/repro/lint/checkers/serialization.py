@@ -1,0 +1,101 @@
+"""Checker 4: serialized dataclass shapes cannot drift without a
+format-version bump."""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+from typing import Iterator
+
+from repro.lint.framework import Checker, Finding, Project, register_checker
+from repro.lint.manifests import SERIALIZATION_PINS
+
+
+def _resolve(dotted: str):
+    module_name, _, attr = dotted.rpartition(".")
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def _module_path(dotted: str) -> str:
+    """Best-effort repo-relative path for the module holding ``dotted``."""
+    module_name = dotted.rpartition(".")[0]
+    return module_name.replace(".", "/") + ".py"
+
+
+@register_checker
+class SerializationVersionChecker(Checker):
+    name = "serialization-version"
+    title = "serialized field lists are pinned to a format version"
+    rationale = (
+        "Result sets and campaign checkpoints are versioned documents\n"
+        "(results_io: FORMAT_VERSION, CHECKPOINT_VERSION) with an\n"
+        "explicit compatibility promise -- \"Version 2 adds the\n"
+        "partial-variant flags; version-1 documents still load\" -- and\n"
+        "the parallel/supervised runners prove shard merges are\n"
+        "byte-identical to serial documents.  Zaki & Cadar's C-library\n"
+        "study (PAPERS.md) found signature/usage drift to be the\n"
+        "dominant failure mode in API test suites; the serialization\n"
+        "analogue is adding or renaming a dataclass field without\n"
+        "bumping the format version, which silently changes the wire\n"
+        "format old checkpoints are parsed against.  This rule pins the\n"
+        "dataclasses.fields of every serialized class in\n"
+        "repro/lint/manifests.py; drift at an unchanged version is an\n"
+        "error.  When a format legitimately evolves: bump the version\n"
+        "constant, keep the loader backward-compatible, and re-pin the\n"
+        "manifest entry in the same commit."
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for pin in SERIALIZATION_PINS:
+            path = _module_path(pin.cls)
+            try:
+                cls = _resolve(pin.cls)
+                version = _resolve(pin.version_const)
+            except (ImportError, AttributeError) as exc:
+                yield self.finding(
+                    "SER-MANIFEST",
+                    f"manifest pin {pin.cls} does not resolve: {exc}",
+                    path=path,
+                )
+                continue
+            if not dataclasses.is_dataclass(cls):
+                yield self.finding(
+                    "SER-MANIFEST",
+                    f"manifest pin {pin.cls} is not a dataclass",
+                    path=path,
+                )
+                continue
+            actual = tuple(f.name for f in dataclasses.fields(cls))
+            if actual == pin.fields and version == pin.version:
+                continue
+            if actual != pin.fields and version == pin.version:
+                added = sorted(set(actual) - set(pin.fields))
+                removed = sorted(set(pin.fields) - set(actual))
+                delta = "; ".join(
+                    part
+                    for part in (
+                        f"added {added}" if added else "",
+                        f"removed {removed}" if removed else "",
+                        ""
+                        if added or removed
+                        else f"reordered to {list(actual)}",
+                    )
+                    if part
+                )
+                yield self.finding(
+                    "SER-DRIFT",
+                    f"{pin.cls} fields changed ({delta}) without bumping "
+                    f"{pin.version_const} (still {version}); bump the "
+                    "format version, keep the loader "
+                    "backward-compatible, and re-pin the manifest",
+                    path=path,
+                )
+            else:
+                yield self.finding(
+                    "SER-REPIN",
+                    f"{pin.version_const} is {version} but the manifest "
+                    f"pins {pin.cls} at version {pin.version}; re-pin "
+                    "the entry in repro/lint/manifests.py to match the "
+                    "new format",
+                    path=path,
+                )

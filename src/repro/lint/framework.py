@@ -1,0 +1,301 @@
+"""Core machinery for ``repro lint``: findings, checkers, the project model.
+
+The lint pass combines two kinds of analysis:
+
+* **AST checks** walk the source tree under ``src/repro`` and flag
+  syntactic contract violations (a ``time.time()`` call in a
+  determinism-critical package, a real ``open()`` inside a simulated
+  MuT implementation, a bare ``except:``).
+* **Introspection checks** import the live registries
+  (:func:`repro.core.mut.default_registry`,
+  :func:`repro.core.types.default_types`) and serialized dataclasses and
+  compare them against the checked-in manifests in
+  :mod:`repro.lint.manifests` -- the paper's platform matrix and the
+  pinned serialization field lists.
+
+Checkers are pluggable: subclass :class:`Checker`, decorate with
+:func:`register_checker`, and ``repro lint`` picks the new rule up
+automatically (see docs/EXTENDING.md).
+
+Deliberate exceptions are annotated in source with an inline pragma::
+
+    deadline = time.time() + budget  # lint: allow(determinism)
+
+A pragma suppresses findings of the named rule(s) on its own line and on
+the immediately following line (so it can sit on a comment line above a
+long statement).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.mut import MuTRegistry
+    from repro.core.types import TypeRegistry
+
+#: ``# lint: allow(rule)`` / ``# lint: allow(rule-a, rule-b)``
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*allow\(\s*([A-Za-z0-9_\-, ]+?)\s*\)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    :param rule: checker name (``"determinism"``); the unit pragmas,
+        baselines and ``--explain`` operate on.
+    :param code: machine-readable sub-rule (``"DET-WALLCLOCK"``).
+    :param message: human-readable description of the violation.
+    :param path: source path relative to the scanned root, ``""`` for
+        registry-level findings with no single home file.
+    :param line: 1-based source line, 0 when not file-anchored.
+    """
+
+    rule: str
+    code: str
+    message: str
+    path: str = ""
+    line: int = 0
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity used by baselines: deliberately excludes the
+        line number so unrelated edits above a baselined violation do
+        not make it look new."""
+        return f"{self.rule}:{self.code}:{self.path}:{self.message}"
+
+    @property
+    def location(self) -> str:
+        if not self.path:
+            return "<registry>"
+        return f"{self.path}:{self.line}" if self.line else self.path
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.rule, self.code, self.message)
+
+
+class SourceFile:
+    """One parsed source file plus its pragma annotations."""
+
+    def __init__(self, root: pathlib.Path, path: pathlib.Path) -> None:
+        self.path = path
+        self.rel = path.relative_to(root).as_posix()
+        self.text = path.read_text(encoding="utf-8")
+        self._tree: ast.Module | None = None
+        self.allowed: dict[int, frozenset[str]] = {}
+        for lineno, line in enumerate(self.text.splitlines(), start=1):
+            match = _PRAGMA_RE.search(line)
+            if match:
+                rules = frozenset(
+                    r.strip() for r in match.group(1).split(",") if r.strip()
+                )
+                self.allowed[lineno] = rules
+
+    @property
+    def tree(self) -> ast.Module:
+        if self._tree is None:
+            self._tree = ast.parse(self.text, filename=self.rel)
+        return self._tree
+
+    def allows(self, line: int, rule: str) -> bool:
+        """True when a ``# lint: allow(rule)`` pragma covers ``line``."""
+        for pragma_line in (line, line - 1):
+            rules = self.allowed.get(pragma_line)
+            if rules and (rule in rules or "*" in rules):
+                return True
+        return False
+
+    @property
+    def package(self) -> str:
+        """Top-level package segment under the scanned root, e.g.
+        ``"core"`` for ``repro/core/campaign.py``."""
+        parts = pathlib.PurePosixPath(self.rel).parts
+        # parts[0] == "repro" for in-tree files; a file directly under
+        # repro/ (cli.py) reports package "".
+        if len(parts) >= 3 and parts[0] == "repro":
+            return parts[1]
+        return ""
+
+
+class Project:
+    """The lint target: a source root plus the live registries.
+
+    :param root: directory containing the ``repro`` package (the ``src``
+        dir).  Defaults to the tree the importable :mod:`repro` package
+        lives in, so running lint against a different checkout is just a
+        matter of ``PYTHONPATH``.
+    :param registry: injectable MuT registry (tests pass doctored ones);
+        defaults to :func:`repro.core.mut.default_registry`.
+    :param types: injectable type registry; defaults to
+        :func:`repro.core.types.default_types`.
+    """
+
+    def __init__(
+        self,
+        root: str | pathlib.Path | None = None,
+        registry: "MuTRegistry | None" = None,
+        types: "TypeRegistry | None" = None,
+    ) -> None:
+        if root is None:
+            import repro
+
+            root = pathlib.Path(repro.__file__).resolve().parent.parent
+        self.root = pathlib.Path(root)
+        self._registry = registry
+        self._types = types
+        self._files: dict[pathlib.Path, SourceFile] = {}
+
+    # -- sources -------------------------------------------------------
+
+    def source_files(self, *packages: str) -> list[SourceFile]:
+        """Parsed sources under ``repro/<package>`` for each requested
+        package (all packages when none given), in stable path order."""
+        base = self.root / "repro"
+        roots = (
+            [base] if not packages else [base / package for package in packages]
+        )
+        files: list[SourceFile] = []
+        for package_root in roots:
+            if not package_root.exists():
+                continue
+            paths = (
+                [package_root]
+                if package_root.is_file()
+                else sorted(package_root.rglob("*.py"))
+            )
+            for path in paths:
+                if path not in self._files:
+                    self._files[path] = SourceFile(self.root, path)
+                files.append(self._files[path])
+        return files
+
+    # -- live registries ----------------------------------------------
+
+    def registry(self) -> "MuTRegistry":
+        if self._registry is None:
+            from repro.core.mut import default_registry
+
+            self._registry = default_registry()
+        return self._registry
+
+    def types(self) -> "TypeRegistry":
+        if self._types is None:
+            from repro.core.types import default_types
+
+            self._types = default_types()
+        return self._types
+
+
+class Checker:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`name` (the rule id used by pragmas, baselines
+    and ``--explain``), :attr:`title`, and :attr:`rationale` (shown by
+    ``repro lint --explain <rule>``, including the paper requirement the
+    rule protects), and implement :meth:`run`.
+    """
+
+    name: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, code: str, message: str, path: str = "", line: int = 0
+    ) -> Finding:
+        return Finding(self.name, code, message, path, line)
+
+
+_CHECKERS: dict[str, type[Checker]] = {}
+
+
+def register_checker(cls: type[Checker]) -> type[Checker]:
+    """Class decorator adding a checker to the global rule registry."""
+    if not cls.name:
+        raise ValueError(f"checker {cls.__name__} must set a rule name")
+    if cls.name in _CHECKERS:
+        raise ValueError(f"checker {cls.name!r} already registered")
+    _CHECKERS[cls.name] = cls
+    return cls
+
+
+def all_checkers() -> list[Checker]:
+    """Instances of every registered checker, in stable name order."""
+    import repro.lint.checkers  # noqa: F401  (registration side effect)
+
+    return [_CHECKERS[name]() for name in sorted(_CHECKERS)]
+
+
+def checker_names() -> list[str]:
+    import repro.lint.checkers  # noqa: F401
+
+    return sorted(_CHECKERS)
+
+
+def get_checker(name: str) -> Checker:
+    import repro.lint.checkers  # noqa: F401
+
+    try:
+        return _CHECKERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown lint rule {name!r}; choose from {sorted(_CHECKERS)}"
+        ) from None
+
+
+@dataclass
+class LintResult:
+    """Everything one lint pass produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    #: Violations silenced by an inline ``# lint: allow(...)`` pragma.
+    suppressed: list[Finding] = field(default_factory=list)
+    checkers: list[str] = field(default_factory=list)
+
+
+def run_lint(
+    project: Project | None = None, checkers: Iterable[Checker] | None = None
+) -> LintResult:
+    """Run every (or the given) checker over ``project``.
+
+    Pragma suppression is applied here, centrally: a file-anchored
+    finding whose line carries (or follows) a matching
+    ``# lint: allow(rule)`` pragma moves to :attr:`LintResult.suppressed`
+    instead of failing the run.
+    """
+    project = project or Project()
+    active = list(checkers) if checkers is not None else all_checkers()
+    result = LintResult(checkers=[c.name for c in active])
+    by_rel = {f.rel: f for f in project.source_files()}
+    for checker in active:
+        for finding in checker.run(project):
+            source = by_rel.get(finding.path)
+            if (
+                source is not None
+                and finding.line
+                and source.allows(finding.line, finding.rule)
+            ):
+                result.suppressed.append(finding)
+            else:
+                result.findings.append(finding)
+    result.findings.sort(key=Finding.sort_key)
+    result.suppressed.sort(key=Finding.sort_key)
+    return result
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for an Attribute/Name chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

@@ -1,0 +1,106 @@
+"""Checked-in contracts the lint pass enforces.
+
+Two manifests live here, deliberately as reviewable source rather than
+derived state:
+
+* :data:`PLATFORM_MATRIX` -- the paper's Table 1 platform matrix: how
+  many system calls and C library functions each OS variant must expose
+  through the MuT registry.  The registry-contract checker recomputes
+  the per-variant counts from the live registry and fails on any drift,
+  so an accidental edit to a registration table cannot silently change
+  the population the reported failure rates are computed over.
+* :data:`SERIALIZATION_PINS` -- the field lists of every dataclass the
+  :mod:`repro.core.results_io` formats serialize, pinned together with
+  the format version they were pinned at.  Changing a serialized field
+  list without bumping the corresponding format version breaks the
+  byte-identity guarantees the parallel/supervised runners prove
+  against serial runs (PRs 2 and 5), so the serialization-version
+  checker makes that an error.  The legitimate workflow when a format
+  evolves: bump the version constant, teach the loader about both
+  versions, and re-pin the entry here in the same commit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: variant key -> required registry population, straight from the
+#: paper's platform matrix ("133 syscalls + 94 C" for Windows 95,
+#: "143 + 94" for 98/98SE/NT4/2000, "71 + 82" for CE, "91 + 94" for
+#: RedHat Linux 6.0).  ``unicode_twins`` is the paper's "(108)"
+#: parenthetical: the 26 wide-character twins tested only on Windows CE.
+PLATFORM_MATRIX: dict[str, dict[str, int]] = {
+    "win95": {"syscalls": 133, "c_functions": 94, "unicode_twins": 0},
+    "win98": {"syscalls": 143, "c_functions": 94, "unicode_twins": 0},
+    "win98se": {"syscalls": 143, "c_functions": 94, "unicode_twins": 0},
+    "winnt": {"syscalls": 143, "c_functions": 94, "unicode_twins": 0},
+    "win2000": {"syscalls": 143, "c_functions": 94, "unicode_twins": 0},
+    "wince": {"syscalls": 71, "c_functions": 82, "unicode_twins": 26},
+    "linux": {"syscalls": 91, "c_functions": 94, "unicode_twins": 0},
+}
+
+#: Number of CE wide-character twins ("18 functions (27 counting ASCII
+#: and UNICODE separately)" implies the full 26-twin population).
+CE_UNICODE_TWIN_COUNT = 26
+
+
+@dataclass(frozen=True)
+class SerializationPin:
+    """One serialized dataclass and the format version it is pinned at.
+
+    :param cls: dotted path of the dataclass.
+    :param version_const: dotted path of the format-version constant
+        guarding its wire format.
+    :param version: the value ``version_const`` had when ``fields`` was
+        pinned.
+    :param fields: ``dataclasses.fields`` names, in declaration order.
+    """
+
+    cls: str
+    version_const: str
+    version: int
+    fields: tuple[str, ...]
+
+
+SERIALIZATION_PINS: tuple[SerializationPin, ...] = (
+    SerializationPin(
+        cls="repro.core.results.MuTResult",
+        version_const="repro.core.results_io.FORMAT_VERSION",
+        version=2,
+        fields=(
+            "variant",
+            "mut_name",
+            "api",
+            "group",
+            "codes",
+            "exceptional",
+            "error_codes",
+            "details",
+            "failing_cases",
+            "catastrophic",
+            "interference_crash",
+            "planned_cases",
+            "capped",
+        ),
+    ),
+    SerializationPin(
+        cls="repro.core.results.QuarantineRecord",
+        version_const="repro.core.results_io.FORMAT_VERSION",
+        version=2,
+        fields=("variant", "api", "mut_name", "reason"),
+    ),
+    SerializationPin(
+        cls="repro.core.results_io.CampaignCheckpoint",
+        version_const="repro.core.results_io.CHECKPOINT_VERSION",
+        version=1,
+        fields=(
+            "results",
+            "cursors",
+            "machine_wear",
+            "cap",
+            "variants",
+            "complete",
+            "supervision",
+        ),
+    ),
+)

@@ -1,0 +1,71 @@
+"""Rendering lint results as text and as a machine-readable report."""
+
+from __future__ import annotations
+
+from repro.lint.framework import LintResult
+
+REPORT_FORMAT = "ballista-lint-report"
+REPORT_VERSION = 1
+
+
+def render_text(result: LintResult, baseline: set[str]) -> str:
+    """Human-readable report, one line per finding plus a summary."""
+    lines: list[str] = []
+    new_count = 0
+    for finding in result.findings:
+        is_new = finding.fingerprint not in baseline
+        new_count += is_new
+        marker = "" if is_new else " (baselined)"
+        lines.append(
+            f"{finding.location}: {finding.rule} [{finding.code}] "
+            f"{finding.message}{marker}"
+        )
+    total = len(result.findings)
+    if total:
+        lines.append("")
+    summary = (
+        f"{total} finding{'s' if total != 1 else ''} "
+        f"({new_count} new, {total - new_count} baselined, "
+        f"{len(result.suppressed)} suppressed by pragmas) "
+        f"across {len(result.checkers)} checkers"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def report_to_dict(result: LintResult, baseline: set[str]) -> dict:
+    """The JSON report published as a CI artifact."""
+    findings = [
+        {
+            "rule": f.rule,
+            "code": f.code,
+            "path": f.path,
+            "line": f.line,
+            "message": f.message,
+            "fingerprint": f.fingerprint,
+            "new": f.fingerprint not in baseline,
+        }
+        for f in result.findings
+    ]
+    return {
+        "format": REPORT_FORMAT,
+        "version": REPORT_VERSION,
+        "checkers": list(result.checkers),
+        "findings": findings,
+        "suppressed": [
+            {
+                "rule": f.rule,
+                "code": f.code,
+                "path": f.path,
+                "line": f.line,
+                "message": f.message,
+            }
+            for f in result.suppressed
+        ],
+        "summary": {
+            "total": len(result.findings),
+            "new": sum(1 for f in findings if f["new"]),
+            "baselined": sum(1 for f in findings if not f["new"]),
+            "suppressed": len(result.suppressed),
+        },
+    }

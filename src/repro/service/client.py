@@ -17,10 +17,12 @@ MuTs whose batches the server already acknowledged.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import pathlib
 import socket
+import zlib
 from typing import Callable
 
 from repro.core.crash_scale import CaseCode
@@ -59,6 +61,14 @@ class BallistaClient:
         checkpoint_every: int = 5,
     ) -> None:
         self.personality = personality
+        if retry is not None and retry.jitter_seed == 0:
+            # De-correlate the fleet deterministically: each variant's
+            # client jitters its retries on its own reproducible stream
+            # (same variant -> same schedule on every run), so clients
+            # that lost the same server do not retry in lock-step.
+            retry = dataclasses.replace(
+                retry, jitter_seed=zlib.crc32(personality.key.encode())
+            )
         self.rpc = RpcClient(transport, retry=retry)
         self.registry = registry or default_registry()
         self.types = types or default_types()

@@ -238,9 +238,11 @@ class RetryPolicy:
         a fleet of clients that lost the same server from retrying in
         lock-step (the thundering herd); ``0.0`` restores the exact
         deterministic schedule.
-    :param jitter_seed: seed for the jitter stream.  ``None`` (the
-        default) gives every client an unpredictable stream; tests pass
-        a seed to make the schedule reproducible.
+    :param jitter_seed: seed for the jitter stream.  Always seeded so a
+        retry schedule can be replayed exactly; clients that should not
+        herd pass *distinct* seeds (``BallistaClient`` derives one from
+        its variant key), which de-synchronises the fleet without
+        sacrificing reproducibility.
     :param sleep: injectable sleep function (tests/benchmarks).
     """
 
@@ -249,7 +251,7 @@ class RetryPolicy:
     backoff_base: float = 0.02
     backoff_max: float = 1.0
     jitter: float = 0.25
-    jitter_seed: int | None = None
+    jitter_seed: int = 0
     sleep: Callable[[float], None] = time.sleep
 
     def __post_init__(self) -> None:

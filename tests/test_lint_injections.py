@@ -1,0 +1,167 @@
+"""The acceptance drill for ``repro lint``: inject one violation of each
+of the five rules into a copy of the tree and prove
+``repro lint --fail-on-new`` catches every one.
+
+Each test copies ``src/repro`` into a scratch directory, applies exactly
+one doctoring, and runs the real CLI as a subprocess with ``PYTHONPATH``
+pointing at the doctored tree -- the same invocation CI uses, against
+the same committed (empty) baseline semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import shutil
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+@pytest.fixture()
+def doctored_src(tmp_path):
+    """A private copy of src/ that a test may freely vandalise."""
+    target = tmp_path / "src"
+    shutil.copytree(SRC / "repro", target / "repro")
+    return target
+
+
+def run_lint(src_root, *extra):
+    env = {**os.environ, "PYTHONPATH": str(src_root)}
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "--fail-on-new", *extra],
+        env=env,
+        cwd=src_root.parent,  # no committed baseline in scope -> empty
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def edit(src_root, rel, old, new):
+    path = src_root / "repro" / rel
+    text = path.read_text(encoding="utf-8")
+    assert old in text, f"injection anchor missing from {rel}"
+    path.write_text(text.replace(old, new), encoding="utf-8")
+
+
+def append(src_root, rel, code):
+    path = src_root / "repro" / rel
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write("\n\n" + textwrap.dedent(code).strip() + "\n")
+
+
+def assert_caught(proc, rule, code):
+    assert proc.returncode == 1, (
+        f"lint should have failed on the injected {code} violation\n"
+        f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert rule in proc.stdout
+    assert code in proc.stdout
+
+
+def test_clean_copy_passes(doctored_src):
+    proc = run_lint(doctored_src)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 findings" in proc.stdout
+
+
+def test_unregistered_param_type_is_caught(doctored_src):
+    edit(
+        doctored_src,
+        "win32/registration.py",
+        '("VirtualLock", GROUP_MEMORY, ["buffer", "size"]),',
+        '("VirtualLock", GROUP_MEMORY, ["buffer_xl", "size"]),',
+    )
+    proc = run_lint(doctored_src)
+    assert_caught(proc, "registry-contract", "RC-TYPE")
+    assert "buffer_xl" in proc.stdout
+
+
+def test_wallclock_in_core_is_caught(doctored_src):
+    append(
+        doctored_src,
+        "core/classify.py",
+        """
+        def _injected_timestamp():
+            import time
+
+            return time.time()
+        """,
+    )
+    proc = run_lint(doctored_src)
+    assert_caught(proc, "determinism", "DET-WALLCLOCK")
+    assert "repro/core/classify.py" in proc.stdout
+
+
+def test_real_open_in_mut_impl_is_caught(doctored_src):
+    append(
+        doctored_src,
+        "win32/file_api.py",
+        """
+        def _injected_escape(path):
+            return open(path, "rb").read()
+        """,
+    )
+    proc = run_lint(doctored_src)
+    assert_caught(proc, "sim-isolation", "ISO-BUILTIN")
+    assert "repro/win32/file_api.py" in proc.stdout
+
+
+def test_unbumped_serialized_field_is_caught(doctored_src):
+    anchor = "supervision: list[dict] = field(default_factory=list)"
+    edit(
+        doctored_src,
+        "core/results_io.py",
+        anchor,
+        anchor + "\n    injected_field: int = 0",
+    )
+    proc = run_lint(doctored_src)
+    assert_caught(proc, "serialization-version", "SER-DRIFT")
+    assert "injected_field" in proc.stdout
+    assert "CHECKPOINT_VERSION" in proc.stdout
+
+
+def test_bare_except_is_caught(doctored_src):
+    append(
+        doctored_src,
+        "core/campaign.py",
+        """
+        def _injected_swallow(fn):
+            try:
+                return fn()
+            except:
+                return None
+        """,
+    )
+    proc = run_lint(doctored_src)
+    assert_caught(proc, "exception-discipline", "EXC-BARE")
+
+
+def test_injection_report_artifact_shape(doctored_src, tmp_path):
+    """The CI artifact for a failing run names the injected violation."""
+    append(
+        doctored_src,
+        "core/campaign.py",
+        """
+        def _injected_swallow(fn):
+            try:
+                return fn()
+            except:
+                return None
+        """,
+    )
+    report = tmp_path / "lint-report.json"
+    proc = run_lint(doctored_src, "--report", str(report))
+    assert proc.returncode == 1
+    doc = json.loads(report.read_text())
+    assert doc["summary"]["new"] == 1
+    (finding,) = doc["findings"]
+    assert finding["code"] == "EXC-BARE"
+    assert finding["new"] is True
