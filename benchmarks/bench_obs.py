@@ -1,0 +1,76 @@
+"""Measure the overhead of structured telemetry on a serial campaign.
+
+The same campaign runs once bare and once with a
+:class:`~repro.obs.recorder.JsonlRecorder` streaming every event
+(per-case included) to disk, at ``BALLISTA_BENCH_CAP`` (default 200).
+Both runs must produce byte-identical result-set documents -- telemetry
+observes the campaign, it must never perturb it -- and the recorded run
+must stay within 5% of the bare run when the bare run is long enough to
+measure (>= 2s); shorter runs only report the ratio.  Timings land in
+``benchmarks/out/obs.txt`` alongside the event-file size.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.results_io import results_to_dict
+from repro.obs.recorder import JsonlRecorder
+from repro.posix.linux import LINUX
+from repro.win32.variants import WIN98, WINNT
+
+VARIANTS = [WIN98, WINNT, LINUX]
+MAX_OVERHEAD = 0.05
+MIN_MEASURABLE_S = 2.0
+
+
+def test_recorder_overhead_and_fidelity(artifact_dir, bench_cap, tmp_path):
+    config = CampaignConfig(cap=bench_cap)
+
+    started = time.perf_counter()
+    bare_results = Campaign(VARIANTS, config=config).run()
+    bare_s = time.perf_counter() - started
+
+    events_path = tmp_path / "events.jsonl"
+    recorder = JsonlRecorder(events_path)
+    started = time.perf_counter()
+    recorded_results = Campaign(VARIANTS, config=config).run(
+        recorder=recorder
+    )
+    recorded_s = time.perf_counter() - started
+    recorder.close()
+
+    bare_doc = json.dumps(results_to_dict(bare_results), separators=(",", ":"))
+    recorded_doc = json.dumps(
+        results_to_dict(recorded_results), separators=(",", ":")
+    )
+    assert recorded_doc == bare_doc, (
+        "telemetry must not perturb campaign results"
+    )
+    assert recorder.count > bare_results.total_cases(), (
+        "per-case events missing from the stream"
+    )
+
+    overhead = (recorded_s - bare_s) / bare_s if bare_s else 0.0
+    lines = [
+        f"Telemetry recorder overhead, {len(VARIANTS)} variants, "
+        f"cap {bench_cap}, serial",
+        "",
+        f"bare:     {bare_s:8.2f}s",
+        f"recorded: {recorded_s:8.2f}s",
+        f"overhead: {100 * overhead:8.2f}%",
+        f"events:   {recorder.count:8d}"
+        f" ({events_path.stat().st_size / 1024:.0f} KiB)",
+        "output:   byte-identical",
+    ]
+    (artifact_dir / "obs.txt").write_text(
+        "\n".join(lines) + "\n", encoding="utf-8"
+    )
+    if bare_s >= MIN_MEASURABLE_S:
+        assert overhead <= MAX_OVERHEAD, (
+            f"recorder overhead {100 * overhead:.2f}% exceeds "
+            f"{100 * MAX_OVERHEAD:.0f}% (bare {bare_s:.2f}s vs "
+            f"recorded {recorded_s:.2f}s)"
+        )

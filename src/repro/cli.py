@@ -5,6 +5,7 @@ Usage::
     python -m repro [--cap N] [--jobs N] [--variants win98,winnt,...]
                     [--tables table1,table2,figure1,table3,figure2]
     python -m repro lint [...]        # static analysis (repro.lint.cli)
+    python -m repro stats EVENTS      # telemetry report (repro.obs)
 
 With no arguments this runs the full seven-variant campaign at the
 ``BALLISTA_CAP`` cap (default 300) and prints every table and figure the
@@ -57,6 +58,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv[:1] == ["stats"]:
+        # `python -m repro stats events.jsonl`: telemetry report.
+        from repro.obs.stats_cli import main as stats_main
+
+        return stats_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -170,6 +176,14 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--events",
+        metavar="PATH",
+        help=(
+            "stream structured run telemetry (JSON lines) to PATH; "
+            "render it later with `python -m repro stats PATH`"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress progress output"
     )
     args = parser.parse_args(argv)
@@ -228,11 +242,12 @@ def main(argv: list[str] | None = None) -> int:
                 "Windows variants"
             )
 
-    def progress(variant: str, mut: str, position: int, total: int) -> None:
-        if args.quiet:
-            return
-        sys.stderr.write(f"\r[{variant:8s}] {position + 1:3d}/{total} {mut:36s}")
-        sys.stderr.flush()
+    # One status line per variant: a single \r-rewritten line garbles as
+    # soon as --jobs > 1 interleaves updates from several variants.
+    from repro.obs.progress import ProgressRenderer
+
+    renderer = ProgressRenderer() if not args.quiet else None
+    progress = renderer.update if renderer is not None else None
 
     if args.load:
         from repro.core.results_io import ResultFormatError, load_results
@@ -296,14 +311,28 @@ def main(argv: list[str] | None = None) -> int:
             )
         else:
             campaign = Campaign(variants, config=CampaignConfig(cap=args.cap))
-        results = campaign.run(
-            progress=progress,
-            checkpoint_path=checkpoint_path,
-            checkpoint_every=args.checkpoint_every,
-            resume=resume,
-        )
+        recorder = None
+        if args.events:
+            from repro.obs.recorder import JsonlRecorder
+
+            try:
+                recorder = JsonlRecorder(args.events)
+            except OSError as exc:
+                parser.error(f"--events {args.events}: {exc}")
+        try:
+            results = campaign.run(
+                progress=progress,
+                checkpoint_path=checkpoint_path,
+                checkpoint_every=args.checkpoint_every,
+                resume=resume,
+                recorder=recorder,
+            )
+        finally:
+            if renderer is not None:
+                renderer.close()
+            if recorder is not None:
+                recorder.close()
         if not args.quiet:
-            sys.stderr.write("\r" + " " * 72 + "\r")
             elapsed = time.monotonic() - started
             workers = f", {jobs} workers" if jobs > 1 else ""
             sys.stderr.write(

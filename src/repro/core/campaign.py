@@ -35,6 +35,8 @@ from repro.core.results_io import (
     save_checkpoint,
 )
 from repro.core.types import TypeRegistry, default_types
+from repro.obs import events as obs_events
+from repro.obs.recorder import Recorder
 from repro.sim.machine import Machine
 from repro.sim.personality import Personality
 
@@ -141,6 +143,7 @@ class Campaign:
         resume: CampaignCheckpoint | str | pathlib.Path | None = None,
         quarantine: dict[str, str] | None = None,
         heartbeat: HeartbeatFn | None = None,
+        recorder: Recorder | None = None,
     ) -> ResultSet:
         """Execute the full campaign and return the result set.
 
@@ -157,6 +160,8 @@ class Campaign:
             has withdrawn; each is recorded as QUARANTINED and skipped.
         :param heartbeat: per-case liveness callback (see
             :data:`HeartbeatFn`); the supervisor's watchdog feeds on it.
+        :param recorder: optional telemetry sink (see :mod:`repro.obs`);
+            receives typed campaign events as the run progresses.
         """
         keys = [p.key for p in self.variants]
         if isinstance(resume, (str, pathlib.Path)):
@@ -191,6 +196,10 @@ class Campaign:
                 ResultSet(), cap=self.config.cap, variants=keys
             )
         results = checkpoint.results
+        if recorder is not None:
+            recorder.emit(
+                obs_events.CampaignStarted(tuple(keys), self.config.cap)
+            )
         for personality in self.variants:
             run_variant(
                 personality,
@@ -204,6 +213,7 @@ class Campaign:
                 checkpoint_every,
                 quarantine=quarantine,
                 heartbeat=heartbeat,
+                recorder=recorder,
             )
         checkpoint.complete = True
         #: The final checkpoint of the last run (cursors + machine wear
@@ -211,6 +221,14 @@ class Campaign:
         self.last_checkpoint = checkpoint
         if checkpoint_path is not None:
             save_checkpoint(checkpoint, checkpoint_path)
+            if recorder is not None:
+                recorder.emit(
+                    obs_events.CheckpointWritten(
+                        "campaign", str(checkpoint_path), len(results)
+                    )
+                )
+        if recorder is not None:
+            recorder.emit(obs_events.CampaignFinished(results.total_cases()))
         return results
 
 
@@ -231,6 +249,7 @@ def run_variant(
     checkpoint_every: int,
     quarantine: dict[str, str] | None = None,
     heartbeat: HeartbeatFn | None = None,
+    recorder: Recorder | None = None,
 ) -> None:
     """Run one variant's full MuT plan (the campaign inner loop).
 
@@ -263,6 +282,20 @@ def run_variant(
         machine.restore_wear(wear)
     executor = Executor(machine, generator)
     since_checkpoint = 0
+
+    def emit(event: "obs_events.Event") -> None:
+        if recorder is not None:
+            recorder.emit(event)
+
+    def save_and_tell(position: int) -> None:
+        save_checkpoint(checkpoint, checkpoint_path)
+        emit(
+            obs_events.CheckpointWritten(
+                personality.key, str(checkpoint_path), position
+            )
+        )
+
+    emit(obs_events.VariantStarted(personality.key, len(muts)))
     for position, mut in enumerate(muts):
         if results.has(personality.key, mut.name, api=mut.api):
             continue  # already recorded by the interrupted run
@@ -273,13 +306,18 @@ def run_variant(
             results.quarantine(
                 personality.key, mut.api, mut.name, quarantine[key]
             )
+            emit(
+                obs_events.MutQuarantined(
+                    personality.key, key, quarantine[key]
+                )
+            )
             checkpoint.cursors[personality.key] = position + 1
             since_checkpoint += 1
             if (
                 checkpoint_path is not None
                 and since_checkpoint >= checkpoint_every
             ):
-                save_checkpoint(checkpoint, checkpoint_path)
+                save_and_tell(position + 1)
                 since_checkpoint = 0
             continue
         if progress is not None:
@@ -307,6 +345,22 @@ def run_variant(
                 outcome.value_names,
                 error_code=outcome.error_code,
             )
+            if recorder is not None:
+                # Hot path -- one event per test case: build the plain
+                # record directly instead of routing through the
+                # CaseExecuted dataclass (same wire shape, ~2x cheaper;
+                # bench_obs.py pins the budget).
+                recorder.record(
+                    {
+                        "kind": "case_executed",
+                        "variant": personality.key,
+                        "mut": key,
+                        "case": case.index,
+                        "code": int(outcome.code),
+                        "exceptional": outcome.exceptional_input,
+                        "sim_ticks": machine.clock.ticks,
+                    }
+                )
             if outcome.code is CaseCode.CATASTROPHIC:
                 # The crash interrupts testing of this function: the
                 # case set is incomplete and the machine reboots.
@@ -314,6 +368,18 @@ def run_variant(
                     result.interference_crash = True
                 machine.reboot()
                 break
+        emit(
+            obs_events.MutFinished(
+                personality.key,
+                key,
+                mut.group,
+                len(result.codes),
+                _outcome_histogram(result.codes),
+                result.catastrophic,
+                result.interference_crash,
+                machine.clock.ticks,
+            )
+        )
         checkpoint.cursors[personality.key] = position + 1
         if not config.machine_per_case:
             checkpoint.machine_wear[personality.key] = machine.wear_state()
@@ -322,10 +388,30 @@ def run_variant(
             checkpoint_path is not None
             and since_checkpoint >= checkpoint_every
         ):
-            save_checkpoint(checkpoint, checkpoint_path)
+            save_and_tell(position + 1)
             since_checkpoint = 0
+    emit(
+        obs_events.VariantFinished(
+            personality.key,
+            results.total_cases(personality.key),
+            machine.clock.ticks,
+        )
+    )
     if checkpoint_path is not None:
-        save_checkpoint(checkpoint, checkpoint_path)
+        save_and_tell(len(muts))
+
+
+_CODE_NAMES = {code.value: code.name for code in CaseCode}
+
+
+def _outcome_histogram(codes: bytearray) -> dict[str, int]:
+    """Per-MuT outcome counts keyed by CaseCode name, keys sorted (the
+    deterministic form that rides on ``mut_finished`` events)."""
+    counts: dict[str, int] = {}
+    for code in codes:
+        name = _CODE_NAMES[code]
+        counts[name] = counts.get(name, 0) + 1
+    return {name: counts[name] for name in sorted(counts)}
 
 
 def _apply_policies(config: CampaignConfig, outcome: CaseOutcome) -> CaseOutcome:

@@ -31,6 +31,7 @@ checkpoint.  Completed MuTs are skipped per variant either way.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import os
 import pathlib
 import queue
@@ -42,6 +43,8 @@ from typing import Iterable, Sequence
 
 from repro.core.campaign import Campaign, CampaignConfig, ProgressFn
 from repro.core.results import ResultSet
+from repro.obs import events as obs_events
+from repro.obs.recorder import Recorder
 from repro.core.results_io import (
     CampaignCheckpoint,
     ResultFormatError,
@@ -62,7 +65,7 @@ def default_jobs(variant_count: int) -> int:
     return max(1, min(variant_count, os.cpu_count() or 1))
 
 
-def _fault_injector():
+def _fault_injector(events=None):
     """Env-triggered worker faults for resilience tests and CI drills.
 
     ``BALLISTA_FAULT_KILL="variant|api:name|case_index[|marker_path]"``
@@ -101,6 +104,13 @@ def _fault_injector():
             if marker is None or not os.path.exists(marker):
                 if marker is not None:
                     pathlib.Path(marker).touch()
+                if events is not None:
+                    # Flush already-queued telemetry to the parent before
+                    # dying: SIGKILL would otherwise race the queue's
+                    # feeder thread and silently drop the doomed
+                    # attempt's partial case events.
+                    events.close()
+                    events.join_thread()
                 os.kill(os.getpid(), signal.SIGKILL)
         if hang and (variant, mut, case_index) == hang[:3]:
             # A faithful hang: ignore polite SIGTERM (native code stuck
@@ -111,6 +121,35 @@ def _fault_injector():
                 time.sleep(0.05)
 
     return fire
+
+
+class _ObsForwarder(Recorder):
+    """Worker-side telemetry bridge: ships event dicts to the parent as
+    ``("obs", variant, event_dict)`` queue messages.
+
+    Campaign-scope events are dropped here: each worker drives a
+    single-variant :class:`Campaign`, whose campaign-level bookkeeping
+    (``campaign_started``/``campaign_finished``, the final combined-
+    checkpoint save) duplicates what the parent already emits for the
+    whole run.  Variant-scoped events pass through untouched, so the
+    parent's recorder sees exactly the serial runner's per-variant
+    stream.
+    """
+
+    _DROP_KINDS = frozenset({"campaign_started", "campaign_finished"})
+
+    def __init__(self, events_queue, variant: str) -> None:
+        self._queue = events_queue
+        self._variant = variant
+
+    def record(self, data: dict) -> None:
+        if data.get("kind") in self._DROP_KINDS:
+            return
+        if data.get("kind") == "checkpoint_written" and (
+            data.get("scope") == "campaign"
+        ):
+            return  # the worker's "combined" save is just its shard
+        self._queue.put(("obs", self._variant, data))
 
 
 def _personality_by_key(key: str) -> Personality:
@@ -166,7 +205,8 @@ def _variant_worker(spec: dict, events) -> None:
         def forward(variant: str, mut: str, position: int, total: int) -> None:
             events.put(("progress", variant, mut, position, total))
 
-        fault = _fault_injector()
+        fault = _fault_injector(events)
+        recorder = _ObsForwarder(events, key) if spec.get("events") else None
         hb_interval = spec.get("heartbeat_interval", 1.0)
         last_beat = 0.0
 
@@ -189,6 +229,7 @@ def _variant_worker(spec: dict, events) -> None:
             resume=resume,
             quarantine=spec.get("quarantine"),
             heartbeat=heartbeat,
+            recorder=recorder,
         )
         events.put(
             ("done", key, checkpoint_to_dict(campaign.last_checkpoint))
@@ -237,11 +278,14 @@ class ParallelCampaign:
         checkpoint_path: str | pathlib.Path | None = None,
         checkpoint_every: int = 25,
         resume: CampaignCheckpoint | str | pathlib.Path | None = None,
+        recorder: Recorder | None = None,
     ) -> ResultSet:
         """Execute the campaign across worker processes and return the
         merged result set.  See :meth:`Campaign.run` for the checkpoint
         and resume contract -- it holds unchanged here, with shards as
-        described in the module docstring."""
+        described in the module docstring.  ``recorder`` receives the
+        workers' forwarded campaign events plus the parent's operational
+        events (worker spawns/deaths, merges)."""
         keys = [p.key for p in self.variants]
         if isinstance(resume, (str, pathlib.Path)):
             resume = load_checkpoint(resume)
@@ -256,9 +300,14 @@ class ParallelCampaign:
                 checkpoint_path=checkpoint_path,
                 checkpoint_every=checkpoint_every,
                 resume=resume,
+                recorder=recorder,
             )
             self.last_checkpoint = campaign.last_checkpoint
             return results
+        if recorder is not None:
+            recorder.emit(
+                obs_events.CampaignStarted(tuple(keys), self.config.cap)
+            )
 
         if checkpoint_path is not None:
             # Write the combined document up front (the serial runner's
@@ -279,9 +328,11 @@ class ParallelCampaign:
             )
             save_checkpoint(initial, checkpoint_path)
         shard_base = self._shard_base(checkpoint_path)
-        specs = self._build_specs(resume, shard_base, checkpoint_every)
+        specs = self._build_specs(
+            resume, shard_base, checkpoint_every, events=recorder is not None
+        )
         try:
-            shards = self._run_workers(specs, progress)
+            shards = self._run_workers(specs, progress, recorder)
             merged = merge_checkpoints(
                 [shards[key] for key in keys],
                 cap=self.config.cap,
@@ -291,6 +342,14 @@ class ParallelCampaign:
             self.last_checkpoint = merged
             if checkpoint_path is not None:
                 save_checkpoint(merged, checkpoint_path)
+                if recorder is not None:
+                    recorder.emit(
+                        obs_events.CheckpointWritten(
+                            "campaign",
+                            str(checkpoint_path),
+                            len(merged.results),
+                        )
+                    )
             if shard_base is not None:
                 for spec in specs:
                     if spec["shard_path"] is not None:
@@ -300,6 +359,10 @@ class ParallelCampaign:
                             pass
         finally:
             self._release_shard_base()
+        if recorder is not None:
+            recorder.emit(
+                obs_events.CampaignFinished(merged.results.total_cases())
+            )
         return merged.results
 
     # ------------------------------------------------------------------
@@ -349,6 +412,7 @@ class ParallelCampaign:
         resume: CampaignCheckpoint | None,
         shard_base: str | pathlib.Path | None,
         checkpoint_every: int,
+        events: bool = False,
     ) -> list[dict]:
         config_fields = {
             "cap": self.config.cap,
@@ -380,12 +444,16 @@ class ParallelCampaign:
                     "resume": resume_doc,
                     "quarantine": {},
                     "heartbeat_interval": self._heartbeat_interval(),
+                    "events": events,
                 }
             )
         return specs
 
     def _run_workers(
-        self, specs: list[dict], progress: ProgressFn | None
+        self,
+        specs: list[dict],
+        progress: ProgressFn | None,
+        recorder: Recorder | None = None,
     ) -> dict[str, CampaignCheckpoint]:
         """Spawn at most ``self.jobs`` concurrent workers, pump their
         event queue, and collect one finished shard per variant."""
@@ -399,11 +467,26 @@ class ParallelCampaign:
             while pending or running:
                 while pending and len(running) < self.jobs:
                     spec = pending.pop(0)
-                    running[spec["variant"]] = self._spawn(ctx, spec, events)
+                    worker = self._spawn(ctx, spec, events)
+                    running[spec["variant"]] = worker
+                    if recorder is not None:
+                        recorder.emit(
+                            obs_events.WorkerSpawned(
+                                spec["variant"], worker.pid or 0, 1
+                            )
+                        )
                 try:
                     message = events.get(timeout=0.2)
                 except queue.Empty:
-                    self._reap_silent_deaths(running, errors)
+                    # Only scan for silent deaths when a worker's
+                    # sentinel actually reports one -- an idle pump over
+                    # healthy workers must not burn a liveness sweep
+                    # (nor emit reap telemetry) every 200 ms tick.
+                    dead = self._dead_workers(running)
+                    if dead:
+                        self._reap_silent_deaths(
+                            running, errors, dead, recorder
+                        )
                     continue
                 kind, key = message[0], message[1]
                 if kind == "progress":
@@ -411,16 +494,23 @@ class ParallelCampaign:
                         progress(*message[1:])
                 elif kind == "heartbeat":
                     pass  # liveness beacons; only the supervisor consumes them
+                elif kind == "obs":
+                    if recorder is not None:
+                        recorder.record(message[2])
                 elif kind == "done":
                     shards[key] = checkpoint_from_dict(message[2])
                     self._retire(running, key)
+                    if recorder is not None:
+                        recorder.emit(obs_events.WorkerFinished(key))
                 else:  # "error"
                     errors[key] = message[2]
                     self._retire(running, key)
+                    if recorder is not None:
+                        recorder.emit(
+                            obs_events.WorkerDied(key, "crashed", message[2])
+                        )
         finally:
-            for worker in running.values():
-                worker.terminate()
-                worker.join(timeout=5)
+            self._stop_workers(running, events)
         if errors:
             detail = "\n".join(
                 f"--- worker [{key}] ---\n{text}"
@@ -448,16 +538,82 @@ class ParallelCampaign:
             worker.join(timeout=10)
 
     @staticmethod
+    def _dead_workers(running: dict[str, object]) -> list[str]:
+        """Variant keys whose worker process has exited, checked via the
+        process sentinels in one ``connection.wait`` poll -- the cheap
+        liveness gate in front of the reap scan."""
+        if not running:
+            return []
+        sentinels = {w.sentinel: k for k, w in running.items()}
+        try:
+            ready = multiprocessing.connection.wait(
+                list(sentinels), timeout=0
+            )
+        except OSError:  # pragma: no cover - sentinel closed under us
+            return [k for k, w in running.items() if not w.is_alive()]
+        return [sentinels[s] for s in ready]
+
+    @staticmethod
     def _reap_silent_deaths(
-        running: dict[str, object], errors: dict[str, str]
+        running: dict[str, object],
+        errors: dict[str, str],
+        dead: list[str],
+        recorder: Recorder | None = None,
     ) -> None:
         """A worker killed from outside (OOM, SIGKILL) never posts a
         message; notice its nonzero exit code so the run fails loudly
-        instead of hanging.  Its shard stays on disk for the next run."""
-        for key, worker in list(running.items()):
+        instead of hanging.  Its shard stays on disk for the next run.
+        ``dead`` is the sentinel-gated candidate list -- only workers
+        whose process has actually exited are examined."""
+        for key in dead:
+            worker = running.get(key)
+            if worker is None:
+                continue
+            worker.join(timeout=1.0)  # let the exit code settle
             if not worker.is_alive() and worker.exitcode != 0:
                 errors[key] = (
                     f"worker exited with code {worker.exitcode} without "
                     f"reporting a result"
                 )
                 del running[key]
+                if recorder is not None:
+                    recorder.emit(
+                        obs_events.WorkerDied(
+                            key,
+                            "killed",
+                            "exited without reporting a result",
+                            exitcode=worker.exitcode,
+                        )
+                    )
+
+    @staticmethod
+    def _stop_workers(
+        running: dict[str, object], events, grace: float = 5.0
+    ) -> None:
+        """Terminate surviving workers without deadlocking on the queue.
+
+        A worker mid-``Queue.put`` when the parent stops pumping can
+        have its feeder thread blocked on a full pipe; the process then
+        cannot flush-and-exit, and one that ignores SIGTERM (a hung MuT
+        loop, the BALLISTA_FAULT_HANG injector) would previously leak
+        past ``join(timeout=5)``.  Drain the queue while the workers
+        shut down so blocked feeders can finish, then escalate to
+        SIGKILL for anything still alive.
+        """
+        if not running:
+            return
+        for worker in running.values():
+            worker.terminate()
+        deadline = time.monotonic() + grace
+        while any(w.is_alive() for w in running.values()):
+            if time.monotonic() >= deadline:
+                break
+            try:
+                events.get(timeout=0.05)
+            except queue.Empty:
+                pass
+        for worker in running.values():
+            worker.join(timeout=0.5)
+            if worker.is_alive():
+                worker.kill()
+                worker.join(timeout=5)

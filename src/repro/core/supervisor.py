@@ -50,6 +50,8 @@ from typing import Callable, Iterable, Sequence
 
 from repro.core.campaign import CampaignConfig
 from repro.core.parallel import ParallelCampaign
+from repro.obs import events as obs_events
+from repro.obs.recorder import Recorder
 from repro.core.results_io import (
     CampaignCheckpoint,
     ResultFormatError,
@@ -205,6 +207,7 @@ class SupervisedCampaign(ParallelCampaign):
         checkpoint_path: str | pathlib.Path | None = None,
         checkpoint_every: int = 25,
         resume=None,
+        recorder: Recorder | None = None,
     ):
         self.supervision_log = []
         # Only worker-backed runs with a real checkpoint file persist
@@ -218,6 +221,7 @@ class SupervisedCampaign(ParallelCampaign):
                 checkpoint_path=checkpoint_path,
                 checkpoint_every=checkpoint_every,
                 resume=resume,
+                recorder=recorder,
             )
         finally:
             self._live_checkpoint_path = None
@@ -242,11 +246,16 @@ class SupervisedCampaign(ParallelCampaign):
             save_checkpoint(live, path)
 
     def _pump_timeout(self) -> float:
+        """Queue poll interval.  Floored at 50 ms: a tight MuT deadline
+        used to drive this down to 10 ms, turning the pump into a busy
+        loop that spent its time on liveness scans instead of events.
+        The watchdog only needs the poll to be comfortably shorter than
+        the deadline, not a fixed fraction of it."""
         if self.policy.mut_deadline is None:
             return 0.2
-        return max(0.01, min(0.2, self.policy.mut_deadline / 4.0))
+        return max(0.05, min(0.2, self.policy.mut_deadline / 4.0))
 
-    def _run_workers(self, specs, progress):
+    def _run_workers(self, specs, progress, recorder: Recorder | None = None):
         policy = self.policy
         ctx = multiprocessing.get_context("spawn")
         events = ctx.Queue()
@@ -261,11 +270,18 @@ class SupervisedCampaign(ParallelCampaign):
         last_seen: dict[str, float] = {}
         resume_at: dict[str, float] = {}
 
-        def handle_death(key: str, kind: str, why: str) -> None:
+        def emit(event) -> None:
+            if recorder is not None:
+                recorder.emit(event)
+
+        def handle_death(
+            key: str, kind: str, why: str, exitcode: int | None = None
+        ) -> None:
             """One dead worker: attribute, maybe quarantine, maybe
             relaunch."""
             running.pop(key, None)
             used = restarts[key] = restarts.get(key, 0) + 1
+            emit(obs_events.WorkerDied(key, kind, why, exitcode=exitcode))
             mut_case = inflight.pop(key, None)
             if mut_case is not None:
                 mut, case_index = mut_case
@@ -288,6 +304,7 @@ class SupervisedCampaign(ParallelCampaign):
                 self._log(
                     "budget_exhausted", key, restarts=used - 1, why=why
                 )
+                emit(obs_events.BudgetExhausted(key, used - 1, why))
                 return
             delay = policy.backoff(used - 1)
             resume_at[key] = policy.clock() + delay
@@ -296,6 +313,7 @@ class SupervisedCampaign(ParallelCampaign):
                 "restart", key, attempt=used, backoff_s=delay,
                 kind=kind, why=why,
             )
+            emit(obs_events.WorkerRestarted(key, used, delay, kind))
 
         try:
             while pending or running:
@@ -315,8 +333,14 @@ class SupervisedCampaign(ParallelCampaign):
                     if key in errors or resume_at.get(key, 0.0) > now:
                         continue
                     pending.remove(spec)
-                    running[key] = self._spawn(ctx, spec, events)
+                    worker = self._spawn(ctx, spec, events)
+                    running[key] = worker
                     last_seen[key] = policy.clock()
+                    emit(
+                        obs_events.WorkerSpawned(
+                            key, worker.pid or 0, restarts.get(key, 0) + 1
+                        )
+                    )
                 if not running and not any(
                     s["variant"] not in errors for s in pending
                 ):
@@ -334,10 +358,14 @@ class SupervisedCampaign(ParallelCampaign):
                             progress(*message[1:])
                     elif kind == "heartbeat":
                         inflight[key] = (message[2], message[3])
+                    elif kind == "obs":
+                        if recorder is not None:
+                            recorder.record(message[2])
                     elif kind == "done":
                         shards[key] = checkpoint_from_dict(message[2])
                         inflight.pop(key, None)
                         self._retire(running, key)
+                        emit(obs_events.WorkerFinished(key))
                         # A watchdog race can park a respawn for a
                         # variant that actually finished: cancel it.
                         pending[:] = [
@@ -373,17 +401,23 @@ class SupervisedCampaign(ParallelCampaign):
                                 f"(deadline {policy.mut_deadline}s)",
                             )
                 # Reap workers killed from outside (OOM, SIGKILL).
-                for key, worker in list(running.items()):
+                # Sentinel-gated: an idle-but-healthy fleet must not
+                # pay a per-worker liveness scan (or emit death
+                # telemetry) on every pump tick.
+                for key in self._dead_workers(running):
+                    worker = running.get(key)
+                    if worker is None:
+                        continue
+                    worker.join(timeout=1.0)  # let the exit code settle
                     if not worker.is_alive() and worker.exitcode != 0:
                         handle_death(
                             key,
                             "killed",
                             f"exited with code {worker.exitcode}",
+                            exitcode=worker.exitcode,
                         )
         finally:
-            for worker in running.values():
-                worker.terminate()
-                worker.join(timeout=5)
+            self._stop_workers(running, events)
         if errors:
             detail = "\n".join(
                 f"--- worker [{key}] ---\n{text}"

@@ -14,20 +14,26 @@ from repro.lint.framework import (
     dotted_name,
     register_checker,
 )
+from repro.lint.manifests import WALLCLOCK_ALLOWANCES
 
 #: Packages whose behaviour feeds serialized results/checkpoints: runs
 #: must be bit-for-bit reproducible here (time.monotonic is allowed --
 #: the supervisor's real-time watchdog needs it -- because it never
-#: flows into recorded outcomes).
-_DETERMINISTIC_PACKAGES = ("core", "sim", "analysis")
+#: flows into recorded outcomes).  obs/ is strict too: telemetry event
+#: *contents* must replay identically between serial and parallel runs;
+#: only the recorder's ``t`` stamp may read a wall clock, via the
+#: :data:`~repro.lint.manifests.WALLCLOCK_ALLOWANCES` manifest.
+_DETERMINISTIC_PACKAGES = ("core", "sim", "analysis", "obs")
 #: Packages additionally scanned for unseeded-randomness rules only
 #: (service timing is real wall-clock by design, but its retry jitter
 #: must still be reproducible under a seed).
-_SEEDED_PACKAGES = ("core", "sim", "analysis", "service")
+_SEEDED_PACKAGES = ("core", "sim", "analysis", "obs", "service")
 
 _WALLCLOCK_CALLS = {
     "time.time": "wall-clock read",
     "time.time_ns": "wall-clock read",
+    "time.perf_counter": "wall-clock read",
+    "time.perf_counter_ns": "wall-clock read",
     "datetime.now": "wall-clock read",
     "datetime.utcnow": "wall-clock read",
     "datetime.today": "wall-clock read",
@@ -60,7 +66,12 @@ class _DeterminismVisitor(ast.NodeVisitor):
     def visit_Call(self, node: ast.Call) -> None:
         name = dotted_name(node.func)
         if name:
-            if self.strict and name in _WALLCLOCK_CALLS:
+            if (
+                self.strict
+                and name in _WALLCLOCK_CALLS
+                and name
+                not in WALLCLOCK_ALLOWANCES.get(self.source.package, ())
+            ):
                 self._emit(
                     "DET-WALLCLOCK",
                     f"{name}() is a {_WALLCLOCK_CALLS[name]}; outcomes "
@@ -209,7 +220,10 @@ class DeterminismChecker(Checker):
         "real), but its RNG streams must still be seedable, so the\n"
         "unseeded-randomness rules apply there too.  time.monotonic is\n"
         "allowed: the supervisor's watchdog measures real elapsed time\n"
-        "and never records it in results."
+        "and never records it in results.  time.perf_counter is banned\n"
+        "alongside the wall clocks except where the WALLCLOCK_ALLOWANCES\n"
+        "manifest grants it (obs/ recorders stamping telemetry records);\n"
+        "event contents themselves carry simulated ticks only."
     )
 
     def run(self, project: Project) -> Iterator[Finding]:

@@ -9,6 +9,12 @@ derived state:
   the per-variant counts from the live registry and fails on any drift,
   so an accidental edit to a registration table cannot silently change
   the population the reported failure rates are computed over.
+* :data:`WALLCLOCK_ALLOWANCES` -- the package-scoped exceptions to the
+  determinism checker's wall-clock rule.  The telemetry layer
+  (:mod:`repro.obs`) exists to timestamp operational events, so its
+  recorders legitimately read ``time.perf_counter``; nothing else may.
+  Scoping the allowance here, per package and per call, keeps the rule
+  reviewable: widening it is a manifest diff, not a silent pragma.
 * :data:`SERIALIZATION_PINS` -- the field lists of every dataclass the
   :mod:`repro.core.results_io` formats serialize, pinned together with
   the format version they were pinned at.  Changing a serialized field
@@ -42,6 +48,16 @@ PLATFORM_MATRIX: dict[str, dict[str, int]] = {
 #: Number of CE wide-character twins ("18 functions (27 counting ASCII
 #: and UNICODE separately)" implies the full 26-twin population).
 CE_UNICODE_TWIN_COUNT = 26
+
+#: package -> wall-clock calls that package may make despite the
+#: determinism rule.  Telemetry recorders stamp a wall ``t`` on each
+#: emitted record; the stamp never feeds results or checkpoints (event
+#: *contents* carry simulated ticks), so the byte-identity guarantee is
+#: untouched.  Monotonic perf_counter only -- absolute time.time stays
+#: banned even in obs/ so event files never leak calendar timestamps.
+WALLCLOCK_ALLOWANCES: dict[str, tuple[str, ...]] = {
+    "obs": ("time.perf_counter", "time.perf_counter_ns"),
+}
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,80 @@
+"""Structured run telemetry for campaign execution.
+
+The operational story of a campaign -- throughput, worker restarts,
+hangs, quarantines, checkpoint cadence -- is captured as typed events
+(:mod:`repro.obs.events`) streamed to pluggable recorders
+(:mod:`repro.obs.recorder`) and folded into metrics snapshots
+(:mod:`repro.obs.aggregate`).  ``python -m repro --events PATH`` writes
+the stream; ``python -m repro stats PATH`` renders it.
+
+Wall-clock reads are confined to this package (recorders stamp a ``t``
+field per record); event contents carry simulated ticks only, so the
+deterministic per-variant stream is identical between serial and
+parallel runs at the same seed -- see
+:func:`repro.obs.events.variant_stream`.
+"""
+
+from repro.obs.aggregate import MetricsAggregator, render_stats
+from repro.obs.events import (
+    DETERMINISTIC_KINDS,
+    EVENTS_VERSION,
+    BudgetExhausted,
+    CampaignFinished,
+    CampaignStarted,
+    CaseExecuted,
+    ChaosFault,
+    CheckpointWritten,
+    Event,
+    MutFinished,
+    MutQuarantined,
+    RpcRetry,
+    VariantFinished,
+    VariantStarted,
+    WorkerDied,
+    WorkerFinished,
+    WorkerRestarted,
+    WorkerSpawned,
+    strip_wall,
+    variant_stream,
+)
+from repro.obs.progress import ProgressRenderer
+from repro.obs.recorder import (
+    JsonlRecorder,
+    MemoryRecorder,
+    Recorder,
+    TeeRecorder,
+    read_events,
+    wall_clock,
+)
+
+__all__ = [
+    "BudgetExhausted",
+    "CampaignFinished",
+    "CampaignStarted",
+    "CaseExecuted",
+    "ChaosFault",
+    "CheckpointWritten",
+    "DETERMINISTIC_KINDS",
+    "EVENTS_VERSION",
+    "Event",
+    "JsonlRecorder",
+    "MemoryRecorder",
+    "MetricsAggregator",
+    "MutFinished",
+    "MutQuarantined",
+    "ProgressRenderer",
+    "Recorder",
+    "RpcRetry",
+    "TeeRecorder",
+    "VariantFinished",
+    "VariantStarted",
+    "WorkerDied",
+    "WorkerFinished",
+    "WorkerRestarted",
+    "WorkerSpawned",
+    "read_events",
+    "render_stats",
+    "strip_wall",
+    "variant_stream",
+    "wall_clock",
+]

@@ -1,0 +1,389 @@
+"""Fold a telemetry event stream into an operational snapshot.
+
+:class:`MetricsAggregator` is itself a :class:`~repro.obs.recorder.Recorder`,
+so it can consume events live (tee'd next to a JSONL file) or replay a
+file after the fact (``python -m repro stats events.jsonl``).  The
+snapshot answers the operational questions the paper's >2-million-case
+campaign raises: per-variant and per-group case throughput, CRASH-scale
+outcome counters, worker restart/quarantine totals, retry and chaos
+pressure on the service layer, and wall-clock per phase.
+
+All wall-clock arithmetic here uses the ``t`` stamps recorders put on
+records -- the aggregator never reads a clock of its own.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.crash_scale import CaseCode
+from repro.obs.recorder import Recorder
+
+#: Outcome columns in report order (CRASH severity order, then the
+#: bookkeeping codes).
+_CODE_COLUMNS = (
+    "CATASTROPHIC",
+    "RESTART",
+    "ABORT",
+    "PASS_ERROR",
+    "PASS_NO_ERROR",
+    "SETUP_SKIP",
+    "NOT_RUN",
+)
+
+_DEATH_KINDS = ("crashed", "hung", "killed")
+
+
+def _blank_variant() -> dict:
+    return {
+        "muts": 0,
+        "cases": 0,
+        "case_events": 0,
+        "outcomes": {},
+        "catastrophic": 0,
+        "interference": 0,
+        "quarantined": 0,
+        "sim_ticks": 0,
+        "started_t": None,
+        "finished_t": None,
+        "spawns": 0,
+        "deaths": 0,
+        "restarts": 0,
+    }
+
+
+class MetricsAggregator(Recorder):
+    """Streaming fold of event records into a stats snapshot."""
+
+    def __init__(self) -> None:
+        self.events = 0
+        self.malformed = 0
+        self._first_t: float | None = None
+        self._last_t: float | None = None
+        self._campaign: dict = {"variants": [], "cap": None, "cases": None}
+        self._variants: dict[str, dict] = {}
+        self._groups: dict[str, dict] = {}
+        self._ops = {
+            "worker_spawns": 0,
+            "worker_deaths": 0,
+            "worker_restarts": 0,
+            "budget_exhausted": 0,
+            "quarantines": 0,
+            "checkpoints_written": 0,
+            "rpc_retries": 0,
+            "chaos_faults": 0,
+        }
+        self._deaths_by_kind: dict[str, int] = {}
+        self._chaos_by_fault: dict[str, int] = {}
+        # A worker restarted without a recent shard re-runs completed
+        # MuTs and re-emits their (byte-identical) mut_finished events;
+        # fold each MuT's histogram once so a healed run's CRASH
+        # counters match the undisturbed run's.  Replay magnitude stays
+        # visible via case_events / replayed_cases.
+        self._folded_muts: set[tuple[str, str]] = set()
+
+    # ------------------------------------------------------------------
+
+    def _variant(self, key: str) -> dict:
+        return self._variants.setdefault(key, _blank_variant())
+
+    def record(self, data: dict) -> None:
+        self.events += 1
+        t = data.get("t")
+        if isinstance(t, (int, float)):
+            if self._first_t is None:
+                self._first_t = float(t)
+            self._last_t = float(t)
+        kind = data.get("kind")
+        handler = getattr(self, f"_fold_{kind}", None)
+        if handler is None:
+            self.malformed += 1
+            return
+        handler(data, t if isinstance(t, (int, float)) else None)
+
+    # -- campaign events ----------------------------------------------
+
+    def _fold_campaign_started(self, data: dict, t) -> None:
+        self._campaign["variants"] = list(data.get("variants", []))
+        self._campaign["cap"] = data.get("cap")
+
+    def _fold_campaign_finished(self, data: dict, t) -> None:
+        self._campaign["cases"] = data.get("cases")
+
+    def _fold_variant_started(self, data: dict, t) -> None:
+        stats = self._variant(data["variant"])
+        if stats["started_t"] is None and t is not None:
+            stats["started_t"] = float(t)
+
+    def _fold_variant_finished(self, data: dict, t) -> None:
+        stats = self._variant(data["variant"])
+        stats["cases"] = max(stats["cases"], int(data.get("cases", 0)))
+        stats["sim_ticks"] = int(data.get("sim_ticks", 0))
+        if t is not None:
+            stats["finished_t"] = float(t)
+
+    def _fold_case_executed(self, data: dict, t) -> None:
+        self._variant(data["variant"])["case_events"] += 1
+
+    def _fold_mut_finished(self, data: dict, t) -> None:
+        key = (str(data.get("variant")), str(data.get("mut")))
+        if key in self._folded_muts:
+            return  # restart replay of an already-folded MuT
+        self._folded_muts.add(key)
+        stats = self._variant(data["variant"])
+        stats["muts"] += 1
+        outcomes = data.get("outcomes", {})
+        for name in sorted(outcomes):
+            stats["outcomes"][name] = stats["outcomes"].get(name, 0) + int(
+                outcomes[name]
+            )
+        if data.get("catastrophic"):
+            stats["catastrophic"] += 1
+        if data.get("interference"):
+            stats["interference"] += 1
+        group = self._groups.setdefault(
+            data.get("group", "?"), {"muts": 0, "cases": 0}
+        )
+        group["muts"] += 1
+        group["cases"] += int(data.get("cases", 0))
+
+    def _fold_mut_quarantined(self, data: dict, t) -> None:
+        key = (str(data.get("variant")), str(data.get("mut")))
+        if key in self._folded_muts:
+            return
+        self._folded_muts.add(key)
+        self._variant(data["variant"])["quarantined"] += 1
+        self._ops["quarantines"] += 1
+
+    def _fold_checkpoint_written(self, data: dict, t) -> None:
+        self._ops["checkpoints_written"] += 1
+
+    # -- operational events -------------------------------------------
+
+    def _fold_worker_spawned(self, data: dict, t) -> None:
+        self._variant(data["variant"])["spawns"] += 1
+        self._ops["worker_spawns"] += 1
+
+    def _fold_worker_finished(self, data: dict, t) -> None:
+        self._variant(data["variant"])
+
+    def _fold_worker_died(self, data: dict, t) -> None:
+        self._variant(data["variant"])["deaths"] += 1
+        self._ops["worker_deaths"] += 1
+        death = str(data.get("death", "?"))
+        self._deaths_by_kind[death] = self._deaths_by_kind.get(death, 0) + 1
+
+    def _fold_worker_restarted(self, data: dict, t) -> None:
+        self._variant(data["variant"])["restarts"] += 1
+        self._ops["worker_restarts"] += 1
+
+    def _fold_budget_exhausted(self, data: dict, t) -> None:
+        self._ops["budget_exhausted"] += 1
+
+    def _fold_rpc_retry(self, data: dict, t) -> None:
+        self._ops["rpc_retries"] += 1
+
+    def _fold_chaos_fault(self, data: dict, t) -> None:
+        self._ops["chaos_faults"] += 1
+        fault = str(data.get("fault", "?"))
+        self._chaos_by_fault[fault] = self._chaos_by_fault.get(fault, 0) + 1
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The folded metrics as plain JSON-compatible data."""
+        wall_s = None
+        if self._first_t is not None and self._last_t is not None:
+            wall_s = round(self._last_t - self._first_t, 6)
+        variants = {}
+        for key in sorted(self._variants):
+            stats = self._variants[key]
+            # A variant that never finished reports the cases its MuT
+            # histograms account for.
+            recorded = stats["cases"] or sum(
+                stats["outcomes"].get(name, 0) for name in sorted(stats["outcomes"])
+            )
+            duration = None
+            if stats["started_t"] is not None and stats["finished_t"] is not None:
+                duration = round(stats["finished_t"] - stats["started_t"], 6)
+            variants[key] = {
+                "muts": stats["muts"],
+                "cases": recorded,
+                "case_events": stats["case_events"],
+                "replayed_cases": max(0, stats["case_events"] - recorded)
+                if stats["case_events"]
+                else 0,
+                "outcomes": {
+                    name: stats["outcomes"][name]
+                    for name in sorted(stats["outcomes"])
+                },
+                "catastrophic_muts": stats["catastrophic"],
+                "interference_muts": stats["interference"],
+                "quarantined_muts": stats["quarantined"],
+                "sim_ticks": stats["sim_ticks"],
+                "wall_s": duration,
+                "cases_per_s": (
+                    round(recorded / duration, 1)
+                    if duration and recorded
+                    else None
+                ),
+                "workers": {
+                    "spawned": stats["spawns"],
+                    "died": stats["deaths"],
+                    "restarted": stats["restarts"],
+                },
+            }
+        return {
+            "events": self.events,
+            "malformed": self.malformed,
+            "wall_s": wall_s,
+            "campaign": dict(self._campaign),
+            "variants": variants,
+            "groups": {
+                name: dict(self._groups[name]) for name in sorted(self._groups)
+            },
+            "ops": {
+                **self._ops,
+                "deaths_by_kind": {
+                    k: self._deaths_by_kind[k]
+                    for k in sorted(self._deaths_by_kind)
+                },
+                "chaos_by_fault": {
+                    k: self._chaos_by_fault[k]
+                    for k in sorted(self._chaos_by_fault)
+                },
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+
+def _fmt_duration(seconds) -> str:
+    if seconds is None:
+        return "-"
+    if seconds >= 60:
+        return f"{int(seconds) // 60}m{seconds % 60:04.1f}s"
+    return f"{seconds:.2f}s"
+
+
+def render_stats(snapshot: dict) -> str:
+    """The human-readable ``repro stats`` report."""
+    lines: list[str] = []
+    campaign = snapshot.get("campaign", {})
+    head = f"Campaign telemetry: {snapshot.get('events', 0)} events"
+    if campaign.get("variants"):
+        head += (
+            f", {len(campaign['variants'])} variants"
+            f" ({','.join(campaign['variants'])})"
+        )
+    if campaign.get("cap") is not None:
+        head += f", cap {campaign['cap']}"
+    lines.append(head)
+    total_cases = campaign.get("cases")
+    wall = snapshot.get("wall_s")
+    summary = []
+    if total_cases is not None:
+        summary.append(f"{total_cases} cases recorded")
+    if wall is not None:
+        summary.append(f"wall clock {_fmt_duration(wall)}")
+        if total_cases:
+            summary.append(f"{total_cases / wall:.1f} cases/s overall" if wall else "")
+    if snapshot.get("malformed"):
+        summary.append(f"{snapshot['malformed']} malformed events skipped")
+    if summary:
+        lines.append("  " + "; ".join(s for s in summary if s))
+    lines.append("")
+
+    variants = snapshot.get("variants", {})
+    if variants:
+        header = (
+            f"{'variant':<9} {'muts':>5} {'cases':>7} {'wall':>8} "
+            f"{'cases/s':>8}  "
+            + " ".join(f"{_short(c):>6}" for c in _CODE_COLUMNS)
+            + f" {'quar':>5}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for key in sorted(variants):
+            row = variants[key]
+            outcomes = row.get("outcomes", {})
+            lines.append(
+                f"{key:<9} {row['muts']:>5} {row['cases']:>7} "
+                f"{_fmt_duration(row.get('wall_s')):>8} "
+                f"{row['cases_per_s'] if row.get('cases_per_s') else '-':>8}  "
+                + " ".join(
+                    f"{outcomes.get(c, 0):>6}" for c in _CODE_COLUMNS
+                )
+                + f" {row.get('quarantined_muts', 0):>5}"
+            )
+        lines.append("")
+        replayed = sum(v.get("replayed_cases", 0) for v in variants.values())
+        executed = sum(v.get("case_events", 0) for v in variants.values())
+        if executed:
+            lines.append(
+                f"case executions: {executed} "
+                f"({replayed} re-executed after worker restarts)"
+            )
+
+    ops = snapshot.get("ops", {})
+    deaths = ops.get("deaths_by_kind", {})
+    death_detail = (
+        " (" + ", ".join(f"{k}: {deaths[k]}" for k in sorted(deaths)) + ")"
+        if deaths
+        else ""
+    )
+    lines.append(
+        f"workers: {ops.get('worker_spawns', 0)} spawned, "
+        f"{ops.get('worker_deaths', 0)} died{death_detail}, "
+        f"{ops.get('worker_restarts', 0)} restarted, "
+        f"{ops.get('budget_exhausted', 0)} budget-exhausted"
+    )
+    lines.append(
+        f"harness: {ops.get('quarantines', 0)} MuTs quarantined, "
+        f"{ops.get('checkpoints_written', 0)} checkpoints written"
+    )
+    chaos = ops.get("chaos_by_fault", {})
+    chaos_detail = (
+        " (" + ", ".join(f"{k}: {chaos[k]}" for k in sorted(chaos)) + ")"
+        if chaos
+        else ""
+    )
+    lines.append(
+        f"service: {ops.get('rpc_retries', 0)} RPC retries, "
+        f"{ops.get('chaos_faults', 0)} chaos faults{chaos_detail}"
+    )
+
+    groups = snapshot.get("groups", {})
+    if groups:
+        lines.append("")
+        lines.append(f"{'group':<24} {'muts':>5} {'cases':>8}")
+        for name in sorted(groups):
+            lines.append(
+                f"{name:<24} {groups[name]['muts']:>5} "
+                f"{groups[name]['cases']:>8}"
+            )
+    return "\n".join(lines)
+
+
+def _short(code_name: str) -> str:
+    return {
+        "CATASTROPHIC": "catast",
+        "RESTART": "restrt",
+        "ABORT": "abort",
+        "PASS_ERROR": "pa-err",
+        "PASS_NO_ERROR": "pas-ok",
+        "SETUP_SKIP": "skip",
+        "NOT_RUN": "notrun",
+    }[code_name]
+
+
+def render_stats_json(snapshot: dict) -> str:
+    return json.dumps(snapshot, indent=2, sort_keys=True)
+
+
+# Self-check: every column short name is defined for the CaseCode enum
+# we report on (drift here would crash report rendering at runtime).
+assert set(_CODE_COLUMNS) == {code.name for code in CaseCode}

@@ -1,0 +1,77 @@
+"""Terminal progress rendering for multi-variant campaigns.
+
+The original CLI progress display was a single ``\\r``-rewritten status
+line, which garbles as soon as ``--jobs > 1`` interleaves updates from
+several variants onto the same line.  :class:`ProgressRenderer` keeps
+**one status line per variant**: on a TTY the block of lines is redrawn
+in place with cursor-up / erase-line escapes; on anything else (a CI
+log, a pipe) it degrades to one plain line per update so the output
+stays grep-able instead of a soup of carriage returns.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO
+
+
+class ProgressRenderer:
+    """Render per-variant campaign progress to a stream.
+
+    :param stream: output stream (default ``sys.stderr``).
+    :param tty: force TTY (redraw-in-place) or non-TTY (line-per-update)
+        mode; default asks the stream's ``isatty()``.
+    :param width: clamp rendered lines to this many columns on a TTY so
+        a redraw never wraps (wrapping would break the cursor-up math).
+    """
+
+    def __init__(
+        self,
+        stream: IO[str] | None = None,
+        tty: bool | None = None,
+        width: int = 100,
+    ) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        if tty is None:
+            isatty = getattr(self._stream, "isatty", None)
+            tty = bool(isatty()) if callable(isatty) else False
+        self._tty = tty
+        self._width = width
+        self._order: list[str] = []
+        self._lines: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+
+    def update(self, variant: str, mut: str, position: int, total: int) -> None:
+        """The campaign :data:`~repro.core.campaign.ProgressFn` hook."""
+        line = f"[{variant:8s}] {position + 1:3d}/{total} {mut}"
+        if variant not in self._lines:
+            self._order.append(variant)
+            if self._tty:
+                self._stream.write("\n")  # open a dedicated row
+        self._lines[variant] = line
+        if self._tty:
+            self._redraw()
+        else:
+            self._stream.write(line + "\n")
+            self._stream.flush()
+
+    def _redraw(self) -> None:
+        count = len(self._order)
+        parts = [f"\x1b[{count}A"]  # to the top of the block
+        for key in self._order:
+            parts.append("\x1b[2K" + self._lines[key][: self._width] + "\n")
+        self._stream.write("".join(parts))
+        self._stream.flush()
+
+    def close(self) -> None:
+        """Erase the status block (TTY) so the summary that follows
+        starts on a clean line; a no-op off-TTY."""
+        count = len(self._order)
+        if self._tty and count:
+            self._stream.write(
+                f"\x1b[{count}A" + "\x1b[2K\n" * count + f"\x1b[{count}A"
+            )
+            self._stream.flush()
+        self._order = []
+        self._lines = {}

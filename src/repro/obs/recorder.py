@@ -1,0 +1,174 @@
+"""Recorders: where telemetry events go.
+
+A recorder receives :class:`~repro.obs.events.Event` objects (or their
+plain-dict form, when events cross a process boundary) and does
+something durable with them.  The contract is deliberately tiny::
+
+    recorder.emit(event)      # typed path (converts to a dict)
+    recorder.record(data)     # plain-dict path (already converted)
+    recorder.close()
+
+**Clock policy.**  This module is the only place in the codebase allowed
+to read a real wall clock into recorded data: recorders stamp a ``t``
+field (seconds from an arbitrary monotonic origin, via
+:func:`wall_clock`) onto each record at emission time, purely so a
+stats reader can compute throughput and phase durations.  Event
+*contents* never contain wall time -- simulated-time events carry sim
+ticks instead -- which is what keeps serial and parallel event streams
+byte-identical after stripping ``t``.  The determinism lint enforces
+this boundary: ``time.perf_counter`` is a DET-WALLCLOCK violation
+everywhere except ``obs/`` (see
+:data:`repro.lint.manifests.WALLCLOCK_ALLOWANCES`).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Callable, IO
+
+from repro.obs.events import Event
+
+
+def wall_clock() -> float:
+    """The telemetry timestamp source: monotonic seconds, suitable only
+    for durations.  Injectable everywhere it is used, so tests can feed
+    a deterministic clock."""
+    return time.perf_counter()
+
+
+class Recorder:
+    """Base recorder: routes typed events onto the plain-dict path."""
+
+    def emit(self, event: Event) -> None:
+        self.record(event.as_dict())
+
+    def record(self, data: dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def __enter__(self) -> "Recorder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class MemoryRecorder(Recorder):
+    """Collects records in a list (tests, in-process aggregation).
+
+    With the default ``clock=None`` records are kept exactly as emitted
+    (no ``t`` field) -- the form the equivalence tests compare.  Pass a
+    clock to mimic :class:`JsonlRecorder`'s stamping.
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self.records: list[dict] = []
+        self._clock = clock
+
+    def record(self, data: dict) -> None:
+        if self._clock is not None:
+            data = {"t": self._clock(), **data}
+        self.records.append(data)
+
+
+class JsonlRecorder(Recorder):
+    """Streams one JSON object per line to a file.
+
+    Records are stamped with a ``t`` wall timestamp (see the module
+    docstring for the clock policy), buffered, and written+flushed every
+    ``flush_every`` records so an operator can tail the file while the
+    campaign runs without paying a write and a syscall per test case.
+    The hot path splices the timestamp onto a single reused-encoder pass
+    over the record instead of copying the dict -- a campaign emits one
+    event per test case, so per-record microseconds are the recorder's
+    entire overhead budget.
+
+    :param target: path to (over)write, or an open text stream.
+    :param clock: injectable timestamp source (default
+        :func:`wall_clock`).
+    :param flush_every: write and flush after this many records.
+    """
+
+    def __init__(
+        self,
+        target: str | pathlib.Path | IO[str],
+        clock: Callable[[], float] | None = None,
+        flush_every: int = 1000,
+    ) -> None:
+        if hasattr(target, "write"):
+            self._fh: IO[str] = target  # type: ignore[assignment]
+            self._owns = False
+        else:
+            self._fh = open(target, "w", encoding="utf-8")
+            self._owns = True
+        self._clock = clock if clock is not None else wall_clock
+        self._flush_every = max(1, flush_every)
+        self._encode = json.JSONEncoder(separators=(",", ":")).encode
+        self._lines: list[str] = []
+        self.count = 0
+
+    def record(self, data: dict) -> None:
+        body = self._encode(data)
+        if body == "{}":  # defensive: keep the splice valid JSON
+            body = '{"t":%s}' % round(self._clock(), 6)
+            line = body + "\n"
+        else:
+            line = f'{{"t":{round(self._clock(), 6)},{body[1:]}\n'
+        self._lines.append(line)
+        self.count += 1
+        if len(self._lines) >= self._flush_every:
+            self._drain()
+
+    def _drain(self) -> None:
+        if self._lines:
+            self._fh.write("".join(self._lines))
+            self._lines.clear()
+            self._fh.flush()
+
+    def close(self) -> None:
+        self._drain()
+        if self._owns:
+            self._fh.close()
+
+
+class TeeRecorder(Recorder):
+    """Fans each record out to several recorders (e.g. a JSONL file plus
+    a live :class:`~repro.obs.aggregate.MetricsAggregator`)."""
+
+    def __init__(self, *recorders: Recorder) -> None:
+        self._recorders = recorders
+
+    def record(self, data: dict) -> None:
+        for recorder in self._recorders:
+            recorder.record(dict(data))
+
+    def close(self) -> None:
+        for recorder in self._recorders:
+            recorder.close()
+
+
+def read_events(path: str | pathlib.Path) -> tuple[list[dict], int]:
+    """Load a JSONL event file.  Returns ``(records, malformed)`` --
+    unparseable lines are counted, not fatal (a killed run may leave a
+    torn final line)."""
+    records: list[dict] = []
+    malformed = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                malformed += 1
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+            else:
+                malformed += 1
+    return records, malformed

@@ -1,0 +1,65 @@
+"""``python -m repro stats``: render a telemetry event file as a report.
+
+Usage::
+
+    python -m repro --events events.jsonl ...   # write telemetry
+    python -m repro stats events.jsonl          # text report
+    python -m repro stats events.jsonl --json   # machine-readable
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.obs.aggregate import MetricsAggregator, render_stats, render_stats_json
+from repro.obs.recorder import read_events
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro stats",
+        description=(
+            "Summarise a structured telemetry file written by "
+            "`python -m repro --events PATH`: per-variant throughput and "
+            "CRASH-scale outcome counters, worker restart/quarantine "
+            "totals, and service-layer retry/chaos pressure."
+        ),
+    )
+    parser.add_argument("events", metavar="EVENTS.JSONL", help="event file")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the aggregated snapshot as JSON instead of text",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        records, malformed = read_events(args.events)
+    except OSError as exc:
+        parser.error(f"{args.events}: {exc}")
+    aggregator = MetricsAggregator()
+    for record in records:
+        aggregator.record(record)
+    aggregator.malformed += malformed
+    snapshot = aggregator.snapshot()
+    try:
+        if args.json:
+            print(render_stats_json(snapshot))
+        else:
+            print(render_stats(snapshot))
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Reader went away (`repro stats ... | head`): exit quietly with
+        # the conventional SIGPIPE status.  Point stdout at devnull so
+        # the interpreter's exit-time flush cannot raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
+    if not records:
+        sys.stderr.write(f"warning: {args.events} contains no events\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via `repro stats`
+    raise SystemExit(main())

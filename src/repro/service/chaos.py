@@ -88,10 +88,14 @@ class ChaosTransport(Transport):
         inner: Transport,
         config: ChaosConfig | None = None,
         sleep=time.sleep,
+        recorder=None,
     ) -> None:
         self.inner = inner
         self.config = config or ChaosConfig()
         self.stats = ChaosStats()
+        #: Optional :class:`repro.obs.recorder.Recorder` receiving a
+        #: ``chaos_fault`` event per injected fault.
+        self.recorder = recorder
         self._rng = random.Random(self.config.seed)
         self._sleep = sleep
         self._pending: list[bytes] = []  # duplicated inbound records
@@ -100,13 +104,20 @@ class ChaosTransport(Transport):
 
     # ------------------------------------------------------------------
 
-    def _check_disconnect(self) -> None:
+    def _note(self, fault: str, direction: str) -> None:
+        if self.recorder is not None:
+            from repro.obs.events import ChaosFault
+
+            self.recorder.emit(ChaosFault(fault, direction))
+
+    def _check_disconnect(self, direction: str) -> None:
         if self._dead:
             raise ChaosDisconnect("chaos: connection is down")
         after = self.config.disconnect_after
         if after is not None and self._records_seen >= after:
             self._dead = True
             self.stats.disconnects += 1
+            self._note("disconnect", direction)
             raise ChaosDisconnect(
                 f"chaos: connection severed after {after} records"
             )
@@ -114,13 +125,15 @@ class ChaosTransport(Transport):
     def _chance(self, rate: float) -> bool:
         return rate > 0 and self._rng.random() < rate
 
-    def _mutate(self, payload: bytes) -> bytes:
+    def _mutate(self, payload: bytes, direction: str) -> bytes:
         """Apply corruption/truncation faults to a payload copy."""
         if self._chance(self.config.truncate_rate) and len(payload) > 1:
             self.stats.truncations += 1
+            self._note("truncate", direction)
             payload = payload[: self._rng.randrange(1, len(payload))]
         if self._chance(self.config.corrupt_rate) and payload:
             self.stats.corruptions += 1
+            self._note("corrupt", direction)
             mutated = bytearray(payload)
             for _ in range(self._rng.randint(1, 3)):
                 index = self._rng.randrange(len(mutated))
@@ -128,24 +141,27 @@ class ChaosTransport(Transport):
             payload = bytes(mutated)
         return payload
 
-    def _maybe_delay(self) -> None:
+    def _maybe_delay(self, direction: str) -> None:
         if self._chance(self.config.delay_rate):
             self.stats.delays += 1
+            self._note("delay", direction)
             self._sleep(self.config.delay_s)
 
     # ------------------------------------------------------------------
 
     def send_record(self, payload: bytes) -> None:
-        self._check_disconnect()
+        self._check_disconnect("send")
         self._records_seen += 1
         if self._chance(self.config.drop_rate):
             self.stats.drops += 1
+            self._note("drop", "send")
             return
-        self._maybe_delay()
-        payload = self._mutate(payload)
+        self._maybe_delay("send")
+        payload = self._mutate(payload, "send")
         copies = 2 if self._chance(self.config.dup_rate) else 1
         if copies == 2:
             self.stats.dups += 1
+            self._note("dup", "send")
         for _ in range(copies):
             self.inner.send_record(payload)
         self.stats.sent += 1
@@ -153,7 +169,7 @@ class ChaosTransport(Transport):
     def recv_record(self, timeout: float | None = None) -> bytes:
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
-            self._check_disconnect()
+            self._check_disconnect("recv")
             if self._pending:
                 record = self._pending.pop(0)
             else:
@@ -166,13 +182,15 @@ class ChaosTransport(Transport):
             self._records_seen += 1
             if self._chance(self.config.drop_rate):
                 self.stats.drops += 1
+                self._note("drop", "recv")
                 continue  # lost in transit: keep waiting
             if self._chance(self.config.dup_rate):
                 self.stats.dups += 1
+                self._note("dup", "recv")
                 self._pending.append(record)
-            self._maybe_delay()
+            self._maybe_delay("recv")
             self.stats.received += 1
-            return self._mutate(record)
+            return self._mutate(record, "recv")
 
     def close(self) -> None:
         self.inner.close()

@@ -295,12 +295,18 @@ class RpcClient:
     """
 
     def __init__(
-        self, transport: Transport, retry: RetryPolicy | None = None
+        self,
+        transport: Transport,
+        retry: RetryPolicy | None = None,
+        recorder=None,
     ) -> None:
         self._transport = transport
         self._xids = itertools.count(1)
         self.retry = retry
         self.stats = ClientStats()
+        #: Optional :class:`repro.obs.recorder.Recorder` receiving an
+        #: ``rpc_retry`` event per retransmission.
+        self.recorder = recorder
         self._jitter_rng = (
             random.Random(retry.jitter_seed) if retry is not None else None
         )
@@ -322,6 +328,10 @@ class RpcClient:
         for attempt in range(policy.attempts):
             if attempt:
                 self.stats.retries += 1
+                if self.recorder is not None:
+                    from repro.obs.events import RpcRetry
+
+                    self.recorder.emit(RpcRetry(attempt, xid))
                 policy.sleep(
                     policy.backoff(attempt - 1, rng=self._jitter_rng)
                 )

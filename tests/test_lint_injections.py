@@ -165,3 +165,58 @@ def test_injection_report_artifact_shape(doctored_src, tmp_path):
     (finding,) = doc["findings"]
     assert finding["code"] == "EXC-BARE"
     assert finding["new"] is True
+
+
+def test_perf_counter_in_core_is_caught(doctored_src):
+    """The obs/ allowance must not leak: time.perf_counter anywhere in a
+    deterministic package outside obs/ is still a violation."""
+    append(
+        doctored_src,
+        "core/classify.py",
+        """
+        def _injected_perf_read():
+            import time
+
+            return time.perf_counter()
+        """,
+    )
+    proc = run_lint(doctored_src)
+    assert_caught(proc, "determinism", "DET-WALLCLOCK")
+    assert "repro/core/classify.py" in proc.stdout
+
+
+def test_perf_counter_in_obs_is_allowed(doctored_src):
+    """The WALLCLOCK_ALLOWANCES manifest grants obs/ exactly
+    time.perf_counter -- a recorder stamping telemetry records must
+    lint clean without a pragma."""
+    append(
+        doctored_src,
+        "obs/recorder.py",
+        """
+        def _injected_extra_stamp():
+            import time
+
+            return time.perf_counter()
+        """,
+    )
+    proc = run_lint(doctored_src)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_absolute_wallclock_in_obs_is_caught(doctored_src):
+    """The allowance is per call, not per package: absolute time.time
+    in obs/ (a calendar timestamp leaking into event files) still
+    fails."""
+    append(
+        doctored_src,
+        "obs/events.py",
+        """
+        def _injected_calendar_read():
+            import time
+
+            return time.time()
+        """,
+    )
+    proc = run_lint(doctored_src)
+    assert_caught(proc, "determinism", "DET-WALLCLOCK")
+    assert "repro/obs/events.py" in proc.stdout
