@@ -1,0 +1,91 @@
+"""Benchmark the multi-tenant campaign service's multiplexing win.
+
+``run_service_load`` drives 1, 2, and 4 concurrent tenants (distinct
+OS-variant shards) against one :class:`CampaignService` with two worker
+slots, measuring wall-clock completion of the whole tenant cohort.  The
+baseline is the same specs run serially in-process.  Every service run
+verifies each streamed result set against its serial twin, so the
+benchmark doubles as a correctness check -- multiplexing buys latency,
+never data.
+
+A summary is written to ``benchmarks/out/service_mux.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import ALL_VARIANTS, Campaign, CampaignConfig
+from repro.service import CampaignService
+from repro.triage.load_test import (
+    SERVICE_LOAD_MUTS,
+    SERVICE_LOAD_VARIANTS,
+    run_service_load,
+)
+
+CAP = 40
+TENANT_COUNTS = [1, 2, 4]
+
+_collected: dict[int, dict[str, float]] = {}
+
+
+def serial_baseline(tenants: int) -> float:
+    by_key = {p.key: p for p in ALL_VARIANTS}
+    started = time.perf_counter()
+    for index in range(tenants):
+        key = SERVICE_LOAD_VARIANTS[index % len(SERVICE_LOAD_VARIANTS)]
+        Campaign(
+            [by_key[key]],
+            config=CampaignConfig(cap=CAP),
+            muts=list(SERVICE_LOAD_MUTS),
+        ).run()
+    return time.perf_counter() - started
+
+
+def run_cohort(tenants: int, tmp_path) -> dict[str, float]:
+    service = CampaignService(
+        tmp_path / f"mux-{tenants}", max_workers=2, lease_s=10.0
+    )
+    host, port = service.listen()
+    started = time.perf_counter()
+    try:
+        report = run_service_load(host, port, tenants=tenants, cap=CAP)
+    finally:
+        service.close()
+    elapsed = time.perf_counter() - started
+    assert report.all_ok, report.failures()
+    return {
+        "service_s": elapsed,
+        "serial_s": serial_baseline(tenants),
+        "cases": float(sum(o.cases for o in report.outcomes)),
+    }
+
+
+@pytest.mark.parametrize("tenants", TENANT_COUNTS)
+def test_cohort_completion(benchmark, tenants, tmp_path):
+    timings = benchmark.pedantic(
+        run_cohort, args=(tenants, tmp_path), rounds=1, iterations=1
+    )
+    _collected[tenants] = timings
+
+
+def test_write_mux_summary(artifact_dir):
+    lines = [
+        "Multi-tenant service cohort completion vs serial "
+        f"(cap {CAP}, {len(SERVICE_LOAD_MUTS)} MuTs, 2 worker slots)",
+        "",
+        f"{'tenants':>8s} {'cases':>7s} {'service':>9s} {'serial':>9s}",
+    ]
+    for tenants in TENANT_COUNTS:
+        timings = _collected.get(tenants)
+        if timings is None:
+            continue
+        lines.append(
+            f"{tenants:8d} {int(timings['cases']):7d} "
+            f"{timings['service_s']:8.2f}s {timings['serial_s']:8.2f}s"
+        )
+    (artifact_dir / "service_mux.txt").write_text(
+        "\n".join(lines) + "\n", encoding="utf-8"
+    )

@@ -6,6 +6,8 @@ Usage::
                     [--tables table1,table2,figure1,table3,figure2]
     python -m repro lint [...]        # static analysis (repro.lint.cli)
     python -m repro stats EVENTS      # telemetry report (repro.obs)
+    python -m repro serve [...]       # multi-tenant campaign service
+    python -m repro submit [...]      # submit a campaign to a service
 
 With no arguments this runs the full seven-variant campaign at the
 ``BALLISTA_CAP`` cap (default 300) and prints every table and figure the
@@ -63,6 +65,16 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.stats_cli import main as stats_main
 
         return stats_main(argv[1:])
+    if argv[:1] == ["serve"]:
+        # `python -m repro serve --data DIR`: the campaign service.
+        from repro.service.service_cli import serve_main
+
+        return serve_main(argv[1:])
+    if argv[:1] == ["submit"]:
+        # `python -m repro submit --port P --variants ...`.
+        from repro.service.service_cli import submit_main
+
+        return submit_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(

@@ -125,7 +125,8 @@ def _fault_injector(events=None):
 
 class _ObsForwarder(Recorder):
     """Worker-side telemetry bridge: ships event dicts to the parent as
-    ``("obs", variant, event_dict)`` queue messages.
+    ``("obs", tag, event_dict)`` queue messages (the tag is the
+    worker's routing key -- the variant, unless the spec set one).
 
     Campaign-scope events are dropped here: each worker drives a
     single-variant :class:`Campaign`, whose campaign-level bookkeeping
@@ -138,9 +139,9 @@ class _ObsForwarder(Recorder):
 
     _DROP_KINDS = frozenset({"campaign_started", "campaign_finished"})
 
-    def __init__(self, events_queue, variant: str) -> None:
+    def __init__(self, events_queue, tag: str) -> None:
         self._queue = events_queue
-        self._variant = variant
+        self._tag = tag
 
     def record(self, data: dict) -> None:
         if data.get("kind") in self._DROP_KINDS:
@@ -149,7 +150,7 @@ class _ObsForwarder(Recorder):
             data.get("scope") == "campaign"
         ):
             return  # the worker's "combined" save is just its shard
-        self._queue.put(("obs", self._variant, data))
+        self._queue.put(("obs", self._tag, data))
 
 
 def _personality_by_key(key: str) -> Personality:
@@ -168,13 +169,20 @@ def _variant_worker(spec: dict, events) -> None:
     config fields, shard path, resume document, quarantine verdicts,
     heartbeat throttle); everything else -- registries, generator,
     machine -- is rebuilt inside the worker.  Emits ``("progress",
-    variant, mut, position, total)`` events while running, throttled
-    ``("heartbeat", variant, "api:name", case_index)`` liveness beacons
+    tag, mut, position, total)`` events while running, throttled
+    ``("heartbeat", tag, "api:name", case_index)`` liveness beacons
     for the supervisor's wall-clock watchdog, and finishes with either
-    ``("done", variant, checkpoint_dict)`` or ``("error", variant,
+    ``("done", tag, checkpoint_dict)`` or ``("error", tag,
     traceback_text)``.
+
+    ``tag`` is ``spec["tag"]`` when present, else the variant key.  The
+    campaign runners never set one (their unit of work *is* the
+    variant), but the multi-tenant campaign service leases the same
+    variant to several concurrent jobs and needs each worker's messages
+    routed to its own shard, so it tags specs ``"<job>/<variant>"``.
     """
     key = spec["variant"]
+    tag = spec.get("tag") or key
     try:
         personality = _personality_by_key(key)
         config = CampaignConfig(**spec["config"])
@@ -203,10 +211,10 @@ def _variant_worker(spec: dict, events) -> None:
             resume = checkpoint_from_dict(spec["resume"])
 
         def forward(variant: str, mut: str, position: int, total: int) -> None:
-            events.put(("progress", variant, mut, position, total))
+            events.put(("progress", tag, mut, position, total))
 
         fault = _fault_injector(events)
-        recorder = _ObsForwarder(events, key) if spec.get("events") else None
+        recorder = _ObsForwarder(events, tag) if spec.get("events") else None
         hb_interval = spec.get("heartbeat_interval", 1.0)
         last_beat = 0.0
 
@@ -220,7 +228,7 @@ def _variant_worker(spec: dict, events) -> None:
             # beacons are throttled to keep the queue quiet.
             if case_index == 0 or now - last_beat >= hb_interval:
                 last_beat = now
-                events.put(("heartbeat", variant, mut, case_index))
+                events.put(("heartbeat", tag, mut, case_index))
 
         campaign.run(
             progress=forward,
@@ -232,10 +240,10 @@ def _variant_worker(spec: dict, events) -> None:
             recorder=recorder,
         )
         events.put(
-            ("done", key, checkpoint_to_dict(campaign.last_checkpoint))
+            ("done", tag, checkpoint_to_dict(campaign.last_checkpoint))
         )
     except BaseException:
-        events.put(("error", key, traceback.format_exc()))
+        events.put(("error", tag, traceback.format_exc()))
 
 
 class ParallelCampaign:
@@ -468,7 +476,7 @@ class ParallelCampaign:
                 while pending and len(running) < self.jobs:
                     spec = pending.pop(0)
                     worker = self._spawn(ctx, spec, events)
-                    running[spec["variant"]] = worker
+                    running[spec.get("tag") or spec["variant"]] = worker
                     if recorder is not None:
                         recorder.emit(
                             obs_events.WorkerSpawned(

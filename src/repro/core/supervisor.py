@@ -259,7 +259,13 @@ class SupervisedCampaign(ParallelCampaign):
         policy = self.policy
         ctx = multiprocessing.get_context("spawn")
         events = ctx.Queue()
-        spec_by_key = {spec["variant"]: spec for spec in specs}
+        # Specs route by tag (the variant key unless a caller tagged
+        # them -- the campaign service runs several jobs that share a
+        # variant and tags "<job>/<variant>"); every dict below is
+        # keyed by that same tag, matching the workers' messages.
+        spec_by_key = {
+            (spec.get("tag") or spec["variant"]): spec for spec in specs
+        }
         pending = list(specs)
         running: dict[str, object] = {}
         shards: dict[str, CampaignCheckpoint] = {}
@@ -321,7 +327,8 @@ class SupervisedCampaign(ParallelCampaign):
                     # Nothing alive to produce events: sleep out the
                     # earliest backoff instead of spinning on the queue.
                     wait = min(
-                        resume_at.get(s["variant"], 0.0) for s in pending
+                        resume_at.get(s.get("tag") or s["variant"], 0.0)
+                        for s in pending
                     ) - policy.clock()
                     if wait > 0:
                         time.sleep(min(wait, 0.05))
@@ -329,7 +336,7 @@ class SupervisedCampaign(ParallelCampaign):
                 for spec in list(pending):
                     if len(running) >= self.jobs:
                         break
-                    key = spec["variant"]
+                    key = spec.get("tag") or spec["variant"]
                     if key in errors or resume_at.get(key, 0.0) > now:
                         continue
                     pending.remove(spec)
@@ -342,7 +349,8 @@ class SupervisedCampaign(ParallelCampaign):
                         )
                     )
                 if not running and not any(
-                    s["variant"] not in errors for s in pending
+                    (s.get("tag") or s["variant"]) not in errors
+                    for s in pending
                 ):
                     break  # only budget-exhausted variants remain
                 message = None
@@ -369,7 +377,9 @@ class SupervisedCampaign(ParallelCampaign):
                         # A watchdog race can park a respawn for a
                         # variant that actually finished: cancel it.
                         pending[:] = [
-                            s for s in pending if s["variant"] != key
+                            s
+                            for s in pending
+                            if (s.get("tag") or s["variant"]) != key
                         ]
                     else:  # "error": an exception inside the worker
                         worker = running.get(key)

@@ -119,4 +119,17 @@ SERIALIZATION_PINS: tuple[SerializationPin, ...] = (
             "supervision",
         ),
     ),
+    SerializationPin(
+        cls="repro.service.queue.JobSpec",
+        version_const="repro.service.queue.QUEUE_VERSION",
+        version=1,
+        fields=(
+            "tenant",
+            "job_key",
+            "variants",
+            "cap",
+            "muts",
+            "checkpoint_every",
+        ),
+    ),
 )

@@ -72,6 +72,15 @@ class MetricsAggregator(Recorder):
             "checkpoints_written": 0,
             "rpc_retries": 0,
             "chaos_faults": 0,
+            "protocol_errors": 0,
+            "jobs_submitted": 0,
+            "jobs_finished": 0,
+            "jobs_failed": 0,
+            "leases_granted": 0,
+            "leases_expired": 0,
+            "leases_reassigned": 0,
+            "client_disconnects": 0,
+            "drains": 0,
         }
         self._deaths_by_kind: dict[str, int] = {}
         self._chaos_by_fault: dict[str, int] = {}
@@ -187,6 +196,35 @@ class MetricsAggregator(Recorder):
         self._ops["chaos_faults"] += 1
         fault = str(data.get("fault", "?"))
         self._chaos_by_fault[fault] = self._chaos_by_fault.get(fault, 0) + 1
+
+    # -- campaign-service events --------------------------------------
+
+    def _fold_protocol_error(self, data: dict, t) -> None:
+        self._ops["protocol_errors"] += 1
+
+    def _fold_job_submitted(self, data: dict, t) -> None:
+        self._ops["jobs_submitted"] += 1
+
+    def _fold_job_finished(self, data: dict, t) -> None:
+        self._ops["jobs_finished"] += 1
+
+    def _fold_job_failed(self, data: dict, t) -> None:
+        self._ops["jobs_failed"] += 1
+
+    def _fold_lease_granted(self, data: dict, t) -> None:
+        self._ops["leases_granted"] += 1
+
+    def _fold_lease_expired(self, data: dict, t) -> None:
+        self._ops["leases_expired"] += 1
+
+    def _fold_lease_reassigned(self, data: dict, t) -> None:
+        self._ops["leases_reassigned"] += 1
+
+    def _fold_client_disconnected(self, data: dict, t) -> None:
+        self._ops["client_disconnects"] += 1
+
+    def _fold_drain_started(self, data: dict, t) -> None:
+        self._ops["drains"] += 1
 
     # ------------------------------------------------------------------
 
@@ -355,6 +393,29 @@ def render_stats(snapshot: dict) -> str:
         f"service: {ops.get('rpc_retries', 0)} RPC retries, "
         f"{ops.get('chaos_faults', 0)} chaos faults{chaos_detail}"
     )
+    service_v2 = (
+        ops.get("jobs_submitted", 0)
+        or ops.get("leases_granted", 0)
+        or ops.get("client_disconnects", 0)
+        or ops.get("protocol_errors", 0)
+        or ops.get("drains", 0)
+    )
+    if service_v2:
+        # Only multi-tenant service runs produce these events; plain
+        # campaign telemetry keeps its historical report shape.
+        lines.append(
+            f"queue: {ops.get('jobs_submitted', 0)} jobs submitted, "
+            f"{ops.get('jobs_finished', 0)} finished, "
+            f"{ops.get('jobs_failed', 0)} failed; "
+            f"leases: {ops.get('leases_granted', 0)} granted, "
+            f"{ops.get('leases_expired', 0)} expired, "
+            f"{ops.get('leases_reassigned', 0)} reassigned"
+        )
+        lines.append(
+            f"clients: {ops.get('client_disconnects', 0)} disconnects, "
+            f"{ops.get('protocol_errors', 0)} protocol errors, "
+            f"{ops.get('drains', 0)} drains"
+        )
 
     groups = snapshot.get("groups", {})
     if groups:

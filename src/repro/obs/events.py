@@ -331,6 +331,161 @@ class ChaosFault(Event):
         }
 
 
+@dataclass(frozen=True)
+class ProtocolViolation(Event):
+    """A transport stream violated the record-marking protocol and the
+    connection was closed (``where`` is ``"client"`` or ``"server"``)."""
+
+    where: str
+    detail: str
+    kind = "protocol_error"
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "where": self.where,
+            "detail": self.detail[:500],
+        }
+
+
+# ----------------------------------------------------------------------
+# Campaign-service events (the multi-tenant queue/lease machinery)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobSubmitted(Event):
+    """A tenant's campaign spec entered the durable job queue."""
+
+    job_id: str
+    tenant: str
+    variants: tuple[str, ...]
+    cap: int
+    kind = "job_submitted"
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "variants": list(self.variants),
+            "cap": self.cap,
+        }
+
+
+@dataclass(frozen=True)
+class JobFinished(Event):
+    """Every shard of a job completed and its results document was
+    saved."""
+
+    job_id: str
+    cases: int
+    kind = "job_finished"
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, "job_id": self.job_id, "cases": self.cases}
+
+
+@dataclass(frozen=True)
+class JobFailed(Event):
+    """A job was abandoned: one of its shards exhausted its attempt
+    budget."""
+
+    job_id: str
+    why: str
+    kind = "job_failed"
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, "job_id": self.job_id, "why": self.why[:500]}
+
+
+@dataclass(frozen=True)
+class LeaseGranted(Event):
+    """A shard was leased to a worker (``attempt`` counts from 1; a
+    reassignment bumps it)."""
+
+    job_id: str
+    variant: str
+    lease_id: str
+    attempt: int
+    kind = "lease_granted"
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "job_id": self.job_id,
+            "variant": self.variant,
+            "lease_id": self.lease_id,
+            "attempt": self.attempt,
+        }
+
+
+@dataclass(frozen=True)
+class LeaseExpired(Event):
+    """A lease's holder went silent past its deadline; the shard is
+    back on the queue."""
+
+    job_id: str
+    variant: str
+    lease_id: str
+    stale_s: float
+    kind = "lease_expired"
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "job_id": self.job_id,
+            "variant": self.variant,
+            "lease_id": self.lease_id,
+            "stale_s": self.stale_s,
+        }
+
+
+@dataclass(frozen=True)
+class LeaseReassigned(Event):
+    """A shard whose earlier lease died was granted to a fresh worker,
+    resuming from the shard checkpoint."""
+
+    job_id: str
+    variant: str
+    attempt: int
+    kind = "lease_reassigned"
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "job_id": self.job_id,
+            "variant": self.variant,
+            "attempt": self.attempt,
+        }
+
+
+@dataclass(frozen=True)
+class ClientDisconnected(Event):
+    """A service connection ended (``reason``: ``"eof"``, ``"error"``,
+    ``"protocol_error"``, or ``"drain"``).  Jobs are durable, so a
+    disconnected client loses nothing -- it reconnects and resumes its
+    result stream from its cursor."""
+
+    reason: str
+    kind = "client_disconnected"
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, "reason": self.reason}
+
+
+@dataclass(frozen=True)
+class DrainStarted(Event):
+    """SIGTERM drain began: no new leases, in-flight shards checkpoint,
+    the queue persists, then the service exits 0."""
+
+    pending_jobs: int
+    kind = "drain_started"
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, "pending_jobs": self.pending_jobs}
+
+
 # ----------------------------------------------------------------------
 # The deterministic per-variant stream
 # ----------------------------------------------------------------------

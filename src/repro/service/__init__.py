@@ -12,9 +12,16 @@ package reproduces that architecture:
   or an in-process loopback transport.
 * :mod:`repro.service.server` -- the central test server: hands out
   deterministic test plans, collects per-case results, builds the
-  campaign :class:`~repro.core.results.ResultSet`.
+  campaign :class:`~repro.core.results.ResultSet`.  Also home of the
+  multi-tenant :class:`~repro.service.server.CampaignService`: a
+  selector-multiplexed control plane with a durable job queue
+  (:mod:`repro.service.queue`) and shard leases
+  (:mod:`repro.service.leases`) -- clients submit campaign specs, the
+  service runs them in leased worker processes and streams results back.
 * :mod:`repro.service.client` -- the portable testing client: runs one
   OS variant's tests against its simulated machine and reports back.
+  Also the :class:`~repro.service.client.ServiceClient` for the
+  campaign service's submit/status/fetch API.
 * :mod:`repro.service.serial` + :mod:`repro.service.ce_client` -- the
   Windows CE split client: test generation on the "NT host", execution
   on the "CE target" over a serial link with file-polling handshakes.
@@ -26,31 +33,54 @@ from repro.service.chaos import (
     ChaosDisconnect,
     ChaosStats,
     ChaosTransport,
+    chaos_rate_from_env,
+    chaos_seed_from_env,
 )
-from repro.service.client import BallistaClient
+from repro.service.client import (
+    BallistaClient,
+    ServiceClient,
+    ServiceError,
+    default_connect_timeout,
+)
+from repro.service.leases import Lease, LeaseError, LeaseManager
+from repro.service.queue import JobQueue, JobRecord, JobSpec
 from repro.service.rpc import (
     LoopbackTransport,
+    ProtocolError,
     RetryPolicy,
     RpcClient,
     RpcError,
     RpcTimeout,
 )
 from repro.service.serial import SerialLink
-from repro.service.server import BallistaServer
+from repro.service.server import BallistaServer, CampaignService
 
 __all__ = [
     "BallistaClient",
     "BallistaServer",
     "CEHostClient",
     "CETargetAgent",
+    "CampaignService",
     "ChaosConfig",
     "ChaosDisconnect",
     "ChaosStats",
     "ChaosTransport",
+    "JobQueue",
+    "JobRecord",
+    "JobSpec",
+    "Lease",
+    "LeaseError",
+    "LeaseManager",
     "LoopbackTransport",
+    "ProtocolError",
     "RetryPolicy",
     "RpcClient",
     "RpcError",
     "RpcTimeout",
     "SerialLink",
+    "ServiceClient",
+    "ServiceError",
+    "chaos_rate_from_env",
+    "chaos_seed_from_env",
+    "default_connect_timeout",
 ]

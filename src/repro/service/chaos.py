@@ -18,15 +18,49 @@ client or link that died mid-campaign.
 
 from __future__ import annotations
 
+import os
 import random
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from repro.service.rpc import RpcError, RpcTimeout, Transport
 
 
 class ChaosDisconnect(RpcError):
     """The chaos schedule severed this connection."""
+
+
+def chaos_rate_from_env() -> float:
+    """Parse ``BALLISTA_CHAOS_RATE`` (a probability, default 0).
+
+    Raises :class:`ValueError` naming the variable on junk, negatives,
+    or rates above 1, so callers (the CLI, test harnesses) report a
+    clean error instead of a deep traceback inside
+    :class:`ChaosTransport`."""
+    raw = os.environ.get("BALLISTA_CHAOS_RATE", "0")
+    try:
+        rate = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"BALLISTA_CHAOS_RATE must be a fault probability in [0, 1], "
+            f"got {raw!r}"
+        ) from None
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(
+            f"BALLISTA_CHAOS_RATE must be in [0, 1], got {rate}"
+        )
+    return rate
+
+
+def chaos_seed_from_env() -> int:
+    """Parse ``BALLISTA_CHAOS_SEED`` (an integer, default 0)."""
+    raw = os.environ.get("BALLISTA_CHAOS_SEED", "0")
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"BALLISTA_CHAOS_SEED must be an integer seed, got {raw!r}"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -53,6 +87,37 @@ class ChaosConfig:
     delay_rate: float = 0.0
     disconnect_after: int | None = None
     delay_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        for spec in fields(self):
+            if not spec.name.endswith("_rate"):
+                continue
+            rate = getattr(self, spec.name)
+            if not isinstance(rate, (int, float)) or not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"{spec.name} must be a probability in [0, 1], "
+                    f"got {rate!r}"
+                )
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s!r}")
+        if self.disconnect_after is not None and self.disconnect_after < 0:
+            raise ValueError(
+                f"disconnect_after must be >= 0 records, "
+                f"got {self.disconnect_after!r}"
+            )
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ChaosConfig":
+        """The CI drill configuration: ``BALLISTA_CHAOS_RATE`` as the
+        drop *and* duplicate probability, ``BALLISTA_CHAOS_SEED`` as the
+        schedule seed (both validated), other fields from
+        ``overrides``."""
+        rate = chaos_rate_from_env()
+        seed = chaos_seed_from_env()
+        overrides.setdefault("drop_rate", rate)
+        overrides.setdefault("dup_rate", rate)
+        overrides.setdefault("seed", seed)
+        return cls(**overrides)
 
 
 @dataclass

@@ -22,6 +22,7 @@ import json
 import os
 import pathlib
 import socket
+import time
 import zlib
 from typing import Callable
 
@@ -29,15 +30,45 @@ from repro.core.crash_scale import CaseCode
 from repro.core.executor import Executor
 from repro.core.generator import CaseGenerator, TestCase
 from repro.core.mut import MuTRegistry, default_registry
+from repro.core.results import ResultSet
+from repro.core.results_io import results_from_dict
 from repro.core.types import TypeRegistry, default_types
 from repro.service import protocol as P
-from repro.service.rpc import RetryPolicy, RpcClient, SocketTransport, Transport
+from repro.service.rpc import (
+    RetryPolicy,
+    RpcClient,
+    RpcError,
+    RpcTimeout,
+    SocketTransport,
+    Transport,
+)
 from repro.sim.machine import Machine
 from repro.sim.personality import Personality
 
 _INTERFERENCE_MARKER = "accumulated corruption"
 
 CLIENT_CHECKPOINT_FORMAT = "ballista-client-checkpoint"
+
+
+def default_connect_timeout() -> float:
+    """TCP connect timeout in seconds: ``BALLISTA_CONNECT_TIMEOUT``,
+    default 30 (the service's historical hardcoded value).  Raises
+    :class:`ValueError` naming the variable on junk or non-positive
+    values, so callers (the CLI) can report it cleanly -- the
+    ``BALLISTA_CAP`` precedent."""
+    raw = os.environ.get("BALLISTA_CONNECT_TIMEOUT", "30")
+    try:
+        timeout = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"BALLISTA_CONNECT_TIMEOUT must be a number of seconds, "
+            f"got {raw!r}"
+        ) from None
+    if timeout <= 0:
+        raise ValueError(
+            f"BALLISTA_CONNECT_TIMEOUT must be > 0 seconds, got {timeout}"
+        )
+    return timeout
 
 
 class BallistaClient:
@@ -89,11 +120,16 @@ class BallistaClient:
         host: str,
         port: int,
         wrap: Callable[[Transport], Transport] | None = None,
+        timeout: float | None = None,
         **kwargs,
     ) -> "BallistaClient":
         """Connect over TCP.  ``wrap`` interposes on the transport before
-        the client sees it (e.g. ``ChaosTransport`` for fault drills)."""
-        sock = socket.create_connection((host, port), timeout=30)
+        the client sees it (e.g. ``ChaosTransport`` for fault drills);
+        ``timeout`` bounds the TCP connect (default:
+        ``BALLISTA_CONNECT_TIMEOUT`` or 30 s)."""
+        if timeout is None:
+            timeout = default_connect_timeout()
+        sock = socket.create_connection((host, port), timeout=timeout)
         transport: Transport = SocketTransport(sock)
         if wrap is not None:
             transport = wrap(transport)
@@ -205,6 +241,183 @@ class BallistaClient:
         self.rpc.call(P.PROC_COMPLETE, P.encode_hello(self.personality.key))
         self._save_checkpoint()
         return len(entries)
+
+    def close(self) -> None:
+        self.rpc.close()
+
+
+# ======================================================================
+# Multi-tenant campaign-service client
+# ======================================================================
+
+
+class ServiceError(RpcError):
+    """The campaign service rejected a request (an application-level
+    ``{"ok": false}`` reply -- the transport and RPC layers are fine)."""
+
+
+class ServiceClient:
+    """Client for the :class:`~repro.service.server.CampaignService`.
+
+    Tenants submit campaign specs and poll for status and result pages;
+    the service runs the cases.  Every v2 procedure is idempotent, so
+    the retrying RPC core can replay any request over a lossy link, and
+    FETCH cursors make result streaming resumable: keep the ``state``
+    dict passed to :meth:`stream` and a reconnected client picks up
+    mid-stream without ever seeing a duplicate row.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        retry: RetryPolicy | None = RetryPolicy(),
+        recorder=None,
+    ) -> None:
+        self.rpc = RpcClient(transport, retry=retry, recorder=recorder)
+
+    @classmethod
+    def connect(
+        cls,
+        host: str,
+        port: int,
+        wrap: Callable[[Transport], Transport] | None = None,
+        timeout: float | None = None,
+        **kwargs,
+    ) -> "ServiceClient":
+        """Connect over TCP; same ``wrap``/``timeout`` contract as
+        :meth:`BallistaClient.connect`."""
+        if timeout is None:
+            timeout = default_connect_timeout()
+        sock = socket.create_connection((host, port), timeout=timeout)
+        sock.settimeout(None)
+        transport: Transport = SocketTransport(sock)
+        if wrap is not None:
+            transport = wrap(transport)
+        return cls(transport, **kwargs)
+
+    def _call(self, procedure: int, document: dict) -> dict:
+        reply = P.decode_json(self.rpc.call(procedure, P.encode_json(document)))
+        if not reply.get("ok", False):
+            raise ServiceError(str(reply.get("error", "service error")))
+        return reply
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def job_key_for(document: dict) -> str:
+        """Deterministic submission key: the same spec always maps to
+        the same key, so a resubmission (retransmit, reconnect, or a
+        retried CLI invocation) deduplicates server-side."""
+        canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
+        return f"auto-{zlib.crc32(canonical.encode()):08x}"
+
+    def submit(
+        self,
+        variants: list[str],
+        cap: int,
+        muts: list[str] | None = None,
+        tenant: str = "default",
+        job_key: str | None = None,
+        checkpoint_every: int = 5,
+    ) -> tuple[str, bool]:
+        """Submit a campaign; returns ``(job_id, created)`` --
+        ``created`` is False when the service already had this
+        ``(tenant, job_key)`` submission."""
+        document = {
+            "tenant": tenant,
+            "variants": list(variants),
+            "cap": int(cap),
+            "muts": None if muts is None else list(muts),
+            "checkpoint_every": int(checkpoint_every),
+        }
+        document["job_key"] = (
+            job_key if job_key is not None else self.job_key_for(document)
+        )
+        reply = self._call(P.PROC_SUBMIT, document)
+        return reply["job_id"], bool(reply["created"])
+
+    def status(self, job_id: str) -> dict:
+        """A coalesced snapshot: job state plus, per shard, done/leased
+        flags, the grant attempt count, and the latest progress beacon."""
+        return self._call(P.PROC_JOB_STATUS, {"job_id": job_id})
+
+    def fetch(
+        self,
+        job_id: str,
+        variant: str,
+        cursor: int = 0,
+        max_rows: int = P.MAX_FETCH_ROWS,
+    ) -> dict:
+        """One page of plan-ordered result rows from ``cursor``."""
+        return self._call(
+            P.PROC_FETCH,
+            {
+                "job_id": job_id,
+                "variant": variant,
+                "cursor": cursor,
+                "max_rows": max_rows,
+            },
+        )
+
+    def queue_stats(self) -> dict:
+        return self._call(P.PROC_QUEUE_STATS, {})
+
+    def stream(
+        self,
+        job_id: str,
+        state: dict | None = None,
+        poll_s: float = 0.05,
+        timeout: float = 300.0,
+    ) -> ResultSet:
+        """Poll the job to completion, streaming result rows
+        incrementally, and return the assembled
+        :class:`~repro.core.results.ResultSet` (byte-identical, once
+        saved, to the same campaign run serially).
+
+        ``state`` is the resumable stream position (per-shard cursors
+        plus rows already received).  Pass the *same dict* to a new
+        client after a disconnect and the stream resumes exactly where
+        it stopped -- no duplicate rows, nothing lost."""
+        state = {} if state is None else state
+        cursors = state.setdefault("cursors", {})
+        rows = state.setdefault("rows", [])
+        finished = state.setdefault("finished", [])
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            for variant in status["shards"]:
+                if variant in finished:
+                    continue
+                while True:
+                    page = self.fetch(
+                        job_id, variant, cursor=cursors.get(variant, 0)
+                    )
+                    rows.extend(page["rows"])
+                    cursors[variant] = page["cursor"]
+                    if page["done"]:
+                        finished.append(variant)
+                        break
+                    if not page["rows"]:
+                        break  # drained what exists so far
+            if status["state"] == "failed":
+                raise ServiceError(
+                    f"job {job_id} failed: {status.get('error')}"
+                )
+            if status["state"] == "done" and set(status["shards"]) <= set(
+                finished
+            ):
+                return results_from_dict(
+                    {
+                        "format": "ballista-results",
+                        "version": 2,
+                        "results": rows,
+                    }
+                )
+            if time.monotonic() >= deadline:
+                raise RpcTimeout(
+                    f"job {job_id} did not complete within {timeout}s"
+                )
+            time.sleep(poll_s)
 
     def close(self) -> None:
         self.rpc.close()

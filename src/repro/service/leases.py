@@ -1,0 +1,200 @@
+"""Shard leases for the multi-tenant campaign service.
+
+Each in-flight ``(job, variant)`` shard is *leased* to exactly one
+worker process at a time.  The lease carries a deadline; workers renew
+it with heartbeats (the supervisor machinery already makes workers
+heartbeat at every MuT boundary).  When heartbeats stop -- the worker
+was SIGKILLed, wedged, or its host vanished -- the lease expires and
+the scheduler reassigns the shard to a fresh worker, which resumes from
+the shard checkpoint on disk.  Because checkpoints are only written at
+MuT boundaries and results serialize sorted by key, a reassigned shard
+still produces byte-identical output.
+
+Deterministic and clock-injectable: tests drive a fake clock through
+expiry edges instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: Extra slack on a lease's *initial* deadline: spawning a worker costs
+#: an interpreter start plus the :mod:`repro` import before the first
+#: heartbeat can arrive, which can dwarf a short lease interval.
+DEFAULT_SPAWN_GRACE_S = 5.0
+
+
+class LeaseError(RuntimeError):
+    """A lease operation violated the single-holder invariant."""
+
+
+@dataclass
+class Lease:
+    """One shard's claim: who may run ``(job_id, variant)`` right now."""
+
+    lease_id: int
+    job_id: str
+    variant: str
+    granted_at: float
+    deadline: float
+    attempt: int = 1
+
+    @property
+    def shard(self) -> tuple[str, str]:
+        return (self.job_id, self.variant)
+
+
+@dataclass
+class LeaseStats:
+    granted: int = 0
+    renewed: int = 0
+    expired: int = 0
+    released: int = 0
+    reassignments: int = 0
+    double_grants_refused: int = 0
+
+
+class LeaseManager:
+    """Tracks active shard leases and their deadlines.
+
+    Not thread-safe by itself: the campaign service serializes all
+    lease traffic through its scheduler thread.
+
+    :param lease_s: heartbeat-loss horizon -- a lease not renewed for
+        this long is considered lost.
+    :param spawn_grace: extra seconds added to the *initial* deadline
+        only, covering worker spawn latency before the first heartbeat.
+    :param clock: monotonic time source (injectable for tests).
+    :param recorder: optional :class:`repro.obs.recorder.Recorder`
+        receiving ``lease_granted`` / ``lease_expired`` /
+        ``lease_reassigned`` events.
+    """
+
+    def __init__(
+        self,
+        lease_s: float = 10.0,
+        spawn_grace: float = DEFAULT_SPAWN_GRACE_S,
+        clock: Callable[[], float] = time.monotonic,
+        recorder=None,
+    ) -> None:
+        if lease_s <= 0:
+            raise ValueError(f"lease_s must be > 0 seconds, got {lease_s!r}")
+        if spawn_grace < 0:
+            raise ValueError(
+                f"spawn_grace must be >= 0 seconds, got {spawn_grace!r}"
+            )
+        self.lease_s = lease_s
+        self.spawn_grace = spawn_grace
+        self.clock = clock
+        self.recorder = recorder
+        self.stats = LeaseStats()
+        self._active: dict[tuple[str, str], Lease] = {}
+        #: Grant count per shard, surviving release/expiry: attempt 2+
+        #: on a grant means the shard is being *reassigned*.
+        self._attempts: dict[tuple[str, str], int] = {}
+        self._next_id = 1
+
+    def _emit(self, event) -> None:
+        if self.recorder is not None:
+            self.recorder.emit(event)
+
+    # ------------------------------------------------------------------
+
+    def grant(self, job_id: str, variant: str) -> Lease:
+        """Lease a shard to a new worker.
+
+        Refuses (raises :class:`LeaseError`) while another lease on the
+        same shard is still active -- the double-grant guard: a shard
+        whose old worker may still be running must be expired or
+        released first."""
+        shard = (job_id, variant)
+        existing = self._active.get(shard)
+        if existing is not None:
+            self.stats.double_grants_refused += 1
+            raise LeaseError(
+                f"shard {job_id}/{variant} already leased "
+                f"(lease {existing.lease_id}, attempt {existing.attempt})"
+            )
+        now = self.clock()
+        attempt = self._attempts.get(shard, 0) + 1
+        self._attempts[shard] = attempt
+        lease = Lease(
+            lease_id=self._next_id,
+            job_id=job_id,
+            variant=variant,
+            granted_at=now,
+            deadline=now + self.lease_s + self.spawn_grace,
+            attempt=attempt,
+        )
+        self._next_id += 1
+        self._active[shard] = lease
+        self.stats.granted += 1
+        if self.recorder is not None:
+            from repro.obs.events import LeaseGranted, LeaseReassigned
+
+            self._emit(LeaseGranted(job_id, variant, lease.lease_id, attempt))
+            if attempt > 1:
+                self.stats.reassignments += 1
+                self._emit(LeaseReassigned(job_id, variant, attempt))
+        elif attempt > 1:
+            self.stats.reassignments += 1
+        return lease
+
+    def renew(self, job_id: str, variant: str) -> bool:
+        """Heartbeat: push the shard's deadline out to now + lease_s.
+        Returns False (no-op) when no lease is active -- a heartbeat
+        from a worker whose lease already expired must not resurrect
+        it."""
+        lease = self._active.get((job_id, variant))
+        if lease is None:
+            return False
+        lease.deadline = self.clock() + self.lease_s
+        self.stats.renewed += 1
+        return True
+
+    def release(self, job_id: str, variant: str) -> Lease | None:
+        """Drop a lease cleanly (shard finished, or worker reaped)."""
+        lease = self._active.pop((job_id, variant), None)
+        if lease is not None:
+            self.stats.released += 1
+        return lease
+
+    def expire_stale(self) -> list[Lease]:
+        """Expire every lease whose deadline has passed, emitting
+        ``lease_expired`` for each; returns the casualties so the
+        scheduler can kill lingering workers and reassign."""
+        now = self.clock()
+        stale = [
+            lease for lease in self._active.values() if lease.deadline < now
+        ]
+        for lease in stale:
+            del self._active[lease.shard]
+            self.stats.expired += 1
+            if self.recorder is not None:
+                from repro.obs.events import LeaseExpired
+
+                self._emit(
+                    LeaseExpired(
+                        lease.job_id,
+                        lease.variant,
+                        lease.lease_id,
+                        round(now - lease.deadline + self.lease_s, 3),
+                    )
+                )
+        return stale
+
+    # ------------------------------------------------------------------
+
+    def active(self) -> list[Lease]:
+        return sorted(self._active.values(), key=lambda l: l.lease_id)
+
+    def holder(self, job_id: str, variant: str) -> Lease | None:
+        return self._active.get((job_id, variant))
+
+    def attempts(self, job_id: str, variant: str) -> int:
+        return self._attempts.get((job_id, variant), 0)
+
+    def __len__(self) -> int:
+        return len(self._active)

@@ -50,6 +50,14 @@ class RpcTimeout(RpcError):
     """No record arrived within the caller's deadline."""
 
 
+class ProtocolError(RpcError):
+    """The byte stream violated the record-marking protocol: an
+    implausible length prefix, a connection closed mid-record, or a
+    reply whose accepted body does not parse.  Unlike a dropped or
+    corrupted *record* (which retransmission heals), a damaged *stream*
+    cannot be resynchronised -- the connection must be closed."""
+
+
 class Transport:
     """Reliable, message-oriented duplex channel."""
 
@@ -78,9 +86,9 @@ class SocketTransport(Transport):
         except OSError as exc:
             raise RpcError(f"send failed: {exc}") from exc
 
-    def _recv_exact(self, count: int) -> bytes:
+    def _recv_exact(self, count: int, mid_record: bool = False) -> bytes:
         if count < 0 or count > MAX_RECORD:
-            raise RpcError(
+            raise ProtocolError(
                 f"refusing to receive {count} bytes "
                 f"(sane maximum is {MAX_RECORD})"
             )
@@ -93,7 +101,15 @@ class SocketTransport(Transport):
             except OSError as exc:
                 raise RpcError(f"recv failed: {exc}") from exc
             if not piece:
-                raise RpcError("connection closed mid-record")
+                if chunks or mid_record:
+                    # A truncated record: the peer (or the wire) cut the
+                    # stream partway through -- typed protocol damage,
+                    # not a clean close.
+                    raise ProtocolError(
+                        f"connection closed mid-record "
+                        f"({len(chunks)}/{count} bytes)"
+                    )
+                raise RpcError("connection closed")
             chunks += piece
         return bytes(chunks)
 
@@ -104,15 +120,19 @@ class SocketTransport(Transport):
         try:
             payload = bytearray()
             while True:
-                (header,) = struct.unpack(">I", self._recv_exact(4))
+                (header,) = struct.unpack(
+                    ">I", self._recv_exact(4, mid_record=bool(payload))
+                )
                 length = header & ~LAST_FRAGMENT
                 if length > MAX_RECORD:
-                    raise RpcError(f"implausible fragment length {length}")
+                    raise ProtocolError(
+                        f"implausible fragment length {length}"
+                    )
                 if len(payload) + length > MAX_RECORD:
-                    raise RpcError(
+                    raise ProtocolError(
                         f"record exceeds sane maximum {MAX_RECORD}"
                     )
-                payload += self._recv_exact(length)
+                payload += self._recv_exact(length, mid_record=True)
                 if header & LAST_FRAGMENT:
                     return bytes(payload)
         finally:
@@ -311,13 +331,33 @@ class RpcClient:
             random.Random(retry.jitter_seed) if retry is not None else None
         )
 
+    def _protocol_failure(self, detail: str, cause: Exception) -> None:
+        """A damaged stream or unparseable accepted reply: close the
+        transport (it cannot be resynchronised) and surface a typed
+        :class:`ProtocolError` instead of the raw struct/XDR error."""
+        if self.recorder is not None:
+            from repro.obs.events import ProtocolViolation
+
+            self.recorder.emit(ProtocolViolation("client", detail))
+        self.close()
+        raise ProtocolError(detail) from cause
+
     def call(self, procedure: int, body: bytes = b"") -> XdrDecoder:
+        from repro.service.xdr import XdrError
+
         xid = next(self._xids)
         self.stats.calls += 1
         record = encode_call(xid, procedure, body)
         if self.retry is None:
             self._transport.send_record(record)
-            return decode_reply(self._transport.recv_record(), xid)
+            try:
+                reply = self._transport.recv_record()
+            except ProtocolError as exc:
+                self._protocol_failure(str(exc), exc)
+            try:
+                return decode_reply(reply, xid)
+            except XdrError as exc:
+                self._protocol_failure(f"malformed reply record: {exc}", exc)
         return self._call_with_retries(xid, record)
 
     def _call_with_retries(self, xid: int, record: bytes) -> XdrDecoder:
@@ -354,6 +394,11 @@ class RpcClient:
                 except RpcTimeout as exc:
                     last_error = exc
                     break
+                except ProtocolError as exc:
+                    # Stream-level damage is not retryable: the framing
+                    # is out of sync, so retransmitting on the same
+                    # connection can never yield a parseable reply.
+                    self._protocol_failure(str(exc), exc)
                 except RpcError as exc:
                     last_error = exc
                     break
@@ -384,18 +429,38 @@ class RpcClient:
 Handler = Callable[[XdrDecoder], bytes]
 
 
-def serve_connection(transport: Transport, handlers: dict[int, Handler]) -> None:
+def serve_connection(
+    transport: Transport,
+    handlers: dict[int, Handler],
+    recorder=None,
+) -> None:
     """Dispatch calls on one connection until it closes.
 
     Unknown procedures get ``PROC_UNAVAIL``; handler decode errors get
-    ``GARBAGE_ARGS``; other handler errors get ``SYSTEM_ERR`` -- the
-    connection stays up in every case.
+    ``GARBAGE_ARGS``; other handler errors get ``SYSTEM_ERR`` -- a
+    *record*-level problem never takes the connection down (the client
+    retransmits and idempotent procedures absorb the duplicate).
+    *Stream*-level damage -- a truncated record, an implausible length
+    prefix -- is a typed :class:`ProtocolError`: the connection is
+    closed (it cannot be resynchronised) and, with a ``recorder``, a
+    ``protocol_error`` event is emitted instead of letting a raw
+    struct/OS error escape into the serving thread.
     """
     from repro.service.xdr import XdrError
+
+    def note_violation(detail: str) -> None:
+        if recorder is not None:
+            from repro.obs.events import ProtocolViolation
+
+            recorder.emit(ProtocolViolation("server", detail))
 
     while True:
         try:
             record = transport.recv_record()
+        except ProtocolError as exc:
+            note_violation(str(exc))
+            transport.close()
+            return
         except RpcError:
             return
         try:
@@ -403,14 +468,24 @@ def serve_connection(transport: Transport, handlers: dict[int, Handler]) -> None
         except (RpcError, XdrError):
             continue  # unparseable call: nothing to reply to
         handler = handlers.get(procedure)
-        if handler is None:
-            transport.send_record(encode_reply(xid, ACCEPT_PROC_UNAVAIL))
-            continue
         try:
-            body = handler(dec)
-        except XdrError:
-            transport.send_record(encode_reply(xid, ACCEPT_GARBAGE_ARGS))
-        except Exception:  # noqa: BLE001 - isolate the server loop
-            transport.send_record(encode_reply(xid, ACCEPT_SYSTEM_ERR))
-        else:
-            transport.send_record(encode_reply(xid, ACCEPT_SUCCESS, body))
+            if handler is None:
+                transport.send_record(encode_reply(xid, ACCEPT_PROC_UNAVAIL))
+                continue
+            try:
+                body = handler(dec)
+            except XdrError:
+                transport.send_record(encode_reply(xid, ACCEPT_GARBAGE_ARGS))
+            except Exception:  # noqa: BLE001 - isolate the server loop
+                transport.send_record(encode_reply(xid, ACCEPT_SYSTEM_ERR))
+            else:
+                transport.send_record(encode_reply(xid, ACCEPT_SUCCESS, body))
+        except RpcError as exc:
+            # The reply could not be delivered: close this connection
+            # instead of crashing the serving thread with a raw
+            # transport error.  A vanished peer is routine; only actual
+            # protocol damage counts as a violation.
+            if isinstance(exc, ProtocolError):
+                note_violation(f"reply undeliverable: {exc}")
+            transport.close()
+            return

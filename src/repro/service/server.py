@@ -15,10 +15,27 @@ variant (renewed by every RPC, including explicit HEARTBEATs); when a
 lease expires, :meth:`BallistaServer.join` marks that variant's results
 partial and lets the campaign finish with the survivors instead of
 hanging forever on a dead client.
+
+Two servers live here:
+
+* :class:`BallistaServer` -- the original thread-per-connection server
+  where remote *clients* execute the test cases (the 1999 topology).
+* :class:`CampaignService` -- the multi-tenant campaign service: a
+  selector-multiplexed control plane where clients merely *submit*
+  campaign specs; the service runs the cases itself in leased worker
+  processes (the :func:`~repro.core.parallel._variant_worker` entry
+  point), journals every job durably, and streams results back through
+  cursor-addressed FETCH pages.  Its survival contract: under chaos
+  transports, client disconnect/reconnect, and mid-run worker SIGKILL,
+  every campaign completes byte-identical to its serial run.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import multiprocessing.connection
+import queue as _queue
+import selectors
 import socket
 import threading
 import time
@@ -26,11 +43,42 @@ import time
 from repro.core.crash_scale import CaseCode
 from repro.core.generator import CaseGenerator
 from repro.core.mut import MuTRegistry, default_registry
+from repro.core.parallel import ParallelCampaign, _variant_worker
 from repro.core.results import ResultSet
+from repro.core.results_io import (
+    ResultFormatError,
+    load_checkpoint,
+    merge_checkpoints,
+    results_to_dict,
+    save_results,
+)
 from repro.core.types import TypeRegistry, default_types
+from repro.obs import events as obs_events
 from repro.service import protocol as P
-from repro.service.rpc import SocketTransport, Transport, serve_connection
-from repro.service.xdr import XdrDecoder
+from repro.service.leases import LeaseError, LeaseManager
+from repro.service.queue import (
+    JOB_DONE,
+    JOB_FAILED,
+    JobQueue,
+    JobRecord,
+    JobSpec,
+)
+from repro.service.rpc import (
+    ACCEPT_GARBAGE_ARGS,
+    ACCEPT_PROC_UNAVAIL,
+    ACCEPT_SUCCESS,
+    ACCEPT_SYSTEM_ERR,
+    LAST_FRAGMENT,
+    MAX_RECORD,
+    ProtocolError,
+    RpcError,
+    SocketTransport,
+    Transport,
+    decode_call,
+    encode_reply,
+    serve_connection,
+)
+from repro.service.xdr import XdrDecoder, XdrError
 from repro.sim.personality import Personality
 
 
@@ -289,3 +337,717 @@ class BallistaServer:
             time.sleep(0.01)
         missing = variant_keys - self.completed_variants() - self.expired_variants()
         raise TimeoutError(f"clients never completed: {sorted(missing)}")
+
+
+# ======================================================================
+# Multi-tenant campaign service
+# ======================================================================
+
+
+class _ServiceConnection:
+    """One client socket in the selector loop.
+
+    Inbound: an incremental RFC 5531 record-marking parser -- bytes
+    accumulate in ``inbuf`` until whole records fall out; framing damage
+    (implausible length prefix, oversize record) raises
+    :class:`ProtocolError` so the service can close the connection with
+    a typed event instead of a raw struct error.
+
+    Outbound: a bounded write buffer.  When a slow consumer lets the
+    buffer climb past ``HIGH_WATER`` the service *pauses reading* from
+    that connection (backpressure: no new requests, so no new replies)
+    until the buffer drains below ``LOW_WATER``.  Because the v2
+    protocol is poll-based, a paused client loses nothing -- its next
+    STATUS simply returns a fresher snapshot (progress is coalesced by
+    construction).
+    """
+
+    HIGH_WATER = 256 * 1024
+    LOW_WATER = 128 * 1024
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.fileno = sock.fileno()
+        self.inbuf = bytearray()
+        self.fragments = bytearray()  # record assembled so far
+        self.outbuf = bytearray()
+        self.paused = False
+
+    @property
+    def mid_record(self) -> bool:
+        return bool(self.inbuf or self.fragments)
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Absorb bytes; return every now-complete record."""
+        self.inbuf += data
+        records: list[bytes] = []
+        while len(self.inbuf) >= 4:
+            header = int.from_bytes(self.inbuf[:4], "big")
+            length = header & ~LAST_FRAGMENT
+            if length > MAX_RECORD:
+                raise ProtocolError(f"implausible fragment length {length}")
+            if len(self.fragments) + length > MAX_RECORD:
+                raise ProtocolError(
+                    f"record exceeds sane maximum {MAX_RECORD}"
+                )
+            if len(self.inbuf) < 4 + length:
+                break  # fragment still in flight
+            self.fragments += self.inbuf[4 : 4 + length]
+            del self.inbuf[: 4 + length]
+            if header & LAST_FRAGMENT:
+                records.append(bytes(self.fragments))
+                self.fragments.clear()
+        return records
+
+    def enqueue(self, record: bytes) -> None:
+        self.outbuf += (LAST_FRAGMENT | len(record)).to_bytes(4, "big")
+        self.outbuf += record
+        if len(self.outbuf) >= self.HIGH_WATER:
+            self.paused = True
+
+    def flush(self) -> None:
+        """Write as much buffered output as the socket will take."""
+        while self.outbuf:
+            try:
+                sent = self.sock.send(self.outbuf)
+            except (BlockingIOError, InterruptedError):
+                return
+            del self.outbuf[:sent]
+        if self.paused and len(self.outbuf) <= self.LOW_WATER:
+            self.paused = False
+
+    def interest(self) -> int:
+        events = 0
+        if not self.paused:
+            events |= selectors.EVENT_READ
+        if self.outbuf:
+            events |= selectors.EVENT_WRITE
+        return events
+
+
+class CampaignService:
+    """The multi-tenant campaign service.
+
+    One selector-driven network thread multiplexes every client
+    connection (no thread-per-client); one scheduler thread leases job
+    shards to worker processes, pumps their event queue, and finalises
+    completed jobs.  All durable state -- the job queue, per-shard
+    checkpoints, merged results -- lives under ``data_dir`` (see
+    :mod:`repro.service.queue`), so a SIGTERMed or crashed service picks
+    its campaigns back up on restart.
+
+    :param data_dir: queue/checkpoint/result directory.
+    :param max_workers: concurrent worker processes across all tenants.
+    :param lease_s: shard lease horizon; a worker silent this long loses
+        its shard to a fresh worker (which resumes from the shard
+        checkpoint).
+    :param max_attempts: grant budget per shard before its job is
+        declared failed.
+    :param recorder: optional :class:`repro.obs.recorder.Recorder` for
+        the service's operational event stream (``job_submitted``,
+        ``lease_granted`` .. ``drain_started``) plus forwarded worker
+        telemetry.
+    """
+
+    def __init__(
+        self,
+        data_dir,
+        max_workers: int = 2,
+        lease_s: float = 10.0,
+        spawn_grace: float | None = None,
+        max_attempts: int = 5,
+        recorder=None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.queue = JobQueue(data_dir)
+        self.max_workers = max_workers
+        self.lease_s = lease_s
+        self.max_attempts = max_attempts
+        self.recorder = recorder
+        kwargs = {} if spawn_grace is None else {"spawn_grace": spawn_grace}
+        self.leases = LeaseManager(
+            lease_s=lease_s, recorder=recorder, **kwargs
+        )
+        self._lock = threading.RLock()
+        self._ctx = multiprocessing.get_context("spawn")
+        self._events = self._ctx.Queue()
+        #: (job_id, variant) -> live worker process.
+        self._workers: dict[tuple[str, str], object] = {}
+        #: (job_id, variant) -> latest progress beacon (coalesced).
+        self._progress: dict[tuple[str, str], dict] = {}
+        #: (job_id, variant) -> (mtime_ns, size, plan-ordered row list).
+        self._row_cache: dict[tuple[str, str], tuple[int, int, list]] = {}
+        self._plan_cache: dict[tuple[str, tuple[str, ...] | None], list] = {}
+        self._selector = selectors.DefaultSelector()
+        self._listener: socket.socket | None = None
+        self._conns: dict[int, _ServiceConnection] = {}
+        self._threads: list[threading.Thread] = []
+        self._draining = threading.Event()
+        self._net_stop = threading.Event()
+        self._stopped = threading.Event()
+
+    def _emit(self, event) -> None:
+        if self.recorder is not None:
+            self.recorder.emit(event)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def listen(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Bind, start the network and scheduler threads, and return the
+        bound ``(host, port)``."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen()
+        listener.setblocking(False)
+        self._listener = listener
+        self._selector.register(listener, selectors.EVENT_READ, data=None)
+        for target in (self._network_loop, self._scheduler_loop):
+            thread = threading.Thread(target=target, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return listener.getsockname()
+
+    def drain(self) -> None:
+        """Graceful shutdown: stop granting leases, checkpoint in-flight
+        shards (workers persist them at every MuT boundary; terminating
+        them loses at most the tail since the last boundary, which the
+        next service re-runs deterministically), persist the queue, and
+        close every connection.  Idempotent and signal-handler safe: it
+        only sets a flag -- the scheduler thread does the teardown."""
+        self._draining.set()
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Drain and wait for both service threads to finish."""
+        self.drain()
+        self._stopped.wait(timeout)
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+
+    def serve_forever(self) -> None:
+        """Block until a :meth:`drain` (e.g. from a signal handler)
+        completes."""
+        self._stopped.wait()
+
+    def worker_pids(self) -> dict[str, int]:
+        """Live worker PIDs keyed ``"job/variant"`` (fault drills aim
+        their SIGKILLs with this)."""
+        with self._lock:
+            return {
+                f"{job_id}/{variant}": worker.pid
+                for (job_id, variant), worker in self._workers.items()
+                if worker.pid is not None
+            }
+
+    # ------------------------------------------------------------------
+    # Network thread: the selector loop
+    # ------------------------------------------------------------------
+
+    def _network_loop(self) -> None:
+        try:
+            while not self._net_stop.is_set():
+                for key, mask in self._selector.select(timeout=0.05):
+                    if key.data is None:
+                        self._accept()
+                    else:
+                        conn = key.data
+                        if mask & selectors.EVENT_READ:
+                            self._readable(conn)
+                        if (
+                            mask & selectors.EVENT_WRITE
+                            and conn.fileno in self._conns
+                        ):
+                            self._writable(conn)
+        finally:
+            for conn in list(self._conns.values()):
+                self._drop(conn, "drain")
+            if self._listener is not None:
+                try:
+                    self._selector.unregister(self._listener)
+                except (KeyError, ValueError):  # pragma: no cover
+                    pass
+                self._listener.close()
+            self._selector.close()
+            self._stopped.set()
+
+    def _accept(self) -> None:
+        try:
+            sock, _addr = self._listener.accept()
+        except OSError:
+            return
+        sock.setblocking(False)
+        conn = _ServiceConnection(sock)
+        self._conns[conn.fileno] = conn
+        self._selector.register(sock, selectors.EVENT_READ, data=conn)
+
+    def _update_interest(self, conn: _ServiceConnection) -> None:
+        if conn.fileno not in self._conns:
+            return
+        self._selector.modify(conn.sock, conn.interest(), data=conn)
+
+    def _drop(self, conn: _ServiceConnection, reason: str) -> None:
+        if self._conns.pop(conn.fileno, None) is None:
+            return
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError):  # pragma: no cover - already gone
+            pass
+        try:
+            conn.sock.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        self._emit(obs_events.ClientDisconnected(reason))
+
+    def _readable(self, conn: _ServiceConnection) -> None:
+        try:
+            data = conn.sock.recv(65536)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._drop(conn, "error")
+            return
+        if not data:
+            if conn.mid_record:
+                self._emit(
+                    obs_events.ProtocolViolation(
+                        "server", "connection closed mid-record"
+                    )
+                )
+                self._drop(conn, "protocol_error")
+            else:
+                self._drop(conn, "eof")
+            return
+        try:
+            records = conn.feed(data)
+        except ProtocolError as exc:
+            self._emit(obs_events.ProtocolViolation("server", str(exc)))
+            self._drop(conn, "protocol_error")
+            return
+        for record in records:
+            self._dispatch(conn, record)
+        try:
+            conn.flush()
+        except OSError:
+            self._drop(conn, "error")
+            return
+        self._update_interest(conn)
+
+    def _writable(self, conn: _ServiceConnection) -> None:
+        try:
+            conn.flush()
+        except OSError:
+            self._drop(conn, "error")
+            return
+        self._update_interest(conn)
+
+    def _dispatch(self, conn: _ServiceConnection, record: bytes) -> None:
+        try:
+            xid, procedure, dec = decode_call(record)
+        except (RpcError, XdrError):
+            # An unparseable call (a corrupted record that still framed
+            # cleanly): nothing to reply to -- the client retransmits.
+            return
+        handler = {
+            P.PROC_SUBMIT: self._on_submit,
+            P.PROC_JOB_STATUS: self._on_job_status,
+            P.PROC_FETCH: self._on_fetch,
+            P.PROC_QUEUE_STATS: self._on_queue_stats,
+        }.get(procedure)
+        if handler is None:
+            conn.enqueue(encode_reply(xid, ACCEPT_PROC_UNAVAIL))
+            return
+        try:
+            document = P.decode_json(dec)
+            reply = handler(document)
+        except XdrError:
+            conn.enqueue(encode_reply(xid, ACCEPT_GARBAGE_ARGS))
+        except Exception:  # noqa: BLE001 - isolate the event loop
+            conn.enqueue(encode_reply(xid, ACCEPT_SYSTEM_ERR))
+        else:
+            conn.enqueue(
+                encode_reply(xid, ACCEPT_SUCCESS, P.encode_json(reply))
+            )
+
+    # ------------------------------------------------------------------
+    # v2 procedure handlers (network thread)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _error(message: str) -> dict:
+        return {"ok": False, "error": message}
+
+    def _on_submit(self, document: dict) -> dict:
+        if self._draining.is_set():
+            return self._error("service is draining; resubmit after restart")
+        try:
+            spec = JobSpec.from_dict(document)
+        except ValueError as exc:
+            return self._error(str(exc))
+        if not spec.variants:
+            return self._error("job must name at least one variant")
+        from repro import ALL_VARIANTS
+
+        known = {p.key for p in ALL_VARIANTS}
+        unknown = [v for v in spec.variants if v not in known]
+        if unknown:
+            return self._error(f"unknown variants: {unknown}")
+        if len(set(spec.variants)) != len(spec.variants):
+            return self._error("duplicate variants in job spec")
+        if spec.cap < 1:
+            return self._error(f"cap must be >= 1, got {spec.cap}")
+        record, created = self.queue.submit(spec)
+        if created:
+            self._emit(
+                obs_events.JobSubmitted(
+                    record.job_id, spec.tenant, spec.variants, spec.cap
+                )
+            )
+        return {"ok": True, "job_id": record.job_id, "created": created}
+
+    def _on_job_status(self, document: dict) -> dict:
+        record = self.queue.get(str(document.get("job_id", "")))
+        if record is None:
+            return self._error(f"unknown job {document.get('job_id')!r}")
+        shards = {}
+        with self._lock:
+            for variant in record.spec.variants:
+                shard = (record.job_id, variant)
+                lease = self.leases.holder(record.job_id, variant)
+                shards[variant] = {
+                    "done": variant in record.shards_done,
+                    "leased": lease is not None,
+                    "attempt": self.leases.attempts(record.job_id, variant),
+                    # The *latest* beacon only: a slow or reconnecting
+                    # client gets a coalesced snapshot, never a backlog.
+                    "progress": self._progress.get(shard),
+                }
+        return {
+            "ok": True,
+            "job_id": record.job_id,
+            "state": record.state,
+            "error": record.error,
+            "shards": shards,
+        }
+
+    def _on_fetch(self, document: dict) -> dict:
+        job_id = str(document.get("job_id", ""))
+        variant = str(document.get("variant", ""))
+        record = self.queue.get(job_id)
+        if record is None:
+            return self._error(f"unknown job {job_id!r}")
+        if variant not in record.spec.variants:
+            return self._error(f"job {job_id} has no shard {variant!r}")
+        try:
+            cursor = int(document.get("cursor", 0))
+            max_rows = int(document.get("max_rows", P.MAX_FETCH_ROWS))
+        except (TypeError, ValueError):
+            return self._error("cursor and max_rows must be integers")
+        if cursor < 0:
+            return self._error(f"cursor must be >= 0, got {cursor}")
+        max_rows = max(1, min(max_rows, P.MAX_FETCH_ROWS))
+        rows = self._shard_rows(record, variant)
+        page = rows[cursor : cursor + max_rows]
+        next_cursor = cursor + len(page)
+        return {
+            "ok": True,
+            "rows": page,
+            "cursor": next_cursor,
+            "done": (
+                variant in record.shards_done and next_cursor >= len(rows)
+            ),
+        }
+
+    def _on_queue_stats(self, document: dict) -> dict:
+        states: dict[str, int] = {}
+        for record in self.queue.jobs():
+            states[record.state] = states.get(record.state, 0) + 1
+        with self._lock:
+            lease_stats = {
+                "active": len(self.leases),
+                "granted": self.leases.stats.granted,
+                "expired": self.leases.stats.expired,
+                "reassigned": self.leases.stats.reassignments,
+                "double_grants_refused": (
+                    self.leases.stats.double_grants_refused
+                ),
+            }
+            workers = len(self._workers)
+        return {
+            "ok": True,
+            "jobs": states,
+            "leases": lease_stats,
+            "workers": workers,
+            "draining": self._draining.is_set(),
+        }
+
+    # ------------------------------------------------------------------
+    # Plan-ordered row pages
+    # ------------------------------------------------------------------
+
+    def _plan_keys(self, variant: str, muts: tuple[str, ...] | None) -> list:
+        """``"api:mut"`` keys in deterministic plan order for one shard.
+
+        Checkpoint rows serialise *sorted by key*, not in execution
+        order; re-sorting them by plan position recovers an append-only
+        sequence (a checkpoint always holds a prefix of the plan, since
+        shards checkpoint only at MuT boundaries) -- which is what makes
+        FETCH cursors stable across retransmission, reconnection, and
+        even a shard's reassignment to a new worker."""
+        cache_key = (variant, muts)
+        cached = self._plan_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        from repro import ALL_VARIANTS
+
+        personality = next(p for p in ALL_VARIANTS if p.key == variant)
+        plan = default_registry().for_variant(personality)
+        if muts is not None:
+            wanted = set(muts)
+            plan = [m for m in plan if m.name in wanted]
+        keys = [f"{m.api}:{m.name}" for m in plan]
+        self._plan_cache[cache_key] = keys
+        return keys
+
+    def _shard_rows(self, record: JobRecord, variant: str) -> list:
+        """The shard's result rows in plan order, from its checkpoint
+        file on disk (cached by mtime+size)."""
+        shard = (record.job_id, variant)
+        path = self.queue.shard_file(record.job_id, variant)
+        try:
+            stat = path.stat()
+        except OSError:
+            return []  # no checkpoint yet
+        cached = self._row_cache.get(shard)
+        if cached is not None and cached[:2] == (stat.st_mtime_ns, stat.st_size):
+            return cached[2]
+        try:
+            checkpoint = load_checkpoint(path)
+        except (OSError, ResultFormatError):
+            # Mid-replace race or a torn shard: serve the previous page
+            # set; the next poll sees the settled file.
+            return cached[2] if cached is not None else []
+        by_key = {
+            f"{row['api']}:{row['mut']}": row
+            for row in results_to_dict(checkpoint.results)["results"]
+            if row["variant"] == variant
+        }
+        keys = self._plan_keys(variant, record.spec.muts)
+        rows = [by_key[key] for key in keys if key in by_key]
+        self._row_cache[shard] = (stat.st_mtime_ns, stat.st_size, rows)
+        return rows
+
+    # ------------------------------------------------------------------
+    # Scheduler thread: leases, workers, finalisation
+    # ------------------------------------------------------------------
+
+    def _scheduler_loop(self) -> None:
+        try:
+            while not self._draining.is_set():
+                try:
+                    message = self._events.get(timeout=0.05)
+                except _queue.Empty:
+                    message = None
+                with self._lock:
+                    while message is not None:
+                        self._handle_message(message)
+                        try:
+                            message = self._events.get_nowait()
+                        except _queue.Empty:
+                            message = None
+                    self._reap_silent_deaths()
+                    self._expire_leases()
+                    self._grant_leases()
+        finally:
+            self._teardown()
+
+    def _teardown(self) -> None:
+        with self._lock:
+            pending = sum(
+                1
+                for record in self.queue.jobs()
+                if record.state not in (JOB_DONE, JOB_FAILED)
+            )
+            self._emit(obs_events.DrainStarted(pending))
+            # Reuse the parallel runner's escalating stop (terminate,
+            # drain the queue so blocked feeders can flush, SIGKILL
+            # stragglers); shard checkpoints on disk keep the progress.
+            by_tag = {
+                f"{job_id}/{variant}": worker
+                for (job_id, variant), worker in self._workers.items()
+            }
+            ParallelCampaign._stop_workers(by_tag, self._events)
+            for job_id, variant in list(self._workers):
+                self.leases.release(job_id, variant)
+            self._workers.clear()
+            self.queue.close()
+        self._net_stop.set()
+
+    def _handle_message(self, message: tuple) -> None:
+        kind, tag = message[0], message[1]
+        job_id, _, variant = tag.partition("/")
+        shard = (job_id, variant)
+        if kind == "heartbeat":
+            self.leases.renew(job_id, variant)
+        elif kind == "progress":
+            self._progress[shard] = {
+                "mut": message[2],
+                "position": message[3],
+                "total": message[4],
+            }
+        elif kind == "obs":
+            if self.recorder is not None:
+                self.recorder.record(message[2])
+        elif kind == "done":
+            self.leases.release(job_id, variant)
+            self._retire_worker(shard)
+            self._progress.pop(shard, None)
+            if self.queue.mark_shard_done(job_id, variant):
+                self._finalize_job(job_id)
+        elif kind == "error":
+            self.leases.release(job_id, variant)
+            self._retire_worker(shard)
+            self._emit(
+                obs_events.WorkerDied(variant, "crashed", message[2])
+            )
+            if self.leases.attempts(job_id, variant) >= self.max_attempts:
+                self._fail_job(
+                    job_id,
+                    f"shard {variant} failed {self.max_attempts} times: "
+                    f"{message[2]}",
+                )
+
+    def _retire_worker(self, shard: tuple[str, str]) -> None:
+        worker = self._workers.pop(shard, None)
+        if worker is not None:
+            worker.join(timeout=10)
+
+    def _reap_silent_deaths(self) -> None:
+        """A SIGKILLed worker posts nothing; its process sentinel is the
+        fast path to reassignment (heartbeat-loss expiry is the slow
+        path, for workers that are alive but wedged)."""
+        if not self._workers:
+            return
+        sentinels = {w.sentinel: s for s, w in self._workers.items()}
+        try:
+            ready = multiprocessing.connection.wait(list(sentinels), timeout=0)
+        except OSError:  # pragma: no cover - sentinel closed under us
+            ready = []
+        for sentinel in ready:
+            shard = sentinels[sentinel]
+            worker = self._workers.get(shard)
+            if worker is None:
+                continue
+            worker.join(timeout=1.0)
+            if worker.is_alive():
+                continue  # pragma: no cover - exit still settling
+            # A worker that reported "done"/"error" was already retired;
+            # reaching here means it died without a word.  Release the
+            # lease so the grant pass reassigns the shard.
+            del self._workers[shard]
+            if worker.exitcode != 0:
+                self._emit(
+                    obs_events.WorkerDied(
+                        shard[1],
+                        "killed",
+                        "exited without reporting a result",
+                        exitcode=worker.exitcode,
+                    )
+                )
+            self.leases.release(*shard)
+
+    def _expire_leases(self) -> None:
+        for lease in self.leases.expire_stale():
+            worker = self._workers.pop(lease.shard, None)
+            if worker is not None and worker.is_alive():
+                worker.kill()  # wedged, not dead: make it dead
+                worker.join(timeout=5)
+
+    def _grant_leases(self) -> None:
+        if self._draining.is_set():
+            return
+        for job_id, variant in self.queue.pending_shards():
+            if len(self._workers) >= self.max_workers:
+                return
+            shard = (job_id, variant)
+            if shard in self._workers:
+                continue
+            if self.leases.holder(job_id, variant) is not None:
+                continue  # pragma: no cover - lease without worker
+            if self.leases.attempts(job_id, variant) >= self.max_attempts:
+                # Silent deaths do not travel the "error" message path,
+                # so an endlessly-killed shard must be failed here or
+                # its job would hang unleasable forever.
+                self._fail_job(
+                    job_id,
+                    f"shard {variant} exhausted its "
+                    f"{self.max_attempts} lease grants",
+                )
+                continue
+            record = self.queue.get(job_id)
+            if record is None or record.state in (JOB_DONE, JOB_FAILED):
+                continue
+            try:
+                lease = self.leases.grant(job_id, variant)
+            except LeaseError:  # pragma: no cover - guarded above
+                continue
+            spec = self._worker_spec(record, variant)
+            worker = self._ctx.Process(
+                target=_variant_worker, args=(spec, self._events), daemon=True
+            )
+            worker.start()
+            self._workers[shard] = worker
+            self.queue.mark_running(job_id)
+            self._emit(
+                obs_events.WorkerSpawned(
+                    variant, worker.pid or 0, lease.attempt
+                )
+            )
+
+    def _worker_spec(self, record: JobRecord, variant: str) -> dict:
+        return {
+            "variant": variant,
+            "tag": f"{record.job_id}/{variant}",
+            "muts": (
+                None if record.spec.muts is None else list(record.spec.muts)
+            ),
+            "config": {"cap": record.spec.cap},
+            "shard_path": str(self.queue.shard_file(record.job_id, variant)),
+            "checkpoint_every": record.spec.checkpoint_every,
+            "resume": None,  # the shard file on disk wins anyway
+            "quarantine": {},
+            # Beacons must outpace the lease horizon comfortably.
+            "heartbeat_interval": max(0.01, min(1.0, self.lease_s / 5)),
+            "events": self.recorder is not None,
+        }
+
+    def _finalize_job(self, job_id: str) -> None:
+        record = self.queue.get(job_id)
+        if record is None or record.state in (JOB_DONE, JOB_FAILED):
+            return
+        shards = [
+            self.queue.shard_file(job_id, variant)
+            for variant in record.spec.variants
+        ]
+        try:
+            merged = merge_checkpoints(
+                shards,
+                cap=record.spec.cap,
+                variants=list(record.spec.variants),
+            )
+            save_results(merged.results, self.queue.results_file(job_id))
+        except (OSError, ResultFormatError, ValueError) as exc:
+            self._fail_job(job_id, f"finalise failed: {exc}")
+            return
+        self.queue.mark_job_done(job_id)
+        self._emit(
+            obs_events.JobFinished(job_id, merged.results.total_cases())
+        )
+
+    def _fail_job(self, job_id: str, why: str) -> None:
+        self.queue.mark_job_failed(job_id, why)
+        self._emit(obs_events.JobFailed(job_id, why))

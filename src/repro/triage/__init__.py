@@ -19,11 +19,21 @@ framework." (paper, section 5)
   of failure mode for testing").
 * :mod:`repro.triage.load_test` -- heavy-load comparison runs: the same
   deterministic cases on an idle machine and on one whose disk is full
-  and whose shared arena carries long-uptime residue.
+  and whose shared arena carries long-uptime residue; plus
+  :func:`~repro.triage.load_test.run_service_load`, a multi-tenant load
+  generator that drives concurrent clients against a running campaign
+  service and verifies each streamed result set against a serial run.
 """
 
 from repro.triage.leaks import LeakReport, audit_leaks
-from repro.triage.load_test import LoadDelta, LoadReport, run_load_comparison
+from repro.triage.load_test import (
+    LoadDelta,
+    LoadReport,
+    ServiceLoadReport,
+    TenantOutcome,
+    run_load_comparison,
+    run_service_load,
+)
 from repro.triage.minimize import (
     capture_crash_prefix,
     minimize_crash_sequence,
@@ -37,10 +47,13 @@ __all__ = [
     "LoadReport",
     "SequenceOutcome",
     "SequenceStep",
+    "ServiceLoadReport",
+    "TenantOutcome",
     "audit_leaks",
     "capture_crash_prefix",
     "minimize_crash_sequence",
     "render_repro_program",
     "replay_sequence",
     "run_load_comparison",
+    "run_service_load",
 ]

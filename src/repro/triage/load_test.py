@@ -22,6 +22,7 @@ per-class outcome rates:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.core.crash_scale import CaseCode
@@ -180,4 +181,169 @@ def run_load_comparison(
                 delta.crashed_unloaded = crash_case is not None
                 delta.crash_case_unloaded = crash_case
         report.deltas.append(delta)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Service-level load: many concurrent tenants against one service
+# ----------------------------------------------------------------------
+
+#: Default per-tenant variant rotation for :func:`run_service_load`.
+SERVICE_LOAD_VARIANTS = ("winnt", "win98", "linux", "wince", "win2000")
+#: Default MuT subset: one representative per plausibility class keeps
+#: each tenant campaign small enough to run dozens concurrently.
+SERVICE_LOAD_MUTS = (
+    "GetThreadContext",
+    "CloseHandle",
+    "strcpy",
+    "isalpha",
+    "fclose",
+)
+
+
+@dataclass
+class TenantOutcome:
+    """One tenant's submit-and-stream round trip."""
+
+    tenant: str
+    variants: tuple[str, ...]
+    job_id: str | None = None
+    cases: int = 0
+    elapsed_s: float = 0.0
+    #: ``None`` when verification was skipped, else whether the streamed
+    #: result set equals the same campaign run serially in-process.
+    verified: bool | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.verified is not False
+
+
+@dataclass
+class ServiceLoadReport:
+    """Multi-tenant load run against one campaign service."""
+
+    host: str
+    port: int
+    cap: int
+    outcomes: list[TenantOutcome] = field(default_factory=list)
+
+    def failures(self) -> list[TenantOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def all_ok(self) -> bool:
+        return not self.failures()
+
+    def render(self) -> str:
+        lines = [
+            f"Service load: {len(self.outcomes)} tenants against "
+            f"{self.host}:{self.port} (cap {self.cap})",
+            "",
+            f"  {'tenant':12s} {'variants':20s} {'cases':>7s} "
+            f"{'elapsed':>8s}  status",
+        ]
+        for o in self.outcomes:
+            if o.error is not None:
+                status = f"ERROR: {o.error}"
+            elif o.verified is False:
+                status = "MISMATCH vs serial"
+            elif o.verified:
+                status = "ok, verified"
+            else:
+                status = "ok"
+            lines.append(
+                f"  {o.tenant:12s} {','.join(o.variants):20s} "
+                f"{o.cases:7d} {o.elapsed_s:7.2f}s  {status}"
+            )
+        return "\n".join(lines)
+
+
+def run_service_load(
+    host: str,
+    port: int,
+    tenants: int = 4,
+    cap: int = 30,
+    muts: tuple[str, ...] = SERVICE_LOAD_MUTS,
+    variants: tuple[str, ...] = SERVICE_LOAD_VARIANTS,
+    timeout: float = 300.0,
+    verify: bool = True,
+) -> ServiceLoadReport:
+    """Drive ``tenants`` concurrent clients against a running service.
+
+    Each tenant thread submits a deterministic spec (variant drawn by
+    rotation from ``variants``, so concurrent tenants exercise distinct
+    shards) and streams its results to completion.  With ``verify`` the
+    streamed result set is compared against the same campaign run
+    serially in-process -- the service's central robustness contract,
+    checked under load.
+    """
+    import threading
+
+    from repro.core.results_io import results_to_dict
+    from repro.service.client import ServiceClient
+
+    if tenants < 1:
+        raise ValueError(f"tenants must be >= 1, got {tenants}")
+    report = ServiceLoadReport(host, port, cap)
+    outcomes = [
+        TenantOutcome(
+            tenant=f"tenant-{index:02d}",
+            variants=(variants[index % len(variants)],),
+        )
+        for index in range(tenants)
+    ]
+
+    # Serial references, computed once per distinct variant (not per
+    # tenant -- identical specs resolve to the same document).
+    references: dict[tuple[str, ...], dict] = {}
+    if verify:
+        from repro import ALL_VARIANTS
+        from repro.core.campaign import Campaign, CampaignConfig
+
+        by_key = {p.key: p for p in ALL_VARIANTS}
+        for outcome in outcomes:
+            if outcome.variants in references:
+                continue
+            serial = Campaign(
+                [by_key[k] for k in outcome.variants],
+                config=CampaignConfig(cap=cap),
+                muts=list(muts),
+            ).run()
+            references[outcome.variants] = results_to_dict(serial)
+
+    def run_tenant(outcome: TenantOutcome) -> None:
+        started = time.monotonic()
+        try:
+            client = ServiceClient.connect(host, port)
+            try:
+                outcome.job_id, _ = client.submit(
+                    list(outcome.variants),
+                    cap=cap,
+                    muts=list(muts),
+                    tenant=outcome.tenant,
+                )
+                results = client.stream(outcome.job_id, timeout=timeout)
+            finally:
+                client.close()
+            outcome.cases = results.total_cases()
+            if verify:
+                outcome.verified = (
+                    results_to_dict(results) == references[outcome.variants]
+                )
+        except Exception as exc:  # noqa: BLE001 - reported per tenant
+            outcome.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            outcome.elapsed_s = time.monotonic() - started
+
+    threads = [
+        threading.Thread(target=run_tenant, args=(outcome,))
+        for outcome in outcomes
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.outcomes.extend(outcomes)
     return report

@@ -1,0 +1,159 @@
+"""Shard lease lifecycle, driven through a fake clock."""
+
+import pytest
+
+from repro.obs.recorder import MemoryRecorder
+from repro.service.leases import LeaseError, LeaseManager
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def manager(clock, **kwargs):
+    kwargs.setdefault("lease_s", 10.0)
+    kwargs.setdefault("spawn_grace", 5.0)
+    return LeaseManager(clock=clock, **kwargs)
+
+
+class TestGrantRenewRelease:
+    def test_initial_deadline_includes_spawn_grace(self, clock):
+        leases = manager(clock)
+        lease = leases.grant("job-0001", "winnt")
+        # Spawning a worker costs an interpreter start before the first
+        # heartbeat; the initial deadline must absorb that.
+        assert lease.deadline == clock.now + 10.0 + 5.0
+        assert lease.attempt == 1
+
+    def test_renew_extends_by_lease_s_only(self, clock):
+        leases = manager(clock)
+        leases.grant("job-0001", "winnt")
+        clock.advance(8.0)
+        assert leases.renew("job-0001", "winnt")
+        assert leases.holder("job-0001", "winnt").deadline == clock.now + 10.0
+
+    def test_renew_without_a_lease_is_a_refused_noop(self, clock):
+        # A heartbeat from a worker whose lease already expired must not
+        # resurrect the lease -- its shard may be leased to a successor.
+        leases = manager(clock)
+        assert not leases.renew("job-0001", "winnt")
+        assert leases.holder("job-0001", "winnt") is None
+
+    def test_release_frees_the_shard(self, clock):
+        leases = manager(clock)
+        leases.grant("job-0001", "winnt")
+        released = leases.release("job-0001", "winnt")
+        assert released is not None
+        assert len(leases) == 0
+        assert leases.release("job-0001", "winnt") is None  # idempotent
+
+
+class TestExpiry:
+    def test_expires_only_past_deadline_leases(self, clock):
+        leases = manager(clock)
+        leases.grant("job-0001", "winnt")
+        clock.advance(2.0)
+        leases.grant("job-0002", "win98")
+        clock.advance(14.0)  # first: past 15s horizon; second: not yet
+        stale = leases.expire_stale()
+        assert [lease.shard for lease in stale] == [("job-0001", "winnt")]
+        assert leases.holder("job-0002", "win98") is not None
+
+    def test_renewal_defers_expiry(self, clock):
+        leases = manager(clock)
+        leases.grant("job-0001", "winnt")
+        for _ in range(5):
+            clock.advance(8.0)
+            leases.renew("job-0001", "winnt")
+            assert leases.expire_stale() == []
+
+    def test_expiry_emits_lease_expired(self, clock):
+        recorder = MemoryRecorder()
+        leases = manager(clock, recorder=recorder)
+        leases.grant("job-0001", "winnt")
+        clock.advance(60.0)
+        leases.expire_stale()
+        kinds = [record["kind"] for record in recorder.records]
+        assert kinds == ["lease_granted", "lease_expired"]
+        expired = recorder.records[-1]
+        assert expired["job_id"] == "job-0001"
+        assert expired["variant"] == "winnt"
+        assert expired["stale_s"] > 0
+
+
+class TestDoubleGrantPrevention:
+    def test_grant_refuses_an_actively_leased_shard(self, clock):
+        leases = manager(clock)
+        leases.grant("job-0001", "winnt")
+        with pytest.raises(LeaseError, match="already leased"):
+            leases.grant("job-0001", "winnt")
+        assert leases.stats.double_grants_refused == 1
+
+    def test_double_grant_refused_after_reassignment(self, clock):
+        # The satellite edge: a shard reassigned after expiry must STILL
+        # refuse a concurrent second grant -- reassignment must not
+        # loosen the single-holder invariant.
+        leases = manager(clock)
+        leases.grant("job-0001", "winnt")
+        clock.advance(60.0)
+        assert leases.expire_stale()
+        second = leases.grant("job-0001", "winnt")
+        assert second.attempt == 2
+        with pytest.raises(LeaseError, match="attempt 2"):
+            leases.grant("job-0001", "winnt")
+        assert leases.stats.double_grants_refused == 1
+
+    def test_same_variant_under_two_jobs_is_two_shards(self, clock):
+        # Multi-tenancy: two jobs may test the same OS variant at once.
+        leases = manager(clock)
+        leases.grant("job-0001", "winnt")
+        leases.grant("job-0002", "winnt")
+        assert len(leases) == 2
+
+
+class TestReassignment:
+    def test_attempts_accumulate_across_grants(self, clock):
+        leases = manager(clock)
+        for expected in (1, 2, 3):
+            lease = leases.grant("job-0001", "winnt")
+            assert lease.attempt == expected
+            assert leases.attempts("job-0001", "winnt") == expected
+            leases.release("job-0001", "winnt")
+
+    def test_regrant_emits_lease_reassigned(self, clock):
+        recorder = MemoryRecorder()
+        leases = manager(clock, recorder=recorder)
+        leases.grant("job-0001", "winnt")
+        leases.release("job-0001", "winnt")
+        leases.grant("job-0001", "winnt")
+        kinds = [record["kind"] for record in recorder.records]
+        assert kinds == ["lease_granted", "lease_granted", "lease_reassigned"]
+        assert recorder.records[-1]["attempt"] == 2
+        assert leases.stats.reassignments == 1
+
+    def test_first_grant_is_not_a_reassignment(self, clock):
+        leases = manager(clock)
+        leases.grant("job-0001", "winnt")
+        assert leases.stats.reassignments == 0
+
+
+class TestValidation:
+    def test_rejects_nonpositive_lease(self, clock):
+        with pytest.raises(ValueError, match="lease_s"):
+            LeaseManager(lease_s=0, clock=clock)
+
+    def test_rejects_negative_spawn_grace(self, clock):
+        with pytest.raises(ValueError, match="spawn_grace"):
+            LeaseManager(lease_s=1.0, spawn_grace=-1.0, clock=clock)
