@@ -1,0 +1,82 @@
+"""Benchmark intra-variant sharding against the per-variant ceiling.
+
+Variant-level fan-out (PR 2) can never use more workers than there are
+variants -- a three-variant campaign leaves every core past the third
+idle.  Intra-variant sharding breaks that ceiling: each variant's plan
+is sliced into ``SHARDS`` deterministic slices and all slices run on
+one work-stealing pool, so the useful worker count becomes
+``variants x shards``.
+
+Both runs must produce byte-identical result-set documents.  On a
+machine with >= 8 cores the sharded run is required to beat the
+per-variant-only run by at least 2x; on smaller machines the ratio is
+only reported (there are no spare cores to steal onto).  Timings land
+in ``benchmarks/out/shards.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core.parallel import ParallelCampaign
+from repro.core.campaign import CampaignConfig
+from repro.core.results_io import results_to_dict
+from repro.posix.linux import LINUX
+from repro.win32.variants import WIN98, WINNT
+
+VARIANTS = [WIN98, WINNT, LINUX]
+SHARDS = 4
+
+
+def test_shard_speedup_and_fidelity(artifact_dir, bench_cap):
+    config = CampaignConfig(cap=bench_cap)
+    cores = os.cpu_count() or 1
+
+    # The ceiling: one worker per variant, idle cores beyond that.
+    per_variant_jobs = min(len(VARIANTS), cores)
+    started = time.perf_counter()
+    per_variant_results = ParallelCampaign(
+        VARIANTS, config=config, jobs=per_variant_jobs, shards=1
+    ).run()
+    per_variant_s = time.perf_counter() - started
+
+    # The pool: variants x shards slices, workers sized to the box.
+    sharded_jobs = min(len(VARIANTS) * SHARDS, cores)
+    started = time.perf_counter()
+    sharded_results = ParallelCampaign(
+        VARIANTS, config=config, jobs=sharded_jobs, shards=SHARDS
+    ).run()
+    sharded_s = time.perf_counter() - started
+
+    per_variant_doc = json.dumps(
+        results_to_dict(per_variant_results), separators=(",", ":")
+    )
+    sharded_doc = json.dumps(
+        results_to_dict(sharded_results), separators=(",", ":")
+    )
+    assert sharded_doc == per_variant_doc, (
+        "sharded output must be byte-identical"
+    )
+
+    speedup = per_variant_s / sharded_s if sharded_s else float("inf")
+    lines = [
+        f"Intra-variant sharding, {len(VARIANTS)} variants x {SHARDS} "
+        f"shards, cap {bench_cap}, {cores} cores",
+        "",
+        f"per-variant ({per_variant_jobs} workers): {per_variant_s:8.2f}s",
+        f"sharded     ({sharded_jobs} workers): {sharded_s:8.2f}s",
+        f"speedup:    {speedup:8.2f}x",
+        f"cases:      {per_variant_results.total_cases():8d}",
+        "output:     byte-identical",
+    ]
+    (artifact_dir / "shards.txt").write_text(
+        "\n".join(lines) + "\n", encoding="utf-8"
+    )
+    if cores >= 8:
+        assert speedup >= 2.0, (
+            f"expected >= 2x over the per-variant ceiling on {cores} "
+            f"cores, got {speedup:.2f}x (per-variant {per_variant_s:.2f}s "
+            f"vs sharded {sharded_s:.2f}s)"
+        )

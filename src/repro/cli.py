@@ -33,7 +33,7 @@ from repro.analysis.tables import (
     render_table3,
 )
 from repro.core.campaign import default_cap
-from repro.core.parallel import default_jobs
+from repro.core.parallel import default_jobs, default_shards
 from repro.core.supervisor import (
     SupervisedCampaign,
     SupervisorPolicy,
@@ -95,8 +95,31 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="N",
         help=(
-            "worker processes running variants concurrently (default: "
-            "one per variant, capped at the core count; 1 = serial)"
+            "concurrent worker processes (default: one per variant "
+            "shard slice -- variants x --shards -- capped at the core "
+            "count; 1 = serial)"
+        ),
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "contiguous plan slices per variant feeding one work-"
+            "stealing pool, so parallelism is no longer capped at the "
+            "variant count (default: BALLISTA_SHARDS or 1; output is "
+            "byte-identical to --shards 1)"
+        ),
+    )
+    parser.add_argument(
+        "--wear-atlas",
+        metavar="PATH",
+        help=(
+            "wear-atlas file memoizing shard seam wear between runs: "
+            "read for speculative slice bases, updated after a "
+            "successful run (purely an accelerator; a stale atlas is "
+            "detected and replayed, never wrong)"
         ),
     )
     parser.add_argument(
@@ -208,6 +231,13 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(str(exc))
     if args.jobs is not None and args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.shards is None:
+        try:
+            args.shards = default_shards()
+        except ValueError as exc:
+            parser.error(str(exc))
+    elif args.shards < 1:
+        parser.error(f"--shards must be >= 1, got {args.shards}")
     if args.mut_deadline is None:
         try:
             args.mut_deadline = default_mut_deadline()
@@ -305,12 +335,29 @@ def main(argv: list[str] | None = None) -> int:
                 keys = [p.key for p in variants]
         checkpoint_path = args.checkpoint or args.resume
         started = time.monotonic()
-        jobs = args.jobs if args.jobs is not None else default_jobs(len(variants))
+        # Default parallelism covers every schedulable slice, not just
+        # every variant: the old min(variants, cores) silently idled
+        # all cores past seven.
+        total_shards = len(variants) * args.shards
+        jobs = (
+            args.jobs
+            if args.jobs is not None
+            else default_jobs(total_shards)
+        )
+        if args.jobs is not None and args.jobs > total_shards and not args.quiet:
+            sys.stderr.write(
+                f"--jobs {args.jobs} exceeds the {total_shards} "
+                f"schedulable slice(s) ({len(variants)} variant(s) x "
+                f"{args.shards} shard(s)); extra workers will idle -- "
+                f"raise --shards to use them\n"
+            )
         if jobs > 1 and not args.no_supervise:
             campaign = SupervisedCampaign(
                 variants,
                 config=CampaignConfig(cap=args.cap),
                 jobs=jobs,
+                shards=args.shards,
+                atlas_path=args.wear_atlas,
                 policy=SupervisorPolicy(
                     mut_deadline=args.mut_deadline,
                     max_restarts=args.max_restarts,
@@ -319,7 +366,11 @@ def main(argv: list[str] | None = None) -> int:
             )
         elif jobs > 1:
             campaign = ParallelCampaign(
-                variants, config=CampaignConfig(cap=args.cap), jobs=jobs
+                variants,
+                config=CampaignConfig(cap=args.cap),
+                jobs=jobs,
+                shards=args.shards,
+                atlas_path=args.wear_atlas,
             )
         else:
             campaign = Campaign(variants, config=CampaignConfig(cap=args.cap))

@@ -1,0 +1,151 @@
+"""Wear atlas: memoized seam wear for intra-variant sharding.
+
+A sharded campaign may only *execute* a slice once it knows the exact
+machine wear the serial campaign would show at the slice's first plan
+position.  Cold, that wear is only learned when the predecessor slice
+finishes, so a variant's slices run as a pipeline and intra-variant
+parallelism is nil.  But the wear trajectory is a deterministic
+function of (variant plan, cap, the simulation itself) -- so a
+completed run can *memoize* the wear it observed at every seam and hand
+the next run all of its slice bases up front, unlocking the full
+work-stealing pool on re-runs (benchmarks, CI, two-seed fidelity
+sweeps, resumed paper-scale campaigns).
+
+A stale atlas -- the code or plan changed underneath it -- can never
+corrupt results: every speculative slice records the base it actually
+used, and the runner re-validates each seam against the predecessor's
+real end wear when it settles, replaying the slice from the true
+frontier on any mismatch.  The atlas is purely an accelerator; the
+byte-identity gate never rests on it.
+
+Seams are keyed by plan *position*, not slice index, so an atlas built
+at one ``--shards`` grid still serves any other grid wherever the
+boundaries coincide.  Each variant's seam table is fingerprinted by its
+plan (the ordered ``api:name`` keys) and the cap; a mismatch silently
+ignores that variant's seams rather than erroring -- worst case is a
+cold, chained run.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import warnings
+import zlib
+from dataclasses import dataclass, field
+
+from repro.core.results_io import _atomic_write
+
+ATLAS_FORMAT = "ballista-wear-atlas"
+ATLAS_VERSION = 1
+
+
+def plan_fingerprint(plan: list, cap: int) -> str:
+    """Stable fingerprint of one variant's plan: the ordered
+    ``(api, name)`` identities plus the case cap (case sequences are a
+    function of the cap, so seam wear is too)."""
+    text = ",".join(f"{api}:{name}" for api, name in plan) + f"@{cap}"
+    return f"crc32:{zlib.crc32(text.encode('utf-8')):08x}"
+
+
+@dataclass
+class WearAtlas:
+    """Per-variant seam wear tables keyed by plan position.
+
+    :param plans: variant key -> :func:`plan_fingerprint` of the plan
+        the seams were recorded under.
+    :param seams: variant key -> {plan position -> wear image}.  The
+        wear at position ``p`` is the machine state after executing
+        plan positions ``[0, p)`` -- exactly what a slice starting at
+        ``p`` must boot from.
+    """
+
+    plans: dict[str, str] = field(default_factory=dict)
+    seams: dict[str, dict[int, dict]] = field(default_factory=dict)
+
+    def seam(self, variant: str, plan: list, cap: int, position: int):
+        """The memoized wear at ``position``, or ``None`` when unknown
+        or recorded under a different plan/cap."""
+        if self.plans.get(variant) != plan_fingerprint(plan, cap):
+            return None
+        return self.seams.get(variant, {}).get(position)
+
+    def record(
+        self, variant: str, plan: list, cap: int, position: int, wear: dict
+    ) -> None:
+        """Memoize one seam; a plan-fingerprint change drops the
+        variant's stale seams first."""
+        fingerprint = plan_fingerprint(plan, cap)
+        if self.plans.get(variant) != fingerprint:
+            self.plans[variant] = fingerprint
+            self.seams[variant] = {}
+        self.seams.setdefault(variant, {})[position] = wear
+
+
+def atlas_to_dict(atlas: WearAtlas) -> dict:
+    return {
+        "format": ATLAS_FORMAT,
+        "version": ATLAS_VERSION,
+        "plans": dict(atlas.plans),
+        "seams": {
+            variant: {str(pos): wear for pos, wear in sorted(table.items())}
+            for variant, table in atlas.seams.items()
+        },
+    }
+
+
+def atlas_from_dict(document: dict) -> WearAtlas | None:
+    if (
+        document.get("format") != ATLAS_FORMAT
+        or document.get("version") != ATLAS_VERSION
+    ):
+        return None
+    try:
+        return WearAtlas(
+            plans={
+                str(k): str(v) for k, v in document.get("plans", {}).items()
+            },
+            seams={
+                str(variant): {
+                    int(pos): wear for pos, wear in table.items()
+                }
+                for variant, table in document.get("seams", {}).items()
+            },
+        )
+    except (TypeError, ValueError, AttributeError):
+        return None
+
+
+def load_atlas(path: str | pathlib.Path) -> WearAtlas:
+    """Load an atlas, tolerating absence and damage: sharding without
+    seam predictions is merely cold, never wrong, so a missing or
+    malformed atlas degrades to an empty one (with a warning when the
+    file exists but does not parse)."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        return WearAtlas()
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        warnings.warn(
+            f"wear atlas {path} is unreadable ({exc}); starting cold",
+            stacklevel=2,
+        )
+        return WearAtlas()
+    atlas = atlas_from_dict(document) if isinstance(document, dict) else None
+    if atlas is None:
+        warnings.warn(
+            f"wear atlas {path} is not a recognisable atlas document; "
+            f"starting cold",
+            stacklevel=2,
+        )
+        return WearAtlas()
+    return atlas
+
+
+def save_atlas(atlas: WearAtlas, path: str | pathlib.Path) -> None:
+    """Atomically persist the atlas (temp + rename, the checkpoint
+    discipline)."""
+    _atomic_write(
+        path, json.dumps(atlas_to_dict(atlas), separators=(",", ":"))
+    )

@@ -112,10 +112,20 @@ class Campaign:
         types: TypeRegistry | None = None,
         config: CampaignConfig | None = None,
         muts: Iterable[str] | None = None,
+        shard: dict | None = None,
     ) -> None:
         """
         :param variants: OS personalities to test.
         :param muts: optional subset of bare MuT names to run.
+        :param shard: intra-variant slice assignment for a sharded
+            campaign worker (single-variant campaigns only): the
+            checkpoint ``shard`` block --
+            ``{"variant", "index", "start", "stop", "resumed",
+            "base_wear"}``.  The plan is restricted to positions
+            ``[start, stop)`` and the machine boots from ``base_wear``
+            (the exact serial wear at the slice's first position;
+            ``None`` = fresh boot), so the slice classifies byte-
+            identically to the same positions of a serial run.
         """
         self.variants = list(variants)
         self.registry = registry or default_registry()
@@ -123,6 +133,12 @@ class Campaign:
         self.config = config or CampaignConfig()
         self.generator = CaseGenerator(self.types, cap=self.config.cap)
         self._mut_filter = set(muts) if muts is not None else None
+        if shard is not None and len(self.variants) != 1:
+            raise ValueError(
+                "an intra-variant shard assignment needs a single-variant "
+                f"campaign, got {len(self.variants)} variants"
+            )
+        self._shard = dict(shard) if shard is not None else None
         #: Set by :meth:`run`: the run's final checkpoint (results plus
         #: plan cursors and machine wear), whether or not it was saved.
         self.last_checkpoint: CampaignCheckpoint | None = None
@@ -195,6 +211,18 @@ class Campaign:
             checkpoint = CampaignCheckpoint(
                 ResultSet(), cap=self.config.cap, variants=keys
             )
+        plan_slice = None
+        if self._shard is not None:
+            # The slice's checkpoints carry their shard block (merge
+            # validates seams from it) and the machine boots from the
+            # exact serial wear at the slice's first plan position --
+            # unless a resumed slice already recorded fresher mid-slice
+            # wear, which supersedes the base.
+            checkpoint.shard = dict(self._shard)
+            plan_slice = (self._shard["start"], self._shard["stop"])
+            base_wear = self._shard.get("base_wear")
+            if base_wear is not None and keys[0] not in checkpoint.machine_wear:
+                checkpoint.machine_wear[keys[0]] = dict(base_wear)
         results = checkpoint.results
         if recorder is not None:
             recorder.emit(
@@ -214,6 +242,7 @@ class Campaign:
                 quarantine=quarantine,
                 heartbeat=heartbeat,
                 recorder=recorder,
+                plan_slice=plan_slice,
             )
         checkpoint.complete = True
         #: The final checkpoint of the last run (cursors + machine wear
@@ -250,6 +279,7 @@ def run_variant(
     quarantine: dict[str, str] | None = None,
     heartbeat: HeartbeatFn | None = None,
     recorder: Recorder | None = None,
+    plan_slice: tuple[int, int] | None = None,
 ) -> None:
     """Run one variant's full MuT plan (the campaign inner loop).
 
@@ -274,8 +304,20 @@ def run_variant(
     worker.  Each is recorded as a harness-level QUARANTINED outcome
     (no case array, excluded from rates) and the plan moves on -- the
     paper's reboot-and-continue loop, minus the reboot.
+
+    ``plan_slice=(start, stop)`` restricts execution to that half-open
+    range of plan positions -- one intra-variant shard.  Positions (and
+    so the per-MuT case sequences, which are seeded by MuT name) are
+    identical to the serial plan's; the caller is responsible for
+    booting the machine from the exact serial wear at ``start`` (via
+    the checkpoint's ``machine_wear``), which makes the slice's
+    classifications byte-identical to the same span of a serial run.
+    The plan cursor still counts global positions, and lands on
+    ``stop`` when the slice completes even if its tail was skipped, so
+    merged slice chains reproduce the serial cursor.
     """
     quarantine = quarantine or {}
+    start, stop = plan_slice if plan_slice is not None else (0, len(muts))
     machine = Machine(personality, watchdog_ticks=config.watchdog_ticks)
     wear = checkpoint.machine_wear.get(personality.key)
     if wear and not config.machine_per_case:
@@ -296,7 +338,8 @@ def run_variant(
         )
 
     emit(obs_events.VariantStarted(personality.key, len(muts)))
-    for position, mut in enumerate(muts):
+    for position in range(start, stop):
+        mut = muts[position]
         if results.has(personality.key, mut.name, api=mut.api):
             continue  # already recorded by the interrupted run
         if results.is_quarantined(personality.key, mut.api, mut.name):
@@ -390,6 +433,13 @@ def run_variant(
         ):
             save_and_tell(position + 1)
             since_checkpoint = 0
+    if plan_slice is not None:
+        # A slice that ends on skipped (already-recorded) positions
+        # still completed its span: the cursor must land on ``stop`` so
+        # the merged chain matches the serial cursor byte for byte.
+        checkpoint.cursors[personality.key] = max(
+            checkpoint.cursors.get(personality.key, 0), stop
+        )
     emit(
         obs_events.VariantFinished(
             personality.key,
@@ -398,7 +448,7 @@ def run_variant(
         )
     )
     if checkpoint_path is not None:
-        save_and_tell(len(muts))
+        save_and_tell(stop)
 
 
 _CODE_NAMES = {code.value: code.name for code in CaseCode}

@@ -41,6 +41,7 @@ import traceback
 import warnings
 from typing import Iterable, Sequence
 
+from repro.core.atlas import load_atlas, save_atlas
 from repro.core.campaign import Campaign, CampaignConfig, ProgressFn
 from repro.core.results import ResultSet
 from repro.obs import events as obs_events
@@ -55,14 +56,60 @@ from repro.core.results_io import (
     save_checkpoint,
     shard_path,
     split_checkpoint,
+    wear_fingerprint,
 )
 from repro.sim.personality import Personality
 
 
-def default_jobs(variant_count: int) -> int:
-    """Worker count when the caller does not choose: one per variant,
-    but never more than the machine has cores."""
-    return max(1, min(variant_count, os.cpu_count() or 1))
+def default_jobs(task_count: int) -> int:
+    """Worker count when the caller does not choose: one per unit of
+    schedulable work -- a (variant, shard) slice -- but never more than
+    the machine has cores.  Before intra-variant sharding this capped
+    at the variant count (seven), silently wasting every core past
+    seven; pass the *total shard count* so big boxes fill up."""
+    return max(1, min(task_count, os.cpu_count() or 1))
+
+
+def default_shards() -> int:
+    """Per-variant slice count: ``BALLISTA_SHARDS`` env var, default 1
+    (no intra-variant sharding).  Raises :class:`ValueError` naming the
+    variable on junk, so the CLI can report it cleanly."""
+    raw = os.environ.get("BALLISTA_SHARDS", "1")
+    try:
+        shards = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"BALLISTA_SHARDS must be an integer slice count per "
+            f"variant (e.g. 4), got {raw!r}"
+        ) from None
+    if shards < 1:
+        raise ValueError(
+            f"BALLISTA_SHARDS must be a positive integer, got {shards}"
+        )
+    return shards
+
+
+def shard_bounds(total: int, shards: int) -> list[tuple[int, int]]:
+    """Deterministically slice ``total`` plan positions into at most
+    ``shards`` contiguous half-open ``(start, stop)`` ranges whose sizes
+    differ by at most one (earlier slices take the remainder).  Never
+    emits an empty slice; an empty plan yields one ``(0, 0)`` slice."""
+    if total <= 0:
+        return [(0, 0)]
+    shards = max(1, min(shards, total))
+    size, extra = divmod(total, shards)
+    bounds = []
+    start = 0
+    for index in range(shards):
+        stop = start + size + (1 if index < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def shard_tag(variant: str, index: int) -> str:
+    """Routing key for one (variant, shard) slice's worker."""
+    return f"{variant}#{index}"
 
 
 def _fault_injector(events=None):
@@ -153,6 +200,29 @@ class _ObsForwarder(Recorder):
         self._queue.put(("obs", self._tag, data))
 
 
+def _shard_file_matches(resume: CampaignCheckpoint, shard: dict | None) -> bool:
+    """Whether an on-disk shard checkpoint belongs to the slice this
+    worker was assigned.  A shard file left by a killed worker is only a
+    valid resume point if it records the same slice identity (variant,
+    index, span) *and* the same execution basis (base wear, resumed
+    flag) -- a file from another grid or a pre-replay speculative
+    attempt must be discarded, not resumed."""
+    if shard is None:
+        return resume.shard is None
+    info = resume.shard
+    if info is None:
+        return False
+    return (
+        info.get("variant") == shard.get("variant")
+        and info.get("index") == shard.get("index")
+        and info.get("start") == shard.get("start")
+        and info.get("stop") == shard.get("stop")
+        and bool(info.get("resumed")) == bool(shard.get("resumed"))
+        and wear_fingerprint(info.get("base_wear"))
+        == wear_fingerprint(shard.get("base_wear"))
+    )
+
+
 def _personality_by_key(key: str) -> Personality:
     from repro import ALL_VARIANTS
 
@@ -186,7 +256,12 @@ def _variant_worker(spec: dict, events) -> None:
     try:
         personality = _personality_by_key(key)
         config = CampaignConfig(**spec["config"])
-        campaign = Campaign([personality], config=config, muts=spec["muts"])
+        campaign = Campaign(
+            [personality],
+            config=config,
+            muts=spec["muts"],
+            shard=spec.get("shard"),
+        )
         shard = spec["shard_path"]
         resume = None
         if shard is not None and os.path.exists(shard):
@@ -207,6 +282,19 @@ def _variant_worker(spec: dict, events) -> None:
                     f"shard checkpoint {shard} is unreadable ({exc}); "
                     f"worker [{key}] restarting without it"
                 )
+        if resume is not None and not _shard_file_matches(
+            resume, spec.get("shard")
+        ):
+            # The file on disk was written under a different slice
+            # assignment (other grid, other base wear, or a replay
+            # rebased this slice onto the true frontier).  Its rows
+            # would splice a foreign wear trajectory into this slice,
+            # so ignore it and re-earn the work.
+            warnings.warn(
+                f"shard checkpoint {shard} was written for a different "
+                f"slice assignment; worker [{tag}] restarting without it"
+            )
+            resume = None
         if resume is None and spec["resume"] is not None:
             resume = checkpoint_from_dict(spec["resume"])
 
@@ -246,6 +334,180 @@ def _variant_worker(spec: dict, events) -> None:
         events.put(("error", tag, traceback.format_exc()))
 
 
+class _SeamPlanner:
+    """Settlement cascade for intra-variant shard slices.
+
+    A slice is only *byte-faithful* if it executed from the exact
+    machine wear the serial run would show at its first plan position.
+    Slice 0's base (fresh boot, or the resume document) is authoritative
+    by construction; every later slice runs from either the settled end
+    wear of its predecessor (cold: the chain degenerates to a pipeline)
+    or a speculative seam from the wear atlas (warm: all slices launch
+    at once).  When a slice finishes, the planner walks the variant's
+    chain from the front and *settles* each finished slice whose
+    self-reported ``base_wear`` fingerprint matches its predecessor's
+    settled end wear; a mismatch means the speculation was stale, so the
+    slice's results are discarded and its spec is rebased onto the true
+    frontier and re-queued.  Each slice replays at most once per
+    settlement (its rebased base is authoritative), so a fully stale
+    atlas costs one extra pass, never a livelock.
+
+    ``resumed`` slices (their basis is a checkpoint document, the same
+    trust extended to any resume) settle without a seam check, exactly
+    as :func:`merge_checkpoints` treats them.
+    """
+
+    def __init__(self) -> None:
+        #: variant -> slice entries in plan order (synthetic pre-settled
+        #: resume prefixes first, then one entry per worker spec).
+        self._chains: dict[str, list[dict]] = {}
+        self._by_tag: dict[str, dict] = {}
+        self._spawned: set[str] = set()
+        #: variant -> {plan position -> settled wear} for the atlas.
+        self._learned: dict[str, dict[int, dict]] = {}
+        self.replays = 0
+
+    def add_settled(
+        self,
+        variant: str,
+        start: int,
+        stop: int,
+        end_known: bool,
+        end_wear: dict | None,
+    ) -> None:
+        """A slice completed by a previous run (resume prefix): settled
+        up front, no worker.  ``end_known`` is False when the resume
+        document's wear frontier lies beyond this slice -- harmless,
+        because every successor up to that frontier is itself settled or
+        resumed and never consults this end."""
+        self._chains.setdefault(variant, []).append(
+            {
+                "tag": None,
+                "spec": None,
+                "start": start,
+                "stop": stop,
+                "settled": True,
+                "end_known": end_known,
+                "end": end_wear,
+                "done": None,
+            }
+        )
+
+    def add_spec(self, spec: dict, base_known: bool) -> None:
+        """Register a worker spec (in plan order per variant).  Specs
+        with an unknown base stay unschedulable until a predecessor
+        settles and hands them its end wear."""
+        entry = {
+            "tag": spec["tag"],
+            "spec": spec,
+            "start": spec["shard"]["start"],
+            "stop": spec["shard"]["stop"],
+            "settled": False,
+            "end_known": False,
+            "end": None,
+            "done": None,
+            "known": base_known,
+        }
+        self._chains.setdefault(spec["variant"], []).append(entry)
+        self._by_tag[spec["tag"]] = entry
+
+    def ready(self, tag: str) -> bool:
+        """Whether the slice's execution base is known (authoritative or
+        speculative) so its worker may spawn."""
+        entry = self._by_tag.get(tag)
+        return entry is None or entry["known"]
+
+    def mark_spawned(self, tag: str) -> None:
+        self._spawned.add(tag)
+
+    def learned(self) -> dict[str, dict[int, dict]]:
+        """Settled seam wears keyed by plan position, for the atlas."""
+        return self._learned
+
+    def on_done(
+        self, tag: str, checkpoint: CampaignCheckpoint
+    ) -> tuple[list[tuple[str, CampaignCheckpoint]], list[dict]]:
+        """Absorb a finished slice and run the settlement cascade.
+
+        Returns ``(accepted, replays)``: slices newly settled (tag plus
+        their final checkpoint, ready for the merge) and specs whose
+        speculative base proved stale (rebased, to be re-queued).
+        """
+        entry = self._by_tag[tag]
+        entry["done"] = checkpoint
+        variant = entry["spec"]["variant"]
+        chain = self._chains[variant]
+        accepted: list[tuple[str, CampaignCheckpoint]] = []
+        replays: list[dict] = []
+        prev_known, prev_end = True, None  # plan position 0: fresh boot
+        for item in chain:
+            if item["settled"]:
+                prev_known, prev_end = item["end_known"], item["end"]
+                continue
+            done = item["done"]
+            if done is None:
+                break  # still running or unspawned; the cascade waits here
+            info = done.shard or {}
+            if info.get("resumed") or (
+                prev_known
+                and wear_fingerprint(info.get("base_wear"))
+                == wear_fingerprint(prev_end)
+            ):
+                item["settled"] = True
+                item["end_known"] = True
+                if variant in done.machine_wear:
+                    item["end"] = done.machine_wear.get(variant)
+                elif prev_known:
+                    # The slice never touched the machine (everything
+                    # skipped, or per-case machines): wear unchanged.
+                    item["end"] = prev_end
+                else:  # pragma: no cover - resumed slice, wear unknown
+                    item["end_known"] = False
+                if item["end_known"] and item["end"] is not None:
+                    self._learned.setdefault(variant, {})[item["stop"]] = item[
+                        "end"
+                    ]
+                accepted.append((item["tag"], done))
+                self._push_base(chain, item)
+                prev_known, prev_end = item["end_known"], item["end"]
+            else:
+                # Stale speculation: the base this slice actually ran
+                # from is not the serial wear at its first position.
+                # Discard the attempt and replay from the true frontier.
+                item["done"] = None
+                spec = item["spec"]
+                spec["shard"] = dict(
+                    spec["shard"], base_wear=prev_end, resumed=False
+                )
+                spec["resume"] = None
+                item["known"] = True
+                self._spawned.discard(item["tag"])
+                self.replays += 1
+                replays.append(spec)
+                break
+        return accepted, replays
+
+    def _push_base(self, chain: list[dict], item: dict) -> None:
+        """Hand a freshly settled slice's end wear to its successor as
+        the authoritative base -- unless the successor already spawned
+        (its own settlement check will judge the base it actually used)
+        or is a resumed slice (its basis is the resume document)."""
+        index = chain.index(item)
+        if index + 1 >= len(chain) or not item["end_known"]:
+            return
+        successor = chain[index + 1]
+        spec = successor["spec"]
+        if (
+            spec is None
+            or successor["settled"]
+            or successor["tag"] in self._spawned
+            or spec["shard"].get("resumed")
+        ):
+            return
+        spec["shard"] = dict(spec["shard"], base_wear=item["end"])
+        successor["known"] = True
+
+
 class ParallelCampaign:
     """Drop-in campaign runner that fans variants out across processes.
 
@@ -258,9 +520,23 @@ class ParallelCampaign:
     :param muts: optional subset of bare MuT names, as on
         :class:`Campaign`.  Custom registry objects cannot cross the
         spawn boundary; filter the default registry by name instead.
-    :param jobs: concurrent worker processes (default: one per variant,
-        capped at the core count).  ``jobs=1`` runs the serial
-        :class:`Campaign` in-process, skipping spawn overhead.
+    :param jobs: concurrent worker processes (default: one per
+        schedulable slice -- ``variants * shards`` -- capped at the core
+        count).  ``jobs=1`` runs the serial :class:`Campaign`
+        in-process, skipping spawn overhead.
+    :param shards: slices per variant (default 1: one worker per
+        variant, the pre-sharding behaviour).  With ``shards > 1`` each
+        variant's plan is cut into that many contiguous slices and all
+        slices across all variants feed one worker pool, so parallelism
+        is no longer capped at the variant count.  Slices of one variant
+        share a simulated machine, so each runs from the exact serial
+        wear at its first plan position -- learned from its predecessor
+        (cold) or a wear atlas (warm); see :class:`_SeamPlanner`.
+    :param atlas_path: optional wear-atlas file (see
+        :mod:`repro.core.atlas`).  Read for speculative slice bases at
+        startup, updated with settled seams after a successful run.
+        Purely an accelerator; results are byte-identical with or
+        without it.
     """
 
     def __init__(
@@ -269,14 +545,32 @@ class ParallelCampaign:
         config: CampaignConfig | None = None,
         muts: Iterable[str] | None = None,
         jobs: int | None = None,
+        shards: int | None = None,
+        atlas_path: str | pathlib.Path | None = None,
     ) -> None:
         self.variants = list(variants)
         self.config = config or CampaignConfig()
         self._muts = sorted(muts) if muts is not None else None
-        self.jobs = jobs if jobs is not None else default_jobs(len(self.variants))
+        self.shards = shards if shards is not None else default_shards()
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        self.atlas_path = atlas_path
+        self.jobs = (
+            jobs
+            if jobs is not None
+            else default_jobs(len(self.variants) * self.shards)
+        )
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
         self.last_checkpoint: CampaignCheckpoint | None = None
+        #: Settlement planner for the current sharded run (None when
+        #: shards == 1 or between runs).
+        self._planner: _SeamPlanner | None = None
+        #: Per-variant plan identities of the current sharded run.
+        self._plans: dict[str, list] = {}
+        #: Progress aggregation state: shard progress collapses into one
+        #: per-variant line (see :meth:`_forward_progress`).
+        self._progress_ctx: dict | None = None
 
     # ------------------------------------------------------------------
 
@@ -336,17 +630,34 @@ class ParallelCampaign:
             )
             save_checkpoint(initial, checkpoint_path)
         shard_base = self._shard_base(checkpoint_path)
-        specs = self._build_specs(
-            resume, shard_base, checkpoint_every, events=recorder is not None
-        )
+        if self.shards > 1:
+            specs, synthetic = self._build_shard_specs(
+                resume,
+                shard_base,
+                checkpoint_every,
+                events=recorder is not None,
+            )
+        else:
+            specs = self._build_specs(
+                resume,
+                shard_base,
+                checkpoint_every,
+                events=recorder is not None,
+            )
+            synthetic = []
         try:
             shards = self._run_workers(specs, progress, recorder)
+            if self.shards > 1:
+                entries = synthetic + [shards[spec["tag"]] for spec in specs]
+            else:
+                entries = [shards[key] for key in keys]
             merged = merge_checkpoints(
-                [shards[key] for key in keys],
+                entries,
                 cap=self.config.cap,
                 variants=keys,
             )
             merged.complete = True
+            self._save_atlas_seams()
             self.last_checkpoint = merged
             if checkpoint_path is not None:
                 save_checkpoint(merged, checkpoint_path)
@@ -366,6 +677,9 @@ class ParallelCampaign:
                         except OSError:  # pragma: no cover - already gone
                             pass
         finally:
+            self._planner = None
+            self._progress_ctx = None
+            self._plans = {}
             self._release_shard_base()
         if recorder is not None:
             recorder.emit(
@@ -457,6 +771,233 @@ class ParallelCampaign:
             )
         return specs
 
+    def _build_shard_specs(
+        self,
+        resume: CampaignCheckpoint | None,
+        shard_base: str | pathlib.Path | None,
+        checkpoint_every: int,
+        events: bool = False,
+    ) -> tuple[list[dict], list[CampaignCheckpoint]]:
+        """Cut each variant's plan into ``self.shards`` contiguous
+        slices and build one worker spec per incomplete slice.
+
+        Returns ``(specs, synthetic)``: the specs to schedule plus
+        pre-settled checkpoint pieces for slices a resume document
+        already completed (they go straight to the merge, no worker).
+        Also primes the run's :class:`_SeamPlanner` and the per-variant
+        progress aggregation state.
+        """
+        config_fields = {
+            "cap": self.config.cap,
+            "watchdog_ticks": self.config.watchdog_ticks,
+            "machine_per_case": self.config.machine_per_case,
+            "count_thrown_exceptions_as_abort": (
+                self.config.count_thrown_exceptions_as_abort
+            ),
+        }
+        atlas = (
+            load_atlas(self.atlas_path) if self.atlas_path is not None else None
+        )
+        planner = _SeamPlanner()
+        plan_source = Campaign(
+            self.variants, config=self.config, muts=self._muts
+        )
+        specs: list[dict] = []
+        synthetic: list[CampaignCheckpoint] = []
+        spans: dict[str, tuple[int, int]] = {}
+        totals: dict[str, int] = {}
+        counts: dict[str, dict[str, int]] = {}
+        self._plans = {}
+        for personality in self.variants:
+            key = personality.key
+            plan = [
+                (m.api, m.name) for m in plan_source.muts_for(personality)
+            ]
+            self._plans[key] = plan
+            totals[key] = len(plan)
+            cursor = resume.cursors.get(key, 0) if resume is not None else 0
+            for index, (start, stop) in enumerate(
+                shard_bounds(len(plan), self.shards)
+            ):
+                tag = shard_tag(key, index)
+                if resume is not None and cursor >= stop:
+                    # Completed by the interrupted run: a settled,
+                    # workerless piece.  Its end wear is known exactly
+                    # when the resume document's wear frontier lies in
+                    # this slice (cursor == stop); earlier pieces'
+                    # successors are themselves settled or resumed and
+                    # never consult it.
+                    piece = split_checkpoint(
+                        resume, key, plan=plan, span=(start, stop)
+                    )
+                    piece.shard = {
+                        "variant": key,
+                        "index": index,
+                        "start": start,
+                        "stop": stop,
+                        "resumed": True,
+                        "base_wear": None,
+                    }
+                    synthetic.append(piece)
+                    planner.add_settled(
+                        key,
+                        start,
+                        stop,
+                        end_known=key in piece.machine_wear,
+                        end_wear=piece.machine_wear.get(key),
+                    )
+                    counts.setdefault(key, {})["resumed"] = (
+                        counts.get(key, {}).get("resumed", 0) + (stop - start)
+                    )
+                    continue
+                resume_doc = None
+                base = None
+                resumed = False
+                if resume is not None and cursor >= start:
+                    # The resume frontier lands in this slice: carry its
+                    # rows and mid-slice wear (cursor > start), or --
+                    # exactly on the boundary -- just the wear, which
+                    # the split handed to the predecessor piece.
+                    resumed = cursor > 0
+                    if cursor > start:
+                        piece = split_checkpoint(
+                            resume, key, plan=plan, span=(start, stop)
+                        )
+                        piece.complete = False
+                        resume_doc = checkpoint_to_dict(piece)
+                    elif cursor > 0:
+                        base = resume.machine_wear.get(key)
+                    known = True
+                else:
+                    # Beyond the frontier (or a cold start): slice 0
+                    # boots fresh; later slices wait for their
+                    # predecessor's end wear unless the atlas ventures
+                    # a speculative seam.
+                    if atlas is not None:
+                        base = atlas.seam(key, plan, self.config.cap, start)
+                    known = index == 0 or base is not None
+                spec = {
+                    "variant": key,
+                    "tag": tag,
+                    "muts": self._muts,
+                    "config": config_fields,
+                    "shard_path": (
+                        None
+                        if shard_base is None
+                        else str(shard_path(shard_base, tag))
+                    ),
+                    "checkpoint_every": checkpoint_every,
+                    "resume": resume_doc,
+                    "quarantine": {},
+                    "heartbeat_interval": self._heartbeat_interval(),
+                    "events": events,
+                    "shard": {
+                        "variant": key,
+                        "index": index,
+                        "start": start,
+                        "stop": stop,
+                        "resumed": resumed,
+                        "base_wear": base,
+                    },
+                }
+                specs.append(spec)
+                planner.add_spec(spec, known)
+                spans[tag] = (start, stop)
+        self._planner = planner
+        self._progress_ctx = {
+            "spans": spans,
+            "totals": totals,
+            "counts": counts,
+        }
+        return specs, synthetic
+
+    def _save_atlas_seams(self) -> None:
+        """After a successful sharded run, memoize the settled seam
+        wears so the next identical run launches every slice warm."""
+        planner = self._planner
+        if planner is None or self.atlas_path is None:
+            return
+        atlas = load_atlas(self.atlas_path)
+        for variant, table in planner.learned().items():
+            plan = self._plans.get(variant, [])
+            for position, wear in table.items():
+                if 0 < position < len(plan):
+                    atlas.record(
+                        variant, plan, self.config.cap, position, wear
+                    )
+        save_atlas(atlas, self.atlas_path)
+
+    def _admit(self, pending: list[dict]) -> dict | None:
+        """Pop the first schedulable spec: without a planner that is
+        simply the queue head; with one, the first spec whose slice base
+        is known (work-stealing order -- a slice of any variant)."""
+        planner = self._planner
+        for index, spec in enumerate(pending):
+            tag = spec.get("tag") or spec["variant"]
+            if planner is None or planner.ready(tag):
+                if planner is not None:
+                    planner.mark_spawned(tag)
+                return pending.pop(index)
+        return None
+
+    def _absorb_done(
+        self,
+        key: str,
+        checkpoint: CampaignCheckpoint,
+        shards: dict[str, CampaignCheckpoint],
+        pending: list[dict],
+        recorder: Recorder | None,
+    ) -> None:
+        """Fold a finished worker's checkpoint into the run: directly
+        (per-variant workers) or via the seam planner's settlement
+        cascade (sharded), which may re-queue stale speculative slices."""
+        planner = self._planner
+        if planner is None:
+            shards[key] = checkpoint
+            return
+        accepted, replays = planner.on_done(key, checkpoint)
+        for tag, settled in accepted:
+            shards[tag] = settled
+        for spec in replays:
+            shards.pop(spec["tag"], None)
+            self._note_replay(spec, recorder)
+            pending.append(spec)
+
+    def _note_replay(self, spec: dict, recorder: Recorder | None) -> None:
+        if recorder is not None:
+            recorder.emit(
+                obs_events.ShardReplayed(
+                    spec["variant"],
+                    spec["shard"]["index"],
+                    "speculative base wear was stale",
+                )
+            )
+
+    def _forward_progress(
+        self, progress: ProgressFn | None, message: tuple
+    ) -> None:
+        """Relay a worker progress event.  Sharded runs collapse the
+        per-slice streams into one aggregate line per variant (completed
+        cases across all slices over the whole plan), so the renderer's
+        cursor-up redraw stays one line per variant instead of exploding
+        past terminal height at high ``--shards``."""
+        if progress is None:
+            return
+        _, tag, mut, position, total = message
+        ctx = self._progress_ctx
+        if ctx is None:
+            progress(tag, mut, position, total)
+            return
+        variant = tag.partition("#")[0]
+        span = ctx["spans"].get(tag)
+        if span is None:  # pragma: no cover - untagged message
+            progress(variant, mut, position, total)
+            return
+        counts = ctx["counts"].setdefault(variant, {})
+        counts[tag] = position - span[0] + 1
+        started = sum(counts.values())
+        progress(variant, mut, started - 1, ctx["totals"][variant])
+
     def _run_workers(
         self,
         specs: list[dict],
@@ -473,8 +1014,10 @@ class ParallelCampaign:
         errors: dict[str, str] = {}
         try:
             while pending or running:
-                while pending and len(running) < self.jobs:
-                    spec = pending.pop(0)
+                while len(running) < self.jobs:
+                    spec = self._admit(pending)
+                    if spec is None:
+                        break
                     worker = self._spawn(ctx, spec, events)
                     running[spec.get("tag") or spec["variant"]] = worker
                     if recorder is not None:
@@ -483,6 +1026,12 @@ class ParallelCampaign:
                                 spec["variant"], worker.pid or 0, 1
                             )
                         )
+                if pending and not running:
+                    # Defensive: every unschedulable slice waits on a
+                    # predecessor, so something must always be running.
+                    raise RuntimeError(
+                        "sharded campaign stalled: no runnable slices"
+                    )
                 try:
                     message = events.get(timeout=0.2)
                 except queue.Empty:
@@ -498,18 +1047,23 @@ class ParallelCampaign:
                     continue
                 kind, key = message[0], message[1]
                 if kind == "progress":
-                    if progress is not None:
-                        progress(*message[1:])
+                    self._forward_progress(progress, message)
                 elif kind == "heartbeat":
                     pass  # liveness beacons; only the supervisor consumes them
                 elif kind == "obs":
                     if recorder is not None:
                         recorder.record(message[2])
                 elif kind == "done":
-                    shards[key] = checkpoint_from_dict(message[2])
                     self._retire(running, key)
                     if recorder is not None:
                         recorder.emit(obs_events.WorkerFinished(key))
+                    self._absorb_done(
+                        key,
+                        checkpoint_from_dict(message[2]),
+                        shards,
+                        pending,
+                        recorder,
+                    )
                 else:  # "error"
                     errors[key] = message[2]
                     self._retire(running, key)

@@ -37,7 +37,11 @@ FORMAT_VERSION = 2
 SUPPORTED_VERSIONS = {1, 2}
 
 CHECKPOINT_FORMAT = "ballista-checkpoint"
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
+#: Older checkpoint versions that still load (version 1 predates the
+#: intra-variant ``shard`` block; those documents describe whole-variant
+#: slices and merge exactly as before).
+CHECKPOINT_SUPPORTED_VERSIONS = {1, 2}
 
 
 class ResultFormatError(ValueError):
@@ -216,6 +220,17 @@ class CampaignCheckpoint:
         and cleared once the campaign completes -- a supervised run that
         survived faults leaves a final checkpoint byte-identical to an
         undisturbed run's.
+    :param shard: intra-variant slice metadata (version 2), present only
+        on the per-worker shard documents of a sharded campaign:
+        ``{"variant", "index", "start", "stop", "resumed", "base_wear"}``.
+        ``start``/``stop`` bound the slice's half-open plan-position
+        range; ``base_wear`` is the exact machine wear the slice started
+        from (``None`` = fresh boot) so :func:`merge_checkpoints` can
+        prove each seam matches the serial wear trajectory before
+        splicing rows; ``resumed`` marks slices whose base came from an
+        authoritative combined checkpoint rather than a predecessor
+        slice (the seam check is skipped -- same trust as any resume).
+        ``None`` on serial, combined, and whole-variant documents.
     """
 
     results: ResultSet
@@ -225,6 +240,7 @@ class CampaignCheckpoint:
     variants: list[str] | None = None
     complete: bool = False
     supervision: list[dict] = field(default_factory=list)
+    shard: dict | None = None
 
 
 def checkpoint_to_dict(checkpoint: CampaignCheckpoint) -> dict:
@@ -243,13 +259,15 @@ def checkpoint_to_dict(checkpoint: CampaignCheckpoint) -> dict:
     }
     if checkpoint.supervision:
         document["supervision"] = [dict(e) for e in checkpoint.supervision]
+    if checkpoint.shard is not None:
+        document["shard"] = dict(checkpoint.shard)
     return document
 
 
 def checkpoint_from_dict(document: dict) -> CampaignCheckpoint:
     if document.get("format") != CHECKPOINT_FORMAT:
         raise ResultFormatError("not a ballista-checkpoint document")
-    if document.get("version") != CHECKPOINT_VERSION:
+    if document.get("version") not in CHECKPOINT_SUPPORTED_VERSIONS:
         raise ResultFormatError(
             f"unsupported checkpoint version {document.get('version')!r}"
         )
@@ -271,6 +289,11 @@ def checkpoint_from_dict(document: dict) -> CampaignCheckpoint:
             supervision=[
                 dict(entry) for entry in document.get("supervision", [])
             ],
+            shard=(
+                dict(document["shard"])
+                if document.get("shard") is not None
+                else None
+            ),
         )
     except (KeyError, ValueError, TypeError) as exc:
         raise ResultFormatError(f"malformed checkpoint: {exc}") from exc
@@ -289,33 +312,89 @@ def shard_path(base: str | pathlib.Path, variant: str) -> pathlib.Path:
 
 
 def split_checkpoint(
-    checkpoint: CampaignCheckpoint, variant: str
+    checkpoint: CampaignCheckpoint,
+    variant: str,
+    plan: list | None = None,
+    span: tuple[int, int] | None = None,
 ) -> CampaignCheckpoint:
     """Extract one variant's shard from a combined checkpoint, so a
     parallel worker can resume exactly where the serial semantics would:
     completed MuT rows, the plan cursor, and the machine wear for that
     variant only.  Rows are shared, not copied -- shards are written or
-    shipped across a process boundary immediately."""
+    shipped across a process boundary immediately.
+
+    With ``span=(start, stop)`` the shard is one intra-variant slice:
+    only rows (and quarantine records) whose plan position falls inside
+    the half-open range are kept.  ``plan`` -- the variant's ordered
+    ``(api, name)`` plan -- maps rows to positions and is required with
+    a span.  The cursor is clamped into the span, and machine wear
+    travels only with the slice holding the wear frontier (the combined
+    cursor ``c`` satisfies ``start < c <= stop``): serial wear at plan
+    position ``c`` belongs to the seam between slice rows ``c-1`` and
+    ``c``, so exactly one slice may restore it.
+    """
+    if span is not None and plan is None:
+        raise ValueError("split_checkpoint: span requires the variant plan")
+    cursor = checkpoint.cursors.get(variant)
+    if span is None:
+        keep = None
+        start, stop = 0, None
+    else:
+        start, stop = span
+        positions = {identity: i for i, identity in enumerate(plan)}
+
+        def keep(api: str, name: str) -> bool:
+            position = positions.get((api, name))
+            return position is not None and start <= position < stop
+
     results = ResultSet()
     for row in checkpoint.results:
-        if row.variant == variant:
-            results.add(row)
+        if row.variant != variant:
+            continue
+        if keep is not None and not keep(row.api, row.mut_name):
+            continue
+        results.add(row)
+    for record in checkpoint.results.quarantined_records():
+        if record.variant != variant:
+            continue
+        if keep is not None and not keep(record.api, record.mut_name):
+            continue
+        results.quarantine(variant, record.api, record.mut_name, record.reason)
     if checkpoint.results.is_partial(variant):
         results.mark_partial(variant)
     cursors = {}
-    if variant in checkpoint.cursors:
-        cursors[variant] = checkpoint.cursors[variant]
     wear = {}
-    if variant in checkpoint.machine_wear:
-        wear[variant] = dict(checkpoint.machine_wear[variant])
+    if span is None:
+        if cursor is not None:
+            cursors[variant] = cursor
+        if variant in checkpoint.machine_wear:
+            wear[variant] = dict(checkpoint.machine_wear[variant])
+        complete = checkpoint.complete
+    else:
+        frontier = cursor if cursor is not None else 0
+        if frontier > start:
+            cursors[variant] = min(frontier, stop)
+        if start < frontier <= stop and variant in checkpoint.machine_wear:
+            wear[variant] = dict(checkpoint.machine_wear[variant])
+        complete = frontier >= stop
     return CampaignCheckpoint(
         results=results,
         cursors=cursors,
         machine_wear=wear,
         cap=checkpoint.cap,
         variants=[variant],
-        complete=checkpoint.complete,
+        complete=complete,
     )
+
+
+def wear_fingerprint(wear: dict | None) -> str:
+    """Canonical byte form of a machine-wear image (``None`` = fresh
+    boot).  Two slices join at a valid seam exactly when the
+    predecessor's end-wear fingerprint equals the successor's base-wear
+    fingerprint -- execution is deterministic, so equal wear here proves
+    the successor ran on the very machine state the serial campaign
+    would have handed it."""
+    return json.dumps(wear, sort_keys=True, separators=(",", ":"))
 
 
 def merge_checkpoints(
@@ -335,13 +414,27 @@ def merge_checkpoints(
 
     The merged document is independent of shard completion order:
     result rows serialise sorted by key, and cursors/wear are keyed by
-    variant.  ``complete`` only when every shard completed."""
+    variant.  ``complete`` only when every shard completed.
+
+    Shards carrying an intra-variant ``shard`` block (checkpoint
+    version 2) merge as a *validated chain* per variant: slices are
+    ordered by plan position and spliced back only while each slice's
+    recorded base wear byte-matches the previous slice's end wear (or
+    the slice was resumed from an authoritative combined document).
+    The first gap, seam mismatch, or incomplete slice ends the chain --
+    later slices are speculative work whose machine state cannot be
+    proven serial-equivalent, so their rows are dropped with a warning
+    and the merged document is left incomplete for a resume to re-earn
+    them.  The spliced output is byte-identical to the serial document:
+    rows serialise sorted by key, the cursor lands on the last proven
+    seam, and the wear image is the chain frontier's."""
     merged = CampaignCheckpoint(
         ResultSet(),
         cap=cap,
         variants=None if variants is None else list(variants),
     )
     complete = bool(shards)
+    sliced: dict[str, list[CampaignCheckpoint]] = {}
     for shard in shards:
         if isinstance(shard, (str, pathlib.Path)):
             path = pathlib.Path(shard)
@@ -361,13 +454,96 @@ def merge_checkpoints(
                 )
                 complete = False
                 continue
+        if shard.shard is not None:
+            sliced.setdefault(str(shard.shard.get("variant")), []).append(
+                shard
+            )
+            continue
         merged.results.merge(shard.results)
         merged.cursors.update(shard.cursors)
         for variant, wear in shard.machine_wear.items():
             merged.machine_wear[variant] = dict(wear)
         complete = complete and shard.complete
+    # Chain order follows the campaign's variant order (the serial
+    # cursor/wear dicts are keyed in execution order, and dict order
+    # lands in the serialised document byte for byte).
+    ordered = [v for v in (variants or []) if v in sliced]
+    ordered += sorted(v for v in sliced if v not in set(ordered))
+    for variant in ordered:
+        complete = _merge_slice_chain(merged, variant, sliced[variant]) and (
+            complete
+        )
     merged.complete = complete
     return merged
+
+
+def _merge_slice_chain(
+    merged: CampaignCheckpoint,
+    variant: str,
+    entries: list[CampaignCheckpoint],
+) -> bool:
+    """Splice one variant's intra-variant slices into ``merged`` as far
+    as the seam-validated chain reaches; returns True when the chain
+    covers the whole plan with every slice complete."""
+    entries.sort(
+        key=lambda e: (
+            int(e.shard.get("start", 0)),
+            int(e.shard.get("index", 0)),
+        )
+    )
+    position = 0
+    frontier_fp = wear_fingerprint(None)
+    cursor: int | None = None
+    wear: dict | None = None
+    merged_upto = 0
+    for count, entry in enumerate(entries):
+        info = entry.shard
+        start = int(info.get("start", 0))
+        stop = int(info.get("stop", 0))
+        if start != position:
+            warnings.warn(
+                f"shard chain for [{variant}] has a gap at plan position "
+                f"{position} (next slice starts at {start}); dropping "
+                f"{len(entries) - count} unproven slice(s)",
+                stacklevel=3,
+            )
+            break
+        if not info.get("resumed") and (
+            wear_fingerprint(info.get("base_wear")) != frontier_fp
+        ):
+            warnings.warn(
+                f"shard [{variant}#{info.get('index')}] base wear does "
+                f"not match the chain frontier at plan position "
+                f"{position}; dropping {len(entries) - count} unproven "
+                f"slice(s) -- a resume will re-run them",
+                stacklevel=3,
+            )
+            break
+        merged.results.merge(entry.results)
+        if variant in entry.cursors:
+            cursor = entry.cursors[variant]
+        if variant in entry.machine_wear:
+            wear = dict(entry.machine_wear[variant])
+        merged_upto = count + 1
+        if not entry.complete:
+            if count + 1 < len(entries):
+                warnings.warn(
+                    f"shard chain for [{variant}] is incomplete at plan "
+                    f"position {cursor if cursor is not None else start}; "
+                    f"dropping {len(entries) - count - 1} unproven "
+                    f"slice(s)",
+                    stacklevel=3,
+                )
+            break
+        position = stop
+        frontier_fp = wear_fingerprint(wear)
+    if cursor is not None:
+        merged.cursors[variant] = cursor
+    if wear is not None:
+        merged.machine_wear[variant] = wear
+    return merged_upto == len(entries) and all(
+        entry.complete for entry in entries
+    )
 
 
 def save_checkpoint(

@@ -169,8 +169,17 @@ class SupervisedCampaign(ParallelCampaign):
         muts: Iterable[str] | None = None,
         jobs: int | None = None,
         policy: SupervisorPolicy | None = None,
+        shards: int | None = None,
+        atlas_path: str | pathlib.Path | None = None,
     ) -> None:
-        super().__init__(variants, config=config, muts=muts, jobs=jobs)
+        super().__init__(
+            variants,
+            config=config,
+            muts=muts,
+            jobs=jobs,
+            shards=shards,
+            atlas_path=atlas_path,
+        )
         self.policy = policy or SupervisorPolicy()
         #: Chronological supervision events of the last :meth:`run`.
         self.supervision_log: list[dict] = []
@@ -244,6 +253,18 @@ class SupervisedCampaign(ParallelCampaign):
                 return
             live.supervision = list(self.supervision_log)
             save_checkpoint(live, path)
+
+    def _note_replay(self, spec, recorder: Recorder | None) -> None:
+        super()._note_replay(spec, recorder)
+        # Replays are settlement corrections, not faults: they ride the
+        # supervision log for the operator but never burn the slice's
+        # restart budget.
+        self._log(
+            "shard_replay",
+            spec["variant"],
+            index=spec["shard"]["index"],
+            why="speculative base wear was stale",
+        )
 
     def _pump_timeout(self) -> float:
         """Queue poll interval.  Floored at 50 ms: a tight MuT deadline
@@ -339,7 +360,13 @@ class SupervisedCampaign(ParallelCampaign):
                     key = spec.get("tag") or spec["variant"]
                     if key in errors or resume_at.get(key, 0.0) > now:
                         continue
+                    if self._planner is not None and not self._planner.ready(
+                        key
+                    ):
+                        continue  # slice base unknown: predecessor first
                     pending.remove(spec)
+                    if self._planner is not None:
+                        self._planner.mark_spawned(key)
                     worker = self._spawn(ctx, spec, events)
                     running[key] = worker
                     last_seen[key] = policy.clock()
@@ -362,25 +389,33 @@ class SupervisedCampaign(ParallelCampaign):
                     kind, key = message[0], message[1]
                     last_seen[key] = policy.clock()
                     if kind == "progress":
-                        if progress is not None:
-                            progress(*message[1:])
+                        self._forward_progress(progress, message)
                     elif kind == "heartbeat":
                         inflight[key] = (message[2], message[3])
                     elif kind == "obs":
                         if recorder is not None:
                             recorder.record(message[2])
                     elif kind == "done":
-                        shards[key] = checkpoint_from_dict(message[2])
                         inflight.pop(key, None)
                         self._retire(running, key)
                         emit(obs_events.WorkerFinished(key))
                         # A watchdog race can park a respawn for a
-                        # variant that actually finished: cancel it.
+                        # variant that actually finished: cancel it
+                        # (before the settlement cascade, which may
+                        # legitimately re-queue this very slice as a
+                        # replay).
                         pending[:] = [
                             s
                             for s in pending
                             if (s.get("tag") or s["variant"]) != key
                         ]
+                        self._absorb_done(
+                            key,
+                            checkpoint_from_dict(message[2]),
+                            shards,
+                            pending,
+                            recorder,
+                        )
                     else:  # "error": an exception inside the worker
                         worker = running.get(key)
                         if worker is not None:

@@ -108,7 +108,7 @@ SERIALIZATION_PINS: tuple[SerializationPin, ...] = (
     SerializationPin(
         cls="repro.core.results_io.CampaignCheckpoint",
         version_const="repro.core.results_io.CHECKPOINT_VERSION",
-        version=1,
+        version=2,
         fields=(
             "results",
             "cursors",
@@ -117,12 +117,13 @@ SERIALIZATION_PINS: tuple[SerializationPin, ...] = (
             "variants",
             "complete",
             "supervision",
+            "shard",
         ),
     ),
     SerializationPin(
         cls="repro.service.queue.JobSpec",
         version_const="repro.service.queue.QUEUE_VERSION",
-        version=1,
+        version=2,
         fields=(
             "tenant",
             "job_key",
@@ -130,6 +131,13 @@ SERIALIZATION_PINS: tuple[SerializationPin, ...] = (
             "cap",
             "muts",
             "checkpoint_every",
+            "shards",
         ),
+    ),
+    SerializationPin(
+        cls="repro.core.atlas.WearAtlas",
+        version_const="repro.core.atlas.ATLAS_VERSION",
+        version=1,
+        fields=("plans", "seams"),
     ),
 )

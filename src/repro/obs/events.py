@@ -286,6 +286,27 @@ class WorkerRestarted(Event):
 
 
 @dataclass(frozen=True)
+class ShardReplayed(Event):
+    """A sharded slice ran from a stale speculative base wear; its
+    attempt was discarded and the slice re-queued from the true
+    frontier.  Operational only -- replays never reach the merged
+    results, so the deterministic stream is unaffected."""
+
+    variant: str
+    index: int
+    why: str
+    kind = "shard_replayed"
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "variant": self.variant,
+            "index": self.index,
+            "why": self.why[:500],
+        }
+
+
+@dataclass(frozen=True)
 class BudgetExhausted(Event):
     """The supervisor gave up on a variant: restart budget spent."""
 
@@ -497,7 +518,9 @@ def strip_wall(record: dict) -> dict:
     return {k: v for k, v in record.items() if k != "t"}
 
 
-def variant_stream(records: Iterable[dict], variant: str) -> list[dict]:
+def variant_stream(
+    records: Iterable[dict], variant: str, plan: Iterable | None = None
+) -> list[dict]:
     """The canonical deterministic event stream for one variant.
 
     Filters ``records`` to the :data:`DETERMINISTIC_KINDS` belonging to
@@ -520,6 +543,16 @@ def variant_stream(records: Iterable[dict], variant: str) -> list[dict]:
     The result is exactly the serial emission order: ``variant_started``,
     then per MuT in plan order its cases followed by ``mut_finished``
     (or a bare ``mut_quarantined``), then ``variant_finished``.
+
+    With ``plan`` (the variant's ordered MuT identities, as ``api:name``
+    strings or ``(api, name)`` pairs) the canonicalisation also covers
+    *intra-variant sharded* runs, whose slices interleave and finish out
+    of plan order: flushed MuT blocks are re-emitted in plan order, and
+    the per-slice ``variant_finished`` events collapse into one
+    synthesised record (``cases`` summed across slices, ``sim_ticks``
+    the maximum -- the simulated clock is monotone along the plan, so
+    the maximum is the final slice's end clock, the serial value).
+    MuTs absent from ``plan`` sort after it in arrival order.
     """
     out: list[dict] = []
     started: dict | None = None
@@ -560,4 +593,27 @@ def variant_stream(records: Iterable[dict], variant: str) -> list[dict]:
         else:  # variant_finished: only the surviving attempt emits one
             tail.append(record)
     prefix = [started] if started is not None else []
+    if plan is not None:
+        order = [
+            mut if isinstance(mut, str) else f"{mut[0]}:{mut[1]}"
+            for mut in plan
+        ]
+        blocks: dict[str, list[dict]] = {}
+        for record in out:
+            blocks.setdefault(record.get("mut"), []).append(record)
+        ordered: list[dict] = []
+        for mut in order:
+            ordered.extend(blocks.pop(mut, []))
+        for leftovers in blocks.values():  # pragma: no cover - off-plan MuT
+            ordered.extend(leftovers)
+        out = ordered
+        if len(tail) > 1:
+            tail = [
+                {
+                    "kind": "variant_finished",
+                    "variant": variant,
+                    "cases": sum(r.get("cases", 0) for r in tail),
+                    "sim_ticks": max(r.get("sim_ticks", 0) for r in tail),
+                }
+            ]
     return prefix + out + tail

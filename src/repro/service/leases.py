@@ -1,7 +1,8 @@
 """Shard leases for the multi-tenant campaign service.
 
-Each in-flight ``(job, variant)`` shard is *leased* to exactly one
-worker process at a time.  The lease carries a deadline; workers renew
+Each in-flight ``(job, variant, shard)`` slice is *leased* to exactly
+one worker process at a time (``shard`` is the intra-variant slice
+index; 0 for jobs submitted without sharding).  The lease carries a deadline; workers renew
 it with heartbeats (the supervisor machinery already makes workers
 heartbeat at every MuT boundary).  When heartbeats stop -- the worker
 was SIGKILLed, wedged, or its host vanished -- the lease expires and
@@ -30,9 +31,17 @@ class LeaseError(RuntimeError):
     """A lease operation violated the single-holder invariant."""
 
 
+def _token(variant: str, shard: int) -> str:
+    """Display token for telemetry: the bare variant for whole-variant
+    shards, ``variant#k`` for intra-variant slices."""
+    return variant if shard == 0 else f"{variant}#{shard}"
+
+
 @dataclass
 class Lease:
-    """One shard's claim: who may run ``(job_id, variant)`` right now."""
+    """One shard's claim: who may run ``(job_id, variant, shard)`` right
+    now.  ``shard_index`` is the intra-variant slice index -- 0 for the
+    whole variant (jobs submitted without sharding)."""
 
     lease_id: int
     job_id: str
@@ -40,10 +49,11 @@ class Lease:
     granted_at: float
     deadline: float
     attempt: int = 1
+    shard_index: int = 0
 
     @property
-    def shard(self) -> tuple[str, str]:
-        return (self.job_id, self.variant)
+    def shard(self) -> tuple[str, str, int]:
+        return (self.job_id, self.variant, self.shard_index)
 
 
 @dataclass
@@ -90,10 +100,10 @@ class LeaseManager:
         self.clock = clock
         self.recorder = recorder
         self.stats = LeaseStats()
-        self._active: dict[tuple[str, str], Lease] = {}
+        self._active: dict[tuple[str, str, int], Lease] = {}
         #: Grant count per shard, surviving release/expiry: attempt 2+
         #: on a grant means the shard is being *reassigned*.
-        self._attempts: dict[tuple[str, str], int] = {}
+        self._attempts: dict[tuple[str, str, int], int] = {}
         self._next_id = 1
 
     def _emit(self, event) -> None:
@@ -102,24 +112,25 @@ class LeaseManager:
 
     # ------------------------------------------------------------------
 
-    def grant(self, job_id: str, variant: str) -> Lease:
-        """Lease a shard to a new worker.
+    def grant(self, job_id: str, variant: str, shard: int = 0) -> Lease:
+        """Lease a shard to a new worker.  ``shard`` is the
+        intra-variant slice index (0 = the whole variant).
 
         Refuses (raises :class:`LeaseError`) while another lease on the
         same shard is still active -- the double-grant guard: a shard
         whose old worker may still be running must be expired or
         released first."""
-        shard = (job_id, variant)
-        existing = self._active.get(shard)
+        key = (job_id, variant, shard)
+        existing = self._active.get(key)
         if existing is not None:
             self.stats.double_grants_refused += 1
             raise LeaseError(
-                f"shard {job_id}/{variant} already leased "
+                f"shard {job_id}/{_token(variant, shard)} already leased "
                 f"(lease {existing.lease_id}, attempt {existing.attempt})"
             )
         now = self.clock()
-        attempt = self._attempts.get(shard, 0) + 1
-        self._attempts[shard] = attempt
+        attempt = self._attempts.get(key, 0) + 1
+        self._attempts[key] = attempt
         lease = Lease(
             lease_id=self._next_id,
             job_id=job_id,
@@ -127,36 +138,45 @@ class LeaseManager:
             granted_at=now,
             deadline=now + self.lease_s + self.spawn_grace,
             attempt=attempt,
+            shard_index=shard,
         )
         self._next_id += 1
-        self._active[shard] = lease
+        self._active[key] = lease
         self.stats.granted += 1
         if self.recorder is not None:
             from repro.obs.events import LeaseGranted, LeaseReassigned
 
-            self._emit(LeaseGranted(job_id, variant, lease.lease_id, attempt))
+            self._emit(
+                LeaseGranted(
+                    job_id, _token(variant, shard), lease.lease_id, attempt
+                )
+            )
             if attempt > 1:
                 self.stats.reassignments += 1
-                self._emit(LeaseReassigned(job_id, variant, attempt))
+                self._emit(
+                    LeaseReassigned(job_id, _token(variant, shard), attempt)
+                )
         elif attempt > 1:
             self.stats.reassignments += 1
         return lease
 
-    def renew(self, job_id: str, variant: str) -> bool:
+    def renew(self, job_id: str, variant: str, shard: int = 0) -> bool:
         """Heartbeat: push the shard's deadline out to now + lease_s.
         Returns False (no-op) when no lease is active -- a heartbeat
         from a worker whose lease already expired must not resurrect
         it."""
-        lease = self._active.get((job_id, variant))
+        lease = self._active.get((job_id, variant, shard))
         if lease is None:
             return False
         lease.deadline = self.clock() + self.lease_s
         self.stats.renewed += 1
         return True
 
-    def release(self, job_id: str, variant: str) -> Lease | None:
+    def release(
+        self, job_id: str, variant: str, shard: int = 0
+    ) -> Lease | None:
         """Drop a lease cleanly (shard finished, or worker reaped)."""
-        lease = self._active.pop((job_id, variant), None)
+        lease = self._active.pop((job_id, variant, shard), None)
         if lease is not None:
             self.stats.released += 1
         return lease
@@ -190,11 +210,11 @@ class LeaseManager:
     def active(self) -> list[Lease]:
         return sorted(self._active.values(), key=lambda l: l.lease_id)
 
-    def holder(self, job_id: str, variant: str) -> Lease | None:
-        return self._active.get((job_id, variant))
+    def holder(self, job_id: str, variant: str, shard: int = 0) -> Lease | None:
+        return self._active.get((job_id, variant, shard))
 
-    def attempts(self, job_id: str, variant: str) -> int:
-        return self._attempts.get((job_id, variant), 0)
+    def attempts(self, job_id: str, variant: str, shard: int = 0) -> int:
+        return self._attempts.get((job_id, variant, shard), 0)
 
     def __len__(self) -> int:
         return len(self._active)

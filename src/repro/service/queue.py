@@ -39,7 +39,10 @@ from dataclasses import dataclass, field
 from repro.core.results_io import _atomic_write, shard_path
 
 QUEUE_FORMAT = "ballista-job-queue"
-QUEUE_VERSION = 1
+#: Version 2 added :attr:`JobSpec.shards` (intra-variant slicing).
+#: Version-1 snapshots load unchanged: a missing ``shards`` means 1.
+QUEUE_VERSION = 2
+SUPPORTED_QUEUE_VERSIONS = (1, 2)
 
 #: Journal appends between automatic compactions.
 DEFAULT_COMPACT_EVERY = 256
@@ -60,7 +63,10 @@ class JobSpec:
 
     ``variants`` become the job's shards (one worker lease each);
     ``muts`` optionally restricts the plan to a set of bare MuT names,
-    as on :class:`~repro.core.campaign.Campaign`.
+    as on :class:`~repro.core.campaign.Campaign`.  ``shards`` slices
+    each variant's plan into that many intra-variant shard tokens
+    (``variant#k``); the default 1 keeps the pre-sharding one-token-
+    per-variant scheme, so old journals and snapshots load unchanged.
     """
 
     tenant: str
@@ -69,6 +75,7 @@ class JobSpec:
     cap: int
     muts: tuple[str, ...] | None = None
     checkpoint_every: int = 5
+    shards: int = 1
 
     def as_dict(self) -> dict:
         return {
@@ -78,6 +85,7 @@ class JobSpec:
             "cap": self.cap,
             "muts": None if self.muts is None else list(self.muts),
             "checkpoint_every": self.checkpoint_every,
+            "shards": self.shards,
         }
 
     @classmethod
@@ -91,9 +99,36 @@ class JobSpec:
                 cap=int(data["cap"]),
                 muts=None if muts is None else tuple(str(m) for m in muts),
                 checkpoint_every=int(data.get("checkpoint_every", 5)),
+                shards=int(data.get("shards", 1)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise JobQueueError(f"malformed job spec: {exc}") from exc
+
+    def shard_tokens(self, variant: str) -> list[str]:
+        """The work tokens one variant contributes: the bare variant
+        key when the job is unsharded (the historical scheme, so old
+        ``shards_done`` sets keep matching), else ``variant#k`` per
+        slice."""
+        if self.shards <= 1:
+            return [variant]
+        return [f"{variant}#{index}" for index in range(self.shards)]
+
+    def all_tokens(self) -> list[str]:
+        return [
+            token
+            for variant in self.variants
+            for token in self.shard_tokens(variant)
+        ]
+
+
+def split_token(token: str) -> tuple[str, int]:
+    """``(variant, slice index)`` from a shard token.  Bare variants
+    (unsharded jobs) are slice 0."""
+    variant, _, index = token.partition("#")
+    try:
+        return variant, int(index) if index else 0
+    except ValueError:
+        return variant, 0
 
 
 @dataclass
@@ -168,9 +203,10 @@ class JobQueue:
         path.mkdir(parents=True, exist_ok=True)
         return path
 
-    def shard_file(self, job_id: str, variant: str) -> pathlib.Path:
-        """Where this shard's worker checkpoints (and resumes from)."""
-        return shard_path(self.job_dir(job_id) / "campaign.ckpt", variant)
+    def shard_file(self, job_id: str, token: str) -> pathlib.Path:
+        """Where this shard token's worker checkpoints (and resumes
+        from).  ``token`` is a bare variant key or ``variant#k``."""
+        return shard_path(self.job_dir(job_id) / "campaign.ckpt", token)
 
     def results_file(self, job_id: str) -> pathlib.Path:
         return self.job_dir(job_id) / "results.json"
@@ -183,7 +219,7 @@ class JobQueue:
             document = json.loads(snapshot.read_text(encoding="utf-8"))
             if document.get("format") != QUEUE_FORMAT:
                 raise JobQueueError(f"{snapshot} is not a job-queue snapshot")
-            if document.get("version") != QUEUE_VERSION:
+            if document.get("version") not in SUPPORTED_QUEUE_VERSIONS:
                 raise JobQueueError(
                     f"unsupported queue version {document.get('version')!r}"
                 )
@@ -319,9 +355,18 @@ class JobQueue:
             ]
 
     def pending_shards(self) -> list[tuple[str, str]]:
-        """``(job_id, variant)`` shards not yet done, for jobs still in
-        flight, in submission order then spec variant order.  The lease
-        manager decides which of these are currently claimable."""
+        """``(job_id, token)`` shards not yet done *and currently
+        runnable*, for jobs still in flight, in submission order then
+        spec variant order then slice order.  The lease manager decides
+        which of these are currently claimable.
+
+        Tokens are bare variant keys for unsharded jobs, ``variant#k``
+        for sharded ones.  A sharded slice is runnable only once its
+        predecessor slice is done: slices of one variant share a
+        simulated machine, and slice k+1 must boot from slice k's exact
+        end wear (read from slice k's checkpoint on disk), so the
+        service runs each variant's slices as a chain while different
+        variants' chains fill the worker pool."""
         out: list[tuple[str, str]] = []
         with self._lock:
             for job_id in sorted(self._jobs, key=_seq_of):
@@ -329,8 +374,16 @@ class JobQueue:
                 if record.state in (JOB_DONE, JOB_FAILED):
                     continue
                 for variant in record.spec.variants:
-                    if variant not in record.shards_done:
-                        out.append((job_id, variant))
+                    tokens = record.spec.shard_tokens(variant)
+                    for index, token in enumerate(tokens):
+                        if token in record.shards_done:
+                            continue
+                        if (
+                            index == 0
+                            or tokens[index - 1] in record.shards_done
+                        ):
+                            out.append((job_id, token))
+                        break  # later slices wait on this one
         return out
 
     def mark_running(self, job_id: str) -> None:
@@ -340,17 +393,19 @@ class JobQueue:
             if record.state == JOB_PENDING:
                 record.state = JOB_RUNNING
 
-    def mark_shard_done(self, job_id: str, variant: str) -> bool:
-        """Record one shard's completion; returns True when it was the
-        job's last outstanding shard."""
+    def mark_shard_done(self, job_id: str, token: str) -> bool:
+        """Record one shard token's completion; returns True when it
+        was the job's last outstanding token.  (The journal op keeps
+        its historical ``variant`` field name -- for unsharded jobs the
+        token *is* the variant, so old journals replay unchanged.)"""
         with self._lock:
             record = self._jobs[job_id]
-            if variant not in record.shards_done:
-                record.shards_done.add(variant)
+            if token not in record.shards_done:
+                record.shards_done.add(token)
                 self._append(
-                    {"op": "shard_done", "job_id": job_id, "variant": variant}
+                    {"op": "shard_done", "job_id": job_id, "variant": token}
                 )
-            return set(record.spec.variants) <= record.shards_done
+            return set(record.spec.all_tokens()) <= record.shards_done
 
     def mark_job_done(self, job_id: str) -> None:
         with self._lock:

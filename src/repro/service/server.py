@@ -43,7 +43,7 @@ import time
 from repro.core.crash_scale import CaseCode
 from repro.core.generator import CaseGenerator
 from repro.core.mut import MuTRegistry, default_registry
-from repro.core.parallel import ParallelCampaign, _variant_worker
+from repro.core.parallel import ParallelCampaign, _variant_worker, shard_bounds
 from repro.core.results import ResultSet
 from repro.core.results_io import (
     ResultFormatError,
@@ -62,6 +62,7 @@ from repro.service.queue import (
     JobQueue,
     JobRecord,
     JobSpec,
+    split_token,
 )
 from repro.service.rpc import (
     ACCEPT_GARBAGE_ARGS,
@@ -474,11 +475,12 @@ class CampaignService:
         self._lock = threading.RLock()
         self._ctx = multiprocessing.get_context("spawn")
         self._events = self._ctx.Queue()
-        #: (job_id, variant) -> live worker process.
+        #: (job_id, token) -> live worker process.  The token is the
+        #: bare variant for unsharded jobs, ``variant#k`` for slices.
         self._workers: dict[tuple[str, str], object] = {}
-        #: (job_id, variant) -> latest progress beacon (coalesced).
+        #: (job_id, token) -> latest progress beacon (coalesced).
         self._progress: dict[tuple[str, str], dict] = {}
-        #: (job_id, variant) -> (mtime_ns, size, plan-ordered row list).
+        #: (job_id, token) -> (mtime_ns, size, plan-ordered row list).
         self._row_cache: dict[tuple[str, str], tuple[int, int, list]] = {}
         self._plan_cache: dict[tuple[str, tuple[str, ...] | None], list] = {}
         self._selector = selectors.DefaultSelector()
@@ -535,12 +537,13 @@ class CampaignService:
         self._stopped.wait()
 
     def worker_pids(self) -> dict[str, int]:
-        """Live worker PIDs keyed ``"job/variant"`` (fault drills aim
-        their SIGKILLs with this)."""
+        """Live worker PIDs keyed ``"job/token"`` -- the token is the
+        bare variant for unsharded jobs, ``variant#k`` for intra-variant
+        slices (fault drills aim their SIGKILLs with this)."""
         with self._lock:
             return {
-                f"{job_id}/{variant}": worker.pid
-                for (job_id, variant), worker in self._workers.items()
+                f"{job_id}/{token}": worker.pid
+                for (job_id, token), worker in self._workers.items()
                 if worker.pid is not None
             }
 
@@ -700,6 +703,8 @@ class CampaignService:
             return self._error("duplicate variants in job spec")
         if spec.cap < 1:
             return self._error(f"cap must be >= 1, got {spec.cap}")
+        if spec.shards < 1:
+            return self._error(f"shards must be >= 1, got {spec.shards}")
         record, created = self.queue.submit(spec)
         if created:
             self._emit(
@@ -716,16 +721,34 @@ class CampaignService:
         shards = {}
         with self._lock:
             for variant in record.spec.variants:
-                shard = (record.job_id, variant)
-                lease = self.leases.holder(record.job_id, variant)
-                shards[variant] = {
-                    "done": variant in record.shards_done,
-                    "leased": lease is not None,
-                    "attempt": self.leases.attempts(record.job_id, variant),
+                tokens = record.spec.shard_tokens(variant)
+                done = sum(1 for t in tokens if t in record.shards_done)
+                leased = False
+                attempt = 0
+                progress = None
+                for index, token in enumerate(tokens):
+                    holder = self.leases.holder(
+                        record.job_id, variant, index
+                    )
+                    leased = leased or holder is not None
+                    attempt += self.leases.attempts(
+                        record.job_id, variant, index
+                    )
                     # The *latest* beacon only: a slow or reconnecting
                     # client gets a coalesced snapshot, never a backlog.
-                    "progress": self._progress.get(shard),
+                    # Slices run chained, so at most one is in flight.
+                    beacon = self._progress.get((record.job_id, token))
+                    if beacon is not None:
+                        progress = beacon
+                status = {
+                    "done": done == len(tokens),
+                    "leased": leased,
+                    "attempt": attempt,
+                    "progress": progress,
                 }
+                if record.spec.shards > 1:
+                    status["slices"] = {"done": done, "total": len(tokens)}
+                shards[variant] = status
         return {
             "ok": True,
             "job_id": record.job_id,
@@ -758,7 +781,11 @@ class CampaignService:
             "rows": page,
             "cursor": next_cursor,
             "done": (
-                variant in record.shards_done and next_cursor >= len(rows)
+                all(
+                    token in record.shards_done
+                    for token in record.spec.shard_tokens(variant)
+                )
+                and next_cursor >= len(rows)
             ),
         }
 
@@ -814,10 +841,24 @@ class CampaignService:
         return keys
 
     def _shard_rows(self, record: JobRecord, variant: str) -> list:
-        """The shard's result rows in plan order, from its checkpoint
-        file on disk (cached by mtime+size)."""
-        shard = (record.job_id, variant)
-        path = self.queue.shard_file(record.job_id, variant)
+        """The variant's result rows in plan order, concatenated across
+        its slice checkpoints.  Slices run chained (slice k+1 is only
+        leased after slice k is done) and cover contiguous plan spans,
+        so concatenating per-slice rows in slice order yields the full
+        plan order and grows append-only -- FETCH cursors stay stable
+        across polls, reconnection, and worker reassignment."""
+        rows: list = []
+        for token in record.spec.shard_tokens(variant):
+            rows.extend(self._token_rows(record, variant, token))
+        return rows
+
+    def _token_rows(
+        self, record: JobRecord, variant: str, token: str
+    ) -> list:
+        """One slice's rows in plan order, from its checkpoint file on
+        disk (cached by mtime+size)."""
+        shard = (record.job_id, token)
+        path = self.queue.shard_file(record.job_id, token)
         try:
             stat = path.stat()
         except OSError:
@@ -877,22 +918,24 @@ class CampaignService:
             # drain the queue so blocked feeders can flush, SIGKILL
             # stragglers); shard checkpoints on disk keep the progress.
             by_tag = {
-                f"{job_id}/{variant}": worker
-                for (job_id, variant), worker in self._workers.items()
+                f"{job_id}/{token}": worker
+                for (job_id, token), worker in self._workers.items()
             }
             ParallelCampaign._stop_workers(by_tag, self._events)
-            for job_id, variant in list(self._workers):
-                self.leases.release(job_id, variant)
+            for job_id, token in list(self._workers):
+                variant, index = split_token(token)
+                self.leases.release(job_id, variant, index)
             self._workers.clear()
             self.queue.close()
         self._net_stop.set()
 
     def _handle_message(self, message: tuple) -> None:
         kind, tag = message[0], message[1]
-        job_id, _, variant = tag.partition("/")
-        shard = (job_id, variant)
+        job_id, _, token = tag.partition("/")
+        variant, index = split_token(token)
+        shard = (job_id, token)
         if kind == "heartbeat":
-            self.leases.renew(job_id, variant)
+            self.leases.renew(job_id, variant, index)
         elif kind == "progress":
             self._progress[shard] = {
                 "mut": message[2],
@@ -903,21 +946,24 @@ class CampaignService:
             if self.recorder is not None:
                 self.recorder.record(message[2])
         elif kind == "done":
-            self.leases.release(job_id, variant)
+            self.leases.release(job_id, variant, index)
             self._retire_worker(shard)
             self._progress.pop(shard, None)
-            if self.queue.mark_shard_done(job_id, variant):
+            if self.queue.mark_shard_done(job_id, token):
                 self._finalize_job(job_id)
         elif kind == "error":
-            self.leases.release(job_id, variant)
+            self.leases.release(job_id, variant, index)
             self._retire_worker(shard)
             self._emit(
-                obs_events.WorkerDied(variant, "crashed", message[2])
+                obs_events.WorkerDied(token, "crashed", message[2])
             )
-            if self.leases.attempts(job_id, variant) >= self.max_attempts:
+            if (
+                self.leases.attempts(job_id, variant, index)
+                >= self.max_attempts
+            ):
                 self._fail_job(
                     job_id,
-                    f"shard {variant} failed {self.max_attempts} times: "
+                    f"shard {token} failed {self.max_attempts} times: "
                     f"{message[2]}",
                 )
 
@@ -958,11 +1004,23 @@ class CampaignService:
                         exitcode=worker.exitcode,
                     )
                 )
-            self.leases.release(*shard)
+            job_id, token = shard
+            variant, index = split_token(token)
+            self.leases.release(job_id, variant, index)
+
+    def _token_of(self, lease) -> str:
+        """The worker-dict token a lease maps to: bare variant for
+        unsharded jobs, ``variant#k`` when the job slices variants."""
+        record = self.queue.get(lease.job_id)
+        if record is not None and record.spec.shards > 1:
+            return f"{lease.variant}#{lease.shard_index}"
+        return lease.variant
 
     def _expire_leases(self) -> None:
         for lease in self.leases.expire_stale():
-            worker = self._workers.pop(lease.shard, None)
+            worker = self._workers.pop(
+                (lease.job_id, self._token_of(lease)), None
+            )
             if worker is not None and worker.is_alive():
                 worker.kill()  # wedged, not dead: make it dead
                 worker.join(timeout=5)
@@ -970,21 +1028,25 @@ class CampaignService:
     def _grant_leases(self) -> None:
         if self._draining.is_set():
             return
-        for job_id, variant in self.queue.pending_shards():
+        for job_id, token in self.queue.pending_shards():
             if len(self._workers) >= self.max_workers:
                 return
-            shard = (job_id, variant)
+            variant, index = split_token(token)
+            shard = (job_id, token)
             if shard in self._workers:
                 continue
-            if self.leases.holder(job_id, variant) is not None:
+            if self.leases.holder(job_id, variant, index) is not None:
                 continue  # pragma: no cover - lease without worker
-            if self.leases.attempts(job_id, variant) >= self.max_attempts:
+            if (
+                self.leases.attempts(job_id, variant, index)
+                >= self.max_attempts
+            ):
                 # Silent deaths do not travel the "error" message path,
                 # so an endlessly-killed shard must be failed here or
                 # its job would hang unleasable forever.
                 self._fail_job(
                     job_id,
-                    f"shard {variant} exhausted its "
+                    f"shard {token} exhausted its "
                     f"{self.max_attempts} lease grants",
                 )
                 continue
@@ -992,10 +1054,21 @@ class CampaignService:
             if record is None or record.state in (JOB_DONE, JOB_FAILED):
                 continue
             try:
-                lease = self.leases.grant(job_id, variant)
+                spec = self._worker_spec(record, token)
+            except (OSError, ResultFormatError) as exc:
+                # The predecessor slice's checkpoint must supply this
+                # slice's base wear; without it the slice cannot run
+                # byte-identically, so the job fails loudly instead of
+                # guessing.
+                self._fail_job(
+                    job_id,
+                    f"shard {token} has no usable base wear: {exc}",
+                )
+                continue
+            try:
+                lease = self.leases.grant(job_id, variant, index)
             except LeaseError:  # pragma: no cover - guarded above
                 continue
-            spec = self._worker_spec(record, variant)
             worker = self._ctx.Process(
                 target=_variant_worker, args=(spec, self._events), daemon=True
             )
@@ -1004,19 +1077,20 @@ class CampaignService:
             self.queue.mark_running(job_id)
             self._emit(
                 obs_events.WorkerSpawned(
-                    variant, worker.pid or 0, lease.attempt
+                    token, worker.pid or 0, lease.attempt
                 )
             )
 
-    def _worker_spec(self, record: JobRecord, variant: str) -> dict:
-        return {
+    def _worker_spec(self, record: JobRecord, token: str) -> dict:
+        variant, index = split_token(token)
+        spec = {
             "variant": variant,
-            "tag": f"{record.job_id}/{variant}",
+            "tag": f"{record.job_id}/{token}",
             "muts": (
                 None if record.spec.muts is None else list(record.spec.muts)
             ),
             "config": {"cap": record.spec.cap},
-            "shard_path": str(self.queue.shard_file(record.job_id, variant)),
+            "shard_path": str(self.queue.shard_file(record.job_id, token)),
             "checkpoint_every": record.spec.checkpoint_every,
             "resume": None,  # the shard file on disk wins anyway
             "quarantine": {},
@@ -1024,14 +1098,48 @@ class CampaignService:
             "heartbeat_interval": max(0.01, min(1.0, self.lease_s / 5)),
             "events": self.recorder is not None,
         }
+        if record.spec.shards > 1:
+            # Chained slice execution: pending_shards() only yields a
+            # slice once its predecessor is done, so the predecessor's
+            # checkpoint on disk is complete and its end wear is the
+            # byte-exact serial wear at this slice's first case.
+            keys = self._plan_keys(variant, record.spec.muts)
+            bounds = shard_bounds(len(keys), record.spec.shards)
+            if index < len(bounds):
+                start, stop = bounds[index]
+            else:
+                # More slices than plan positions: the surplus slices
+                # are empty (their workers finish instantly) so the
+                # token accounting still closes out.
+                start = stop = len(keys)
+            base_wear = None
+            if index > 0 and start > 0:
+                prev = record.spec.shard_tokens(variant)[index - 1]
+                prev_path = self.queue.shard_file(record.job_id, prev)
+                base_wear = load_checkpoint(prev_path).machine_wear.get(
+                    variant
+                )
+            spec["shard"] = {
+                "variant": variant,
+                "index": index,
+                "start": start,
+                "stop": stop,
+                "resumed": False,
+                "base_wear": base_wear,
+            }
+        return spec
 
     def _finalize_job(self, job_id: str) -> None:
         record = self.queue.get(job_id)
         if record is None or record.state in (JOB_DONE, JOB_FAILED):
             return
+        # Variant order, then slice order within each variant: the
+        # chain-aware merge validates each variant's slice seams and
+        # reassembles the byte-identical serial document.
         shards = [
-            self.queue.shard_file(job_id, variant)
+            self.queue.shard_file(job_id, token)
             for variant in record.spec.variants
+            for token in record.spec.shard_tokens(variant)
         ]
         try:
             merged = merge_checkpoints(

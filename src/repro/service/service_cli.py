@@ -153,6 +153,16 @@ def submit_main(argv: list[str]) -> int:
         default=None,
         help="comma-separated bare MuT names (default: the full plan)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "slices per variant (chained intra-variant slices with "
+            "per-slice leases and checkpoints; results stay "
+            "byte-identical; default 1)"
+        ),
+    )
     parser.add_argument("--tenant", default="default")
     parser.add_argument(
         "--job-key",
@@ -198,6 +208,8 @@ def submit_main(argv: list[str]) -> int:
         )
     if not variants:
         parser.error("--variants must name at least one variant")
+    if args.shards < 1:
+        parser.error(f"--shards must be >= 1, got {args.shards}")
     muts = None
     if args.muts is not None:
         muts = [m.strip() for m in args.muts.split(",") if m.strip()]
@@ -248,6 +260,7 @@ def submit_main(argv: list[str]) -> int:
             muts=muts,
             tenant=args.tenant,
             job_key=args.job_key,
+            shards=args.shards,
         )
         if not args.quiet:
             verb = "submitted" if created else "resumed"

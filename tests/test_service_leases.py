@@ -68,7 +68,7 @@ class TestExpiry:
         leases.grant("job-0002", "win98")
         clock.advance(14.0)  # first: past 15s horizon; second: not yet
         stale = leases.expire_stale()
-        assert [lease.shard for lease in stale] == [("job-0001", "winnt")]
+        assert [lease.shard for lease in stale] == [("job-0001", "winnt", 0)]
         assert leases.holder("job-0002", "win98") is not None
 
     def test_renewal_defers_expiry(self, clock):

@@ -243,6 +243,54 @@ class TestWorkerLoss:
         assert len(keys) == len(set(keys)), "duplicate rows streamed"
 
 
+class TestShardedJobs:
+    def test_sharded_submit_streams_byte_identical(self, tmp_path, service):
+        """A shards=3 job runs each variant as three chained slices and
+        still streams (and finalises) the serial bytes."""
+        host, port = service.address
+        client = ServiceClient.connect(host, port)
+        job_id, created = client.submit(
+            ["winnt"], cap=CAP, muts=SUBSET, shards=3
+        )
+        assert created
+        results = client.stream(job_id, timeout=180)
+        status = client.status(job_id)
+        client.close()
+        assert streamed_bytes(tmp_path, results, "sliced") == serial_bytes(
+            tmp_path, ["winnt"]
+        )
+        assert (
+            service.queue.results_file(job_id).read_bytes()
+            == serial_bytes(tmp_path, ["winnt"])
+        )
+        record = service.queue.get(job_id)
+        assert sorted(record.shards_done) == [
+            "winnt#0", "winnt#1", "winnt#2"
+        ]
+        assert status["shards"]["winnt"]["done"]
+        assert status["shards"]["winnt"]["slices"] == {
+            "done": 3, "total": 3,
+        }
+
+    def test_sigkilled_slice_worker_is_reassigned(self, tmp_path, service):
+        host, port = service.address
+        client = ServiceClient.connect(host, port)
+        job_id, _ = client.submit(
+            ["win98"], cap=CAP, muts=SUBSET, shards=2
+        )
+        tag, pid = wait_for_worker(service)
+        assert "#" in tag  # a slice worker, not a whole-variant one
+        os.kill(pid, signal.SIGKILL)
+        results = client.stream(job_id, timeout=240)
+        stats = client.queue_stats()
+        client.close()
+        assert streamed_bytes(
+            tmp_path, results, "sliced-killed"
+        ) == serial_bytes(tmp_path, ["win98"])
+        assert stats["leases"]["reassigned"] >= 1
+        assert stats["leases"]["double_grants_refused"] == 0
+
+
 class TestReconnect:
     def test_reconnecting_client_resumes_without_duplicates(
         self, tmp_path, service

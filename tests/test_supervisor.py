@@ -330,7 +330,7 @@ class TestSupervisionLog:
             supervision=[{"event": "restart", "variant": "win98"}],
         )
         document = checkpoint_to_dict(ckpt)
-        assert document["version"] == 1  # optional key, same format
+        assert document["version"] == 2  # optional key, same format
         restored = checkpoint_from_dict(document)
         assert restored.supervision == [
             {"event": "restart", "variant": "win98"}
