@@ -33,6 +33,7 @@ from repro.analysis.silent import estimate_silent_rates
 from repro.analysis.tables import (
     render_figure1,
     render_figure2,
+    render_sequence_table,
     render_table1,
     render_table2,
     render_table3,
@@ -53,6 +54,7 @@ __all__ = [
     "render_figure1",
     "render_hindering",
     "render_figure2",
+    "render_sequence_table",
     "render_table1",
     "render_table2",
     "render_table3",

@@ -11,6 +11,10 @@ rows/series the paper reports:
   (``*`` = reproducible only inside the harness).
 * :func:`render_figure2` -- Abort + Restart + estimated Silent rates for
   the desktop Windows variants.
+* :func:`render_sequence_table` -- sequence-campaign crash attribution
+  (first-failure step pointers, origin-vs-propagated classification,
+  fault-injection pressure), the companion table Table 1 gains when a
+  campaign ran in ``--mode sequence``.
 """
 
 from __future__ import annotations
@@ -278,6 +282,105 @@ def render_table3(results: ResultSet) -> str:
             )
         lines.append("")
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Sequence attribution table
+# ----------------------------------------------------------------------
+
+
+def render_sequence_table(results: ResultSet) -> str:
+    """Crash attribution for ``--mode sequence`` campaigns.
+
+    One summary row per OS variant, then one line per crashed sequence
+    pointing at the step that first failed, the step attributed as the
+    crash origin, and the origin-vs-propagated classification.  A
+    ``propagated`` crash whose origin step is ``-`` was inherited from
+    wear the sequence *started* on (dirty-machine mode).
+    """
+    from repro.core.crash_scale import CaseCode
+    from repro.core.sequences import SEQUENCE_API
+
+    headers = [
+        "OS",
+        "Seqs",
+        "Crashed",
+        "Origin",
+        "Propagated",
+        "Faults",
+        "Fired",
+        "Atomicity",
+    ]
+    rows = [headers]
+    crash_lines: list[str] = []
+    any_rows = False
+    for key, name in _present(results):
+        seqs = [
+            r for r in results.for_variant(key) if r.api == SEQUENCE_API
+        ]
+        if not seqs:
+            continue
+        any_rows = True
+        crashed = origin = propagated = armed = fired = atomic = 0
+        for row in seqs:
+            info = row.sequence or {}
+            fault = info.get("fault")
+            if fault is not None:
+                armed += 1
+                if fault.get("fired"):
+                    fired += 1
+            atomic += row.count(CaseCode.FAULT_ATOMICITY)
+            crash_step = info.get("crash_step")
+            if crash_step is None:
+                continue
+            crashed += 1
+            classification = info.get("classification")
+            if classification == "origin":
+                origin += 1
+            elif classification == "propagated":
+                propagated += 1
+            step = info.get("steps", [{}])[crash_step]
+            origin_step = info.get("origin_step")
+            crash_lines.append(
+                f"  {key} {row.mut_name}: crash@step {crash_step} "
+                f"({step.get('api', '?')}:{step.get('mut', '?')}), "
+                f"first-failure@"
+                f"{info.get('first_failure', crash_step)}, "
+                f"origin@{'-' if origin_step is None else origin_step}, "
+                f"{classification or '?'}"
+                + (
+                    f", fault={fault['family']}@{fault['step']}"
+                    if fault is not None and fault.get("fired")
+                    else ""
+                )
+            )
+        rows.append(
+            [
+                name,
+                str(len(seqs)),
+                str(crashed),
+                str(origin),
+                str(propagated),
+                str(armed),
+                str(fired),
+                str(atomic),
+            ]
+        )
+    if not any_rows:
+        return (
+            "Sequence crash attribution\n"
+            "(no sequence campaigns recorded)"
+        )
+    table = _format_table(
+        rows,
+        title=(
+            "Sequence crash attribution (k-call sequences; origin = "
+            "crashing step caused it, propagated = accumulated wear did)"
+        ),
+    )
+    if crash_lines:
+        table += "\n\ncrashed sequences:\n" + "\n".join(crash_lines)
+    return table
 
 
 # ----------------------------------------------------------------------

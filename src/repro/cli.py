@@ -4,10 +4,14 @@ Usage::
 
     python -m repro [--cap N] [--jobs N] [--variants win98,winnt,...]
                     [--tables table1,table2,figure1,table3,figure2]
+    python -m repro --mode sequence [--sequences N] [--sequence-length K]
+                    [--dirty-machine] [--fault-families alloc,handles,disk]
     python -m repro lint [...]        # static analysis (repro.lint.cli)
     python -m repro stats EVENTS      # telemetry report (repro.obs)
     python -m repro serve [...]       # multi-tenant campaign service
     python -m repro submit [...]      # submit a campaign to a service
+    python -m repro leaks [...]       # resource-leakage audit
+    python -m repro minimize [...]    # ddmin a crashed sequence row
 
 With no arguments this runs the full seven-variant campaign at the
 ``BALLISTA_CAP`` cap (default 300) and prints every table and figure the
@@ -28,6 +32,7 @@ from repro.analysis.hindering import render_hindering
 from repro.analysis.tables import (
     render_figure1,
     render_figure2,
+    render_sequence_table,
     render_table1,
     render_table2,
     render_table3,
@@ -49,6 +54,15 @@ RENDERERS = {
     "table3": render_table3,
     "figure2": render_figure2,
     "hindering": render_hindering,
+    "sequences": render_sequence_table,
+}
+
+#: Default outputs per campaign mode: the paper's tables for per-case
+#: campaigns, the attribution table for sequence campaigns (whose rows
+#: the per-MuT tables deliberately exclude).
+_DEFAULT_TABLES = {
+    "case": "table1,table2,figure1,table3,figure2,hindering",
+    "sequence": "sequences",
 }
 
 
@@ -75,6 +89,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.service.service_cli import submit_main
 
         return submit_main(argv[1:])
+    if argv[:1] == ["leaks"]:
+        # `python -m repro leaks [--variant V]`: resource-leak audit.
+        return _leaks_main(argv[1:])
+    if argv[:1] == ["minimize"]:
+        # `python -m repro minimize RESULTS --variant V --sequence S`.
+        return _minimize_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -88,6 +108,58 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         help="test cases per MuT (paper: 5000; default: BALLISTA_CAP or 300)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("case", "sequence"),
+        default="case",
+        help=(
+            "campaign unit of work: 'case' (the paper's one call per "
+            "fresh process) or 'sequence' (k-call sequences sharing one "
+            "process, with fault injection and crash attribution)"
+        ),
+    )
+    parser.add_argument(
+        "--sequences",
+        type=int,
+        default=50,
+        metavar="N",
+        help="sequences per variant in --mode sequence (default: 50)",
+    )
+    parser.add_argument(
+        "--sequence-length",
+        type=int,
+        default=6,
+        metavar="K",
+        help="calls per sequence in --mode sequence (default: 6)",
+    )
+    parser.add_argument(
+        "--sequence-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help=(
+            "campaign-level sequence seed; equal seeds plan identical "
+            "sequences (default: 0)"
+        ),
+    )
+    parser.add_argument(
+        "--dirty-machine",
+        action="store_true",
+        help=(
+            "skip the between-sequence reboot so sequences start on "
+            "accumulated wear (the long-uptime regime)"
+        ),
+    )
+    parser.add_argument(
+        "--fault-families",
+        default=None,
+        metavar="FAMILIES",
+        help=(
+            "comma-separated exhaustion families eligible for injection "
+            "in --mode sequence (default: alloc,handles,disk; empty "
+            "disables injection)"
+        ),
     )
     parser.add_argument(
         "--jobs",
@@ -129,8 +201,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--tables",
-        default="table1,table2,figure1,table3,figure2,hindering",
-        help="comma-separated outputs to print",
+        default=None,
+        help=(
+            "comma-separated outputs to print (default: the paper "
+            "tables in --mode case, 'sequences' in --mode sequence)"
+        ),
     )
     parser.add_argument(
         "--save",
@@ -264,6 +339,34 @@ def main(argv: list[str] | None = None) -> int:
             f"--max-mut-retries must be >= 0, got {args.max_mut_retries}"
         )
 
+    if args.sequences < 1:
+        parser.error(f"--sequences must be >= 1, got {args.sequences}")
+    if args.sequence_length < 1:
+        parser.error(
+            f"--sequence-length must be >= 1, got {args.sequence_length}"
+        )
+    from repro.sim.faults import FAULT_FAMILIES
+
+    if args.fault_families is None:
+        fault_families = FAULT_FAMILIES
+    else:
+        fault_families = tuple(
+            name.strip()
+            for name in args.fault_families.split(",")
+            if name.strip()
+        )
+        unknown_families = [
+            f for f in fault_families if f not in FAULT_FAMILIES
+        ]
+        if unknown_families:
+            parser.error(
+                f"unknown fault families: {unknown_families}; choose "
+                f"from {sorted(FAULT_FAMILIES)}"
+            )
+
+    tables_defaulted = args.tables is None
+    if args.tables is None:
+        args.tables = _DEFAULT_TABLES[args.mode]
     wanted = [name.strip() for name in args.tables.split(",") if name.strip()]
     unknown = [name for name in wanted if name not in RENDERERS]
     if unknown:
@@ -333,6 +436,44 @@ def main(argv: list[str] | None = None) -> int:
                     )
                 variants = [by_key[key] for key in resume.variants]
                 keys = [p.key for p in variants]
+            if resume.plan is not None:
+                # The checkpoint records the plan-defining sequence
+                # parameters; like the cap, the resumed run adopts them
+                # (resuming under different ones would splice
+                # incompatible plans).
+                plan = resume.plan
+                if args.mode != plan.get("mode") and not args.quiet:
+                    sys.stderr.write(
+                        f"resuming the checkpoint's campaign mode "
+                        f"({plan.get('mode')})\n"
+                    )
+                args.mode = str(plan.get("mode", args.mode))
+                args.sequences = int(plan.get("sequences", args.sequences))
+                args.sequence_length = int(
+                    plan.get("sequence_length", args.sequence_length)
+                )
+                args.sequence_seed = int(
+                    plan.get("sequence_seed", args.sequence_seed)
+                )
+                args.dirty_machine = bool(
+                    plan.get("dirty_machine", args.dirty_machine)
+                )
+                fault_families = tuple(
+                    str(f) for f in plan.get("fault_families", fault_families)
+                )
+                if tables_defaulted:
+                    args.tables = _DEFAULT_TABLES[args.mode]
+                    wanted = [
+                        name.strip()
+                        for name in args.tables.split(",")
+                        if name.strip()
+                    ]
+            elif args.mode == "sequence":
+                parser.error(
+                    f"--resume {args.resume}: the checkpoint records a "
+                    "per-case campaign; it cannot resume under "
+                    "--mode sequence"
+                )
         checkpoint_path = args.checkpoint or args.resume
         started = time.monotonic()
         # Default parallelism covers every schedulable slice, not just
@@ -351,10 +492,19 @@ def main(argv: list[str] | None = None) -> int:
                 f"{args.shards} shard(s)); extra workers will idle -- "
                 f"raise --shards to use them\n"
             )
+        config = CampaignConfig(
+            cap=args.cap,
+            mode=args.mode,
+            sequences=args.sequences,
+            sequence_length=args.sequence_length,
+            sequence_seed=args.sequence_seed,
+            dirty_machine=args.dirty_machine,
+            fault_families=fault_families,
+        )
         if jobs > 1 and not args.no_supervise:
             campaign = SupervisedCampaign(
                 variants,
-                config=CampaignConfig(cap=args.cap),
+                config=config,
                 jobs=jobs,
                 shards=args.shards,
                 atlas_path=args.wear_atlas,
@@ -367,13 +517,13 @@ def main(argv: list[str] | None = None) -> int:
         elif jobs > 1:
             campaign = ParallelCampaign(
                 variants,
-                config=CampaignConfig(cap=args.cap),
+                config=config,
                 jobs=jobs,
                 shards=args.shards,
                 atlas_path=args.wear_atlas,
             )
         else:
-            campaign = Campaign(variants, config=CampaignConfig(cap=args.cap))
+            campaign = Campaign(variants, config=config)
         recorder = None
         if args.events:
             from repro.obs.recorder import JsonlRecorder
@@ -428,6 +578,137 @@ def main(argv: list[str] | None = None) -> int:
     for name in wanted:
         print(RENDERERS[name](results))
         print()
+    return 0
+
+
+def _leaks_main(argv: list[str]) -> int:
+    """``python -m repro leaks [--variant V]``: the resource-leakage
+    audit (the failure mode the paper explicitly did not target)."""
+    parser = argparse.ArgumentParser(
+        prog="repro leaks",
+        description=(
+            "Audit each MuT for machine-global residue (leaked files, "
+            "shared-arena corruption) that survives per-case teardown."
+        ),
+    )
+    by_key = {p.key: p for p in ALL_VARIANTS}
+    parser.add_argument(
+        "--variant",
+        default="win98",
+        choices=sorted(by_key),
+        help="OS variant to audit (default: win98)",
+    )
+    parser.add_argument(
+        "--cap",
+        type=int,
+        default=60,
+        metavar="N",
+        help="test cases per MuT (default: 60)",
+    )
+    parser.add_argument(
+        "--muts",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated MuT names to audit (default: all)",
+    )
+    args = parser.parse_args(argv)
+    if args.cap < 1:
+        parser.error(f"--cap must be >= 1, got {args.cap}")
+    from repro.triage.leaks import audit_leaks
+
+    mut_names = None
+    if args.muts is not None:
+        mut_names = [n.strip() for n in args.muts.split(",") if n.strip()]
+    report = audit_leaks(by_key[args.variant], mut_names, cap=args.cap)
+    print(report.render())
+    return 0
+
+
+def _minimize_main(argv: list[str]) -> int:
+    """``python -m repro minimize RESULTS --variant V --sequence S``:
+    ddmin a crashed sequence row from saved campaign output down to a
+    1-minimal standalone reproducer."""
+    parser = argparse.ArgumentParser(
+        prog="repro minimize",
+        description=(
+            "Minimise a Catastrophic sequence from a saved --mode "
+            "sequence result set (ddmin under the campaign's own "
+            "execution regime) and print the repro program."
+        ),
+    )
+    by_key = {p.key: p for p in ALL_VARIANTS}
+    parser.add_argument(
+        "results", metavar="RESULTS", help="result set saved with --save"
+    )
+    parser.add_argument(
+        "--variant",
+        required=True,
+        choices=sorted(by_key),
+        help="OS variant the sequence crashed on",
+    )
+    parser.add_argument(
+        "--sequence",
+        default=None,
+        metavar="NAME",
+        help=(
+            "sequence row to minimise (e.g. seq00042; default: the "
+            "first crashed sequence of the variant)"
+        ),
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress output"
+    )
+    args = parser.parse_args(argv)
+    from repro.core.results_io import ResultFormatError, load_results
+    from repro.core.sequences import SEQUENCE_API
+    from repro.triage.minimize import (
+        minimize_from_sequence_record,
+        render_repro_program,
+    )
+
+    try:
+        results = load_results(args.results)
+    except (OSError, ResultFormatError) as exc:
+        parser.error(f"{args.results}: {exc}")
+    if args.sequence is not None:
+        try:
+            row = results.get(args.variant, args.sequence, api=SEQUENCE_API)
+        except KeyError:
+            parser.error(
+                f"no sequence row {args.sequence!r} for {args.variant}"
+            )
+    else:
+        crashed = [
+            r
+            for r in results.for_variant(args.variant)
+            if r.api == SEQUENCE_API and r.catastrophic
+        ]
+        if not crashed:
+            parser.error(f"no crashed sequences recorded for {args.variant}")
+        row = crashed[0]
+    if row.sequence is None or row.sequence.get("crash_step") is None:
+        parser.error(f"{row.mut_name} on {args.variant} did not crash")
+
+    def progress(replays: int, length: int) -> None:
+        sys.stderr.write(f"\rreplay {replays}: {length} step(s)   ")
+        sys.stderr.flush()
+
+    minimal = minimize_from_sequence_record(
+        by_key[args.variant],
+        row.sequence,
+        progress=None if args.quiet else progress,
+    )
+    if not args.quiet:
+        sys.stderr.write("\n")
+    print(
+        f"{row.mut_name} on {args.variant}: "
+        f"{row.sequence['crash_step'] + 1} step(s) -> {len(minimal)} "
+        "minimal step(s)"
+    )
+    for step in minimal:
+        print(f"  {step.describe()}")
+    print()
+    print(render_repro_program(by_key[args.variant], minimal))
     return 0
 
 

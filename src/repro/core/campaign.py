@@ -31,12 +31,14 @@ from repro.core.mut import MuT, MuTRegistry, default_registry
 from repro.core.results import ResultSet
 from repro.core.results_io import (
     CampaignCheckpoint,
+    checkpoint_plan,
     load_checkpoint,
     save_checkpoint,
 )
 from repro.core.types import TypeRegistry, default_types
 from repro.obs import events as obs_events
 from repro.obs.recorder import Recorder
+from repro.sim.faults import FAULT_FAMILIES
 from repro.sim.machine import Machine
 from repro.sim.personality import Personality
 
@@ -78,12 +80,41 @@ class CampaignConfig:
         paper's "more than fair" policy of assuming all thrown Win32
         exceptions are recoverable error reports.  When True, *every*
         thrown exception counts as an Abort.
+    :param mode: ``"case"`` (the paper's per-case campaign) or
+        ``"sequence"`` (stateful k-call sequences as the unit of work;
+        see :mod:`repro.core.sequences`).
+    :param sequences: sequences planned per variant (sequence mode).
+    :param sequence_length: calls per sequence (sequence mode).
+    :param sequence_seed: campaign-level seed for sequence planning.
+    :param dirty_machine: sequence mode only -- skip the
+        between-sequence reboot, so each sequence starts on the wear
+        its predecessors accumulated.
+    :param fault_families: exhaustion families eligible for seeded
+        injection in sequence mode (subset of
+        :data:`repro.sim.faults.FAULT_FAMILIES`); empty disables
+        injection.
     """
 
     cap: int = field(default_factory=default_cap)
     watchdog_ticks: int = 30_000
     machine_per_case: bool = False
     count_thrown_exceptions_as_abort: bool = False
+    mode: str = "case"
+    sequences: int = 50
+    sequence_length: int = 6
+    sequence_seed: int = 0
+    dirty_machine: bool = False
+    fault_families: tuple = FAULT_FAMILIES
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("case", "sequence"):
+            raise ValueError(
+                f"mode must be 'case' or 'sequence', got {self.mode!r}"
+            )
+        # Workers rebuild configs from plain JSON-ish dicts, where the
+        # families arrive as a list; normalise so equality and plan
+        # seeding cannot depend on the container type.
+        self.fault_families = tuple(self.fault_families)
 
 
 ProgressFn = Callable[[str, str, int, int], None]
@@ -151,6 +182,35 @@ class Campaign:
             muts = [m for m in muts if m.name in self._mut_filter]
         return muts
 
+    def sequence_plans(self, personality: Personality) -> list:
+        """The variant's deterministic sequence plan (sequence mode)."""
+        from repro.core.sequences import SequencePlanner
+
+        return SequencePlanner(
+            self.muts_for(personality),
+            self.generator,
+            count=self.config.sequences,
+            length=self.config.sequence_length,
+            seed=self.config.sequence_seed,
+            fault_families=self.config.fault_families,
+        ).plans()
+
+    def plan_identities(
+        self, personality: Personality
+    ) -> list[tuple[str, str]]:
+        """The variant's ordered plan as ``(api, name)`` identities --
+        the currency of checkpoint splitting/merging and the wear atlas.
+        One entry per MuT in case mode, one per sequence (under the
+        reserved ``"seq"`` namespace) in sequence mode."""
+        if self.config.mode == "sequence":
+            from repro.core.sequences import SEQUENCE_API, sequence_name
+
+            return [
+                (SEQUENCE_API, sequence_name(index))
+                for index in range(self.config.sequences)
+            ]
+        return [(m.api, m.name) for m in self.muts_for(personality)]
+
     def run(
         self,
         progress: ProgressFn | None = None,
@@ -206,10 +266,34 @@ class Campaign:
                     f"{sorted(resume.variants)}, cannot resume with "
                     f"{sorted(keys)}"
                 )
+            mine = checkpoint_plan(self.config)
+            if resume.plan != mine and not (
+                resume.plan is None and mine is not None
+            ):
+                # The sequence plan is a function of these parameters
+                # exactly as the case plan is of the cap; a mismatch
+                # would splice incompatible plans.
+                raise ValueError(
+                    f"checkpoint records campaign plan {resume.plan}, "
+                    f"cannot resume with {mine}"
+                )
+            if resume.plan is None and mine is not None:
+                # Hand-built checkpoints may omit the plan block; as
+                # with a missing cap, warn rather than refuse.
+                warnings.warn(
+                    "checkpoint does not record its campaign plan; "
+                    "resuming in sequence mode without compatibility "
+                    "checking",
+                    stacklevel=2,
+                )
+                resume.plan = mine
             checkpoint = resume
         else:
             checkpoint = CampaignCheckpoint(
-                ResultSet(), cap=self.config.cap, variants=keys
+                ResultSet(),
+                cap=self.config.cap,
+                variants=keys,
+                plan=checkpoint_plan(self.config),
             )
         plan_slice = None
         if self._shard is not None:
@@ -229,6 +313,25 @@ class Campaign:
                 obs_events.CampaignStarted(tuple(keys), self.config.cap)
             )
         for personality in self.variants:
+            if self.config.mode == "sequence":
+                from repro.core.sequences import run_variant_sequences
+
+                run_variant_sequences(
+                    personality,
+                    self.sequence_plans(personality),
+                    self.generator,
+                    self.config,
+                    results,
+                    progress,
+                    checkpoint,
+                    checkpoint_path,
+                    checkpoint_every,
+                    quarantine=quarantine,
+                    heartbeat=heartbeat,
+                    recorder=recorder,
+                    plan_slice=plan_slice,
+                )
+                continue
             run_variant(
                 personality,
                 self.muts_for(personality),

@@ -19,6 +19,7 @@ from __future__ import annotations
 from repro.core.crash_scale import CaseCode
 from repro.sim.errors import (
     HardwareFault,
+    ResourceExhausted,
     SimFault,
     SoftwareAbort,
     SystemCrash,
@@ -43,6 +44,14 @@ def classify_exception(exc: SimFault, api_family: str) -> tuple[CaseCode, str]:
             # Treated as a legitimate error report, not a failure.
             return CaseCode.PASS_ERROR, f"thrown {exc.value!r}"
         return CaseCode.ABORT, f"unrecoverable exception {exc.value!r}"
+    if isinstance(exc, ResourceExhausted):
+        # An injected exhaustion fault escaped the API boundary: the
+        # implementation did not convert "machine out of X" into an
+        # error report, so the task terminated abnormally.
+        return (
+            CaseCode.ABORT,
+            f"unhandled {exc.family} exhaustion ({exc.resource})",
+        )
     if isinstance(exc, (HardwareFault, SoftwareAbort)):
         detail = (
             exc.win32_exception if api_family == "win32" else exc.posix_signal

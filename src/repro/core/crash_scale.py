@@ -48,10 +48,21 @@ class CaseCode(enum.IntEnum):
     CATASTROPHIC = 4  #: machine crashed
     SETUP_SKIP = 5  #: test-value constructor could not build the case
     NOT_RUN = 6  #: testing interrupted (after a machine crash)
+    #: Harness-level outcome for sequence campaigns: a call that
+    #: *reported failure* under an injected exhaustion fault nonetheless
+    #: left residue in durable machine wear (filesystem, shared arena,
+    #: corruption) -- it broke the failure-atomic expectation, so the
+    #: next step runs on a machine the failed call dirtied.
+    FAULT_ATOMICITY = 7
 
     @property
     def is_failure(self) -> bool:
-        return self in (CaseCode.ABORT, CaseCode.RESTART, CaseCode.CATASTROPHIC)
+        return self in (
+            CaseCode.ABORT,
+            CaseCode.RESTART,
+            CaseCode.CATASTROPHIC,
+            CaseCode.FAULT_ATOMICITY,
+        )
 
     @property
     def counts_as_executed(self) -> bool:

@@ -80,29 +80,130 @@ class Executor:
             )
 
         # -- the call under test ------------------------------------------
-        ctx.reset_error_state()
-        self.machine.clock.begin_call(mut.name)
-        api_family = self.machine.personality.api
-        try:
-            mut.call(ctx, tuple(args))
-        except SimFault as exc:
-            code, detail = classify_exception(exc, api_family)
-            outcome = CaseOutcome(code, detail, exceptional, case.value_names)
-        else:
-            code = (
-                CaseCode.PASS_ERROR
-                if ctx.error_reported()
-                else CaseCode.PASS_NO_ERROR
-            )
-            reported = process.errno or process.last_error
-            outcome = CaseOutcome(
-                code, "", exceptional, case.value_names, error_code=reported
-            )
+        outcome = self._call_under_test(
+            ctx, mut, args, exceptional, case.value_names
+        )
 
         # -- destructors ---------------------------------------------------
         if not self.machine.crashed:
             self._teardown(ctx, values, args)
         return outcome
+
+    def run_step(
+        self,
+        ctx: TestContext,
+        mut: MuT,
+        case: TestCase,
+        inject_fault: bool = False,
+    ) -> CaseOutcome:
+        """Execute one *sequence step* inside a persistent context.
+
+        The sequence-campaign twin of :meth:`run_case`: constructors and
+        the call run in the caller's process (``ctx.process``), so the
+        handles, streams, and files a step creates are still there for
+        the next step -- and nothing is torn down here.  The sequence
+        runner owns the process lifetime and terminates it once at the
+        end of the sequence.
+
+        With ``inject_fault`` the machine's armed fault family may fire
+        inside the call window (never during constructors), and a call
+        that *reports failure* under injection while leaving residue in
+        durable machine wear is reclassified
+        :attr:`~repro.core.crash_scale.CaseCode.FAULT_ATOMICITY` -- it
+        broke the failure-atomic expectation and dirtied the machine the
+        next step runs on.
+        """
+        self.machine.check_alive()
+        values = self.generator.resolve(mut, case)
+        exceptional = any(v.exceptional for v in values)
+
+        from repro.sim.filesystem import FileSystemError
+
+        args: list = []
+        try:
+            for value in values:
+                args.append(value.construct(ctx))
+        except SystemCrash as exc:
+            return CaseOutcome(
+                CaseCode.CATASTROPHIC, str(exc), exceptional, case.value_names
+            )
+        except (SimFault, FileSystemError) as exc:
+            return CaseOutcome(
+                CaseCode.SETUP_SKIP,
+                f"constructor failed: {exc}",
+                exceptional,
+                case.value_names,
+            )
+
+        faults = self.machine.faults
+        residue_before = self.machine.wear_residue() if inject_fault else ""
+        fired_before = faults.fired
+        outcome = self._call_under_test(
+            ctx,
+            mut,
+            args,
+            exceptional,
+            case.value_names,
+            inject_fault=inject_fault,
+        )
+        if (
+            inject_fault
+            and faults.fired > fired_before
+            and outcome.code in (CaseCode.PASS_ERROR, CaseCode.ABORT)
+            and not self.machine.crashed
+            and self.machine.wear_residue() != residue_before
+        ):
+            detail = (
+                f"failed call left wear residue under "
+                f"{faults.family} exhaustion"
+            )
+            if outcome.detail:
+                detail += f" [{outcome.detail}]"
+            outcome = CaseOutcome(
+                CaseCode.FAULT_ATOMICITY,
+                detail,
+                exceptional,
+                case.value_names,
+                error_code=outcome.error_code,
+            )
+        return outcome
+
+    def _call_under_test(
+        self,
+        ctx: TestContext,
+        mut: MuT,
+        args: list,
+        exceptional: bool,
+        value_names: tuple[str, ...],
+        inject_fault: bool = False,
+    ) -> CaseOutcome:
+        """Invoke the MuT and classify the result (shared by the
+        per-case and sequence-step paths)."""
+        ctx.reset_error_state()
+        self.machine.clock.begin_call(mut.name)
+        # Every call costs one tick of virtual time, so the per-step
+        # sim-tick stamps on sequence outcomes are strictly ordered even
+        # when no call in the sequence sleeps or waits.
+        self.machine.clock.advance(1)
+        api_family = self.machine.personality.api
+        try:
+            if inject_fault:
+                with self.machine.faults.window():
+                    mut.call(ctx, tuple(args))
+            else:
+                mut.call(ctx, tuple(args))
+        except SimFault as exc:
+            code, detail = classify_exception(exc, api_family)
+            return CaseOutcome(code, detail, exceptional, value_names)
+        code = (
+            CaseCode.PASS_ERROR
+            if ctx.error_reported()
+            else CaseCode.PASS_NO_ERROR
+        )
+        reported = ctx.process.errno or ctx.process.last_error
+        return CaseOutcome(
+            code, "", exceptional, value_names, error_code=reported
+        )
 
     def _teardown(self, ctx: TestContext, values: list, args: list) -> None:
         """Run per-value cleanups and release the process, swallowing

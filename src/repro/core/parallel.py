@@ -50,6 +50,7 @@ from repro.core.results_io import (
     CampaignCheckpoint,
     ResultFormatError,
     checkpoint_from_dict,
+    checkpoint_plan,
     checkpoint_to_dict,
     load_checkpoint,
     merge_checkpoints,
@@ -110,6 +111,27 @@ def shard_bounds(total: int, shards: int) -> list[tuple[int, int]]:
 def shard_tag(variant: str, index: int) -> str:
     """Routing key for one (variant, shard) slice's worker."""
     return f"{variant}#{index}"
+
+
+def config_spec_fields(config: CampaignConfig) -> dict:
+    """The plain-dict form of a :class:`CampaignConfig` that crosses the
+    spawn boundary in worker specs.  Every field rides along -- a field
+    omitted here would silently reset to its default inside the worker,
+    so sequence-mode workers would run per-case plans."""
+    return {
+        "cap": config.cap,
+        "watchdog_ticks": config.watchdog_ticks,
+        "machine_per_case": config.machine_per_case,
+        "count_thrown_exceptions_as_abort": (
+            config.count_thrown_exceptions_as_abort
+        ),
+        "mode": config.mode,
+        "sequences": config.sequences,
+        "sequence_length": config.sequence_length,
+        "sequence_seed": config.sequence_seed,
+        "dirty_machine": config.dirty_machine,
+        "fault_families": list(config.fault_families),
+    }
 
 
 def _fault_injector(events=None):
@@ -627,6 +649,7 @@ class ParallelCampaign:
                 ),
                 cap=self.config.cap,
                 variants=keys,
+                plan=checkpoint_plan(self.config),
             )
             save_checkpoint(initial, checkpoint_path)
         shard_base = self._shard_base(checkpoint_path)
@@ -736,14 +759,7 @@ class ParallelCampaign:
         checkpoint_every: int,
         events: bool = False,
     ) -> list[dict]:
-        config_fields = {
-            "cap": self.config.cap,
-            "watchdog_ticks": self.config.watchdog_ticks,
-            "machine_per_case": self.config.machine_per_case,
-            "count_thrown_exceptions_as_abort": (
-                self.config.count_thrown_exceptions_as_abort
-            ),
-        }
+        config_fields = config_spec_fields(self.config)
         specs = []
         for personality in self.variants:
             key = personality.key
@@ -787,14 +803,7 @@ class ParallelCampaign:
         Also primes the run's :class:`_SeamPlanner` and the per-variant
         progress aggregation state.
         """
-        config_fields = {
-            "cap": self.config.cap,
-            "watchdog_ticks": self.config.watchdog_ticks,
-            "machine_per_case": self.config.machine_per_case,
-            "count_thrown_exceptions_as_abort": (
-                self.config.count_thrown_exceptions_as_abort
-            ),
-        }
+        config_fields = config_spec_fields(self.config)
         atlas = (
             load_atlas(self.atlas_path) if self.atlas_path is not None else None
         )
@@ -810,9 +819,7 @@ class ParallelCampaign:
         self._plans = {}
         for personality in self.variants:
             key = personality.key
-            plan = [
-                (m.api, m.name) for m in plan_source.muts_for(personality)
-            ]
+            plan = plan_source.plan_identities(personality)
             self._plans[key] = plan
             totals[key] = len(plan)
             cursor = resume.cursors.get(key, 0) if resume is not None else 0

@@ -66,6 +66,15 @@ class MuTResult:
     interference_crash: bool = False
     planned_cases: int = 0
     capped: bool = False
+    #: Sequence-campaign extension (format version 3): present only on
+    #: rows recorded by ``--mode sequence``, where one row is one k-call
+    #: sequence and case index *i* is step *i*.  Carries the step
+    #: identities (api, MuT, values), per-step sim-tick timestamps, the
+    #: armed fault (family + step), and the crash attribution
+    #: (first-failure step pointer, origin step, origin-vs-propagated
+    #: classification).  ``None`` on per-case rows, which therefore
+    #: serialise byte-identically to format version 2 documents.
+    sequence: dict | None = None
 
     def record(
         self,

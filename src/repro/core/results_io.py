@@ -32,16 +32,19 @@ from dataclasses import dataclass, field
 from repro.core.crash_scale import CaseCode
 from repro.core.results import ResultSet
 
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 #: Older document versions that still load (missing fields default).
-SUPPORTED_VERSIONS = {1, 2}
+#: Version 3 adds the per-row ``sequence`` extension recorded by
+#: sequence-mode campaigns; per-case rows omit it, so version-2 readers
+#: of case-mode documents lose nothing.
+SUPPORTED_VERSIONS = {1, 2, 3}
 
 CHECKPOINT_FORMAT = "ballista-checkpoint"
-CHECKPOINT_VERSION = 2
+CHECKPOINT_VERSION = 3
 #: Older checkpoint versions that still load (version 1 predates the
-#: intra-variant ``shard`` block; those documents describe whole-variant
-#: slices and merge exactly as before).
-CHECKPOINT_SUPPORTED_VERSIONS = {1, 2}
+#: intra-variant ``shard`` block, version 2 the sequence-mode ``plan``
+#: block; both default to the pre-existing semantics on load).
+CHECKPOINT_SUPPORTED_VERSIONS = {1, 2, 3}
 
 
 class ResultFormatError(ValueError):
@@ -70,6 +73,10 @@ def results_to_dict(results: ResultSet) -> dict:
                 "capped": row.capped,
             }
         )
+        if row.sequence is not None:
+            # Version-3 sequence-record extension; omitted on per-case
+            # rows so case-mode documents keep their version-2 shape.
+            rows[-1]["sequence"] = row.sequence
     document = {
         "format": "ballista-results",
         "version": FORMAT_VERSION,
@@ -130,6 +137,8 @@ def results_from_dict(document: dict) -> ResultSet:
             result.interference_crash = bool(row.get("interference"))
             result.planned_cases = int(row.get("planned", len(codes)))
             result.capped = bool(row.get("capped"))
+            if row.get("sequence") is not None:
+                result.sequence = dict(row["sequence"])
         except (KeyError, ValueError, TypeError) as exc:
             raise ResultFormatError(f"malformed result row: {exc}") from exc
     for variant in document.get("partial", []):
@@ -231,6 +240,13 @@ class CampaignCheckpoint:
         authoritative combined checkpoint rather than a predecessor
         slice (the seam check is skipped -- same trust as any resume).
         ``None`` on serial, combined, and whole-variant documents.
+    :param plan: the plan-defining campaign parameters beyond ``cap``
+        (version 3), present on ``--mode sequence`` documents:
+        ``{"mode", "sequences", "sequence_length", "sequence_seed",
+        "dirty_machine", "fault_families"}``.  Like the cap, these fix
+        the deterministic plan the cursors index into, so resuming
+        under different values would splice incompatible plans and is
+        refused.  ``None`` on per-case documents (and all pre-v3 ones).
     """
 
     results: ResultSet
@@ -241,6 +257,24 @@ class CampaignCheckpoint:
     complete: bool = False
     supervision: list[dict] = field(default_factory=list)
     shard: dict | None = None
+    plan: dict | None = None
+
+
+def checkpoint_plan(config) -> dict | None:
+    """The :attr:`CampaignCheckpoint.plan` block for a campaign config:
+    ``None`` for per-case mode (whose plan the cap alone defines), else
+    the sequence-mode parameters the plan is a function of.
+    ``fault_families`` keeps its order -- the planner indexes into it."""
+    if config.mode == "case":
+        return None
+    return {
+        "mode": config.mode,
+        "sequences": config.sequences,
+        "sequence_length": config.sequence_length,
+        "sequence_seed": config.sequence_seed,
+        "dirty_machine": bool(config.dirty_machine),
+        "fault_families": list(config.fault_families),
+    }
 
 
 def checkpoint_to_dict(checkpoint: CampaignCheckpoint) -> dict:
@@ -261,6 +295,8 @@ def checkpoint_to_dict(checkpoint: CampaignCheckpoint) -> dict:
         document["supervision"] = [dict(e) for e in checkpoint.supervision]
     if checkpoint.shard is not None:
         document["shard"] = dict(checkpoint.shard)
+    if checkpoint.plan is not None:
+        document["plan"] = dict(checkpoint.plan)
     return document
 
 
@@ -292,6 +328,11 @@ def checkpoint_from_dict(document: dict) -> CampaignCheckpoint:
             shard=(
                 dict(document["shard"])
                 if document.get("shard") is not None
+                else None
+            ),
+            plan=(
+                dict(document["plan"])
+                if document.get("plan") is not None
                 else None
             ),
         )
@@ -384,6 +425,7 @@ def split_checkpoint(
         cap=checkpoint.cap,
         variants=[variant],
         complete=complete,
+        plan=None if checkpoint.plan is None else dict(checkpoint.plan),
     )
 
 
@@ -454,6 +496,8 @@ def merge_checkpoints(
                 )
                 complete = False
                 continue
+        if merged.plan is None and shard.plan is not None:
+            merged.plan = dict(shard.plan)
         if shard.shard is not None:
             sliced.setdefault(str(shard.shard.get("variant")), []).append(
                 shard

@@ -1,0 +1,573 @@
+"""Stateful call-sequence campaigns with sequence-level attribution.
+
+Per-case campaigns (:mod:`repro.core.campaign`) spend one fresh process
+per test case, so the only state a case inherits is *machine* wear.  A
+**sequence campaign** makes the k-call sequence the unit of work: the
+whole sequence runs inside one spawned process, so handles, ``FILE*``
+streams, and file descriptors opened by one step are genuinely live for
+the next -- the setting in which real applications meet the Win32 API,
+and the one the paper's ``*`` interference crashes point at.
+
+Three pieces live here:
+
+* :class:`SequencePlanner` -- a seeded generator of
+  :class:`SequencePlan` objects.  Plans are a pure function of
+  ``(sequence name, seed, MuT pool, value pools)``: the same planner
+  inputs yield byte-identical plans in every worker process, which is
+  what lets sequences shard and heal exactly like cases.
+* :func:`run_variant_sequences` -- the sequence twin of
+  :func:`repro.core.campaign.run_variant`, with the same
+  checkpoint/heartbeat/progress/slice contract.  Each sequence becomes
+  one result row under the reserved ``api="seq"`` namespace (step index
+  = case index), so checkpoint splitting, merging, supervision, and the
+  deterministic event stream all work unchanged.
+* **Fault injection and attribution.**  A plan may arm one
+  fault family (:data:`~repro.sim.faults.FAULT_FAMILIES`) for one step;
+  the executor scopes it to the call window, and a call that reports
+  failure while leaving durable wear residue is classified
+  :attr:`~repro.core.crash_scale.CaseCode.FAULT_ATOMICITY`.  A
+  Catastrophic step is attributed: an immediate kernel fault is an
+  ``"origin"`` crash of its own step, while an accumulated-corruption
+  crash is ``"propagated"`` from the first corrupting step of the
+  sequence (or inherited from pre-sequence wear in dirty-machine mode,
+  recorded as ``origin_step = None``).
+
+Dirty-machine mode (``CampaignConfig.dirty_machine``) skips the
+between-sequence reboot, so sequences start on the wear every earlier
+sequence left behind -- the multi-week-uptime regime the paper's test
+machines actually lived in.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.campaign import (
+    _INTERFERENCE_MARKER,
+    _apply_policies,
+    _outcome_histogram,
+    CampaignConfig,
+    HeartbeatFn,
+    ProgressFn,
+)
+from repro.core.context import TestContext
+from repro.core.crash_scale import CaseCode
+from repro.core.executor import Executor
+from repro.core.generator import CaseGenerator, TestCase
+from repro.core.mut import MuT
+from repro.core.results import MuTResult, ResultSet
+from repro.core.results_io import CampaignCheckpoint, save_checkpoint
+from repro.obs import events as obs_events
+from repro.obs.recorder import Recorder
+from repro.sim.errors import MachineCrashed, SimFault, SystemCrash
+from repro.sim.faults import FAULT_FAMILIES
+from repro.sim.machine import Machine
+from repro.sim.personality import Personality
+
+#: Reserved ``api`` namespace for sequence result rows.  The lint
+#: registry contract forbids real MuTs from registering under it, so a
+#: sequence row can never collide with a per-case row.
+SEQUENCE_API = "seq"
+
+#: Group name carried by sequence rows (analysis tables select by api,
+#: so sequence rows never leak into the paper's per-group rates).
+SEQUENCE_GROUP = "sequence"
+
+#: Fraction of sequences that arm a fault (as a rational, so the seeded
+#: draw stays exact): 2 of every 3 planned sequences inject, the rest
+#: stay clean for contrast.
+_FAULT_NUMERATOR, _FAULT_DENOMINATOR = 2, 3
+
+
+def sequence_name(index: int) -> str:
+    """The plan identity of sequence ``index`` (``seq00042``)."""
+    return f"seq{index:05d}"
+
+
+@dataclass(frozen=True)
+class SequenceStep:
+    """One call in a sequence: a MuT plus concrete test-value names.
+
+    ``fault_family`` is the triage-replay form of the campaign's
+    injection decision: the campaign addresses the armed step by index
+    (:attr:`SequencePlan.fault_step`), but delta-debugging drops steps,
+    so a replayed step carries its own fault marker and the arming
+    travels with the call it belongs to.
+    """
+
+    api: str
+    mut_name: str
+    value_names: tuple[str, ...]
+    fault_family: str | None = None
+
+    def describe(self) -> str:
+        call = f"{self.mut_name}({', '.join(self.value_names)})"
+        if self.fault_family is not None:
+            call += f" [{self.fault_family} exhaustion]"
+        return call
+
+
+@dataclass(frozen=True)
+class SequencePlan:
+    """One planned k-call sequence (plus its resolved MuT objects).
+
+    ``fault_family``/``fault_step`` record the injection decision:
+    ``None`` for a clean sequence, else the armed family and the step
+    whose call window it fires in.
+    """
+
+    name: str
+    index: int
+    steps: tuple[SequenceStep, ...]
+    muts: tuple[MuT, ...]
+    fault_family: str | None = None
+    fault_step: int | None = None
+
+
+class SequencePlanner:
+    """Seeded generator of call-sequence plans for one variant.
+
+    :param pool: the MuTs sequences may draw steps from (the variant's
+        registry population, already filtered by availability and any
+        ``--muts`` subset).  Sorted internally, so pool construction
+        order cannot perturb plans.
+    :param generator: the campaign's case generator (provides the
+        per-parameter value pools).
+    :param count: sequences to plan.
+    :param length: calls per sequence (the paper-style ``k``).
+    :param seed: campaign-level sequence seed; two campaigns at the
+        same seed plan identical sequences.
+    :param fault_families: families eligible for injection; empty
+        disables injection entirely.
+    """
+
+    def __init__(
+        self,
+        pool: Sequence[MuT],
+        generator: CaseGenerator,
+        count: int,
+        length: int,
+        seed: int = 0,
+        fault_families: Sequence[str] = FAULT_FAMILIES,
+    ) -> None:
+        self.pool = sorted(pool, key=lambda m: (m.api, m.name))
+        self.generator = generator
+        self.count = count
+        self.length = length
+        self.seed = seed
+        self.fault_families = tuple(fault_families)
+        for family in self.fault_families:
+            if family not in FAULT_FAMILIES:
+                raise ValueError(
+                    f"unknown fault family {family!r}; expected a subset "
+                    f"of {', '.join(FAULT_FAMILIES)}"
+                )
+        if self.length < 1:
+            raise ValueError(f"sequence length must be >= 1, got {length}")
+
+    def _rng(self, name: str) -> random.Random:
+        """Per-sequence RNG, seeded like the case generator: a stable
+        function of the sequence name (plus the campaign seed), never of
+        interpreter hash state."""
+        return random.Random(
+            (self.seed & 0xFFFF_FFFF) * 0x1_0000_0000
+            + zlib.crc32(name.encode("utf-8"))
+        )
+
+    def plan(self, index: int) -> SequencePlan:
+        """The plan for sequence ``index`` (pure; any order, any
+        process)."""
+        if not self.pool:
+            raise ValueError("cannot plan sequences from an empty MuT pool")
+        name = sequence_name(index)
+        rng = self._rng(name)
+        steps: list[SequenceStep] = []
+        muts: list[MuT] = []
+        for _ in range(self.length):
+            mut = self.pool[rng.randrange(len(self.pool))]
+            values = tuple(
+                pool[rng.randrange(len(pool))].name
+                for pool in self.generator.pools(mut)
+            )
+            steps.append(SequenceStep(mut.api, mut.name, values))
+            muts.append(mut)
+        fault_family: str | None = None
+        fault_step: int | None = None
+        if self.fault_families and (
+            rng.randrange(_FAULT_DENOMINATOR) < _FAULT_NUMERATOR
+        ):
+            fault_family = self.fault_families[
+                rng.randrange(len(self.fault_families))
+            ]
+            fault_step = rng.randrange(self.length)
+        return SequencePlan(
+            name, index, tuple(steps), tuple(muts), fault_family, fault_step
+        )
+
+    def plans(self) -> list[SequencePlan]:
+        return [self.plan(index) for index in range(self.count)]
+
+
+# ----------------------------------------------------------------------
+# The per-variant sequence-campaign loop
+# ----------------------------------------------------------------------
+
+
+def run_variant_sequences(
+    personality: Personality,
+    plans: Sequence[SequencePlan],
+    generator: CaseGenerator,
+    config: CampaignConfig,
+    results: ResultSet,
+    progress: ProgressFn | None,
+    checkpoint: CampaignCheckpoint,
+    checkpoint_path: str | pathlib.Path | None,
+    checkpoint_every: int,
+    quarantine: dict[str, str] | None = None,
+    heartbeat: HeartbeatFn | None = None,
+    recorder: Recorder | None = None,
+    plan_slice: tuple[int, int] | None = None,
+) -> None:
+    """Run one variant's sequence plan (the ``--mode sequence`` inner
+    loop) -- the sequence twin of
+    :func:`repro.core.campaign.run_variant`, with the identical
+    checkpoint / heartbeat / progress / quarantine / slice contract.
+
+    Each plan position is one sequence; its result row lives under
+    ``(variant, "seq", plan.name)`` with one case code per step, so the
+    entry is restart-safe at any plan cursor exactly like the per-case
+    loop: recorded sequences skip, machine wear restores, and a slice
+    runs from the serial wear at its first position.  The machine
+    reboots between sequences (each starts pristine) unless
+    ``config.dirty_machine``, in which case wear accumulates across
+    sequences -- a Catastrophic step still forces a reboot either way,
+    since a crashed machine cannot run the next sequence.
+    """
+    quarantine = quarantine or {}
+    start, stop = plan_slice if plan_slice is not None else (0, len(plans))
+    machine = Machine(personality, watchdog_ticks=config.watchdog_ticks)
+    wear = checkpoint.machine_wear.get(personality.key)
+    if wear:
+        machine.restore_wear(wear)
+    executor = Executor(machine, generator)
+    since_checkpoint = 0
+
+    def emit(event: "obs_events.Event") -> None:
+        if recorder is not None:
+            recorder.emit(event)
+
+    def save_and_tell(position: int) -> None:
+        save_checkpoint(checkpoint, checkpoint_path)
+        emit(
+            obs_events.CheckpointWritten(
+                personality.key, str(checkpoint_path), position
+            )
+        )
+
+    emit(obs_events.VariantStarted(personality.key, len(plans)))
+    for position in range(start, stop):
+        plan = plans[position]
+        if results.has(personality.key, plan.name, api=SEQUENCE_API):
+            continue  # already recorded by the interrupted run
+        if results.is_quarantined(personality.key, SEQUENCE_API, plan.name):
+            continue
+        key = f"{SEQUENCE_API}:{plan.name}"
+        if key in quarantine:
+            results.quarantine(
+                personality.key, SEQUENCE_API, plan.name, quarantine[key]
+            )
+            emit(
+                obs_events.MutQuarantined(
+                    personality.key, key, quarantine[key]
+                )
+            )
+            checkpoint.cursors[personality.key] = position + 1
+            since_checkpoint += 1
+            if (
+                checkpoint_path is not None
+                and since_checkpoint >= checkpoint_every
+            ):
+                save_and_tell(position + 1)
+                since_checkpoint = 0
+            continue
+        if progress is not None:
+            progress(personality.key, plan.name, position, len(plans))
+        result = results.new_result(
+            personality.key, plan.name, SEQUENCE_API, SEQUENCE_GROUP
+        )
+        result.planned_cases = len(plan.steps)
+        if recorder is not None:
+            recorder.record(
+                {
+                    "kind": "sequence_started",
+                    "variant": personality.key,
+                    "sequence": plan.name,
+                    "length": len(plan.steps),
+                    "fault_family": plan.fault_family,
+                    "fault_step": plan.fault_step,
+                }
+            )
+        rebooted = _run_sequence(
+            executor,
+            machine,
+            plan,
+            config,
+            result,
+            personality,
+            heartbeat,
+            recorder,
+            key,
+        )
+        emit(
+            obs_events.MutFinished(
+                personality.key,
+                key,
+                SEQUENCE_GROUP,
+                len(result.codes),
+                _outcome_histogram(result.codes),
+                result.catastrophic,
+                result.interference_crash,
+                machine.clock.ticks,
+            )
+        )
+        if recorder is not None:
+            seq = result.sequence or {}
+            recorder.record(
+                {
+                    "kind": "sequence_finished",
+                    "variant": personality.key,
+                    "sequence": plan.name,
+                    "steps_run": len(result.codes),
+                    "crash_step": seq.get("crash_step"),
+                    "classification": seq.get("classification"),
+                    "sim_ticks": machine.clock.ticks,
+                }
+            )
+        if not config.dirty_machine and not rebooted:
+            # Clean mode: every sequence starts on a pristine machine
+            # (the crash path already rebooted).
+            machine.reboot()
+        checkpoint.cursors[personality.key] = position + 1
+        checkpoint.machine_wear[personality.key] = machine.wear_state()
+        since_checkpoint += 1
+        if (
+            checkpoint_path is not None
+            and since_checkpoint >= checkpoint_every
+        ):
+            save_and_tell(position + 1)
+            since_checkpoint = 0
+    if plan_slice is not None:
+        checkpoint.cursors[personality.key] = max(
+            checkpoint.cursors.get(personality.key, 0), stop
+        )
+    emit(
+        obs_events.VariantFinished(
+            personality.key,
+            results.total_cases(personality.key),
+            machine.clock.ticks,
+        )
+    )
+    if checkpoint_path is not None:
+        save_and_tell(stop)
+
+
+def _run_sequence(
+    executor: Executor,
+    machine: Machine,
+    plan: SequencePlan,
+    config: CampaignConfig,
+    result: MuTResult,
+    personality: Personality,
+    heartbeat: HeartbeatFn | None,
+    recorder: Recorder | None,
+    key: str,
+) -> bool:
+    """Execute one sequence in one process; fill ``result`` (one case
+    code per step plus the ``sequence`` attribution record).  Returns
+    True when a Catastrophic step forced a machine reboot."""
+    base_wear = machine.wear_state() if config.dirty_machine else None
+    step_ticks: list[int] = []
+    deltas: list[int] = []
+    fault_fired = 0
+    ctx: TestContext | None = None
+    crash_detail = ""
+    try:
+        process = machine.spawn_process()
+        ctx = TestContext(machine, process)
+    except (SystemCrash, MachineCrashed) as exc:
+        # A heavily worn machine (dirty mode) can go down spawning the
+        # sequence's process: the sequence inherits the crash at step 0.
+        result.record(0, CaseCode.CATASTROPHIC, False, str(exc), None)
+        step_ticks.append(machine.clock.ticks)
+        deltas.append(0)
+        crash_detail = str(exc)
+    if ctx is not None:
+        for index, (step, mut) in enumerate(zip(plan.steps, plan.muts)):
+            if heartbeat is not None:
+                heartbeat(personality.key, key, index)
+            case = TestCase(mut.name, index, step.value_names)
+            inject = plan.fault_step == index and plan.fault_family is not None
+            level_before = machine.corruption_level
+            if inject:
+                machine.faults.arm(plan.fault_family)
+            try:
+                outcome = executor.run_step(
+                    ctx, mut, case, inject_fault=inject
+                )
+            finally:
+                if inject:
+                    fault_fired = machine.faults.fired
+                    machine.faults.disarm()
+            outcome = _apply_policies(config, outcome)
+            result.record(
+                index,
+                outcome.code,
+                outcome.exceptional_input,
+                outcome.detail,
+                outcome.value_names,
+                error_code=outcome.error_code,
+            )
+            step_ticks.append(machine.clock.ticks)
+            deltas.append(machine.corruption_level - level_before)
+            if recorder is not None:
+                # Same hot-path dict form as the per-case loop, so the
+                # deterministic stream machinery treats a sequence like
+                # one MuT whose cases are its steps.
+                recorder.record(
+                    {
+                        "kind": "case_executed",
+                        "variant": personality.key,
+                        "mut": key,
+                        "case": index,
+                        "code": int(outcome.code),
+                        "exceptional": outcome.exceptional_input,
+                        "sim_ticks": machine.clock.ticks,
+                    }
+                )
+                if inject and fault_fired:
+                    recorder.record(
+                        {
+                            "kind": "fault_injected",
+                            "variant": personality.key,
+                            "sequence": plan.name,
+                            "step": index,
+                            "family": plan.fault_family,
+                            "fired": fault_fired,
+                        }
+                    )
+                if outcome.code is CaseCode.FAULT_ATOMICITY:
+                    recorder.record(
+                        {
+                            "kind": "atomicity_violation",
+                            "variant": personality.key,
+                            "sequence": plan.name,
+                            "step": index,
+                            "family": plan.fault_family,
+                        }
+                    )
+            if outcome.code.is_failure:
+                # The sequence's task (or machine) is gone: Abort and
+                # Restart kill the process the remaining steps needed,
+                # an atomicity break invalidates their baseline, and a
+                # Catastrophic crash takes the machine down.  The case
+                # set is incomplete, exactly like a crashed per-case
+                # MuT.
+                crash_detail = outcome.detail
+                break
+    rebooted = False
+    if machine.crashed:
+        machine.reboot()
+        rebooted = True
+    elif ctx is not None:
+        # End-of-sequence teardown: deferred constructor cleanups, then
+        # the process (closing every handle/fd the sequence still held).
+        ctx.run_cleanups()
+        try:
+            ctx.process.terminate()
+        except (SimFault, MachineCrashed):  # pragma: no cover - defensive
+            pass
+    result.sequence = _attribute(
+        plan, result, step_ticks, deltas, fault_fired, crash_detail, base_wear
+    )
+    return rebooted
+
+
+def _attribute(
+    plan: SequencePlan,
+    result: MuTResult,
+    step_ticks: list[int],
+    deltas: list[int],
+    fault_fired: int,
+    crash_detail: str,
+    base_wear: dict | None,
+) -> dict:
+    """Build the sequence record (format v3 ``sequence`` field): step
+    identities, per-step sim ticks, the fault decision, and the crash
+    attribution."""
+    codes = [CaseCode(code) for code in result.codes]
+    first_failure = next(
+        (i for i, code in enumerate(codes) if code.is_failure), None
+    )
+    crash_step = next(
+        (
+            i
+            for i, code in enumerate(codes)
+            if code is CaseCode.CATASTROPHIC
+        ),
+        None,
+    )
+    origin_step: int | None = None
+    classification: str | None = None
+    if crash_step is not None:
+        if _INTERFERENCE_MARKER in crash_detail:
+            # The crash needed accumulated corruption: attribute it to
+            # the first step of this sequence that corrupted shared
+            # state.  No such step means the corruption was inherited
+            # from pre-sequence wear (dirty-machine mode).
+            result.interference_crash = True
+            classification = "propagated"
+            origin_step = next(
+                (
+                    i
+                    for i, delta in enumerate(deltas[: crash_step + 1])
+                    if delta > 0
+                ),
+                None,
+            )
+        else:
+            classification = "origin"
+            origin_step = crash_step
+    record: dict = {
+        "length": len(plan.steps),
+        "steps": [
+            {
+                "api": step.api,
+                "mut": step.mut_name,
+                "values": list(step.value_names),
+            }
+            for step in plan.steps
+        ],
+        "step_ticks": step_ticks,
+        "fault": (
+            None
+            if plan.fault_family is None
+            else {
+                "family": plan.fault_family,
+                "step": plan.fault_step,
+                "fired": fault_fired,
+            }
+        ),
+        "first_failure": first_failure,
+        "crash_step": crash_step,
+        "origin_step": origin_step,
+        "classification": classification,
+    }
+    if base_wear is not None and crash_step is not None:
+        # A dirty-mode crash may need the inherited wear to reproduce:
+        # carry the sequence's starting wear so triage can replay it.
+        record["base_wear"] = base_wear
+    return record

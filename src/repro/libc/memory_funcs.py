@@ -15,7 +15,7 @@ whether a pointer is a live block:
 from __future__ import annotations
 
 from repro.libc import errno_codes as E
-from repro.sim.errors import SoftwareAbort
+from repro.sim.errors import ResourceExhausted, SoftwareAbort
 from repro.sim.memory import Protection
 
 HEAP_MAGIC = 0xBA11_A57A
@@ -37,7 +37,15 @@ class MemoryMixin:
         if size > MAX_ALLOC:
             self._set_errno(E.ENOMEM)
             return 0
-        region = self.mem.map(max(size, 1) + 8, Protection.RW, tag="heap-block")
+        try:
+            region = self.mem.map(
+                max(size, 1) + 8, Protection.RW, tag="heap-block"
+            )
+        except ResourceExhausted:
+            # Exhausted machine: malloc reports ENOMEM and returns NULL,
+            # the graceful (failure-atomic) path.
+            self._set_errno(E.ENOMEM)
+            return 0
         self.mem.write_u32(region.start, HEAP_MAGIC)
         self.mem.write_u32(region.start + 4, size)
         user_ptr = region.start + 8

@@ -46,12 +46,23 @@ class RegistryContractChecker(Checker):
             )
             return
         from repro.analysis.groups import ALL_GROUPS
+        from repro.core.sequences import SEQUENCE_API
         from repro.libc.registration import UNICODE_TWIN_OF
 
         groups = set(ALL_GROUPS)
         seen: dict[tuple[str, str, str], str] = {}
         for mut in registry.all():
             path = _REGISTRATION_PATHS.get(mut.api, "")
+            if mut.api == SEQUENCE_API:
+                # Sequence campaigns store their result rows under the
+                # reserved "seq" api; a real MuT there would collide
+                # with a sequence row in every ResultSet.
+                yield self.finding(
+                    "RC-RESERVED",
+                    f"MuT {mut.name!r} registers under the reserved "
+                    f"sequence-row api namespace {SEQUENCE_API!r}",
+                    path=path,
+                )
             for param in mut.param_types:
                 if param not in types:
                     yield self.finding(

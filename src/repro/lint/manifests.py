@@ -82,7 +82,7 @@ SERIALIZATION_PINS: tuple[SerializationPin, ...] = (
     SerializationPin(
         cls="repro.core.results.MuTResult",
         version_const="repro.core.results_io.FORMAT_VERSION",
-        version=2,
+        version=3,
         fields=(
             "variant",
             "mut_name",
@@ -97,18 +97,19 @@ SERIALIZATION_PINS: tuple[SerializationPin, ...] = (
             "interference_crash",
             "planned_cases",
             "capped",
+            "sequence",
         ),
     ),
     SerializationPin(
         cls="repro.core.results.QuarantineRecord",
         version_const="repro.core.results_io.FORMAT_VERSION",
-        version=2,
+        version=3,
         fields=("variant", "api", "mut_name", "reason"),
     ),
     SerializationPin(
         cls="repro.core.results_io.CampaignCheckpoint",
         version_const="repro.core.results_io.CHECKPOINT_VERSION",
-        version=2,
+        version=3,
         fields=(
             "results",
             "cursors",
@@ -118,6 +119,7 @@ SERIALIZATION_PINS: tuple[SerializationPin, ...] = (
             "complete",
             "supervision",
             "shard",
+            "plan",
         ),
     ),
     SerializationPin(

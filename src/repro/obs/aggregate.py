@@ -29,6 +29,7 @@ _CODE_COLUMNS = (
     "PASS_NO_ERROR",
     "SETUP_SKIP",
     "NOT_RUN",
+    "FAULT_ATOMICITY",
 )
 
 _DEATH_KINDS = ("crashed", "hung", "killed")
@@ -84,6 +85,12 @@ class MetricsAggregator(Recorder):
         }
         self._deaths_by_kind: dict[str, int] = {}
         self._chaos_by_fault: dict[str, int] = {}
+        #: Sequence-campaign counters, keyed by variant.
+        self._sequences: dict[str, dict] = {}
+        self._faults_by_family: dict[str, int] = {}
+        #: Restart-replay dedup for sequence lifecycle and fault events,
+        #: mirroring ``_folded_muts``.
+        self._folded_seqs: set[tuple] = set()
         # A worker restarted without a recent shard re-runs completed
         # MuTs and re-emits their (byte-identical) mut_finished events;
         # fold each MuT's histogram once so a healed run's CRASH
@@ -166,6 +173,66 @@ class MetricsAggregator(Recorder):
 
     def _fold_checkpoint_written(self, data: dict, t) -> None:
         self._ops["checkpoints_written"] += 1
+
+    # -- sequence-campaign events -------------------------------------
+
+    def _sequence_stats(self, variant: str) -> dict:
+        return self._sequences.setdefault(
+            variant,
+            {
+                "sequences": 0,
+                "crashed": 0,
+                "origin": 0,
+                "propagated": 0,
+                "faults_injected": 0,
+                "atomicity_violations": 0,
+            },
+        )
+
+    def _fold_sequence_started(self, data: dict, t) -> None:
+        self._variant(data["variant"])
+
+    def _fold_sequence_finished(self, data: dict, t) -> None:
+        key = (str(data.get("variant")), str(data.get("sequence")))
+        if key in self._folded_seqs:
+            return  # restart replay of an already-folded sequence
+        self._folded_seqs.add(key)
+        stats = self._sequence_stats(data["variant"])
+        stats["sequences"] += 1
+        if data.get("crash_step") is not None:
+            stats["crashed"] += 1
+            classification = str(data.get("classification") or "")
+            if classification in ("origin", "propagated"):
+                stats[classification] += 1
+
+    def _fold_fault_injected(self, data: dict, t) -> None:
+        key = (
+            str(data.get("variant")),
+            str(data.get("sequence")),
+            int(data.get("step", -1)),
+            "fault",
+        )
+        if key in self._folded_seqs:
+            return
+        self._folded_seqs.add(key)
+        stats = self._sequence_stats(data["variant"])
+        stats["faults_injected"] += 1
+        family = str(data.get("family", "?"))
+        self._faults_by_family[family] = (
+            self._faults_by_family.get(family, 0) + 1
+        )
+
+    def _fold_atomicity_violation(self, data: dict, t) -> None:
+        key = (
+            str(data.get("variant")),
+            str(data.get("sequence")),
+            int(data.get("step", -1)),
+            "atomicity",
+        )
+        if key in self._folded_seqs:
+            return
+        self._folded_seqs.add(key)
+        self._sequence_stats(data["variant"])["atomicity_violations"] += 1
 
     # -- operational events -------------------------------------------
 
@@ -277,6 +344,14 @@ class MetricsAggregator(Recorder):
             "wall_s": wall_s,
             "campaign": dict(self._campaign),
             "variants": variants,
+            "sequences": {
+                key: dict(self._sequences[key])
+                for key in sorted(self._sequences)
+            },
+            "faults_by_family": {
+                k: self._faults_by_family[k]
+                for k in sorted(self._faults_by_family)
+            },
             "groups": {
                 name: dict(self._groups[name]) for name in sorted(self._groups)
             },
@@ -366,6 +441,32 @@ def render_stats(snapshot: dict) -> str:
                 f"({replayed} re-executed after worker restarts)"
             )
 
+    sequences = snapshot.get("sequences", {})
+    if sequences:
+        header = (
+            f"{'variant':<9} {'seqs':>6} {'crashed':>8} {'origin':>7} "
+            f"{'propag':>7} {'faults':>7} {'atomic':>7}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for key in sorted(sequences):
+            row = sequences[key]
+            lines.append(
+                f"{key:<9} {row['sequences']:>6} {row['crashed']:>8} "
+                f"{row['origin']:>7} {row['propagated']:>7} "
+                f"{row['faults_injected']:>7} "
+                f"{row['atomicity_violations']:>7}"
+            )
+        families = snapshot.get("faults_by_family", {})
+        if families:
+            lines.append(
+                "fault families: "
+                + ", ".join(
+                    f"{k}: {families[k]}" for k in sorted(families)
+                )
+            )
+        lines.append("")
+
     ops = snapshot.get("ops", {})
     deaths = ops.get("deaths_by_kind", {})
     death_detail = (
@@ -438,6 +539,7 @@ def _short(code_name: str) -> str:
         "PASS_NO_ERROR": "pas-ok",
         "SETUP_SKIP": "skip",
         "NOT_RUN": "notrun",
+        "FAULT_ATOMICITY": "atomic",
     }[code_name]
 
 

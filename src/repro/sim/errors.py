@@ -137,6 +137,25 @@ class ThrownException(SimFault):
         super().__init__(f"thrown exception {value!r} (recoverable={recoverable})")
 
 
+class ResourceExhausted(SimFault):
+    """A resource request denied by an exhausted machine (injected by
+    :class:`~repro.sim.faults.FaultInjector`).
+
+    Robust implementations convert this into an error report (``malloc``
+    returning NULL with ``ENOMEM``); implementations that let it escape
+    the API boundary abort the task, which the executor classifies as an
+    Abort failure -- the interesting robustness finding.
+    """
+
+    posix_signal = "SIGSEGV"
+    win32_exception = "EXCEPTION_ACCESS_VIOLATION"
+
+    def __init__(self, family: str, resource: str) -> None:
+        self.family = family
+        self.resource = resource
+        super().__init__(f"{family} exhausted ({resource})")
+
+
 class SystemCrash(SimFault):
     """A complete operating system crash requiring a reboot.
 

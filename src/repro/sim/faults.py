@@ -1,0 +1,105 @@
+"""Deterministic resource-exhaustion fault injection.
+
+The sequence-campaign mode (:mod:`repro.core.sequences`) probes how API
+implementations behave when the operating system itself runs dry: a
+seeded plan arms one *fault family* for one step of a call sequence, and
+every matching resource request made **during the call under test** then
+fails the way a genuinely exhausted machine would.
+
+Three families are modelled, one per resource-allocation chokepoint in
+the simulated machine:
+
+* ``"alloc"`` -- address-space exhaustion: every
+  :meth:`~repro.sim.memory.AddressSpace.map` raises
+  :class:`~repro.sim.errors.ResourceExhausted` (the simulated kernel is
+  out of commit), which robust C runtimes surface as ``malloc`` -> NULL
+  with ``ENOMEM``.
+* ``"handles"`` -- kernel handle-table exhaustion: every
+  :meth:`~repro.sim.objects.HandleTable.insert` fails, the Win32
+  "no more system handles" regime.
+* ``"disk"`` -- disk-full: every
+  :meth:`~repro.sim.filesystem.FileSystem.create_file` raises ENOSPC,
+  exactly the error the filesystem already produces at its
+  ``max_files`` capacity.
+
+The injector is **scoped**: faults fire only inside the executor's call
+window (:meth:`FaultInjector.window`), never during test-value
+constructors or destructors, so a faulted step differs from its clean
+twin in exactly one way -- the MuT saw an exhausted machine.  The
+failure-atomic expectation checked by the sequence runner follows from
+that scoping: a call that *reports failure* under injection must leave
+no residue in machine wear for the next step.
+"""
+
+from __future__ import annotations
+
+from repro.sim.errors import ResourceExhausted
+
+#: The fault families, in their canonical (seeding) order.
+FAULT_FAMILIES: tuple[str, ...] = ("alloc", "handles", "disk")
+
+
+class FaultInjector:
+    """Per-machine fault-injection state.
+
+    One injector belongs to one :class:`~repro.sim.machine.Machine` and
+    survives reboots (arming is a harness decision, not machine state).
+    It is inert unless *armed* with a family **and** opened as a call
+    window, so ordinary campaigns never pay more than one attribute
+    check per resource request.
+    """
+
+    def __init__(self) -> None:
+        #: Armed fault family (``None`` = disarmed).
+        self.family: str | None = None
+        #: True while execution is inside the call-under-test window.
+        self.active = False
+        #: Number of resource requests failed since the last arming.
+        self.fired = 0
+
+    # ------------------------------------------------------------------
+
+    def arm(self, family: str) -> None:
+        """Arm one fault family for the next call window."""
+        if family not in FAULT_FAMILIES:
+            raise ValueError(
+                f"unknown fault family {family!r}; expected one of "
+                f"{', '.join(FAULT_FAMILIES)}"
+            )
+        self.family = family
+        self.fired = 0
+
+    def disarm(self) -> None:
+        self.family = None
+        self.active = False
+
+    def window(self) -> "_FaultWindow":
+        """Context manager bounding the call under test; matching
+        resource requests fail only while it is open."""
+        return _FaultWindow(self)
+
+    # ------------------------------------------------------------------
+
+    def trip(self, family: str) -> bool:
+        """Called by the resource chokepoints: should this request fail?"""
+        if self.active and self.family == family:
+            self.fired += 1
+            return True
+        return False
+
+    def exhaust(self, family: str, resource: str) -> None:
+        """Chokepoint helper: raise when the request must fail."""
+        if self.trip(family):
+            raise ResourceExhausted(family, resource)
+
+
+class _FaultWindow:
+    def __init__(self, injector: FaultInjector) -> None:
+        self._injector = injector
+
+    def __enter__(self) -> FaultInjector:
+        self._injector.active = True
+        return self._injector
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._injector.active = False

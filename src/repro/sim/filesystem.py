@@ -206,6 +206,10 @@ class FileSystem:
         self.max_files = max_files
         self._file_count = 0
         self.root = DirectoryNode("", now())
+        #: Optional :class:`~repro.sim.faults.FaultInjector` (attached by
+        #: the owning machine); armed "disk" faults fail
+        #: :meth:`create_file` with ENOSPC.
+        self.faults = None
 
     # ------------------------------------------------------------------
     # Path handling
@@ -274,6 +278,8 @@ class FileSystem:
             existing.modified_at = self._now()
             return existing
         if self.max_files is not None and self._file_count >= self.max_files:
+            raise FileSystemError("ENOSPC", path)
+        if self.faults is not None and self.faults.trip("disk"):
             raise FileSystemError("ENOSPC", path)
         node = FileNode(name, self._now(), data)
         parent.entries[name] = node

@@ -16,6 +16,7 @@ import base64
 
 from repro.sim.clock import SimClock
 from repro.sim.errors import MachineCrashed, SystemCrash
+from repro.sim.faults import FaultInjector
 from repro.sim.filesystem import DirectoryNode, FileNode, FileSystem, Node
 from repro.sim.memory import Protection, Region, SHARED_BASE
 from repro.sim.personality import Personality
@@ -46,6 +47,9 @@ class Machine:
         self.watchdog_ticks = watchdog_ticks
         self.fs_max_files = fs_max_files
         self.reboot_count = 0
+        #: Harness-side fault injection (sequence campaigns arm it per
+        #: step); survives reboots -- arming is not machine state.
+        self.faults = FaultInjector()
         self.initial_environ = {
             "PATH": "/bin:/usr/bin" if personality.api == "posix" else r"C:\WINDOWS",
             "HOME": "/home/ballista",
@@ -62,6 +66,7 @@ class Machine:
             now=self.clock.tick_count,
             max_files=self.fs_max_files,
         )
+        self.fs.faults = self.faults
         for directory in ("/tmp", "/home", "/home/ballista"):
             self.fs.mkdir(directory).protected = True
         passwd = self.fs.create_file(
@@ -98,7 +103,12 @@ class Machine:
         """Power-cycle after a crash: fresh filesystem, shared arena and
         corruption state.  (Ballista restarts testing after a reboot.)"""
         self.reboot_count += 1
+        ticks = self.clock.ticks
         self._boot()
+        # Virtual time keeps running across the power cycle: the clock
+        # stays monotone along a campaign plan, which sharded event
+        # canonicalisation and per-step sequence timestamps rely on.
+        self.clock.ticks = ticks
 
     # ------------------------------------------------------------------
     # Checkpoint support
@@ -238,6 +248,7 @@ class Machine:
         # the recorded value rather than what the replay accumulated.
         fs.max_files = self.fs_max_files
         fs._file_count = int(image["file_count"])
+        fs.faults = self.faults
         self.fs = fs
 
     # ------------------------------------------------------------------
@@ -278,3 +289,39 @@ class Machine:
     @property
     def corruption_level(self) -> int:
         return self._corruption
+
+    # ------------------------------------------------------------------
+    # Failure-atomicity support
+    # ------------------------------------------------------------------
+
+    def wear_residue(self) -> str:
+        """A deterministic fingerprint of the *durable* machine wear --
+        corruption, filesystem image, and shared-arena contents, but not
+        the always-advancing counters (clock, pid).
+
+        The sequence runner snapshots this around a fault-injected call:
+        a call that reports failure under injection must leave the
+        residue untouched (failure atomicity), and any change classifies
+        as a harness-level :data:`~repro.core.crash_scale.CaseCode.FAULT_ATOMICITY`
+        outcome.
+
+        Access timestamps are excluded: a failed call may legitimately
+        have *read* files before hitting the injected fault, and an
+        ``accessed_at`` bump is not corruption the next step could trip
+        over.  Data, metadata, link structure, and the file population
+        all count.
+        """
+        import json
+
+        fs = self._fs_wear()
+        for node in fs["nodes"]:
+            node.pop("accessed_at", None)
+        parts: dict = {
+            "corruption": self._corruption,
+            "fs": fs,
+        }
+        if self.shared_region is not None and any(self.shared_region.data):
+            parts["shared_arena"] = base64.b64encode(
+                bytes(self.shared_region.data)
+            ).decode("ascii")
+        return json.dumps(parts, sort_keys=True, separators=(",", ":"))

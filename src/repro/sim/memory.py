@@ -112,6 +112,9 @@ class AddressSpace:
         self._regions: list[Region] = []
         self._cursor = USER_BASE
         self._shared_cursor = SHARED_BASE
+        #: Optional :class:`~repro.sim.faults.FaultInjector` (attached by
+        #: the owning process); armed "alloc" faults fail :meth:`map`.
+        self.faults = None
 
     # ------------------------------------------------------------------
     # Mapping
@@ -131,7 +134,13 @@ class AddressSpace:
             in the user (or, with ``shared=True``, the shared arena)
             range is used, with an unmapped guard gap after each region
             so off-by-one pointers fault.
+
+        Raises :class:`~repro.sim.errors.ResourceExhausted` when an
+        armed ``"alloc"`` fault window is open: the kernel is out of
+        commit and every fresh mapping request fails.
         """
+        if self.faults is not None:
+            self.faults.exhaust("alloc", tag or "anonymous mapping")
         if at is None:
             if shared:
                 at = self._shared_cursor

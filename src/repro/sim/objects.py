@@ -154,9 +154,19 @@ class HandleTable:
     def __init__(self) -> None:
         self._slots: dict[int, KernelObject] = {}
         self._next = 0x4
+        #: Optional :class:`~repro.sim.faults.FaultInjector` (attached by
+        #: the owning process); armed "handles" faults fail :meth:`insert`.
+        self.faults = None
 
     def insert(self, obj: KernelObject) -> int:
-        """Add ``obj`` and return its new handle value."""
+        """Add ``obj`` and return its new handle value.
+
+        Raises :class:`~repro.sim.errors.ResourceExhausted` when an
+        armed ``"handles"`` fault window is open: the kernel handle
+        table is full and no new object can be handed out.
+        """
+        if self.faults is not None:
+            self.faults.exhaust("handles", f"{obj.kind} object")
         handle = self._next
         self._next += 4
         self._slots[handle] = obj

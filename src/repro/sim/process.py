@@ -62,6 +62,7 @@ class Process:
         self.memory = AddressSpace(
             strict_alignment=self.personality.strict_alignment
         )
+        self.memory.faults = machine.faults
         if machine.shared_region is not None:
             self.memory.attach(machine.shared_region)
         #: Code and stack mappings so "pointer into code" / "stack
@@ -72,6 +73,7 @@ class Process:
         self.stack_region = self.memory.map(0x4000, Protection.RW, tag="stack")
 
         self.handles = HandleTable()
+        self.handles.faults = machine.faults
         self.fds: dict[int, OpenFile | PipeEnd] = {}
         self.errno = 0
         self.last_error = 0

@@ -37,7 +37,9 @@ from repro.triage.load_test import (
 from repro.triage.minimize import (
     capture_crash_prefix,
     minimize_crash_sequence,
+    minimize_from_sequence_record,
     render_repro_program,
+    steps_from_sequence_record,
 )
 from repro.triage.sequence import SequenceOutcome, SequenceStep, replay_sequence
 
@@ -52,8 +54,10 @@ __all__ = [
     "audit_leaks",
     "capture_crash_prefix",
     "minimize_crash_sequence",
+    "minimize_from_sequence_record",
     "render_repro_program",
     "replay_sequence",
+    "steps_from_sequence_record",
     "run_load_comparison",
     "run_service_load",
 ]

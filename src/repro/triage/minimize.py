@@ -56,13 +56,18 @@ def minimize_crash_sequence(
     registry: MuTRegistry | None = None,
     types: TypeRegistry | None = None,
     progress: Callable[[int, int], None] | None = None,
+    **replay_options,
 ) -> list[SequenceStep]:
     """ddmin: shrink ``steps`` to a 1-minimal crashing sequence.
 
     Every candidate is validated by full deterministic replay on a fresh
     machine, so the result is a genuine standalone reproducer (not an
     artefact of leftover state).  Raises ``ValueError`` if ``steps`` does
-    not crash to begin with.
+    not crash to begin with.  ``replay_options`` pass through to
+    :func:`~repro.triage.sequence.replay_sequence` (``shared_process``
+    for sequence-campaign crashes, ``base_wear`` for dirty-machine
+    crashes), so the candidate replays happen under the same regime the
+    crash was observed in.
     """
     registry = registry or default_registry()
     types = types or default_types()
@@ -73,7 +78,9 @@ def minimize_crash_sequence(
         replays += 1
         if progress is not None:
             progress(replays, len(candidate))
-        return replay_sequence(personality, candidate, registry, types).crashed
+        return replay_sequence(
+            personality, candidate, registry, types, **replay_options
+        ).crashed
 
     if not crashes(steps):
         raise ValueError("the given sequence does not crash; nothing to minimise")
@@ -100,6 +107,59 @@ def minimize_crash_sequence(
                 break  # 1-minimal
             granularity = min(len(current), granularity * 2)
     return current
+
+
+def steps_from_sequence_record(record: dict) -> list[SequenceStep]:
+    """Rebuild the replayable steps from a campaign's sequence record
+    (the ``sequence`` field of a ``--mode sequence`` result row).
+
+    The fault decision is re-attached to the armed step itself so it
+    survives minimisation (see
+    :attr:`~repro.core.sequences.SequenceStep.fault_family`).
+    """
+    fault = record.get("fault") or {}
+    fault_step = fault.get("step")
+    return [
+        SequenceStep(
+            step["api"],
+            step["mut"],
+            tuple(step["values"]),
+            fault_family=(
+                fault["family"] if index == fault_step else None
+            ),
+        )
+        for index, step in enumerate(record.get("steps", []))
+    ]
+
+
+def minimize_from_sequence_record(
+    personality: Personality,
+    record: dict,
+    registry: MuTRegistry | None = None,
+    types: TypeRegistry | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> list[SequenceStep]:
+    """The campaign-output repro path: minimise a crashed sequence row.
+
+    Takes the ``sequence`` record of a Catastrophic ``--mode sequence``
+    result row, truncates the plan to its crashing prefix, and runs
+    ddmin under the campaign's own execution regime -- one shared
+    process, and (for dirty-machine crashes) the recorded starting wear.
+    Raises ``ValueError`` when the record holds no crash.
+    """
+    crash_step = record.get("crash_step")
+    if crash_step is None:
+        raise ValueError("sequence record holds no Catastrophic step")
+    steps = steps_from_sequence_record(record)[: crash_step + 1]
+    return minimize_crash_sequence(
+        personality,
+        steps,
+        registry,
+        types,
+        progress=progress,
+        shared_process=True,
+        base_wear=record.get("base_wear"),
+    )
 
 
 #: C renderings for the common test-value names (enough to print

@@ -4,6 +4,22 @@ Where a campaign generates cases per MuT, a *sequence* interleaves cases
 from any MuTs on one persistent machine -- the setting in which the
 paper's ``*`` crashes live.  The replay is completely deterministic, so
 a sequence is a portable crash reproducer.
+
+Two replay regimes are supported:
+
+* the historical default (``shared_process=False``) runs each step in a
+  fresh process, the per-case campaign's isolation level -- only
+  *machine* wear carries between steps;
+* ``shared_process=True`` mirrors a ``--mode sequence`` campaign: every
+  step runs inside one persistent process (handles and streams stay
+  live across steps), per-step fault families arm
+  (:attr:`~repro.core.sequences.SequenceStep.fault_family`), and the
+  replay stops at the first failure of any kind, exactly like the
+  campaign's sequence runner.
+
+``base_wear`` replays a dirty-machine crash: the wear image a campaign
+recorded as the sequence's starting state is restored before step 0, so
+crashes that only reproduce on a worn machine stay reproducible.
 """
 
 from __future__ import annotations
@@ -14,21 +30,13 @@ from repro.core.crash_scale import CaseCode
 from repro.core.executor import CaseOutcome, Executor
 from repro.core.generator import CaseGenerator, TestCase
 from repro.core.mut import MuTRegistry, default_registry
+from repro.core.sequences import SequenceStep
 from repro.core.types import TypeRegistry, default_types
+from repro.sim.errors import MachineCrashed, SimFault, SystemCrash
 from repro.sim.machine import Machine
 from repro.sim.personality import Personality
 
-
-@dataclass(frozen=True)
-class SequenceStep:
-    """One call in a sequence: a MuT plus concrete test-value names."""
-
-    api: str
-    mut_name: str
-    value_names: tuple[str, ...]
-
-    def describe(self) -> str:
-        return f"{self.mut_name}({', '.join(self.value_names)})"
+__all__ = ["SequenceStep", "SequenceOutcome", "replay_sequence"]
 
 
 @dataclass
@@ -37,6 +45,11 @@ class SequenceOutcome:
 
     steps: list[SequenceStep]
     outcomes: list[CaseOutcome] = field(default_factory=list)
+    #: Virtual-clock reading after each executed step.  List position
+    #: alone cannot order steps across replays once minimisation drops
+    #: steps; the sim-tick stamps survive and keep minimized
+    #: reproducers stable.
+    step_ticks: list[int] = field(default_factory=list)
     crashed: bool = False
     #: Index of the step whose execution took the machine down.
     crash_step: int | None = None
@@ -53,29 +66,100 @@ def replay_sequence(
     steps: list[SequenceStep],
     registry: MuTRegistry | None = None,
     types: TypeRegistry | None = None,
+    shared_process: bool = False,
+    base_wear: dict | None = None,
 ) -> SequenceOutcome:
     """Replay ``steps`` in order on one freshly booted machine.
 
-    Each step runs in a fresh process (exactly the campaign's isolation
-    level); machine state -- filesystem, shared arena, corruption --
-    persists between steps.  The replay stops at the first Catastrophic
-    outcome.
+    By default each step runs in a fresh process (exactly the per-case
+    campaign's isolation level) and the replay stops at the first
+    Catastrophic outcome; machine state -- filesystem, shared arena,
+    corruption -- persists between steps either way.  With
+    ``shared_process=True`` the whole sequence shares one process and
+    the replay stops at the first failing step, mirroring a sequence
+    campaign.  ``base_wear`` (a :meth:`~repro.sim.machine.Machine.wear_state`
+    image) is restored before the first step.
     """
     registry = registry or default_registry()
     types = types or default_types()
     machine = Machine(personality)
+    if base_wear:
+        machine.restore_wear(base_wear)
     executor = Executor(machine, CaseGenerator(types))
     result = SequenceOutcome(steps=list(steps))
+    if shared_process:
+        _replay_shared(machine, executor, registry, steps, result)
+    else:
+        _replay_isolated(machine, executor, registry, steps, result)
+    result.corruption_level = (
+        machine.corruption_level
+        if not machine.crashed
+        else personality.corruption_tolerance + 1
+    )
+    return result
+
+
+def _replay_isolated(
+    machine: Machine,
+    executor: Executor,
+    registry: MuTRegistry,
+    steps: list[SequenceStep],
+    result: SequenceOutcome,
+) -> None:
     for index, step in enumerate(steps):
         mut = registry.get(step.api, step.mut_name)
         case = TestCase(mut.name, index, step.value_names)
         outcome = executor.run_case(mut, case)
         result.outcomes.append(outcome)
+        result.step_ticks.append(machine.clock.ticks)
         if outcome.code is CaseCode.CATASTROPHIC:
             result.crashed = True
             result.crash_step = index
             break
-    result.corruption_level = machine.corruption_level if not machine.crashed else (
-        personality.corruption_tolerance + 1
-    )
-    return result
+
+
+def _replay_shared(
+    machine: Machine,
+    executor: Executor,
+    registry: MuTRegistry,
+    steps: list[SequenceStep],
+    result: SequenceOutcome,
+) -> None:
+    from repro.core.context import TestContext
+
+    try:
+        ctx = TestContext(machine, machine.spawn_process())
+    except (SystemCrash, MachineCrashed) as exc:
+        # A heavily worn base image can go down spawning the process;
+        # the crash belongs to step 0, as in the campaign runner.
+        result.outcomes.append(
+            CaseOutcome(CaseCode.CATASTROPHIC, str(exc), False, ())
+        )
+        result.step_ticks.append(machine.clock.ticks)
+        result.crashed = True
+        result.crash_step = 0
+        return
+    for index, step in enumerate(steps):
+        mut = registry.get(step.api, step.mut_name)
+        case = TestCase(mut.name, index, step.value_names)
+        inject = step.fault_family is not None
+        if inject:
+            machine.faults.arm(step.fault_family)
+        try:
+            outcome = executor.run_step(ctx, mut, case, inject_fault=inject)
+        finally:
+            if inject:
+                machine.faults.disarm()
+        result.outcomes.append(outcome)
+        result.step_ticks.append(machine.clock.ticks)
+        if outcome.code is CaseCode.CATASTROPHIC:
+            result.crashed = True
+            result.crash_step = index
+        if outcome.code.is_failure:
+            break
+    if not machine.crashed:
+        ctx.run_cleanups()
+        try:
+            ctx.process.terminate()
+        except (SimFault, MachineCrashed):  # pragma: no cover - defensive
+            pass

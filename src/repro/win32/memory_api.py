@@ -15,6 +15,7 @@ Crash mechanics reproduced here:
 
 from __future__ import annotations
 
+from repro.sim.errors import ResourceExhausted
 from repro.win32 import errors as W
 
 _U32 = 0xFFFF_FFFF
@@ -74,7 +75,10 @@ class MemoryApiMixin:
             ):
                 return self.fail(W.ERROR_INVALID_ADDRESS)
         protection = Protection(PAGE_FLAG_TO_PROTECTION[flProtect] or 1)
-        region = self.mem.map(dwSize, protection, tag="virtual")
+        try:
+            region = self.mem.map(dwSize, protection, tag="virtual")
+        except ResourceExhausted:
+            return self.fail(W.ERROR_NOT_ENOUGH_MEMORY)
         return region.start
 
     def VirtualFree(self, lpAddress: int, dwSize: int, dwFreeType: int) -> int:
@@ -198,7 +202,12 @@ class MemoryApiMixin:
             if dwFlags & 0x4:  # HEAP_GENERATE_EXCEPTIONS
                 self.throw(0xC0000017, recoverable=True)  # STATUS_NO_MEMORY
             return self.fail(W.ERROR_NOT_ENOUGH_MEMORY)
-        region = self.mem.map(max(dwBytes, 1), tag="heap32")
+        try:
+            region = self.mem.map(max(dwBytes, 1), tag="heap32")
+        except ResourceExhausted:
+            if dwFlags & 0x4:  # HEAP_GENERATE_EXCEPTIONS
+                self.throw(0xC0000017, recoverable=True)  # STATUS_NO_MEMORY
+            return self.fail(W.ERROR_NOT_ENOUGH_MEMORY)
         heap.blocks[region.start] = region
         return region.start
 

@@ -76,7 +76,7 @@ class TestResultsFormatV2:
         results = small_campaign(subset_registry, [winnt], cap=20).run()
         results.mark_partial("winnt")
         document = results_to_dict(results)
-        assert document["version"] == 2
+        assert document["version"] == 3
         assert document["partial"] == ["winnt"]
         reloaded = results_from_dict(document)
         assert reloaded.is_partial("winnt")

@@ -373,7 +373,7 @@ class TestShardedResume:
         # Rewrite the interrupted checkpoint as the version-1 format:
         # same fields minus the (absent anyway) shard block.
         document = checkpoint_to_dict(load_checkpoint(path))
-        assert document["version"] == 2
+        assert document["version"] == 3
         document["version"] = 1
         document.pop("shard", None)
         path.write_text(json.dumps(document), encoding="utf-8")

@@ -207,7 +207,7 @@ class TestQuarantine:
         results = ResultSet()
         results.quarantine("win98", "libc", "strcpy", "hung twice")
         document = results_to_dict(results)
-        assert document["version"] == 2  # optional key, same format
+        assert document["version"] == 3  # optional key, same format
         restored = results_from_dict(document)
         record = restored.quarantined_records()[0]
         assert (record.variant, record.api, record.mut_name, record.reason) == (
@@ -330,7 +330,7 @@ class TestSupervisionLog:
             supervision=[{"event": "restart", "variant": "win98"}],
         )
         document = checkpoint_to_dict(ckpt)
-        assert document["version"] == 2  # optional key, same format
+        assert document["version"] == 3  # optional key, same format
         restored = checkpoint_from_dict(document)
         assert restored.supervision == [
             {"event": "restart", "variant": "win98"}
