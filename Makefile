@@ -1,14 +1,21 @@
 # Convenience entry points; CI runs the same invocations.
 
 PYTHON ?= python
+# Base ref for `make lint-fast` (lint only files changed since BASE).
+BASE ?= HEAD
 
-.PHONY: test lint lint-report lint-baseline bench-lint
+.PHONY: test lint lint-fast lint-report lint-baseline bench-lint
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro lint --fail-on-new
+
+# Pre-commit mode: whole-project call graph, findings filtered to files
+# changed since $(BASE).  Warm summary cache makes this near-instant.
+lint-fast:
+	PYTHONPATH=src $(PYTHON) -m repro lint --fail-on-new --diff $(BASE)
 
 lint-report:
 	PYTHONPATH=src $(PYTHON) -m repro lint --fail-on-new --report lint-report.json

@@ -146,6 +146,9 @@ _default_registry: MuTRegistry | None = None
 
 def default_registry() -> MuTRegistry:
     """The process-wide registry with every API package's MuTs loaded."""
+    # Process-local lazy singleton: a spawned worker re-derives the
+    # identical registry deterministically, so parent/worker divergence
+    # cannot happen.  # lint: allow(concurrency-contract)
     global _default_registry
     if _default_registry is None:
         registry = MuTRegistry()

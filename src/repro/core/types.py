@@ -140,6 +140,9 @@ _default_types: TypeRegistry | None = None
 
 def default_types() -> TypeRegistry:
     """The process-wide registry with all builtin pools loaded."""
+    # Process-local lazy singleton: a spawned worker rebuilds the same
+    # pools deterministically, so parent/worker divergence cannot
+    # happen.  # lint: allow(concurrency-contract)
     global _default_types
     if _default_types is None:
         from repro.core import values

@@ -17,8 +17,13 @@ Public surface:
 * :mod:`repro.lint.cli` -- the ``repro lint`` entry point.
 * :mod:`repro.lint.manifests` -- the checked-in platform matrix and
   serialization pins.
+* :mod:`repro.lint.graph` / :mod:`repro.lint.dataflow` -- the
+  interprocedural engine: project-wide symbol table + call graph with a
+  content-hash summary cache, and fixpoint property propagation over
+  it (``Project.graph()`` is the entry point).
 """
 
+from repro.lint.dataflow import entry_must_locks, propagate_union
 from repro.lint.framework import (
     Checker,
     Finding,
@@ -30,15 +35,20 @@ from repro.lint.framework import (
     register_checker,
     run_lint,
 )
+from repro.lint.graph import ProjectGraph, extract_summary
 
 __all__ = [
     "Checker",
     "Finding",
     "LintResult",
     "Project",
+    "ProjectGraph",
     "all_checkers",
     "checker_names",
+    "entry_must_locks",
+    "extract_summary",
     "get_checker",
+    "propagate_union",
     "register_checker",
     "run_lint",
 ]

@@ -9,9 +9,13 @@ calling :func:`~repro.lint.framework.run_lint`.
 """
 
 from repro.lint.checkers import (  # noqa: F401  (registration side effects)
+    concurrency,
+    det_propagation,
     determinism,
     exceptions,
     isolation,
+    pickle_safety,
     registry_contract,
     serialization,
+    wear_escape,
 )

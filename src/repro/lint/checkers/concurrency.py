@@ -1,0 +1,257 @@
+"""Checker 7: shared state crossing thread/process boundaries is
+mediated by a queue or a lock.
+
+Two sub-rules:
+
+* **CONC-CROSS-THREAD** -- for any class that spawns two or more
+  threads targeting its own methods (``CampaignService``'s selector
+  network thread and scheduler thread), every ``self.<attr>`` reachable
+  from more than one thread root must be written only under mediation:
+  a lexical ``with self._lock`` at the access, a *must-hold* proof that
+  every call path into the enclosing method holds the lock
+  (:func:`repro.lint.dataflow.entry_must_locks`), or an attribute type
+  that mediates by construction (queues, events, locks themselves,
+  project classes owning their own lock).
+* **CONC-WORKER-GLOBAL** -- functions reachable from a
+  ``Process(target=...)`` spawn run in a child process with its own
+  copy of every module; rebinding a module global there silently
+  diverges from the parent, so worker-reachable ``global`` writes are
+  flagged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.dataflow import entry_must_locks
+from repro.lint.framework import Checker, Finding, Project, register_checker
+from repro.lint.graph import MUTATOR_METHODS, ProjectGraph
+
+#: Attribute initializers that mediate cross-thread traffic by
+#: construction.  Queues serialize, events are atomic flags, locks and
+#: spawn contexts are synchronization primitives themselves.
+_MEDIATED_SUFFIXES = (
+    ".Queue",
+    ".SimpleQueue",
+    ".JoinableQueue",
+    ".LifoQueue",
+    ".PriorityQueue",
+    ".Event",
+    ".Lock",
+    ".RLock",
+    ".Condition",
+    ".Semaphore",
+    ".BoundedSemaphore",
+    ".get_context",
+)
+_MEDIATED_BARE = (
+    "Queue",
+    "SimpleQueue",
+    "Event",
+    "Lock",
+    "RLock",
+    "Condition",
+    "Semaphore",
+    "BoundedSemaphore",
+)
+_LOCK_SUFFIXES = (".Lock", ".RLock")
+
+
+def _is_lock_init(init: str) -> bool:
+    return init.endswith(_LOCK_SUFFIXES) or init in ("Lock", "RLock")
+
+
+def _is_mediated_init(graph: ProjectGraph, cls_qual: str, init: str) -> bool:
+    if init.endswith(_MEDIATED_SUFFIXES) or init in _MEDIATED_BARE:
+        return True
+    if init.startswith("<"):
+        return False
+    cls_rec = graph.classes.get(cls_qual)
+    module = cls_rec["module"] if cls_rec else ""
+    held = graph.resolve_class(init, module)
+    return held is not None and graph.is_internally_locked(held)
+
+
+@register_checker
+class ConcurrencyContractChecker(Checker):
+    name = "concurrency-contract"
+    title = "cross-thread and parent/worker state is queue- or lock-mediated"
+    rationale = (
+        "CampaignService runs a selector network thread and a scheduler\n"
+        "thread over one object; ParallelCampaign and the supervisor\n"
+        "spawn worker processes.  A field mutated from two threads\n"
+        "without mediation is a data race that corrupts campaign\n"
+        "bookkeeping nondeterministically -- exactly the class of bug\n"
+        "the byte-identity proofs cannot catch, because it only fires\n"
+        "under load.  This rule finds every class spawning >=2 threads\n"
+        "at its own methods, computes which methods each thread can\n"
+        "reach (dispatch tables count: bound-method references are\n"
+        "conservative call edges), and demands each cross-thread field\n"
+        "access be mediated: a lexical `with self._lock`, a must-hold\n"
+        "proof that every caller path holds the lock, or a mediating\n"
+        "type (mp.Queue, Event, a class owning its own lock).  Worked\n"
+        "example:\n"
+        "\n"
+        "    class Service:\n"
+        "        def start(self):\n"
+        "            threading.Thread(target=self._net).start()\n"
+        "            threading.Thread(target=self._sched).start()\n"
+        "        def _net(self):   self.stats['rx'] += 1   # CONC-CROSS-THREAD\n"
+        "        def _sched(self):\n"
+        "            with self._lock: self.stats.clear()   # mediated\n"
+        "\n"
+        "CONC-WORKER-GLOBAL flags `global` rebinds reachable from\n"
+        "Process(target=...): a spawned child mutates its own copy of\n"
+        "the module, so parent and worker silently diverge."
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        graph = project.graph()
+        yield from self._cross_thread(graph)
+        yield from self._worker_globals(graph)
+
+    # -- CONC-CROSS-THREAD ---------------------------------------------
+
+    def _cross_thread(self, graph: ProjectGraph) -> Iterator[Finding]:
+        for cls_qual, cls_rec in sorted(graph.classes.items()):
+            roots = graph.thread_roots(cls_qual)
+            if len(roots) < 2:
+                continue
+            yield from self._check_class(graph, cls_qual, cls_rec, roots)
+
+    def _check_class(
+        self,
+        graph: ProjectGraph,
+        cls_qual: str,
+        cls_rec: dict,
+        roots: dict[str, dict],
+    ) -> Iterator[Finding]:
+        lock_attrs = frozenset(
+            attr
+            for attr, init in cls_rec["attrs"].items()
+            if _is_lock_init(init["init"])
+        )
+        reach = {root: graph.reachable([root]) for root in roots}
+        edges = {
+            qual: [
+                (
+                    edge["callee"],
+                    frozenset(edge["locked"]) & lock_attrs
+                    if edge["kind"] == "call"
+                    else frozenset(),
+                )
+                for edge in graph.edges.get(qual, ())
+            ]
+            for qual in set().union(*reach.values())
+        }
+        entry = entry_must_locks(roots, edges)
+        # attr -> root -> list of (is_write, method qual, line, mediated)
+        accesses: dict[str, dict[str, list]] = {}
+        for root, reachable in reach.items():
+            for qual in reachable:
+                rec = graph.functions.get(qual)
+                if rec is None or rec["cls"] != cls_qual:
+                    continue
+                held_at_entry = entry.get(qual, frozenset())
+                for access in self._method_accesses(graph, cls_qual, rec):
+                    attr, is_write, line, site_locks = access
+                    if attr not in cls_rec["attrs"]:
+                        continue
+                    init = cls_rec["attrs"][attr]["init"]
+                    if _is_mediated_init(graph, cls_qual, init):
+                        continue
+                    mediated = bool(
+                        (frozenset(site_locks) | held_at_entry) & lock_attrs
+                    )
+                    accesses.setdefault(attr, {}).setdefault(root, []).append(
+                        (is_write, qual, line, mediated)
+                    )
+        emitted: set[tuple[str, int, str]] = set()
+        for attr, by_root in sorted(accesses.items()):
+            writers = [r for r, acc in by_root.items() if any(a[0] for a in acc)]
+            if not writers or len(by_root) < 2:
+                continue
+            other_roots = [r for r in by_root if r not in writers]
+            if not other_roots and len(writers) < 2:
+                continue
+            for root, acc_list in sorted(by_root.items()):
+                for is_write, qual, line, mediated in acc_list:
+                    if mediated:
+                        continue
+                    if not is_write and root in writers and len(by_root) < 2:
+                        continue
+                    rec = graph.functions[qual]
+                    key = (rec["path"], line, attr)
+                    if key in emitted:
+                        continue
+                    emitted.add(key)
+                    peers = sorted(
+                        r.rsplit(".", 1)[-1] for r in by_root if r != root
+                    )
+                    kind = "write to" if is_write else "read of"
+                    yield self.finding(
+                        "CONC-CROSS-THREAD",
+                        f"unmediated {kind} field '{attr}' of "
+                        f"{cls_rec['name']} on the "
+                        f"{root.rsplit('.', 1)[-1]} thread; the field is "
+                        f"also touched from thread root(s) "
+                        f"{', '.join(peers)} -- guard it with the class "
+                        "lock or route it through a queue",
+                        path=rec["path"],
+                        line=line,
+                    )
+
+    def _method_accesses(
+        self, graph: ProjectGraph, cls_qual: str, rec: dict
+    ) -> Iterator[tuple[str, bool, int, tuple]]:
+        """``(attr, is_write, line, locks_held_at_site)`` for one
+        method: direct reads/writes plus mutation through calls on a
+        typed attribute (``self.leases.grant(...)``).  Writes come
+        first so a write wins the per-line dedupe over the receiver
+        read the same statement performs."""
+        for write in rec["writes"]:
+            yield write["attr"], True, write["line"], tuple(write["locked"])
+        for read in rec["reads"]:
+            yield read["attr"], False, read["line"], tuple(read["locked"])
+        for call in rec["calls"]:
+            parts = call["name"].split(".")
+            if parts[0] != "self" or len(parts) != 3:
+                continue
+            attr, method = parts[1], parts[2]
+            if method in MUTATOR_METHODS:
+                yield attr, True, call["line"], tuple(call["locked"])
+                continue
+            held_cls = graph.attr_class(cls_qual, attr)
+            if held_cls is None:
+                continue
+            target = graph.method(held_cls, method)
+            target_rec = graph.functions.get(target) if target else None
+            if target_rec is not None and target_rec["writes"]:
+                yield attr, True, call["line"], tuple(call["locked"])
+
+    # -- CONC-WORKER-GLOBAL --------------------------------------------
+
+    def _worker_globals(self, graph: ProjectGraph) -> Iterator[Finding]:
+        roots: dict[str, str] = {}
+        for spawner, proc, target_rec in graph.process_targets():
+            roots.setdefault(target_rec["qual"], spawner)
+        if not roots:
+            return
+        reachable = graph.reachable(roots)
+        emitted: set[tuple[str, int, str]] = set()
+        for qual in sorted(reachable):
+            rec = graph.functions[qual]
+            for decl in rec["globals"]:
+                key = (rec["path"], decl["line"], decl["name"])
+                if key in emitted:
+                    continue
+                emitted.add(key)
+                yield self.finding(
+                    "CONC-WORKER-GLOBAL",
+                    f"{qual} rebinds module global '{decl['name']}' and "
+                    "is reachable from a Process(target=...) spawn; a "
+                    "spawned worker mutates its own copy of the module, "
+                    "so parent and worker state silently diverge",
+                    path=rec["path"],
+                    line=decl["line"],
+                )

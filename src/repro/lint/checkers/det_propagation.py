@@ -1,0 +1,102 @@
+"""Checker 6: impurity propagates through the call graph.
+
+The per-file determinism checker flags a ``time.time()`` call *where it
+appears*.  It cannot see that ``core/`` calls a helper in ``service/``
+that reads the wall clock two hops down -- the helper is legal in its
+own package, but the core caller just made campaign outcomes depend on
+real time.  This checker closes that hole: every function's direct
+impurity (wall-clock reads, unseeded RNG) becomes a seed fact carrying
+its origin, facts flow callee -> caller to fixpoint, and any *call* made
+from the deterministic packages into a transitively-impure callee is a
+finding anchored at the call site.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.dataflow import propagate_union
+from repro.lint.framework import Checker, Finding, Project, register_checker
+from repro.lint.manifests import WALLCLOCK_ALLOWANCES
+
+#: Packages whose *callers* are flagged.  obs/ is excluded here -- its
+#: direct wall-clock use is already governed by WALLCLOCK_ALLOWANCES and
+#: its recorders are leaf code nothing deterministic calls back into.
+_FLAGGED_PACKAGES = ("core", "sim", "analysis")
+
+
+@register_checker
+class DeterminismPropagationChecker(Checker):
+    name = "determinism-propagation"
+    title = "wrappers inherit the nondeterminism of their callees"
+    rationale = (
+        "The determinism rule flags time.time()/unseeded RNG where the\n"
+        "call appears, but byte-identity breaks just as hard when core/\n"
+        "reaches a wall clock through three hops of helpers.  This rule\n"
+        "builds the project call graph (lint/graph.py), seeds every\n"
+        "function with its direct impurity, propagates impurity from\n"
+        "callee to caller to fixpoint (lint/dataflow.py), and flags any\n"
+        "call made from core/, sim/ or analysis/ into a transitively\n"
+        "impure function.  Worked example:\n"
+        "\n"
+        "    # repro/service/helpers.py -- legal: service may read walls\n"
+        "    def stamp():\n"
+        "        return time.time()\n"
+        "\n"
+        "    # repro/core/campaign.py -- DET-PROPAGATED at the call site:\n"
+        "    # stamp() transitively reaches time.time()\n"
+        "    def label_run():\n"
+        "        return f'run-{stamp()}'\n"
+        "\n"
+        "Seeds honor the WALLCLOCK_ALLOWANCES manifest (obs recorders'\n"
+        "perf_counter stamps never poison callers) and `# lint:\n"
+        "allow(determinism)` pragmas at the origin (a deliberately\n"
+        "allowed wall read is deliberate for callers too).  Conservative\n"
+        "on dynamic dispatch: calls the graph cannot resolve propagate\n"
+        "nothing, so the per-file determinism rule remains the backstop."
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        graph = project.graph()
+        by_rel = {f.rel: f for f in project.source_files()}
+        seeds: dict[str, set] = {}
+        for qual, rec in graph.functions.items():
+            allowances = WALLCLOCK_ALLOWANCES.get(rec["package"], ())
+            source = by_rel.get(rec["path"])
+            facts = set()
+            for fact in rec["impure"]:
+                if fact["call"] in allowances:
+                    continue
+                if source is not None and (
+                    source.allows(fact["line"], "determinism")
+                    or source.allows(fact["line"], self.name)
+                ):
+                    continue
+                facts.add(
+                    f"{fact['call']} ({fact['desc']}) at "
+                    f"{rec['path']}:{fact['line']}"
+                )
+            if facts:
+                seeds[qual] = facts
+        props = propagate_union(seeds, graph.callers)
+        emitted: set[tuple[str, int, str]] = set()
+        for qual, rec in sorted(graph.functions.items()):
+            if rec["package"] not in _FLAGGED_PACKAGES:
+                continue
+            for edge in graph.edges.get(qual, ()):
+                callee_facts = props.get(edge["callee"])
+                if not callee_facts:
+                    continue
+                key = (rec["path"], edge["line"], edge["callee"])
+                if key in emitted:
+                    continue
+                emitted.add(key)
+                origin = sorted(callee_facts)[0]
+                yield self.finding(
+                    "DET-PROPAGATED",
+                    f"call into {edge['callee']} transitively reaches "
+                    f"{origin}; outcomes here must be reproducible, and "
+                    "a wrapper inherits its callee's nondeterminism",
+                    path=rec["path"],
+                    line=edge["line"],
+                )

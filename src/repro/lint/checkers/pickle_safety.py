@@ -1,0 +1,205 @@
+"""Checker 8: spawn payloads must survive pickling.
+
+``multiprocessing``'s spawn context pickles the target and every
+argument into the child.  An object that transitively holds a lambda,
+an open socket, a selector, a live thread, or a thread lock raises
+``TypeError: cannot pickle`` at spawn time -- in production that is a
+worker that dies *after* the lease was granted.  This checker turns the
+runtime crash into a lint finding: class attribute initializers recorded
+in the project graph give every class a pickle-safety verdict
+(transitive through held project classes, short-circuited by a custom
+``__reduce__``/``__getstate__``), and every ``Process(target=...,
+args=...)`` site is audited against it.  Unresolved argument types pass
+silently -- conservative in the "no false alarms" direction, with the
+injection drills proving the resolvable cases stay caught.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.dataflow import propagate_union
+from repro.lint.framework import Checker, Finding, Project, register_checker
+from repro.lint.graph import ProjectGraph
+
+#: initializer text (from the summary's attr tagging) -> why it cannot
+#: cross a spawn boundary.
+_UNSAFE_INITS: tuple[tuple[str, str], ...] = (
+    ("<lambda>", "a lambda"),
+    ("threading.Lock", "a thread lock"),
+    ("threading.RLock", "a thread lock"),
+    ("threading.Condition", "a thread condition"),
+    ("threading.Event", "a threading.Event"),
+    ("threading.Semaphore", "a thread semaphore"),
+    ("threading.Thread", "a live thread"),
+    ("socket.socket", "an open socket"),
+    ("socket.create_connection", "an open socket"),
+    ("open", "an open file handle"),
+)
+_UNSAFE_PREFIXES: tuple[tuple[str, str], ...] = (
+    ("selectors.", "a selector"),
+)
+
+
+def _init_reason(init: str) -> str | None:
+    for exact, reason in _UNSAFE_INITS:
+        if init == exact:
+            return reason
+    for prefix, reason in _UNSAFE_PREFIXES:
+        if init.startswith(prefix):
+            return reason
+    return None
+
+
+def unsafe_classes(graph: ProjectGraph) -> dict[str, str]:
+    """class qual -> human-readable reason it cannot be pickled.
+
+    Computed as a union fixpoint over the *containment* graph: a class
+    holding an unsafe attribute is unsafe, and a class holding an
+    unsafe class is unsafe too.  Classes with ``__reduce__`` or
+    ``__getstate__`` opt out -- they control their own wire form.
+    """
+    seeds: dict[str, set] = {}
+    holders: dict[str, list[str]] = {}
+    for cls_qual, rec in graph.classes.items():
+        if rec["has_reduce"]:
+            continue
+        facts = set()
+        for attr, init in rec["attrs"].items():
+            reason = _init_reason(init["init"])
+            if reason is not None:
+                facts.add(f"attr '{attr}' holds {reason}")
+            held = graph.attr_class(cls_qual, attr)
+            if held is not None:
+                holders.setdefault(held, []).append(cls_qual)
+        if facts:
+            seeds[cls_qual] = facts
+    # propagate_union flows facts from "callee" to "caller"; here the
+    # roles are held-class to holder-class.
+    props = propagate_union(seeds, holders)
+    return {
+        cls_qual: sorted(facts)[0]
+        for cls_qual, facts in props.items()
+        if graph.classes.get(cls_qual, {}).get("has_reduce") is False
+    }
+
+
+@register_checker
+class PickleSafetyChecker(Checker):
+    name = "pickle-safety"
+    title = "Process spawn payloads survive pickling"
+    rationale = (
+        "Parallel campaigns, the supervisor, and the campaign service\n"
+        "all cross process boundaries with multiprocessing's spawn\n"
+        "context, which pickles Process targets and args into the\n"
+        "child.  A payload transitively holding a lambda, open socket,\n"
+        "selector, live thread, or thread lock raises 'cannot pickle'\n"
+        "at spawn time -- in service terms, a worker that dies after\n"
+        "its lease was granted, burning a restart attempt on a bug the\n"
+        "parent wrote.  This rule gives every project class a pickle\n"
+        "verdict from its recorded attribute initializers (transitive\n"
+        "through held project classes; __reduce__/__getstate__ opt\n"
+        "out) and audits every Process(target=..., args=...) site.\n"
+        "Worked example:\n"
+        "\n"
+        "    class Tracker:\n"
+        "        def __init__(self):\n"
+        "            self.on_done = lambda: None   # unpicklable attr\n"
+        "\n"
+        "    t = Tracker()\n"
+        "    ctx.Process(target=run, args=(t,))    # PICKLE-UNSAFE here\n"
+        "    ctx.Process(target=lambda: 0)         # PICKLE-UNSAFE too\n"
+        "\n"
+        "Argument types the graph cannot resolve pass silently; the\n"
+        "rule is conservative in the no-false-alarm direction."
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        graph = project.graph()
+        verdicts = unsafe_classes(graph)
+        for qual, rec in sorted(graph.functions.items()):
+            for proc in rec["procs"]:
+                yield from self._check_site(graph, verdicts, rec, proc)
+
+    def _check_site(
+        self,
+        graph: ProjectGraph,
+        verdicts: dict[str, str],
+        rec: dict,
+        proc: dict,
+    ) -> Iterator[Finding]:
+        line = proc["line"]
+        target = proc.get("target")
+        if target == "<lambda>":
+            yield self.finding(
+                "PICKLE-UNSAFE",
+                "Process target is a lambda; the spawn context pickles "
+                "the target and lambdas cannot be pickled",
+                path=rec["path"],
+                line=line,
+            )
+        elif target and target.startswith("self.") and rec["cls"]:
+            reason = verdicts.get(rec["cls"])
+            if reason is not None:
+                yield self.finding(
+                    "PICKLE-UNSAFE",
+                    f"Process target {target} is a bound method, so the "
+                    f"whole {rec['cls']} instance is pickled -- but "
+                    f"{reason}",
+                    path=rec["path"],
+                    line=line,
+                )
+        for arg in proc["args"]:
+            yield from self._check_arg(graph, verdicts, rec, arg, line)
+
+    def _check_arg(
+        self,
+        graph: ProjectGraph,
+        verdicts: dict[str, str],
+        rec: dict,
+        arg: dict,
+        line: int,
+    ) -> Iterator[Finding]:
+        if arg["kind"] == "lambda":
+            yield self.finding(
+                "PICKLE-UNSAFE",
+                "Process args contain a lambda; spawn pickles every "
+                "argument and lambdas cannot be pickled",
+                path=rec["path"],
+                line=line,
+            )
+            return
+        cls_qual: str | None = None
+        described = ""
+        if arg["kind"] == "self_attr" and rec["cls"]:
+            init = graph.attr_init(rec["cls"], arg["attr"])
+            if init is None:
+                return
+            reason = _init_reason(init)
+            if reason is not None:
+                yield self.finding(
+                    "PICKLE-UNSAFE",
+                    f"Process args contain self.{arg['attr']}, which "
+                    f"holds {reason}; it cannot cross the spawn pickle "
+                    "boundary",
+                    path=rec["path"],
+                    line=line,
+                )
+                return
+            cls_qual = graph.attr_class(rec["cls"], arg["attr"])
+            described = f"self.{arg['attr']}"
+        elif arg["kind"] == "name":
+            init = rec["ctor_locals"].get(arg["name"])
+            if init is None:
+                return
+            cls_qual = graph.resolve_class(init, rec["module"])
+            described = arg["name"]
+        if cls_qual is not None and cls_qual in verdicts:
+            yield self.finding(
+                "PICKLE-UNSAFE",
+                f"Process args contain {described} "
+                f"({cls_qual}), which is not pickle-safe: "
+                f"{verdicts[cls_qual]}",
+                path=rec["path"],
+                line=line,
+            )

@@ -9,12 +9,16 @@ Usage::
     python -m repro lint --write-baseline     # accept current findings
     python -m repro lint --explain <rule>     # print a rule's rationale
     python -m repro lint --list-rules         # enumerate registered rules
+    python -m repro lint --diff HEAD~1        # only findings in changed files
+    python -m repro lint --graph-json g.json  # dump the call graph (CI artifact)
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import pathlib
+import subprocess
 import sys
 
 from repro.lint.baseline import (
@@ -33,6 +37,35 @@ from repro.lint.framework import (
 )
 from repro.lint.report import render_text, report_to_dict
 
+#: Default on-disk home of the interprocedural engine's per-file
+#: summary cache (content-hash keyed; see repro/lint/graph.py).
+DEFAULT_CACHE = ".lint-cache.json"
+
+
+def _changed_files(base: str) -> set[str] | None:
+    """Paths changed since ``base`` (``git diff --name-only``),
+    normalized to the finding convention (relative to the source root,
+    so ``src/repro/core/x.py`` -> ``repro/core/x.py``).  Returns None
+    when git fails."""
+    proc = subprocess.run(
+        ["git", "diff", "--name-only", base, "--"],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    changed: set[str] = set()
+    for raw in proc.stdout.splitlines():
+        raw = raw.strip()
+        if not raw.endswith(".py"):
+            continue
+        path = pathlib.PurePosixPath(raw).as_posix()
+        if "repro/" in path:
+            changed.add("repro/" + path.split("repro/", 1)[1])
+        else:
+            changed.add(path)
+    return changed
+
 
 def _explain(rule: str) -> str:
     if rule == "all":
@@ -48,8 +81,10 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro lint",
         description=(
             "Static analysis for the Ballista reproduction: registry "
-            "contracts, determinism, sim isolation, serialization "
-            "versioning, exception discipline."
+            "contracts, determinism (per-file and propagated through "
+            "the call graph), sim isolation, serialization versioning, "
+            "exception discipline, cross-thread concurrency contracts, "
+            "spawn pickle-safety, and machine wear-escape."
         ),
     )
     parser.add_argument(
@@ -99,6 +134,37 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--diff",
+        metavar="BASE",
+        help=(
+            "report only findings in files changed since the git ref "
+            "BASE (the call graph is still built whole-project, so "
+            "interprocedural findings in changed files stay accurate); "
+            "fast pre-commit mode, see `make lint-fast`"
+        ),
+    )
+    parser.add_argument(
+        "--graph-json",
+        metavar="PATH",
+        help="also write the resolved call graph as JSON to PATH "
+        "(the CI artifact)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="PATH",
+        default=DEFAULT_CACHE,
+        help=(
+            "content-hash summary cache for the interprocedural engine "
+            f"(default: {DEFAULT_CACHE}); warm runs skip the per-file "
+            "summary walk for unchanged files"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="build the call graph in memory without touching the cache",
+    )
+    parser.add_argument(
         "--explain",
         metavar="RULE",
         help="print the rule's rationale (with the paper requirement it "
@@ -135,7 +201,34 @@ def main(argv: list[str] | None = None) -> int:
     except BaselineFormatError as exc:
         parser.error(str(exc))
 
-    result = run_lint(Project(root=args.root), checkers=checkers)
+    changed: set[str] | None = None
+    if args.diff:
+        changed = _changed_files(args.diff)
+        if changed is None:
+            parser.error(
+                f"--diff {args.diff}: git diff failed (not a git "
+                "checkout, or an unknown ref)"
+            )
+
+    project = Project(
+        root=args.root, cache_path=None if args.no_cache else args.cache
+    )
+    result = run_lint(project, checkers=checkers)
+
+    if changed is not None:
+        # Registry-level findings (path == "") always survive the
+        # filter: they have no home file to be "unchanged".
+        result.findings = [
+            f for f in result.findings if not f.path or f.path in changed
+        ]
+        result.suppressed = [
+            f for f in result.suppressed if not f.path or f.path in changed
+        ]
+
+    if args.graph_json:
+        with open(args.graph_json, "w", encoding="utf-8") as fh:
+            json.dump(project.graph().to_json(), fh, indent=2)
+            fh.write("\n")
 
     if args.write_baseline:
         write_baseline(result.findings, args.baseline)

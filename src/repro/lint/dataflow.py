@@ -1,0 +1,91 @@
+"""Fixpoint property propagation over the lint call graph.
+
+Two lattice shapes cover every interprocedural checker so far:
+
+* :func:`propagate_union` -- a **may** analysis.  The lattice element is
+  a set of facts, the transfer function is set union, and facts flow
+  from callee to caller ("anything my callee may do, I may do").  Used
+  by determinism-propagation (the facts are impurity origins like
+  ``"time.time() at repro/service/x.py:12"``) and pickle-safety (the
+  facts are unsafe-attribute reasons flowing up the containment graph).
+  Monotone over a finite lattice, so the worklist terminates; cycles in
+  the call graph simply converge.
+
+* :func:`entry_must_locks` -- a **must** analysis.  The lattice element
+  is the set of locks guaranteed held at function entry, the transfer
+  function along a call edge is ``entry(caller) | locks_at_call_site``,
+  and the join over multiple callers is set *intersection* (a lock is
+  only guaranteed if every path holds it).  Used by the concurrency
+  checker to accept ``_handle_message`` mutating shared state without a
+  lexical ``with self._lock`` -- every caller provably holds the lock.
+
+Both operate on plain dicts so unit tests can drive them without
+building a real project graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Mapping
+
+
+def propagate_union(
+    seeds: Mapping[str, Iterable[Hashable]],
+    callers: Mapping[str, Iterable[str]],
+) -> dict[str, set]:
+    """Union facts from callee to caller until fixpoint.
+
+    :param seeds: node -> facts the node generates itself.
+    :param callers: node -> nodes that call it (reverse call edges).
+    :returns: node -> every fact the node may transitively reach.  Nodes
+        with no facts are absent from the result.
+    """
+    props: dict[str, set] = {
+        node: set(facts) for node, facts in seeds.items() if facts
+    }
+    work = deque(props)
+    while work:
+        node = work.popleft()
+        facts = props.get(node)
+        if not facts:
+            continue
+        for caller in callers.get(node, ()):
+            current = props.setdefault(caller, set())
+            before = len(current)
+            current |= facts
+            if len(current) != before:
+                work.append(caller)
+    return {node: facts for node, facts in props.items() if facts}
+
+
+def entry_must_locks(
+    roots: Iterable[str],
+    edges: Mapping[str, Iterable[tuple[str, frozenset]]],
+) -> dict[str, frozenset]:
+    """Locks guaranteed held at entry of every function reachable from
+    ``roots``.
+
+    :param roots: entry points (thread run loops); their entry set is
+        empty -- nothing is held when a thread starts.
+    :param edges: caller -> ``(callee, locks_held_at_call_site)`` pairs.
+    :returns: function -> the intersection over all reaching call paths
+        of the locks held when it is entered.  Functions unreachable
+        from ``roots`` are absent (they cannot run on these threads).
+    """
+    entry: dict[str, frozenset] = {root: frozenset() for root in roots}
+    work = deque(entry)
+    while work:
+        caller = work.popleft()
+        held = entry[caller]
+        for callee, site_locks in edges.get(caller, ()):
+            candidate = held | site_locks
+            previous = entry.get(callee)
+            if previous is None:
+                entry[callee] = frozenset(candidate)
+                work.append(callee)
+            else:
+                narrowed = previous & candidate
+                if narrowed != previous:
+                    entry[callee] = narrowed
+                    work.append(callee)
+    return entry

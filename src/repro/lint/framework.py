@@ -132,6 +132,11 @@ class Project:
         defaults to :func:`repro.core.mut.default_registry`.
     :param types: injectable type registry; defaults to
         :func:`repro.core.types.default_types`.
+    :param cache_path: where the interprocedural engine persists its
+        per-file summaries, keyed by content hash (see
+        :mod:`repro.lint.graph`).  ``None`` (the default) builds the
+        graph in memory only; the CLI passes ``.lint-cache.json`` so
+        warm runs skip the summary extraction walk.
     """
 
     def __init__(
@@ -139,6 +144,7 @@ class Project:
         root: str | pathlib.Path | None = None,
         registry: "MuTRegistry | None" = None,
         types: "TypeRegistry | None" = None,
+        cache_path: str | pathlib.Path | None = None,
     ) -> None:
         if root is None:
             import repro
@@ -148,6 +154,8 @@ class Project:
         self._registry = registry
         self._types = types
         self._files: dict[pathlib.Path, SourceFile] = {}
+        self.cache_path = cache_path
+        self._graph = None
 
     # -- sources -------------------------------------------------------
 
@@ -172,6 +180,18 @@ class Project:
                     self._files[path] = SourceFile(self.root, path)
                 files.append(self._files[path])
         return files
+
+    # -- interprocedural graph ----------------------------------------
+
+    def graph(self):
+        """The project-wide symbol table + call graph
+        (:class:`repro.lint.graph.ProjectGraph`), built lazily and
+        shared by every interprocedural checker in the run."""
+        if self._graph is None:
+            from repro.lint.graph import ProjectGraph
+
+            self._graph = ProjectGraph.build(self, cache_path=self.cache_path)
+        return self._graph
 
     # -- live registries ----------------------------------------------
 

@@ -1,0 +1,916 @@
+"""Project-wide symbol table and call graph for interprocedural lint.
+
+The per-file checkers in :mod:`repro.lint.checkers` see one AST at a
+time, so a "clean" wrapper around a dirty helper, a field mutated from
+two threads via three call hops, or a lambda smuggled into a spawn
+payload are all invisible to them.  This module gives checkers a whole-
+program view in three layers:
+
+* **Summaries** -- :func:`extract_summary` walks each file's AST once
+  and reduces it to a JSON-serializable fact table: functions with
+  their outgoing calls (and the ``with self.<lock>`` context each call
+  sits in), direct impurity (wall-clock / unseeded-RNG calls),
+  ``self.<attr>`` reads and writes, module-global rebinds,
+  ``Machine``-rooted operations, and ``threading.Thread`` /
+  ``multiprocessing.Process`` spawn sites; classes with their bases,
+  ``self.x = ...`` attribute initializers (described as resolved call
+  text, ``"<lambda>"``, ``"<dict>"`` ...), and ``__reduce__`` /
+  ``__getstate__`` markers.
+* **Cache** -- summaries are pure functions of file *content*, so they
+  are cached on disk keyed by a sha256 of the text.  A warm ``repro
+  lint`` skips the summary walk entirely (only edited files re-parse),
+  which is what keeps the interprocedural pass inside the existing <5s
+  bench pin.  :attr:`ProjectGraph.cache_stats` reports hits/misses so
+  tests and CI can prove the cache is live.
+* **Graph** -- :class:`ProjectGraph` indexes every summary and resolves
+  call text to fully-qualified targets: local defs, imports (absolute
+  and relative), ``self.method()`` through base classes,
+  ``ClassName(...)`` constructors, and one level of typed-attribute
+  dispatch (``self.queue.submit()`` resolves through the recorded
+  ``self.queue = JobQueue(...)`` initializer).  Anything dynamic --
+  ``handler(...)`` through a variable, ``getattr`` -- stays unresolved,
+  and checkers treat unresolved conservatively.  Bound-method
+  *references* (``{"SUBMIT": self._on_submit}`` dispatch tables) become
+  ``kind="ref"`` edges so reachability survives dispatch-by-dict.
+
+Fixpoint propagation over the graph lives in :mod:`repro.lint.dataflow`.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import pathlib
+from typing import TYPE_CHECKING, Iterable
+
+from repro.lint.framework import SourceFile, dotted_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.framework import Project
+
+#: Bump when the summary format changes; stale cache entries are
+#: discarded wholesale rather than migrated.
+SUMMARY_VERSION = 1
+
+#: Method names that mutate their receiver in place.  A call
+#: ``self.x.append(...)`` counts as a *write* to ``self.x`` even though
+#: no assignment statement appears.
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "sort",
+        "reverse",
+        "appendleft",
+        "popleft",
+    }
+)
+
+_WALLCLOCK_IMPURITY = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "time.perf_counter": "wall-clock read",
+    "time.perf_counter_ns": "wall-clock read",
+    "datetime.now": "wall-clock read",
+    "datetime.utcnow": "wall-clock read",
+    "datetime.today": "wall-clock read",
+    "date.today": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "os.urandom": "OS entropy read",
+    "uuid.uuid4": "OS entropy read",
+}
+
+
+def module_name(rel: str) -> str:
+    """``repro/core/parallel.py`` -> ``repro.core.parallel``."""
+    parts = list(pathlib.PurePosixPath(rel).parts)
+    parts[-1] = parts[-1][: -len(".py")]
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def _attr_chain(node: ast.expr) -> list[str] | None:
+    """``a.b[k].c`` -> ``["a", "b", "c"]`` (subscripts pass through)."""
+    parts: list[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Name):
+            parts.append(node.id)
+            return list(reversed(parts))
+        else:
+            return None
+
+
+def _describe_init(value: ast.expr) -> str:
+    """A compact, cache-stable description of a ``self.x = <expr>``
+    right-hand side, used for attribute type tagging."""
+    if isinstance(value, ast.Lambda):
+        return "<lambda>"
+    if isinstance(value, ast.Call):
+        name = dotted_name(value.func)
+        return name if name else "<call>"
+    if isinstance(value, (ast.Dict, ast.DictComp)):
+        return "<dict>"
+    if isinstance(value, (ast.List, ast.ListComp)):
+        return "<list>"
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return "<set>"
+    if isinstance(value, ast.Tuple):
+        return "<tuple>"
+    if isinstance(value, ast.Constant):
+        return "<const>"
+    if isinstance(value, ast.Name):
+        return f"<name:{value.id}>"
+    return "<expr>"
+
+
+class _FunctionScanner(ast.NodeVisitor):
+    """One pass over a single function body, collecting the fact table.
+
+    Nested ``def``s get their own records (and a ``kind="ref"`` edge
+    from the enclosing function, since defining a closure is how it
+    escapes); lambdas are folded into the enclosing function.
+    """
+
+    def __init__(
+        self,
+        extractor: "_ModuleExtractor",
+        qual: str,
+        cls: str | None,
+        node: ast.AST,
+    ) -> None:
+        self.extractor = extractor
+        self.qual = qual
+        self.cls = cls
+        self.held: tuple[str, ...] = ()
+        self.machine_vars: set[str] = {"machine"}
+        self.local_defs: dict[str, str] = {}
+        self.record: dict = {
+            "name": qual.rsplit(".", 1)[-1],
+            "cls": cls,
+            "line": getattr(node, "lineno", 0),
+            "calls": [],
+            "impure": [],
+            "reads": [],
+            "writes": [],
+            "attr_inits": [],
+            "globals": [],
+            "machine": [],
+            "threads": [],
+            "procs": [],
+            "ctor_locals": {},
+            "local_defs": self.local_defs,
+        }
+        args = getattr(node, "args", None)
+        if args is not None:
+            for arg in list(args.posonlyargs) + list(args.args) + list(
+                args.kwonlyargs
+            ):
+                if arg.annotation is not None:
+                    try:
+                        text = ast.unparse(arg.annotation)
+                    except Exception:  # pragma: no cover - malformed ast
+                        text = ""
+                    if "Machine" in text:
+                        self.machine_vars.add(arg.arg)
+
+    # -- scope plumbing ------------------------------------------------
+
+    def _scan_nested(self, node: ast.FunctionDef) -> None:
+        qual = f"{self.qual}.{node.name}"
+        self.local_defs[node.name] = qual
+        self.record["calls"].append(
+            {"name": node.name, "line": node.lineno, "locked": list(self.held), "kind": "ref"}
+        )
+        self.extractor.scan_function(node, qual, self.cls)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._scan_nested(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._scan_nested(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        # Function-local classes are rare and out of scope; their bodies
+        # still get scanned as part of this function (conservative).
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node) -> None:
+        held_before = self.held
+        acquired = []
+        for item in node.items:
+            text = dotted_name(item.context_expr)
+            if text and text.startswith("self.") and text.count(".") == 1:
+                acquired.append(text.split(".", 1)[1])
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        for item in node.items:
+            self.visit(item.context_expr)
+        self.held = tuple(dict.fromkeys(list(held_before) + acquired))
+        for stmt in node.body:
+            self.visit(stmt)
+        self.held = held_before
+
+    def visit_Global(self, node: ast.Global) -> None:
+        for name in node.names:
+            self.record["globals"].append({"name": name, "line": node.lineno})
+
+    # -- calls ---------------------------------------------------------
+
+    def _keyword(self, node: ast.Call, name: str) -> ast.expr | None:
+        for kw in node.keywords:
+            if kw.arg == name:
+                return kw.value
+        return None
+
+    def _arg_descriptor(self, node: ast.expr) -> dict:
+        if isinstance(node, ast.Lambda):
+            return {"kind": "lambda"}
+        text = dotted_name(node)
+        if text is None:
+            return {"kind": "other"}
+        parts = text.split(".")
+        if parts[0] == "self" and len(parts) == 2:
+            return {"kind": "self_attr", "attr": parts[1]}
+        if len(parts) == 1:
+            return {"kind": "name", "name": text}
+        return {"kind": "other"}
+
+    def _resolved(self, text: str) -> str:
+        """Resolve the head segment through the module import map, so
+        ``from time import time`` still reads as ``time.time``."""
+        parts = text.split(".")
+        mapped = self.extractor.imports.get(parts[0])
+        if mapped is None:
+            return text
+        return ".".join([mapped] + parts[1:])
+
+    def _check_impurity(self, text: str, node: ast.Call) -> None:
+        for candidate in dict.fromkeys((text, self._resolved(text))):
+            if candidate in _WALLCLOCK_IMPURITY:
+                self.record["impure"].append(
+                    {
+                        "call": candidate,
+                        "desc": _WALLCLOCK_IMPURITY[candidate],
+                        "line": node.lineno,
+                    }
+                )
+                return
+        resolved = self._resolved(text)
+        if resolved.startswith("random."):
+            attr = resolved.split(".", 1)[1]
+            if attr == "Random":
+                unseeded = not node.args or (
+                    isinstance(node.args[0], ast.Constant)
+                    and node.args[0].value is None
+                )
+                if not unseeded:
+                    return
+            elif attr.startswith("_") or attr == "Random":
+                return
+            self.record["impure"].append(
+                {
+                    "call": resolved,
+                    "desc": "unseeded RNG",
+                    "line": node.lineno,
+                }
+            )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        text = dotted_name(node.func)
+        if text is not None:
+            resolved = self._resolved(text)
+            if resolved == "threading.Thread" or text.endswith(".Thread"):
+                target = self._keyword(node, "target")
+                target_text = (
+                    "<lambda>"
+                    if isinstance(target, ast.Lambda)
+                    else (dotted_name(target) if target is not None else None)
+                )
+                if target_text:
+                    self.record["threads"].append(
+                        {"target": target_text, "line": node.lineno}
+                    )
+            elif resolved == "multiprocessing.Process" or text.endswith(
+                ".Process"
+            ):
+                target = self._keyword(node, "target")
+                args = self._keyword(node, "args")
+                arg_list: list[dict] = []
+                if isinstance(args, (ast.Tuple, ast.List)):
+                    arg_list = [self._arg_descriptor(el) for el in args.elts]
+                target_desc = (
+                    "<lambda>"
+                    if isinstance(target, ast.Lambda)
+                    else (dotted_name(target) if target is not None else None)
+                )
+                self.record["procs"].append(
+                    {
+                        "target": target_desc,
+                        "args": arg_list,
+                        "line": node.lineno,
+                    }
+                )
+            else:
+                self._check_impurity(text, node)
+                self.record["calls"].append(
+                    {
+                        "name": text,
+                        "line": node.lineno,
+                        "locked": list(self.held),
+                        "kind": "call",
+                    }
+                )
+            chain = text.split(".")
+            rest = self._machine_rest(chain)
+            if rest:
+                self.record["machine"].append(
+                    {
+                        "kind": "call",
+                        "rest": rest,
+                        "expr": text,
+                        "line": node.lineno,
+                    }
+                )
+        for arg in node.args:
+            self.visit(arg)
+        for kw in node.keywords:
+            self.visit(kw.value)
+        if text is None:
+            self.visit(node.func)
+
+    # -- attribute traffic ---------------------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Load):
+            chain = _attr_chain(node)
+            if chain and chain[0] == "self" and len(chain) >= 2:
+                self.record["reads"].append(
+                    {
+                        "attr": chain[1],
+                        "line": node.lineno,
+                        "locked": list(self.held),
+                    }
+                )
+        self.generic_visit(node)
+
+    def _record_ref(self, text: str, line: int) -> None:
+        # Bound-method reference taken without a call: dispatch tables,
+        # callbacks.  Recorded as a "ref" pseudo-call so reachability
+        # survives dispatch-by-dict; the lock context is deliberately
+        # empty because the *call* can happen far from the reference.
+        self.record["calls"].append(
+            {"name": text, "line": line, "locked": [], "kind": "ref"}
+        )
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        for value in node.values:
+            if value is not None and isinstance(value, ast.Attribute):
+                text = dotted_name(value)
+                if text and text.startswith("self.") and text.count(".") == 1:
+                    self._record_ref(text, value.lineno)
+        self.generic_visit(node)
+
+    def _target_chains(self, target: ast.expr) -> Iterable[list[str]]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for el in target.elts:
+                yield from self._target_chains(el)
+            return
+        if isinstance(target, ast.Starred):
+            yield from self._target_chains(target.value)
+            return
+        chain = _attr_chain(target)
+        if chain is not None and len(chain) >= 2:
+            yield chain
+
+    def _record_store(self, chain: list[str], line: int) -> None:
+        if chain[0] == "self":
+            self.record["writes"].append(
+                {"attr": chain[1], "line": line, "locked": list(self.held)}
+            )
+        rest = self._machine_rest(chain)
+        if rest:
+            self.record["machine"].append(
+                {
+                    "kind": "store",
+                    "rest": rest,
+                    "expr": ".".join(chain),
+                    "line": line,
+                }
+            )
+
+    def _machine_rest(self, chain: list[str]) -> list[str] | None:
+        if not chain or len(chain) < 2:
+            return None
+        if chain[0] in self.machine_vars:
+            return chain[1:]
+        for index, segment in enumerate(chain[:-1]):
+            if segment == "machine":
+                return chain[index + 1 :]
+        return None
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            for chain in self._target_chains(target):
+                if chain[0] == "self" and len(chain) == 2:
+                    self.record["attr_inits"].append(
+                        {
+                            "attr": chain[1],
+                            "init": _describe_init(node.value),
+                            "line": node.lineno,
+                        }
+                    )
+                self._record_store(chain, node.lineno)
+            if isinstance(target, ast.Name) and isinstance(
+                node.value, ast.Call
+            ):
+                text = dotted_name(node.value.func)
+                if text:
+                    self.record["ctor_locals"][target.id] = text
+                    resolved = self._resolved(text)
+                    if resolved == "Machine" or resolved.endswith(".Machine"):
+                        self.machine_vars.add(target.id)
+        for target in node.targets:
+            self.visit(target)
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        for chain in self._target_chains(node.target):
+            if chain[0] == "self" and len(chain) == 2 and node.value is not None:
+                self.record["attr_inits"].append(
+                    {
+                        "attr": chain[1],
+                        "init": _describe_init(node.value),
+                        "line": node.lineno,
+                    }
+                )
+            self._record_store(chain, node.lineno)
+        self.visit(node.target)
+        if node.value is not None:
+            self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        for chain in self._target_chains(node.target):
+            self._record_store(chain, node.lineno)
+        self.visit(node.target)
+        self.visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            for chain in self._target_chains(target):
+                self._record_store(chain, node.lineno)
+            self.visit(target)
+
+
+class _ModuleExtractor:
+    """Reduces one parsed module to its JSON summary."""
+
+    def __init__(self, source: SourceFile) -> None:
+        self.source = source
+        self.module = module_name(source.rel)
+        self.imports: dict[str, str] = {}
+        self.functions: dict[str, dict] = {}
+        self.classes: dict[str, dict] = {}
+
+    def extract(self) -> dict:
+        tree = self.source.tree
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.imports.setdefault(bound, target)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_base(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self.imports.setdefault(bound, f"{base}.{alias.name}")
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.scan_function(stmt, f"{self.module}.{stmt.name}", None)
+            elif isinstance(stmt, ast.ClassDef):
+                self._scan_class(stmt)
+        return {
+            "version": SUMMARY_VERSION,
+            "module": self.module,
+            "path": self.source.rel,
+            "package": self.source.package,
+            "imports": self.imports,
+            "functions": self.functions,
+            "classes": self.classes,
+        }
+
+    def _import_base(self, node: ast.ImportFrom) -> str | None:
+        if node.level == 0:
+            return node.module
+        package_parts = self.module.split(".")
+        if not self.source.rel.endswith("__init__.py"):
+            package_parts = package_parts[:-1]
+        strip = node.level - 1
+        if strip:
+            package_parts = package_parts[: len(package_parts) - strip]
+        if not package_parts:
+            return node.module
+        base = ".".join(package_parts)
+        return f"{base}.{node.module}" if node.module else base
+
+    def scan_function(
+        self, node, qual: str, cls: str | None
+    ) -> None:
+        scanner = _FunctionScanner(self, qual, cls, node)
+        for stmt in node.body:
+            scanner.visit(stmt)
+        self.functions[qual] = scanner.record
+
+    def _scan_class(self, node: ast.ClassDef) -> None:
+        cls_qual = f"{self.module}.{node.name}"
+        bases = [dotted_name(b) for b in node.bases]
+        methods: list[str] = []
+        method_nodes: list = []
+        attrs: dict[str, dict] = {}
+        has_reduce = False
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods.append(stmt.name)
+                method_nodes.append(stmt)
+                if stmt.name in ("__reduce__", "__getstate__"):
+                    has_reduce = True
+        # __init__ first so its initializers win the first-writer rule.
+        method_nodes.sort(key=lambda n: (n.name != "__init__",))
+        for stmt in method_nodes:
+            qual = f"{cls_qual}.{stmt.name}"
+            self.scan_function(stmt, qual, cls_qual)
+            for init in self.functions[qual]["attr_inits"]:
+                attrs.setdefault(init["attr"], init)
+        self.classes[cls_qual] = {
+            "name": node.name,
+            "line": node.lineno,
+            "bases": [b for b in bases if b],
+            "methods": methods,
+            "attrs": attrs,
+            "has_reduce": has_reduce,
+        }
+
+
+def extract_summary(source: SourceFile) -> dict:
+    return _ModuleExtractor(source).extract()
+
+
+def content_hash(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class ProjectGraph:
+    """Indexed summaries plus the resolved call graph."""
+
+    def __init__(
+        self, summaries: dict[str, dict], cache_stats: dict[str, int]
+    ) -> None:
+        self.summaries = summaries
+        self.cache_stats = cache_stats
+        self.modules: dict[str, dict] = {}
+        self.functions: dict[str, dict] = {}
+        self.classes: dict[str, dict] = {}
+        self._funcs_by_module: dict[str, dict[str, str]] = {}
+        self._classes_by_module: dict[str, dict[str, str]] = {}
+        for rel, summary in summaries.items():
+            mod = summary["module"]
+            self.modules[mod] = summary
+            funcs_by_name: dict[str, str] = {}
+            classes_by_name: dict[str, str] = {}
+            for qual, rec in summary["functions"].items():
+                rec = dict(rec)
+                rec["qual"] = qual
+                rec["path"] = rel
+                rec["module"] = mod
+                rec["package"] = summary["package"]
+                self.functions[qual] = rec
+                if rec["cls"] is None and "." not in qual[len(mod) + 1 :]:
+                    funcs_by_name[rec["name"]] = qual
+            for qual, rec in summary["classes"].items():
+                rec = dict(rec)
+                rec["qual"] = qual
+                rec["path"] = rel
+                rec["module"] = mod
+                self.classes[qual] = rec
+                classes_by_name[rec["name"]] = qual
+            self._funcs_by_module[mod] = funcs_by_name
+            self._classes_by_module[mod] = classes_by_name
+        self.edges: dict[str, list[dict]] = {}
+        self.callers: dict[str, list[str]] = {}
+        self._build_edges()
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        project: "Project",
+        cache_path: str | pathlib.Path | None = None,
+    ) -> "ProjectGraph":
+        sources = project.source_files()
+        cache_file = pathlib.Path(cache_path) if cache_path else None
+        cached: dict[str, dict] = {}
+        if cache_file is not None and cache_file.exists():
+            try:
+                raw = json.loads(cache_file.read_text(encoding="utf-8"))
+                if raw.get("version") == SUMMARY_VERSION:
+                    cached = raw.get("files", {})
+            except (OSError, ValueError):
+                cached = {}
+        summaries: dict[str, dict] = {}
+        entries: dict[str, dict] = {}
+        stats = {"hits": 0, "misses": 0}
+        for source in sources:
+            digest = content_hash(source.text)
+            entry = cached.get(source.rel)
+            if entry is not None and entry.get("hash") == digest:
+                stats["hits"] += 1
+                summary = entry["summary"]
+            else:
+                stats["misses"] += 1
+                summary = extract_summary(source)
+            summaries[source.rel] = summary
+            entries[source.rel] = {"hash": digest, "summary": summary}
+        if cache_file is not None and (
+            stats["misses"] or set(entries) != set(cached)
+        ):
+            payload = {"version": SUMMARY_VERSION, "files": entries}
+            tmp = cache_file.with_suffix(cache_file.suffix + ".tmp")
+            try:
+                tmp.write_text(
+                    json.dumps(payload, sort_keys=True), encoding="utf-8"
+                )
+                tmp.replace(cache_file)
+            except OSError:  # pragma: no cover - read-only checkout
+                pass
+        return cls(summaries, stats)
+
+    def _build_edges(self) -> None:
+        for qual, rec in self.functions.items():
+            out: list[dict] = []
+            for call in rec["calls"]:
+                callee = self.resolve(
+                    call["name"],
+                    rec["module"],
+                    rec["cls"],
+                    rec.get("local_defs"),
+                )
+                if callee is None or callee not in self.functions:
+                    continue
+                out.append(
+                    {
+                        "callee": callee,
+                        "name": call["name"],
+                        "line": call["line"],
+                        "locked": tuple(call["locked"]),
+                        "kind": call["kind"],
+                    }
+                )
+            if out:
+                self.edges[qual] = out
+                for edge in out:
+                    self.callers.setdefault(edge["callee"], []).append(qual)
+
+    # -- resolution ----------------------------------------------------
+
+    def method(self, cls_qual: str, name: str, depth: int = 0) -> str | None:
+        """Resolve a method through ``cls_qual`` and its project bases."""
+        if depth > 5:
+            return None
+        rec = self.classes.get(cls_qual)
+        if rec is None:
+            return None
+        if name in rec["methods"]:
+            return f"{cls_qual}.{name}"
+        for base in rec["bases"]:
+            base_qual = self.resolve_class(base, rec["module"])
+            if base_qual:
+                found = self.method(base_qual, name, depth + 1)
+                if found:
+                    return found
+        return None
+
+    def attr_init(self, cls_qual: str, attr: str, depth: int = 0) -> str | None:
+        """The recorded initializer text for ``self.<attr>``, walking
+        project base classes."""
+        if depth > 5:
+            return None
+        rec = self.classes.get(cls_qual)
+        if rec is None:
+            return None
+        init = rec["attrs"].get(attr)
+        if init is not None:
+            return init["init"]
+        for base in rec["bases"]:
+            base_qual = self.resolve_class(base, rec["module"])
+            if base_qual:
+                found = self.attr_init(base_qual, attr, depth + 1)
+                if found:
+                    return found
+        return None
+
+    def attr_class(self, cls_qual: str, attr: str) -> str | None:
+        """Project class an attribute holds, via its initializer."""
+        init = self.attr_init(cls_qual, attr)
+        if init is None or init.startswith("<"):
+            return None
+        rec = self.classes.get(cls_qual)
+        module = rec["module"] if rec else ""
+        return self.resolve_class(init, module)
+
+    def resolve_class(self, text: str, module: str) -> str | None:
+        if text in self.classes:
+            return text
+        parts = text.split(".")
+        by_name = self._classes_by_module.get(module, {})
+        if len(parts) == 1 and parts[0] in by_name:
+            return by_name[parts[0]]
+        imports = self.modules.get(module, {}).get("imports", {})
+        if parts[0] in imports:
+            full = ".".join([imports[parts[0]]] + parts[1:])
+            if full in self.classes:
+                return full
+        return None
+
+    def resolve(
+        self,
+        text: str,
+        module: str,
+        cls_qual: str | None = None,
+        local_defs: dict[str, str] | None = None,
+    ) -> str | None:
+        if local_defs and text in local_defs:
+            return local_defs[text]
+        parts = text.split(".")
+        head = parts[0]
+        if head in ("self", "cls") and cls_qual is not None:
+            if len(parts) == 2:
+                return self.method(cls_qual, parts[1])
+            if len(parts) == 3:
+                held = self.attr_class(cls_qual, parts[1])
+                if held:
+                    return self.method(held, parts[2])
+            return None
+        funcs = self._funcs_by_module.get(module, {})
+        classes = self._classes_by_module.get(module, {})
+        if len(parts) == 1:
+            if head in funcs:
+                return funcs[head]
+            if head in classes:
+                return self.method(classes[head], "__init__")
+            # fall through to imports
+        elif len(parts) == 2 and head in classes:
+            return self.method(classes[head], parts[1])
+        imports = self.modules.get(module, {}).get("imports", {})
+        if head in imports:
+            full = ".".join([imports[head]] + parts[1:])
+            return self._resolve_absolute(full)
+        return None
+
+    def _resolve_absolute(self, full: str) -> str | None:
+        parts = full.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix not in self.modules:
+                continue
+            rest = parts[cut:]
+            funcs = self._funcs_by_module[prefix]
+            classes = self._classes_by_module[prefix]
+            if len(rest) == 1:
+                if rest[0] in funcs:
+                    return funcs[rest[0]]
+                if rest[0] in classes:
+                    return self.method(classes[rest[0]], "__init__")
+            elif len(rest) == 2 and rest[0] in classes:
+                return self.method(classes[rest[0]], rest[1])
+            return None
+        return None
+
+    # -- derived facts -------------------------------------------------
+
+    def thread_roots(self, cls_qual: str) -> dict[str, dict]:
+        """``method qual -> spawn site`` for every ``threading.Thread``
+        whose target is a ``self.<method>`` of this class."""
+        roots: dict[str, dict] = {}
+        rec = self.classes.get(cls_qual)
+        if rec is None:
+            return roots
+        for name in rec["methods"]:
+            fn = self.functions.get(f"{cls_qual}.{name}")
+            if fn is None:
+                continue
+            for spawn in fn["threads"]:
+                target = spawn["target"]
+                if target.startswith("self.") and target.count(".") == 1:
+                    method = self.method(cls_qual, target.split(".", 1)[1])
+                    if method:
+                        roots[method] = spawn
+        return roots
+
+    def process_targets(self) -> list[tuple[str, dict, dict]]:
+        """``(spawn site function, spawn record, resolved target rec)``
+        for every ``Process(target=...)`` whose target resolves to a
+        project function."""
+        sites: list[tuple[str, dict, dict]] = []
+        for qual, rec in self.functions.items():
+            for proc in rec["procs"]:
+                target = proc.get("target")
+                if not target or target == "<lambda>":
+                    continue
+                resolved = self.resolve(
+                    target, rec["module"], rec["cls"], rec.get("local_defs")
+                )
+                if resolved and resolved in self.functions:
+                    sites.append((qual, proc, self.functions[resolved]))
+        return sites
+
+    def reachable(self, roots: Iterable[str]) -> set[str]:
+        seen = set()
+        stack = [r for r in roots if r in self.functions]
+        while stack:
+            qual = stack.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            for edge in self.edges.get(qual, ()):
+                if edge["callee"] not in seen:
+                    stack.append(edge["callee"])
+        return seen
+
+    def is_internally_locked(self, cls_qual: str) -> bool:
+        """True when the class owns a threading lock attribute -- the
+        convention for self-synchronizing components (JobQueue)."""
+        rec = self.classes.get(cls_qual)
+        if rec is None:
+            return False
+        for init in rec["attrs"].values():
+            text = init["init"]
+            if text.endswith((".Lock", ".RLock")) or text in ("Lock", "RLock"):
+                return True
+        return False
+
+    # -- export --------------------------------------------------------
+
+    def to_json(self) -> dict:
+        nodes = [
+            {
+                "qual": qual,
+                "path": rec["path"],
+                "line": rec["line"],
+                "package": rec["package"],
+                "cls": rec["cls"],
+            }
+            for qual, rec in sorted(self.functions.items())
+        ]
+        edges = [
+            {
+                "caller": qual,
+                "callee": edge["callee"],
+                "line": edge["line"],
+                "kind": edge["kind"],
+            }
+            for qual, out in sorted(self.edges.items())
+            for edge in out
+        ]
+        return {
+            "format": "ballista-lint-callgraph",
+            "version": 1,
+            "cache": dict(self.cache_stats),
+            "counts": {
+                "modules": len(self.modules),
+                "functions": len(self.functions),
+                "classes": len(self.classes),
+                "edges": len(edges),
+            },
+            "nodes": nodes,
+            "edges": edges,
+        }

@@ -59,6 +59,53 @@ WALLCLOCK_ALLOWANCES: dict[str, tuple[str, ...]] = {
     "obs": ("time.perf_counter", "time.perf_counter_ns"),
 }
 
+#: The sanctioned surface through which simulated-machine state may
+#: change, enforced by the wear-escape checker.  Everything here is a
+#: reviewable contract: widening the surface is a manifest diff.
+#:
+#: * ``sanctioned_files`` -- the test-execution layer.  The executor
+#:   advances the simulated clock per call, the test context and value
+#:   pools materialize fixture files; these *are* the machine's
+#:   legitimate driver, and every effect they produce is part of the
+#:   deterministic per-case trajectory the wear model accounts for.
+#: * ``machine_methods`` -- the snapshot/lifecycle API on Machine
+#:   itself.  Wear moves through these verbs by design.
+#: * ``subobject_prefixes`` -- sub-objects that are themselves a
+#:   sanctioned control plane (fault injection) or read-only config.
+#: * ``wear_objects`` + ``readonly_calls`` -- wear-carrying sub-objects
+#:   (filesystem, shared arena, simulated clock) on which only the
+#:   listed read-only probes are allowed from orchestration code.
+WEAR_API: dict[str, tuple[str, ...]] = {
+    "sanctioned_files": (
+        "repro/core/executor.py",
+        "repro/core/context.py",
+        "repro/core/values.py",
+        # The CE target agent is the paper's device-side execution
+        # layer: its result-file protocol (write outcome record, host
+        # reads + deletes it) is part of the deterministic per-case
+        # trajectory, exactly like the value pool's fixture files.
+        "repro/service/ce_client.py",
+    ),
+    "machine_methods": (
+        "wear_state",
+        "restore_wear",
+        "wear_residue",
+        "reboot",
+        "spawn_process",
+        "check_alive",
+    ),
+    "subobject_prefixes": ("faults", "personality"),
+    "wear_objects": ("fs", "shared_region", "clock"),
+    "readonly_calls": (
+        "iter_files",
+        "exists",
+        "stat",
+        "lookup",
+        "tick_count",
+        "unix_seconds",
+    ),
+}
+
 
 @dataclass(frozen=True)
 class SerializationPin:

@@ -509,8 +509,12 @@ class CampaignService:
         listener.setblocking(False)
         self._listener = listener
         self._selector.register(listener, selectors.EVENT_READ, data=None)
-        for target in (self._network_loop, self._scheduler_loop):
-            thread = threading.Thread(target=target, daemon=True)
+        # Spawned as two explicit constructions (not a loop over bound
+        # methods) so the concurrency-contract lint rule can resolve
+        # the thread roots and audit every field they share.
+        network = threading.Thread(target=self._network_loop, daemon=True)
+        scheduler = threading.Thread(target=self._scheduler_loop, daemon=True)
+        for thread in (network, scheduler):
             thread.start()
             self._threads.append(thread)
         return listener.getsockname()
@@ -826,19 +830,24 @@ class CampaignService:
         FETCH cursors stable across retransmission, reconnection, and
         even a shard's reassignment to a new worker."""
         cache_key = (variant, muts)
-        cached = self._plan_cache.get(cache_key)
-        if cached is not None:
-            return cached
-        from repro import ALL_VARIANTS
+        # Reached from both service threads: the network thread pages
+        # FETCH rows while the scheduler builds worker specs.  The
+        # cache dict must not be mutated unlocked from either side
+        # (RLock, so the already-locked scheduler path just re-enters).
+        with self._lock:
+            cached = self._plan_cache.get(cache_key)
+            if cached is not None:
+                return cached
+            from repro import ALL_VARIANTS
 
-        personality = next(p for p in ALL_VARIANTS if p.key == variant)
-        plan = default_registry().for_variant(personality)
-        if muts is not None:
-            wanted = set(muts)
-            plan = [m for m in plan if m.name in wanted]
-        keys = [f"{m.api}:{m.name}" for m in plan]
-        self._plan_cache[cache_key] = keys
-        return keys
+            personality = next(p for p in ALL_VARIANTS if p.key == variant)
+            plan = default_registry().for_variant(personality)
+            if muts is not None:
+                wanted = set(muts)
+                plan = [m for m in plan if m.name in wanted]
+            keys = [f"{m.api}:{m.name}" for m in plan]
+            self._plan_cache[cache_key] = keys
+            return keys
 
     def _shard_rows(self, record: JobRecord, variant: str) -> list:
         """The variant's result rows in plan order, concatenated across

@@ -112,13 +112,18 @@ def _apply_load(machine: Machine) -> None:
     target = max(capacity - DISK_HEADROOM, 0)
     index = 0
     while machine.fs._file_count < target:
-        machine.fs.create_file(f"/tmp/load_{index:05d}.dat", b"x" * 32)
+        # Deliberate out-of-band wear: the load study *is* the disk
+        # pressure, applied before any seam snapshot exists.
+        machine.fs.create_file(  # lint: allow(wear-escape)
+            f"/tmp/load_{index:05d}.dat", b"x" * 32
+        )
         index += 1
     if machine.shared_region is not None:
         # Long-uptime residue: the arena has already absorbed most of
-        # the corruption the machine can take.
+        # the corruption the machine can take.  Deliberate out-of-band
+        # wear, same as above.
         for _ in range(max(machine.personality.corruption_tolerance - 1, 0)):
-            machine.note_corruption("<background load>")
+            machine.note_corruption("<background load>")  # lint: allow(wear-escape)
 
 
 def _rates(codes: list[int]) -> dict[str, float]:

@@ -1,0 +1,865 @@
+"""Unit tests for the interprocedural lint engine.
+
+Covers the three layers the per-file checkers build on:
+
+* :mod:`repro.lint.graph` -- summary extraction, call resolution
+  (local defs, imports, ``self.method`` through bases, constructors,
+  typed-attribute dispatch), thread/process spawn detection, and the
+  content-hash summary cache;
+* :mod:`repro.lint.dataflow` -- the union (may) and must-lock
+  fixpoints, driven on plain dicts;
+* the four interprocedural checkers, each exercised on small synthetic
+  trees (the injection drills in ``test_lint_injections.py`` prove the
+  same rules fire through the real CLI on a doctored full tree).
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.lint import Project, get_checker, run_lint
+from repro.lint.checkers.pickle_safety import unsafe_classes
+from repro.lint.dataflow import entry_must_locks, propagate_union
+from repro.lint.graph import SUMMARY_VERSION, module_name
+
+
+def write_module(root, rel, text):
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(text), encoding="utf-8")
+    return path
+
+
+def build_graph(root, cache_path=None):
+    return Project(root=root, cache_path=cache_path).graph()
+
+
+def edge_pairs(graph):
+    return {
+        (qual, edge["callee"])
+        for qual, out in graph.edges.items()
+        for edge in out
+    }
+
+
+def findings_for(root, rule):
+    return list(get_checker(rule).run(Project(root=root)))
+
+
+# ----------------------------------------------------------------------
+# Call graph construction
+# ----------------------------------------------------------------------
+
+
+class TestCallGraph:
+    def test_module_name(self):
+        assert module_name("repro/core/parallel.py") == "repro.core.parallel"
+        assert module_name("repro/core/__init__.py") == "repro.core"
+
+    def test_local_call_edge(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro/core/a.py",
+            """
+            def helper():
+                return 1
+
+            def caller():
+                return helper()
+            """,
+        )
+        graph = build_graph(tmp_path)
+        assert ("repro.core.a.caller", "repro.core.a.helper") in edge_pairs(graph)
+        assert graph.callers["repro.core.a.helper"] == ["repro.core.a.caller"]
+
+    def test_import_edges_absolute_and_relative(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro/core/a.py",
+            """
+            def helper():
+                return 1
+            """,
+        )
+        write_module(
+            tmp_path,
+            "repro/core/b.py",
+            """
+            from repro.core.a import helper
+            from .a import helper as rel_helper
+            from repro.core import a
+
+            def absolute():
+                return helper()
+
+            def relative():
+                return rel_helper()
+
+            def via_module():
+                return a.helper()
+            """,
+        )
+        graph = build_graph(tmp_path)
+        pairs = edge_pairs(graph)
+        helper = "repro.core.a.helper"
+        assert ("repro.core.b.absolute", helper) in pairs
+        assert ("repro.core.b.relative", helper) in pairs
+        assert ("repro.core.b.via_module", helper) in pairs
+
+    def test_self_method_resolves_through_base_class(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro/core/c.py",
+            """
+            class Base:
+                def ping(self):
+                    return 1
+
+            class Child(Base):
+                def go(self):
+                    return self.ping()
+            """,
+        )
+        graph = build_graph(tmp_path)
+        assert (
+            "repro.core.c.Child.go",
+            "repro.core.c.Base.ping",
+        ) in edge_pairs(graph)
+
+    def test_constructor_edge_and_typed_attribute_dispatch(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro/core/d.py",
+            """
+            class JobQueue:
+                def __init__(self):
+                    self.items = []
+
+                def submit(self, item):
+                    self.items.append(item)
+
+            class Service:
+                def __init__(self):
+                    self.queue = JobQueue()
+
+                def handle(self, item):
+                    self.queue.submit(item)
+            """,
+        )
+        graph = build_graph(tmp_path)
+        pairs = edge_pairs(graph)
+        assert (
+            "repro.core.d.Service.__init__",
+            "repro.core.d.JobQueue.__init__",
+        ) in pairs
+        assert (
+            "repro.core.d.Service.handle",
+            "repro.core.d.JobQueue.submit",
+        ) in pairs
+
+    def test_nested_def_and_dict_dispatch_become_ref_edges(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro/core/e.py",
+            """
+            class Mux:
+                def _on_submit(self):
+                    return 1
+
+                def handlers(self):
+                    return {"SUBMIT": self._on_submit}
+
+            def outer():
+                def inner():
+                    return 2
+
+                return inner
+            """,
+        )
+        graph = build_graph(tmp_path)
+        kinds = {
+            (qual, edge["callee"]): edge["kind"]
+            for qual, out in graph.edges.items()
+            for edge in out
+        }
+        assert (
+            kinds[("repro.core.e.Mux.handlers", "repro.core.e.Mux._on_submit")]
+            == "ref"
+        )
+        assert kinds[("repro.core.e.outer", "repro.core.e.outer.inner")] == "ref"
+        # Reachability survives dispatch-by-dict.
+        assert "repro.core.e.Mux._on_submit" in graph.reachable(
+            ["repro.core.e.Mux.handlers"]
+        )
+
+    def test_dynamic_call_stays_unresolved(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro/core/f.py",
+            """
+            def run(handler):
+                return handler()
+            """,
+        )
+        graph = build_graph(tmp_path)
+        assert graph.edges.get("repro.core.f.run") is None
+
+    def test_lock_context_recorded_on_call_edges(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro/core/g.py",
+            """
+            import threading
+
+            class Guarded:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def _step(self):
+                    return 1
+
+                def locked_walk(self):
+                    with self._lock:
+                        self._step()
+            """,
+        )
+        graph = build_graph(tmp_path)
+        (edge,) = graph.edges["repro.core.g.Guarded.locked_walk"]
+        assert edge["callee"] == "repro.core.g.Guarded._step"
+        assert edge["locked"] == ("_lock",)
+
+    def test_thread_roots_and_process_targets(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro/core/h.py",
+            """
+            import multiprocessing
+            import threading
+
+            def free_function():
+                return 1
+
+            def worker(payload):
+                return payload
+
+            class Svc:
+                def _net(self):
+                    return 1
+
+                def _sched(self):
+                    return 2
+
+                def listen(self):
+                    net = threading.Thread(target=self._net, daemon=True)
+                    net.start()
+                    sched = threading.Thread(target=self._sched, daemon=True)
+                    sched.start()
+                    # Not a self method: never a root of this class.
+                    other = threading.Thread(target=free_function)
+                    other.start()
+
+            def spawn():
+                proc = multiprocessing.Process(target=worker, args=(1,))
+                proc.start()
+            """,
+        )
+        graph = build_graph(tmp_path)
+        roots = graph.thread_roots("repro.core.h.Svc")
+        assert set(roots) == {
+            "repro.core.h.Svc._net",
+            "repro.core.h.Svc._sched",
+        }
+        targets = [rec["qual"] for _, _, rec in graph.process_targets()]
+        assert targets == ["repro.core.h.worker"]
+
+    def test_graph_json_shape(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro/core/a.py",
+            """
+            def helper():
+                return 1
+
+            def caller():
+                return helper()
+            """,
+        )
+        doc = build_graph(tmp_path).to_json()
+        assert doc["format"] == "ballista-lint-callgraph"
+        assert doc["counts"]["functions"] == 2
+        assert doc["counts"]["edges"] == 1
+        (edge,) = doc["edges"]
+        assert edge["caller"] == "repro.core.a.caller"
+        assert edge["callee"] == "repro.core.a.helper"
+
+
+# ----------------------------------------------------------------------
+# Summary cache
+# ----------------------------------------------------------------------
+
+
+class TestSummaryCache:
+    def _tree(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro/core/a.py",
+            """
+            def helper():
+                return 1
+            """,
+        )
+        write_module(
+            tmp_path,
+            "repro/core/b.py",
+            """
+            from repro.core.a import helper
+
+            def caller():
+                return helper()
+            """,
+        )
+
+    def test_cold_then_warm_then_invalidated(self, tmp_path):
+        self._tree(tmp_path)
+        cache = tmp_path / "cache.json"
+
+        cold = build_graph(tmp_path, cache_path=cache)
+        assert cold.cache_stats == {"hits": 0, "misses": 2}
+        assert cache.exists()
+
+        warm = build_graph(tmp_path, cache_path=cache)
+        assert warm.cache_stats == {"hits": 2, "misses": 0}
+        assert edge_pairs(warm) == edge_pairs(cold)
+
+        # Editing one file invalidates exactly that file's entry.
+        write_module(
+            tmp_path,
+            "repro/core/b.py",
+            """
+            from repro.core.a import helper
+
+            def caller():
+                return helper() + 1
+
+            def second_caller():
+                return helper()
+            """,
+        )
+        edited = build_graph(tmp_path, cache_path=cache)
+        assert edited.cache_stats == {"hits": 1, "misses": 1}
+        assert (
+            "repro.core.b.second_caller",
+            "repro.core.a.helper",
+        ) in edge_pairs(edited)
+
+    def test_corrupt_and_stale_version_caches_are_rebuilt(self, tmp_path):
+        self._tree(tmp_path)
+        cache = tmp_path / "cache.json"
+
+        cache.write_text("{not json", encoding="utf-8")
+        graph = build_graph(tmp_path, cache_path=cache)
+        assert graph.cache_stats == {"hits": 0, "misses": 2}
+
+        payload = json.loads(cache.read_text(encoding="utf-8"))
+        assert payload["version"] == SUMMARY_VERSION
+        payload["version"] = SUMMARY_VERSION - 1
+        cache.write_text(json.dumps(payload), encoding="utf-8")
+        graph = build_graph(tmp_path, cache_path=cache)
+        assert graph.cache_stats == {"hits": 0, "misses": 2}
+
+
+# ----------------------------------------------------------------------
+# Dataflow fixpoints
+# ----------------------------------------------------------------------
+
+
+class TestPropagateUnion:
+    def test_facts_flow_callee_to_caller(self):
+        props = propagate_union(
+            seeds={"c": {"fact"}},
+            callers={"c": ["b"], "b": ["a"]},
+        )
+        assert props == {"a": {"fact"}, "b": {"fact"}, "c": {"fact"}}
+
+    def test_converges_on_cycles(self):
+        props = propagate_union(
+            seeds={"a": {"x"}, "c": {"y"}},
+            callers={"a": ["b"], "b": ["c"], "c": ["a"]},
+        )
+        assert props == {
+            "a": {"x", "y"},
+            "b": {"x", "y"},
+            "c": {"x", "y"},
+        }
+
+    def test_empty_seeds_yield_empty_result(self):
+        assert propagate_union(seeds={}, callers={"a": ["b"]}) == {}
+
+
+class TestEntryMustLocks:
+    def test_lock_at_call_site_is_guaranteed_in_callee(self):
+        entry = entry_must_locks(
+            roots=["loop"],
+            edges={"loop": [("handle", frozenset({"_lock"}))]},
+        )
+        assert entry["loop"] == frozenset()
+        assert entry["handle"] == frozenset({"_lock"})
+
+    def test_diamond_intersects_paths(self):
+        entry = entry_must_locks(
+            roots=["loop"],
+            edges={
+                "loop": [
+                    ("locked_path", frozenset({"_lock"})),
+                    ("bare_path", frozenset()),
+                ],
+                "locked_path": [("shared", frozenset())],
+                "bare_path": [("shared", frozenset())],
+            },
+        )
+        # One path in holds the lock, the other does not: no guarantee.
+        assert entry["shared"] == frozenset()
+        assert entry["locked_path"] == frozenset({"_lock"})
+
+    def test_unreachable_functions_are_absent(self):
+        entry = entry_must_locks(
+            roots=["loop"],
+            edges={"elsewhere": [("shared", frozenset({"_lock"}))]},
+        )
+        assert entry == {"loop": frozenset()}
+
+
+# ----------------------------------------------------------------------
+# determinism-propagation
+# ----------------------------------------------------------------------
+
+
+class TestDeterminismPropagation:
+    def _service_helper(self, tmp_path, pragma=""):
+        write_module(
+            tmp_path,
+            "repro/service/helpers.py",
+            f"""
+            import time
+
+            def stamp():
+                return time.time(){pragma}
+
+            def wrap_stamp():
+                return stamp()
+            """,
+        )
+
+    def test_core_wrapper_around_dirty_helper_is_flagged(self, tmp_path):
+        self._service_helper(tmp_path)
+        write_module(
+            tmp_path,
+            "repro/core/campaign.py",
+            """
+            from repro.service.helpers import wrap_stamp
+
+            def label_run():
+                return wrap_stamp() + 1.0
+            """,
+        )
+        found = findings_for(tmp_path, "determinism-propagation")
+        assert len(found) == 1
+        finding = found[0]
+        assert finding.code == "DET-PROPAGATED"
+        assert finding.path == "repro/core/campaign.py"
+        # Anchored at the call site, naming the two-hop origin.
+        assert "repro/service/helpers.py" in finding.message
+        assert "time.time" in finding.message
+
+    def test_origin_pragma_silences_callers_too(self, tmp_path):
+        self._service_helper(tmp_path, pragma="  # lint: allow(determinism)")
+        write_module(
+            tmp_path,
+            "repro/core/campaign.py",
+            """
+            from repro.service.helpers import wrap_stamp
+
+            def label_run():
+                return wrap_stamp() + 1.0
+            """,
+        )
+        assert findings_for(tmp_path, "determinism-propagation") == []
+
+    def test_service_callers_are_not_flagged(self, tmp_path):
+        # wrap_stamp() lives in service/, which may read the wall clock;
+        # only core/sim/analysis callers are held to the contract.
+        self._service_helper(tmp_path)
+        assert findings_for(tmp_path, "determinism-propagation") == []
+
+
+# ----------------------------------------------------------------------
+# concurrency-contract
+# ----------------------------------------------------------------------
+
+_TWO_THREAD_CLASS = """
+    import threading
+
+    class Svc:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._state = {{}}
+
+        def listen(self):
+            net = threading.Thread(target=self._net, daemon=True)
+            net.start()
+            sched = threading.Thread(target=self._sched, daemon=True)
+            sched.start()
+
+        def _net(self):
+            {net_body}
+
+        def _sched(self):
+            with self._lock:
+                self._state["b"] = 2
+"""
+
+
+class TestConcurrencyContract:
+    def test_unmediated_cross_thread_write_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro/service/svc.py",
+            _TWO_THREAD_CLASS.format(net_body='self._state["a"] = 1'),
+        )
+        found = findings_for(tmp_path, "concurrency-contract")
+        assert [f.code for f in found] == ["CONC-CROSS-THREAD"]
+        assert "'_state'" in found[0].message
+        assert "_net" in found[0].message
+
+    def test_lexically_locked_write_is_clean(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro/service/svc.py",
+            _TWO_THREAD_CLASS.format(
+                net_body='with self._lock:\n                self._state["a"] = 1'
+            ),
+        )
+        assert findings_for(tmp_path, "concurrency-contract") == []
+
+    def test_must_hold_proof_accepts_locked_callers(self, tmp_path):
+        # _apply never takes the lock itself, but every call path into
+        # it provably holds it: entry_must_locks accepts the write.
+        write_module(
+            tmp_path,
+            "repro/service/svc.py",
+            """
+            import threading
+
+            class Svc:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._state = {}
+
+                def listen(self):
+                    net = threading.Thread(target=self._net, daemon=True)
+                    net.start()
+                    sched = threading.Thread(target=self._sched, daemon=True)
+                    sched.start()
+
+                def _apply(self, key):
+                    self._state[key] = 1
+
+                def _net(self):
+                    with self._lock:
+                        self._apply("a")
+
+                def _sched(self):
+                    with self._lock:
+                        self._apply("b")
+            """,
+        )
+        assert findings_for(tmp_path, "concurrency-contract") == []
+
+    def test_queue_typed_field_mediates_by_construction(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro/service/svc.py",
+            """
+            import queue
+            import threading
+
+            class Svc:
+                def __init__(self):
+                    self._jobs = queue.Queue()
+
+                def listen(self):
+                    net = threading.Thread(target=self._net, daemon=True)
+                    net.start()
+                    sched = threading.Thread(target=self._sched, daemon=True)
+                    sched.start()
+
+                def _net(self):
+                    self._jobs.put(1)
+
+                def _sched(self):
+                    return self._jobs.get()
+            """,
+        )
+        assert findings_for(tmp_path, "concurrency-contract") == []
+
+    def test_worker_reachable_global_rebind_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro/core/par.py",
+            """
+            import multiprocessing
+
+            _CACHE = None
+
+            def _store(payload):
+                global _CACHE
+                _CACHE = payload
+
+            def worker(payload):
+                _store(payload)
+
+            def spawn():
+                proc = multiprocessing.Process(target=worker, args=(1,))
+                proc.start()
+            """,
+        )
+        found = findings_for(tmp_path, "concurrency-contract")
+        assert [f.code for f in found] == ["CONC-WORKER-GLOBAL"]
+        assert "_CACHE" in found[0].message
+
+
+# ----------------------------------------------------------------------
+# pickle-safety
+# ----------------------------------------------------------------------
+
+
+class TestPickleSafety:
+    def test_lambda_argument_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro/core/spawnit.py",
+            """
+            import multiprocessing
+
+            def worker(payload):
+                return payload
+
+            def launch():
+                proc = multiprocessing.Process(target=worker, args=(lambda: 1,))
+                proc.start()
+            """,
+        )
+        found = findings_for(tmp_path, "pickle-safety")
+        assert [f.code for f in found] == ["PICKLE-UNSAFE"]
+        assert "lambda" in found[0].message
+
+    def test_instance_holding_a_lock_is_flagged_transitively(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro/core/spawnit.py",
+            """
+            import multiprocessing
+            import threading
+
+            class Carrier:
+                def __init__(self):
+                    self.lock = threading.Lock()
+
+            class Outer:
+                def __init__(self):
+                    self.inner = Carrier()
+
+            def worker(payload):
+                return payload
+
+            def launch():
+                box = Outer()
+                proc = multiprocessing.Process(target=worker, args=(box,))
+                proc.start()
+            """,
+        )
+        graph = build_graph(tmp_path)
+        verdicts = unsafe_classes(graph)
+        # The containment fixpoint carries the verdict up one level.
+        assert "repro.core.spawnit.Carrier" in verdicts
+        assert "repro.core.spawnit.Outer" in verdicts
+        found = findings_for(tmp_path, "pickle-safety")
+        assert [f.code for f in found] == ["PICKLE-UNSAFE"]
+        assert "box" in found[0].message
+        assert "thread lock" in found[0].message
+
+    def test_reduce_opts_a_class_out(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro/core/spawnit.py",
+            """
+            import multiprocessing
+            import threading
+
+            class Snapshot:
+                def __init__(self):
+                    self.lock = threading.Lock()
+
+                def __reduce__(self):
+                    return (Snapshot, ())
+
+            def worker(payload):
+                return payload
+
+            def launch():
+                snap = Snapshot()
+                proc = multiprocessing.Process(target=worker, args=(snap,))
+                proc.start()
+            """,
+        )
+        assert findings_for(tmp_path, "pickle-safety") == []
+
+
+# ----------------------------------------------------------------------
+# wear-escape
+# ----------------------------------------------------------------------
+
+
+class TestWearEscape:
+    def test_out_of_band_store_and_call_are_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro/core/warm.py",
+            """
+            def warm_up(machine):
+                machine.clock.ticks = 0
+                machine.fs.create_file("/t", b"")
+            """,
+        )
+        found = findings_for(tmp_path, "wear-escape")
+        assert [f.code for f in found] == ["WEAR-ESCAPE", "WEAR-ESCAPE"]
+        messages = "\n".join(f.message for f in found)
+        assert "store to machine.clock.ticks" in messages
+        assert "call machine.fs.create_file()" in messages
+
+    def test_sanctioned_surface_is_clean(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro/core/warm.py",
+            """
+            def seam(machine, base):
+                machine.restore_wear(base)
+                machine.reboot()
+                machine.faults.arm("strcpy", 3)
+                if machine.fs.exists("/t"):
+                    return machine.wear_residue()
+                return None
+            """,
+        )
+        assert findings_for(tmp_path, "wear-escape") == []
+
+    def test_pragma_suppresses_deliberate_wear(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro/triage/load.py",
+            """
+            def prime(machine):
+                machine.fs.create_file("/t", b"")  # lint: allow(wear-escape)
+            """,
+        )
+        result = run_lint(
+            Project(root=tmp_path), checkers=[get_checker("wear-escape")]
+        )
+        assert result.findings == []
+        assert [f.code for f in result.suppressed] == ["WEAR-ESCAPE"]
+
+    def test_sim_package_is_out_of_scope(self, tmp_path):
+        # sim/ implements the machine; its own stores are not escapes.
+        write_module(
+            tmp_path,
+            "repro/sim/machine.py",
+            """
+            def tick(machine):
+                machine.clock.ticks = 1
+            """,
+        )
+        assert findings_for(tmp_path, "wear-escape") == []
+
+
+# ----------------------------------------------------------------------
+# CLI coverage for the new rules
+# ----------------------------------------------------------------------
+
+
+class TestCli:
+    def test_list_rules_names_all_interprocedural_rules(self, capsys):
+        from repro.lint.cli import main as lint_main
+
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in (
+            "determinism-propagation",
+            "concurrency-contract",
+            "pickle-safety",
+            "wear-escape",
+        ):
+            assert rule in out
+
+    def test_explain_covers_new_codes_with_worked_examples(self, capsys):
+        from repro.lint.cli import main as lint_main
+
+        for rule, code in (
+            ("determinism-propagation", "DET-PROPAGATED"),
+            ("concurrency-contract", "CONC-CROSS-THREAD"),
+            ("pickle-safety", "PICKLE-UNSAFE"),
+            ("wear-escape", "WEAR-ESCAPE"),
+        ):
+            assert lint_main(["--explain", rule]) == 0
+            out = capsys.readouterr().out
+            assert code in out
+            # Every rationale embeds a worked example.
+            assert "    " in out
+
+    def test_graph_json_flag_writes_the_ci_artifact(self, tmp_path, capsys):
+        from repro.lint.cli import main as lint_main
+
+        write_module(
+            tmp_path,
+            "repro/core/a.py",
+            """
+            def helper():
+                return 1
+
+            def caller():
+                return helper()
+            """,
+        )
+        out_path = tmp_path / "callgraph.json"
+        lint_main(
+            [
+                "--root",
+                str(tmp_path),
+                "--no-cache",
+                "--graph-json",
+                str(out_path),
+            ]
+        )
+        capsys.readouterr()
+        doc = json.loads(out_path.read_text(encoding="utf-8"))
+        assert doc["format"] == "ballista-lint-callgraph"
+        assert doc["counts"]["functions"] == 2
+
+    def test_cache_flag_round_trips(self, tmp_path, capsys):
+        from repro.lint.cli import main as lint_main
+
+        write_module(
+            tmp_path,
+            "repro/core/a.py",
+            """
+            def helper():
+                return 1
+            """,
+        )
+        cache = tmp_path / "cache.json"
+        for _ in range(2):
+            lint_main(["--root", str(tmp_path), "--cache", str(cache)])
+            capsys.readouterr()
+        assert cache.exists()
+        warm = build_graph(tmp_path, cache_path=cache)
+        assert warm.cache_stats == {"hits": 1, "misses": 0}

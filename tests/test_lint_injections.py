@@ -1,6 +1,7 @@
 """The acceptance drill for ``repro lint``: inject one violation of each
-of the five rules into a copy of the tree and prove
-``repro lint --fail-on-new`` catches every one.
+rule -- the five per-file rules and the four interprocedural ones -- into
+a copy of the tree and prove ``repro lint --fail-on-new`` catches every
+one.
 
 Each test copies ``src/repro`` into a scratch directory, applies exactly
 one doctoring, and runs the real CLI as a subprocess with ``PYTHONPATH``
@@ -220,3 +221,90 @@ def test_absolute_wallclock_in_obs_is_caught(doctored_src):
     proc = run_lint(doctored_src)
     assert_caught(proc, "determinism", "DET-WALLCLOCK")
     assert "repro/obs/events.py" in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# Interprocedural rules (the call-graph engine)
+# ----------------------------------------------------------------------
+
+
+def test_propagated_wallclock_is_caught(doctored_src):
+    """A clean core/ wrapper around a dirty service/ helper: the per-file
+    determinism rule cannot see it, the propagation rule must."""
+    append(
+        doctored_src,
+        "service/serial.py",
+        """
+        def _injected_wall_helper():
+            import time
+
+            return time.time()
+        """,
+    )
+    append(
+        doctored_src,
+        "core/campaign.py",
+        """
+        def _injected_label():
+            from repro.service.serial import _injected_wall_helper
+
+            return _injected_wall_helper()
+        """,
+    )
+    proc = run_lint(doctored_src)
+    assert_caught(proc, "determinism-propagation", "DET-PROPAGATED")
+    assert "repro/core/campaign.py" in proc.stdout
+    # The finding names the true origin two hops away.
+    assert "repro/service/serial.py" in proc.stdout
+
+
+def test_unlocked_cross_thread_mutation_is_caught(doctored_src):
+    """_readable runs on the selector network thread; _plan_cache is also
+    written from the scheduler thread (under the lock, via _plan_keys).
+    An unlocked mutation from the network side is the exact race class
+    the rule exists for."""
+    edit(
+        doctored_src,
+        "service/server.py",
+        "    def _readable(self, conn: _ServiceConnection) -> None:\n"
+        "        try:",
+        "    def _readable(self, conn: _ServiceConnection) -> None:\n"
+        "        self._plan_cache.clear()\n"
+        "        try:",
+    )
+    proc = run_lint(doctored_src)
+    assert_caught(proc, "concurrency-contract", "CONC-CROSS-THREAD")
+    assert "_plan_cache" in proc.stdout
+    assert "repro/service/server.py" in proc.stdout
+
+
+def test_lambda_in_spawn_args_is_caught(doctored_src):
+    """The spawn context pickles Process args into the worker; a lambda
+    smuggled into the payload dies at spawn time in production."""
+    edit(
+        doctored_src,
+        "core/parallel.py",
+        "target=_variant_worker, args=(spec, events), daemon=True",
+        "target=_variant_worker, args=(spec, events, (lambda: None)), daemon=True",
+    )
+    proc = run_lint(doctored_src)
+    assert_caught(proc, "pickle-safety", "PICKLE-UNSAFE")
+    assert "repro/core/parallel.py" in proc.stdout
+
+
+def test_out_of_band_wear_mutation_is_caught(doctored_src):
+    """Rewinding the simulated clock between shard seams falsifies the
+    recorded wear fingerprint; only the sanctioned wear API may move
+    machine state."""
+    append(
+        doctored_src,
+        "core/sequences.py",
+        """
+        def _injected_rewind(machine):
+            machine.clock.ticks = 0
+        """,
+    )
+    proc = run_lint(doctored_src)
+    assert_caught(proc, "wear-escape", "WEAR-ESCAPE")
+    assert "machine.clock.ticks" in proc.stdout
+    assert "repro/core/sequences.py" in proc.stdout
