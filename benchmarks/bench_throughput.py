@@ -1,6 +1,28 @@
-"""Micro-benchmarks of the harness building blocks: machine boot,
-per-case execution, case generation, and the RPC service loop."""
+"""Per-case hot-path throughput, recorded as a trajectory.
 
+Unlike the other benches this one is *longitudinal*: every run appends a
+measurement to ``benchmarks/out/throughput.json`` (machine-readable) and
+re-renders ``benchmarks/out/throughput.txt`` (human-readable), so the
+before/after numbers of a hot-path PR -- and of every future one -- are
+actually captured instead of scrolling away in a terminal.
+
+The first ever run pins the ``baseline`` entry; later runs append to the
+``runs`` trajectory.  ``BALLISTA_BENCH_LABEL`` names an appended entry
+(e.g. ``optimized``), and ``BALLISTA_PERF_GATE=1`` turns the bench into
+a regression gate: the current run must clear ``3x`` the recorded
+baseline's cases/second (normalised by a fixed integer-spin calibration
+so a slower CI host does not masquerade as a regression).  The gate only
+fires when the caps match -- a trajectory mixes caps freely, but a
+speedup ratio across different workloads would be meaningless.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core.campaign import Campaign, CampaignConfig
 from repro.core.executor import Executor
 from repro.core.generator import CaseGenerator, TestCase
 from repro.core.mut import default_registry
@@ -8,56 +30,150 @@ from repro.core.types import default_types
 from repro.sim.machine import Machine
 from repro.win32.variants import WINNT
 
-
-def test_machine_boot(benchmark):
-    machine = benchmark(Machine, WINNT)
-    assert not machine.crashed
-
-
-def test_process_spawn(benchmark):
-    machine = Machine(WINNT)
-    process = benchmark(machine.spawn_process)
-    assert process.pid >= 100
+PERF_GATE = os.environ.get("BALLISTA_PERF_GATE") == "1"
+GATE_MIN_SPEEDUP = 3.0
+RUN_LABEL = os.environ.get("BALLISTA_BENCH_LABEL", "run")
+MAX_RUNS = 50
+SEQUENCES = 30
 
 
-def test_single_case_execution(benchmark):
+def _calibrate() -> float:
+    """Fixed integer-spin workload: a host-speed yardstick so gate
+    comparisons across machines normalise out raw CPU speed."""
+    started = time.perf_counter()
+    acc = 0
+    for i in range(2_000_000):
+        acc = (acc + i) % 1_000_003
+    assert acc >= 0
+    return time.perf_counter() - started
+
+
+def _micro(fn, n: int) -> float:
+    """Mean microseconds per call over ``n`` calls."""
+    started = time.perf_counter()
+    for _ in range(n):
+        fn()
+    return (time.perf_counter() - started) / n * 1e6
+
+
+def _micros() -> dict[str, float]:
     registry = default_registry()
     generator = CaseGenerator(default_types())
     machine = Machine(WINNT)
     executor = Executor(machine, generator)
     mut = registry.get("libc", "strcpy")
     case = TestCase("strcpy", 0, ("PTR_PAGE", "STR_SHORT"))
-    outcome = benchmark(executor.run_case, mut, case)
-    assert outcome.code.name == "PASS_NO_ERROR"
+    return {
+        "machine_boot_us": round(_micro(lambda: Machine(WINNT), 300), 2),
+        "machine_reboot_us": round(_micro(machine.reboot, 300), 2),
+        "process_spawn_us": round(_micro(machine.spawn_process, 300), 2),
+        "single_case_us": round(
+            _micro(lambda: executor.run_case(mut, case), 300), 2
+        ),
+    }
 
 
-def test_case_generation_capped(benchmark):
-    registry = default_registry()
-    generator = CaseGenerator(default_types(), cap=500)
-    mut = registry.get("win32", "CreateFileA")
+def _measure(cap: int) -> dict:
+    spin = _calibrate()
 
-    def generate():
-        return sum(1 for _ in generator.cases(mut))
+    campaign = Campaign([WINNT], config=CampaignConfig(cap=cap))
+    started = time.perf_counter()
+    results = campaign.run()
+    seconds = time.perf_counter() - started
+    cases = results.total_cases()
 
-    assert benchmark(generate) == 500
+    seq_config = CampaignConfig(cap=cap, mode="sequence", sequences=SEQUENCES)
+    seq_campaign = Campaign([WINNT], config=seq_config)
+    started = time.perf_counter()
+    seq_results = seq_campaign.run()
+    seq_seconds = time.perf_counter() - started
+    seq_cases = seq_results.total_cases()
+
+    return {
+        "label": RUN_LABEL,
+        "cap": cap,
+        "cases": cases,
+        "seconds": round(seconds, 3),
+        "cases_per_sec": round(cases / seconds, 1),
+        "seq_cases": seq_cases,
+        "seq_seconds": round(seq_seconds, 3),
+        "seq_cases_per_sec": round(seq_cases / seq_seconds, 1),
+        "spin_seconds": round(spin, 4),
+        "micros": _micros(),
+    }
 
 
-def test_rpc_roundtrip(benchmark):
-    import threading
+def _speedup(entry: dict, baseline: dict) -> float | None:
+    """Host-normalised cases/second ratio vs the baseline (caps must
+    match for the ratio to mean anything)."""
+    if entry["cap"] != baseline["cap"]:
+        return None
+    here = entry["cases_per_sec"] * entry["spin_seconds"]
+    there = baseline["cases_per_sec"] * baseline["spin_seconds"]
+    return here / there if there else None
 
-    from repro.service import protocol as P
-    from repro.service.rpc import LoopbackTransport, RpcClient, serve_connection
 
-    def echo(dec):
-        return P.encode_hello(P.decode_hello(dec))
+def _render(doc: dict) -> str:
+    lines = [
+        "Per-case hot-path throughput trajectory (serial, one core, "
+        "WINNT)",
+        "",
+        f"{'label':<16} {'cap':>5} {'cases':>7} {'s':>8} {'cases/s':>9} "
+        f"{'seq/s':>8} {'vs base':>8}",
+    ]
+    baseline = doc.get("baseline")
+    entries = ([baseline] if baseline else []) + doc.get("runs", [])
+    for entry in entries:
+        ratio = (
+            _speedup(entry, baseline)
+            if baseline and entry is not baseline
+            else None
+        )
+        vs = f"{ratio:7.2f}x" if ratio is not None else "       -"
+        lines.append(
+            f"{entry['label']:<16} {entry['cap']:>5} {entry['cases']:>7} "
+            f"{entry['seconds']:>8.2f} {entry['cases_per_sec']:>9.1f} "
+            f"{entry['seq_cases_per_sec']:>8.1f} {vs}"
+        )
+    micros = entries[-1]["micros"] if entries else {}
+    if micros:
+        lines.append("")
+        lines.append("latest micro-timings (mean us/call):")
+        for name in sorted(micros):
+            lines.append(f"  {name:<20} {micros[name]:>10.2f}")
+    return "\n".join(lines)
 
-    a, b = LoopbackTransport.pair()
-    threading.Thread(
-        target=serve_connection, args=(a, {P.PROC_HELLO: echo}), daemon=True
-    ).start()
-    client = RpcClient(b)
 
-    def call():
-        return client.call(P.PROC_HELLO, P.encode_hello("winnt")).string()
+def test_per_case_throughput(artifact_dir, bench_cap):
+    entry = _measure(bench_cap)
 
-    assert benchmark(call) == "winnt"
+    json_path = artifact_dir / "throughput.json"
+    if json_path.exists():
+        doc = json.loads(json_path.read_text(encoding="utf-8"))
+    else:
+        doc = {"version": 1, "baseline": None, "runs": []}
+    if doc.get("baseline") is None:
+        entry["label"] = "baseline"
+        doc["baseline"] = entry
+    else:
+        doc["runs"] = (doc.get("runs", []) + [entry])[-MAX_RUNS:]
+    json_path.write_text(
+        json.dumps(doc, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    (artifact_dir / "throughput.txt").write_text(
+        _render(doc) + "\n", encoding="utf-8"
+    )
+
+    assert entry["cases"] > 0 and entry["seq_cases"] > 0
+    if PERF_GATE and doc["baseline"] is not None and entry is not doc["baseline"]:
+        ratio = _speedup(entry, doc["baseline"])
+        assert ratio is not None, (
+            f"perf gate needs matching caps: baseline cap "
+            f"{doc['baseline']['cap']}, run cap {entry['cap']}"
+        )
+        assert ratio >= GATE_MIN_SPEEDUP, (
+            f"hot-path regression: {ratio:.2f}x vs the recorded baseline "
+            f"(gate: >= {GATE_MIN_SPEEDUP}x; baseline "
+            f"{doc['baseline']['cases_per_sec']} cases/s, this run "
+            f"{entry['cases_per_sec']} cases/s)"
+        )

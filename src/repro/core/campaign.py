@@ -173,6 +173,19 @@ class Campaign:
         #: Set by :meth:`run`: the run's final checkpoint (results plus
         #: plan cursors and machine wear), whether or not it was saved.
         self.last_checkpoint: CampaignCheckpoint | None = None
+        # Materialise every per-MuT case plan up front: a plan is a pure
+        # function of (MuT name, pools, cap), so one list serves all of
+        # the campaign's variants, shard slices, and sequences.  Doing
+        # it at construction keeps plan decoding out of the per-case
+        # loop.  Shard workers skip the warm-up -- their slice may touch
+        # a fraction of the plan, and the per-MuT cache fills lazily.
+        if self._shard is None:
+            seen: set[str] = set()
+            for personality in self.variants:
+                for mut in self.muts_for(personality):
+                    if mut.name not in seen:
+                        seen.add(mut.name)
+                        self.generator.cases(mut)
 
     # ------------------------------------------------------------------
 
@@ -427,12 +440,26 @@ def run_variant(
         machine.restore_wear(wear)
     executor = Executor(machine, generator)
     since_checkpoint = 0
+    #: Lazy wear capture: the expensive machine snapshot
+    #: (:meth:`Machine.wear_state`) is taken only when a checkpoint is
+    #: actually about to be written (and once at end of variant), not
+    #: after every MuT -- the machine state at capture time is exactly
+    #: the state after the last completed MuT, so the captured image is
+    #: byte-identical to the eager per-MuT capture it replaces.
+    wear_dirty = False
+
+    def capture_wear() -> None:
+        nonlocal wear_dirty
+        if wear_dirty:
+            checkpoint.machine_wear[personality.key] = machine.wear_state()
+            wear_dirty = False
 
     def emit(event: "obs_events.Event") -> None:
         if recorder is not None:
             recorder.emit(event)
 
     def save_and_tell(position: int) -> None:
+        capture_wear()
         save_checkpoint(checkpoint, checkpoint_path)
         emit(
             obs_events.CheckpointWritten(
@@ -473,16 +500,25 @@ def run_variant(
         )
         result.planned_cases = generator.case_count(mut)
         result.capped = generator.is_capped(mut)
+        per_case_machine = config.machine_per_case
+        reclass_thrown = config.count_thrown_exceptions_as_abort
         for case in generator.cases(mut):
             if heartbeat is not None:
                 heartbeat(personality.key, key, case.index)
-            if config.machine_per_case:
-                machine = Machine(
-                    personality, watchdog_ticks=config.watchdog_ticks
-                )
-                executor = Executor(machine, generator)
+            if per_case_machine:
+                # Full isolation as a copy-on-write revert: observable
+                # state identical to booting a fresh machine per case,
+                # without rebuilding machine and executor objects.
+                machine.revert()
             outcome = executor.run_case(mut, case)
-            outcome = _apply_policies(config, outcome)
+            # Inline _apply_policies (one guarded branch beats a
+            # function call on the per-case hot path).
+            if (
+                reclass_thrown
+                and outcome.code is CaseCode.PASS_ERROR
+                and outcome.detail.startswith("thrown ")
+            ):
+                outcome = _apply_policies(config, outcome)
             result.record(
                 case.index,
                 outcome.code,
@@ -514,21 +550,23 @@ def run_variant(
                     result.interference_crash = True
                 machine.reboot()
                 break
-        emit(
-            obs_events.MutFinished(
-                personality.key,
-                key,
-                mut.group,
-                len(result.codes),
-                _outcome_histogram(result.codes),
-                result.catastrophic,
-                result.interference_crash,
-                machine.clock.ticks,
+        if recorder is not None:
+            # Guarded so the histogram is only computed when there is a
+            # sink to receive it.
+            recorder.emit(
+                obs_events.MutFinished(
+                    personality.key,
+                    key,
+                    mut.group,
+                    len(result.codes),
+                    _outcome_histogram(result.codes),
+                    result.catastrophic,
+                    result.interference_crash,
+                    machine.clock.ticks,
+                )
             )
-        )
         checkpoint.cursors[personality.key] = position + 1
-        if not config.machine_per_case:
-            checkpoint.machine_wear[personality.key] = machine.wear_state()
+        wear_dirty = not config.machine_per_case
         since_checkpoint += 1
         if (
             checkpoint_path is not None
@@ -543,6 +581,7 @@ def run_variant(
         checkpoint.cursors[personality.key] = max(
             checkpoint.cursors.get(personality.key, 0), stop
         )
+    capture_wear()
     emit(
         obs_events.VariantFinished(
             personality.key,

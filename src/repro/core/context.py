@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable
 
+from repro.sim.errors import SimFault
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.libc.runtime import CRuntime
     from repro.posix.system import PosixSystem
@@ -23,6 +25,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 class TestContext:
     """Everything one test case may touch."""
+
+    __slots__ = (
+        "machine",
+        "process",
+        "personality",
+        "mem",
+        "_crt",
+        "_win32",
+        "_posix",
+        "_cleanups",
+        "scratch",
+    )
 
     def __init__(self, machine: "Machine", process: "Process") -> None:
         self.machine = machine
@@ -81,12 +95,21 @@ class TestContext:
     # ------------------------------------------------------------------
 
     def reset_error_state(self) -> None:
-        """Clear error indications before invoking the call under test."""
-        self.process.errno = 0
-        self.process.last_error = 0
-        for f in (self._crt, self._win32, self._posix):
-            if f is not None:
-                f.error_reported = False
+        """Clear error indications before invoking the call under test.
+        (Unrolled: this runs once per test case, and most cases have at
+        most one live facade.)"""
+        process = self.process
+        process.errno = 0
+        process.last_error = 0
+        f = self._crt
+        if f is not None:
+            f.error_reported = False
+        f = self._win32
+        if f is not None:
+            f.error_reported = False
+        f = self._posix
+        if f is not None:
+            f.error_reported = False
 
     def error_reported(self) -> bool:
         """Did the call under test report an error through one of the
@@ -96,10 +119,14 @@ class TestContext:
         implementations' error paths, not by value-transporting calls
         like ``SetLastError`` itself.
         """
-        return any(
-            f is not None and f.error_reported
-            for f in (self._crt, self._win32, self._posix)
-        )
+        f = self._crt
+        if f is not None and f.error_reported:
+            return True
+        f = self._win32
+        if f is not None and f.error_reported:
+            return True
+        f = self._posix
+        return f is not None and f.error_reported
 
     # ------------------------------------------------------------------
     # Constructor helpers
@@ -112,8 +139,6 @@ class TestContext:
     def run_cleanups(self) -> list[Exception]:
         """Run deferred teardowns (LIFO); collect rather than raise
         non-crash errors so one bad destructor cannot poison the others."""
-        from repro.sim.errors import SimFault
-
         errors: list[Exception] = []
         while self._cleanups:
             fn = self._cleanups.pop()

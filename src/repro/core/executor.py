@@ -24,10 +24,11 @@ from repro.core.crash_scale import CaseCode
 from repro.core.generator import CaseGenerator, TestCase
 from repro.core.mut import MuT
 from repro.sim.errors import MachineCrashed, SimFault, SystemCrash
+from repro.sim.filesystem import FileSystemError
 from repro.sim.machine import Machine
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CaseOutcome:
     """The classified result of one executed test case."""
 
@@ -46,6 +47,10 @@ class Executor:
     def __init__(self, machine: Machine, generator: CaseGenerator) -> None:
         self.machine = machine
         self.generator = generator
+        #: The machine's API family never changes over the executor's
+        #: life; resolved once so classification does not chase
+        #: ``machine.personality.api`` on every call under test.
+        self._api_family = machine.personality.api
 
     def run_case(self, mut: MuT, case: TestCase) -> CaseOutcome:
         """Execute one test case in a fresh process and classify it.
@@ -53,15 +58,13 @@ class Executor:
         Raises :class:`MachineCrashed` if called while the machine is
         down (the campaign must reboot first).
         """
-        self.machine.check_alive()
-        process = self.machine.spawn_process()
-        ctx = TestContext(self.machine, process)
-        values = self.generator.resolve(mut, case)
-        exceptional = any(v.exceptional for v in values)
+        machine = self.machine
+        machine.check_alive()
+        process = machine.spawn_process()
+        ctx = TestContext(machine, process)
+        values, exceptional = self.generator.resolve_case(mut, case)
 
         # -- constructors ------------------------------------------------
-        from repro.sim.filesystem import FileSystemError
-
         args: list = []
         try:
             for value in values:
@@ -114,10 +117,7 @@ class Executor:
         next step runs on.
         """
         self.machine.check_alive()
-        values = self.generator.resolve(mut, case)
-        exceptional = any(v.exceptional for v in values)
-
-        from repro.sim.filesystem import FileSystemError
+        values, exceptional = self.generator.resolve_case(mut, case)
 
         args: list = []
         try:
@@ -180,12 +180,11 @@ class Executor:
         """Invoke the MuT and classify the result (shared by the
         per-case and sequence-step paths)."""
         ctx.reset_error_state()
-        self.machine.clock.begin_call(mut.name)
         # Every call costs one tick of virtual time, so the per-step
         # sim-tick stamps on sequence outcomes are strictly ordered even
         # when no call in the sequence sleeps or waits.
-        self.machine.clock.advance(1)
-        api_family = self.machine.personality.api
+        self.machine.clock.begin_call_tick(mut.name)
+        api_family = self._api_family
         try:
             if inject_fault:
                 with self.machine.faults.window():

@@ -31,7 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 PAPER_CAP = 5000
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TestCase:
     """One concrete test case: a MuT plus one chosen value per parameter.
 
@@ -59,6 +59,16 @@ class CaseGenerator:
     def __init__(self, types: "TypeRegistry", cap: int = PAPER_CAP) -> None:
         self.types = types
         self.cap = cap
+        #: Memoized per-MuT case plans and value lookups.  A plan is a
+        #: pure function of ``(MuT name, pools, cap)`` and pools are
+        #: fixed after registry install, so one materialised plan serves
+        #: every variant, shard slice, and sequence of the campaign --
+        #: the cross-variant sharing the determinism contract already
+        #: guarantees is safe.
+        self._plan_cache: dict[str, list[TestCase]] = {}
+        self._resolve_cache: dict[tuple[str, tuple[str, ...]], tuple] = {}
+        self._finder_cache: dict[str, tuple] = {}
+        self._count_cache: dict[str, int] = {}
 
     # ------------------------------------------------------------------
 
@@ -67,8 +77,17 @@ class CaseGenerator:
         return [self.types.get(name).all_values() for name in mut.param_types]
 
     def combination_count(self, mut: "MuT") -> int:
-        """Size of the full cross-product for this MuT."""
-        return prod(len(pool) for pool in self.pools(mut)) if mut.param_types else 1
+        """Size of the full cross-product for this MuT (memoized: the
+        pools are fixed for the life of the plan caches)."""
+        count = self._count_cache.get(mut.name)
+        if count is None:
+            count = (
+                prod(len(pool) for pool in self.pools(mut))
+                if mut.param_types
+                else 1
+            )
+            self._count_cache[mut.name] = count
+        return count
 
     def is_capped(self, mut: "MuT") -> bool:
         return self.combination_count(mut) > self.cap
@@ -84,8 +103,16 @@ class CaseGenerator:
         Exhaustive (odometer order) when the cross-product fits under the
         cap; otherwise a seeded sample without replacement, in sampling
         order.  Either way the sequence is a pure function of the MuT
-        name and the pools.
+        name and the pools -- which is why the materialised plan is
+        memoized per MuT and shared across variants.
         """
+        plan = self._plan_cache.get(mut.name)
+        if plan is None:
+            plan = list(self._generate(mut))
+            self._plan_cache[mut.name] = plan
+        return iter(plan)
+
+    def _generate(self, mut: "MuT") -> Iterator[TestCase]:
         pools = self.pools(mut)
         sizes = [len(pool) for pool in pools]
         total = self.combination_count(mut)
@@ -106,11 +133,49 @@ class CaseGenerator:
             emitted += 1
 
     def resolve(self, mut: "MuT", case: TestCase) -> list["TestValue"]:
-        """Map a case's value names back to TestValue objects."""
-        values = []
-        for type_name, value_name in zip(mut.param_types, case.value_names):
-            values.append(self.types.get(type_name).find(value_name))
-        return values
+        """Map a case's value names back to TestValue objects.
+
+        Memoized per ``(MuT name, value names)``: the same case resolves
+        to the same values on every variant, so the list is built once.
+        Callers must treat the returned list as read-only.
+        """
+        return self.resolve_case(mut, case)[0]
+
+    def resolve_case(
+        self, mut: "MuT", case: TestCase
+    ) -> tuple[list["TestValue"], bool]:
+        """:meth:`resolve` plus the case's exceptional-input flag (any
+        resolved value annotated exceptional), computed once per memo
+        entry so the per-case loop does not rescan the value list."""
+        cache_key = (mut.name, case.value_names)
+        entry = self._resolve_cache.get(cache_key)
+        if entry is None:
+            finders = self._finder_cache.get(mut.name)
+            if finders is None:
+                finders = tuple(
+                    self.types.get(name) for name in mut.param_types
+                )
+                self._finder_cache[mut.name] = finders
+            try:
+                values = [
+                    param.find_map()[name]
+                    for param, name in zip(finders, case.value_names)
+                ]
+            except KeyError:
+                # Re-resolve through find() so an unknown name reports
+                # which type rejected it.
+                values = [
+                    param.find(name)
+                    for param, name in zip(finders, case.value_names)
+                ]
+            exceptional = False
+            for value in values:
+                if value.exceptional:
+                    exceptional = True
+                    break
+            entry = (values, exceptional)
+            self._resolve_cache[cache_key] = entry
+        return entry
 
     # ------------------------------------------------------------------
 

@@ -51,32 +51,68 @@ class ResultFormatError(ValueError):
     """The document is not a recognisable result-set dump."""
 
 
+def _row_stamp(row) -> tuple:
+    """Cheap mutation fingerprint of a result row.
+
+    Every write path a row has (``record()`` appends to codes /
+    exceptional / error_codes and inserts into details / failing_cases;
+    the campaign sets the flags before the first checkpoint that could
+    serialise the row; sequence records are assigned wholesale) moves at
+    least one of these, so an unchanged stamp proves the cached
+    serialised form is still exact."""
+    return (
+        len(row.codes),
+        len(row.error_codes),
+        len(row.details),
+        len(row.failing_cases),
+        row.interference_crash,
+        row.planned_cases,
+        row.capped,
+        row.sequence is None,
+    )
+
+
+def _row_to_dict(row) -> dict:
+    """Serialise one result row, memoized on the row object.
+
+    Periodic checkpointing used to re-serialise every completed row on
+    every save -- O(rows²) hex-encoding over a long campaign.  Rows are
+    completed before the cursor moves past them and never mutate again,
+    so the serialised dict is cached on the row and reused by every
+    later checkpoint/result save; :func:`_row_stamp` guards the cache
+    against the append-only mutations an in-flight row can still see.
+    """
+    cached = getattr(row, "_serialized", None)
+    stamp = _row_stamp(row)
+    if cached is not None and cached[0] == stamp:
+        return cached[1]
+    entry = {
+        "variant": row.variant,
+        "mut": row.mut_name,
+        "api": row.api,
+        "group": row.group,
+        "codes": bytes(row.codes).hex(),
+        "exceptional": bytes(row.exceptional).hex(),
+        "error_codes": list(row.error_codes),
+        "details": {str(k): v for k, v in row.details.items()},
+        "failing_cases": {
+            str(k): list(v) for k, v in row.failing_cases.items()
+        },
+        "interference": row.interference_crash,
+        "planned": row.planned_cases,
+        "capped": row.capped,
+    }
+    if row.sequence is not None:
+        # Version-3 sequence-record extension; omitted on per-case
+        # rows so case-mode documents keep their version-2 shape.
+        entry["sequence"] = row.sequence
+    row._serialized = (stamp, entry)
+    return entry
+
+
 def results_to_dict(results: ResultSet) -> dict:
     """Serialise a ResultSet to plain JSON-compatible data."""
-    rows = []
-    for row in results:
-        rows.append(
-            {
-                "variant": row.variant,
-                "mut": row.mut_name,
-                "api": row.api,
-                "group": row.group,
-                "codes": bytes(row.codes).hex(),
-                "exceptional": bytes(row.exceptional).hex(),
-                "error_codes": list(row.error_codes),
-                "details": {str(k): v for k, v in row.details.items()},
-                "failing_cases": {
-                    str(k): list(v) for k, v in row.failing_cases.items()
-                },
-                "interference": row.interference_crash,
-                "planned": row.planned_cases,
-                "capped": row.capped,
-            }
-        )
-        if row.sequence is not None:
-            # Version-3 sequence-record extension; omitted on per-case
-            # rows so case-mode documents keep their version-2 shape.
-            rows[-1]["sequence"] = row.sequence
+    rows = [_row_to_dict(row) for row in results]
     document = {
         "format": "ballista-results",
         "version": FORMAT_VERSION,

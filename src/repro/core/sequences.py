@@ -255,12 +255,22 @@ def run_variant_sequences(
         machine.restore_wear(wear)
     executor = Executor(machine, generator)
     since_checkpoint = 0
+    #: Lazy wear capture, exactly as in the per-case loop: snapshot the
+    #: machine only when a checkpoint is written or the variant ends.
+    wear_dirty = False
+
+    def capture_wear() -> None:
+        nonlocal wear_dirty
+        if wear_dirty:
+            checkpoint.machine_wear[personality.key] = machine.wear_state()
+            wear_dirty = False
 
     def emit(event: "obs_events.Event") -> None:
         if recorder is not None:
             recorder.emit(event)
 
     def save_and_tell(position: int) -> None:
+        capture_wear()
         save_checkpoint(checkpoint, checkpoint_path)
         emit(
             obs_events.CheckpointWritten(
@@ -322,18 +332,19 @@ def run_variant_sequences(
             recorder,
             key,
         )
-        emit(
-            obs_events.MutFinished(
-                personality.key,
-                key,
-                SEQUENCE_GROUP,
-                len(result.codes),
-                _outcome_histogram(result.codes),
-                result.catastrophic,
-                result.interference_crash,
-                machine.clock.ticks,
+        if recorder is not None:
+            recorder.emit(
+                obs_events.MutFinished(
+                    personality.key,
+                    key,
+                    SEQUENCE_GROUP,
+                    len(result.codes),
+                    _outcome_histogram(result.codes),
+                    result.catastrophic,
+                    result.interference_crash,
+                    machine.clock.ticks,
+                )
             )
-        )
         if recorder is not None:
             seq = result.sequence or {}
             recorder.record(
@@ -352,7 +363,7 @@ def run_variant_sequences(
             # (the crash path already rebooted).
             machine.reboot()
         checkpoint.cursors[personality.key] = position + 1
-        checkpoint.machine_wear[personality.key] = machine.wear_state()
+        wear_dirty = True
         since_checkpoint += 1
         if (
             checkpoint_path is not None
@@ -364,6 +375,7 @@ def run_variant_sequences(
         checkpoint.cursors[personality.key] = max(
             checkpoint.cursors.get(personality.key, 0), stop
         )
+    capture_wear()
     emit(
         obs_events.VariantFinished(
             personality.key,

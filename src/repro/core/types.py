@@ -26,7 +26,7 @@ Constructor = Callable[["TestContext"], Any]
 Cleanup = Callable[["TestContext", Any], None]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TestValue:
     """One named test value in a type's pool.
 
@@ -57,10 +57,20 @@ class ParamType:
     :param parent: optional base type whose values are inherited.
     """
 
+    #: Class-wide pool generation: bumped by every :meth:`add` on any
+    #: type.  Memoized pool views are tagged with the generation current
+    #: when they were built, so a single integer compare validates them
+    #: on the hot lookup paths.  Any pool change anywhere conservatively
+    #: invalidates every cache -- pools only ever grow during registry
+    #: install, so rebuilds are a startup cost, not a steady-state one.
+    _generation = 0
+
     def __init__(self, name: str, parent: "ParamType | None" = None) -> None:
         self.name = name
         self.parent = parent
         self._own: list[TestValue] = []
+        self._all_cache: tuple[int, tuple[TestValue, ...]] | None = None
+        self._find_cache: tuple[int, dict[str, TestValue]] | None = None
 
     def add(
         self,
@@ -72,6 +82,7 @@ class ParamType:
         """Define a value in this type's own pool."""
         value = TestValue(name, construct, exceptional, cleanup)
         self._own.append(value)
+        ParamType._generation += 1
         return value
 
     def value(self, exceptional: bool = False) -> Callable[[Constructor], Constructor]:
@@ -89,15 +100,36 @@ class ParamType:
 
     def all_values(self) -> tuple[TestValue, ...]:
         """Own values plus everything inherited, parents first (so the
-        combination order is stable and identical across variants)."""
-        inherited = self.parent.all_values() if self.parent else ()
-        return inherited + tuple(self._own)
+        combination order is stable and identical across variants).
+        Memoized: the tuple is rebuilt only after a pool change."""
+        cached = self._all_cache
+        if cached is None or cached[0] != ParamType._generation:
+            inherited = self.parent.all_values() if self.parent else ()
+            cached = (ParamType._generation, inherited + tuple(self._own))
+            self._all_cache = cached
+        return cached[1]
+
+    def find_map(self) -> dict[str, TestValue]:
+        """The name -> value lookup table for the current pool state
+        (first match wins, matching the scan order of
+        :meth:`all_values`).  Callers must treat it as read-only."""
+        cached = self._find_cache
+        if cached is None or cached[0] != ParamType._generation:
+            index: dict[str, TestValue] = {}
+            for value in self.all_values():
+                index.setdefault(value.name, value)
+            cached = (ParamType._generation, index)
+            self._find_cache = cached
+        return cached[1]
 
     def find(self, value_name: str) -> TestValue:
-        for value in self.all_values():
-            if value.name == value_name:
-                return value
-        raise KeyError(f"{self.name} has no test value {value_name!r}")
+        """Look a value up by name; memoized as a dict per pool state."""
+        try:
+            return self.find_map()[value_name]
+        except KeyError:
+            raise KeyError(
+                f"{self.name} has no test value {value_name!r}"
+            ) from None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<ParamType {self.name} ({len(self.all_values())} values)>"

@@ -17,6 +17,7 @@ function families live in mixins:
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import TYPE_CHECKING
 
 from repro.libc import errno_codes as E
@@ -24,11 +25,17 @@ from repro.libc.ctype_funcs import CtypeMixin
 from repro.libc.flavors import FLAVORS, FlavorTraits
 from repro.libc.math_funcs import MathMixin
 from repro.libc.memory_funcs import MemoryMixin
-from repro.libc.stdio_funcs import StdioMixin, StreamState
+from repro.libc.stdio_funcs import (
+    FLAG_OPEN,
+    FLAG_READ,
+    FLAG_WRITE,
+    StdioMixin,
+    StreamState,
+)
 from repro.libc.string_funcs import StringMixin
 from repro.libc.time_funcs import TimeMixin
 from repro.sim.guarded import crt_read, crt_write
-from repro.sim.memory import Protection
+from repro.sim.memory import USER_LIMIT, Protection, Region
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.process import Process
@@ -36,6 +43,21 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Text preloaded on the console so stdin-reading functions (gets,
 #: fscanf on stdin, ...) have something to consume.
 CONSOLE_INPUT = b"console input for ballista tests\n42 17 tokens\n"
+
+#: Bump-allocation step for each of the runtime's seven boot mappings
+#: (ctype table, then FILE + buffer per standard stream).  All are
+#: smaller than a page, so each one advances the cursor by exactly one
+#: 8 KiB slot -- the same arithmetic :meth:`AddressSpace.map` applies.
+_CRT_STEP = 8192
+#: Total address-space span the seven mappings cover.
+_CRT_SPAN = 7 * _CRT_STEP
+#: ``(fd, readable, writable, FILE-header flag word)`` per standard
+#: stream, in registration order.
+_STREAM_SPECS = (
+    (0, True, False, (FLAG_OPEN | FLAG_READ).to_bytes(4, "little")),
+    (1, False, True, (FLAG_OPEN | FLAG_WRITE).to_bytes(4, "little")),
+    (2, False, True, (FLAG_OPEN | FLAG_WRITE).to_bytes(4, "little")),
+)
 
 
 class CRuntime(
@@ -62,23 +84,68 @@ class CRuntime(
         self._static_tm = 0  # lazily created static buffers
         self._static_str = 0
 
-        # glibc-style ctype table: 384 readable bytes covering indices
-        # -128..255 (the table pointer aims at offset 128).
-        self._ctype_region = self.mem.map(
-            384, Protection.READ, tag="ctype-table"
-        )
-
-        # Standard streams over the console fds.
+        # The runtime's seven boot mappings: the ctype table (384
+        # readable bytes covering indices -128..255; the table pointer
+        # aims at offset 128) followed by a FILE structure and stream
+        # buffer per standard stream.  They are bump-allocated from the
+        # current cursor in a fixed pattern, so the common case places
+        # them directly -- byte-identical regions, addresses, cursor,
+        # and list order to seven ``map()`` calls.  An open fault window
+        # (armed "alloc" exhaustion must fire per mapping) or a cursor
+        # near the top of user space takes the mapping path instead.
+        mem = self.mem
+        faults = mem.faults
+        base = mem._cursor
         stdin_file = process.fds.get(0)
-        if stdin_file is not None and not stdin_file.node.data:
-            stdin_file.node.data.extend(CONSOLE_INPUT)
-        self.stdin = self._register_stream(stdin_file, readable=True, writable=False)
-        self.stdout = self._register_stream(
-            process.fds.get(1), readable=False, writable=True
-        )
-        self.stderr = self._register_stream(
-            process.fds.get(2), readable=False, writable=True
-        )
+        if (faults is None or not faults.active) and base + _CRT_SPAN <= USER_LIMIT:
+            ctype = Region(base, 384, Protection.READ, "ctype-table")
+            self._ctype_region = ctype
+            if stdin_file is not None and not stdin_file.node.data:
+                stdin_file.node.data.extend(CONSOLE_INPUT)
+            regions = [ctype]
+            streams = self._streams
+            fds = process.fds
+            rw = Protection.RW
+            file_size = self.FILE_SIZE
+            buf_size = self.STREAM_BUF_SIZE
+            offset = _CRT_STEP
+            handles = []
+            for fd, readable, writable, flag_header in _STREAM_SPECS:
+                file_at = base + offset
+                buf_at = file_at + _CRT_STEP
+                file_region = Region(file_at, file_size, rw, "FILE")
+                buf_region = Region(buf_at, buf_size, rw, "stdio-buf")
+                offset += 2 * _CRT_STEP
+                file_region.data[0:8] = flag_header + buf_at.to_bytes(
+                    4, "little"
+                )
+                file_region.version = 1
+                streams[file_at] = StreamState(
+                    fds.get(fd), readable, writable, file_at, buf_at
+                )
+                regions.append(file_region)
+                regions.append(buf_region)
+                handles.append(file_at)
+            position = bisect_right(mem._starts, base)
+            mem._starts[position:position] = [r.start for r in regions]
+            mem._regions[position:position] = regions
+            mem._cursor = base + _CRT_SPAN
+            self.stdin, self.stdout, self.stderr = handles
+        else:
+            self._ctype_region = mem.map(
+                384, Protection.READ, tag="ctype-table"
+            )
+            if stdin_file is not None and not stdin_file.node.data:
+                stdin_file.node.data.extend(CONSOLE_INPUT)
+            self.stdin = self._register_stream(
+                stdin_file, readable=True, writable=False
+            )
+            self.stdout = self._register_stream(
+                process.fds.get(1), readable=False, writable=True
+            )
+            self.stderr = self._register_stream(
+                process.fds.get(2), readable=False, writable=True
+            )
 
     # ------------------------------------------------------------------
     # errno / error reporting

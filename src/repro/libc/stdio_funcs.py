@@ -37,7 +37,7 @@ FLAG_OPEN = 0x4
 MAX_FIELD_WIDTH = 0x1_0000
 
 
-@dataclass
+@dataclass(slots=True)
 class StreamState:
     """CRT-side state of one open stream."""
 
@@ -69,8 +69,13 @@ class StdioMixin:
         flags = FLAG_OPEN
         flags |= FLAG_READ if readable else 0
         flags |= FLAG_WRITE if writable else 0
-        self.mem.write_u32(file_region.start, flags)
-        self.mem.write_u32(file_region.start + 4, buf_region.start)
+        # Initialise the freshly mapped, word-aligned FILE structure
+        # directly (stores identical to the checked ``write_u32`` path:
+        # the region is private, RW, and cannot fault).
+        file_region.data[0:8] = flags.to_bytes(4, "little") + (
+            buf_region.start
+        ).to_bytes(4, "little")
+        file_region.version += 1
         state = StreamState(
             open_file, readable, writable, file_region.start, buf_region.start
         )

@@ -14,7 +14,7 @@ from repro.lint.framework import (
     dotted_name,
     register_checker,
 )
-from repro.lint.manifests import WALLCLOCK_ALLOWANCES
+from repro.lint.manifests import POOL_PURITY, WALLCLOCK_ALLOWANCES
 
 #: Packages whose behaviour feeds serialized results/checkpoints: runs
 #: must be bit-for-bit reproducible here (time.monotonic is allowed --
@@ -52,6 +52,7 @@ class _DeterminismVisitor(ast.NodeVisitor):
         self.checker = checker
         self.source = source
         self.strict = source.package in _DETERMINISTIC_PACKAGES
+        self.pool_pure = source.rel in POOL_PURITY["files"]
         self.findings: list[Finding] = []
 
     def _emit(self, code: str, message: str, node: ast.AST) -> None:
@@ -111,7 +112,47 @@ class _DeterminismVisitor(ast.NodeVisitor):
                 node,
             )
 
+    # -- pool-layer machine independence ------------------------------
+
+    def visit_If(self, node: ast.If) -> None:
+        # ``if TYPE_CHECKING:`` blocks carry no runtime coupling, so the
+        # pool-purity import ban does not apply inside them.
+        test = node.test
+        is_type_checking = (
+            isinstance(test, ast.Name) and test.id == "TYPE_CHECKING"
+        ) or dotted_name(test) == "typing.TYPE_CHECKING"
+        if is_type_checking and self.pool_pure:
+            was_pure = self.pool_pure
+            self.pool_pure = False
+            self.generic_visit(node)
+            self.pool_pure = was_pure
+            return
+        self.generic_visit(node)
+
+    def _check_pool_import(self, module: str, node: ast.AST) -> None:
+        if not self.pool_pure:
+            return
+        for banned in POOL_PURITY["banned_imports"]:
+            if module == banned or module.startswith(banned + "."):
+                self._emit(
+                    "DET-POOL-IMPORT",
+                    f"import of {module} couples the memoized plan/value"
+                    "-pool layer to machine or API-personality state; "
+                    "pools are shared across variants and shards and "
+                    "must stay machine-independent (see the POOL_PURITY "
+                    "manifest)",
+                    node,
+                )
+                return
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._check_pool_import(alias.name, node)
+        self.generic_visit(node)
+
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is not None:
+            self._check_pool_import(node.module, node)
         if node.module == "random":
             imported = {alias.name for alias in node.names}
             bad = sorted(imported - {"Random"})

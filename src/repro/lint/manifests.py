@@ -15,6 +15,11 @@ derived state:
   recorders legitimately read ``time.perf_counter``; nothing else may.
   Scoping the allowance here, per package and per call, keeps the rule
   reviewable: widening it is a manifest diff, not a silent pragma.
+* :data:`POOL_PURITY` -- the memoized plan/value-pool layer and the
+  machine-layer imports it must never take on.  Materialised case plans
+  and type pools are shared across variants, shards, and sequences; the
+  determinism checker keeps that layer machine-independent so the
+  sharing stays sound.
 * :data:`SERIALIZATION_PINS` -- the field lists of every dataclass the
   :mod:`repro.core.results_io` formats serialize, pinned together with
   the format version they were pinned at.  Changing a serialized field
@@ -91,6 +96,12 @@ WEAR_API: dict[str, tuple[str, ...]] = {
         "restore_wear",
         "wear_residue",
         "reboot",
+        # The copy-on-write snapshot verb: observable state identical to
+        # a cold ``Machine(personality)`` rebuild, restored by reverting
+        # wear against the pristine boot image instead of
+        # reconstructing.  ``machine_per_case`` isolation runs through
+        # it, so it is part of the sanctioned lifecycle surface.
+        "revert",
         "spawn_process",
         "check_alive",
     ),
@@ -103,6 +114,34 @@ WEAR_API: dict[str, tuple[str, ...]] = {
         "lookup",
         "tick_count",
         "unix_seconds",
+    ),
+}
+
+
+#: The pool/plan layer the hot path memoizes: per-MuT case plans,
+#: resolved value lists, and type-pool lookup tables are built once and
+#: shared across *every* variant, shard slice, and sequence of a
+#: campaign (their determinism contract: a pure function of MuT name,
+#: pools, and cap).  That sharing is only sound while the layer stays
+#: machine-independent, so the determinism checker bans these modules
+#: from importing the machine, process, or API-personality layers --
+#: a pool keyed (even accidentally) on machine or variant state would
+#: poison the cross-variant reuse byte-identity relies on.  Simulation
+#: *data structures* (memory layout constants, pipes, filesystem nodes)
+#: remain fair game -- value constructors legitimately build those; the
+#: ban targets the machine/personality layer and the per-variant API
+#: facades.
+POOL_PURITY: dict[str, tuple[str, ...]] = {
+    "files": (
+        "repro/core/generator.py",
+        "repro/core/types.py",
+        "repro/core/values.py",
+    ),
+    "banned_imports": (
+        "repro.sim.machine",
+        "repro.win32",
+        "repro.posix",
+        "repro.libc",
     ),
 }
 

@@ -86,6 +86,7 @@ class FsCallsMixin:
         except FileSystemError as exc:
             return self._fs_err(exc)
         parent.entries[name] = node
+        parent._lower = None
         node.nlink += 1
         return 0
 

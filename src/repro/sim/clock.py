@@ -25,9 +25,25 @@ class SimClock:
         harness declares it hung.
     """
 
+    __slots__ = (
+        "ticks",
+        "watchdog_ticks",
+        "_call_started_at",
+        "_current_function",
+    )
+
     def __init__(self, watchdog_ticks: int = 30_000) -> None:
         self.ticks = 0
         self.watchdog_ticks = watchdog_ticks
+        self._call_started_at = 0
+        self._current_function = "<none>"
+
+    def reset(self, ticks: int = 0) -> None:
+        """Power-cycle the clock: observable state identical to a fresh
+        clock whose ``ticks`` were then set to ``ticks`` (the machine's
+        copy-on-write reboot path uses this instead of constructing a
+        new clock)."""
+        self.ticks = ticks
         self._call_started_at = 0
         self._current_function = "<none>"
 
@@ -42,6 +58,18 @@ class SimClock:
         """Advance virtual time (e.g. while blocked on a wait)."""
         self.ticks += max(0, int(ticks))
         self._check_watchdog()
+
+    def begin_call_tick(self, function: str) -> None:
+        """:meth:`begin_call` fused with ``advance(1)`` -- the pair the
+        executor issues at the top of every call under test.  Observable
+        state and watchdog behaviour are identical to calling the two
+        separately (a zero-tick watchdog budget still hangs)."""
+        started = self.ticks
+        self._call_started_at = started
+        self._current_function = function
+        self.ticks = started + 1
+        if 1 > self.watchdog_ticks:
+            raise TaskHang(function, 1)
 
     def block_forever(self) -> None:
         """Model a wait that can never be satisfied: burn the rest of the

@@ -29,6 +29,17 @@ class FileSystemError(Exception):
 class Node:
     """Base class for filesystem nodes."""
 
+    __slots__ = (
+        "name",
+        "created_at",
+        "modified_at",
+        "accessed_at",
+        "read_only",
+        "hidden",
+        "protected",
+        "mode",
+    )
+
     is_directory = False
 
     def __init__(self, name: str, now: int) -> None:
@@ -45,7 +56,14 @@ class Node:
 
 
 class FileNode(Node):
-    """A regular file: a named bytearray plus attributes."""
+    """A regular file: a named bytearray plus attributes.
+
+    ``symlink_target`` is only ever set on nodes that model symbolic
+    links (the slot exists so the attribute can be attached without a
+    per-instance ``__dict__``); read it with ``getattr(..., None)``.
+    """
+
+    __slots__ = ("data", "nlink", "symlink_target")
 
     def __init__(self, name: str, now: int, data: bytes = b"") -> None:
         super().__init__(name, now)
@@ -58,32 +76,45 @@ class FileNode(Node):
 
 
 class DirectoryNode(Node):
+    __slots__ = ("entries", "_lower")
+
     is_directory = True
 
     def __init__(self, name: str, now: int) -> None:
         super().__init__(name, now)
         self.mode = 0o755
         self.entries: dict[str, Node] = {}
+        #: Lazily built ``lowered name -> node`` index for
+        #: case-insensitive lookups (first match in insertion order wins,
+        #: exactly like the linear scan it replaces).  Every mutation of
+        #: ``entries`` -- here or by the filesystem operations that
+        #: insert directly -- must reset it to ``None``.
+        self._lower: dict[str, Node] | None = None
 
     def lookup(self, name: str, case_insensitive: bool) -> Node | None:
         if name in self.entries:
             return self.entries[name]
         if case_insensitive:
-            lowered = name.lower()
-            for key, node in self.entries.items():
-                if key.lower() == lowered:
-                    return node
+            lower = self._lower
+            if lower is None:
+                lower = {}
+                for key, node in self.entries.items():
+                    lower.setdefault(key.lower(), node)
+                self._lower = lower
+            return lower.get(name.lower())
         return None
 
     def remove(self, name: str, case_insensitive: bool) -> None:
         if name in self.entries:
             del self.entries[name]
+            self._lower = None
             return
         if case_insensitive:
             lowered = name.lower()
             for key in list(self.entries):
                 if key.lower() == lowered:
                     del self.entries[key]
+                    self._lower = None
                     return
         raise KeyError(name)
 
@@ -94,6 +125,16 @@ class OpenFile:
     Shared by POSIX fds (``dup`` makes two fds share one description),
     Win32 ``FileObject`` handles, and C ``FILE*`` streams.
     """
+
+    __slots__ = (
+        "node",
+        "readable",
+        "writable",
+        "append",
+        "offset",
+        "closed",
+        "_now",
+    )
 
     def __init__(
         self,
@@ -167,6 +208,8 @@ class OpenFile:
 class Pipe:
     """An anonymous pipe: bounded FIFO with a read and a write end."""
 
+    __slots__ = ("capacity", "buffer", "read_open", "write_open")
+
     def __init__(self, capacity: int = 65536) -> None:
         self.capacity = capacity
         self.buffer = bytearray()
@@ -205,11 +248,70 @@ class FileSystem:
         self._now = now
         self.max_files = max_files
         self._file_count = 0
+        self._split_cache: dict[str, list[str]] = {}
         self.root = DirectoryNode("", now())
         #: Optional :class:`~repro.sim.faults.FaultInjector` (attached by
         #: the owning machine); armed "disk" faults fail
         #: :meth:`create_file` with ENOSPC.
         self.faults = None
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+
+    def clone(self, now: Callable[[], int] | None = None) -> "FileSystem":
+        """A deep copy sharing no mutable state with the original -- the
+        copy-on-write substrate for machine snapshots: the machine keeps
+        one pristine boot image and reverting is cloning it, not
+        replaying ``mkdir``/``create_file`` path operations.
+
+        Hard links are preserved: two directory entries reaching one
+        :class:`FileNode` in the original share one copied node.  The
+        fault injector is deliberately *not* carried over (the owning
+        machine re-attaches its own).
+        """
+        fs = FileSystem.__new__(FileSystem)
+        fs.case_insensitive = self.case_insensitive
+        fs._now = self._now if now is None else now
+        fs.max_files = self.max_files
+        fs._file_count = self._file_count
+        fs._split_cache = {}
+        fs.faults = None
+        seen: dict[int, FileNode] = {}
+
+        def copy_node(node: Node) -> Node:
+            dup: Node
+            if isinstance(node, DirectoryNode):
+                dup = DirectoryNode.__new__(DirectoryNode)
+                dup.entries = {
+                    name: copy_node(child)
+                    for name, child in node.entries.items()
+                }
+                dup._lower = None
+            else:
+                assert isinstance(node, FileNode)
+                cached = seen.get(id(node))
+                if cached is not None:
+                    return cached
+                dup = FileNode.__new__(FileNode)
+                dup.data = bytearray(node.data)
+                dup.nlink = node.nlink
+                target = getattr(node, "symlink_target", None)
+                if target is not None:
+                    dup.symlink_target = target  # type: ignore[attr-defined]
+                seen[id(node)] = dup
+            dup.name = node.name
+            dup.created_at = node.created_at
+            dup.modified_at = node.modified_at
+            dup.accessed_at = node.accessed_at
+            dup.read_only = node.read_only
+            dup.hidden = node.hidden
+            dup.protected = node.protected
+            dup.mode = node.mode
+            return dup
+
+        fs.root = copy_node(self.root)  # type: ignore[assignment]
+        return fs
 
     # ------------------------------------------------------------------
     # Path handling
@@ -218,12 +320,22 @@ class FileSystem:
     def split(self, path: str) -> list[str]:
         """Normalise a path into components.  Accepts ``/`` always and
         ``\\`` plus drive letters on case-insensitive (Windows)
-        filesystems."""
+        filesystems.
+
+        Memoized per raw path string (normalisation is a pure function
+        of the path and the filesystem's fixed case mode); callers must
+        treat the returned list as read-only.
+        """
+        cache = self._split_cache
+        parts = cache.get(path)
+        if parts is not None:
+            return parts
+        raw = path
         if self.case_insensitive:
             path = path.replace("\\", "/")
             if len(path) >= 2 and path[1] == ":":
                 path = path[2:]
-        parts: list[str] = []
+        parts = []
         for piece in path.split("/"):
             if piece in ("", "."):
                 continue
@@ -232,6 +344,9 @@ class FileSystem:
                     parts.pop()
                 continue
             parts.append(piece)
+        if len(cache) >= 8192:  # bound memory on very long campaigns
+            cache.clear()
+        cache[raw] = parts
         return parts
 
     def _walk(self, parts: list[str]) -> Node | None:
@@ -283,6 +398,7 @@ class FileSystem:
             raise FileSystemError("ENOSPC", path)
         node = FileNode(name, self._now(), data)
         parent.entries[name] = node
+        parent._lower = None
         self._file_count += 1
         return node
 
@@ -332,6 +448,7 @@ class FileSystem:
             raise FileSystemError("EEXIST", path)
         node = DirectoryNode(name, self._now())
         parent.entries[name] = node
+        parent._lower = None
         return node
 
     def rmdir(self, path: str) -> None:
@@ -369,6 +486,7 @@ class FileSystem:
         old_parent.remove(old_name, self.case_insensitive)
         node.name = new_name
         new_parent.entries[new_name] = node
+        new_parent._lower = None
 
     def listdir(self, path: str) -> list[str]:
         node = self.lookup(path)

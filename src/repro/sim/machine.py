@@ -25,6 +25,36 @@ from repro.sim.process import Process
 #: Size of the Windows 9x / CE shared system arena we model.
 SHARED_ARENA_SIZE = 0x10000
 
+#: Pristine boot filesystems, keyed by ``(case_insensitive, max_files)``
+#: and built once per process -- every boot clones the template instead
+#: of replaying the path-by-path setup.  Template timestamps are all 0,
+#: exactly what the replayed setup produced (the boot clock reads 0
+#: while the tree is built, on first boot and reboot alike).
+_PRISTINE_FS: dict[tuple, FileSystem] = {}
+
+#: The fixed boot-time environment per API family (personality
+#: resolution happens once, not on every machine construction).
+_BOOT_ENVIRONS: dict[str, dict[str, str]] = {}
+
+
+def _pristine_fs(case_insensitive: bool, max_files: int | None) -> FileSystem:
+    key = (case_insensitive, max_files)
+    template = _PRISTINE_FS.get(key)
+    if template is None:
+        template = FileSystem(
+            case_insensitive=case_insensitive,
+            now=lambda: 0,
+            max_files=max_files,
+        )
+        for directory in ("/tmp", "/home", "/home/ballista"):
+            template.mkdir(directory).protected = True
+        passwd = template.create_file(
+            "/etc_passwd", b"root:x:0:0:root:/root:/bin/sh\n"
+        )
+        passwd.protected = True
+        _PRISTINE_FS[key] = template
+    return template
+
 
 class Machine:
     """One bootable machine running one OS personality.
@@ -50,29 +80,34 @@ class Machine:
         #: Harness-side fault injection (sequence campaigns arm it per
         #: step); survives reboots -- arming is not machine state.
         self.faults = FaultInjector()
-        self.initial_environ = {
-            "PATH": "/bin:/usr/bin" if personality.api == "posix" else r"C:\WINDOWS",
-            "HOME": "/home/ballista",
-            "TEMP": "/tmp",
-            "BALLISTA": "1",
-        }
+        environ = _BOOT_ENVIRONS.get(personality.api)
+        if environ is None:
+            environ = {
+                "PATH": "/bin:/usr/bin"
+                if personality.api == "posix"
+                else r"C:\WINDOWS",
+                "HOME": "/home/ballista",
+                "TEMP": "/tmp",
+                "BALLISTA": "1",
+            }
+            _BOOT_ENVIRONS[personality.api] = environ
+        self.initial_environ = dict(environ)
         self._next_pid = 100
         self._boot()
 
     def _boot(self) -> None:
         self.clock = SimClock(self.watchdog_ticks)
-        self.fs = FileSystem(
-            case_insensitive=self.personality.case_insensitive_fs,
-            now=self.clock.tick_count,
-            max_files=self.fs_max_files,
-        )
+        self._reset_system_state()
+
+    def _reset_system_state(self) -> None:
+        """(Re)establish pristine post-boot system state: a clone of the
+        boot filesystem image, clean crash/corruption state, and a zeroed
+        shared arena.  Shared by first boot, :meth:`reboot`, and
+        :meth:`revert` -- the copy-on-write snapshot restore."""
+        self.fs = _pristine_fs(
+            self.personality.case_insensitive_fs, self.fs_max_files
+        ).clone(now=self.clock.tick_count)
         self.fs.faults = self.faults
-        for directory in ("/tmp", "/home", "/home/ballista"):
-            self.fs.mkdir(directory).protected = True
-        passwd = self.fs.create_file(
-            "/etc_passwd", b"root:x:0:0:root:/root:/bin/sh\n"
-        )
-        passwd.protected = True
 
         self.crashed = False
         self.crash_reason: str | None = None
@@ -101,14 +136,28 @@ class Machine:
 
     def reboot(self) -> None:
         """Power-cycle after a crash: fresh filesystem, shared arena and
-        corruption state.  (Ballista restarts testing after a reboot.)"""
+        corruption state.  (Ballista restarts testing after a reboot.)
+
+        Virtual time keeps running across the power cycle: the clock
+        stays monotone along a campaign plan, which sharded event
+        canonicalisation and per-step sequence timestamps rely on.
+        """
         self.reboot_count += 1
-        ticks = self.clock.ticks
-        self._boot()
-        # Virtual time keeps running across the power cycle: the clock
-        # stays monotone along a campaign plan, which sharded event
-        # canonicalisation and per-step sequence timestamps rely on.
-        self.clock.ticks = ticks
+        self.clock.reset(self.clock.ticks)
+        self._reset_system_state()
+
+    def revert(self) -> None:
+        """Copy-on-write revert to the pristine boot image: observable
+        state identical to a freshly constructed
+        ``Machine(personality, watchdog_ticks, fs_max_files)`` --
+        counters, clock, filesystem, arena, and crash state included --
+        at a fraction of the construction cost.  The campaign's
+        ``machine_per_case`` ablation reverts between cases instead of
+        building a machine per case."""
+        self.reboot_count = 0
+        self._next_pid = 100
+        self.clock.reset(0)
+        self._reset_system_state()
 
     # ------------------------------------------------------------------
     # Checkpoint support
@@ -230,6 +279,7 @@ class Machine:
             elif entry["type"] == "link":
                 parent, name = fs._parent_of(path)
                 parent.entries[name] = by_index[int(entry["node"])]
+                parent._lower = None
                 continue
             else:
                 file_node = fs.create_file(

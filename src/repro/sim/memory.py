@@ -59,7 +59,16 @@ class Region:
     ``data`` bytearray is the unit of sharing.
     """
 
-    __slots__ = ("start", "size", "protection", "data", "tag", "freed")
+    __slots__ = (
+        "start",
+        "size",
+        "_protection",
+        "_prot",
+        "data",
+        "tag",
+        "freed",
+        "version",
+    )
 
     def __init__(
         self,
@@ -73,12 +82,31 @@ class Region:
             raise ValueError(f"region size must be positive, got {size}")
         self.start = start & ADDRESS_MASK
         self.size = size
-        self.protection = protection
+        # Inlined ``protection`` setter: regions are constructed on the
+        # hot allocation path.
+        self._protection = protection
+        self._prot = int(protection)
         self.tag = tag
         self.data = bytearray(size) if data is None else data
         #: Set when the region has been deallocated but its address is
         #: still circulating as a dangling pointer.
         self.freed = False
+        #: Bumped on every store through :meth:`AddressSpace.write` (and
+        #: by the few sanctioned direct-``data`` writers); snapshot
+        #: caches key on it to skip re-encoding unchanged contents.
+        self.version = 0
+
+    @property
+    def protection(self) -> Protection:
+        return self._protection
+
+    @protection.setter
+    def protection(self, value: Protection) -> None:
+        # The hot access check compares the plain-int mirror: IntFlag's
+        # __and__ allocates a flag instance per check, which profiling
+        # shows from every simulated load/store.
+        self._protection = value
+        self._prot = int(value)
 
     @property
     def end(self) -> int:
@@ -139,24 +167,26 @@ class AddressSpace:
         armed ``"alloc"`` fault window is open: the kernel is out of
         commit and every fresh mapping request fails.
         """
-        if self.faults is not None:
-            self.faults.exhaust("alloc", tag or "anonymous mapping")
+        faults = self.faults
+        if faults is not None and faults.active:
+            faults.exhaust("alloc", tag or "anonymous mapping")
         if at is None:
             if shared:
                 at = self._shared_cursor
-                self._shared_cursor = self._align_up(at + size + 4096)
+                self._shared_cursor = (at + size + 8191) & ~4095
             else:
                 at = self._cursor
-                self._cursor = self._align_up(at + size + 4096)
+                self._cursor = (at + size + 8191) & ~4095
         region = Region(at, size, protection, tag)
         self._insert(region)
         # Keep the bump allocators clear of fixed placements.
+        end = region.start + region.size
         if region.start < USER_LIMIT:
-            self._cursor = max(self._cursor, self._align_up(region.end + 4096))
+            if end + 4096 > self._cursor:
+                self._cursor = (end + 8191) & ~4095
         elif region.start < SHARED_LIMIT:
-            self._shared_cursor = max(
-                self._shared_cursor, self._align_up(region.end + 4096)
-            )
+            if end + 4096 > self._shared_cursor:
+                self._shared_cursor = (end + 8191) & ~4095
         return region
 
     def attach(self, region: Region) -> None:
@@ -172,13 +202,18 @@ class AddressSpace:
         region.freed = True
 
     def _insert(self, region: Region) -> None:
-        index = bisect_right(self._starts, region.start)
-        if index > 0 and self._regions[index - 1].end > region.start:
-            raise ValueError(f"overlapping mapping at 0x{region.start:08X}")
-        if index < len(self._regions) and region.end > self._regions[index].start:
-            raise ValueError(f"overlapping mapping at 0x{region.start:08X}")
-        self._starts.insert(index, region.start)
-        self._regions.insert(index, region)
+        starts = self._starts
+        regions = self._regions
+        start = region.start
+        index = bisect_right(starts, start)
+        if index > 0:
+            prev = regions[index - 1]
+            if prev.start + prev.size > start:
+                raise ValueError(f"overlapping mapping at 0x{start:08X}")
+        if index < len(regions) and start + region.size > regions[index].start:
+            raise ValueError(f"overlapping mapping at 0x{start:08X}")
+        starts.insert(index, start)
+        regions.insert(index, region)
 
     def _index_of(self, region: Region) -> int:
         index = bisect_right(self._starts, region.start) - 1
@@ -198,8 +233,10 @@ class AddressSpace:
         """Return the region containing ``address``, or ``None``."""
         address &= ADDRESS_MASK
         index = bisect_right(self._starts, address) - 1
-        if index >= 0 and self._regions[index].contains(address):
-            return self._regions[index]
+        if index >= 0:
+            region = self._regions[index]
+            if region.start <= address < region.start + region.size:
+                return region
         return None
 
     def regions(self) -> Iterator[Region]:
@@ -217,10 +254,11 @@ class AddressSpace:
         region = self.find(address)
         if region is None:
             raise AccessViolation(address, access, reason="unmapped")
-        if address + size > region.end:
-            raise AccessViolation(region.end, access, reason="unmapped")
-        needed = Protection.WRITE if access == "write" else Protection.READ
-        if not region.protection & needed:
+        if address + size > region.start + region.size:
+            raise AccessViolation(
+                region.start + region.size, access, reason="unmapped"
+            )
+        if not region._prot & (2 if access == "write" else 1):
             raise AccessViolation(address, access, reason="protection")
         return region
 
@@ -243,6 +281,7 @@ class AddressSpace:
         region = self.check(address, len(data), "write")
         offset = (address & ADDRESS_MASK) - region.start
         region.data[offset : offset + len(data)] = data
+        region.version += 1
 
     # ------------------------------------------------------------------
     # Typed helpers
@@ -306,15 +345,28 @@ class AddressSpace:
             difference between byte-wise and word-wise string routines
             that the C-runtime flavours exploit.
         """
+        # Both shapes scan whole regions with ``bytearray.find`` instead
+        # of issuing one checked load per byte/word -- string traffic
+        # dominates the campaign hot path.  Faults must stay *byte
+        # identical* to the per-access loops they replace: on any
+        # unreadable or boundary-crossing access the code below re-issues
+        # the exact load the slow loop would have made and lets it raise.
         out = bytearray()
         cursor = address & ADDRESS_MASK
         if not word_at_a_time:
             while len(out) < limit:
-                byte = self.read(cursor, 1)[0]
-                if byte == 0:
+                region = self.find(cursor)
+                if region is None or not region._prot & 1:
+                    self.read(cursor, 1)  # faults exactly like the loop
+                data = region.data
+                offset = cursor - region.start
+                bound = min(region.size, offset + (limit - len(out)))
+                nul = data.find(0, offset, bound)
+                if nul >= 0:
+                    out += data[offset:nul]
                     return bytes(out)
-                out.append(byte)
-                cursor += 1
+                out += data[offset:bound]
+                cursor += bound - offset
             return bytes(out)
         # Byte prologue to the first word boundary.
         while cursor % 4 and len(out) < limit:
@@ -323,15 +375,30 @@ class AddressSpace:
                 return bytes(out)
             out.append(byte)
             cursor += 1
-        # Aligned word loop.
+        # Aligned word loop.  The per-word loop appends *whole* words
+        # while under the limit (output may overshoot by up to three
+        # bytes) and an aligned word crossing the end of the mapping
+        # faults at ``region.end`` even when an adjacent region follows;
+        # the windowed scan reproduces both.
         while len(out) < limit:
-            chunk = self.read(cursor, 4)
-            terminator = chunk.find(0)
-            if terminator >= 0:
-                out += chunk[:terminator]
+            region = self.find(cursor)
+            if region is None or not region._prot & 1:
+                self.read(cursor, 4)  # faults exactly like the loop
+            offset = cursor - region.start
+            words = min(
+                (region.size - offset) >> 2, (limit - len(out) + 3) >> 2
+            )
+            if words <= 0:
+                # Word read crossing the end of the mapping.
+                self.read(cursor, 4)
+            data = region.data
+            end = offset + (words << 2)
+            nul = data.find(0, offset, end)
+            if nul >= 0:
+                out += data[offset:nul]
                 return bytes(out)
-            out += chunk
-            cursor += 4
+            out += data[offset:end]
+            cursor += end - offset
         return bytes(out)
 
     def write_cstring(self, address: int, value: bytes) -> None:
@@ -341,14 +408,36 @@ class AddressSpace:
     def read_wstring(self, address: int, limit: int = 1 << 20) -> bytes:
         """Read a UTF-16LE (UNICODE) string, returning its bytes without
         the terminator."""
+        # Windowed scan mirroring :meth:`read_cstring`: the per-unit
+        # loop appends whole two-byte units while under the limit and
+        # faults at ``region.end`` when a unit crosses the mapping end;
+        # terminators only count on unit boundaries.
         out = bytearray()
         cursor = address & ADDRESS_MASK
         while len(out) < limit:
-            unit = self.read(cursor, 2)
-            if unit == b"\x00\x00":
-                return bytes(out)
-            out += unit
-            cursor += 2
+            region = self.find(cursor)
+            if region is None or not region._prot & 1:
+                self.read(cursor, 2)  # faults exactly like the loop
+            offset = cursor - region.start
+            units = min(
+                (region.size - offset) >> 1, (limit - len(out) + 1) >> 1
+            )
+            if units <= 0:
+                # Unit read crossing the end of the mapping.
+                self.read(cursor, 2)
+            data = region.data
+            end = offset + (units << 1)
+            search = offset
+            while True:
+                pos = data.find(b"\x00\x00", search, end)
+                if pos < 0:
+                    break
+                if (pos - offset) % 2 == 0:
+                    out += data[offset:pos]
+                    return bytes(out)
+                search = pos + 1
+            out += data[offset:end]
+            cursor += end - offset
         return bytes(out)
 
     def write_wstring(self, address: int, value: bytes) -> None:

@@ -50,7 +50,13 @@ class ProcessObject(KernelObject):
     kind = "process"
 
     def __init__(self, pid: int, name: str | None = None) -> None:
-        super().__init__(name)
+        # Base fields assigned inline: one ProcessObject exists per test
+        # case, so the super().__init__ dispatch is worth flattening.
+        self.object_id = next(KernelObject._ids)
+        self.name = name
+        self.refcount = 0
+        self.signaled = False
+        self.destroyed = False
         self.pid = pid
         self.exit_code: int | None = None
 
@@ -61,17 +67,32 @@ class ThreadObject(KernelObject):
     def __init__(
         self, tid: int, suspended: bool = False, name: str | None = None
     ) -> None:
-        super().__init__(name)
+        # Base fields assigned inline (one main thread per test case).
+        self.object_id = next(KernelObject._ids)
+        self.name = name
+        self.refcount = 0
+        self.signaled = False
+        self.destroyed = False
         self.tid = tid
         self.suspend_count = 1 if suspended else 0
         self.exit_code: int | None = None
-        #: Simulated CPU context (register name -> value) captured by
-        #: GetThreadContext / installed by SetThreadContext.
-        self.context: dict[str, int] = {
-            "eax": 0, "ebx": 0, "ecx": 0, "edx": 0,
-            "esi": 0, "edi": 0, "ebp": 0, "esp": 0x7FFD_0000,
-            "eip": 0x0040_1000, "eflags": 0x202,
-        }
+        self._context: dict[str, int] | None = None
+
+    @property
+    def context(self) -> dict[str, int]:
+        """Simulated CPU context (register name -> value) captured by
+        GetThreadContext / installed by SetThreadContext.  Materialised
+        on first access: most threads (one per simulated process, one
+        process per test case) never have their context inspected."""
+        registers = self._context
+        if registers is None:
+            registers = {
+                "eax": 0, "ebx": 0, "ecx": 0, "edx": 0,
+                "esi": 0, "edi": 0, "ebp": 0, "esp": 0x7FFD_0000,
+                "eip": 0x0040_1000, "eflags": 0x202,
+            }
+            self._context = registers
+        return registers
 
 
 class EventObject(KernelObject):

@@ -15,15 +15,30 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.sim.filesystem import FileNode, FileSystemError, OpenFile, Pipe
-from repro.sim.memory import AddressSpace, Protection
+from repro.sim.memory import USER_BASE, AddressSpace, Protection, Region
 from repro.sim.objects import HandleTable, ProcessObject, ThreadObject
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.machine import Machine
 
+#: The bootstrap layout every fresh process starts with: a code mapping
+#: at the fixed image base and a stack allocated right after it.  The
+#: constants below are exactly what two :meth:`AddressSpace.map` calls
+#: produce (8 KiB-rounded bump allocation with a guard gap), precomputed
+#: so process creation -- one per test case -- can place the regions
+#: directly instead of replaying the allocator arithmetic.
+_CODE_AT = 0x0040_1000 - 0x1000
+_CODE_SIZE = 0x1000
+_STACK_SIZE = 0x4000
+_STACK_AT = (_CODE_AT + _CODE_SIZE + 8191) & ~4095
+_BOOT_CURSOR = (_STACK_AT + _STACK_SIZE + 8191) & ~4095
+assert _CODE_AT == USER_BASE and _STACK_AT > _CODE_AT + _CODE_SIZE
+
 
 class PipeEnd:
     """One end of an anonymous pipe, usable where an open file is."""
+
+    __slots__ = ("pipe", "readable", "writable", "closed")
 
     def __init__(self, pipe: Pipe, readable: bool) -> None:
         self.pipe = pipe
@@ -55,29 +70,73 @@ class PipeEnd:
 class Process:
     """A simulated process (one task running one test case)."""
 
+    __slots__ = (
+        "machine",
+        "personality",
+        "pid",
+        "memory",
+        "code_region",
+        "stack_region",
+        "handles",
+        "fds",
+        "errno",
+        "last_error",
+        "_environ",
+        "cwd",
+        "umask",
+        "uid",
+        "gid",
+        "exited",
+        "exit_code",
+        "_next_tid",
+        "kernel_object",
+        "main_thread",
+        "crt",
+    )
+
     def __init__(self, machine: "Machine", pid: int) -> None:
         self.machine = machine
         self.personality = machine.personality
         self.pid = pid
-        self.memory = AddressSpace(
-            strict_alignment=self.personality.strict_alignment
-        )
-        self.memory.faults = machine.faults
-        if machine.shared_region is not None:
-            self.memory.attach(machine.shared_region)
+        memory = AddressSpace(strict_alignment=self.personality.strict_alignment)
+        self.memory = memory
+        faults = machine.faults
+        memory.faults = faults
         #: Code and stack mappings so "pointer into code" / "stack
-        #: pointer" test values have somewhere real to point.
-        self.code_region = self.memory.map(
-            0x1000, Protection.RX, tag="code", at=0x0040_1000 - 0x1000
-        )
-        self.stack_region = self.memory.map(0x4000, Protection.RW, tag="stack")
+        #: pointer" test values have somewhere real to point.  The fast
+        #: path below is byte-identical to mapping them through
+        #: :meth:`AddressSpace.map` (same addresses, same cursor, same
+        #: region order); an open fault window still takes the mapping
+        #: path so armed "alloc" exhaustion fires exactly as before.
+        shared = machine.shared_region
+        if faults is not None and faults.active:
+            if shared is not None:
+                memory.attach(shared)
+            self.code_region = memory.map(
+                _CODE_SIZE, Protection.RX, tag="code", at=_CODE_AT
+            )
+            self.stack_region = memory.map(
+                _STACK_SIZE, Protection.RW, tag="stack"
+            )
+        else:
+            code = Region(_CODE_AT, _CODE_SIZE, Protection.RX, "code")
+            stack = Region(_STACK_AT, _STACK_SIZE, Protection.RW, "stack")
+            self.code_region = code
+            self.stack_region = stack
+            if shared is not None:
+                memory._starts = [_CODE_AT, _STACK_AT, shared.start]
+                memory._regions = [code, stack, shared]
+            else:
+                memory._starts = [_CODE_AT, _STACK_AT]
+                memory._regions = [code, stack]
+            memory._cursor = _BOOT_CURSOR
 
         self.handles = HandleTable()
         self.handles.faults = machine.faults
         self.fds: dict[int, OpenFile | PipeEnd] = {}
         self.errno = 0
         self.last_error = 0
-        self.environ: dict[str, str] = dict(machine.initial_environ)
+        self._environ: dict[str, str] | None = None
         self.cwd = "/"
         self.umask = 0o022
         self.uid = 1000
@@ -86,13 +145,21 @@ class Process:
         self.exited = False
         self.exit_code: int | None = None
 
-        self._next_tid = pid * 0x100 + 1
+        tid = pid * 0x100 + 1
+        self._next_tid = tid + 1
         self.kernel_object = ProcessObject(pid, name=f"pid{pid}")
-        self.main_thread = self.spawn_thread()
+        self.main_thread = ThreadObject(tid)
         #: Per-process C runtime state, created lazily by repro.libc.
         self.crt: object | None = None
 
-        self._open_console_fds()
+        # Pre-open fds 0/1/2 on a console device node (not linked into
+        # the filesystem tree, like a character device).
+        now = machine.clock.tick_count
+        console = FileNode("<console>", now())
+        fds = self.fds
+        fds[0] = OpenFile(console, readable=True, writable=False, now=now)
+        fds[1] = OpenFile(console, readable=False, writable=True, now=now)
+        fds[2] = OpenFile(console, readable=False, writable=True, now=now)
 
     # ------------------------------------------------------------------
     # Threads
@@ -107,15 +174,18 @@ class Process:
     # POSIX fd table
     # ------------------------------------------------------------------
 
-    def _open_console_fds(self) -> None:
-        """Pre-open fds 0/1/2 on a console device node (not linked into
-        the filesystem tree, like a character device)."""
-        now = self.machine.clock.tick_count
-        console = FileNode("<console>", now())
-        for fd in (0, 1, 2):
-            self.fds[fd] = OpenFile(
-                console, readable=(fd == 0), writable=(fd != 0), now=now
-            )
+    @property
+    def environ(self) -> dict[str, str]:
+        """The process's private environment block, copied from the
+        machine's boot image on first access.  The boot image is fixed
+        for the machine's life, so the lazy copy observes exactly what
+        an eager copy at process creation would -- and the overwhelming
+        majority of test processes never touch their environment."""
+        environ = self._environ
+        if environ is None:
+            environ = dict(self.machine.initial_environ)
+            self._environ = environ
+        return environ
 
     def alloc_fd(self, obj: OpenFile | PipeEnd, lowest: int = 0) -> int:
         fd = lowest
@@ -146,6 +216,8 @@ class Process:
         self.exited = True
         self.exit_code = exit_code
         self.kernel_object.exit_code = exit_code
-        for fd in list(self.fds):
-            self.close_fd(fd)
+        fds = self.fds
+        for obj in fds.values():
+            obj.close()
+        fds.clear()
         self.handles.close_all()

@@ -308,3 +308,38 @@ def test_out_of_band_wear_mutation_is_caught(doctored_src):
     assert_caught(proc, "wear-escape", "WEAR-ESCAPE")
     assert "machine.clock.ticks" in proc.stdout
     assert "repro/core/sequences.py" in proc.stdout
+
+
+def test_machine_import_in_pool_layer_is_caught(doctored_src):
+    """The memoized plan/value pools are shared across every variant and
+    shard; importing the machine layer into them couples the caches to
+    per-variant state and is banned by the POOL_PURITY manifest."""
+    append(
+        doctored_src,
+        "core/generator.py",
+        """
+        from repro.sim.machine import Machine
+
+        def _injected_pool_key(machine: Machine) -> str:
+            return machine.personality.key
+        """,
+    )
+    proc = run_lint(doctored_src)
+    assert_caught(proc, "determinism", "DET-POOL-IMPORT")
+    assert "repro/core/generator.py" in proc.stdout
+
+
+def test_cow_revert_outside_wear_api_scope_is_sanctioned(doctored_src):
+    """machine.revert() is part of the sanctioned lifecycle surface (the
+    copy-on-write snapshot verb machine_per_case isolation runs
+    through): orchestration code calling it must lint clean."""
+    append(
+        doctored_src,
+        "core/sequences.py",
+        """
+        def _injected_isolation_reset(machine):
+            machine.revert()
+        """,
+    )
+    proc = run_lint(doctored_src)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
